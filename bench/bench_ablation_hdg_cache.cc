@@ -1,0 +1,78 @@
+// Ablation — HDG caching across layers and epochs (paper §3.2 "Discussion"):
+// NAU does not re-run NeighborSelection per layer; HDGs are shared across a
+// model's layers, across an epoch (PinSage) or the whole run (MAGNN). This
+// bench quantifies what that sharing is worth by comparing, per epoch:
+//   per-layer   — rebuild the HDGs for every layer (what a GAS pipeline that
+//                 re-samples per propagation stage effectively does),
+//   per-epoch   — build once per epoch, share across layers (PinSage policy),
+//   static      — build once for the whole run (GCN/MAGNN policy; build cost
+//                 amortized over the measured epochs).
+#include <cstdio>
+#include <iostream>
+
+#include "bench/bench_common.h"
+#include "src/core/neighbor_selection.h"
+#include "src/util/table_printer.h"
+
+namespace flexgraph {
+namespace {
+
+struct CachePolicyCosts {
+  double per_layer = 0.0;
+  double per_epoch = 0.0;
+  double amortized_static = 0.0;
+};
+
+CachePolicyCosts Measure(const Dataset& ds, const GnnModel& model, int epochs) {
+  CachePolicyCosts costs;
+  Rng rng(5);
+
+  // One representative build; NeighborSelection cost is independent of how
+  // often the result is reused.
+  WallTimer build_timer;
+  Hdg hdg = BuildHdgAllVertices(model, ds.graph, rng);
+  const double build_seconds = build_timer.ElapsedSeconds();
+
+  // One forward epoch on the prebuilt HDGs (aggregation + update only).
+  Engine engine(ds.graph, ExecStrategy::kHybrid);
+  StageTimes times;
+  Rng epoch_rng(7);
+  engine.Infer(model, ds.features, epoch_rng, &times);  // includes its own build
+  StageTimes measured;
+  for (int e = 0; e < epochs; ++e) {
+    engine.Infer(model, ds.features, epoch_rng, &measured);
+  }
+  const double compute_seconds = (measured.aggregation + measured.update) / epochs;
+  const double layers = static_cast<double>(model.layers.size());
+
+  costs.per_layer = layers * build_seconds + compute_seconds;
+  costs.per_epoch = build_seconds + compute_seconds;
+  costs.amortized_static = build_seconds / epochs + compute_seconds;
+  return costs;
+}
+
+}  // namespace
+}  // namespace flexgraph
+
+int main() {
+  using namespace flexgraph;
+  const int epochs = BenchEpochs();
+  std::printf("== Ablation: HDG caching policies (per-epoch seconds, dataset=twitter) ==\n");
+  std::printf("scale=%.2f epochs=%d (static amortizes one build over the %d epochs)\n",
+              BenchScale(), epochs, epochs);
+
+  TablePrinter table({"Model", "rebuild/layer", "rebuild/epoch", "static (amortized)",
+                      "layer->epoch gain"});
+  for (const char* model_name : {"pinsage", "magnn"}) {
+    Dataset ds = BenchDataset("twitter", std::string(model_name) == "magnn");
+    Rng rng(5);
+    GnnModel model = BenchModel(model_name, ds, rng);
+    const CachePolicyCosts costs = Measure(ds, model, epochs);
+    table.AddRow({model_name, TablePrinter::Num(costs.per_layer, 4),
+                  TablePrinter::Num(costs.per_epoch, 4),
+                  TablePrinter::Num(costs.amortized_static, 4),
+                  TablePrinter::Num(costs.per_layer / costs.per_epoch, 2) + "x"});
+  }
+  table.Print(std::cout);
+  return 0;
+}

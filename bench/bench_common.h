@@ -1,0 +1,101 @@
+// Shared helpers for the benchmark harnesses.
+//
+// Measurement protocol (see EXPERIMENTS.md):
+//   * Every system — FlexGraph included — is timed on *forward* epochs so the
+//     cross-framework ratios compare like with like (backward retraces the
+//     same aggregation kernels, so ratios carry over).
+//   * FlexGraph epochs honor each model's HDG cache policy: PinSage rebuilds
+//     its HDGs every epoch (stochastic walks), GCN/MAGNN build once and the
+//     build cost is amortized over the measured epochs — mirroring the
+//     paper's "average over 10 epochs".
+//   * Dataset sizes scale with FLEXGRAPH_SCALE (default 1.0) and epoch counts
+//     with FLEXGRAPH_EPOCHS (default 3), so the suite can be re-run larger.
+#ifndef BENCH_BENCH_COMMON_H_
+#define BENCH_BENCH_COMMON_H_
+
+#include <string>
+
+#include "src/baselines/common.h"
+#include "src/core/engine.h"
+#include "src/data/datasets.h"
+#include "src/models/gcn.h"
+#include "src/models/magnn.h"
+#include "src/models/pinsage.h"
+#include "src/util/env.h"
+#include "src/util/timer.h"
+
+namespace flexgraph {
+
+inline double BenchScale() { return EnvDouble("FLEXGRAPH_SCALE", 1.0); }
+inline int BenchEpochs() { return static_cast<int>(EnvInt("FLEXGRAPH_EPOCHS", 5)); }
+
+// MAGNN instance cap used throughout the benches (paper: 6 metapaths, 3
+// vertices per instance; the cap bounds hub blow-up on skewed graphs).
+inline constexpr std::size_t kBenchMagnnInstanceCap = 8;
+
+inline ModelDims BenchDims(const Dataset& ds) {
+  ModelDims dims;
+  dims.hidden = 32;
+  dims.num_classes = ds.num_classes;
+  return dims;
+}
+
+// Loads a dataset by paper name at the bench scale; "imdb" is natively
+// heterogeneous, the others get the paper's synthetic 3-type assignment when
+// `typed` is requested (MAGNN).
+inline Dataset BenchDataset(const std::string& name, bool typed = false) {
+  Dataset ds = MakeDatasetByName(name, BenchScale(), /*seed=*/1);
+  if (typed && !ds.graph.is_heterogeneous()) {
+    return WithSyntheticVertexTypes(ds, 3);
+  }
+  return ds;
+}
+
+// Builds the FlexGraph model named by the paper ("gcn", "pinsage", "magnn").
+inline GnnModel BenchModel(const std::string& name, const Dataset& ds, Rng& rng) {
+  if (name == "gcn") {
+    GcnConfig c;
+    c.in_dim = ds.feature_dim();
+    c.hidden_dim = 32;
+    c.num_classes = ds.num_classes;
+    return MakeGcnModel(c, rng);
+  }
+  if (name == "pinsage") {
+    PinSageConfig c;
+    c.in_dim = ds.feature_dim();
+    c.hidden_dim = 32;
+    c.num_classes = ds.num_classes;
+    return MakePinSageModel(c, rng);
+  }
+  MagnnConfig c;
+  c.in_dim = ds.feature_dim();
+  c.hidden_dim = 32;
+  c.num_classes = ds.num_classes;
+  c.max_instances_per_path = kBenchMagnnInstanceCap;
+  return MakeMagnnModel(c, rng);
+}
+
+// Average FlexGraph forward-epoch time; per-stage times optionally summed
+// into *times (also averaged per epoch).
+inline double FlexGraphEpochSeconds(const Dataset& ds, const GnnModel& model,
+                                    ExecStrategy strategy, int epochs,
+                                    StageTimes* times = nullptr) {
+  Engine engine(ds.graph, strategy);
+  Rng rng(5);
+  WallTimer total;
+  StageTimes acc;
+  for (int e = 0; e < epochs; ++e) {
+    engine.Infer(model, ds.features, rng, &acc);
+  }
+  const double avg = total.ElapsedSeconds() / epochs;
+  if (times != nullptr) {
+    times->neighbor_selection += acc.neighbor_selection / epochs;
+    times->aggregation += acc.aggregation / epochs;
+    times->update += acc.update / epochs;
+  }
+  return avg;
+}
+
+}  // namespace flexgraph
+
+#endif  // BENCH_BENCH_COMMON_H_

@@ -1,0 +1,137 @@
+// Kernel-level microbenchmarks (google-benchmark): the three aggregation
+// kernel classes the hybrid execution strategy arbitrates between — sparse
+// gather+scatter (SA), scalar fused (a DGL-like fusion without SIMD layout),
+// vectorized fused (FlexGraph's feature fusion) — plus the dense-vs-sparse
+// schema-level reduce. These isolate the per-kernel gaps that the
+// macro-benches (Table 2, Figure 14) aggregate.
+#include <benchmark/benchmark.h>
+
+#include "src/baselines/kernels.h"
+#include "src/core/fused_ops.h"
+#include "src/data/synthetic.h"
+#include "src/tensor/ops_dense.h"
+#include "src/tensor/ops_sparse.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+namespace {
+
+struct AggFixture {
+  Tensor x;
+  std::vector<VertexId> leaf_ids;
+  std::vector<uint64_t> offsets;
+  std::vector<uint32_t> dst_index;
+};
+
+AggFixture MakeFixture(int64_t dim) {
+  PowerLawGraphParams params;
+  params.num_vertices = 8192;
+  params.avg_degree = 16.0;
+  CsrGraph g = GeneratePowerLawGraph(params);
+  AggFixture f;
+  Rng rng(1);
+  f.x = Tensor::Uninitialized(g.num_vertices(), dim);
+  for (int64_t i = 0; i < f.x.numel(); ++i) {
+    f.x.data()[i] = rng.NextFloat();
+  }
+  f.leaf_ids.assign(g.in_neighbors().begin(), g.in_neighbors().end());
+  f.offsets.assign(g.in_offsets().begin(), g.in_offsets().end());
+  f.dst_index.resize(f.leaf_ids.size());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (uint64_t e = f.offsets[v]; e < f.offsets[v + 1]; ++e) {
+      f.dst_index[e] = v;
+    }
+  }
+  return f;
+}
+
+void BM_FusedAggregate(benchmark::State& state) {
+  AggFixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    Tensor out = FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.leaf_ids.size()) * state.range(0));
+}
+BENCHMARK(BM_FusedAggregate)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScalarFusedAggregate(benchmark::State& state) {
+  AggFixture f = MakeFixture(state.range(0));
+  for (auto _ : state) {
+    Tensor out = ScalarSegmentGatherReduceSum(f.x, f.leaf_ids, f.offsets);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.leaf_ids.size()) * state.range(0));
+}
+BENCHMARK(BM_ScalarFusedAggregate)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_SparseGatherScatterAggregate(benchmark::State& state) {
+  AggFixture f = MakeFixture(state.range(0));
+  const auto n = static_cast<int64_t>(f.offsets.size()) - 1;
+  for (auto _ : state) {
+    Tensor gathered = GatherRows(f.x, f.leaf_ids);  // materialized [E, d]
+    Tensor out = Scatter(gathered, f.dst_index, n, ReduceKind::kSum);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.leaf_ids.size()) * state.range(0));
+}
+BENCHMARK(BM_SparseGatherScatterAggregate)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_DenseSchemaReduce(benchmark::State& state) {
+  const int64_t roots = 16384;
+  const int64_t types = 6;
+  Rng rng(2);
+  Tensor slots = Tensor::Uninitialized(roots * types, state.range(0));
+  for (int64_t i = 0; i < slots.numel(); ++i) {
+    slots.data()[i] = rng.NextFloat();
+  }
+  for (auto _ : state) {
+    Tensor out = GroupSumRows(slots, types);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_DenseSchemaReduce)->Arg(16)->Arg(64);
+
+void BM_SparseSchemaReduce(benchmark::State& state) {
+  const int64_t roots = 16384;
+  const int64_t types = 6;
+  Rng rng(2);
+  Tensor slots = Tensor::Uninitialized(roots * types, state.range(0));
+  for (int64_t i = 0; i < slots.numel(); ++i) {
+    slots.data()[i] = rng.NextFloat();
+  }
+  std::vector<uint32_t> index(static_cast<std::size_t>(roots * types));
+  for (int64_t i = 0; i < roots * types; ++i) {
+    index[static_cast<std::size_t>(i)] = static_cast<uint32_t>(i / types);
+  }
+  for (auto _ : state) {
+    Tensor out = Scatter(slots, index, roots, ReduceKind::kSum);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_SparseSchemaReduce)->Arg(16)->Arg(64);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(3);
+  Tensor a = Tensor::Uninitialized(4096, state.range(0));
+  Tensor b = Tensor::Uninitialized(state.range(0), 64);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] = rng.NextFloat();
+  }
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    b.data()[i] = rng.NextFloat();
+  }
+  for (auto _ : state) {
+    Tensor c = MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace flexgraph
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// Heterogeneous-graph scenario (the paper's MAGNN case): metapath-based
+// hierarchical aggregation on an IMDB-like movie/director/actor graph —
+// the INHA model class that GAS-style frameworks cannot express.
+//
+//   build/examples/heterogeneous_magnn
+//
+// Shows the full INHA pipeline: metapath instance matching builds a
+// hierarchical HDG (schema tree with one leaf per metapath), and aggregation
+// runs bottom-up: fused mean over instance members → attention across
+// instances of a metapath (scatter_softmax) → dense reduce across metapaths.
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/data/datasets.h"
+#include "src/models/magnn.h"
+#include "src/tensor/nn.h"
+
+int main() {
+  using namespace flexgraph;
+
+  Dataset ds = MakeImdbLike(/*scale=*/0.6, /*seed=*/9);
+  std::printf("heterogeneous graph: |V|=%u |E|=%llu types=%d\n", ds.graph.num_vertices(),
+              static_cast<unsigned long long>(ds.graph.num_edges()),
+              ds.graph.num_vertex_types());
+
+  Rng rng(5);
+  MagnnConfig config;
+  config.in_dim = ds.feature_dim();
+  config.hidden_dim = 48;
+  config.num_classes = ds.num_classes;
+  GnnModel model = MakeMagnnModel(config, rng);
+  std::printf("schema tree: root + %u metapath leaves (", model.schema.num_leaf_types());
+  for (uint32_t t = 0; t < model.schema.num_leaf_types(); ++t) {
+    std::printf("%s%s", t == 0 ? "" : ", ", model.schema.leaf_name(t).c_str());
+  }
+  std::printf(")\n");
+
+  // Inspect the HDGs FlexGraph builds — they are static for MAGNN, so one
+  // build serves the entire training run.
+  Hdg hdg = BuildHdgAllVertices(model, ds.graph, rng);
+  const auto fp = hdg.Footprint();
+  std::printf("HDGs: %u roots, %llu metapath instances, %llu leaf refs\n", hdg.num_roots(),
+              static_cast<unsigned long long>(hdg.num_instances()),
+              static_cast<unsigned long long>(hdg.num_leaf_refs()));
+  std::printf("HDG storage: %.1f KiB optimized vs %.1f KiB naive "
+              "(elided Dst + global schema tree)\n",
+              static_cast<double>(fp.TotalBytes()) / 1024.0,
+              static_cast<double>(fp.NaiveTotalBytes()) / 1024.0);
+
+  Engine engine(ds.graph, ExecStrategy::kHybrid);
+  SgdOptimizer opt(0.05f);
+  std::printf("%-6s %-10s %-12s\n", "epoch", "loss", "agg_ms");
+  for (int epoch = 0; epoch < 20; ++epoch) {
+    EpochResult r = engine.TrainEpoch(model, ds.features, ds.labels, opt, rng);
+    if (epoch % 4 == 0 || epoch == 19) {
+      std::printf("%-6d %-10.4f %-12.2f\n", epoch, r.loss, r.times.aggregation * 1e3);
+    }
+  }
+
+  StageTimes times;
+  Tensor logits = engine.Infer(model, ds.features, rng, &times);
+  std::printf("final accuracy over all vertices: %.3f\n", Accuracy(logits, ds.labels));
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Quickstart: train a 2-layer GCN on a synthetic community graph with the
+// FlexGraph engine and watch the loss fall / accuracy rise.
+//
+//   build/examples/quickstart
+//
+// Walks through the whole NAU pipeline: the GCN model declares a flat schema
+// tree and a 1-hop neighbor UDF; the engine builds the HDGs once (GCN's
+// neighbors are static), then every epoch runs Aggregation (hybrid execution)
+// and Update, computes the softmax cross-entropy over all vertices, and takes
+// an SGD step.
+#include <cstdio>
+
+#include "src/core/engine.h"
+#include "src/data/datasets.h"
+#include "src/models/gcn.h"
+#include "src/tensor/nn.h"
+
+int main() {
+  using namespace flexgraph;
+
+  // A Reddit-like community graph: labels follow communities, features are
+  // class-correlated, so the task is genuinely learnable.
+  Dataset ds = MakeRedditLike(/*scale=*/0.25, /*seed=*/42);
+  std::printf("dataset: %s  |V|=%u  |E|=%llu  dim=%lld  classes=%d\n", ds.name.c_str(),
+              ds.graph.num_vertices(), static_cast<unsigned long long>(ds.graph.num_edges()),
+              static_cast<long long>(ds.feature_dim()), ds.num_classes);
+
+  Rng rng(7);
+  GcnConfig config;
+  config.in_dim = ds.feature_dim();
+  config.hidden_dim = 64;
+  config.num_classes = ds.num_classes;
+  GnnModel model = MakeGcnModel(config, rng);
+
+  Engine engine(ds.graph, ExecStrategy::kHybrid);
+  SgdOptimizer opt(/*lr=*/0.2f);
+
+  std::printf("%-6s %-10s %-10s %-10s\n", "epoch", "loss", "accuracy", "epoch_sec");
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    EpochResult result = engine.TrainEpoch(model, ds.features, ds.labels, opt, rng);
+    if (epoch % 5 == 0 || epoch == 29) {
+      StageTimes times;
+      Tensor logits = engine.Infer(model, ds.features, rng, &times);
+      std::printf("%-6d %-10.4f %-10.4f %-10.4f\n", epoch, result.loss,
+                  Accuracy(logits, ds.labels), result.times.Total());
+    }
+  }
+  std::printf("done — NAU stages of the last epoch: NbrSel cached, "
+              "Aggregation+Update trained on %u vertices\n",
+              ds.graph.num_vertices());
+  return 0;
+}

@@ -1,0 +1,22 @@
+#include "src/baselines/common.h"
+
+#include <cstdio>
+
+namespace flexgraph {
+
+std::string OutcomeCell(const EpochOutcome& outcome, int precision) {
+  switch (outcome.status) {
+    case EpochStatus::kUnsupported:
+      return "X";
+    case EpochStatus::kOom:
+      return "OOM";
+    case EpochStatus::kOk: {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.*f", precision, outcome.seconds);
+      return buf;
+    }
+  }
+  return "?";
+}
+
+}  // namespace flexgraph

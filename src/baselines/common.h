@@ -1,0 +1,72 @@
+// Shared definitions for the baseline executors.
+//
+// Each baseline reproduces the *mechanism* the paper attributes a competitor
+// framework's cost to, at our dataset scale:
+//
+//   PyTorch-like   GCN: COO gather → edge tensor → scatter (full [E, d]
+//                  materialization). PinSage: random walks re-simulated per
+//                  layer through feature-sized propagation passes. MAGNN:
+//                  metapath matching + padded dense instance tensors (OOM).
+//   DGL-like       GCN: kernel-fused aggregation but without the SIMD layout
+//                  (scalar inner loop). PinSage: walk simulation via graph
+//                  propagation stages (paper §2.3: >95% of epoch time).
+//                  MAGNN: unsupported (GAS cannot express it).
+//   Euler-like     mini-batch k-hop expansion with per-batch subgraph
+//                  construction & conversion overhead; PinSage uses its fast
+//                  sampling engine. OOMs on skewed graphs (hub explosion).
+//   DistDGL-like   mini-batch k-hop like Euler but with DGL kernels and a
+//                  larger memory budget (slow, not OOM).
+//   Pre+DGL        §7.2's simulation: pre-expanded graph + GAS ops, walks
+//                  replaced by weighted sampling on the expanded graph.
+//
+// All executors run *forward* epochs; the Table-2 harness times every system
+// (FlexGraph included) on forward epochs so ratios are apples-to-apples (see
+// EXPERIMENTS.md, "Measurement protocol").
+#ifndef SRC_BASELINES_COMMON_H_
+#define SRC_BASELINES_COMMON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexgraph {
+
+enum class EpochStatus {
+  kOk,
+  kOom,          // estimated working set exceeded the memory budget
+  kUnsupported,  // the framework's abstraction cannot express the model
+};
+
+struct EpochOutcome {
+  EpochStatus status = EpochStatus::kOk;
+  double seconds = 0.0;
+  uint64_t peak_bytes = 0;   // estimated peak intermediate bytes
+  uint64_t total_bytes = 0;  // total bytes gathered/materialized over the epoch
+                             // (feeds the distributed-scaling comm model)
+
+  static EpochOutcome Oom(uint64_t bytes) {
+    return {EpochStatus::kOom, 0.0, bytes};
+  }
+  static EpochOutcome Unsupported() { return {EpochStatus::kUnsupported, 0.0, 0}; }
+};
+
+// Cell text for the result tables ("X" = unsupported, "OOM" = out of memory),
+// matching the paper's Table 2 conventions.
+std::string OutcomeCell(const EpochOutcome& outcome, int precision = 2);
+
+// 2-layer model dimensions shared by every executor so all frameworks run the
+// same computation.
+struct ModelDims {
+  int64_t hidden = 32;
+  int64_t num_classes = 8;
+};
+
+// PinSage hyperparameters (paper §7): 10 walks × 3 hops, top-10.
+struct WalkParams {
+  int num_walks = 10;
+  int hops = 3;
+  int top_k = 10;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_BASELINES_COMMON_H_

@@ -1,0 +1,22 @@
+// DGL-like executor: SAGA-NN abstraction with kernel fusion but without the
+// SIMD-tuned feature-fusion layout (see src/baselines/common.h).
+#ifndef SRC_BASELINES_DGL_LIKE_H_
+#define SRC_BASELINES_DGL_LIKE_H_
+
+#include "src/baselines/common.h"
+#include "src/data/datasets.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+EpochOutcome DglLikeGcnEpoch(const Dataset& ds, const ModelDims& dims, Rng& rng);
+
+EpochOutcome DglLikePinSageEpoch(const Dataset& ds, const ModelDims& dims,
+                                 const WalkParams& walks, Rng& rng);
+
+// MAGNN cannot be expressed in SAGA-NN (paper §2.3) — always Unsupported.
+EpochOutcome DglLikeMagnnEpoch();
+
+}  // namespace flexgraph
+
+#endif  // SRC_BASELINES_DGL_LIKE_H_

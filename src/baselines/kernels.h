@@ -1,0 +1,35 @@
+// Baseline-specific kernels.
+#ifndef SRC_BASELINES_KERNELS_H_
+#define SRC_BASELINES_KERNELS_H_
+
+#include <span>
+#include <vector>
+
+#include "src/graph/graph_types.h"
+#include "src/tensor/tensor.h"
+
+namespace flexgraph {
+
+// Kernel-fused segment gather-reduce *without* the SIMD-friendly layout: the
+// inner loop is forced scalar (one element per iteration, no vectorization),
+// modelling a fused aggregation kernel that has not been tuned for AVX — the
+// gap the paper measures between DGL's fusion and FlexGraph's feature fusion
+// on GCN.
+Tensor ScalarSegmentGatherReduceSum(const Tensor& x, std::span<const VertexId> leaf_ids,
+                                    std::span<const uint64_t> offsets);
+
+// Generic COO scatter-add with element-indexed scalar accumulation — the
+// shape of an untuned framework scatter kernel (PyTorch-like path).
+Tensor ScalarCooScatterSum(const Tensor& values, std::span<const uint32_t> dst_index,
+                           int64_t out_rows);
+
+// One SAGA-NN Aggregate over the input graph's in-edges with full edge-
+// message materialization (Scatter stage → edge tensor, ApplyEdge identity
+// pass, Gather stage). Returns the per-vertex neighborhood sums and adds the
+// materialized bytes to *materialized_bytes.
+Tensor SagaEdgeAggregate(const Tensor& x, std::span<const uint64_t> in_offsets,
+                         std::span<const VertexId> in_neighbors, uint64_t* materialized_bytes);
+
+}  // namespace flexgraph
+
+#endif  // SRC_BASELINES_KERNELS_H_

@@ -1,0 +1,43 @@
+// Mini-batch k-hop executors (Euler-like and DistDGL-like, paper §7.1(2)):
+// every batch gathers the *full* 2-hop neighborhood of its vertices, converts
+// vertices+relationships into a fresh subgraph, and trains on that. On dense
+// or power-law graphs the 2-hop closure approaches the whole graph per batch,
+// which is exactly why the paper measures these systems 100–1000× behind
+// full-graph execution on GCN (and why Euler OOMs on FB91/Twitter).
+#ifndef SRC_BASELINES_MINIBATCH_H_
+#define SRC_BASELINES_MINIBATCH_H_
+
+#include "src/baselines/common.h"
+#include "src/data/datasets.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+struct MiniBatchConfig {
+  int batch_size = 512;
+  int num_hops = 2;  // full neighbors within k hops for a k-layer model
+  // Extra passes copying the sampled subgraph into framework buffers (graph →
+  // proto → tensor conversions). Euler-like (TensorFlow backend) pays more
+  // than DistDGL-like.
+  int conversion_passes = 1;
+  // Memory budget for one batch's gathered features (replication included);
+  // exceeding it aborts the epoch with OOM.
+  uint64_t mem_cap_bytes = UINT64_MAX;
+};
+
+// Defaults mirroring the paper's relative behaviour.
+MiniBatchConfig EulerLikeConfig(const Dataset& ds);
+MiniBatchConfig DistDglLikeConfig(const Dataset& ds);
+
+EpochOutcome MiniBatchGcnEpoch(const Dataset& ds, const ModelDims& dims,
+                               const MiniBatchConfig& config, Rng& rng);
+
+// Euler's PinSage path: fast sampling engine (positions-only walks) but
+// per-batch subgraph conversion and sparse-only aggregation.
+EpochOutcome MiniBatchPinSageEpoch(const Dataset& ds, const ModelDims& dims,
+                                   const MiniBatchConfig& config, const WalkParams& walks,
+                                   Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_BASELINES_MINIBATCH_H_

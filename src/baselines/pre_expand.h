@@ -1,0 +1,62 @@
+// Pre+DGL (paper §7.2): "simulate" FlexGraph on a GAS framework by
+// pre-computing an expanded graph that materializes the HDGs, then running
+// GAS-like ops on it. Pre-computation is NOT timed (the paper excludes it);
+// the reported epoch covers only computation on the expanded graph.
+//
+//   PinSage: HDGs differ per epoch, so the expanded graph can only be
+//     *approximated*: many offline walks produce per-vertex importance-
+//     weighted candidate lists; each epoch draws top-k neighbors by weighted
+//     sampling and aggregates with DGL kernels.
+//   MAGNN:   HDGs are static, so the expanded graph materializes them
+//     exactly; each epoch runs multiple GAS stages (one per HDG level) with
+//     sparse kernels — no dense schema-level ops, no feature fusion.
+#ifndef SRC_BASELINES_PRE_EXPAND_H_
+#define SRC_BASELINES_PRE_EXPAND_H_
+
+#include <vector>
+
+#include "src/baselines/common.h"
+#include "src/data/datasets.h"
+#include "src/graph/metapath.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+// ---- PinSage ----
+struct PinSageExpandedGraph {
+  // Per-vertex candidate neighbors with visit weights (CSR layout) plus the
+  // per-vertex cumulative weight table used for sampling.
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> candidates;
+  std::vector<float> cumulative_weight;
+};
+
+// Offline pre-computation: `walk_multiplier` × the usual number of walks.
+PinSageExpandedGraph PrecomputePinSageExpandedGraph(const CsrGraph& g, const WalkParams& walks,
+                                                    int walk_multiplier, Rng& rng);
+
+EpochOutcome PreExpandPinSageEpoch(const Dataset& ds, const ModelDims& dims,
+                                   const PinSageExpandedGraph& expanded, const WalkParams& walks,
+                                   Rng& rng);
+
+// ---- MAGNN ----
+struct MagnnExpandedGraph {
+  // Level 3→2: leaves per instance.
+  std::vector<uint64_t> instance_offsets;
+  std::vector<VertexId> leaf_ids;
+  // Level 2→1/0: instance → root and instance → metapath type.
+  std::vector<uint32_t> instance_root;
+  std::vector<uint32_t> instance_type;
+  uint32_t num_types = 0;
+};
+
+MagnnExpandedGraph PrecomputeMagnnExpandedGraph(const CsrGraph& g,
+                                                const std::vector<Metapath>& metapaths,
+                                                std::size_t max_instances_per_path);
+
+EpochOutcome PreExpandMagnnEpoch(const Dataset& ds, const ModelDims& dims,
+                                 const MagnnExpandedGraph& expanded, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_BASELINES_PRE_EXPAND_H_

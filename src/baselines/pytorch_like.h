@@ -1,0 +1,27 @@
+// PyTorch-like executor: models implemented directly on generic sparse tensor
+// ops with no graph-aware runtime (see src/baselines/common.h for the cost
+// mechanisms each epoch reproduces).
+#ifndef SRC_BASELINES_PYTORCH_LIKE_H_
+#define SRC_BASELINES_PYTORCH_LIKE_H_
+
+#include "src/baselines/common.h"
+#include "src/data/datasets.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+EpochOutcome PyTorchLikeGcnEpoch(const Dataset& ds, const ModelDims& dims, Rng& rng);
+
+EpochOutcome PyTorchLikePinSageEpoch(const Dataset& ds, const ModelDims& dims,
+                                     const WalkParams& walks, Rng& rng);
+
+// mem_cap_bytes: budget for the padded instance tensors; when the estimate
+// exceeds it the epoch reports OOM (the paper's Table 2 on Reddit/FB91/
+// Twitter). max_instances_per_path mirrors the FlexGraph MAGNN config.
+EpochOutcome PyTorchLikeMagnnEpoch(const Dataset& ds, const ModelDims& dims,
+                                   uint64_t mem_cap_bytes, std::size_t max_instances_per_path,
+                                   Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_BASELINES_PYTORCH_LIKE_H_

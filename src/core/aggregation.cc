@@ -1,0 +1,167 @@
+#include "src/core/aggregation.h"
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace flexgraph {
+
+std::vector<uint64_t> HdgAggregator::SlotOffsetsCopy() const {
+  const auto offs = hdg_.slot_offsets();
+  return {offs.begin(), offs.end()};
+}
+
+Variable HdgAggregator::BottomLevel(const Variable& vertex_feats, ReduceKind kind) const {
+  const auto leaf_span = hdg_.leaf_vertex_ids();
+  std::vector<VertexId> leaf_ids(leaf_span.begin(), leaf_span.end());
+  std::vector<uint64_t> offsets;
+  if (hdg_.flat()) {
+    offsets = SlotOffsetsCopy();  // instance level == root level
+  } else {
+    const auto offs = hdg_.instance_leaf_offsets();
+    offsets.assign(offs.begin(), offs.end());
+  }
+  WallTimer timer;
+  Variable out = AgIndirectSegmentReduce(vertex_feats, std::move(leaf_ids), std::move(offsets),
+                                         kind, strategy_, stats_);
+  if (stats_ != nullptr) {
+    stats_->bottom_seconds += timer.ElapsedSeconds();
+  }
+  return out;
+}
+
+namespace {
+
+// Leaf ids + bottom-level segment offsets shared by the gather-based paths.
+std::pair<std::vector<VertexId>, std::vector<uint64_t>> BottomLayout(const Hdg& hdg) {
+  const auto leaf_span = hdg.leaf_vertex_ids();
+  std::vector<VertexId> leaf_ids(leaf_span.begin(), leaf_span.end());
+  std::vector<uint64_t> offsets;
+  if (hdg.flat()) {
+    const auto offs = hdg.slot_offsets();
+    offsets.assign(offs.begin(), offs.end());
+  } else {
+    const auto offs = hdg.instance_leaf_offsets();
+    offsets.assign(offs.begin(), offs.end());
+  }
+  return {std::move(leaf_ids), std::move(offsets)};
+}
+
+}  // namespace
+
+Variable HdgAggregator::BottomLevelMax(const Variable& vertex_feats) const {
+  auto [leaf_ids, offsets] = BottomLayout(hdg_);
+  std::vector<uint32_t> gather_index(leaf_ids.begin(), leaf_ids.end());
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += gather_index.size();
+    stats_->materialized_bytes +=
+        gather_index.size() * static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
+  }
+  Variable gathered = AgGatherRows(vertex_feats, std::move(gather_index));
+  return AgSegmentMax(gathered, std::move(offsets));
+}
+
+Variable HdgAggregator::BottomLevelLstm(const Variable& vertex_feats,
+                                        const LstmCell& cell) const {
+  auto [leaf_ids, offsets] = BottomLayout(hdg_);
+  std::vector<uint32_t> gather_index(leaf_ids.begin(), leaf_ids.end());
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += gather_index.size();
+    stats_->materialized_bytes +=
+        gather_index.size() * static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
+  }
+  Variable gathered = AgGatherRows(vertex_feats, std::move(gather_index));
+  return AgSegmentLstm(gathered, std::move(offsets), cell);
+}
+
+Variable HdgAggregator::BottomLevelEdgeAttention(const Variable& transformed,
+                                                 const Variable& src_scores,
+                                                 const Variable& dst_scores,
+                                                 float leaky_slope) const {
+  FLEX_CHECK_MSG(hdg_.flat(), "edge attention targets flat (1-hop style) HDGs");
+  FLEX_CHECK_EQ(src_scores.cols(), 1);
+  FLEX_CHECK_EQ(dst_scores.cols(), 1);
+  auto [leaf_ids, offsets] = BottomLayout(hdg_);
+
+  // Per-edge source gather and per-edge destination broadcast (each root's
+  // score repeated over its segment).
+  std::vector<uint32_t> src_index(leaf_ids.begin(), leaf_ids.end());
+  std::vector<uint32_t> dst_index(leaf_ids.size());
+  const auto roots = hdg_.roots();
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    for (uint64_t e = offsets[s]; e < offsets[s + 1]; ++e) {
+      dst_index[e] = roots[s];
+    }
+  }
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += leaf_ids.size();
+    stats_->materialized_bytes +=
+        leaf_ids.size() * static_cast<uint64_t>(transformed.cols() + 2) * sizeof(float);
+  }
+
+  Variable edge_scores = AgLeakyRelu(
+      AgAdd(AgGatherRows(src_scores, src_index), AgGatherRows(dst_scores, dst_index)),
+      leaky_slope);
+  Variable weights = AgSegmentSoftmax(edge_scores, offsets);
+  Variable messages = AgGatherRows(transformed, std::move(src_index));
+  Variable weighted = AgMulRowScalar(messages, weights);
+  return AgSegmentReduce(weighted, std::move(offsets), ReduceKind::kSum);
+}
+
+Variable HdgAggregator::InstanceLevel(const Variable& instance_feats, ReduceKind kind) const {
+  FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no instance level");
+  FLEX_CHECK_EQ(instance_feats.rows(), static_cast<int64_t>(hdg_.num_instances()));
+  std::vector<uint64_t> offsets = SlotOffsetsCopy();
+  if (strategy_ == ExecStrategy::kSparse) {
+    // Scatter with an explicit index tensor, as a sparse-only runtime would.
+    std::vector<uint32_t> index(static_cast<std::size_t>(instance_feats.rows()));
+    const int64_t num_slots = static_cast<int64_t>(offsets.size()) - 1;
+    for (int64_t s = 0; s < num_slots; ++s) {
+      for (uint64_t i = offsets[static_cast<std::size_t>(s)];
+           i < offsets[static_cast<std::size_t>(s) + 1]; ++i) {
+        index[i] = static_cast<uint32_t>(s);
+      }
+    }
+    if (stats_ != nullptr) {
+      stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
+      stats_->materialized_bytes += index.size() * sizeof(uint32_t);
+    }
+    return AgScatter(instance_feats, std::move(index), num_slots, kind);
+  }
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
+  }
+  return AgSegmentReduce(instance_feats, std::move(offsets), kind);
+}
+
+Variable HdgAggregator::InstanceLevelAttention(const Variable& instance_feats,
+                                               const Variable& scores) const {
+  FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no instance level");
+  FLEX_CHECK_EQ(scores.rows(), instance_feats.rows());
+  FLEX_CHECK_EQ(scores.cols(), 1);
+  std::vector<uint64_t> offsets = SlotOffsetsCopy();
+  Variable weights = AgSegmentSoftmax(scores, offsets);
+  Variable weighted = AgMulRowScalar(instance_feats, weights);
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
+  }
+  return AgSegmentReduce(weighted, std::move(offsets), ReduceKind::kSum);
+}
+
+Variable HdgAggregator::SchemaLevel(const Variable& slot_feats, ReduceKind kind) const {
+  FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no schema level");
+  const int64_t group = hdg_.num_types();
+  FLEX_CHECK_EQ(slot_feats.rows(), static_cast<int64_t>(hdg_.num_roots()) * group);
+  return AgSchemaReduce(slot_feats, group, kind, strategy_, stats_);
+}
+
+Variable HdgAggregator::SchemaLevelConcat(const Variable& slot_feats) const {
+  FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no schema level");
+  const int64_t group = hdg_.num_types();
+  FLEX_CHECK_EQ(slot_feats.rows(), static_cast<int64_t>(hdg_.num_roots()) * group);
+  if (stats_ != nullptr) {
+    stats_->dense_rows += static_cast<uint64_t>(slot_feats.rows());
+  }
+  return AgGroupConcat(slot_feats, group);
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,76 @@
+#include "src/core/engine.h"
+
+#include "src/util/timer.h"
+
+namespace flexgraph {
+
+const Hdg& Engine::EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times) {
+  const bool rebuild =
+      !cached_hdg_.has_value() || model.cache_policy == HdgCachePolicy::kPerEpoch;
+  if (rebuild) {
+    WallTimer timer;
+    cached_hdg_ = BuildHdgAllVertices(model, graph_, rng);
+    if (times != nullptr) {
+      times->neighbor_selection += timer.ElapsedSeconds();
+    }
+  }
+  return *cached_hdg_;
+}
+
+Variable Engine::Forward(const GnnModel& model, const Hdg& hdg, const Tensor& features,
+                         StageTimes* times) {
+  FLEX_CHECK(!model.layers.empty());
+  FLEX_CHECK_EQ(features.rows(), static_cast<int64_t>(graph_.num_vertices()));
+  HdgAggregator aggregator(hdg, strategy_, &stats_);
+  Variable feats = Variable::Leaf(features);
+  for (const auto& layer : model.layers) {
+    Variable nbr;
+    {
+      WallTimer timer;
+      nbr = layer->Aggregate(feats, aggregator);
+      if (times != nullptr) {
+        times->aggregation += timer.ElapsedSeconds();
+      }
+    }
+    {
+      WallTimer timer;
+      feats = layer->Update(feats, nbr);
+      if (times != nullptr) {
+        times->update += timer.ElapsedSeconds();
+      }
+    }
+  }
+  return feats;
+}
+
+EpochResult Engine::TrainEpoch(const GnnModel& model, const Tensor& features,
+                               const std::vector<uint32_t>& labels, const SgdOptimizer& opt,
+                               Rng& rng) {
+  EpochResult result;
+  const Hdg& hdg = EnsureHdg(model, rng, &result.times);
+  Variable logits = Forward(model, hdg, features, &result.times);
+  Variable loss = AgSoftmaxCrossEntropy(logits, labels);
+  result.loss = loss.value().At(0, 0);
+
+  std::vector<Variable> params = model.Parameters();
+  {
+    WallTimer timer;
+    loss.Backward();
+    result.times.backward = timer.ElapsedSeconds();
+  }
+  {
+    WallTimer timer;
+    opt.Step(params);
+    SgdOptimizer::ZeroGrad(params);
+    result.times.optimize = timer.ElapsedSeconds();
+  }
+  return result;
+}
+
+Tensor Engine::Infer(const GnnModel& model, const Tensor& features, Rng& rng, StageTimes* times) {
+  const Hdg& hdg = EnsureHdg(model, rng, times);
+  Variable logits = Forward(model, hdg, features, times);
+  return logits.value();
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,81 @@
+// Single-machine GNN execution engine: drives the NAU stages over a model,
+// owns the HDG cache (per the model's cache policy), and times each stage for
+// the Table-4 breakdown. The distributed runtime in src/dist composes one of
+// these per worker.
+#ifndef SRC_CORE_ENGINE_H_
+#define SRC_CORE_ENGINE_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/core/nau.h"
+#include "src/core/neighbor_selection.h"
+#include "src/tensor/nn.h"
+
+namespace flexgraph {
+
+struct StageTimes {
+  double neighbor_selection = 0.0;
+  double aggregation = 0.0;
+  double update = 0.0;
+  double backward = 0.0;
+  double optimize = 0.0;
+
+  double ForwardTotal() const { return neighbor_selection + aggregation + update; }
+  double Total() const { return ForwardTotal() + backward + optimize; }
+
+  StageTimes& operator+=(const StageTimes& other) {
+    neighbor_selection += other.neighbor_selection;
+    aggregation += other.aggregation;
+    update += other.update;
+    backward += other.backward;
+    optimize += other.optimize;
+    return *this;
+  }
+};
+
+struct EpochResult {
+  float loss = 0.0f;
+  StageTimes times;
+};
+
+class Engine {
+ public:
+  Engine(const CsrGraph& graph, ExecStrategy strategy = ExecStrategy::kHybrid)
+      : graph_(graph), strategy_(strategy) {}
+
+  const CsrGraph& graph() const { return graph_; }
+  ExecStrategy strategy() const { return strategy_; }
+  AggregationStats& stats() { return stats_; }
+
+  // Returns the HDGs to use for this epoch, rebuilding per the cache policy.
+  // Respects §3.2's discussion: PinSage rebuilds per epoch, GCN/MAGNN reuse
+  // one HDG for the whole run. Rebuild time is added to times->neighbor_selection.
+  const Hdg& EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times);
+
+  // Forward pass through all layers: features for every graph vertex in,
+  // final-layer features (logits) out.
+  Variable Forward(const GnnModel& model, const Hdg& hdg, const Tensor& features,
+                   StageTimes* times);
+
+  // Full supervised training epoch: forward, mean softmax cross-entropy over
+  // all vertices, backward, SGD step.
+  EpochResult TrainEpoch(const GnnModel& model, const Tensor& features,
+                         const std::vector<uint32_t>& labels, const SgdOptimizer& opt, Rng& rng);
+
+  // Inference-only epoch (used by the stage-breakdown bench).
+  Tensor Infer(const GnnModel& model, const Tensor& features, Rng& rng, StageTimes* times);
+
+  // Drops the cached HDGs (e.g. when switching models on a shared engine).
+  void InvalidateHdgCache() { cached_hdg_.reset(); }
+
+ private:
+  const CsrGraph& graph_;
+  ExecStrategy strategy_;
+  std::optional<Hdg> cached_hdg_;
+  AggregationStats stats_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_ENGINE_H_

@@ -1,0 +1,36 @@
+// Execution strategies for hierarchical aggregation (paper §4.2, §7.5):
+//   SA      — sparse scatter ops everywhere; edge/leaf messages are gathered
+//             into an explicit [E, d] tensor before reduction (the behaviour
+//             of PyG/PyTorch scatter pipelines the paper measures against).
+//   SA+FA   — the bottom (neighbor-instance) level uses *feature fusion*: a
+//             graph-style vertex reduce that streams source rows straight
+//             into per-destination accumulators, materializing nothing.
+//   HA      — SA+FA plus *dense* tensor ops (reshape + reduce) for the
+//             schema-tree levels, whose regular shape makes dense kernels
+//             applicable.
+#ifndef SRC_CORE_EXEC_STRATEGY_H_
+#define SRC_CORE_EXEC_STRATEGY_H_
+
+namespace flexgraph {
+
+enum class ExecStrategy {
+  kSparse,       // SA
+  kSparseFused,  // SA+FA
+  kHybrid,       // HA (FlexGraph default)
+};
+
+inline const char* ExecStrategyName(ExecStrategy s) {
+  switch (s) {
+    case ExecStrategy::kSparse:
+      return "SA";
+    case ExecStrategy::kSparseFused:
+      return "SA+FA";
+    case ExecStrategy::kHybrid:
+      return "HA";
+  }
+  return "?";
+}
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_EXEC_STRATEGY_H_

@@ -1,0 +1,178 @@
+#include "src/core/fused_ops.h"
+
+#include <cstring>
+
+#include "src/tensor/ops_dense.h"
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+Tensor FusedSegmentGatherReduce(const Tensor& x, const std::vector<VertexId>& leaf_ids,
+                                const std::vector<uint64_t>& offsets, ReduceKind kind) {
+  FLEX_CHECK_GE(offsets.size(), 1u);
+  FLEX_CHECK_EQ(offsets.back(), leaf_ids.size());
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  const int64_t d = x.cols();
+  Tensor out(num_segments, d);
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+    if (lo == hi) {
+      continue;
+    }
+    float* __restrict orow = out.Row(s);
+    if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
+      std::memcpy(orow, x.Row(static_cast<int64_t>(leaf_ids[lo])),
+                  static_cast<std::size_t>(d) * sizeof(float));
+      for (uint64_t e = lo + 1; e < hi; ++e) {
+        const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
+        if (kind == ReduceKind::kMax) {
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = orow[j] > src[j] ? orow[j] : src[j];
+          }
+        } else {
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = orow[j] < src[j] ? orow[j] : src[j];
+          }
+        }
+      }
+      continue;
+    }
+    // Sum/mean: accumulate source rows directly into the destination buffer —
+    // no per-edge message tensor exists. The inner loop is contiguous over d
+    // so the compiler vectorizes it (the paper's AVX feature-fusion path).
+    for (uint64_t e = lo; e < hi; ++e) {
+      const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] += src[j];
+      }
+    }
+    if (kind == ReduceKind::kMean) {
+      const float inv = 1.0f / static_cast<float>(hi - lo);
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+// Shared backward for the indirect segment reduce: route each output-segment
+// gradient back to the source rows that fed it.
+Tensor IndirectSegmentReduceBackward(const Tensor& grad_out, const std::vector<VertexId>& leaf_ids,
+                                     const std::vector<uint64_t>& offsets, ReduceKind kind,
+                                     int64_t src_rows, int64_t d) {
+  Tensor gx(src_rows, d);
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+    if (lo == hi) {
+      continue;
+    }
+    const float scale = kind == ReduceKind::kMean ? 1.0f / static_cast<float>(hi - lo) : 1.0f;
+    const float* __restrict grow = grad_out.Row(s);
+    for (uint64_t e = lo; e < hi; ++e) {
+      float* __restrict dst = gx.Row(static_cast<int64_t>(leaf_ids[e]));
+      for (int64_t j = 0; j < d; ++j) {
+        dst[j] += grow[j] * scale;
+      }
+    }
+  }
+  return gx;
+}
+
+}  // namespace
+
+Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_ids,
+                                 std::vector<uint64_t> offsets, ReduceKind kind,
+                                 ExecStrategy strategy, AggregationStats* stats) {
+  FLEX_CHECK_MSG(kind == ReduceKind::kSum || kind == ReduceKind::kMean,
+                 "differentiable aggregation supports sum/mean");
+  const int64_t d = x.cols();
+  const int64_t src_rows = x.rows();
+  Tensor out;
+
+  if (strategy == ExecStrategy::kSparse) {
+    // SA: materialize the gathered message tensor, then scatter-reduce it
+    // with an explicit COO destination index — two [E, d]-sized passes plus
+    // an [E]-sized index, which is exactly the overhead feature fusion
+    // removes.
+    Tensor gathered = GatherRows(x.value(), leaf_ids);
+    std::vector<uint32_t> dst_index(leaf_ids.size());
+    const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+    for (int64_t s = 0; s < num_segments; ++s) {
+      for (uint64_t e = offsets[static_cast<std::size_t>(s)];
+           e < offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+        dst_index[e] = static_cast<uint32_t>(s);
+      }
+    }
+    if (stats != nullptr) {
+      stats->materialized_bytes += gathered.ByteSize() + dst_index.size() * sizeof(uint32_t);
+      stats->sparse_rows += static_cast<uint64_t>(gathered.rows());
+    }
+    out = Scatter(gathered, dst_index, num_segments, kind);
+  } else {
+    // FA: fused gather-reduce.
+    out = FusedSegmentGatherReduce(x.value(), leaf_ids, offsets, kind);
+    if (stats != nullptr) {
+      stats->fused_rows += leaf_ids.size();
+    }
+  }
+
+  auto xn = x.node();
+  auto ids = std::make_shared<std::vector<VertexId>>(std::move(leaf_ids));
+  auto offs = std::make_shared<std::vector<uint64_t>>(std::move(offsets));
+  return MakeVariable(std::move(out), {x}, [xn, ids, offs, kind, src_rows, d](AgNode& self) {
+    xn->AccumulateGrad(
+        IndirectSegmentReduceBackward(self.grad(), *ids, *offs, kind, src_rows, d));
+  });
+}
+
+Variable AgSchemaReduce(const Variable& slots, int64_t group, ReduceKind kind,
+                        ExecStrategy strategy, AggregationStats* stats) {
+  FLEX_CHECK_EQ(slots.rows() % group, 0);
+  if (strategy == ExecStrategy::kHybrid) {
+    // Dense path: [R·T, d] viewed as [R, T, d], reduced over T — a reshape
+    // plus a regular reduction, no index tensors at all (paper Figure 10).
+    if (stats != nullptr) {
+      stats->dense_rows += static_cast<uint64_t>(slots.rows());
+    }
+    return kind == ReduceKind::kMean ? AgGroupMean(slots, group) : AgGroupSum(slots, group);
+  }
+  // Sparse path: the same reduction executed as a scatter with an explicit
+  // index tensor, as a sparse-only runtime would.
+  const int64_t out_rows = slots.rows() / group;
+  std::vector<uint32_t> index(static_cast<std::size_t>(slots.rows()));
+  for (int64_t i = 0; i < slots.rows(); ++i) {
+    index[static_cast<std::size_t>(i)] = static_cast<uint32_t>(i / group);
+  }
+  if (stats != nullptr) {
+    stats->sparse_rows += static_cast<uint64_t>(slots.rows());
+    stats->materialized_bytes += index.size() * sizeof(uint32_t);
+  }
+  return AgScatter(slots, std::move(index), out_rows, kind);
+}
+
+Variable AgGroupConcat(const Variable& x, int64_t group) {
+  FLEX_CHECK_EQ(x.rows() % group, 0);
+  const int64_t n = x.rows() / group;
+  const int64_t d = x.cols();
+  // Row-major [n·g, d] and [n, g·d] share the same linear layout; the forward
+  // is a straight copy and the backward the inverse copy.
+  Tensor out(n, group * d);
+  std::memcpy(out.data(), x.value().data(),
+              static_cast<std::size_t>(x.value().numel()) * sizeof(float));
+  auto xn = x.node();
+  const int64_t rows = x.rows();
+  return MakeVariable(std::move(out), {x}, [xn, rows, d](AgNode& self) {
+    Tensor g(rows, d);
+    std::memcpy(g.data(), self.grad().data(),
+                static_cast<std::size_t>(g.numel()) * sizeof(float));
+    xn->AccumulateGrad(g);
+  });
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,62 @@
+// Differentiable aggregation kernels parameterized by execution strategy.
+//
+// The central op is an *indirect segment reduce*:
+//     out[s] = reduce_{e ∈ [offsets[s], offsets[s+1])} x[leaf_ids[e]]
+// which is exactly "aggregate the features of a destination's sources" for
+// one HDG level. The sparse (SA) path materializes the gathered [E, d]
+// message tensor first — modelling scatter-op pipelines — while the fused
+// (FA) path streams source rows into per-destination accumulators with a
+// contiguous, auto-vectorizable inner loop (the paper's SIMD feature fusion).
+// Both paths share one backward: grad_x[leaf_ids[e]] += grad_out[segment(e)].
+#ifndef SRC_CORE_FUSED_OPS_H_
+#define SRC_CORE_FUSED_OPS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/core/exec_strategy.h"
+#include "src/graph/graph_types.h"
+#include "src/tensor/autograd.h"
+
+namespace flexgraph {
+
+// Counters exposed so tests and the Table-2 analysis can verify *why* a
+// strategy is slow (bytes materialized) rather than trusting wall clock only.
+struct AggregationStats {
+  uint64_t materialized_bytes = 0;  // bytes of intermediate [E, d] tensors
+  uint64_t fused_rows = 0;          // rows reduced through the fused kernel
+  uint64_t sparse_rows = 0;         // rows reduced through scatter ops
+  uint64_t dense_rows = 0;          // rows reduced through dense group ops
+  double bottom_seconds = 0.0;      // wall time spent in bottom-level reduces
+                                    // (feeds the distributed pipeline model)
+
+  void Reset() { *this = AggregationStats(); }
+};
+
+// The raw fused forward kernel (no autograd): for each segment s reduce the
+// rows x[leaf_ids[e]]. kind may be kSum/kMean/kMax/kMin.
+Tensor FusedSegmentGatherReduce(const Tensor& x, const std::vector<VertexId>& leaf_ids,
+                                const std::vector<uint64_t>& offsets, ReduceKind kind);
+
+// Differentiable indirect segment reduce with strategy-selected forward.
+// kind must be kSum or kMean (the differentiable aggregators GNNs use).
+// stats may be null.
+Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_ids,
+                                 std::vector<uint64_t> offsets, ReduceKind kind,
+                                 ExecStrategy strategy, AggregationStats* stats);
+
+// Dense schema-level reduce with strategy selection: under kHybrid this is a
+// reshape+reduce (AgGroupSum/Mean); under SA/SA+FA the same math runs through
+// a scatter op with an explicit index tensor, modelling sparse execution of
+// the schema level. group = number of consecutive rows per output row.
+Variable AgSchemaReduce(const Variable& slots, int64_t group, ReduceKind kind,
+                        ExecStrategy strategy, AggregationStats* stats);
+
+// Concatenation across a group of consecutive rows: [n·g, d] → [n, g·d].
+// Row-major layout makes this a pure reshape (no data movement beyond the
+// copy into the new tensor). Used by JK-Net's cross-hop concat.
+Variable AgGroupConcat(const Variable& x, int64_t group);
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_FUSED_OPS_H_

@@ -1,0 +1,17 @@
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+void GnnLayer::CollectParameters(std::vector<Variable>& params) const {
+  (void)params;  // stateless layers contribute nothing
+}
+
+std::vector<Variable> GnnModel::Parameters() const {
+  std::vector<Variable> params;
+  for (const auto& layer : layers) {
+    layer->CollectParameters(params);
+  }
+  return params;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,82 @@
+// NAU — the three-stage GNN programming abstraction (paper §3.2, Figure 4):
+//
+//   NeighborSelection(g, schema, nbr_udf) → HDGs
+//   Aggregation(feas⁽ᵏ⁻¹⁾, HDGs)          → nbr_feas⁽ᵏ⁾
+//   Update(feas⁽ᵏ⁻¹⁾, nbr_feas⁽ᵏ⁾)        → feas⁽ᵏ⁾
+//
+// A GnnModel supplies a schema tree, a neighbor-selection UDF (how each root
+// retrieves its "neighbors" from the input graph — Figure 5), an HDG cache
+// policy (HDGs may be shared across layers, epochs, or the whole training,
+// §3.2 Discussion), and a stack of layers, each implementing Aggregation
+// (against an HdgAggregator) and Update (dense NN ops only).
+#ifndef SRC_CORE_NAU_H_
+#define SRC_CORE_NAU_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/aggregation.h"
+#include "src/graph/csr_graph.h"
+#include "src/hdg/hdg.h"
+#include "src/hdg/schema_tree.h"
+#include "src/tensor/autograd.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+// How long an HDG stays valid (paper §3.2 Discussion):
+//   kStatic   — neighbors don't change across training (GCN, MAGNN, JK-Net):
+//               build once, reuse for the whole run.
+//   kPerEpoch — stochastic neighbor selection (PinSage's random walks):
+//               rebuild at the start of every epoch, share across layers.
+enum class HdgCachePolicy {
+  kStatic,
+  kPerEpoch,
+};
+
+struct NeighborSelectionContext {
+  const CsrGraph& graph;
+  Rng& rng;
+};
+
+// Called once per root; appends that root's neighbor records to the builder.
+using NeighborUdf =
+    std::function<void(const NeighborSelectionContext&, VertexId root, HdgBuilder&)>;
+
+// One GNN layer: the Aggregation and Update stages. Aggregation receives the
+// previous layer's features for *all graph vertices* plus an aggregator bound
+// to the HDGs and the active execution strategy.
+class GnnLayer {
+ public:
+  virtual ~GnnLayer() = default;
+
+  virtual Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const = 0;
+  virtual Variable Update(const Variable& feats, const Variable& nbr_feats) const = 0;
+
+  // Appends trainable parameters (default: none).
+  virtual void CollectParameters(std::vector<Variable>& params) const;
+};
+
+struct GnnModel {
+  std::string name;
+  SchemaTree schema = SchemaTree::Flat();
+  HdgCachePolicy cache_policy = HdgCachePolicy::kStatic;
+  NeighborUdf neighbor_udf;
+  // DNFA fast path (paper §7.8): when the neighborhood is exactly the 1-hop
+  // in-neighbors, the input graph *is* the HDG — engines slice the adjacency
+  // directly instead of running the UDF + record sort.
+  bool hdg_from_input_graph = false;
+  // False when the bottom-level aggregator is order-dependent (e.g. LSTM).
+  // Partial aggregation is then unavailable and the distributed runtime uses
+  // batched raw communication (paper §5, last paragraph).
+  bool bottom_reduce_commutative = true;
+  std::vector<std::unique_ptr<GnnLayer>> layers;
+
+  std::vector<Variable> Parameters() const;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_NAU_H_

@@ -1,0 +1,29 @@
+#include "src/core/neighbor_selection.h"
+
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+Hdg BuildHdgForRoots(const GnnModel& model, const CsrGraph& graph, std::vector<VertexId> roots,
+                     Rng& rng) {
+  if (model.hdg_from_input_graph) {
+    return FlatHdgFromInNeighbors(graph, std::move(roots));
+  }
+  FLEX_CHECK_MSG(static_cast<bool>(model.neighbor_udf), "model has no neighbor UDF");
+  HdgBuilder builder(model.schema, roots);
+  NeighborSelectionContext ctx{graph, rng};
+  for (VertexId root : roots) {
+    model.neighbor_udf(ctx, root, builder);
+  }
+  return builder.Build();
+}
+
+Hdg BuildHdgAllVertices(const GnnModel& model, const CsrGraph& graph, Rng& rng) {
+  std::vector<VertexId> roots(graph.num_vertices());
+  std::iota(roots.begin(), roots.end(), 0);
+  return BuildHdgForRoots(model, graph, std::move(roots), rng);
+}
+
+}  // namespace flexgraph

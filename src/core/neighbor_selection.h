@@ -1,0 +1,22 @@
+// The NeighborSelection stage: runs the model's neighbor UDF over a set of
+// roots and freezes the resulting records into an Hdg (paper §3.2, §4.1).
+#ifndef SRC_CORE_NEIGHBOR_SELECTION_H_
+#define SRC_CORE_NEIGHBOR_SELECTION_H_
+
+#include <vector>
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+// Builds the HDGs for the given roots. Every vertex in `roots` becomes a
+// level-0 root of the result; the UDF decides its neighbors.
+Hdg BuildHdgForRoots(const GnnModel& model, const CsrGraph& graph,
+                     std::vector<VertexId> roots, Rng& rng);
+
+// Convenience: all graph vertices as roots (single-machine training).
+Hdg BuildHdgAllVertices(const GnnModel& model, const CsrGraph& graph, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_NEIGHBOR_SELECTION_H_

@@ -1,0 +1,23 @@
+// Neighbor-sampling UDFs: composable NeighborSelection strategies that bound
+// neighborhood sizes, in the spirit of the sampling engines the paper's §8
+// discusses (AliGraph/Euler). Sampled neighborhoods are stochastic, so models
+// using them should set HdgCachePolicy::kPerEpoch.
+#ifndef SRC_CORE_SAMPLING_H_
+#define SRC_CORE_SAMPLING_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+// Uniformly samples up to `fanout` distinct 1-hop neighbors per root
+// (all neighbors when degree ≤ fanout). fanout must be ≥ 1.
+NeighborUdf UniformSampledNeighborUdf(int fanout);
+
+// Degree-proportional sampling *with replacement*: high-degree neighbors are
+// picked more often (each root draws `fanout` neighbors, duplicates removed).
+// A cheap approximation of importance-based selection that needs no walks.
+NeighborUdf DegreeBiasedNeighborUdf(int fanout);
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_SAMPLING_H_

@@ -1,0 +1,119 @@
+#include "src/core/trainer.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+DataSplit RandomSplit(VertexId num_vertices, double train_fraction, double val_fraction,
+                      Rng& rng) {
+  FLEX_CHECK_GE(train_fraction, 0.0);
+  FLEX_CHECK_GE(val_fraction, 0.0);
+  FLEX_CHECK_LE(train_fraction + val_fraction, 1.0);
+  std::vector<uint32_t> order(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    order[v] = v;
+  }
+  // Fisher–Yates with the caller's rng.
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  DataSplit split;
+  const auto train_end = static_cast<std::size_t>(train_fraction * num_vertices);
+  const auto val_end =
+      train_end + static_cast<std::size_t>(val_fraction * num_vertices);
+  split.train.assign(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(train_end));
+  split.val.assign(order.begin() + static_cast<std::ptrdiff_t>(train_end),
+                   order.begin() + static_cast<std::ptrdiff_t>(val_end));
+  split.test.assign(order.begin() + static_cast<std::ptrdiff_t>(val_end), order.end());
+  return split;
+}
+
+Variable MaskedSoftmaxCrossEntropy(const Variable& logits, const std::vector<uint32_t>& index,
+                                   const std::vector<uint32_t>& labels) {
+  FLEX_CHECK(!index.empty());
+  Variable selected = AgGatherRows(logits, index);
+  std::vector<uint32_t> selected_labels;
+  selected_labels.reserve(index.size());
+  for (uint32_t i : index) {
+    FLEX_CHECK_LT(i, labels.size());
+    selected_labels.push_back(labels[i]);
+  }
+  return AgSoftmaxCrossEntropy(selected, std::move(selected_labels));
+}
+
+float MaskedAccuracy(const Tensor& logits, const std::vector<uint32_t>& index,
+                     const std::vector<uint32_t>& labels) {
+  if (index.empty()) {
+    return 0.0f;
+  }
+  int64_t correct = 0;
+  for (uint32_t i : index) {
+    const float* row = logits.Row(static_cast<int64_t>(i));
+    int64_t best = 0;
+    for (int64_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) {
+        best = j;
+      }
+    }
+    if (static_cast<uint32_t>(best) == labels[i]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(index.size());
+}
+
+TrainerResult Trainer::Fit(const GnnModel& model, const Tensor& features,
+                           const std::vector<uint32_t>& labels, const DataSplit& split,
+                           Rng& rng) {
+  FLEX_CHECK(!split.train.empty());
+  TrainerResult result;
+  std::vector<Variable> params = model.Parameters();
+  SgdOptimizer opt(options_.learning_rate, options_.weight_decay);
+  int epochs_since_best = 0;
+
+  for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    StageTimes times;
+    const Hdg& hdg = engine_.EnsureHdg(model, rng, &times);
+    Variable logits = engine_.Forward(model, hdg, features, &times);
+    Variable loss = MaskedSoftmaxCrossEntropy(logits, split.train, labels);
+    loss.Backward();
+    opt.Step(params);
+    SgdOptimizer::ZeroGrad(params);
+
+    EpochMetrics metrics;
+    metrics.epoch = epoch;
+    metrics.train_loss = loss.value().At(0, 0);
+    metrics.val_accuracy =
+        split.val.empty() ? 0.0f : MaskedAccuracy(logits.value(), split.val, labels);
+    result.history.push_back(metrics);
+
+    if (metrics.val_accuracy > result.best_val_accuracy || result.best_epoch < 0) {
+      result.best_val_accuracy = metrics.val_accuracy;
+      result.best_epoch = epoch;
+      epochs_since_best = 0;
+    } else {
+      ++epochs_since_best;
+    }
+    if (options_.on_epoch &&
+        !options_.on_epoch(epoch, metrics.train_loss, metrics.val_accuracy)) {
+      result.early_stopped = true;
+      break;
+    }
+    if (options_.early_stop_patience > 0 &&
+        epochs_since_best >= options_.early_stop_patience) {
+      result.early_stopped = true;
+      break;
+    }
+  }
+
+  if (!split.test.empty()) {
+    StageTimes times;
+    Tensor logits = engine_.Infer(model, features, rng, &times);
+    result.test_accuracy = MaskedAccuracy(logits, split.test, labels);
+  }
+  return result;
+}
+
+}  // namespace flexgraph

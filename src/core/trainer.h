@@ -1,0 +1,74 @@
+// High-level supervised training loop on top of the engine: train/val/test
+// splits, masked loss (only the training vertices contribute gradients — the
+// standard semi-supervised GNN setup), per-epoch metrics, and optional early
+// stopping + checkpointing hooks.
+#ifndef SRC_CORE_TRAINER_H_
+#define SRC_CORE_TRAINER_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/core/engine.h"
+
+namespace flexgraph {
+
+// Disjoint vertex-index sets. Produced by RandomSplit or supplied by the user.
+struct DataSplit {
+  std::vector<uint32_t> train;
+  std::vector<uint32_t> val;
+  std::vector<uint32_t> test;
+};
+
+// Random split by fractions (test gets the remainder).
+DataSplit RandomSplit(VertexId num_vertices, double train_fraction, double val_fraction,
+                      Rng& rng);
+
+struct TrainerOptions {
+  int max_epochs = 100;
+  float learning_rate = 0.1f;
+  float weight_decay = 0.0f;
+  // Stop when validation accuracy has not improved for this many epochs
+  // (0 disables early stopping).
+  int early_stop_patience = 0;
+  // Called after every epoch; return false to stop training (checkpoint hook).
+  std::function<bool(int epoch, float train_loss, float val_accuracy)> on_epoch;
+};
+
+struct EpochMetrics {
+  int epoch = 0;
+  float train_loss = 0.0f;
+  float val_accuracy = 0.0f;
+};
+
+struct TrainerResult {
+  std::vector<EpochMetrics> history;
+  float best_val_accuracy = 0.0f;
+  int best_epoch = -1;
+  float test_accuracy = 0.0f;
+  bool early_stopped = false;
+};
+
+// Cross-entropy restricted to the rows in `index` (differentiable through the
+// gather, so only those vertices produce gradients).
+Variable MaskedSoftmaxCrossEntropy(const Variable& logits, const std::vector<uint32_t>& index,
+                                   const std::vector<uint32_t>& labels);
+
+// Accuracy over the rows in `index`.
+float MaskedAccuracy(const Tensor& logits, const std::vector<uint32_t>& index,
+                     const std::vector<uint32_t>& labels);
+
+class Trainer {
+ public:
+  Trainer(Engine& engine, TrainerOptions options) : engine_(engine), options_(options) {}
+
+  TrainerResult Fit(const GnnModel& model, const Tensor& features,
+                    const std::vector<uint32_t>& labels, const DataSplit& split, Rng& rng);
+
+ private:
+  Engine& engine_;
+  TrainerOptions options_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_CORE_TRAINER_H_

@@ -1,0 +1,175 @@
+#include "src/data/datasets.h"
+
+#include <algorithm>
+
+#include "src/data/synthetic.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+Tensor MakeClassFeatures(const std::vector<uint32_t>& labels, int num_classes, int64_t dim,
+                         float noise, uint64_t seed) {
+  Rng rng(seed);
+  Tensor means(num_classes, dim);
+  for (int64_t i = 0; i < means.numel(); ++i) {
+    means.data()[i] = rng.NextUniform(-1.0f, 1.0f);
+  }
+  Tensor features(static_cast<int64_t>(labels.size()), dim);
+  for (std::size_t v = 0; v < labels.size(); ++v) {
+    FLEX_CHECK_LT(static_cast<int>(labels[v]), num_classes);
+    const float* mean = means.Row(static_cast<int64_t>(labels[v]));
+    float* row = features.Row(static_cast<int64_t>(v));
+    for (int64_t j = 0; j < dim; ++j) {
+      row[j] = mean[j] + noise * rng.NextUniform(-1.0f, 1.0f);
+    }
+  }
+  return features;
+}
+
+namespace {
+
+std::vector<uint32_t> LabelsFromHash(VertexId n, int num_classes, uint64_t seed) {
+  std::vector<uint32_t> labels(n);
+  Rng rng(seed);
+  for (VertexId v = 0; v < n; ++v) {
+    labels[v] = static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(num_classes)));
+  }
+  return labels;
+}
+
+}  // namespace
+
+Dataset MakeRedditLike(double scale, uint64_t seed) {
+  CommunityGraphParams params;
+  params.num_vertices = static_cast<VertexId>(8192 * scale);
+  params.num_communities = 32;
+  params.intra_degree = 40.0;  // dense: Reddit averages ~50 (per Table 1: 11.6M/233K)
+  params.inter_degree = 4.0;
+  params.seed = seed;
+
+  Dataset ds;
+  ds.name = "reddit";
+  ds.graph = GenerateCommunityGraph(params);
+  ds.num_classes = 16;
+  // Community-aligned labels: community id mod classes, as in the real Reddit
+  // task where subreddit ≈ label.
+  const VertexId community_size = params.num_vertices / params.num_communities;
+  ds.labels.resize(ds.graph.num_vertices());
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    const uint32_t community =
+        std::min<uint32_t>(v / community_size, params.num_communities - 1);
+    ds.labels[v] = community % static_cast<uint32_t>(ds.num_classes);
+  }
+  ds.features = MakeClassFeatures(ds.labels, ds.num_classes, 128, 0.6f, seed + 17);
+  return ds;
+}
+
+Dataset MakeFb91Like(double scale, uint64_t seed) {
+  PowerLawGraphParams params;
+  params.num_vertices = static_cast<VertexId>(16384 * scale);
+  params.avg_degree = 12.0;
+  params.zipf_exponent = 2.1;
+  params.seed = seed;
+
+  Dataset ds;
+  ds.name = "fb91";
+  ds.graph = GeneratePowerLawGraph(params);
+  ds.num_classes = 10;
+  ds.labels = LabelsFromHash(ds.graph.num_vertices(), ds.num_classes, seed + 3);
+  ds.features = MakeClassFeatures(ds.labels, ds.num_classes, 64, 0.8f, seed + 19);
+  return ds;
+}
+
+Dataset MakeTwitterLike(double scale, uint64_t seed) {
+  PowerLawGraphParams params;
+  params.num_vertices = static_cast<VertexId>(20480 * scale);
+  params.avg_degree = 14.0;
+  params.zipf_exponent = 1.8;  // heavier skew than FB91
+  params.seed = seed;
+
+  Dataset ds;
+  ds.name = "twitter";
+  ds.graph = GeneratePowerLawGraph(params);
+  ds.num_classes = 5;
+  ds.labels = LabelsFromHash(ds.graph.num_vertices(), ds.num_classes, seed + 5);
+  ds.features = MakeClassFeatures(ds.labels, ds.num_classes, 64, 0.8f, seed + 23);
+  return ds;
+}
+
+Dataset MakeImdbLike(double scale, uint64_t seed) {
+  TripartiteGraphParams params;
+  params.num_subjects = static_cast<VertexId>(2000 * scale);
+  params.num_type1 = static_cast<VertexId>(300 * scale);
+  params.num_type2 = static_cast<VertexId>(1200 * scale);
+  params.links_type1 = 1;
+  params.links_type2 = 3;
+  params.seed = seed;
+
+  Dataset ds;
+  ds.name = "imdb";
+  ds.graph = GenerateTripartiteGraph(params);
+  ds.num_classes = 4;
+  // Genre-style labels: every director (type 1) has a genre; movies (type 0)
+  // inherit their director's genre; actors (type 2) inherit their first
+  // movie's. Labels then correlate with metapath neighborhoods, so INHA
+  // models have something to learn.
+  ds.labels.assign(ds.graph.num_vertices(), 0);
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (ds.graph.TypeOf(v) == 1) {
+      ds.labels[v] = v % static_cast<uint32_t>(ds.num_classes);
+    }
+  }
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (ds.graph.TypeOf(v) == 0) {
+      for (VertexId u : ds.graph.OutNeighbors(v)) {
+        if (ds.graph.TypeOf(u) == 1) {
+          ds.labels[v] = ds.labels[u];
+          break;
+        }
+      }
+    }
+  }
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    if (ds.graph.TypeOf(v) == 2) {
+      const auto nbrs = ds.graph.OutNeighbors(v);
+      if (!nbrs.empty()) {
+        ds.labels[v] = ds.labels[nbrs[0]];
+      }
+    }
+  }
+  ds.features = MakeClassFeatures(ds.labels, ds.num_classes, 64, 0.7f, seed + 29);
+  return ds;
+}
+
+Dataset WithSyntheticVertexTypes(const Dataset& ds, int num_types) {
+  GraphBuilder builder(ds.graph.num_vertices(), num_types);
+  for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+    builder.SetVertexType(v, static_cast<VertexType>(v % num_types));
+    for (VertexId u : ds.graph.OutNeighbors(v)) {
+      builder.AddEdge(v, u);
+    }
+  }
+  Dataset typed = ds;
+  typed.graph = builder.Build();
+  return typed;
+}
+
+Dataset MakeDatasetByName(const std::string& name, double scale, uint64_t seed) {
+  if (name == "reddit") {
+    return MakeRedditLike(scale, seed);
+  }
+  if (name == "fb91") {
+    return MakeFb91Like(scale, seed);
+  }
+  if (name == "twitter") {
+    return MakeTwitterLike(scale, seed);
+  }
+  if (name == "imdb") {
+    return MakeImdbLike(scale, seed);
+  }
+  FLEX_CHECK_MSG(false, "unknown dataset: " + name);
+  return {};
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,108 @@
+#include "src/data/synthetic.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+CsrGraph GenerateCommunityGraph(const CommunityGraphParams& params) {
+  const VertexId n = params.num_vertices;
+  const uint32_t c = params.num_communities;
+  FLEX_CHECK_GE(n, c);
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+  const VertexId community_size = n / c;
+
+  auto community_of = [&](VertexId v) { return std::min<uint32_t>(v / community_size, c - 1); };
+  auto random_in_community = [&](uint32_t community) -> VertexId {
+    const VertexId lo = community * community_size;
+    const VertexId hi = (community == c - 1) ? n : lo + community_size;
+    return lo + static_cast<VertexId>(rng.NextBounded(hi - lo));
+  };
+
+  for (VertexId v = 0; v < n; ++v) {
+    const uint32_t community = community_of(v);
+    const auto intra = static_cast<uint32_t>(params.intra_degree / 2.0);
+    for (uint32_t e = 0; e < intra; ++e) {
+      VertexId u = random_in_community(community);
+      if (u != v) {
+        builder.AddUndirectedEdge(v, u);
+      }
+    }
+    const auto inter = static_cast<uint32_t>(params.inter_degree / 2.0);
+    for (uint32_t e = 0; e < inter; ++e) {
+      VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+      if (u != v) {
+        builder.AddUndirectedEdge(v, u);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+CsrGraph GeneratePowerLawGraph(const PowerLawGraphParams& params) {
+  const VertexId n = params.num_vertices;
+  Rng rng(params.seed);
+  GraphBuilder builder(n);
+
+  // Precompute the Zipf CDF over vertex popularity ranks: vertex v has weight
+  // (v+1)^-alpha. Sampling via binary search over the CDF keeps generation
+  // O(m log n).
+  std::vector<double> cdf(n);
+  double acc = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    acc += std::pow(static_cast<double>(v) + 1.0, -params.zipf_exponent);
+    cdf[v] = acc;
+  }
+  const double total = acc;
+  auto sample_zipf = [&]() -> VertexId {
+    const double r = rng.NextDouble() * total;
+    auto it = std::lower_bound(cdf.begin(), cdf.end(), r);
+    return static_cast<VertexId>(it - cdf.begin());
+  };
+
+  const auto edges_per_vertex = static_cast<uint32_t>(params.avg_degree / 2.0);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t e = 0; e < edges_per_vertex; ++e) {
+      const VertexId u = sample_zipf();
+      if (u != v) {
+        builder.AddUndirectedEdge(v, u);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+CsrGraph GenerateTripartiteGraph(const TripartiteGraphParams& params) {
+  const VertexId n = params.num_subjects + params.num_type1 + params.num_type2;
+  Rng rng(params.seed);
+  GraphBuilder builder(n, /*num_vertex_types=*/3);
+  for (VertexId v = 0; v < n; ++v) {
+    if (v < params.num_subjects) {
+      builder.SetVertexType(v, 0);
+    } else if (v < params.num_subjects + params.num_type1) {
+      builder.SetVertexType(v, 1);
+    } else {
+      builder.SetVertexType(v, 2);
+    }
+  }
+  const VertexId type1_base = params.num_subjects;
+  const VertexId type2_base = params.num_subjects + params.num_type1;
+  for (VertexId s = 0; s < params.num_subjects; ++s) {
+    for (uint32_t e = 0; e < params.links_type1; ++e) {
+      const VertexId d = type1_base + static_cast<VertexId>(rng.NextBounded(params.num_type1));
+      builder.AddUndirectedEdge(s, d);
+    }
+    for (uint32_t e = 0; e < params.links_type2; ++e) {
+      const VertexId a = type2_base + static_cast<VertexId>(rng.NextBounded(params.num_type2));
+      builder.AddUndirectedEdge(s, a);
+    }
+  }
+  return builder.Build(GraphBuilder::Options{.build_in_edges = true,
+                                             .sort_neighbors = true,
+                                             .dedup_edges = true});
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,62 @@
+// Synthetic graph generators. Each generator is deterministic in its seed and
+// targets the *shape* that makes the corresponding paper dataset interesting:
+//   - community graphs: dense, high average degree (Reddit's regime, where
+//     edge-message materialization explodes);
+//   - power-law graphs: skewed degree distributions (FB91/Twitter's regime,
+//     where k-hop mini-batch expansion and static partitioning fall over);
+//   - heterogeneous tripartite graphs: typed vertices for metapath models
+//     (IMDB's regime).
+#ifndef SRC_DATA_SYNTHETIC_H_
+#define SRC_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+struct CommunityGraphParams {
+  VertexId num_vertices = 8192;
+  uint32_t num_communities = 16;
+  // Expected undirected edges per vertex inside / outside its community.
+  double intra_degree = 20.0;
+  double inter_degree = 2.0;
+  uint64_t seed = 1;
+};
+
+// Dense community graph (Reddit-like). Both edge directions are added.
+CsrGraph GenerateCommunityGraph(const CommunityGraphParams& params);
+
+struct PowerLawGraphParams {
+  VertexId num_vertices = 16384;
+  // Expected undirected edges per vertex.
+  double avg_degree = 8.0;
+  // Zipf exponent of the target-popularity distribution; smaller = more skew.
+  double zipf_exponent = 2.1;
+  uint64_t seed = 1;
+};
+
+// Skewed graph (FB91/Twitter-like): every vertex draws ~avg_degree/2 edges
+// whose endpoints follow a Zipf popularity law, so a few hubs accumulate huge
+// degrees. Both edge directions are added.
+CsrGraph GeneratePowerLawGraph(const PowerLawGraphParams& params);
+
+struct TripartiteGraphParams {
+  // Vertex type 0 is the "subject" type metapaths start from (movies);
+  // types 1 and 2 are attribute types (directors, actors).
+  VertexId num_subjects = 2000;
+  VertexId num_type1 = 300;
+  VertexId num_type2 = 1200;
+  // Edges from each subject to vertices of type 1 / type 2.
+  uint32_t links_type1 = 1;
+  uint32_t links_type2 = 3;
+  uint64_t seed = 1;
+};
+
+// Heterogeneous 3-type graph (IMDB-like). Vertices [0, num_subjects) are
+// type 0, then type 1, then type 2. Both edge directions are added.
+CsrGraph GenerateTripartiteGraph(const TripartiteGraphParams& params);
+
+}  // namespace flexgraph
+
+#endif  // SRC_DATA_SYNTHETIC_H_

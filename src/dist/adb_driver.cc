@@ -1,0 +1,92 @@
+#include "src/dist/adb_driver.h"
+
+#include <algorithm>
+
+#include "src/core/neighbor_selection.h"
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+std::vector<RootCostSample> ExtractRootMetrics(const Hdg& hdg, int64_t feature_dim) {
+  const uint32_t num_types = hdg.num_types();
+  const auto slot_offsets = hdg.slot_offsets();
+  const auto inst_offsets = hdg.instance_leaf_offsets();
+
+  std::vector<RootCostSample> samples(hdg.num_roots());
+  for (uint32_t r = 0; r < hdg.num_roots(); ++r) {
+    RootCostSample& s = samples[r];
+    s.neighbor_counts.assign(num_types, 0.0);
+    s.instance_sizes.assign(num_types, 0.0);
+    for (uint32_t t = 0; t < num_types; ++t) {
+      const std::size_t slot = static_cast<std::size_t>(r) * num_types + t;
+      const uint64_t lo = slot_offsets[slot];
+      const uint64_t hi = slot_offsets[slot + 1];
+      const auto n = static_cast<double>(hi - lo);
+      s.neighbor_counts[t] = n;
+      if (n == 0.0) {
+        continue;
+      }
+      uint64_t leaf_refs = 0;
+      if (hdg.flat()) {
+        leaf_refs = hi - lo;  // one leaf per instance
+      } else {
+        leaf_refs = inst_offsets[hi] - inst_offsets[lo];
+      }
+      // m_t: bytes per instance of this type (paper: "size of each type of
+      // neighbor instance", e.g. 3 vertices × dim 20 = 60).
+      s.instance_sizes[t] = static_cast<double>(leaf_refs) / n *
+                            static_cast<double>(feature_dim) * sizeof(float);
+    }
+  }
+  return samples;
+}
+
+AdbDriverResult RunAdbBalancing(const CsrGraph& graph, const GnnModel& model,
+                                const Partitioning& initial, int64_t feature_dim,
+                                const AdbDriverOptions& options, Rng& rng) {
+  FLEX_CHECK_GT(options.sample_fraction, 0.0);
+
+  // One global HDG build gives both the per-root metrics and the induced
+  // dependency graph the migration plans must respect.
+  Hdg hdg = BuildHdgAllVertices(model, graph, rng);
+  std::vector<RootCostSample> metrics = ExtractRootMetrics(hdg, feature_dim);
+
+  // "Sampled run logs": the measured cost of root r is its aggregation work —
+  // proportional to the bytes it pulls through the bottom-level reduce — with
+  // measurement jitter. The regression has to *recover* that relationship
+  // from the sampled (n, m) metric vectors.
+  std::vector<RootCostSample> logs;
+  logs.reserve(static_cast<std::size_t>(static_cast<double>(metrics.size()) *
+                                        options.sample_fraction) +
+               1);
+  for (std::size_t r = 0; r < metrics.size(); ++r) {
+    if (rng.NextDouble() > options.sample_fraction) {
+      continue;
+    }
+    RootCostSample sample = metrics[r];
+    double work = 0.0;
+    for (std::size_t t = 0; t < sample.neighbor_counts.size(); ++t) {
+      work += sample.neighbor_counts[t] * sample.instance_sizes[t];
+    }
+    const double jitter = 1.0 + options.measurement_noise * (2.0 * rng.NextDouble() - 1.0);
+    sample.measured_cost = work * jitter;
+    logs.push_back(std::move(sample));
+  }
+  FLEX_CHECK_MSG(!logs.empty(), "sampling produced no run logs");
+
+  AdbDriverResult result;
+  result.fit_rms = result.cost_model.Fit(logs);
+
+  result.predicted_root_cost.resize(metrics.size());
+  for (std::size_t r = 0; r < metrics.size(); ++r) {
+    result.predicted_root_cost[r] = std::max(
+        0.0, result.cost_model.Predict(metrics[r].neighbor_counts, metrics[r].instance_sizes));
+  }
+
+  CsrGraph induced = BuildInducedGraph(hdg, graph.num_vertices());
+  result.adb = AdbRebalance(induced, initial, result.predicted_root_cost, options.adb);
+  result.partitioning = result.adb.partitioning;
+  return result;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,43 @@
+// Glue that turns the paper's ADB loop (§5, §6 "Workload balancing") into one
+// call: sample per-root run logs from the model's HDGs, fit the polynomial
+// cost function, predict every root's cost, and rebalance the partitioning
+// against the HDG-induced dependency graph.
+#ifndef SRC_DIST_ADB_DRIVER_H_
+#define SRC_DIST_ADB_DRIVER_H_
+
+#include <vector>
+
+#include "src/core/nau.h"
+#include "src/partition/adb.h"
+#include "src/partition/cost_model.h"
+
+namespace flexgraph {
+
+struct AdbDriverOptions {
+  // Fraction of roots whose "run log" is sampled for the regression.
+  double sample_fraction = 0.25;
+  // Relative noise injected into sampled costs, mimicking real measurement
+  // jitter in online logs.
+  double measurement_noise = 0.05;
+  AdbParams adb;
+};
+
+struct AdbDriverResult {
+  Partitioning partitioning;
+  PolynomialCostModel cost_model;
+  double fit_rms = 0.0;
+  AdbResult adb;
+  std::vector<double> predicted_root_cost;
+};
+
+// Per-root metric extraction: n_t = #instances of type t rooted at r,
+// m_t = mean bytes per instance of type t (leaf count × feature_dim × 4).
+std::vector<RootCostSample> ExtractRootMetrics(const Hdg& hdg, int64_t feature_dim);
+
+AdbDriverResult RunAdbBalancing(const CsrGraph& graph, const GnnModel& model,
+                                const Partitioning& initial, int64_t feature_dim,
+                                const AdbDriverOptions& options, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_DIST_ADB_DRIVER_H_

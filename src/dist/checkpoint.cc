@@ -1,0 +1,82 @@
+#include "src/dist/checkpoint.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/tensor/serialize.h"
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+namespace {
+
+constexpr char kMagic[4] = {'F', 'X', 'C', 'P'};
+constexpr int64_t kVersion = 1;
+
+CheckpointInfo ReadHeader(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  FLEX_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "bad checkpoint magic");
+  int64_t version = 0;
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  FLEX_CHECK_EQ(version, kVersion);
+
+  CheckpointInfo info;
+  is.read(reinterpret_cast<char*>(&info.epoch), sizeof(info.epoch));
+  uint64_t name_len = 0;
+  is.read(reinterpret_cast<char*>(&name_len), sizeof(name_len));
+  FLEX_CHECK_MSG(is.good() && name_len < 4096, "bad checkpoint name length");
+  info.model_name.resize(name_len);
+  is.read(info.model_name.data(), static_cast<std::streamsize>(name_len));
+  uint64_t count = 0;
+  is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  FLEX_CHECK_MSG(is.good(), "truncated checkpoint header");
+  info.num_parameters = count;
+  return info;
+}
+
+}  // namespace
+
+void SaveCheckpoint(const std::string& path, const GnnModel& model, int64_t epoch) {
+  std::ofstream ofs(path, std::ios::binary);
+  FLEX_CHECK_MSG(ofs.good(), "cannot open checkpoint for write: " + path);
+  ofs.write(kMagic, sizeof(kMagic));
+  ofs.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  ofs.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+  const uint64_t name_len = model.name.size();
+  ofs.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+  ofs.write(model.name.data(), static_cast<std::streamsize>(name_len));
+
+  const std::vector<Variable> params = model.Parameters();
+  const uint64_t count = params.size();
+  ofs.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const Variable& p : params) {
+    SaveTensor(p.value(), ofs);
+  }
+  FLEX_CHECK_MSG(ofs.good(), "checkpoint write failed: " + path);
+}
+
+CheckpointInfo LoadCheckpoint(const std::string& path, GnnModel& model) {
+  std::ifstream ifs(path, std::ios::binary);
+  FLEX_CHECK_MSG(ifs.good(), "cannot open checkpoint for read: " + path);
+  CheckpointInfo info = ReadHeader(ifs);
+
+  std::vector<Variable> params = model.Parameters();
+  FLEX_CHECK_MSG(info.num_parameters == params.size(),
+                 "checkpoint/model parameter count mismatch");
+  for (Variable& p : params) {
+    Tensor loaded = LoadTensor(ifs);
+    FLEX_CHECK_MSG(loaded.SameShape(p.value()), "checkpoint parameter shape mismatch");
+    p.mutable_value() = std::move(loaded);
+  }
+  return info;
+}
+
+CheckpointInfo PeekCheckpoint(const std::string& path) {
+  std::ifstream ifs(path, std::ios::binary);
+  FLEX_CHECK_MSG(ifs.good(), "cannot open checkpoint for read: " + path);
+  return ReadHeader(ifs);
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,36 @@
+// Fault-tolerance module (paper Figure 12): periodic checkpoints of the model
+// parameters plus training progress, so a crashed training run resumes from
+// the last epoch boundary rather than from scratch.
+//
+// A checkpoint is a single binary file:
+//   "FXCP" magic · version · epoch · model-name length+bytes ·
+//   parameter count · serialized tensors (in GnnModel::Parameters() order).
+// Restore requires a model with the same architecture (parameter shapes are
+// verified one by one).
+#ifndef SRC_DIST_CHECKPOINT_H_
+#define SRC_DIST_CHECKPOINT_H_
+
+#include <string>
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct CheckpointInfo {
+  std::string model_name;
+  int64_t epoch = 0;
+  std::size_t num_parameters = 0;
+};
+
+// Writes parameters + metadata; overwrites any existing file at `path`.
+void SaveCheckpoint(const std::string& path, const GnnModel& model, int64_t epoch);
+
+// Restores parameters into `model` (shapes must match) and returns metadata.
+CheckpointInfo LoadCheckpoint(const std::string& path, GnnModel& model);
+
+// Reads only the metadata (cheap; used to pick the latest resumable epoch).
+CheckpointInfo PeekCheckpoint(const std::string& path);
+
+}  // namespace flexgraph
+
+#endif  // SRC_DIST_CHECKPOINT_H_

@@ -1,0 +1,73 @@
+#include "src/dist/comm_plan.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+CommPlan BuildCommPlan(const Hdg& hdg, const Partitioning& parts, uint32_t worker,
+                       std::vector<uint64_t>* out_refs_by_owner) {
+  CommPlan plan;
+  plan.worker = worker;
+
+  const auto leaf_ids = hdg.leaf_vertex_ids();
+  plan.total_leaf_refs = leaf_ids.size();
+
+  std::unordered_set<VertexId> remote_leaves;
+  std::vector<uint64_t> refs_by_owner(parts.num_parts, 0);
+  plan.distinct_remote_by_owner.assign(parts.num_parts, 0);
+  for (VertexId leaf : leaf_ids) {
+    const uint32_t owner = parts.owner[leaf];
+    ++refs_by_owner[owner];
+    if (owner == worker) {
+      ++plan.local_leaf_refs;
+    } else {
+      ++plan.remote_leaf_refs;
+      if (remote_leaves.insert(leaf).second) {
+        ++plan.distinct_remote_by_owner[owner];
+      }
+    }
+  }
+  plan.distinct_remote_leaves = remote_leaves.size();
+
+  std::vector<uint8_t> sender_seen(parts.num_parts, 0);
+  for (VertexId leaf : leaf_ids) {
+    const uint32_t owner = parts.owner[leaf];
+    if (owner != worker) {
+      sender_seen[owner] = 1;
+    }
+  }
+  plan.raw_senders = static_cast<uint32_t>(
+      std::count(sender_seen.begin(), sender_seen.end(), uint8_t{1}));
+
+  // (segment, owner) pairs: segments are instances for hierarchical HDGs and
+  // roots for flat ones; either way the segment boundaries are the offsets
+  // the bottom-level reduce runs over.
+  const auto offsets =
+      hdg.flat() ? hdg.slot_offsets() : hdg.instance_leaf_offsets();
+  std::vector<uint8_t> owner_in_segment(parts.num_parts, 0);
+  std::vector<uint8_t> pp_sender_seen(parts.num_parts, 0);
+  const std::size_t num_segments = offsets.empty() ? 0 : offsets.size() - 1;
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    std::fill(owner_in_segment.begin(), owner_in_segment.end(), uint8_t{0});
+    for (uint64_t e = offsets[s]; e < offsets[s + 1]; ++e) {
+      const uint32_t owner = parts.owner[leaf_ids[e]];
+      if (owner != worker && owner_in_segment[owner] == 0) {
+        owner_in_segment[owner] = 1;
+        pp_sender_seen[owner] = 1;
+        ++plan.partial_rows_in;
+      }
+    }
+  }
+  plan.pp_senders = static_cast<uint32_t>(
+      std::count(pp_sender_seen.begin(), pp_sender_seen.end(), uint8_t{1}));
+
+  if (out_refs_by_owner != nullptr) {
+    *out_refs_by_owner = std::move(refs_by_owner);
+  }
+  return plan;
+}
+
+}  // namespace flexgraph

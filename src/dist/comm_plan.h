@@ -1,0 +1,60 @@
+// Per-worker communication accounting for one GNN layer (paper §5).
+//
+// Given a worker's HDGs and the global owner vector, a CommPlan captures what
+// that worker must receive before (or while, with pipelining) it runs the
+// bottom-level aggregation:
+//   - raw mode (no pipeline): one feature row per *distinct* remote leaf
+//     vertex referenced by the worker's HDGs;
+//   - pipelined mode: remote owners pre-reduce their local contribution per
+//     (segment, owner) pair into a single assembled message row carrying
+//     (partial sum, count), so the receiver gets one row per pair. This is
+//     the paper's "partial aggregation + assembled message" optimization and
+//     requires a commutative aggregator.
+#ifndef SRC_DIST_COMM_PLAN_H_
+#define SRC_DIST_COMM_PLAN_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/hdg/hdg.h"
+#include "src/partition/partition.h"
+
+namespace flexgraph {
+
+struct CommPlan {
+  uint32_t worker = 0;
+
+  // Leaf-reference breakdown of this worker's bottom-level segments.
+  uint64_t total_leaf_refs = 0;
+  uint64_t local_leaf_refs = 0;   // leaves this worker owns
+  uint64_t remote_leaf_refs = 0;  // leaves owned elsewhere
+
+  // Raw (non-pipelined) synchronization.
+  uint64_t distinct_remote_leaves = 0;
+  uint32_t raw_senders = 0;  // number of partitions that must send
+  // Distinct remote leaves broken down by owning partition: the sender-side
+  // serialization work each owner performs for this worker.
+  std::vector<uint64_t> distinct_remote_by_owner;
+
+  // Pipelined synchronization: one (partial sum, count) row per
+  // (segment, remote owner) pair.
+  uint64_t partial_rows_in = 0;
+  uint32_t pp_senders = 0;
+
+  uint64_t RawBytesIn(int64_t feature_dim) const {
+    return distinct_remote_leaves * static_cast<uint64_t>(feature_dim) * sizeof(float);
+  }
+  uint64_t PipelinedBytesIn(int64_t feature_dim) const {
+    return partial_rows_in * static_cast<uint64_t>(feature_dim + 1) * sizeof(float);
+  }
+};
+
+// Builds the plan for `worker` from its HDGs. Also fills `out_refs_by_owner`
+// (size num_parts) with how many of this worker's leaf references each owner
+// partition services — the sending side of everyone else's pipelined partials.
+CommPlan BuildCommPlan(const Hdg& hdg, const Partitioning& parts, uint32_t worker,
+                       std::vector<uint64_t>* out_refs_by_owner = nullptr);
+
+}  // namespace flexgraph
+
+#endif  // SRC_DIST_COMM_PLAN_H_

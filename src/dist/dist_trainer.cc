@@ -1,0 +1,80 @@
+#include "src/dist/dist_trainer.h"
+
+#include <algorithm>
+
+#include "src/core/neighbor_selection.h"
+#include "src/tensor/ops_dense.h"
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace flexgraph {
+
+DistributedTrainer::DistributedTrainer(const CsrGraph& graph, Partitioning parts,
+                                       DistTrainConfig config)
+    : graph_(graph), parts_(std::move(parts)), config_(config), engine_(graph) {
+  FLEX_CHECK_EQ(parts_.owner.size(), static_cast<std::size_t>(graph_.num_vertices()));
+  worker_roots_.resize(parts_.num_parts);
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    worker_roots_[parts_.owner[v]].push_back(v);
+  }
+}
+
+DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
+                                                    const Tensor& features,
+                                                    const std::vector<uint32_t>& labels,
+                                                    Rng& rng) {
+  DistTrainEpochResult result;
+  WallTimer timer;
+
+  // Synchronous data-parallel training with identical replicas optimizes the
+  // union objective Σ_w (|roots_w|/n)·L_w(θ); execute it once and model the
+  // distribution (header comment).
+  StageTimes times;
+  const Hdg& hdg = engine_.EnsureHdg(model, rng, &times);
+  Variable logits = engine_.Forward(model, hdg, features, &times);
+
+  const double n = static_cast<double>(graph_.num_vertices());
+  Variable total_loss;
+  for (const auto& roots : worker_roots_) {
+    if (roots.empty()) {
+      continue;
+    }
+    Variable worker_loss = MaskedSoftmaxCrossEntropy(logits, roots, labels);
+    Variable weighted = AgScale(worker_loss, static_cast<float>(roots.size() / n));
+    total_loss = total_loss.defined() ? AgAdd(total_loss, weighted) : weighted;
+  }
+  FLEX_CHECK(total_loss.defined());
+  result.loss = total_loss.value().At(0, 0);
+
+  total_loss.Backward();
+  std::vector<Variable> params = model.Parameters();
+  SgdOptimizer opt(config_.learning_rate);
+  opt.Step(params);
+  SgdOptimizer::ZeroGrad(params);
+
+  // Timing: the epoch's compute parallelizes across workers; the straggler
+  // carries proportionally more roots than average.
+  const double total_seconds = timer.ElapsedSeconds();
+  std::size_t max_roots = 0;
+  for (const auto& roots : worker_roots_) {
+    max_roots = std::max(max_roots, roots.size());
+  }
+  const double avg_roots = n / parts_.num_parts;
+  const double straggler = avg_roots > 0 ? static_cast<double>(max_roots) / avg_roots : 1.0;
+  result.compute_seconds = total_seconds / parts_.num_parts * straggler;
+
+  // Ring allreduce of the averaged gradients.
+  uint64_t param_bytes = 0;
+  for (const Variable& p : params) {
+    param_bytes += static_cast<uint64_t>(p.value().numel()) * sizeof(float);
+  }
+  const uint32_t k = parts_.num_parts;
+  if (k > 1) {
+    result.allreduce_bytes = 2 * param_bytes * (k - 1) / k;
+    result.allreduce_seconds =
+        config_.network.TransferSeconds(result.allreduce_bytes, 2 * (k - 1));
+  }
+  return result;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,28 @@
+// Analytic network cost model for the simulated cluster.
+//
+// The paper's testbed is 16 machines with 3.25 GB/s NICs; this host has one
+// core, so real multi-process scaling is unobservable. The distributed
+// runtime therefore *measures* per-worker compute (each worker's share is
+// physically executed and timed) and *models* the network: a transfer of b
+// bytes costs latency + b / bandwidth, and per-step transfers to one worker
+// from s senders pay s link latencies. Makespans combine the two.
+#ifndef SRC_DIST_NETWORK_MODEL_H_
+#define SRC_DIST_NETWORK_MODEL_H_
+
+#include <cstdint>
+
+namespace flexgraph {
+
+struct NetworkModel {
+  double latency_seconds = 50e-6;             // per message
+  double bandwidth_bytes_per_sec = 3.25e9;    // paper's NIC
+
+  double TransferSeconds(uint64_t bytes, uint32_t num_messages = 1) const {
+    return latency_seconds * static_cast<double>(num_messages) +
+           static_cast<double>(bytes) / bandwidth_bytes_per_sec;
+  }
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_DIST_NETWORK_MODEL_H_

@@ -1,0 +1,266 @@
+#include "src/dist/runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "src/util/check.h"
+#include "src/util/timer.h"
+
+namespace flexgraph {
+
+DistributedRuntime::DistributedRuntime(const CsrGraph& graph, Partitioning parts,
+                                       DistConfig config)
+    : graph_(graph), parts_(std::move(parts)), config_(config) {
+  FLEX_CHECK_EQ(parts_.owner.size(), static_cast<std::size_t>(graph_.num_vertices()));
+  FLEX_CHECK_GE(parts_.num_parts, 1u);
+}
+
+void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_makespan) {
+  workers_.clear();
+  workers_.resize(parts_.num_parts);
+  for (uint32_t w = 0; w < parts_.num_parts; ++w) {
+    workers_[w].id = w;
+    workers_[w].roots.clear();
+  }
+  for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
+    workers_[parts_.owner[v]].roots.push_back(v);
+  }
+
+  double makespan = 0.0;
+  for (auto& worker : workers_) {
+    WallTimer timer;
+    if (worker.roots.empty()) {
+      worker.hdg = Hdg();
+      worker.hdg_build_seconds = 0.0;
+      continue;
+    }
+    worker.hdg = BuildHdgForRoots(model, graph_, worker.roots, rng);
+    worker.hdg_build_seconds = timer.ElapsedSeconds();
+    makespan = std::max(makespan, worker.hdg_build_seconds);
+    worker.plan = BuildCommPlan(worker.hdg, parts_, worker.id, &worker.out_refs_by_owner);
+  }
+
+  // out_refs_[p]: leaf rows worker p pre-reduces for *other* workers' HDGs —
+  // the sending-side cost of pipelined partial aggregation.
+  // raw_out_rows_[p]: distinct rows worker p gathers & serializes for others
+  // under raw synchronization — the sending-side cost without pipelining.
+  out_refs_.assign(parts_.num_parts, 0);
+  raw_out_rows_.assign(parts_.num_parts, 0);
+  for (const auto& worker : workers_) {
+    for (uint32_t p = 0; p < parts_.num_parts; ++p) {
+      if (p == worker.id) {
+        continue;
+      }
+      if (p < worker.out_refs_by_owner.size()) {
+        out_refs_[p] += worker.out_refs_by_owner[p];
+      }
+      if (p < worker.plan.distinct_remote_by_owner.size()) {
+        raw_out_rows_[p] += worker.plan.distinct_remote_by_owner[p];
+      }
+    }
+  }
+
+  prepared_ = true;
+  if (build_makespan != nullptr) {
+    *build_makespan = makespan;
+  }
+}
+
+DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor& features,
+                                            Rng& rng, Tensor* logits_out) {
+  DistEpochStats stats;
+  stats.per_worker_aggregation_seconds.assign(parts_.num_parts, 0.0);
+
+  if (!prepared_ || model.cache_policy == HdgCachePolicy::kPerEpoch) {
+    Prepare(model, rng, &stats.neighbor_selection_seconds);
+  }
+
+  Tensor h = features;
+  double compute_for_backward = 0.0;
+
+  for (const auto& layer : model.layers) {
+    // Physically execute each worker's share and record its stage times.
+    struct WorkerLayerTimes {
+      double bottom = 0.0;
+      double rest_agg = 0.0;
+      double update = 0.0;
+    };
+    std::vector<WorkerLayerTimes> times(parts_.num_parts);
+
+    Variable h_var = Variable::Leaf(h);
+    Tensor h_next;
+    bool h_next_ready = false;
+
+    for (auto& worker : workers_) {
+      if (worker.roots.empty()) {
+        continue;
+      }
+      AggregationStats agg_stats;
+      HdgAggregator aggregator(worker.hdg, config_.strategy, &agg_stats);
+
+      WallTimer agg_timer;
+      Variable nbr = layer->Aggregate(h_var, aggregator);
+      const double agg_seconds = agg_timer.ElapsedSeconds();
+      times[worker.id].bottom = agg_stats.bottom_seconds;
+      times[worker.id].rest_agg = std::max(0.0, agg_seconds - agg_stats.bottom_seconds);
+
+      WallTimer update_timer;
+      std::vector<uint32_t> root_index(worker.roots.begin(), worker.roots.end());
+      Variable local = AgGatherRows(h_var, std::move(root_index));
+      Variable out = layer->Update(local, nbr);
+      times[worker.id].update = update_timer.ElapsedSeconds();
+
+      if (!h_next_ready) {
+        h_next = Tensor(graph_.num_vertices(), out.cols());
+        h_next_ready = true;
+      }
+      const Tensor& rows = out.value();
+      FLEX_CHECK_EQ(rows.rows(), static_cast<int64_t>(worker.roots.size()));
+      for (std::size_t r = 0; r < worker.roots.size(); ++r) {
+        std::memcpy(h_next.Row(worker.roots[r]), rows.Row(static_cast<int64_t>(r)),
+                    static_cast<std::size_t>(rows.cols()) * sizeof(float));
+      }
+    }
+    FLEX_CHECK(h_next_ready);
+
+    // Homogeneous-cluster normalization (runtime.h): pool measured rates and
+    // re-derive each worker's stage times from its work units.
+    if (config_.uniform_compute_rates) {
+      double total_bottom = 0.0;
+      double total_rest = 0.0;
+      double total_update = 0.0;
+      uint64_t total_refs = 0;
+      uint64_t total_instances = 0;
+      uint64_t total_roots = 0;
+      for (const auto& worker : workers_) {
+        if (worker.roots.empty()) {
+          continue;
+        }
+        total_bottom += times[worker.id].bottom;
+        total_rest += times[worker.id].rest_agg;
+        total_update += times[worker.id].update;
+        total_refs += worker.plan.total_leaf_refs;
+        total_instances += worker.hdg.num_instances();
+        total_roots += worker.roots.size();
+      }
+      const double bottom_rate = total_refs > 0 ? total_bottom / total_refs : 0.0;
+      const double rest_rate = total_instances > 0 ? total_rest / total_instances : 0.0;
+      const double update_rate = total_roots > 0 ? total_update / total_roots : 0.0;
+      for (const auto& worker : workers_) {
+        if (worker.roots.empty()) {
+          continue;
+        }
+        times[worker.id].bottom =
+            bottom_rate * static_cast<double>(worker.plan.total_leaf_refs);
+        times[worker.id].rest_agg =
+            rest_rate * static_cast<double>(worker.hdg.num_instances());
+        times[worker.id].update = update_rate * static_cast<double>(worker.roots.size());
+      }
+    }
+
+    // Combine measured compute with the modeled network into the layer
+    // timeline (header comment of runtime.h).
+    const int64_t d = h.cols();
+    double layer_makespan = 0.0;
+    double layer_agg_makespan = 0.0;
+    double layer_agg_pp_makespan = 0.0;
+    double layer_agg_raw_makespan = 0.0;
+    double layer_update_makespan = 0.0;
+    for (const auto& worker : workers_) {
+      if (worker.roots.empty()) {
+        continue;
+      }
+      const WorkerLayerTimes& t = times[worker.id];
+      const CommPlan& plan = worker.plan;
+      const double row_rate =
+          plan.total_leaf_refs > 0 ? t.bottom / static_cast<double>(plan.total_leaf_refs) : 0.0;
+
+      // Pipelined timeline — adaptive (paper §5): partial aggregation when
+      // the assembled (partial-sum) messages are smaller than raw dedup'd
+      // rows, otherwise batched raw messages. Either way all sender/receiver
+      // aggregation work overlaps the transfers; only the final merge/reduce
+      // of received data is serial.
+      double agg_pp = 0.0;
+      double pp_bytes = 0.0;
+      if (model.bottom_reduce_commutative && plan.PipelinedBytesIn(d) < plan.RawBytesIn(d)) {
+        const double partial_compute =
+            row_rate * static_cast<double>(out_refs_[worker.id] + plan.local_leaf_refs);
+        const double comm =
+            config_.network.TransferSeconds(plan.PipelinedBytesIn(d), plan.pp_senders);
+        const double merge = row_rate * static_cast<double>(plan.partial_rows_in);
+        agg_pp = std::max(partial_compute, comm) + merge + t.rest_agg;
+        pp_bytes = static_cast<double>(plan.PipelinedBytesIn(d));
+      } else {
+        const double overlap_compute =
+            row_rate * static_cast<double>(raw_out_rows_[worker.id] + plan.local_leaf_refs);
+        const double comm =
+            config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders);
+        const double remote_reduce = row_rate * static_cast<double>(plan.remote_leaf_refs);
+        agg_pp = std::max(overlap_compute, comm) + remote_reduce + t.rest_agg;
+        pp_bytes = static_cast<double>(plan.RawBytesIn(d));
+      }
+
+      // Raw timeline: gather+serialize the rows others requested, wait for
+      // the inbound rows, then run the full bottom reduce — fully serial.
+      const double serialize_out = row_rate * static_cast<double>(raw_out_rows_[worker.id]);
+      const double raw_comm =
+          config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders);
+      const double agg_raw = serialize_out + raw_comm + t.bottom + t.rest_agg;
+
+      const double agg_time = config_.pipeline ? agg_pp : agg_raw;
+      stats.comm_bytes_total +=
+          config_.pipeline ? pp_bytes : static_cast<double>(plan.RawBytesIn(d));
+      stats.per_worker_aggregation_seconds[worker.id] += agg_time;
+      layer_agg_makespan = std::max(layer_agg_makespan, agg_time);
+      layer_agg_pp_makespan = std::max(layer_agg_pp_makespan, agg_pp);
+      layer_agg_raw_makespan = std::max(layer_agg_raw_makespan, agg_raw);
+      layer_update_makespan = std::max(layer_update_makespan, t.update);
+      layer_makespan = std::max(layer_makespan, agg_time + t.update);
+    }
+    stats.aggregation_seconds += layer_agg_makespan;
+    stats.aggregation_seconds_pipelined += layer_agg_pp_makespan;
+    stats.aggregation_seconds_raw += layer_agg_raw_makespan;
+    stats.update_seconds += layer_update_makespan;
+    stats.makespan_seconds += layer_makespan;
+
+    // Track the per-epoch compute that backward would re-traverse.
+    double max_worker_compute = 0.0;
+    for (const auto& worker : workers_) {
+      if (!worker.roots.empty()) {
+        const WorkerLayerTimes& t = times[worker.id];
+        max_worker_compute =
+            std::max(max_worker_compute, t.bottom + t.rest_agg + t.update);
+      }
+    }
+    compute_for_backward += max_worker_compute;
+
+    h = std::move(h_next);
+  }
+
+  if (config_.backward_compute_factor > 0.0) {
+    // Backward retraces the forward kernels (scatter backward ≈ gather) plus
+    // a ring allreduce of the parameter gradients.
+    stats.backward_seconds = config_.backward_compute_factor * compute_for_backward;
+    uint64_t param_bytes = 0;
+    for (const Variable& p : model.Parameters()) {
+      param_bytes += static_cast<uint64_t>(p.value().numel()) * sizeof(float);
+    }
+    const uint32_t k = parts_.num_parts;
+    if (k > 1) {
+      const uint64_t ring_bytes =
+          2 * param_bytes * (k - 1) / k;  // classic ring allreduce volume per node
+      stats.backward_seconds +=
+          config_.network.TransferSeconds(ring_bytes, 2 * (k - 1));
+      stats.comm_bytes_total += static_cast<double>(ring_bytes) * k;
+    }
+    stats.makespan_seconds += stats.backward_seconds;
+  }
+
+  stats.makespan_seconds += stats.neighbor_selection_seconds;
+  if (logits_out != nullptr) {
+    *logits_out = std::move(h);
+  }
+  return stats;
+}
+
+}  // namespace flexgraph

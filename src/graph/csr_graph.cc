@@ -1,0 +1,104 @@
+#include "src/graph/csr_graph.h"
+
+#include <algorithm>
+
+namespace flexgraph {
+
+std::size_t CsrGraph::ByteSize() const {
+  std::size_t bytes = out_offsets_.size() * sizeof(EdgeId) +
+                      out_neighbors_.size() * sizeof(VertexId) +
+                      in_offsets_.size() * sizeof(EdgeId) +
+                      in_neighbors_.size() * sizeof(VertexId) +
+                      vertex_types_.size() * sizeof(VertexType);
+  return bytes;
+}
+
+GraphBuilder::GraphBuilder(VertexId num_vertices, int num_vertex_types)
+    : num_vertices_(num_vertices), num_vertex_types_(num_vertex_types) {
+  FLEX_CHECK_GE(num_vertex_types, 1);
+  if (num_vertex_types > 1) {
+    types_.assign(num_vertices, 0);
+  }
+}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst) {
+  FLEX_CHECK_LT(src, num_vertices_);
+  FLEX_CHECK_LT(dst, num_vertices_);
+  srcs_.push_back(src);
+  dsts_.push_back(dst);
+}
+
+void GraphBuilder::AddUndirectedEdge(VertexId src, VertexId dst) {
+  AddEdge(src, dst);
+  AddEdge(dst, src);
+}
+
+void GraphBuilder::SetVertexType(VertexId v, VertexType type) {
+  FLEX_CHECK_LT(v, num_vertices_);
+  FLEX_CHECK_LT(static_cast<int>(type), num_vertex_types_);
+  FLEX_CHECK_MSG(!types_.empty(), "graph was declared homogeneous");
+  types_[v] = type;
+}
+
+namespace {
+
+// Counting-sort style CSR construction: one pass to count degrees, one pass
+// to place neighbors. O(n + m), no comparison sort of the edge list.
+void BuildAdjacency(VertexId n, const std::vector<VertexId>& from, const std::vector<VertexId>& to,
+                    bool sort_neighbors, bool dedup, std::vector<EdgeId>& offsets,
+                    std::vector<VertexId>& neighbors) {
+  offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (VertexId s : from) {
+    ++offsets[s + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    offsets[i] += offsets[i - 1];
+  }
+  neighbors.resize(from.size());
+  std::vector<EdgeId> cursor(offsets.begin(), offsets.end() - 1);
+  for (std::size_t e = 0; e < from.size(); ++e) {
+    neighbors[cursor[from[e]]++] = to[e];
+  }
+  if (sort_neighbors || dedup) {
+    std::vector<VertexId> dedup_out;
+    if (dedup) {
+      dedup_out.reserve(neighbors.size());
+    }
+    std::vector<EdgeId> new_offsets;
+    if (dedup) {
+      new_offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+    }
+    for (VertexId v = 0; v < n; ++v) {
+      auto* begin = neighbors.data() + offsets[v];
+      auto* end = neighbors.data() + offsets[v + 1];
+      std::sort(begin, end);
+      if (dedup) {
+        auto* unique_end = std::unique(begin, end);
+        dedup_out.insert(dedup_out.end(), begin, unique_end);
+        new_offsets[v + 1] = static_cast<EdgeId>(dedup_out.size());
+      }
+    }
+    if (dedup) {
+      offsets = std::move(new_offsets);
+      neighbors = std::move(dedup_out);
+    }
+  }
+}
+
+}  // namespace
+
+CsrGraph GraphBuilder::Build(const Options& options) const {
+  CsrGraph g;
+  g.num_vertices_ = num_vertices_;
+  g.num_vertex_types_ = num_vertex_types_;
+  g.vertex_types_ = types_;
+  BuildAdjacency(num_vertices_, srcs_, dsts_, options.sort_neighbors, options.dedup_edges,
+                 g.out_offsets_, g.out_neighbors_);
+  if (options.build_in_edges) {
+    BuildAdjacency(num_vertices_, dsts_, srcs_, options.sort_neighbors, options.dedup_edges,
+                   g.in_offsets_, g.in_neighbors_);
+  }
+  return g;
+}
+
+}  // namespace flexgraph

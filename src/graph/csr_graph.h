@@ -1,0 +1,115 @@
+// Immutable in-memory graph in CSR form (out-edges) with an optional CSC
+// mirror (in-edges) and optional per-vertex types for heterogeneous graphs.
+//
+// This is the substrate standing in for libgrape-lite: every graph-side
+// operation in FlexGraph — neighbor access during flat aggregation, random
+// walks for PinSage, metapath matching for MAGNN, BFS growth for the ADB
+// balancer — runs against this structure.
+#ifndef SRC_GRAPH_CSR_GRAPH_H_
+#define SRC_GRAPH_CSR_GRAPH_H_
+
+#include <span>
+#include <vector>
+
+#include "src/graph/graph_types.h"
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(out_neighbors_.size()); }
+  int num_vertex_types() const { return num_vertex_types_; }
+  bool is_heterogeneous() const { return num_vertex_types_ > 1; }
+  bool has_in_edges() const { return !in_offsets_.empty(); }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    FLEX_CHECK_LT(v, num_vertices_);
+    return {out_neighbors_.data() + out_offsets_[v],
+            static_cast<std::size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    FLEX_CHECK(has_in_edges());
+    FLEX_CHECK_LT(v, num_vertices_);
+    return {in_neighbors_.data() + in_offsets_[v],
+            static_cast<std::size_t>(in_offsets_[v + 1] - in_offsets_[v])};
+  }
+
+  EdgeId OutDegree(VertexId v) const {
+    FLEX_CHECK_LT(v, num_vertices_);
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  EdgeId InDegree(VertexId v) const {
+    FLEX_CHECK(has_in_edges());
+    FLEX_CHECK_LT(v, num_vertices_);
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  VertexType TypeOf(VertexId v) const {
+    if (vertex_types_.empty()) {
+      return 0;
+    }
+    FLEX_CHECK_LT(v, num_vertices_);
+    return vertex_types_[v];
+  }
+
+  std::span<const EdgeId> out_offsets() const { return out_offsets_; }
+  std::span<const VertexId> out_neighbors() const { return out_neighbors_; }
+  std::span<const EdgeId> in_offsets() const { return in_offsets_; }
+  std::span<const VertexId> in_neighbors() const { return in_neighbors_; }
+  std::span<const VertexType> vertex_types() const { return vertex_types_; }
+
+  // Bytes of the adjacency arrays — the "input graph size" denominator used by
+  // the Table 5 memory-footprint experiment.
+  std::size_t ByteSize() const;
+
+ private:
+  friend class GraphBuilder;
+
+  VertexId num_vertices_ = 0;
+  int num_vertex_types_ = 1;
+  std::vector<EdgeId> out_offsets_;
+  std::vector<VertexId> out_neighbors_;
+  std::vector<EdgeId> in_offsets_;
+  std::vector<VertexId> in_neighbors_;
+  std::vector<VertexType> vertex_types_;
+};
+
+// Accumulates edges then freezes them into a CsrGraph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(VertexId num_vertices, int num_vertex_types = 1);
+
+  void AddEdge(VertexId src, VertexId dst);
+  // Adds both (src,dst) and (dst,src).
+  void AddUndirectedEdge(VertexId src, VertexId dst);
+  void SetVertexType(VertexId v, VertexType type);
+
+  VertexId num_vertices() const { return num_vertices_; }
+  EdgeId num_edges() const { return static_cast<EdgeId>(srcs_.size()); }
+
+  struct Options {
+    bool build_in_edges = true;
+    bool sort_neighbors = true;
+    bool dedup_edges = false;
+  };
+
+  CsrGraph Build(const Options& options) const;
+  CsrGraph Build() const { return Build(Options{}); }
+
+ private:
+  VertexId num_vertices_;
+  int num_vertex_types_;
+  std::vector<VertexId> srcs_;
+  std::vector<VertexId> dsts_;
+  std::vector<VertexType> types_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_CSR_GRAPH_H_

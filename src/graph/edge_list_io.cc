@@ -1,0 +1,79 @@
+#include "src/graph/edge_list_io.h"
+
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+void SaveEdgeList(const CsrGraph& g, std::ostream& os) {
+  os << "# flexgraph-graph v1\n";
+  os << g.num_vertices() << " " << g.num_edges() << " " << g.num_vertex_types() << "\n";
+  if (g.is_heterogeneous()) {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      os << "t " << v << " " << static_cast<int>(g.TypeOf(v)) << "\n";
+    }
+  }
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.OutNeighbors(v)) {
+      os << "e " << v << " " << u << "\n";
+    }
+  }
+}
+
+void SaveEdgeListFile(const CsrGraph& g, const std::string& path) {
+  std::ofstream ofs(path);
+  FLEX_CHECK_MSG(ofs.good(), "cannot open for write: " + path);
+  SaveEdgeList(g, ofs);
+}
+
+CsrGraph LoadEdgeList(std::istream& is) {
+  std::string line;
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  int num_types = 1;
+  std::optional<GraphBuilder> builder;
+
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    std::istringstream ss(line);
+    if (!builder.has_value()) {
+      ss >> num_vertices >> num_edges >> num_types;
+      FLEX_CHECK_MSG(!ss.fail(), "bad edge-list header: " + line);
+      builder.emplace(static_cast<VertexId>(num_vertices), num_types);
+      continue;
+    }
+    char tag = 0;
+    ss >> tag;
+    if (tag == 't') {
+      uint64_t v = 0;
+      int type = 0;
+      ss >> v >> type;
+      FLEX_CHECK_MSG(!ss.fail(), "bad type line: " + line);
+      builder->SetVertexType(static_cast<VertexId>(v), static_cast<VertexType>(type));
+    } else if (tag == 'e') {
+      uint64_t s = 0;
+      uint64_t d = 0;
+      ss >> s >> d;
+      FLEX_CHECK_MSG(!ss.fail(), "bad edge line: " + line);
+      builder->AddEdge(static_cast<VertexId>(s), static_cast<VertexId>(d));
+    } else {
+      FLEX_CHECK_MSG(false, "unknown line tag: " + line);
+    }
+  }
+  FLEX_CHECK_MSG(builder.has_value(), "edge list missing header");
+  FLEX_CHECK_EQ(builder->num_edges(), num_edges);
+  return builder->Build();
+}
+
+CsrGraph LoadEdgeListFile(const std::string& path) {
+  std::ifstream ifs(path);
+  FLEX_CHECK_MSG(ifs.good(), "cannot open for read: " + path);
+  return LoadEdgeList(ifs);
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,26 @@
+// Plain-text edge-list persistence. Format:
+//   # flexgraph-graph v1
+//   <num_vertices> <num_edges> <num_vertex_types>
+//   t <vertex_id> <type>            (one line per typed vertex; optional)
+//   e <src> <dst>                   (one line per directed edge)
+// Lines starting with '#' are comments. Used by examples and tests; the
+// benchmark datasets are generated in-process instead of shipped as files.
+#ifndef SRC_GRAPH_EDGE_LIST_IO_H_
+#define SRC_GRAPH_EDGE_LIST_IO_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+void SaveEdgeList(const CsrGraph& g, std::ostream& os);
+void SaveEdgeListFile(const CsrGraph& g, const std::string& path);
+
+CsrGraph LoadEdgeList(std::istream& is);
+CsrGraph LoadEdgeListFile(const std::string& path);
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_EDGE_LIST_IO_H_

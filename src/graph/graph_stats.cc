@@ -1,0 +1,46 @@
+#include "src/graph/graph_stats.h"
+
+#include <algorithm>
+
+namespace flexgraph {
+
+DegreeStats ComputeDegreeStats(const CsrGraph& g) {
+  DegreeStats stats;
+  if (g.num_vertices() == 0) {
+    return stats;
+  }
+  std::vector<EdgeId> degrees(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees[v] = g.OutDegree(v);
+  }
+  std::sort(degrees.begin(), degrees.end());
+  stats.min_degree = degrees.front();
+  stats.max_degree = degrees.back();
+  stats.avg_degree = static_cast<double>(g.num_edges()) / g.num_vertices();
+  stats.p50 = degrees[degrees.size() / 2];
+  stats.p99 = degrees[static_cast<std::size_t>(static_cast<double>(degrees.size()) * 0.99)];
+  stats.skew = stats.avg_degree > 0.0
+                   ? static_cast<double>(stats.max_degree) / stats.avg_degree
+                   : 0.0;
+  return stats;
+}
+
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g) {
+  std::vector<uint64_t> buckets;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const EdgeId degree = g.OutDegree(v);
+    std::size_t bucket = 0;
+    EdgeId threshold = 2;
+    while (degree >= threshold) {
+      ++bucket;
+      threshold <<= 1;
+    }
+    if (buckets.size() <= bucket) {
+      buckets.resize(bucket + 1, 0);
+    }
+    ++buckets[bucket];
+  }
+  return buckets;
+}
+
+}  // namespace flexgraph

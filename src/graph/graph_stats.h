@@ -1,0 +1,31 @@
+// Degree statistics used by dataset validation, the Euler-like OOM heuristic,
+// and the README's dataset table.
+#ifndef SRC_GRAPH_GRAPH_STATS_H_
+#define SRC_GRAPH_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+struct DegreeStats {
+  EdgeId min_degree = 0;
+  EdgeId max_degree = 0;
+  double avg_degree = 0.0;
+  EdgeId p50 = 0;  // median
+  EdgeId p99 = 0;
+  // max/avg — the hub-skew indicator (≫1 for power-law graphs).
+  double skew = 0.0;
+};
+
+DegreeStats ComputeDegreeStats(const CsrGraph& g);
+
+// Counts of vertices per power-of-two out-degree bucket: bucket i covers
+// degrees [2^i, 2^(i+1)). Bucket 0 also includes degree-0 vertices.
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g);
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_GRAPH_STATS_H_

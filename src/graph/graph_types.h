@@ -1,0 +1,20 @@
+// Shared scalar types for the graph layer.
+#ifndef SRC_GRAPH_GRAPH_TYPES_H_
+#define SRC_GRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace flexgraph {
+
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+// Small integer vertex type used by heterogeneous graphs (MAGNN's metapaths
+// are sequences of these).
+using VertexType = uint8_t;
+
+inline constexpr VertexId kInvalidVertex = std::numeric_limits<VertexId>::max();
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_GRAPH_TYPES_H_

@@ -1,0 +1,89 @@
+#include "src/graph/metapath.h"
+
+#include <algorithm>
+
+namespace flexgraph {
+
+namespace {
+
+// Iterative DFS over positions of the metapath. Keeps an explicit stack of
+// (vertex, neighbor cursor) frames; path holds the vertices chosen so far.
+void MatchFrom(const CsrGraph& g, VertexId root, const Metapath& mp,
+               const MetapathMatchOptions& options,
+               std::vector<std::vector<VertexId>>& instances) {
+  if (mp.types.empty() || g.TypeOf(root) != mp.types[0]) {
+    return;
+  }
+  if (mp.length() == 0) {
+    instances.push_back({root});
+    return;
+  }
+
+  struct Frame {
+    VertexId vertex;
+    std::size_t cursor;
+  };
+  std::vector<Frame> stack;
+  std::vector<VertexId> path{root};
+  stack.push_back({root, 0});
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    const std::size_t depth = stack.size() - 1;  // edges consumed so far
+    const auto nbrs = g.OutNeighbors(frame.vertex);
+    bool descended = false;
+    while (frame.cursor < nbrs.size()) {
+      const VertexId next = nbrs[frame.cursor++];
+      if (g.TypeOf(next) != mp.types[depth + 1]) {
+        continue;
+      }
+      if (options.simple_paths &&
+          std::find(path.begin(), path.end(), next) != path.end()) {
+        continue;
+      }
+      if (depth + 1 == mp.length()) {
+        // Complete instance.
+        path.push_back(next);
+        instances.push_back(path);
+        path.pop_back();
+        if (options.max_instances_per_path != 0 &&
+            instances.size() >= options.max_instances_per_path) {
+          return;
+        }
+      } else {
+        path.push_back(next);
+        stack.push_back({next, 0});
+        descended = true;
+        break;
+      }
+    }
+    if (!descended && frame.cursor >= nbrs.size()) {
+      stack.pop_back();
+      path.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> FindMetapathInstances(const CsrGraph& g, VertexId v,
+                                                         const Metapath& mp,
+                                                         const MetapathMatchOptions& options) {
+  std::vector<std::vector<VertexId>> instances;
+  MatchFrom(g, v, mp, options, instances);
+  return instances;
+}
+
+std::vector<MetapathInstance> FindAllMetapathInstances(const CsrGraph& g, VertexId v,
+                                                       const std::vector<Metapath>& mps,
+                                                       const MetapathMatchOptions& options) {
+  std::vector<MetapathInstance> all;
+  for (uint32_t i = 0; i < mps.size(); ++i) {
+    for (auto& inst : FindMetapathInstances(g, v, mps[i], options)) {
+      all.push_back({std::move(inst), i});
+    }
+  }
+  return all;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,54 @@
+// Metapath instance matching for INHA models (MAGNN).
+//
+// A metapath is an ordered sequence of vertex types starting with the type of
+// the root, e.g. MP = [Movie, Actor, Movie]. An instance for root v is a path
+// (v = u0, u1, ..., uL) with TypeOf(u_i) == mp[i] for all i. Matching is a
+// depth-first search over out-edges; the paper notes this is "clearly out of
+// the reach of NN operations" and is where FlexGraph's graph engine earns its
+// keep for INHA models.
+#ifndef SRC_GRAPH_METAPATH_H_
+#define SRC_GRAPH_METAPATH_H_
+
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+struct Metapath {
+  std::vector<VertexType> types;  // types[0] is the root's type
+
+  std::size_t length() const { return types.empty() ? 0 : types.size() - 1; }
+};
+
+struct MetapathInstance {
+  // Vertices of the instance including the root at position 0.
+  std::vector<VertexId> vertices;
+  // Which metapath (index into the schema's metapath list) this matches.
+  uint32_t metapath_index = 0;
+};
+
+struct MetapathMatchOptions {
+  // Upper bound on instances returned per (root, metapath); 0 = unlimited.
+  // Real deployments cap this because hub vertices can match combinatorially
+  // many paths.
+  std::size_t max_instances_per_path = 0;
+  // Disallow revisiting a vertex within one instance (simple paths only).
+  bool simple_paths = true;
+};
+
+// All instances of `mp` rooted at v. Returns an empty list when v's type does
+// not match types[0].
+std::vector<std::vector<VertexId>> FindMetapathInstances(const CsrGraph& g, VertexId v,
+                                                         const Metapath& mp,
+                                                         const MetapathMatchOptions& options = {});
+
+// Instances of every metapath in `mps` rooted at v, tagged with the metapath
+// index.
+std::vector<MetapathInstance> FindAllMetapathInstances(const CsrGraph& g, VertexId v,
+                                                       const std::vector<Metapath>& mps,
+                                                       const MetapathMatchOptions& options = {});
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_METAPATH_H_

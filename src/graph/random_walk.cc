@@ -1,0 +1,56 @@
+#include "src/graph/random_walk.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace flexgraph {
+
+std::vector<VertexId> RandomWalk(const CsrGraph& g, VertexId start, int hops, Rng& rng) {
+  std::vector<VertexId> path;
+  path.reserve(static_cast<std::size_t>(hops));
+  VertexId cur = start;
+  for (int h = 0; h < hops; ++h) {
+    const auto nbrs = g.OutNeighbors(cur);
+    if (nbrs.empty()) {
+      break;
+    }
+    cur = nbrs[rng.NextBounded(nbrs.size())];
+    path.push_back(cur);
+  }
+  return path;
+}
+
+std::vector<VisitCount> TopKVisited(const CsrGraph& g, VertexId v, int num_walks, int hops,
+                                    int top_k, Rng& rng) {
+  std::unordered_map<VertexId, uint32_t> freq;
+  for (int w = 0; w < num_walks; ++w) {
+    VertexId cur = v;
+    for (int h = 0; h < hops; ++h) {
+      const auto nbrs = g.OutNeighbors(cur);
+      if (nbrs.empty()) {
+        break;
+      }
+      cur = nbrs[rng.NextBounded(nbrs.size())];
+      if (cur != v) {
+        ++freq[cur];
+      }
+    }
+  }
+  std::vector<VisitCount> counts;
+  counts.reserve(freq.size());
+  for (const auto& [vertex, count] : freq) {
+    counts.push_back({vertex, count});
+  }
+  std::sort(counts.begin(), counts.end(), [](const VisitCount& a, const VisitCount& b) {
+    if (a.count != b.count) {
+      return a.count > b.count;
+    }
+    return a.vertex < b.vertex;
+  });
+  if (static_cast<int>(counts.size()) > top_k) {
+    counts.resize(static_cast<std::size_t>(top_k));
+  }
+  return counts;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,31 @@
+// Random walks and the importance-based neighborhood PinSage defines with
+// them (paper §2.2: N(v) = top-k visited vertices over `num_traces` walks of
+// `n_hops` from v).
+#ifndef SRC_GRAPH_RANDOM_WALK_H_
+#define SRC_GRAPH_RANDOM_WALK_H_
+
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+// One uniform random walk of up to `hops` steps from start (shorter if a
+// dead-end is hit). The returned path excludes the start vertex.
+std::vector<VertexId> RandomWalk(const CsrGraph& g, VertexId start, int hops, Rng& rng);
+
+struct VisitCount {
+  VertexId vertex;
+  uint32_t count;
+};
+
+// Runs num_walks walks of `hops` from v, counts visits (excluding v itself),
+// and returns the top_k most-visited vertices, most-visited first. Ties break
+// toward the smaller vertex id so results are deterministic for a fixed rng.
+std::vector<VisitCount> TopKVisited(const CsrGraph& g, VertexId v, int num_walks, int hops,
+                                    int top_k, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_RANDOM_WALK_H_

@@ -1,0 +1,39 @@
+#include "src/graph/subgraph.h"
+
+namespace flexgraph {
+
+KHopSubgraph BuildKHopSubgraph(const CsrGraph& g, std::span<const VertexId> seeds,
+                               int num_hops) {
+  KHopSubgraph sub;
+  std::vector<VertexId> frontier(seeds.begin(), seeds.end());
+  for (VertexId v : seeds) {
+    if (sub.to_local.emplace(v, static_cast<uint32_t>(sub.vertices.size())).second) {
+      sub.vertices.push_back(v);
+    }
+  }
+  for (int hop = 0; hop < num_hops; ++hop) {
+    std::vector<VertexId> next;
+    for (VertexId v : frontier) {
+      for (VertexId u : g.OutNeighbors(v)) {
+        if (sub.to_local.emplace(u, static_cast<uint32_t>(sub.vertices.size())).second) {
+          sub.vertices.push_back(u);
+          next.push_back(u);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  sub.offsets.push_back(0);
+  for (VertexId v : sub.vertices) {
+    for (VertexId u : g.OutNeighbors(v)) {
+      auto it = sub.to_local.find(u);
+      if (it != sub.to_local.end()) {
+        sub.neighbors.push_back(it->second);
+      }
+    }
+    sub.offsets.push_back(sub.neighbors.size());
+  }
+  return sub;
+}
+
+}  // namespace flexgraph

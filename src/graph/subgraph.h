@@ -1,0 +1,35 @@
+// K-hop closure extraction and induced-subgraph remapping.
+//
+// This is the operation mini-batch GNN systems (Euler, DistDGL) perform per
+// batch: gather all vertices within k hops of the seeds, remap them to a
+// compact local id space, and materialize the induced adjacency. FlexGraph
+// itself does not need it for training (HDGs capture dependencies directly),
+// but the baselines do, and it is generally useful for subgraph analytics.
+#ifndef SRC_GRAPH_SUBGRAPH_H_
+#define SRC_GRAPH_SUBGRAPH_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+struct KHopSubgraph {
+  // Global ids, seeds first, then hop-1 closure, hop-2, ...
+  std::vector<VertexId> vertices;
+  std::unordered_map<VertexId, uint32_t> to_local;
+  // Induced adjacency in local ids (only edges between included vertices).
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+
+  std::size_t num_vertices() const { return vertices.size(); }
+  std::size_t num_edges() const { return neighbors.size(); }
+};
+
+KHopSubgraph BuildKHopSubgraph(const CsrGraph& g, std::span<const VertexId> seeds, int num_hops);
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,81 @@
+#include "src/graph/traversal.h"
+
+#include <deque>
+
+namespace flexgraph {
+
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source, uint32_t max_depth) {
+  FLEX_CHECK_LT(source, g.num_vertices());
+  std::vector<uint32_t> dist(g.num_vertices(), kUnreached);
+  std::deque<VertexId> queue;
+  dist[source] = 0;
+  queue.push_back(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    if (max_depth != 0 && dist[v] >= max_depth) {
+      continue;
+    }
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (dist[u] == kUnreached) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<VertexId> BfsOrder(const CsrGraph& g, VertexId seed, std::size_t limit) {
+  FLEX_CHECK_LT(seed, g.num_vertices());
+  std::vector<uint8_t> seen(g.num_vertices(), 0);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  seen[seed] = 1;
+  queue.push_back(seed);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    if (limit != 0 && order.size() >= limit) {
+      break;
+    }
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (seen[u] == 0) {
+        seen[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+std::vector<uint32_t> ConnectedComponents(const CsrGraph& g, uint32_t* num_components) {
+  std::vector<uint32_t> comp(g.num_vertices(), kUnreached);
+  uint32_t next = 0;
+  std::deque<VertexId> queue;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (comp[s] != kUnreached) {
+      continue;
+    }
+    comp[s] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      const VertexId v = queue.front();
+      queue.pop_front();
+      for (VertexId u : g.OutNeighbors(v)) {
+        if (comp[u] == kUnreached) {
+          comp[u] = next;
+          queue.push_back(u);
+        }
+      }
+    }
+    ++next;
+  }
+  if (num_components != nullptr) {
+    *num_components = next;
+  }
+  return comp;
+}
+
+}  // namespace flexgraph

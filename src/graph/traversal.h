@@ -1,0 +1,31 @@
+// BFS utilities: level-bounded distances (JK-Net neighborhoods) and bounded
+// BFS visit orders (the ADB balancer grows migration candidates in BFS order
+// from a seed, paper §5).
+#ifndef SRC_GRAPH_TRAVERSAL_H_
+#define SRC_GRAPH_TRAVERSAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+inline constexpr uint32_t kUnreached = 0xffffffffu;
+
+// Distances (in hops, following out-edges) from source; kUnreached when the
+// vertex is not reachable within max_depth (max_depth == 0 means unbounded).
+std::vector<uint32_t> BfsDistances(const CsrGraph& g, VertexId source, uint32_t max_depth = 0);
+
+// Vertices in BFS visit order starting at seed, at most `limit` of them
+// (limit == 0 means all reachable).
+std::vector<VertexId> BfsOrder(const CsrGraph& g, VertexId seed, std::size_t limit = 0);
+
+// Connected components over the undirected view (follows out-edges; callers
+// that want true undirected semantics should build graphs with both edge
+// directions, as the dataset generators do). Returns per-vertex component ids.
+std::vector<uint32_t> ConnectedComponents(const CsrGraph& g, uint32_t* num_components = nullptr);
+
+}  // namespace flexgraph
+
+#endif  // SRC_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,151 @@
+#include "src/hdg/hdg.h"
+
+#include <algorithm>
+
+namespace flexgraph {
+
+Hdg::MemoryFootprint Hdg::Footprint() const {
+  MemoryFootprint fp;
+  fp.bottom_bytes = instance_leaf_offsets_.size() * sizeof(uint64_t) +
+                    leaf_vertex_ids_.size() * sizeof(VertexId);
+  fp.in_between_bytes = slot_offsets_.size() * sizeof(uint64_t);
+  fp.schema_bytes = schema_.ByteSize();
+  fp.roots_bytes = roots_.size() * sizeof(VertexId);
+
+  // Without the elided-Dst optimization every instance carries an explicit
+  // destination entry; without the global schema tree every root keeps its
+  // own copy.
+  fp.naive_in_between_bytes =
+      fp.in_between_bytes + static_cast<std::size_t>(num_instances()) * sizeof(VertexId);
+  fp.naive_schema_bytes = static_cast<std::size_t>(num_roots()) * schema_.ByteSize();
+  return fp;
+}
+
+HdgBuilder::HdgBuilder(SchemaTree schema, std::vector<VertexId> roots)
+    : schema_(std::move(schema)), roots_(std::move(roots)) {
+  VertexId max_id = 0;
+  for (VertexId r : roots_) {
+    max_id = std::max(max_id, r);
+  }
+  root_rank_.assign(static_cast<std::size_t>(max_id) + 1, 0);
+  for (std::size_t i = 0; i < roots_.size(); ++i) {
+    FLEX_CHECK_MSG(root_rank_[roots_[i]] == 0, "duplicate root");
+    root_rank_[roots_[i]] = static_cast<uint32_t>(i) + 1;
+  }
+}
+
+void HdgBuilder::AddRecord(VertexId root, uint32_t nei_type, std::span<const VertexId> leaves) {
+  FLEX_CHECK_LT(nei_type, schema_.num_leaf_types());
+  FLEX_CHECK_MSG(root < root_rank_.size() && root_rank_[root] != 0,
+                 "record for a vertex that is not a root of this partition");
+  FLEX_CHECK(!leaves.empty());
+  Record rec;
+  rec.root_rank = root_rank_[root] - 1;
+  rec.nei_type = nei_type;
+  rec.leaf_begin = leaves_.size();
+  rec.leaf_count = static_cast<uint32_t>(leaves.size());
+  leaves_.insert(leaves_.end(), leaves.begin(), leaves.end());
+  records_.push_back(rec);
+}
+
+Hdg HdgBuilder::Build() {
+  // Order instances by their destination slot; this is what lets the
+  // in-between Dst array be elided (paper §4.1(2)).
+  const uint32_t num_types = schema_.num_leaf_types();
+  std::stable_sort(records_.begin(), records_.end(), [](const Record& a, const Record& b) {
+    if (a.root_rank != b.root_rank) {
+      return a.root_rank < b.root_rank;
+    }
+    return a.nei_type < b.nei_type;
+  });
+
+  Hdg hdg;
+  hdg.schema_ = schema_;
+  hdg.roots_ = std::move(roots_);
+
+  bool all_single_leaf = true;
+  for (const Record& rec : records_) {
+    if (rec.leaf_count != 1) {
+      all_single_leaf = false;
+      break;
+    }
+  }
+  hdg.flat_ = schema_.is_flat() && all_single_leaf;
+
+  const std::size_t num_slots =
+      static_cast<std::size_t>(hdg.roots_.size()) * num_types;
+  hdg.slot_offsets_.assign(num_slots + 1, 0);
+  for (const Record& rec : records_) {
+    const std::size_t slot =
+        static_cast<std::size_t>(rec.root_rank) * num_types + rec.nei_type;
+    ++hdg.slot_offsets_[slot + 1];
+  }
+  for (std::size_t s = 1; s < hdg.slot_offsets_.size(); ++s) {
+    hdg.slot_offsets_[s] += hdg.slot_offsets_[s - 1];
+  }
+
+  hdg.leaf_vertex_ids_.reserve(leaves_.size());
+  if (hdg.flat_) {
+    // Instance i is leaf i: records are already sorted by slot, copy leaves.
+    for (const Record& rec : records_) {
+      hdg.leaf_vertex_ids_.push_back(leaves_[rec.leaf_begin]);
+    }
+  } else {
+    hdg.instance_leaf_offsets_.reserve(records_.size() + 1);
+    hdg.instance_leaf_offsets_.push_back(0);
+    for (const Record& rec : records_) {
+      for (uint32_t l = 0; l < rec.leaf_count; ++l) {
+        hdg.leaf_vertex_ids_.push_back(leaves_[rec.leaf_begin + l]);
+      }
+      hdg.instance_leaf_offsets_.push_back(hdg.leaf_vertex_ids_.size());
+    }
+  }
+  return hdg;
+}
+
+Hdg FlatHdgFromInNeighbors(const CsrGraph& graph, std::vector<VertexId> roots) {
+  FLEX_CHECK(graph.has_in_edges());
+  Hdg hdg;
+  hdg.flat_ = true;
+  hdg.schema_ = SchemaTree::Flat();
+  hdg.roots_ = std::move(roots);
+  hdg.slot_offsets_.reserve(hdg.roots_.size() + 1);
+  hdg.slot_offsets_.push_back(0);
+  for (VertexId root : hdg.roots_) {
+    const auto nbrs = graph.InNeighbors(root);
+    hdg.leaf_vertex_ids_.insert(hdg.leaf_vertex_ids_.end(), nbrs.begin(), nbrs.end());
+    hdg.slot_offsets_.push_back(hdg.leaf_vertex_ids_.size());
+  }
+  return hdg;
+}
+
+CsrGraph BuildInducedGraph(const Hdg& hdg, VertexId num_graph_vertices) {
+  GraphBuilder builder(num_graph_vertices);
+  const uint32_t num_types = hdg.num_types();
+  const auto slot_offsets = hdg.slot_offsets();
+  const auto leaf_ids = hdg.leaf_vertex_ids();
+  const auto inst_offsets = hdg.instance_leaf_offsets();
+
+  for (uint32_t r = 0; r < hdg.num_roots(); ++r) {
+    const VertexId root = hdg.root_vertex(r);
+    const uint64_t inst_lo = slot_offsets[static_cast<std::size_t>(r) * num_types];
+    const uint64_t inst_hi = slot_offsets[static_cast<std::size_t>(r + 1) * num_types];
+    const uint64_t leaf_lo = hdg.flat() ? inst_lo : inst_offsets[inst_lo];
+    const uint64_t leaf_hi = hdg.flat() ? inst_hi : inst_offsets[inst_hi];
+    // Distinct leaves only: dedup within the root's leaf range.
+    std::vector<VertexId> leaves(leaf_ids.begin() + static_cast<std::ptrdiff_t>(leaf_lo),
+                                 leaf_ids.begin() + static_cast<std::ptrdiff_t>(leaf_hi));
+    std::sort(leaves.begin(), leaves.end());
+    leaves.erase(std::unique(leaves.begin(), leaves.end()), leaves.end());
+    for (VertexId leaf : leaves) {
+      if (leaf != root) {
+        builder.AddUndirectedEdge(root, leaf);
+      }
+    }
+  }
+  return builder.Build(GraphBuilder::Options{.build_in_edges = false,
+                                             .sort_neighbors = true,
+                                             .dedup_edges = true});
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,68 @@
+// Schema tree of an HDG (paper §3.1): the root plus one leaf per neighbor
+// *type* defined by the GNN model. GCN/PinSage have a single "vertex" type and
+// the tree degenerates to the root (T = v). MAGNN has one leaf per metapath.
+//
+// FlexGraph stores exactly one *global* schema tree shared by every root in
+// the HDGs (paper §4.1(3)); Footprint() below exposes what per-root copies
+// would have cost for the storage-ablation bench.
+#ifndef SRC_HDG_SCHEMA_TREE_H_
+#define SRC_HDG_SCHEMA_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+class SchemaTree {
+ public:
+  // Degenerate tree: a single neighbor type named "vertex"; used by flat
+  // (DNFA/INFA) models.
+  static SchemaTree Flat() {
+    SchemaTree t;
+    t.leaf_names_ = {"vertex"};
+    t.flat_ = true;
+    return t;
+  }
+
+  // A root plus the given neighbor-type leaves (INHA models).
+  static SchemaTree WithLeafTypes(std::vector<std::string> leaf_names) {
+    FLEX_CHECK(!leaf_names.empty());
+    SchemaTree t;
+    t.leaf_names_ = std::move(leaf_names);
+    t.flat_ = false;
+    return t;
+  }
+
+  uint32_t num_leaf_types() const { return static_cast<uint32_t>(leaf_names_.size()); }
+
+  const std::string& leaf_name(uint32_t i) const {
+    FLEX_CHECK_LT(i, leaf_names_.size());
+    return leaf_names_[i];
+  }
+
+  // True when the model treats neighbors as bare input-graph vertices and the
+  // tree is just the root.
+  bool is_flat() const { return flat_; }
+
+  // Bytes of one tree instance (the global copy).
+  std::size_t ByteSize() const {
+    std::size_t bytes = sizeof(SchemaTree);
+    for (const auto& name : leaf_names_) {
+      bytes += name.size();
+    }
+    return bytes;
+  }
+
+ private:
+  SchemaTree() = default;
+
+  std::vector<std::string> leaf_names_;
+  bool flat_ = true;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_HDG_SCHEMA_TREE_H_

@@ -1,0 +1,72 @@
+#include "src/models/gat.h"
+
+#include "src/models/gcn.h"
+#include "src/tensor/nn.h"
+
+namespace flexgraph {
+
+namespace {
+
+class GatLayer : public GnnLayer {
+ public:
+  GatLayer(int64_t in_dim, int64_t out_dim, float leaky_slope, bool final_layer, Rng& rng)
+      : transform_(in_dim, out_dim, rng),
+        attn_src_(out_dim, 1, rng),
+        attn_dst_(out_dim, 1, rng),
+        self_(in_dim, out_dim, rng),
+        leaky_slope_(leaky_slope),
+        final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    Variable transformed = transform_.Apply(feats);
+    Variable src_scores = attn_src_.Apply(transformed);
+    Variable dst_scores = attn_dst_.Apply(transformed);
+    return agg.BottomLevelEdgeAttention(transformed, src_scores, dst_scores, leaky_slope_);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = AgAdd(self_.Apply(feats), nbr_feats);
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    transform_.CollectParameters(params);
+    attn_src_.CollectParameters(params);
+    attn_dst_.CollectParameters(params);
+    self_.CollectParameters(params);
+  }
+
+ private:
+  Linear transform_;
+  Linear attn_src_;
+  Linear attn_dst_;
+  Linear self_;
+  float leaky_slope_;
+  bool final_layer_;
+};
+
+}  // namespace
+
+GnnModel MakeGatModel(const GatConfig& config, Rng& rng) {
+  FLEX_CHECK_GE(config.num_layers, 1);
+  GnnModel model;
+  model.name = "gat";
+  model.schema = SchemaTree::Flat();
+  model.cache_policy = HdgCachePolicy::kStatic;
+  model.neighbor_udf = GcnNeighborUdf();
+  model.hdg_from_input_graph = true;
+  // Attention weights depend on both endpoints: the weighted sum cannot be
+  // partially pre-reduced by a remote owner that lacks the destination score.
+  model.bottom_reduce_commutative = false;
+  int64_t dim = config.in_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    const bool final_layer = l == config.num_layers - 1;
+    const int64_t out = final_layer ? config.num_classes : config.hidden_dim;
+    model.layers.push_back(
+        std::make_unique<GatLayer>(dim, out, config.leaky_slope, final_layer, rng));
+    dim = out;
+  }
+  return model;
+}
+
+}  // namespace flexgraph

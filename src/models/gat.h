@@ -1,0 +1,28 @@
+// GAT (Veličković et al.) — attention-based DNFA model:
+//   Aggregation: per-edge attention α(u→v) = softmax_v(LeakyReLU(a_src·Wh_u +
+//                a_dst·Wh_v)), neighborhood representation Σ α·Wh_u.
+//   Update:      ReLU(W_self·h + nbr) — the learned self path plays the role
+//                of GAT's self-loop attention edge.
+// Demonstrates that attention-weighted flat aggregation composes from NAU's
+// existing op set (segment softmax + weighted segment sum) with no engine
+// changes.
+#ifndef SRC_MODELS_GAT_H_
+#define SRC_MODELS_GAT_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct GatConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+  float leaky_slope = 0.2f;
+};
+
+GnnModel MakeGatModel(const GatConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_GAT_H_

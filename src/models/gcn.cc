@@ -1,0 +1,63 @@
+#include "src/models/gcn.h"
+
+#include "src/tensor/nn.h"
+
+namespace flexgraph {
+
+namespace {
+
+class GcnLayer : public GnnLayer {
+ public:
+  GcnLayer(int64_t in_dim, int64_t out_dim, bool final_layer, Rng& rng)
+      : linear_(in_dim, out_dim, rng), final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    // Mean = row-normalized adjacency (D⁻¹A), the standard GCN normalization;
+    // kernel cost is identical to the paper's scatter_add formulation.
+    return agg.BottomLevel(feats, ReduceKind::kMean);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = linear_.Apply(AgAdd(feats, nbr_feats));
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    linear_.CollectParameters(params);
+  }
+
+ private:
+  Linear linear_;
+  bool final_layer_;
+};
+
+}  // namespace
+
+NeighborUdf GcnNeighborUdf() {
+  return [](const NeighborSelectionContext& ctx, VertexId root, HdgBuilder& builder) {
+    for (VertexId u : ctx.graph.OutNeighbors(root)) {
+      const VertexId leaves[1] = {u};
+      builder.AddRecord(root, 0, leaves);
+    }
+  };
+}
+
+GnnModel MakeGcnModel(const GcnConfig& config, Rng& rng) {
+  FLEX_CHECK_GE(config.num_layers, 1);
+  GnnModel model;
+  model.name = "gcn";
+  model.schema = SchemaTree::Flat();
+  model.cache_policy = HdgCachePolicy::kStatic;  // 1-hop neighbors never change
+  model.neighbor_udf = GcnNeighborUdf();
+  model.hdg_from_input_graph = true;  // the input graph serves as the HDG (§7.8)
+  int64_t dim = config.in_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    const bool final_layer = l == config.num_layers - 1;
+    const int64_t out = final_layer ? config.num_classes : config.hidden_dim;
+    model.layers.push_back(std::make_unique<GcnLayer>(dim, out, final_layer, rng));
+    dim = out;
+  }
+  return model;
+}
+
+}  // namespace flexgraph

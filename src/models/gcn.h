@@ -1,0 +1,26 @@
+// GCN (Kipf & Welling) — the paper's DNFA representative (Figure 7):
+//   NeighborSelection: all 1-hop neighbors, type "vertex" (flat HDG).
+//   Aggregation:       sum of neighbor features (one bottom-level reduce).
+//   Update:            ReLU(W · (h + nbr)) — last layer emits raw logits.
+#ifndef SRC_MODELS_GCN_H_
+#define SRC_MODELS_GCN_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct GcnConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+};
+
+// Builds the neighbor UDF alone (used by tests and baselines).
+NeighborUdf GcnNeighborUdf();
+
+GnnModel MakeGcnModel(const GcnConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_GCN_H_

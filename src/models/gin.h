@@ -1,0 +1,25 @@
+// GIN (Xu et al., "How powerful are GNNs?") — a DNFA model from the paper's
+// categorization (§2.2):
+//   h' = MLP((1 + ε)·h + Σ_{u∈N(v)} h_u)   with learnable ε.
+// Sum aggregation is deliberately un-normalized (GIN's injectivity argument);
+// the MLP is a two-layer perceptron.
+#ifndef SRC_MODELS_GIN_H_
+#define SRC_MODELS_GIN_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct GinConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+  float epsilon_init = 0.0f;
+};
+
+GnnModel MakeGinModel(const GinConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_GIN_H_

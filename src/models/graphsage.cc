@@ -1,0 +1,137 @@
+#include "src/models/graphsage.h"
+
+#include "src/models/gcn.h"
+#include "src/tensor/lstm.h"
+#include "src/tensor/nn.h"
+
+namespace flexgraph {
+
+const char* SageAggregatorName(SageAggregator aggregator) {
+  switch (aggregator) {
+    case SageAggregator::kMean:
+      return "mean";
+    case SageAggregator::kMaxPool:
+      return "maxpool";
+    case SageAggregator::kLstm:
+      return "lstm";
+  }
+  return "?";
+}
+
+namespace {
+
+class SageMeanLayer : public GnnLayer {
+ public:
+  SageMeanLayer(int64_t in_dim, int64_t out_dim, bool final_layer, Rng& rng)
+      : linear_(2 * in_dim, out_dim, rng), final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    return agg.BottomLevel(feats, ReduceKind::kMean);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = linear_.Apply(AgConcatCols(feats, nbr_feats));
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    linear_.CollectParameters(params);
+  }
+
+ private:
+  Linear linear_;
+  bool final_layer_;
+};
+
+class SageMaxPoolLayer : public GnnLayer {
+ public:
+  SageMaxPoolLayer(int64_t in_dim, int64_t pool_dim, int64_t out_dim, bool final_layer,
+                   Rng& rng)
+      : pool_(in_dim, pool_dim, rng),
+        linear_(in_dim + pool_dim, out_dim, rng),
+        final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    // σ(W_pool·x_u) per vertex, then element-wise max over the neighborhood.
+    Variable transformed = AgRelu(pool_.Apply(feats));
+    return agg.BottomLevelMax(transformed);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = linear_.Apply(AgConcatCols(feats, nbr_feats));
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    pool_.CollectParameters(params);
+    linear_.CollectParameters(params);
+  }
+
+ private:
+  Linear pool_;
+  Linear linear_;
+  bool final_layer_;
+};
+
+class SageLstmLayer : public GnnLayer {
+ public:
+  SageLstmLayer(int64_t in_dim, int64_t lstm_dim, int64_t out_dim, bool final_layer, Rng& rng)
+      : cell_(in_dim, lstm_dim, rng),
+        linear_(in_dim + lstm_dim, out_dim, rng),
+        final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    return agg.BottomLevelLstm(feats, cell_);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = linear_.Apply(AgConcatCols(feats, nbr_feats));
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    cell_.CollectParameters(params);
+    linear_.CollectParameters(params);
+  }
+
+ private:
+  LstmCell cell_;
+  Linear linear_;
+  bool final_layer_;
+};
+
+}  // namespace
+
+GnnModel MakeGraphSageModel(const GraphSageConfig& config, Rng& rng) {
+  FLEX_CHECK_GE(config.num_layers, 1);
+  GnnModel model;
+  model.name = std::string("graphsage-") + SageAggregatorName(config.aggregator);
+  model.schema = SchemaTree::Flat();
+  model.cache_policy = HdgCachePolicy::kStatic;
+  model.neighbor_udf = GcnNeighborUdf();
+  model.hdg_from_input_graph = true;
+  model.bottom_reduce_commutative = config.aggregator != SageAggregator::kLstm;
+
+  int64_t dim = config.in_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    const bool final_layer = l == config.num_layers - 1;
+    const int64_t out = final_layer ? config.num_classes : config.hidden_dim;
+    switch (config.aggregator) {
+      case SageAggregator::kMean:
+        model.layers.push_back(std::make_unique<SageMeanLayer>(dim, out, final_layer, rng));
+        break;
+      case SageAggregator::kMaxPool:
+        model.layers.push_back(
+            std::make_unique<SageMaxPoolLayer>(dim, config.pool_dim, out, final_layer, rng));
+        break;
+      case SageAggregator::kLstm:
+        model.layers.push_back(
+            std::make_unique<SageLstmLayer>(dim, config.pool_dim, out, final_layer, rng));
+        break;
+    }
+    dim = out;
+  }
+  return model;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,40 @@
+// GraphSAGE (Hamilton et al.) — a DNFA model family with swappable
+// aggregators, exercising the aggregation paths GCN does not:
+//   kMean — fused mean (like GCN but concat update);
+//   kMaxPool — per-neighbor MLP then element-wise max (exact arg-max
+//              backward through AgSegmentMax);
+//   kLstm — order-dependent LSTM over the neighbor sequence, the paper §5's
+//           *non-commutative* aggregator: the model sets
+//           bottom_reduce_commutative = false and the distributed runtime
+//           falls back to batched communication.
+// Update: ReLU(W · concat(h, nbr)).
+#ifndef SRC_MODELS_GRAPHSAGE_H_
+#define SRC_MODELS_GRAPHSAGE_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+enum class SageAggregator {
+  kMean,
+  kMaxPool,
+  kLstm,
+};
+
+const char* SageAggregatorName(SageAggregator aggregator);
+
+struct GraphSageConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+  SageAggregator aggregator = SageAggregator::kMean;
+  // Max-pool transform width / LSTM hidden size.
+  int64_t pool_dim = 32;
+};
+
+GnnModel MakeGraphSageModel(const GraphSageConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_GRAPHSAGE_H_

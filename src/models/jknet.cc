@@ -1,0 +1,82 @@
+#include "src/models/jknet.h"
+
+#include "src/graph/traversal.h"
+#include "src/tensor/nn.h"
+
+namespace flexgraph {
+
+namespace {
+
+class JkNetLayer : public GnnLayer {
+ public:
+  JkNetLayer(int64_t in_dim, int64_t out_dim, int num_hops, bool final_layer, Rng& rng)
+      : linear_(in_dim + num_hops * in_dim, out_dim, rng), final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    // Hop-set representation: mean of the vertices at that distance.
+    Variable hop_feats = agg.BottomLevel(feats, ReduceKind::kMean);
+    // One instance per (root, hop) slot — the slot reduce is a pass-through
+    // sum (empty hop sets yield zero rows).
+    Variable slots = agg.InstanceLevel(hop_feats, ReduceKind::kSum);
+    // Jumping connection: concat across hops.
+    return agg.SchemaLevelConcat(slots);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = linear_.Apply(AgConcatCols(feats, nbr_feats));
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    linear_.CollectParameters(params);
+  }
+
+ private:
+  Linear linear_;
+  bool final_layer_;
+};
+
+}  // namespace
+
+NeighborUdf JkNetNeighborUdf(int num_hops) {
+  return [num_hops](const NeighborSelectionContext& ctx, VertexId root, HdgBuilder& builder) {
+    const std::vector<uint32_t> dist =
+        BfsDistances(ctx.graph, root, static_cast<uint32_t>(num_hops));
+    std::vector<std::vector<VertexId>> hop_sets(static_cast<std::size_t>(num_hops));
+    for (VertexId v = 0; v < ctx.graph.num_vertices(); ++v) {
+      if (dist[v] != kUnreached && dist[v] >= 1 && dist[v] <= static_cast<uint32_t>(num_hops)) {
+        hop_sets[dist[v] - 1].push_back(v);
+      }
+    }
+    for (int hop = 0; hop < num_hops; ++hop) {
+      if (!hop_sets[static_cast<std::size_t>(hop)].empty()) {
+        builder.AddRecord(root, static_cast<uint32_t>(hop),
+                          hop_sets[static_cast<std::size_t>(hop)]);
+      }
+    }
+  };
+}
+
+GnnModel MakeJkNetModel(const JkNetConfig& config, Rng& rng) {
+  FLEX_CHECK_GE(config.num_layers, 1);
+  GnnModel model;
+  model.name = "jknet";
+  std::vector<std::string> leaf_names;
+  for (int hop = 1; hop <= config.num_hops; ++hop) {
+    leaf_names.push_back("hop" + std::to_string(hop));
+  }
+  model.schema = SchemaTree::WithLeafTypes(std::move(leaf_names));
+  model.cache_policy = HdgCachePolicy::kStatic;
+  model.neighbor_udf = JkNetNeighborUdf(config.num_hops);
+  int64_t dim = config.in_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    const bool final_layer = l == config.num_layers - 1;
+    const int64_t out = final_layer ? config.num_classes : config.hidden_dim;
+    model.layers.push_back(
+        std::make_unique<JkNetLayer>(dim, out, config.num_hops, final_layer, rng));
+    dim = out;
+  }
+  return model;
+}
+
+}  // namespace flexgraph

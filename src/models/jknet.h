@@ -1,0 +1,33 @@
+// JK-Net (Xu et al.) expressed in NAU — the second INHA model from the
+// paper's §3.2 Discussion:
+//   NeighborSelection: the root's i-th "neighbor" is the set of vertices at
+//                      shortest-path distance exactly i (i = 1..k); each hop
+//                      set is one hierarchical neighbor instance of type
+//                      "hop_i".
+//   Aggregation:       mean within each hop set (level 3→2), pass-through to
+//                      slots (one instance per type), then a cross-hop
+//                      *concat* at the schema level — JK-Net's jumping
+//                      connection — which is a pure reshape under HA.
+//   Update:            ReLU(W · concat(h, nbr)).
+#ifndef SRC_MODELS_JKNET_H_
+#define SRC_MODELS_JKNET_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct JkNetConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+  int num_hops = 2;  // k: hop sets 1..k
+};
+
+NeighborUdf JkNetNeighborUdf(int num_hops);
+
+GnnModel MakeJkNetModel(const JkNetConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_JKNET_H_

@@ -1,0 +1,47 @@
+// MAGNN (Fu et al.) — the paper's INHA representative:
+//   NeighborSelection: N(v) = all metapath instances rooted at v that match
+//                      the model's metapaths (paper Figure 2).
+//   Aggregation (hierarchical, paper §2.2 + Figure 7):
+//     level 3→2  mean of the member-vertex features per instance (fused);
+//     level 2→1  attention over instances of the same metapath type — a
+//                segment softmax of learned scores, i.e. scatter_softmax —
+//                then weighted sum (sparse NN ops);
+//     level 1→0  mean across metapath types (dense reshape+reduce under HA).
+//   Update: ReLU(W · nbr) — MAGNN's update uses the neighborhood
+//           representation only (paper Figure 7).
+// HDGs never change across epochs (metapaths are static), so they are built
+// once for the whole training run.
+#ifndef SRC_MODELS_MAGNN_H_
+#define SRC_MODELS_MAGNN_H_
+
+#include <vector>
+
+#include "src/core/nau.h"
+#include "src/graph/metapath.h"
+
+namespace flexgraph {
+
+struct MagnnConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 4;
+  int num_layers = 2;
+  // Paper §7 settings: 6 metapath types, each instance has 3 vertices
+  // (length-2 metapaths). Empty = DefaultMetapaths3Type().
+  std::vector<Metapath> metapaths;
+  // Cap on matched instances per (root, metapath); hubs in skewed graphs can
+  // otherwise match combinatorially many paths.
+  std::size_t max_instances_per_path = 32;
+};
+
+// The paper's setting for a 3-type graph: six length-2 metapaths, two rooted
+// at each vertex type.
+std::vector<Metapath> DefaultMetapaths3Type();
+
+NeighborUdf MagnnNeighborUdf(std::vector<Metapath> metapaths, std::size_t max_instances_per_path);
+
+GnnModel MakeMagnnModel(const MagnnConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_MAGNN_H_

@@ -1,0 +1,81 @@
+#include "src/models/pgnn.h"
+
+#include <algorithm>
+
+#include "src/tensor/nn.h"
+
+namespace flexgraph {
+
+namespace {
+
+class PgnnLayer : public GnnLayer {
+ public:
+  PgnnLayer(int64_t in_dim, int64_t out_dim, bool final_layer, Rng& rng)
+      : linear_(2 * in_dim, out_dim, rng), final_layer_(final_layer) {}
+
+  Variable Aggregate(const Variable& feats, const HdgAggregator& agg) const override {
+    // Anchor-set representation: mean of member features (level 3→2).
+    Variable anchor_feats = agg.BottomLevel(feats, ReduceKind::kMean);
+    // Combine the root's k anchor-sets (level 2→1).
+    Variable slots = agg.InstanceLevel(anchor_feats, ReduceKind::kMean);
+    // Single neighbor type ⇒ the schema level is a group-of-1 reduce.
+    return agg.SchemaLevel(slots, ReduceKind::kSum);
+  }
+
+  Variable Update(const Variable& feats, const Variable& nbr_feats) const override {
+    Variable out = linear_.Apply(AgConcatCols(feats, nbr_feats));
+    return final_layer_ ? out : AgRelu(out);
+  }
+
+  void CollectParameters(std::vector<Variable>& params) const override {
+    linear_.CollectParameters(params);
+  }
+
+ private:
+  Linear linear_;
+  bool final_layer_;
+};
+
+}  // namespace
+
+NeighborUdf PgnnNeighborUdf(VertexId num_vertices, const PgnnConfig& config) {
+  // Anchor-sets are shared by all roots; sample them once, deterministically.
+  Rng rng(config.anchor_seed);
+  std::vector<std::vector<VertexId>> anchor_sets(
+      static_cast<std::size_t>(config.num_anchor_sets));
+  for (auto& set : anchor_sets) {
+    set.reserve(static_cast<std::size_t>(config.anchor_set_size));
+    for (int i = 0; i < config.anchor_set_size; ++i) {
+      set.push_back(static_cast<VertexId>(rng.NextBounded(num_vertices)));
+    }
+    std::sort(set.begin(), set.end());
+    set.erase(std::unique(set.begin(), set.end()), set.end());
+  }
+  return [anchor_sets = std::move(anchor_sets)](const NeighborSelectionContext&, VertexId root,
+                                                HdgBuilder& builder) {
+    for (const auto& set : anchor_sets) {
+      builder.AddRecord(root, 0, set);
+    }
+  };
+}
+
+GnnModel MakePgnnModel(VertexId num_vertices, const PgnnConfig& config, Rng& rng) {
+  FLEX_CHECK_GE(config.num_layers, 1);
+  GnnModel model;
+  model.name = "pgnn";
+  // A single "anchor_set" neighbor type, but the instances are vertex *sets*,
+  // so the HDG is hierarchical (non-flat).
+  model.schema = SchemaTree::WithLeafTypes({"anchor_set"});
+  model.cache_policy = HdgCachePolicy::kStatic;
+  model.neighbor_udf = PgnnNeighborUdf(num_vertices, config);
+  int64_t dim = config.in_dim;
+  for (int l = 0; l < config.num_layers; ++l) {
+    const bool final_layer = l == config.num_layers - 1;
+    const int64_t out = final_layer ? config.num_classes : config.hidden_dim;
+    model.layers.push_back(std::make_unique<PgnnLayer>(dim, out, final_layer, rng));
+    dim = out;
+  }
+  return model;
+}
+
+}  // namespace flexgraph

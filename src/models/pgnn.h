@@ -1,0 +1,38 @@
+// P-GNN (You et al.) expressed in NAU — one of the two INHA models the
+// paper's §3.2 Discussion uses to argue NAU's expressiveness:
+//   NeighborSelection: each root's "neighbors" are k shared anchor-sets
+//                      (random vertex subsets sampled once per model); every
+//                      anchor-set is one hierarchical neighbor instance.
+//   Aggregation:       mean within each anchor-set (level 3→2, fused), then
+//                      mean across the root's k anchor-sets (level 2→1),
+//                      schema level is a single-type pass-through.
+//   Update:            ReLU(W · concat(h, nbr)).
+// Simplification vs. the original model: the original weights anchor-set
+// messages by shortest-path distance; we use uniform weights, which keeps the
+// aggregation structure (the part FlexGraph's evaluation exercises) intact.
+#ifndef SRC_MODELS_PGNN_H_
+#define SRC_MODELS_PGNN_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct PgnnConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+  int num_anchor_sets = 8;
+  int anchor_set_size = 16;
+  uint64_t anchor_seed = 42;
+};
+
+// Samples the shared anchor-sets and returns the UDF that records them for
+// every root.
+NeighborUdf PgnnNeighborUdf(VertexId num_vertices, const PgnnConfig& config);
+
+GnnModel MakePgnnModel(VertexId num_vertices, const PgnnConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_PGNN_H_

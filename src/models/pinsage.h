@@ -1,0 +1,35 @@
+// PinSage (Ying et al.) — the paper's INFA representative:
+//   NeighborSelection: run `num_walks` random walks of `walk_hops` from each
+//                      vertex; N(v) = the top_k most-visited vertices. These
+//                      are *indirect* neighbors — no edge need connect them
+//                      to v — but the HDG stays flat.
+//   Aggregation:       sum over the selected neighbors.
+//   Update:            ReLU(W · concat(h, nbr)).
+// The HDGs are rebuilt every epoch (walks are stochastic) and shared across
+// layers within the epoch — the caching the paper's §3.2 Discussion credits
+// for much of the win over walk-simulating baselines.
+#ifndef SRC_MODELS_PINSAGE_H_
+#define SRC_MODELS_PINSAGE_H_
+
+#include "src/core/nau.h"
+
+namespace flexgraph {
+
+struct PinSageConfig {
+  int64_t in_dim = 64;
+  int64_t hidden_dim = 32;
+  int64_t num_classes = 8;
+  int num_layers = 2;
+  // Paper §7 settings: 10 walks of length 3, top-10 visited as neighbors.
+  int num_walks = 10;
+  int walk_hops = 3;
+  int top_k = 10;
+};
+
+NeighborUdf PinSageNeighborUdf(int num_walks, int walk_hops, int top_k);
+
+GnnModel MakePinSageModel(const PinSageConfig& config, Rng& rng);
+
+}  // namespace flexgraph
+
+#endif  // SRC_MODELS_PINSAGE_H_

@@ -1,0 +1,172 @@
+#include "src/partition/adb.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+namespace {
+
+std::vector<double> PartLoads(const Partitioning& p, const std::vector<double>& cost) {
+  std::vector<double> loads(p.num_parts, 0.0);
+  for (std::size_t v = 0; v < cost.size(); ++v) {
+    loads[p.owner[v]] += cost[v];
+  }
+  return loads;
+}
+
+double Imbalance(const std::vector<double>& loads) {
+  const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+  const double avg = total / static_cast<double>(loads.size());
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  return avg > 0.0 ? mx / avg : 1.0;
+}
+
+// BFS over the induced graph restricted to vertices currently owned by
+// `part`; returns the visit order (possibly not covering the whole part when
+// it is disconnected — uncovered vertices become migration candidates, which
+// is exactly the greedy-exclusion semantics of the paper's ParE2H heuristic).
+std::vector<VertexId> BfsWithinPart(const CsrGraph& g, const Partitioning& p, uint32_t part,
+                                    VertexId seed) {
+  std::vector<uint8_t> seen(g.num_vertices(), 0);
+  std::vector<VertexId> order;
+  std::deque<VertexId> queue;
+  seen[seed] = 1;
+  queue.push_back(seed);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop_front();
+    order.push_back(v);
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (seen[u] == 0 && p.owner[u] == part) {
+        seen[u] = 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return order;
+}
+
+// One balancing plan: keep a BFS-grown prefix of `part` within `budget`,
+// migrate the rest to the currently least-loaded partitions.
+Partitioning MakePlan(const CsrGraph& g, const Partitioning& current,
+                      const std::vector<double>& cost, uint32_t part, VertexId seed,
+                      double budget) {
+  Partitioning plan = current;
+  std::vector<double> loads = PartLoads(current, cost);
+
+  std::vector<uint8_t> kept(g.num_vertices(), 0);
+  double kept_cost = 0.0;
+  for (VertexId v : BfsWithinPart(g, current, part, seed)) {
+    // The seed is kept unconditionally (region growing starts *from* it);
+    // this lets a plan isolate a hub whose cost alone exceeds the budget.
+    if (v == seed || kept_cost + cost[v] <= budget) {
+      kept[v] = 1;
+      kept_cost += cost[v];
+    }
+  }
+
+  // Migrate everything in `part` that the BFS did not keep, each candidate to
+  // the least-loaded other partition at that moment.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    if (current.owner[v] != part || kept[v] == 1) {
+      continue;
+    }
+    uint32_t target = part;
+    double best = std::numeric_limits<double>::max();
+    for (uint32_t q = 0; q < current.num_parts; ++q) {
+      if (q != part && loads[q] < best) {
+        best = loads[q];
+        target = q;
+      }
+    }
+    plan.owner[v] = target;
+    loads[part] -= cost[v];
+    loads[target] += cost[v];
+  }
+  return plan;
+}
+
+}  // namespace
+
+AdbResult AdbRebalance(const CsrGraph& induced_graph, const Partitioning& current,
+                       const std::vector<double>& root_cost, const AdbParams& params) {
+  FLEX_CHECK_EQ(root_cost.size(), current.owner.size());
+  FLEX_CHECK_EQ(static_cast<std::size_t>(induced_graph.num_vertices()), current.owner.size());
+
+  AdbResult result;
+  result.partitioning = current;
+  result.balance_before = Imbalance(PartLoads(current, root_cost));
+  result.balance_after = result.balance_before;
+  result.cut_edges_after = EdgeCut(induced_graph, current);
+  if (current.num_parts <= 1) {
+    return result;
+  }
+
+  for (int round = 0; round < params.max_rounds; ++round) {
+    std::vector<double> loads = PartLoads(result.partitioning, root_cost);
+    if (Imbalance(loads) <= params.balance_threshold) {
+      break;
+    }
+    const uint32_t overloaded = static_cast<uint32_t>(
+        std::max_element(loads.begin(), loads.end()) - loads.begin());
+    const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
+    const double budget = total / static_cast<double>(current.num_parts);
+
+    // Seeds: the highest-cost vertices of the overloaded partition, one per
+    // plan, so the plans explore different BFS growth regions.
+    std::vector<VertexId> part_vertices;
+    for (VertexId v = 0; v < induced_graph.num_vertices(); ++v) {
+      if (result.partitioning.owner[v] == overloaded) {
+        part_vertices.push_back(v);
+      }
+    }
+    if (part_vertices.empty()) {
+      break;
+    }
+    std::sort(part_vertices.begin(), part_vertices.end(),
+              [&](VertexId a, VertexId b) { return root_cost[a] > root_cost[b]; });
+
+    Partitioning best_plan = result.partitioning;
+    uint64_t best_cut = std::numeric_limits<uint64_t>::max();
+    bool any_plan = false;
+    const double current_balance = Imbalance(loads);
+    const int plans = std::min<int>(params.num_plans, static_cast<int>(part_vertices.size()));
+    for (int pi = 0; pi < plans; ++pi) {
+      Partitioning plan = MakePlan(induced_graph, result.partitioning, root_cost, overloaded,
+                                   part_vertices[static_cast<std::size_t>(pi)], budget);
+      const std::vector<double> plan_loads = PartLoads(plan, root_cost);
+      const double plan_balance = Imbalance(plan_loads);
+      // Accept a plan that improves the global balance — or, when several
+      // parts tie at the maximum (so one migration cannot move the global
+      // max), one that strictly relieves the chosen part without making the
+      // balance worse; later rounds then work through the remaining ties.
+      const bool improves_global = plan_balance < current_balance - 1e-12;
+      const bool relieves_part = plan_loads[overloaded] < loads[overloaded] - 1e-12 &&
+                                 plan_balance <= current_balance + 1e-9;
+      if (!improves_global && !relieves_part) {
+        continue;
+      }
+      const uint64_t cut = EdgeCut(induced_graph, plan);
+      if (cut < best_cut) {
+        best_cut = cut;
+        best_plan = std::move(plan);
+        any_plan = true;
+      }
+    }
+    if (!any_plan) {
+      break;
+    }
+    result.partitioning = std::move(best_plan);
+    result.changed = true;
+  }
+
+  result.balance_after = Imbalance(PartLoads(result.partitioning, root_cost));
+  result.cut_edges_after = EdgeCut(induced_graph, result.partitioning);
+  return result;
+}
+
+}  // namespace flexgraph

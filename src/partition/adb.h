@@ -1,0 +1,45 @@
+// ADB — application-driven workload balancing (paper §5, §6).
+//
+// Given (a) the current partitioning, (b) a per-root training cost estimated
+// by the fitted PolynomialCostModel, and (c) the *induced graph* of the HDGs
+// (each root connected to its leaf vertices — the only vertices whose features
+// must be synchronized across partitions), ADB:
+//   1. finds the most overloaded partition,
+//   2. generates up to `num_plans` balancing plans, each grown by a BFS from a
+//      different seed: vertices covered by the BFS within the cost budget are
+//      kept, the rest become migration candidates,
+//   3. assigns candidates to underloaded partitions,
+//   4. picks the plan that cuts the fewest induced-graph edges.
+#ifndef SRC_PARTITION_ADB_H_
+#define SRC_PARTITION_ADB_H_
+
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+#include "src/partition/partition.h"
+
+namespace flexgraph {
+
+struct AdbParams {
+  int num_plans = 5;
+  // Rebalancing triggers when max load exceeds threshold × average load.
+  double balance_threshold = 1.15;
+  // How many relief rounds to run; several rounds are needed when multiple
+  // partitions tie at the maximum load (each round relieves one).
+  int max_rounds = 16;
+};
+
+struct AdbResult {
+  Partitioning partitioning;
+  bool changed = false;
+  double balance_before = 1.0;
+  double balance_after = 1.0;
+  uint64_t cut_edges_after = 0;
+};
+
+AdbResult AdbRebalance(const CsrGraph& induced_graph, const Partitioning& current,
+                       const std::vector<double>& root_cost, const AdbParams& params);
+
+}  // namespace flexgraph
+
+#endif  // SRC_PARTITION_ADB_H_

@@ -1,0 +1,115 @@
+#include "src/partition/cost_model.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, std::size_t n,
+                       std::vector<double>& x) {
+  FLEX_CHECK_EQ(a.size(), n * n);
+  FLEX_CHECK_EQ(b.size(), n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = r;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      return false;
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(a[pivot * n + c], a[col * n + c]);
+      }
+      std::swap(b[pivot], b[col]);
+    }
+    // Eliminate below.
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = a[r * n + col] / a[col * n + col];
+      if (factor == 0.0) {
+        continue;
+      }
+      for (std::size_t c = col; c < n; ++c) {
+        a[r * n + c] -= factor * a[col * n + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  // Back substitution.
+  x.assign(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) {
+      acc -= a[ri * n + c] * x[c];
+    }
+    x[ri] = acc / a[ri * n + ri];
+  }
+  return true;
+}
+
+std::vector<double> PolynomialCostModel::Featurize(const std::vector<double>& n,
+                                                   const std::vector<double>& m) {
+  FLEX_CHECK_EQ(n.size(), m.size());
+  std::vector<double> phi;
+  phi.reserve(1 + 3 * n.size());
+  phi.push_back(1.0);  // bias
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    phi.push_back(n[i]);
+    phi.push_back(m[i]);
+    phi.push_back(n[i] * m[i]);
+  }
+  return phi;
+}
+
+double PolynomialCostModel::Fit(const std::vector<RootCostSample>& samples) {
+  FLEX_CHECK(!samples.empty());
+  num_types_ = samples[0].neighbor_counts.size();
+  const std::size_t dim = 1 + 3 * num_types_;
+
+  // Normal equations: (ΦᵀΦ + λI) w = Φᵀy with a small ridge term for
+  // numerical robustness when metrics are collinear (common: all instances of
+  // one type have identical size).
+  std::vector<double> ata(dim * dim, 0.0);
+  std::vector<double> aty(dim, 0.0);
+  for (const auto& s : samples) {
+    FLEX_CHECK_EQ(s.neighbor_counts.size(), num_types_);
+    const std::vector<double> phi = Featurize(s.neighbor_counts, s.instance_sizes);
+    for (std::size_t i = 0; i < dim; ++i) {
+      aty[i] += phi[i] * s.measured_cost;
+      for (std::size_t j = 0; j < dim; ++j) {
+        ata[i * dim + j] += phi[i] * phi[j];
+      }
+    }
+  }
+  const double ridge = 1e-6 * static_cast<double>(samples.size());
+  for (std::size_t i = 0; i < dim; ++i) {
+    ata[i * dim + i] += ridge;
+  }
+  FLEX_CHECK_MSG(SolveLinearSystem(std::move(ata), std::move(aty), dim, coeffs_),
+                 "cost-model normal equations are singular");
+
+  double sq = 0.0;
+  for (const auto& s : samples) {
+    const double err = Predict(s.neighbor_counts, s.instance_sizes) - s.measured_cost;
+    sq += err * err;
+  }
+  return std::sqrt(sq / static_cast<double>(samples.size()));
+}
+
+double PolynomialCostModel::Predict(const std::vector<double>& neighbor_counts,
+                                    const std::vector<double>& instance_sizes) const {
+  FLEX_CHECK_MSG(fitted(), "Predict before Fit");
+  FLEX_CHECK_EQ(neighbor_counts.size(), num_types_);
+  const std::vector<double> phi = Featurize(neighbor_counts, instance_sizes);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) {
+    acc += coeffs_[i] * phi[i];
+  }
+  return acc;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,54 @@
+// The ADB cost function (paper §5, following Fan et al.'s application-driven
+// partitioning): training cost per HDG root is modeled as a polynomial over a
+// metric set — per-type neighbor counts n_1..n_k and per-type instance sizes
+// m_1..m_k. ADB fits the polynomial by least squares against sampled run logs
+// (root metrics, measured cost) collected online during training.
+#ifndef SRC_PARTITION_COST_MODEL_H_
+#define SRC_PARTITION_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace flexgraph {
+
+// One sampled log record for one HDG root.
+struct RootCostSample {
+  std::vector<double> neighbor_counts;  // n_1..n_k (per neighbor type)
+  std::vector<double> instance_sizes;   // m_1..m_k (per neighbor type)
+  double measured_cost = 0.0;           // e.g. microseconds or work units
+};
+
+// f(n, m) = bias + Σ_i a_i·n_i + Σ_i b_i·m_i + Σ_i c_i·n_i·m_i.
+// The product terms n_i·m_i dominate in practice: cost of aggregating type i
+// is (#neighbors of that type) × (bytes per neighbor), exactly the paper's
+// MAGNN example f = n1·m1 + n2·m2.
+class PolynomialCostModel {
+ public:
+  PolynomialCostModel() = default;
+
+  // Fits coefficients by least squares; requires at least one sample and a
+  // consistent number of types across samples. Returns the RMS residual.
+  double Fit(const std::vector<RootCostSample>& samples);
+
+  double Predict(const std::vector<double>& neighbor_counts,
+                 const std::vector<double>& instance_sizes) const;
+
+  bool fitted() const { return !coeffs_.empty(); }
+  const std::vector<double>& coefficients() const { return coeffs_; }
+
+ private:
+  static std::vector<double> Featurize(const std::vector<double>& n,
+                                       const std::vector<double>& m);
+
+  std::size_t num_types_ = 0;
+  std::vector<double> coeffs_;
+};
+
+// Solves the linear system A·x = b (A is n×n, row-major) by Gaussian
+// elimination with partial pivoting. Returns false if A is singular.
+bool SolveLinearSystem(std::vector<double> a, std::vector<double> b, std::size_t n,
+                       std::vector<double>& x);
+
+}  // namespace flexgraph
+
+#endif  // SRC_PARTITION_COST_MODEL_H_

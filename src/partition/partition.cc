@@ -1,0 +1,101 @@
+#include "src/partition/partition.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+std::vector<uint64_t> Partitioning::PartSizes() const {
+  std::vector<uint64_t> sizes(num_parts, 0);
+  for (uint32_t part : owner) {
+    FLEX_CHECK_LT(part, num_parts);
+    ++sizes[part];
+  }
+  return sizes;
+}
+
+Partitioning HashPartition(VertexId num_vertices, uint32_t num_parts) {
+  FLEX_CHECK_GE(num_parts, 1u);
+  Partitioning p;
+  p.num_parts = num_parts;
+  p.owner.resize(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    p.owner[v] = v % num_parts;
+  }
+  return p;
+}
+
+Partitioning LabelPropagationPartition(const CsrGraph& g, const LabelPropagationParams& params) {
+  const VertexId n = g.num_vertices();
+  Partitioning p = HashPartition(n, params.num_parts);
+  if (n == 0 || params.num_parts == 1) {
+    return p;
+  }
+
+  const uint64_t capacity = static_cast<uint64_t>(
+      params.balance_slack * static_cast<double>(n) / params.num_parts + 1.0);
+  std::vector<uint64_t> sizes(p.PartSizes());
+  std::vector<uint32_t> tally(params.num_parts, 0);
+
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    uint64_t moved = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nbrs = g.OutNeighbors(v);
+      if (nbrs.empty()) {
+        continue;
+      }
+      std::fill(tally.begin(), tally.end(), 0);
+      for (VertexId u : nbrs) {
+        ++tally[p.owner[u]];
+      }
+      uint32_t best = p.owner[v];
+      uint32_t best_count = tally[best];
+      for (uint32_t part = 0; part < params.num_parts; ++part) {
+        if (tally[part] > best_count && sizes[part] < capacity) {
+          best = part;
+          best_count = tally[part];
+        }
+      }
+      if (best != p.owner[v]) {
+        --sizes[p.owner[v]];
+        ++sizes[best];
+        p.owner[v] = best;
+        ++moved;
+      }
+    }
+    if (moved == 0) {
+      break;
+    }
+  }
+  return p;
+}
+
+uint64_t EdgeCut(const CsrGraph& g, const Partitioning& p) {
+  FLEX_CHECK_EQ(p.owner.size(), static_cast<std::size_t>(g.num_vertices()));
+  uint64_t cut = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (p.owner[v] != p.owner[u]) {
+        ++cut;
+      }
+    }
+  }
+  return cut;
+}
+
+double BalanceFactor(const std::vector<double>& vertex_weight, const Partitioning& p) {
+  FLEX_CHECK_EQ(vertex_weight.size(), p.owner.size());
+  std::vector<double> loads(p.num_parts, 0.0);
+  double total = 0.0;
+  for (std::size_t v = 0; v < vertex_weight.size(); ++v) {
+    loads[p.owner[v]] += vertex_weight[v];
+    total += vertex_weight[v];
+  }
+  const double avg = total / static_cast<double>(p.num_parts);
+  const double mx = *std::max_element(loads.begin(), loads.end());
+  return avg > 0.0 ? mx / avg : 1.0;
+}
+
+}  // namespace flexgraph

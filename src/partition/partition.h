@@ -1,0 +1,50 @@
+// Vertex partitionings and quality metrics.
+//
+// FlexGraph divides the vertex set into k disjoint partitions; each worker
+// builds the HDGs for its own roots (paper §5). The benchmark in Figure 15a
+// compares three ways of producing the owner vector: Hash, a PuLP-style
+// label-propagation partitioner, and the application-driven balancer (ADB).
+#ifndef SRC_PARTITION_PARTITION_H_
+#define SRC_PARTITION_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/csr_graph.h"
+
+namespace flexgraph {
+
+struct Partitioning {
+  uint32_t num_parts = 1;
+  std::vector<uint32_t> owner;  // [num_vertices] → part id
+
+  std::vector<uint64_t> PartSizes() const;
+};
+
+// owner[v] = v mod k — the classical baseline.
+Partitioning HashPartition(VertexId num_vertices, uint32_t num_parts);
+
+struct LabelPropagationParams {
+  uint32_t num_parts = 4;
+  int iterations = 8;
+  // Max part size as a multiple of the average (capacity constraint).
+  double balance_slack = 1.10;
+  uint64_t seed = 1;
+};
+
+// PuLP-style partitioner: seed parts by hash, then iteratively move each
+// vertex to the part most common among its neighbors, subject to the capacity
+// constraint. Cheap, locality-seeking — and, as the paper observes, can yield
+// *more skewed GNN workload* than Hash because static edge locality ignores
+// per-vertex training cost.
+Partitioning LabelPropagationPartition(const CsrGraph& g, const LabelPropagationParams& params);
+
+// Number of directed edges whose endpoints live in different parts.
+uint64_t EdgeCut(const CsrGraph& g, const Partitioning& p);
+
+// max part weight / average part weight for an arbitrary per-vertex weight.
+double BalanceFactor(const std::vector<double>& vertex_weight, const Partitioning& p);
+
+}  // namespace flexgraph
+
+#endif  // SRC_PARTITION_PARTITION_H_

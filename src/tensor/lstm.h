@@ -1,0 +1,54 @@
+// Differentiable LSTM aggregation over variable-length segments.
+//
+// This is the paper's §5 "non-commutative aggregator" case (neighbors'
+// features aggregated via an LSTM, as in GraphSAGE-LSTM): each segment's rows
+// are consumed in order by an LSTM cell and the final hidden state becomes
+// the segment's representation. Because the reduction is order-dependent it
+// cannot be partially aggregated across partitions — the distributed runtime
+// must fall back to batched raw communication (GnnModel::
+// bottom_reduce_commutative = false).
+#ifndef SRC_TENSOR_LSTM_H_
+#define SRC_TENSOR_LSTM_H_
+
+#include <vector>
+
+#include "src/tensor/autograd.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+// LSTM cell parameters: wx [in, 4h], wh [h, 4h], bias [1, 4h]; gate order in
+// the 4h axis is (input, forget, cell, output).
+class LstmCell {
+ public:
+  LstmCell() = default;
+  LstmCell(int64_t input_dim, int64_t hidden_dim, Rng& rng);
+
+  int64_t input_dim() const { return wx_.defined() ? wx_.rows() : 0; }
+  int64_t hidden_dim() const { return wh_.defined() ? wh_.rows() : 0; }
+
+  Variable& wx() { return wx_; }
+  Variable& wh() { return wh_; }
+  Variable& bias() { return bias_; }
+  const Variable& wx() const { return wx_; }
+  const Variable& wh() const { return wh_; }
+  const Variable& bias() const { return bias_; }
+
+  void CollectParameters(std::vector<Variable>& params) const;
+
+ private:
+  Variable wx_;
+  Variable wh_;
+  Variable bias_;
+};
+
+// Runs the cell over each segment of `values` (rows [offsets[s], offsets[s+1])
+// in order, starting from zero state) and returns the final hidden state per
+// segment, [num_segments, hidden]. Empty segments yield zero rows. Fully
+// differentiable w.r.t. values and the cell parameters (BPTT).
+Variable AgSegmentLstm(const Variable& values, std::vector<uint64_t> offsets,
+                       const LstmCell& cell);
+
+}  // namespace flexgraph
+
+#endif  // SRC_TENSOR_LSTM_H_

@@ -1,0 +1,103 @@
+#include "src/tensor/nn.h"
+
+#include <cmath>
+
+#include "src/tensor/ops_dense.h"
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+void XavierUniformFill(Tensor& t, Rng& rng) {
+  const float limit =
+      std::sqrt(6.0f / static_cast<float>(t.rows() + t.cols()));
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    t.data()[i] = rng.NextUniform(-limit, limit);
+  }
+}
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng) {
+  Tensor w(in_features, out_features);
+  XavierUniformFill(w, rng);
+  w_ = Variable::Leaf(std::move(w), /*requires_grad=*/true);
+  b_ = Variable::Leaf(Tensor(1, out_features), /*requires_grad=*/true);
+}
+
+Variable Linear::Apply(const Variable& x) const {
+  FLEX_CHECK_MSG(w_.defined(), "Linear used before construction");
+  return AgAddBias(AgMatMul(x, w_), b_);
+}
+
+void Linear::CollectParameters(std::vector<Variable>& params) const {
+  params.push_back(w_);
+  params.push_back(b_);
+}
+
+void SgdOptimizer::Step(std::vector<Variable>& params) const {
+  for (auto& p : params) {
+    Tensor& value = p.mutable_value();
+    const Tensor& g = p.grad();
+    for (int64_t i = 0; i < value.numel(); ++i) {
+      float grad = g.data()[i];
+      if (weight_decay_ != 0.0f) {
+        grad += weight_decay_ * value.data()[i];
+      }
+      value.data()[i] -= lr_ * grad;
+    }
+  }
+}
+
+void SgdOptimizer::ZeroGrad(std::vector<Variable>& params) {
+  for (auto& p : params) {
+    p.ZeroGrad();
+  }
+}
+
+void AdamOptimizer::Step(std::vector<Variable>& params) {
+  if (m_.empty()) {
+    m_.resize(params.size());
+    v_.resize(params.size());
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      m_[i] = Tensor(params[i].rows(), params[i].cols());
+      v_[i] = Tensor(params[i].rows(), params[i].cols());
+    }
+  }
+  FLEX_CHECK_EQ(m_.size(), params.size());
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& value = params[i].mutable_value();
+    const Tensor& g = params[i].grad();
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t k = 0; k < value.numel(); ++k) {
+      const float grad = g.data()[k];
+      m.data()[k] = beta1_ * m.data()[k] + (1.0f - beta1_) * grad;
+      v.data()[k] = beta2_ * v.data()[k] + (1.0f - beta2_) * grad * grad;
+      const float mhat = m.data()[k] / bc1;
+      const float vhat = v.data()[k] / bc2;
+      value.data()[k] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+float Accuracy(const Tensor& logits, const std::vector<uint32_t>& labels) {
+  FLEX_CHECK_EQ(logits.rows(), static_cast<int64_t>(labels.size()));
+  int64_t correct = 0;
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const float* row = logits.Row(i);
+    int64_t best = 0;
+    for (int64_t j = 1; j < logits.cols(); ++j) {
+      if (row[j] > row[best]) {
+        best = j;
+      }
+    }
+    if (static_cast<uint32_t>(best) == labels[static_cast<std::size_t>(i)]) {
+      ++correct;
+    }
+  }
+  return static_cast<float>(correct) / static_cast<float>(logits.rows());
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,317 @@
+#include "src/tensor/ops_dense.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace flexgraph {
+
+namespace {
+
+// Blocked i-k-j matmul: streams B rows, keeps the inner loop contiguous so the
+// compiler vectorizes it. Good enough for the feature dims GNNs use (16–512).
+constexpr int64_t kBlock = 64;
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.cols(), b.rows());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  Tensor c(m, n);
+  for (int64_t kb = 0; kb < k; kb += kBlock) {
+    const int64_t kend = std::min(k, kb + kBlock);
+    for (int64_t i = 0; i < m; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (int64_t kk = kb; kk < kend; ++kk) {
+        const float aik = arow[kk];
+        const float* __restrict brow = b.Row(kk);
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += aik * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.cols(), b.cols());
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  Tensor c(m, n);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.Row(j);
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        acc += arow[kk] * brow[kk];
+      }
+      crow[j] = acc;
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.rows(), b.rows());
+  const int64_t k = a.rows();
+  const int64_t m = a.cols();
+  const int64_t n = b.cols();
+  Tensor c(m, n);
+  for (int64_t kk = 0; kk < k; ++kk) {
+    const float* arow = a.Row(kk);
+    const float* brow = b.Row(kk);
+    for (int64_t i = 0; i < m; ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) {
+        continue;
+      }
+      float* crow = c.Row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        crow[j] += aki * brow[j];
+      }
+    }
+  }
+  return c;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK(a.SameShape(b));
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    c.data()[i] = a.data()[i] + b.data()[i];
+  }
+  return c;
+}
+
+void AddInPlace(Tensor& dst, const Tensor& src) {
+  FLEX_CHECK(dst.SameShape(src));
+  const int64_t n = dst.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    dst.data()[i] += src.data()[i];
+  }
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK(a.SameShape(b));
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    c.data()[i] = a.data()[i] - b.data()[i];
+  }
+  return c;
+}
+
+Tensor Hadamard(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK(a.SameShape(b));
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    c.data()[i] = a.data()[i] * b.data()[i];
+  }
+  return c;
+}
+
+Tensor Scale(const Tensor& a, float s) {
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    c.data()[i] = a.data()[i] * s;
+  }
+  return c;
+}
+
+void ScaleInPlace(Tensor& t, float s) {
+  const int64_t n = t.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    t.data()[i] *= s;
+  }
+}
+
+Tensor AddRowVector(const Tensor& a, const Tensor& bias) {
+  FLEX_CHECK_EQ(bias.rows(), 1);
+  FLEX_CHECK_EQ(bias.cols(), a.cols());
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  const float* brow = bias.Row(0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      crow[j] = arow[j] + brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor ColSum(const Tensor& a) {
+  Tensor c(1, a.cols());
+  float* crow = c.Row(0);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      crow[j] += arow[j];
+    }
+  }
+  return c;
+}
+
+Tensor Relu(const Tensor& a) {
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    c.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
+  }
+  return c;
+}
+
+Tensor ReluBackward(const Tensor& grad_out, const Tensor& forward_out) {
+  FLEX_CHECK(grad_out.SameShape(forward_out));
+  Tensor g = Tensor::Uninitialized(grad_out.rows(), grad_out.cols());
+  const int64_t n = grad_out.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    g.data()[i] = forward_out.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
+  }
+  return g;
+}
+
+Tensor ConcatCols(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK_EQ(a.rows(), b.rows());
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols() + b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    std::memcpy(c.Row(i), a.Row(i), static_cast<std::size_t>(a.cols()) * sizeof(float));
+    std::memcpy(c.Row(i) + a.cols(), b.Row(i),
+                static_cast<std::size_t>(b.cols()) * sizeof(float));
+  }
+  return c;
+}
+
+Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
+  FLEX_CHECK_LE(begin, end);
+  FLEX_CHECK_LE(end, a.cols());
+  Tensor c = Tensor::Uninitialized(a.rows(), end - begin);
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    std::memcpy(c.Row(i), a.Row(i) + begin, static_cast<std::size_t>(end - begin) * sizeof(float));
+  }
+  return c;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor c = Tensor::Uninitialized(a.cols(), a.rows());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      c.At(j, i) = arow[j];
+    }
+  }
+  return c;
+}
+
+Tensor GroupSumRows(const Tensor& t, int64_t group) {
+  FLEX_CHECK_GT(group, 0);
+  FLEX_CHECK_EQ(t.rows() % group, 0);
+  const int64_t n = t.rows() / group;
+  const int64_t d = t.cols();
+  Tensor out(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    float* orow = out.Row(i);
+    for (int64_t g = 0; g < group; ++g) {
+      const float* trow = t.Row(i * group + g);
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] += trow[j];
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GroupMeanRows(const Tensor& t, int64_t group) {
+  Tensor out = GroupSumRows(t, group);
+  ScaleInPlace(out, 1.0f / static_cast<float>(group));
+  return out;
+}
+
+Tensor GroupMaxRows(const Tensor& t, int64_t group) {
+  FLEX_CHECK_GT(group, 0);
+  FLEX_CHECK_EQ(t.rows() % group, 0);
+  const int64_t n = t.rows() / group;
+  const int64_t d = t.cols();
+  Tensor out(n, d);
+  for (int64_t i = 0; i < n; ++i) {
+    float* orow = out.Row(i);
+    std::memcpy(orow, t.Row(i * group), static_cast<std::size_t>(d) * sizeof(float));
+    for (int64_t g = 1; g < group; ++g) {
+      const float* trow = t.Row(i * group + g);
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] = std::max(orow[j], trow[j]);
+      }
+    }
+  }
+  return out;
+}
+
+Tensor GroupSumRowsBackward(const Tensor& grad_out, int64_t group) {
+  const int64_t n = grad_out.rows();
+  const int64_t d = grad_out.cols();
+  Tensor g = Tensor::Uninitialized(n * group, d);
+  for (int64_t i = 0; i < n; ++i) {
+    const float* orow = grad_out.Row(i);
+    for (int64_t k = 0; k < group; ++k) {
+      std::memcpy(g.Row(i * group + k), orow, static_cast<std::size_t>(d) * sizeof(float));
+    }
+  }
+  return g;
+}
+
+Tensor RowSoftmax(const Tensor& a) {
+  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.Row(i);
+    float* crow = c.Row(i);
+    float mx = arow[0];
+    for (int64_t j = 1; j < a.cols(); ++j) {
+      mx = std::max(mx, arow[j]);
+    }
+    float sum = 0.0f;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      crow[j] = std::exp(arow[j] - mx);
+      sum += crow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (int64_t j = 0; j < a.cols(); ++j) {
+      crow[j] *= inv;
+    }
+  }
+  return c;
+}
+
+float SumAll(const Tensor& a) {
+  float acc = 0.0f;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    acc += a.data()[i];
+  }
+  return acc;
+}
+
+float MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  FLEX_CHECK(a.SameShape(b));
+  float mx = 0.0f;
+  const int64_t n = a.numel();
+  for (int64_t i = 0; i < n; ++i) {
+    mx = std::max(mx, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return mx;
+}
+
+bool AllClose(const Tensor& a, const Tensor& b, float atol) {
+  return a.SameShape(b) && MaxAbsDiff(a, b) <= atol;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,60 @@
+// Dense kernels: matmul (three transpose variants used by autograd),
+// elementwise ops, concat/slice, and the reshape+reduce "group" ops that
+// implement the paper's dense schema-level aggregation (Figure 10).
+#ifndef SRC_TENSOR_OPS_DENSE_H_
+#define SRC_TENSOR_OPS_DENSE_H_
+
+#include "src/tensor/tensor.h"
+
+namespace flexgraph {
+
+// C = A[m,k] * B[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+// C = A[m,k] * B[n,k]^T  → [m,n].
+Tensor MatMulTransB(const Tensor& a, const Tensor& b);
+// C = A[k,m]^T * B[k,n]  → [m,n].
+Tensor MatMulTransA(const Tensor& a, const Tensor& b);
+
+Tensor Add(const Tensor& a, const Tensor& b);
+void AddInPlace(Tensor& dst, const Tensor& src);
+Tensor Sub(const Tensor& a, const Tensor& b);
+Tensor Hadamard(const Tensor& a, const Tensor& b);
+Tensor Scale(const Tensor& a, float s);
+void ScaleInPlace(Tensor& t, float s);
+
+// Broadcasts bias[1,n] over every row of a[m,n].
+Tensor AddRowVector(const Tensor& a, const Tensor& bias);
+// Sum over rows → [1,n] (bias gradient).
+Tensor ColSum(const Tensor& a);
+
+Tensor Relu(const Tensor& a);
+// grad_in = grad_out where forward output > 0 else 0.
+Tensor ReluBackward(const Tensor& grad_out, const Tensor& forward_out);
+
+// [m, a_cols + b_cols] from [m, a_cols] and [m, b_cols].
+Tensor ConcatCols(const Tensor& a, const Tensor& b);
+// Columns [begin, end) of a.
+Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end);
+
+Tensor Transpose(const Tensor& a);
+
+// The paper's dense schema-level reduce (Figure 10): interpret t[g*n, d] as
+// [n, g, d] — rows grouped per root, group stride g — and reduce over the
+// group axis. Row i of the result aggregates t rows [i*g, (i+1)*g).
+Tensor GroupSumRows(const Tensor& t, int64_t group);
+Tensor GroupMeanRows(const Tensor& t, int64_t group);
+Tensor GroupMaxRows(const Tensor& t, int64_t group);
+// Backward of GroupSumRows: broadcast each output-row gradient to its group.
+Tensor GroupSumRowsBackward(const Tensor& grad_out, int64_t group);
+
+// Numerically-stable row-wise softmax.
+Tensor RowSoftmax(const Tensor& a);
+
+// Frobenius utilities used by tests and convergence checks.
+float SumAll(const Tensor& a);
+float MaxAbsDiff(const Tensor& a, const Tensor& b);
+bool AllClose(const Tensor& a, const Tensor& b, float atol = 1e-5f);
+
+}  // namespace flexgraph
+
+#endif  // SRC_TENSOR_OPS_DENSE_H_

@@ -1,0 +1,237 @@
+#include "src/tensor/ops_sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace flexgraph {
+
+const char* ReduceKindName(ReduceKind kind) {
+  switch (kind) {
+    case ReduceKind::kSum:
+      return "sum";
+    case ReduceKind::kMean:
+      return "mean";
+    case ReduceKind::kMax:
+      return "max";
+    case ReduceKind::kMin:
+      return "min";
+  }
+  return "?";
+}
+
+Tensor Scatter(const Tensor& values, std::span<const uint32_t> index, int64_t out_rows,
+               ReduceKind kind) {
+  FLEX_CHECK_EQ(static_cast<int64_t>(index.size()), values.rows());
+  const int64_t d = values.cols();
+  Tensor out(out_rows, d);
+
+  if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
+    // Track which rows were touched so untouched rows stay zero rather than
+    // ±infinity.
+    const float init = kind == ReduceKind::kMax ? std::numeric_limits<float>::lowest()
+                                                : std::numeric_limits<float>::max();
+    std::vector<uint8_t> touched(static_cast<std::size_t>(out_rows), 0);
+    out.Fill(init);
+    for (int64_t i = 0; i < values.rows(); ++i) {
+      const uint32_t dst = index[static_cast<std::size_t>(i)];
+      FLEX_CHECK_LT(static_cast<int64_t>(dst), out_rows);
+      touched[dst] = 1;
+      const float* vrow = values.Row(i);
+      float* orow = out.Row(dst);
+      if (kind == ReduceKind::kMax) {
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] = std::max(orow[j], vrow[j]);
+        }
+      } else {
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] = std::min(orow[j], vrow[j]);
+        }
+      }
+    }
+    for (int64_t r = 0; r < out_rows; ++r) {
+      if (touched[static_cast<std::size_t>(r)] == 0) {
+        float* orow = out.Row(r);
+        std::fill(orow, orow + d, 0.0f);
+      }
+    }
+    return out;
+  }
+
+  for (int64_t i = 0; i < values.rows(); ++i) {
+    const uint32_t dst = index[static_cast<std::size_t>(i)];
+    FLEX_CHECK_LT(static_cast<int64_t>(dst), out_rows);
+    const float* vrow = values.Row(i);
+    float* orow = out.Row(dst);
+    for (int64_t j = 0; j < d; ++j) {
+      orow[j] += vrow[j];
+    }
+  }
+  if (kind == ReduceKind::kMean) {
+    const std::vector<uint32_t> counts = ScatterCounts(index, out_rows);
+    for (int64_t r = 0; r < out_rows; ++r) {
+      const uint32_t c = counts[static_cast<std::size_t>(r)];
+      if (c > 1) {
+        float* orow = out.Row(r);
+        const float inv = 1.0f / static_cast<float>(c);
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] *= inv;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> ScatterCounts(std::span<const uint32_t> index, int64_t out_rows) {
+  std::vector<uint32_t> counts(static_cast<std::size_t>(out_rows), 0);
+  for (uint32_t dst : index) {
+    FLEX_CHECK_LT(static_cast<int64_t>(dst), out_rows);
+    ++counts[dst];
+  }
+  return counts;
+}
+
+Tensor GatherRows(const Tensor& src, std::span<const uint32_t> index) {
+  const int64_t d = src.cols();
+  Tensor out = Tensor::Uninitialized(static_cast<int64_t>(index.size()), d);
+  for (std::size_t i = 0; i < index.size(); ++i) {
+    FLEX_CHECK_LT(static_cast<int64_t>(index[i]), src.rows());
+    std::memcpy(out.Row(static_cast<int64_t>(i)), src.Row(static_cast<int64_t>(index[i])),
+                static_cast<std::size_t>(d) * sizeof(float));
+  }
+  return out;
+}
+
+Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, ReduceKind kind) {
+  FLEX_CHECK_GE(offsets.size(), 1u);
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  FLEX_CHECK_EQ(static_cast<int64_t>(offsets[offsets.size() - 1]), values.rows());
+  const int64_t d = values.cols();
+  Tensor out(num_segments, d);
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+    FLEX_CHECK_LE(lo, hi);
+    if (lo == hi) {
+      continue;  // empty segment stays zero
+    }
+    float* orow = out.Row(s);
+    if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
+      std::memcpy(orow, values.Row(static_cast<int64_t>(lo)),
+                  static_cast<std::size_t>(d) * sizeof(float));
+      for (uint64_t r = lo + 1; r < hi; ++r) {
+        const float* vrow = values.Row(static_cast<int64_t>(r));
+        if (kind == ReduceKind::kMax) {
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = std::max(orow[j], vrow[j]);
+          }
+        } else {
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = std::min(orow[j], vrow[j]);
+          }
+        }
+      }
+      continue;
+    }
+    for (uint64_t r = lo; r < hi; ++r) {
+      const float* vrow = values.Row(static_cast<int64_t>(r));
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] += vrow[j];
+      }
+    }
+    if (kind == ReduceKind::kMean) {
+      const float inv = 1.0f / static_cast<float>(hi - lo);
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] *= inv;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets) {
+  FLEX_CHECK_EQ(scores.cols(), 1);
+  FLEX_CHECK_EQ(static_cast<int64_t>(offsets[offsets.size() - 1]), scores.rows());
+  Tensor out(scores.rows(), 1);
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+    if (lo == hi) {
+      continue;
+    }
+    float mx = scores.At(static_cast<int64_t>(lo), 0);
+    for (uint64_t r = lo + 1; r < hi; ++r) {
+      mx = std::max(mx, scores.At(static_cast<int64_t>(r), 0));
+    }
+    float sum = 0.0f;
+    for (uint64_t r = lo; r < hi; ++r) {
+      const float e = std::exp(scores.At(static_cast<int64_t>(r), 0) - mx);
+      out.At(static_cast<int64_t>(r), 0) = e;
+      sum += e;
+    }
+    const float inv = 1.0f / sum;
+    for (uint64_t r = lo; r < hi; ++r) {
+      out.At(static_cast<int64_t>(r), 0) *= inv;
+    }
+  }
+  return out;
+}
+
+Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
+                              std::span<const uint64_t> offsets) {
+  FLEX_CHECK(weights.SameShape(grad));
+  FLEX_CHECK_EQ(weights.cols(), 1);
+  Tensor out(weights.rows(), 1);
+  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+    float dot = 0.0f;
+    for (uint64_t r = lo; r < hi; ++r) {
+      dot += weights.At(static_cast<int64_t>(r), 0) * grad.At(static_cast<int64_t>(r), 0);
+    }
+    for (uint64_t r = lo; r < hi; ++r) {
+      const float w = weights.At(static_cast<int64_t>(r), 0);
+      out.At(static_cast<int64_t>(r), 0) = w * (grad.At(static_cast<int64_t>(r), 0) - dot);
+    }
+  }
+  return out;
+}
+
+Tensor MulRowScalar(const Tensor& values, const Tensor& weights) {
+  FLEX_CHECK_EQ(weights.cols(), 1);
+  FLEX_CHECK_EQ(weights.rows(), values.rows());
+  Tensor out = Tensor::Uninitialized(values.rows(), values.cols());
+  for (int64_t i = 0; i < values.rows(); ++i) {
+    const float w = weights.At(i, 0);
+    const float* vrow = values.Row(i);
+    float* orow = out.Row(i);
+    for (int64_t j = 0; j < values.cols(); ++j) {
+      orow[j] = w * vrow[j];
+    }
+  }
+  return out;
+}
+
+Tensor SpmmCsr(int64_t num_rows, std::span<const uint64_t> offsets,
+               std::span<const uint32_t> col_idx, const Tensor& x) {
+  FLEX_CHECK_EQ(static_cast<int64_t>(offsets.size()), num_rows + 1);
+  const int64_t d = x.cols();
+  Tensor out(num_rows, d);
+  for (int64_t i = 0; i < num_rows; ++i) {
+    float* orow = out.Row(i);
+    for (uint64_t e = offsets[static_cast<std::size_t>(i)];
+         e < offsets[static_cast<std::size_t>(i) + 1]; ++e) {
+      const float* xrow = x.Row(static_cast<int64_t>(col_idx[static_cast<std::size_t>(e)]));
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] += xrow[j];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace flexgraph

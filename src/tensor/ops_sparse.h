@@ -1,0 +1,64 @@
+// Sparse kernels: scatter ops over an explicit index tensor (the paper's
+// Figure 8 COO path), segment ops over CSC offsets (the layout HDG levels use)
+// and a CSR SpMM used by the PyTorch-like baseline.
+//
+// The scatter ops deliberately materialize nothing: they read `values` rows in
+// order and accumulate into `out`. The *baseline executors* (src/baselines)
+// are the ones that model DGL/PyG's edge-message materialization cost — these
+// kernels are the common substrate both sides are built from.
+#ifndef SRC_TENSOR_OPS_SPARSE_H_
+#define SRC_TENSOR_OPS_SPARSE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace flexgraph {
+
+enum class ReduceKind {
+  kSum,
+  kMean,
+  kMax,
+  kMin,
+};
+
+const char* ReduceKindName(ReduceKind kind);
+
+// out[index[i]] (reduce)= values[i]; out has out_rows rows. Rows of `out` that
+// receive no contribution stay zero (matching pytorch_scatter semantics for
+// sum/mean; for max/min untouched rows are also zero, which GNN aggregation
+// relies on for isolated vertices).
+Tensor Scatter(const Tensor& values, std::span<const uint32_t> index, int64_t out_rows,
+               ReduceKind kind);
+
+// Per-destination contribution counts for Scatter(kMean) backward.
+std::vector<uint32_t> ScatterCounts(std::span<const uint32_t> index, int64_t out_rows);
+
+// out[i] = src[index[i]].
+Tensor GatherRows(const Tensor& src, std::span<const uint32_t> index);
+
+// Segment ops: values rows [offsets[s], offsets[s+1]) belong to segment s.
+// offsets.size() == num_segments + 1 and offsets.back() == values.rows().
+Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, ReduceKind kind);
+
+// Softmax of scores within each segment. scores is [m, 1].
+Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets);
+
+// Backward of SegmentSoftmax: given weights w (forward output) and upstream
+// grad g, returns w ⊙ (g − Σ_segment w·g).
+Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
+                              std::span<const uint64_t> offsets);
+
+// Multiplies every row of values[m, d] by the scalar weights[m, 1].
+Tensor MulRowScalar(const Tensor& values, const Tensor& weights);
+
+// Unweighted CSR SpMM: out[i] = Σ_{j in row i} x[col_idx[j]]. The PyTorch-like
+// GCN baseline runs the whole Aggregate as one of these.
+Tensor SpmmCsr(int64_t num_rows, std::span<const uint64_t> offsets,
+               std::span<const uint32_t> col_idx, const Tensor& x);
+
+}  // namespace flexgraph
+
+#endif  // SRC_TENSOR_OPS_SPARSE_H_

@@ -1,0 +1,54 @@
+#include "src/tensor/serialize.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+namespace {
+constexpr char kMagic[4] = {'F', 'X', 'T', '1'};
+}  // namespace
+
+void SaveTensor(const Tensor& t, std::ostream& os) {
+  os.write(kMagic, sizeof(kMagic));
+  const int64_t rows = t.rows();
+  const int64_t cols = t.cols();
+  os.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  os.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  os.write(reinterpret_cast<const char*>(t.data()),
+           static_cast<std::streamsize>(t.numel()) * static_cast<std::streamsize>(sizeof(float)));
+  FLEX_CHECK_MSG(os.good(), "tensor write failed");
+}
+
+Tensor LoadTensor(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof(magic));
+  FLEX_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, sizeof(kMagic)) == 0,
+                 "bad tensor magic");
+  int64_t rows = 0;
+  int64_t cols = 0;
+  is.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  is.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  FLEX_CHECK_MSG(is.good() && rows >= 0 && cols >= 0, "bad tensor header");
+  Tensor t = Tensor::Uninitialized(rows, cols);
+  is.read(reinterpret_cast<char*>(t.data()),
+          static_cast<std::streamsize>(t.numel()) * static_cast<std::streamsize>(sizeof(float)));
+  FLEX_CHECK_MSG(is.good(), "tensor payload truncated");
+  return t;
+}
+
+void SaveTensorFile(const Tensor& t, const std::string& path) {
+  std::ofstream ofs(path, std::ios::binary);
+  FLEX_CHECK_MSG(ofs.good(), "cannot open for write: " + path);
+  SaveTensor(t, ofs);
+}
+
+Tensor LoadTensorFile(const std::string& path) {
+  std::ifstream ifs(path, std::ios::binary);
+  FLEX_CHECK_MSG(ifs.good(), "cannot open for read: " + path);
+  return LoadTensor(ifs);
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,23 @@
+// Binary tensor persistence (little-endian, versioned header). Used by the
+// fault-tolerance module (src/dist/checkpoint.h) and by tools that export
+// learned embeddings.
+#ifndef SRC_TENSOR_SERIALIZE_H_
+#define SRC_TENSOR_SERIALIZE_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "src/tensor/tensor.h"
+
+namespace flexgraph {
+
+// Format: "FXT1" magic, int64 rows, int64 cols, rows*cols floats.
+void SaveTensor(const Tensor& t, std::ostream& os);
+Tensor LoadTensor(std::istream& is);
+
+void SaveTensorFile(const Tensor& t, const std::string& path);
+Tensor LoadTensorFile(const std::string& path);
+
+}  // namespace flexgraph
+
+#endif  // SRC_TENSOR_SERIALIZE_H_

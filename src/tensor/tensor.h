@@ -1,0 +1,108 @@
+// Dense 2-D row-major float tensor — the single numeric container used by the
+// whole framework (vertex features, messages, parameters, gradients).
+//
+// FlexGraph's evaluation contrasts three kernel classes over this container:
+// sparse scatter ops, fused graph-style reductions, and dense reshape+reduce
+// ops. Keeping one simple container makes those comparisons apples-to-apples.
+#ifndef SRC_TENSOR_TENSOR_H_
+#define SRC_TENSOR_TENSOR_H_
+
+#include <cstdint>
+#include <initializer_list>
+#include <utility>
+
+#include "src/util/aligned_buffer.h"
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+class Tensor {
+ public:
+  Tensor() = default;
+
+  // Zero-initialized tensor. A (0, d) or (n, 0) tensor is legal and empty.
+  Tensor(int64_t rows, int64_t cols) : rows_(rows), cols_(cols), buf_(Numel(rows, cols)) {
+    buf_.Zero();
+  }
+
+  static Tensor Zeros(int64_t rows, int64_t cols) { return Tensor(rows, cols); }
+
+  // Skips the zero fill — for kernel outputs that overwrite every element.
+  static Tensor Uninitialized(int64_t rows, int64_t cols) {
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.buf_ = AlignedBuffer(Numel(rows, cols));
+    return t;
+  }
+
+  static Tensor Full(int64_t rows, int64_t cols, float value) {
+    Tensor t(rows, cols);
+    t.buf_.Fill(value);
+    return t;
+  }
+
+  // Row-major literal, e.g. Tensor::FromRows(2, 3, {1,2,3,4,5,6}).
+  static Tensor FromRows(int64_t rows, int64_t cols, std::initializer_list<float> values) {
+    Tensor t(rows, cols);
+    FLEX_CHECK_EQ(static_cast<int64_t>(values.size()), rows * cols);
+    int64_t i = 0;
+    for (float v : values) {
+      t.buf_[static_cast<std::size_t>(i++)] = v;
+    }
+    return t;
+  }
+
+  int64_t rows() const { return rows_; }
+  int64_t cols() const { return cols_; }
+  int64_t numel() const { return rows_ * cols_; }
+  bool empty() const { return numel() == 0; }
+
+  float* data() { return buf_.data(); }
+  const float* data() const { return buf_.data(); }
+
+  float* Row(int64_t r) {
+    FLEX_CHECK_LT(r, rows_);
+    return buf_.data() + r * cols_;
+  }
+  const float* Row(int64_t r) const {
+    FLEX_CHECK_LT(r, rows_);
+    return buf_.data() + r * cols_;
+  }
+
+  float& At(int64_t r, int64_t c) {
+    FLEX_CHECK_LT(r, rows_);
+    FLEX_CHECK_LT(c, cols_);
+    return buf_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  float At(int64_t r, int64_t c) const {
+    FLEX_CHECK_LT(r, rows_);
+    FLEX_CHECK_LT(c, cols_);
+    return buf_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Zero() { buf_.Zero(); }
+  void Fill(float value) { buf_.Fill(value); }
+
+  // Approximate bytes held (used by the Table 5 memory accounting).
+  std::size_t ByteSize() const { return static_cast<std::size_t>(numel()) * sizeof(float); }
+
+ private:
+  static std::size_t Numel(int64_t rows, int64_t cols) {
+    FLEX_CHECK_GE(rows, 0);
+    FLEX_CHECK_GE(cols, 0);
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  int64_t rows_ = 0;
+  int64_t cols_ = 0;
+  AlignedBuffer buf_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_TENSOR_TENSOR_H_

@@ -1,0 +1,73 @@
+// Lightweight runtime assertion macros used throughout FlexGraph.
+//
+// FLEX_CHECK* macros are always on (including release builds): the library is a
+// research system and silent memory corruption is far more expensive than the
+// branch. Failures throw flexgraph::CheckError carrying file/line context so
+// tests can assert on failure paths without killing the process.
+#ifndef SRC_UTIL_CHECK_H_
+#define SRC_UTIL_CHECK_H_
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace flexgraph {
+
+class CheckError : public std::runtime_error {
+ public:
+  explicit CheckError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file, int line,
+                                     const std::string& extra) {
+  std::ostringstream oss;
+  oss << "FLEX_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!extra.empty()) {
+    oss << " — " << extra;
+  }
+  throw CheckError(oss.str());
+}
+
+template <typename A, typename B>
+std::string FormatPair(const char* a_name, const A& a, const char* b_name, const B& b) {
+  std::ostringstream oss;
+  oss << a_name << "=" << a << ", " << b_name << "=" << b;
+  return oss.str();
+}
+
+}  // namespace detail
+
+#define FLEX_CHECK(cond)                                                    \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::flexgraph::detail::CheckFailed(#cond, __FILE__, __LINE__, "");      \
+    }                                                                       \
+  } while (0)
+
+#define FLEX_CHECK_MSG(cond, msg)                                           \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::flexgraph::detail::CheckFailed(#cond, __FILE__, __LINE__, (msg));   \
+    }                                                                       \
+  } while (0)
+
+#define FLEX_CHECK_OP(op, a, b)                                                         \
+  do {                                                                                  \
+    if (!((a)op(b))) {                                                                  \
+      ::flexgraph::detail::CheckFailed(#a " " #op " " #b, __FILE__, __LINE__,           \
+                                       ::flexgraph::detail::FormatPair(#a, (a), #b, (b))); \
+    }                                                                                   \
+  } while (0)
+
+#define FLEX_CHECK_EQ(a, b) FLEX_CHECK_OP(==, a, b)
+#define FLEX_CHECK_NE(a, b) FLEX_CHECK_OP(!=, a, b)
+#define FLEX_CHECK_LT(a, b) FLEX_CHECK_OP(<, a, b)
+#define FLEX_CHECK_LE(a, b) FLEX_CHECK_OP(<=, a, b)
+#define FLEX_CHECK_GT(a, b) FLEX_CHECK_OP(>, a, b)
+#define FLEX_CHECK_GE(a, b) FLEX_CHECK_OP(>=, a, b)
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_CHECK_H_

@@ -1,0 +1,33 @@
+#include "src/util/env.h"
+
+#include <cstdlib>
+
+namespace flexgraph {
+
+int64_t EnvInt(const std::string& name, int64_t fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long long parsed = std::strtoll(raw, &end, 10);
+  if (end == raw) {
+    return fallback;
+  }
+  return static_cast<int64_t>(parsed);
+}
+
+double EnvDouble(const std::string& name, double fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(raw, &end);
+  if (end == raw) {
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace flexgraph

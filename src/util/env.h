@@ -1,0 +1,20 @@
+// Small helpers for reading benchmark scale knobs from the environment, so a
+// user can run the benches at larger scale (FLEXGRAPH_SCALE=4 ...) without
+// recompiling.
+#ifndef SRC_UTIL_ENV_H_
+#define SRC_UTIL_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace flexgraph {
+
+// Returns the env var parsed as int64, or fallback when unset/unparseable.
+int64_t EnvInt(const std::string& name, int64_t fallback);
+
+// Returns the env var parsed as double, or fallback when unset/unparseable.
+double EnvDouble(const std::string& name, double fallback);
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_ENV_H_

@@ -1,0 +1,65 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <mutex>
+
+namespace flexgraph {
+
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+std::mutex g_log_mutex;
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+  }
+  return "?";
+}
+
+// Strips the leading directories so log lines show "hdg/hdg.cc:42".
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  const std::string line = stream_.str();
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fputs(line.c_str(), stderr);
+  std::fputc('\n', stderr);
+  if (severity_ >= LogSeverity::kError) {
+    std::fflush(stderr);
+  }
+}
+
+}  // namespace detail
+
+}  // namespace flexgraph

@@ -1,0 +1,62 @@
+// Minimal streaming logger. Usage:
+//   FLEX_LOG(INFO) << "built HDG with " << n << " levels";
+// Severity filtering is process-global and can be tightened for benchmarks so
+// that log IO never pollutes timing measurements.
+#ifndef SRC_UTIL_LOGGING_H_
+#define SRC_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace flexgraph {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Returns the current minimum severity that is actually emitted.
+LogSeverity MinLogSeverity();
+
+// Sets the process-global minimum severity. Thread-safe.
+void SetMinLogSeverity(LogSeverity severity);
+
+namespace detail {
+
+// Accumulates one log line and flushes it (with timestamp and severity tag)
+// to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed expression when the line is filtered out.
+struct LogVoidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace detail
+
+#define FLEX_LOG(severity)                                                        \
+  (::flexgraph::LogSeverity::k##severity < ::flexgraph::MinLogSeverity())         \
+      ? (void)0                                                                   \
+      : ::flexgraph::detail::LogVoidify() &                                       \
+            ::flexgraph::detail::LogMessage(::flexgraph::LogSeverity::k##severity, \
+                                            __FILE__, __LINE__)                   \
+                .stream()
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_LOGGING_H_

@@ -1,0 +1,66 @@
+#include "src/util/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+TablePrinter::TablePrinter(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  FLEX_CHECK_EQ(cells.size(), header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::Num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (std::size_t pad = row[c].size(); pad < widths[c]; ++pad) {
+        os << ' ';
+      }
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  auto print_rule = [&] {
+    os << "+";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      for (std::size_t i = 0; i < widths[c] + 2; ++i) {
+        os << '-';
+      }
+      os << "+";
+    }
+    os << "\n";
+  };
+
+  print_rule();
+  print_row(header_);
+  print_rule();
+  for (const auto& row : rows_) {
+    print_row(row);
+  }
+  print_rule();
+}
+
+}  // namespace flexgraph

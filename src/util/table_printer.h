@@ -1,0 +1,31 @@
+// Fixed-width ASCII table printer used by the bench harnesses so every
+// table/figure reproduction prints rows shaped like the paper's.
+#ifndef SRC_UTIL_TABLE_PRINTER_H_
+#define SRC_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace flexgraph {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats a double with the given precision; "X" and "OOM" style sentinel
+  // cells are passed through AddRow as plain strings.
+  static std::string Num(double value, int precision = 2);
+
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,57 @@
+// Fixed-size worker pool with a ParallelFor convenience used by the feature
+// fusion kernels and by HDG construction. On a single-core host the pool
+// degrades gracefully to (near-)sequential execution; correctness never
+// depends on real parallelism.
+#ifndef SRC_UTIL_THREAD_POOL_H_
+#define SRC_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace flexgraph {
+
+class ThreadPool {
+ public:
+  // num_threads == 0 picks std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues a task; does not block.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void Wait();
+
+  // Splits [begin, end) into contiguous chunks, runs body(chunk_begin,
+  // chunk_end) across the pool, and blocks until all chunks finish.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t, std::size_t)>& body);
+
+  // Process-wide default pool (lazily constructed).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  std::size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_THREAD_POOL_H_

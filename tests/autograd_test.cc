@@ -1,0 +1,295 @@
+// Gradient checks for every differentiable op: autograd vs. central finite
+// differences, plus tape-mechanics tests (accumulation, reuse, topo order).
+#include "src/tensor/autograd.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/nn.h"
+#include "src/tensor/ops_dense.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(AutogradTest, MatMulGradient) {
+  Rng rng(1);
+  Tensor x = RandomTensor(4, 3, rng);
+  Tensor w = RandomTensor(3, 5, rng);
+  // Gradient w.r.t. x.
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgMatMul(v, Variable::Leaf(w));
+  });
+  // Gradient w.r.t. w.
+  ExpectGradientsMatch(w, [&](const Variable& v) {
+    return AgMatMul(Variable::Leaf(x), v);
+  });
+}
+
+TEST(AutogradTest, AddAndBiasGradient) {
+  Rng rng(2);
+  Tensor a = RandomTensor(3, 4, rng);
+  Tensor b = RandomTensor(3, 4, rng);
+  ExpectGradientsMatch(a, [&](const Variable& v) { return AgAdd(v, Variable::Leaf(b)); });
+  Tensor bias = RandomTensor(1, 4, rng);
+  ExpectGradientsMatch(bias, [&](const Variable& v) {
+    return AgAddBias(Variable::Leaf(a), v);
+  });
+}
+
+TEST(AutogradTest, ReluGradient) {
+  Rng rng(3);
+  // Keep values away from the kink at 0 where finite differences lie.
+  Tensor x = RandomTensor(4, 4, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.15f) {
+      x.data()[i] = 0.5f;
+    }
+  }
+  ExpectGradientsMatch(x, [](const Variable& v) { return AgRelu(v); });
+}
+
+TEST(AutogradTest, ConcatGradient) {
+  Rng rng(4);
+  Tensor a = RandomTensor(3, 2, rng);
+  Tensor b = RandomTensor(3, 3, rng);
+  ExpectGradientsMatch(a, [&](const Variable& v) {
+    return AgConcatCols(v, Variable::Leaf(b));
+  });
+  ExpectGradientsMatch(b, [&](const Variable& v) {
+    return AgConcatCols(Variable::Leaf(a), v);
+  });
+}
+
+TEST(AutogradTest, GatherGradient) {
+  Rng rng(5);
+  Tensor x = RandomTensor(5, 3, rng);
+  std::vector<uint32_t> index = {4, 0, 0, 2};
+  ExpectGradientsMatch(x, [&](const Variable& v) { return AgGatherRows(v, index); });
+}
+
+TEST(AutogradTest, ScatterSumGradient) {
+  Rng rng(6);
+  Tensor x = RandomTensor(6, 3, rng);
+  std::vector<uint32_t> index = {0, 1, 1, 2, 0, 2};
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgScatter(v, index, 3, ReduceKind::kSum);
+  });
+}
+
+TEST(AutogradTest, ScatterMeanGradient) {
+  Rng rng(7);
+  Tensor x = RandomTensor(5, 2, rng);
+  std::vector<uint32_t> index = {0, 0, 0, 1, 1};
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgScatter(v, index, 2, ReduceKind::kMean);
+  });
+}
+
+TEST(AutogradTest, ScatterMaxRejected) {
+  Tensor x(2, 2);
+  std::vector<uint32_t> index = {0, 1};
+  Variable v = Variable::Leaf(x, true);
+  EXPECT_THROW(AgScatter(v, index, 2, ReduceKind::kMax), CheckError);
+}
+
+TEST(AutogradTest, SegmentReduceGradients) {
+  Rng rng(8);
+  Tensor x = RandomTensor(7, 3, rng);
+  std::vector<uint64_t> offsets = {0, 3, 3, 7};
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgSegmentReduce(v, offsets, ReduceKind::kSum);
+  });
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgSegmentReduce(v, offsets, ReduceKind::kMean);
+  });
+}
+
+TEST(AutogradTest, SegmentSoftmaxGradient) {
+  Rng rng(9);
+  Tensor scores = RandomTensor(6, 1, rng, -2.0f, 2.0f);
+  std::vector<uint64_t> offsets = {0, 2, 6};
+  ExpectGradientsMatch(scores, [&](const Variable& v) {
+    return AgSegmentSoftmax(v, offsets);
+  }, 5e-3f, 2e-2f);
+}
+
+TEST(AutogradTest, MulRowScalarGradients) {
+  Rng rng(10);
+  Tensor values = RandomTensor(4, 3, rng);
+  Tensor weights = RandomTensor(4, 1, rng);
+  ExpectGradientsMatch(values, [&](const Variable& v) {
+    return AgMulRowScalar(v, Variable::Leaf(weights));
+  });
+  ExpectGradientsMatch(weights, [&](const Variable& v) {
+    return AgMulRowScalar(Variable::Leaf(values), v);
+  });
+}
+
+TEST(AutogradTest, GroupSumMeanGradients) {
+  Rng rng(11);
+  Tensor x = RandomTensor(6, 4, rng);
+  ExpectGradientsMatch(x, [](const Variable& v) { return AgGroupSum(v, 3); });
+  ExpectGradientsMatch(x, [](const Variable& v) { return AgGroupMean(v, 2); });
+}
+
+TEST(AutogradTest, SoftmaxCrossEntropyGradient) {
+  Rng rng(12);
+  Tensor logits = RandomTensor(5, 4, rng, -2.0f, 2.0f);
+  std::vector<uint32_t> labels = {0, 3, 1, 2, 2};
+  ExpectGradientsMatch(logits, [&](const Variable& v) {
+    return AgSoftmaxCrossEntropy(v, labels);
+  }, 5e-3f, 2e-2f);
+}
+
+TEST(AutogradTest, LeakyReluGradient) {
+  Rng rng(13);
+  Tensor x = RandomTensor(4, 4, rng);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    if (std::fabs(x.data()[i]) < 0.15f) {
+      x.data()[i] = 0.5f;  // keep away from the kink
+    }
+  }
+  ExpectGradientsMatch(x, [](const Variable& v) { return AgLeakyRelu(v, 0.2f); });
+}
+
+TEST(AutogradTest, DropoutMaskGatesForwardAndBackward) {
+  Rng rng(16);
+  Tensor x = Tensor::Full(100, 4, 2.0f);
+  Variable v = Variable::Leaf(x, true);
+  const float p = 0.4f;
+  Variable out = AgDropout(v, p, rng);
+  // Survivors are scaled by 1/(1-p); dropped entries are exactly zero.
+  int64_t dropped = 0;
+  for (int64_t i = 0; i < out.value().numel(); ++i) {
+    const float val = out.value().data()[i];
+    if (val == 0.0f) {
+      ++dropped;
+    } else {
+      ASSERT_NEAR(val, 2.0f / (1.0f - p), 1e-5f);
+    }
+  }
+  // ~40% dropped, generously bounded.
+  EXPECT_GT(dropped, out.value().numel() / 4);
+  EXPECT_LT(dropped, out.value().numel() * 3 / 5);
+
+  out.Backward();
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    const float g = v.grad().data()[i];
+    const float o = out.value().data()[i];
+    if (o == 0.0f) {
+      ASSERT_EQ(g, 0.0f);
+    } else {
+      ASSERT_NEAR(g, 1.0f / (1.0f - p), 1e-5f);
+    }
+  }
+}
+
+TEST(AutogradTest, DropoutZeroProbabilityIsIdentity) {
+  Rng rng(17);
+  Tensor x = RandomTensor(3, 3, rng);
+  Variable v = Variable::Leaf(x);
+  Variable out = AgDropout(v, 0.0f, rng);
+  EXPECT_TRUE(AllClose(out.value(), x, 0.0f));
+}
+
+TEST(AutogradTest, BatchNormForwardNormalizes) {
+  Rng rng(14);
+  Tensor x = RandomTensor(64, 3, rng, -4.0f, 4.0f);
+  Variable gamma = Variable::Leaf(Tensor::Full(1, 3, 1.0f));
+  Variable beta = Variable::Leaf(Tensor(1, 3));
+  Variable out = AgBatchNorm(Variable::Leaf(x), gamma, beta);
+  for (int64_t j = 0; j < 3; ++j) {
+    double mean = 0.0;
+    double var = 0.0;
+    for (int64_t i = 0; i < 64; ++i) {
+      mean += out.value().At(i, j);
+    }
+    mean /= 64.0;
+    for (int64_t i = 0; i < 64; ++i) {
+      const double d = out.value().At(i, j) - mean;
+      var += d * d;
+    }
+    var /= 64.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(AutogradTest, BatchNormGradients) {
+  Rng rng(15);
+  Tensor x = RandomTensor(12, 4, rng);
+  Tensor gamma = RandomTensor(1, 4, rng, 0.5f, 1.5f);
+  Tensor beta = RandomTensor(1, 4, rng);
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgBatchNorm(v, Variable::Leaf(gamma), Variable::Leaf(beta));
+  }, 5e-3f, 3e-2f);
+  ExpectGradientsMatch(gamma, [&](const Variable& v) {
+    return AgBatchNorm(Variable::Leaf(x), v, Variable::Leaf(beta));
+  }, 5e-3f, 3e-2f);
+  ExpectGradientsMatch(beta, [&](const Variable& v) {
+    return AgBatchNorm(Variable::Leaf(x), Variable::Leaf(gamma), v);
+  }, 5e-3f, 3e-2f);
+}
+
+TEST(AutogradTest, GradAccumulatesAcrossUses) {
+  // y = x + x → dy/dx = 2.
+  Tensor x = Tensor::Full(2, 2, 3.0f);
+  Variable v = Variable::Leaf(x, true);
+  Variable y = AgAdd(v, v);
+  y.Backward();
+  EXPECT_TRUE(AllClose(v.grad(), Tensor::Full(2, 2, 2.0f)));
+}
+
+TEST(AutogradTest, DeepChainBackwardWorks) {
+  // 200 chained adds must not blow the stack (iterative topo sort).
+  Tensor x = Tensor::Full(1, 1, 1.0f);
+  Variable v = Variable::Leaf(x, true);
+  Variable acc = v;
+  for (int i = 0; i < 200; ++i) {
+    acc = AgAdd(acc, v);
+  }
+  acc.Backward();
+  EXPECT_FLOAT_EQ(v.grad().At(0, 0), 201.0f);
+}
+
+TEST(AutogradTest, NoGradLeafStaysUntouched) {
+  Tensor x = Tensor::Full(2, 2, 1.0f);
+  Variable frozen = Variable::Leaf(x, false);
+  Variable trainable = Variable::Leaf(x, true);
+  Variable y = AgAdd(frozen, trainable);
+  y.Backward();
+  EXPECT_TRUE(trainable.grad().SameShape(trainable.value()));
+}
+
+TEST(LinearTest, TrainsToFitLinearTarget) {
+  // One Linear layer must fit y = xA + c almost exactly.
+  Rng rng(13);
+  Tensor x = RandomTensor(64, 4, rng);
+  Tensor a = RandomTensor(4, 3, rng);
+  Tensor target = MatMul(x, a);
+
+  Linear layer(4, 3, rng);
+  std::vector<Variable> params;
+  layer.CollectParameters(params);
+  SgdOptimizer opt(0.1f);
+
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 200; ++step) {
+    Variable out = layer.Apply(Variable::Leaf(x));
+    // L2 loss; seed the backward pass with dL/d out = 2 (out - target) / n.
+    Tensor seed = Scale(Sub(out.value(), target), 2.0f / static_cast<float>(x.rows()));
+    out.Backward(seed);
+    opt.Step(params);
+    SgdOptimizer::ZeroGrad(params);
+    const float loss = SumAll(Hadamard(Sub(out.value(), target), Sub(out.value(), target)));
+    if (step == 0) {
+      first_loss = loss;
+    }
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01f);
+}
+
+}  // namespace
+}  // namespace flexgraph

@@ -1,0 +1,179 @@
+// Tests for the baseline executors: every supported (framework, model) pair
+// completes on a tiny dataset, unsupported/OOM paths behave as specified, and
+// the baseline kernels compute the same values as the tuned ones.
+#include <gtest/gtest.h>
+
+#include "src/baselines/dgl_like.h"
+#include "src/baselines/kernels.h"
+#include "src/baselines/minibatch.h"
+#include "src/baselines/pre_expand.h"
+#include "src/baselines/pytorch_like.h"
+#include "src/core/fused_ops.h"
+#include "src/models/magnn.h"
+#include "src/tensor/ops_dense.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+Dataset TinyHomogeneous() { return MakeRedditLike(0.03, 5); }
+Dataset TinyHetero() { return MakeImdbLike(0.15, 5); }
+
+TEST(BaselineKernelsTest, ScalarFusedMatchesVectorized) {
+  Rng rng(1);
+  Tensor x = RandomTensor(20, 7, rng);
+  std::vector<VertexId> ids = {3, 3, 19, 0, 7, 7, 7};
+  std::vector<uint64_t> offsets = {0, 2, 5, 7};
+  Tensor scalar = ScalarSegmentGatherReduceSum(x, ids, offsets);
+  Tensor fused = FusedSegmentGatherReduce(x, ids, offsets, ReduceKind::kSum);
+  EXPECT_TRUE(AllClose(scalar, fused, 1e-5f));
+}
+
+TEST(BaselineKernelsTest, ScalarCooMatchesScatter) {
+  Rng rng(2);
+  Tensor values = RandomTensor(15, 5, rng);
+  std::vector<uint32_t> dst = {0, 1, 2, 0, 1, 2, 3, 3, 3, 0, 4, 4, 2, 1, 0};
+  Tensor scalar = ScalarCooScatterSum(values, dst, 5);
+  Tensor tuned = Scatter(values, dst, 5, ReduceKind::kSum);
+  EXPECT_TRUE(AllClose(scalar, tuned, 1e-5f));
+}
+
+TEST(BaselineKernelsTest, SagaAggregateMatchesFusedAndCountsBytes) {
+  GraphBuilder b(4);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  b.AddUndirectedEdge(2, 3);
+  CsrGraph g = b.Build();
+  Rng rng(3);
+  Tensor x = RandomTensor(4, 6, rng);
+
+  uint64_t materialized = 0;
+  Tensor saga = SagaEdgeAggregate(x, g.in_offsets(), g.in_neighbors(), &materialized);
+  EXPECT_EQ(materialized, 2 * 6 * g.num_edges() * sizeof(float));
+
+  std::vector<VertexId> nbrs(g.in_neighbors().begin(), g.in_neighbors().end());
+  std::vector<uint64_t> offsets(g.in_offsets().begin(), g.in_offsets().end());
+  Tensor fused = FusedSegmentGatherReduce(x, nbrs, offsets, ReduceKind::kSum);
+  EXPECT_TRUE(AllClose(saga, fused, 1e-5f));
+}
+
+TEST(PyTorchLikeTest, AllModelsRunOnTinyData) {
+  ModelDims dims;
+  Rng rng(4);
+  Dataset homo = TinyHomogeneous();
+  EpochOutcome gcn = PyTorchLikeGcnEpoch(homo, dims, rng);
+  EXPECT_EQ(gcn.status, EpochStatus::kOk);
+  EXPECT_GT(gcn.seconds, 0.0);
+  EXPECT_GT(gcn.peak_bytes, 0u);
+
+  EpochOutcome pinsage = PyTorchLikePinSageEpoch(homo, dims, WalkParams{}, rng);
+  EXPECT_EQ(pinsage.status, EpochStatus::kOk);
+
+  Dataset hetero = TinyHetero();
+  EpochOutcome magnn =
+      PyTorchLikeMagnnEpoch(hetero, dims, /*mem_cap_bytes=*/UINT64_MAX, 32, rng);
+  EXPECT_EQ(magnn.status, EpochStatus::kOk);
+}
+
+TEST(PyTorchLikeTest, MagnnOomsUnderTightCap) {
+  ModelDims dims;
+  Rng rng(5);
+  Dataset hetero = TinyHetero();
+  EpochOutcome outcome = PyTorchLikeMagnnEpoch(hetero, dims, /*mem_cap_bytes=*/1024, 32, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kOom);
+  EXPECT_GT(outcome.peak_bytes, 1024u);
+  EXPECT_EQ(OutcomeCell(outcome), "OOM");
+}
+
+TEST(PyTorchLikeTest, MagnnOnHomogeneousGraphUnsupported) {
+  ModelDims dims;
+  Rng rng(6);
+  Dataset homo = TinyHomogeneous();
+  EpochOutcome outcome = PyTorchLikeMagnnEpoch(homo, dims, UINT64_MAX, 32, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kUnsupported);
+}
+
+TEST(DglLikeTest, GcnAndPinSageRunMagnnUnsupported) {
+  ModelDims dims;
+  Rng rng(7);
+  Dataset homo = TinyHomogeneous();
+  EXPECT_EQ(DglLikeGcnEpoch(homo, dims, rng).status, EpochStatus::kOk);
+  EXPECT_EQ(DglLikePinSageEpoch(homo, dims, WalkParams{}, rng).status, EpochStatus::kOk);
+  EXPECT_EQ(DglLikeMagnnEpoch().status, EpochStatus::kUnsupported);
+  EXPECT_EQ(OutcomeCell(DglLikeMagnnEpoch()), "X");
+}
+
+TEST(MiniBatchTest, GcnRunsWithGenerousBudget) {
+  ModelDims dims;
+  Rng rng(8);
+  Dataset homo = TinyHomogeneous();
+  MiniBatchConfig config = DistDglLikeConfig(homo);
+  config.batch_size = 64;
+  EpochOutcome outcome = MiniBatchGcnEpoch(homo, dims, config, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kOk);
+  EXPECT_GT(outcome.peak_bytes, 0u);
+}
+
+TEST(MiniBatchTest, GcnOomsWhenClosureExceedsBudget) {
+  ModelDims dims;
+  Rng rng(9);
+  Dataset homo = TinyHomogeneous();
+  MiniBatchConfig config = DistDglLikeConfig(homo);
+  config.batch_size = 64;
+  config.mem_cap_bytes = 1;
+  EpochOutcome outcome = MiniBatchGcnEpoch(homo, dims, config, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kOom);
+}
+
+TEST(MiniBatchTest, PinSageRuns) {
+  ModelDims dims;
+  Rng rng(10);
+  Dataset homo = TinyHomogeneous();
+  MiniBatchConfig config = EulerLikeConfig(homo);
+  config.batch_size = 64;
+  EpochOutcome outcome = MiniBatchPinSageEpoch(homo, dims, config, WalkParams{}, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kOk);
+}
+
+TEST(PreExpandTest, PinSageExpandedGraphIsWellFormed) {
+  Dataset homo = TinyHomogeneous();
+  Rng rng(11);
+  PinSageExpandedGraph expanded =
+      PrecomputePinSageExpandedGraph(homo.graph, WalkParams{}, /*walk_multiplier=*/3, rng);
+  ASSERT_EQ(expanded.offsets.size(), homo.graph.num_vertices() + 1u);
+  EXPECT_EQ(expanded.candidates.size(), expanded.cumulative_weight.size());
+  // Cumulative weights strictly increase within each vertex's range.
+  for (VertexId v = 0; v < homo.graph.num_vertices(); ++v) {
+    for (uint64_t i = expanded.offsets[v] + 1; i < expanded.offsets[v + 1]; ++i) {
+      EXPECT_GT(expanded.cumulative_weight[i], expanded.cumulative_weight[i - 1]);
+    }
+  }
+  ModelDims dims;
+  EpochOutcome outcome = PreExpandPinSageEpoch(homo, dims, expanded, WalkParams{}, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kOk);
+}
+
+TEST(PreExpandTest, MagnnExpandedMatchesMatcher) {
+  Dataset hetero = TinyHetero();
+  MagnnExpandedGraph expanded =
+      PrecomputeMagnnExpandedGraph(hetero.graph, DefaultMetapaths3Type(), 32);
+  EXPECT_EQ(expanded.instance_root.size(), expanded.instance_type.size());
+  EXPECT_EQ(expanded.instance_offsets.size(), expanded.instance_root.size() + 1);
+  EXPECT_EQ(expanded.num_types, 6u);
+  ModelDims dims;
+  Rng rng(12);
+  EpochOutcome outcome = PreExpandMagnnEpoch(hetero, dims, expanded, rng);
+  EXPECT_EQ(outcome.status, EpochStatus::kOk);
+}
+
+TEST(OutcomeCellTest, Formats) {
+  EpochOutcome ok;
+  ok.seconds = 1.234;
+  EXPECT_EQ(OutcomeCell(ok), "1.23");
+  EXPECT_EQ(OutcomeCell(ok, 1), "1.2");
+  EXPECT_EQ(OutcomeCell(EpochOutcome::Oom(10)), "OOM");
+  EXPECT_EQ(OutcomeCell(EpochOutcome::Unsupported()), "X");
+}
+
+}  // namespace
+}  // namespace flexgraph

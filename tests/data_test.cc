@@ -1,0 +1,185 @@
+// Tests for the synthetic dataset generators: determinism, shape properties
+// (density / skew / heterogeneity) that the substitutions rely on.
+#include "src/data/datasets.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/graph/traversal.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(DatasetTest, ShapesAreConsistent) {
+  for (const char* name : {"reddit", "fb91", "twitter", "imdb"}) {
+    Dataset ds = MakeDatasetByName(name, /*scale=*/0.1);
+    EXPECT_EQ(ds.name, name);
+    EXPECT_GT(ds.graph.num_vertices(), 0u);
+    EXPECT_GT(ds.graph.num_edges(), 0u);
+    EXPECT_EQ(ds.features.rows(), static_cast<int64_t>(ds.graph.num_vertices()));
+    EXPECT_EQ(ds.labels.size(), ds.graph.num_vertices());
+    for (uint32_t label : ds.labels) {
+      EXPECT_LT(static_cast<int>(label), ds.num_classes);
+    }
+  }
+}
+
+TEST(DatasetTest, UnknownNameThrows) {
+  EXPECT_THROW(MakeDatasetByName("ogbn-papers100m"), CheckError);
+}
+
+TEST(DatasetTest, DeterministicForFixedSeed) {
+  Dataset a = MakeFb91Like(0.05, 7);
+  Dataset b = MakeFb91Like(0.05, 7);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_EQ(a.labels, b.labels);
+  EXPECT_EQ(a.features.At(3, 3), b.features.At(3, 3));
+  Dataset c = MakeFb91Like(0.05, 8);
+  EXPECT_NE(a.graph.num_edges(), c.graph.num_edges());
+}
+
+TEST(DatasetTest, RedditLikeIsDense) {
+  Dataset ds = MakeRedditLike(0.25);
+  const double avg_degree =
+      static_cast<double>(ds.graph.num_edges()) / ds.graph.num_vertices();
+  EXPECT_GT(avg_degree, 30.0);  // Reddit's regime: ~50 avg degree
+}
+
+TEST(DatasetTest, PowerLawGraphsAreSkewed) {
+  for (const char* name : {"fb91", "twitter"}) {
+    Dataset ds = MakeDatasetByName(name, 0.25);
+    EdgeId max_degree = 0;
+    for (VertexId v = 0; v < ds.graph.num_vertices(); ++v) {
+      max_degree = std::max(max_degree, ds.graph.OutDegree(v));
+    }
+    const double avg = static_cast<double>(ds.graph.num_edges()) / ds.graph.num_vertices();
+    EXPECT_GT(static_cast<double>(max_degree), 20.0 * avg)
+        << name << ": hubs must dominate (max=" << max_degree << ", avg=" << avg << ")";
+  }
+}
+
+TEST(DatasetTest, TwitterMoreSkewedThanFb91) {
+  Dataset fb = MakeFb91Like(0.25);
+  Dataset tw = MakeTwitterLike(0.25);
+  auto max_deg = [](const CsrGraph& g) {
+    EdgeId mx = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      mx = std::max(mx, g.OutDegree(v));
+    }
+    return static_cast<double>(mx) * g.num_vertices() / static_cast<double>(g.num_edges());
+  };
+  EXPECT_GT(max_deg(tw.graph), max_deg(fb.graph));
+}
+
+TEST(DatasetTest, ImdbLikeIsTripartite) {
+  Dataset ds = MakeImdbLike(0.2);
+  ASSERT_TRUE(ds.graph.is_heterogeneous());
+  EXPECT_EQ(ds.graph.num_vertex_types(), 3);
+  // Subjects (type 0) only connect to attribute types.
+  uint32_t checked = 0;
+  for (VertexId v = 0; v < ds.graph.num_vertices() && checked < 200; ++v) {
+    if (ds.graph.TypeOf(v) != 0) {
+      continue;
+    }
+    ++checked;
+    for (VertexId u : ds.graph.OutNeighbors(v)) {
+      EXPECT_NE(ds.graph.TypeOf(u), 0);
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(DatasetTest, ScaleParameterScalesVertices) {
+  Dataset small = MakeTwitterLike(0.05);
+  Dataset large = MakeTwitterLike(0.2);
+  EXPECT_NEAR(static_cast<double>(large.graph.num_vertices()) /
+                  static_cast<double>(small.graph.num_vertices()),
+              4.0, 0.2);
+}
+
+TEST(DatasetTest, SyntheticTypesPreserveStructure) {
+  Dataset plain = MakeTwitterLike(0.05);
+  Dataset typed = WithSyntheticVertexTypes(plain, 3);
+  EXPECT_TRUE(typed.graph.is_heterogeneous());
+  EXPECT_EQ(typed.graph.num_vertex_types(), 3);
+  EXPECT_EQ(typed.graph.num_vertices(), plain.graph.num_vertices());
+  EXPECT_EQ(typed.graph.num_edges(), plain.graph.num_edges());
+  for (VertexId v = 0; v < std::min<VertexId>(100, typed.graph.num_vertices()); ++v) {
+    EXPECT_EQ(typed.graph.TypeOf(v), static_cast<VertexType>(v % 3));
+    auto a = plain.graph.OutNeighbors(v);
+    auto b = typed.graph.OutNeighbors(v);
+    ASSERT_EQ(a.size(), b.size());
+  }
+  // Features and labels are carried over untouched.
+  EXPECT_EQ(typed.features.At(3, 3), plain.features.At(3, 3));
+  EXPECT_EQ(typed.labels, plain.labels);
+}
+
+TEST(DatasetTest, ImdbLabelsFollowDirectors) {
+  Dataset ds = MakeImdbLike(0.3);
+  // Every movie's label equals its first director's label.
+  uint32_t checked = 0;
+  for (VertexId v = 0; v < ds.graph.num_vertices() && checked < 100; ++v) {
+    if (ds.graph.TypeOf(v) != 0) {
+      continue;
+    }
+    for (VertexId u : ds.graph.OutNeighbors(v)) {
+      if (ds.graph.TypeOf(u) == 1) {
+        EXPECT_EQ(ds.labels[v], ds.labels[u]);
+        ++checked;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST(ClassFeatureTest, SameClassVerticesAreCloser) {
+  std::vector<uint32_t> labels = {0, 0, 1, 1};
+  Tensor f = MakeClassFeatures(labels, 2, 32, 0.1f, 5);
+  auto dist = [&](int64_t a, int64_t b) {
+    float acc = 0.0f;
+    for (int64_t j = 0; j < f.cols(); ++j) {
+      const float d = f.At(a, j) - f.At(b, j);
+      acc += d * d;
+    }
+    return acc;
+  };
+  EXPECT_LT(dist(0, 1), dist(0, 2));
+  EXPECT_LT(dist(2, 3), dist(1, 3));
+}
+
+TEST(CommunityGraphTest, IntraCommunityEdgesDominate) {
+  CommunityGraphParams params;
+  params.num_vertices = 1600;
+  params.num_communities = 8;
+  params.intra_degree = 20.0;
+  params.inter_degree = 2.0;
+  CsrGraph g = GenerateCommunityGraph(params);
+  const VertexId csize = params.num_vertices / params.num_communities;
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (v / csize == u / csize) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, 4 * inter);
+}
+
+TEST(CommunityGraphTest, GraphIsConnectedEnough) {
+  Dataset ds = MakeRedditLike(0.1);
+  uint32_t num_components = 0;
+  ConnectedComponents(ds.graph, &num_components);
+  // Dense community graph with global edges: one giant component expected.
+  EXPECT_LE(num_components, ds.graph.num_vertices() / 100 + 1);
+}
+
+}  // namespace
+}  // namespace flexgraph

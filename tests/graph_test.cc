@@ -1,0 +1,166 @@
+// Unit tests for the CSR graph substrate: builder, invariants, traversal, IO.
+#include "src/graph/csr_graph.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/edge_list_io.h"
+#include "src/graph/traversal.h"
+
+namespace flexgraph {
+namespace {
+
+CsrGraph MakePaperSampleGraph() {
+  // The paper's Figure 2a sample graph (vertices A..I → 0..8), undirected:
+  // A-D, A-E, A-F, A-H, B-E, B-C, C-D, F-G, G-H, H-I.
+  GraphBuilder b(9);
+  b.AddUndirectedEdge(0, 3);  // A-D
+  b.AddUndirectedEdge(0, 4);  // A-E
+  b.AddUndirectedEdge(0, 5);  // A-F
+  b.AddUndirectedEdge(0, 7);  // A-H
+  b.AddUndirectedEdge(1, 4);  // B-E
+  b.AddUndirectedEdge(1, 2);  // B-C
+  b.AddUndirectedEdge(2, 3);  // C-D
+  b.AddUndirectedEdge(5, 6);  // F-G
+  b.AddUndirectedEdge(6, 7);  // G-H
+  b.AddUndirectedEdge(7, 8);  // H-I
+  return b.Build();
+}
+
+TEST(GraphBuilderTest, DegreesAndNeighbors) {
+  CsrGraph g = MakePaperSampleGraph();
+  EXPECT_EQ(g.num_vertices(), 9u);
+  EXPECT_EQ(g.num_edges(), 20u);  // 10 undirected
+  EXPECT_EQ(g.OutDegree(0), 4u);  // A: D,E,F,H
+  auto nbrs = g.OutNeighbors(0);
+  std::vector<VertexId> expected = {3, 4, 5, 7};
+  EXPECT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()), expected);
+}
+
+TEST(GraphBuilderTest, InEdgesMirrorOutEdges) {
+  CsrGraph g = MakePaperSampleGraph();
+  ASSERT_TRUE(g.has_in_edges());
+  // For an undirected construction, in == out for every vertex.
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto out = g.OutNeighbors(v);
+    auto in = g.InNeighbors(v);
+    EXPECT_EQ(std::vector<VertexId>(out.begin(), out.end()),
+              std::vector<VertexId>(in.begin(), in.end()));
+  }
+}
+
+TEST(GraphBuilderTest, OffsetsAreMonotone) {
+  CsrGraph g = MakePaperSampleGraph();
+  auto offs = g.out_offsets();
+  for (std::size_t i = 1; i < offs.size(); ++i) {
+    EXPECT_LE(offs[i - 1], offs[i]);
+  }
+  EXPECT_EQ(offs[offs.size() - 1], g.num_edges());
+}
+
+TEST(GraphBuilderTest, DedupRemovesParallelEdges) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 1);
+  b.AddEdge(0, 2);
+  CsrGraph g = b.Build(GraphBuilder::Options{.build_in_edges = false,
+                                             .sort_neighbors = true,
+                                             .dedup_edges = true});
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, VertexTypeRoundTrip) {
+  GraphBuilder b(4, 3);
+  b.SetVertexType(0, 0);
+  b.SetVertexType(1, 1);
+  b.SetVertexType(2, 2);
+  b.SetVertexType(3, 1);
+  b.AddEdge(0, 1);
+  CsrGraph g = b.Build();
+  EXPECT_TRUE(g.is_heterogeneous());
+  EXPECT_EQ(g.TypeOf(2), 2);
+  EXPECT_EQ(g.TypeOf(3), 1);
+}
+
+TEST(GraphBuilderTest, EdgeOutOfRangeThrows) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.AddEdge(0, 2), CheckError);
+  EXPECT_THROW(b.AddEdge(2, 0), CheckError);
+}
+
+TEST(BfsTest, DistancesOnSampleGraph) {
+  CsrGraph g = MakePaperSampleGraph();
+  auto dist = BfsDistances(g, 0);  // from A
+  EXPECT_EQ(dist[0], 0u);
+  EXPECT_EQ(dist[3], 1u);  // D
+  EXPECT_EQ(dist[2], 2u);  // C via D
+  EXPECT_EQ(dist[6], 2u);  // G via F or H
+  EXPECT_EQ(dist[8], 2u);  // I via H
+}
+
+TEST(BfsTest, DepthBound) {
+  CsrGraph g = MakePaperSampleGraph();
+  auto dist = BfsDistances(g, 0, 1);
+  EXPECT_EQ(dist[3], 1u);
+  EXPECT_EQ(dist[2], kUnreached);  // beyond 1 hop
+}
+
+TEST(BfsTest, OrderStartsAtSeedAndRespectsLimit) {
+  CsrGraph g = MakePaperSampleGraph();
+  auto order = BfsOrder(g, 1, 3);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1u);
+}
+
+TEST(ConnectedComponentsTest, SingleComponentAndIsolated) {
+  GraphBuilder b(5);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  // 3 and 4 isolated.
+  CsrGraph g = b.Build();
+  uint32_t n = 0;
+  auto comp = ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 3u);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[3], comp[4]);
+}
+
+TEST(EdgeListIoTest, RoundTripHomogeneous) {
+  CsrGraph g = MakePaperSampleGraph();
+  std::stringstream ss;
+  SaveEdgeList(g, ss);
+  CsrGraph g2 = LoadEdgeList(ss);
+  EXPECT_EQ(g2.num_vertices(), g.num_vertices());
+  EXPECT_EQ(g2.num_edges(), g.num_edges());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    auto a = g.OutNeighbors(v);
+    auto b = g2.OutNeighbors(v);
+    EXPECT_EQ(std::vector<VertexId>(a.begin(), a.end()),
+              std::vector<VertexId>(b.begin(), b.end()));
+  }
+}
+
+TEST(EdgeListIoTest, RoundTripHeterogeneous) {
+  GraphBuilder b(3, 2);
+  b.SetVertexType(1, 1);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(1, 2);
+  CsrGraph g = b.Build();
+  std::stringstream ss;
+  SaveEdgeList(g, ss);
+  CsrGraph g2 = LoadEdgeList(ss);
+  EXPECT_TRUE(g2.is_heterogeneous());
+  EXPECT_EQ(g2.TypeOf(1), 1);
+  EXPECT_EQ(g2.TypeOf(0), 0);
+}
+
+TEST(EdgeListIoTest, MissingHeaderThrows) {
+  std::stringstream ss("e 0 1\n");
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+}
+
+}  // namespace
+}  // namespace flexgraph

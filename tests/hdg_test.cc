@@ -1,0 +1,248 @@
+// Tests for HDG construction, the compact level storage, memory accounting,
+// and the induced dependency graph.
+#include "src/hdg/hdg.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/hdg/schema_tree.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(SchemaTreeTest, FlatAndTyped) {
+  SchemaTree flat = SchemaTree::Flat();
+  EXPECT_TRUE(flat.is_flat());
+  EXPECT_EQ(flat.num_leaf_types(), 1u);
+
+  SchemaTree typed = SchemaTree::WithLeafTypes({"MP1", "MP2"});
+  EXPECT_FALSE(typed.is_flat());
+  EXPECT_EQ(typed.num_leaf_types(), 2u);
+  EXPECT_EQ(typed.leaf_name(1), "MP2");
+}
+
+TEST(HdgBuilderTest, FlatHdgCollapsesLevels) {
+  // Roots {0,1,2}; neighbors: 0→{5,6}, 2→{7}.
+  HdgBuilder builder(SchemaTree::Flat(), {0, 1, 2});
+  const VertexId l5[] = {5};
+  const VertexId l6[] = {6};
+  const VertexId l7[] = {7};
+  builder.AddRecord(0, 0, l5);
+  builder.AddRecord(2, 0, l7);
+  builder.AddRecord(0, 0, l6);
+  Hdg hdg = builder.Build();
+
+  EXPECT_TRUE(hdg.flat());
+  EXPECT_EQ(hdg.num_roots(), 3u);
+  EXPECT_EQ(hdg.num_instances(), 3u);
+  EXPECT_TRUE(hdg.instance_leaf_offsets().empty());
+  // slot_offsets groups leaves per root: [0,2,2,3].
+  ASSERT_EQ(hdg.slot_offsets().size(), 4u);
+  EXPECT_EQ(hdg.slot_offsets()[1], 2u);
+  EXPECT_EQ(hdg.slot_offsets()[2], 2u);  // root 1 empty
+  EXPECT_EQ(hdg.slot_offsets()[3], 3u);
+  EXPECT_EQ(hdg.leaf_vertex_ids()[2], 7u);
+}
+
+TEST(HdgBuilderTest, HierarchicalPaperExample) {
+  // MAGNN Figure 3c: root A(0); MP1 instances {p1={A,D,C}}, MP2 instances
+  // {p2={A,E,B}, p3={A,F,G}, p4={A,H,G}, p5={A,H,I}}.
+  HdgBuilder builder(SchemaTree::WithLeafTypes({"MP1", "MP2"}), {0});
+  const VertexId p1[] = {0, 3, 2};
+  const VertexId p2[] = {0, 4, 1};
+  const VertexId p3[] = {0, 5, 6};
+  const VertexId p4[] = {0, 7, 6};
+  const VertexId p5[] = {0, 7, 8};
+  builder.AddRecord(0, 1, p2);  // out of order on purpose
+  builder.AddRecord(0, 0, p1);
+  builder.AddRecord(0, 1, p3);
+  builder.AddRecord(0, 1, p4);
+  builder.AddRecord(0, 1, p5);
+  Hdg hdg = builder.Build();
+
+  EXPECT_FALSE(hdg.flat());
+  EXPECT_EQ(hdg.num_roots(), 1u);
+  EXPECT_EQ(hdg.num_types(), 2u);
+  EXPECT_EQ(hdg.num_instances(), 5u);
+  EXPECT_EQ(hdg.num_leaf_refs(), 15u);
+
+  // Slots: (A, MP1) has 1 instance, (A, MP2) has 4.
+  ASSERT_EQ(hdg.slot_offsets().size(), 3u);
+  EXPECT_EQ(hdg.slot_offsets()[1], 1u);
+  EXPECT_EQ(hdg.slot_offsets()[2], 5u);
+
+  // Instance 0 is the MP1 instance (sorted by type): leaves {0,3,2}.
+  auto offs = hdg.instance_leaf_offsets();
+  ASSERT_EQ(offs.size(), 6u);
+  EXPECT_EQ(offs[1] - offs[0], 3u);
+  EXPECT_EQ(hdg.leaf_vertex_ids()[0], 0u);
+  EXPECT_EQ(hdg.leaf_vertex_ids()[1], 3u);
+  EXPECT_EQ(hdg.leaf_vertex_ids()[2], 2u);
+}
+
+TEST(HdgBuilderTest, RecordForNonRootThrows) {
+  HdgBuilder builder(SchemaTree::Flat(), {0, 1});
+  const VertexId leaf[] = {0};
+  EXPECT_THROW(builder.AddRecord(5, 0, leaf), CheckError);
+}
+
+TEST(HdgBuilderTest, TypeOutOfRangeThrows) {
+  HdgBuilder builder(SchemaTree::Flat(), {0});
+  const VertexId leaf[] = {0};
+  EXPECT_THROW(builder.AddRecord(0, 1, leaf), CheckError);
+}
+
+TEST(HdgBuilderTest, DuplicateRootThrows) {
+  EXPECT_THROW(HdgBuilder(SchemaTree::Flat(), {0, 0}), CheckError);
+}
+
+TEST(HdgFootprintTest, OptimizedSmallerThanNaive) {
+  HdgBuilder builder(SchemaTree::WithLeafTypes({"MP1", "MP2"}), {0, 1, 2, 3});
+  const VertexId leaves[] = {0, 1, 2};
+  for (VertexId root = 0; root < 4; ++root) {
+    for (uint32_t type = 0; type < 2; ++type) {
+      builder.AddRecord(root, type, leaves);
+    }
+  }
+  Hdg hdg = builder.Build();
+  const auto fp = hdg.Footprint();
+  // Elided-Dst: 8 instances × 4 bytes saved; global schema: 3 extra copies
+  // avoided.
+  EXPECT_LT(fp.TotalBytes(), fp.NaiveTotalBytes());
+  EXPECT_EQ(fp.naive_in_between_bytes - fp.in_between_bytes, 8u * sizeof(VertexId));
+  EXPECT_EQ(fp.naive_schema_bytes, 4u * fp.schema_bytes);
+}
+
+TEST(InducedGraphTest, ConnectsRootsToDistinctLeaves) {
+  HdgBuilder builder(SchemaTree::WithLeafTypes({"MP1"}), {0, 1});
+  const VertexId p1[] = {0, 3, 2};
+  const VertexId p2[] = {0, 3, 4};
+  builder.AddRecord(0, 0, p1);
+  builder.AddRecord(0, 0, p2);
+  Hdg hdg = builder.Build();
+  CsrGraph induced = BuildInducedGraph(hdg, 6);
+  // Root 0 links to {2,3,4} (self excluded, 3 deduped).
+  auto nbrs = induced.OutNeighbors(0);
+  EXPECT_EQ(std::vector<VertexId>(nbrs.begin(), nbrs.end()),
+            (std::vector<VertexId>{2, 3, 4}));
+  // Undirected: leaf 3 links back to 0.
+  auto back = induced.OutNeighbors(3);
+  EXPECT_EQ(std::vector<VertexId>(back.begin(), back.end()), (std::vector<VertexId>{0}));
+  // Root 1 had no records → isolated.
+  EXPECT_EQ(induced.OutDegree(1), 0u);
+}
+
+TEST(HdgBuilderTest, EmptyRootsProduceEmptySlots) {
+  HdgBuilder builder(SchemaTree::Flat(), {0, 1, 2});
+  Hdg hdg = builder.Build();
+  EXPECT_EQ(hdg.num_instances(), 0u);
+  EXPECT_EQ(hdg.slot_offsets().back(), 0u);
+}
+
+TEST(FlatHdgFromGraphTest, MatchesUdfBuiltHdg) {
+  // The §7.8 fast path (input graph as HDG) must produce exactly the same
+  // structure as running a 1-hop UDF through the record builder.
+  GraphBuilder b(5);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(0, 2);
+  b.AddUndirectedEdge(1, 3);
+  CsrGraph g = b.Build();
+
+  Hdg fast = FlatHdgFromInNeighbors(g, {0, 1, 2, 3, 4});
+
+  HdgBuilder builder(SchemaTree::Flat(), {0, 1, 2, 3, 4});
+  for (VertexId v = 0; v < 5; ++v) {
+    for (VertexId u : g.InNeighbors(v)) {
+      const VertexId leaf[1] = {u};
+      builder.AddRecord(v, 0, leaf);
+    }
+  }
+  Hdg slow = builder.Build();
+
+  EXPECT_TRUE(fast.flat());
+  ASSERT_EQ(fast.slot_offsets().size(), slow.slot_offsets().size());
+  for (std::size_t i = 0; i < fast.slot_offsets().size(); ++i) {
+    EXPECT_EQ(fast.slot_offsets()[i], slow.slot_offsets()[i]);
+  }
+  ASSERT_EQ(fast.leaf_vertex_ids().size(), slow.leaf_vertex_ids().size());
+  for (std::size_t i = 0; i < fast.leaf_vertex_ids().size(); ++i) {
+    EXPECT_EQ(fast.leaf_vertex_ids()[i], slow.leaf_vertex_ids()[i]);
+  }
+}
+
+TEST(FlatHdgFromGraphTest, SubsetOfRoots) {
+  GraphBuilder b(4);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(2, 3);
+  CsrGraph g = b.Build();
+  Hdg hdg = FlatHdgFromInNeighbors(g, {2, 0});
+  EXPECT_EQ(hdg.num_roots(), 2u);
+  EXPECT_EQ(hdg.root_vertex(0), 2u);
+  // Root 2's only in-neighbor is 3; root 0's is 1.
+  EXPECT_EQ(hdg.leaf_vertex_ids()[0], 3u);
+  EXPECT_EQ(hdg.leaf_vertex_ids()[1], 1u);
+}
+
+// Property test: for random record sets, the frozen storage preserves every
+// record exactly once with leaves in order.
+class HdgRoundTripSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(HdgRoundTripSweep, RecordsSurviveFreezing) {
+  const int seed = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  const uint32_t num_roots = 8;
+  const uint32_t num_types = 3;
+  std::vector<VertexId> roots;
+  for (uint32_t r = 0; r < num_roots; ++r) {
+    roots.push_back(r * 2);  // non-contiguous graph ids
+  }
+  std::vector<std::string> names = {"t0", "t1", "t2"};
+  HdgBuilder builder(SchemaTree::WithLeafTypes(names), roots);
+
+  // expected[root][type] = multiset of leaf vectors.
+  std::vector<std::vector<std::vector<std::vector<VertexId>>>> expected(
+      num_roots, std::vector<std::vector<std::vector<VertexId>>>(num_types));
+  const int num_records = 40;
+  for (int i = 0; i < num_records; ++i) {
+    const uint32_t root_rank = static_cast<uint32_t>(rng.NextBounded(num_roots));
+    const uint32_t type = static_cast<uint32_t>(rng.NextBounded(num_types));
+    std::vector<VertexId> leaves;
+    const uint64_t len = 1 + rng.NextBounded(4);
+    for (uint64_t l = 0; l < len; ++l) {
+      leaves.push_back(static_cast<VertexId>(rng.NextBounded(100)));
+    }
+    builder.AddRecord(roots[root_rank], type, leaves);
+    expected[root_rank][type].push_back(leaves);
+  }
+  Hdg hdg = builder.Build();
+  EXPECT_EQ(hdg.num_instances(), static_cast<uint64_t>(num_records));
+
+  auto slot_offsets = hdg.slot_offsets();
+  auto inst_offsets = hdg.instance_leaf_offsets();
+  auto leaf_ids = hdg.leaf_vertex_ids();
+  for (uint32_t r = 0; r < num_roots; ++r) {
+    for (uint32_t t = 0; t < num_types; ++t) {
+      const std::size_t slot = r * num_types + t;
+      const uint64_t lo = slot_offsets[slot];
+      const uint64_t hi = slot_offsets[slot + 1];
+      ASSERT_EQ(hi - lo, expected[r][t].size());
+      // Collect stored leaf vectors for this slot and compare as multisets.
+      std::vector<std::vector<VertexId>> stored;
+      for (uint64_t i = lo; i < hi; ++i) {
+        stored.emplace_back(leaf_ids.begin() + static_cast<std::ptrdiff_t>(inst_offsets[i]),
+                            leaf_ids.begin() + static_cast<std::ptrdiff_t>(inst_offsets[i + 1]));
+      }
+      auto want = expected[r][t];
+      std::sort(stored.begin(), stored.end());
+      std::sort(want.begin(), want.end());
+      EXPECT_EQ(stored, want) << "root " << r << " type " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HdgRoundTripSweep, ::testing::Values(1, 2, 3, 7, 11));
+
+}  // namespace
+}  // namespace flexgraph

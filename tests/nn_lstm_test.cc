@@ -1,0 +1,221 @@
+// Tests for optimizers, init, the max-pool segment op, and the LSTM segment
+// aggregator (forward sanity + full BPTT gradient checks).
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/lstm.h"
+#include "src/tensor/nn.h"
+#include "src/tensor/ops_dense.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(InitTest, XavierBoundsAndSpread) {
+  Rng rng(1);
+  Tensor w(64, 32);
+  XavierUniformFill(w, rng);
+  const float limit = std::sqrt(6.0f / (64 + 32));
+  float mx = 0.0f;
+  for (int64_t i = 0; i < w.numel(); ++i) {
+    ASSERT_LE(std::fabs(w.data()[i]), limit);
+    mx = std::max(mx, std::fabs(w.data()[i]));
+  }
+  EXPECT_GT(mx, limit * 0.8f);  // actually uses the range
+}
+
+TEST(SgdTest, WeightDecayShrinksWeights) {
+  Variable p = Variable::Leaf(Tensor::Full(1, 1, 10.0f), true);
+  std::vector<Variable> params = {p};
+  p.grad();  // zero gradient
+  SgdOptimizer opt(0.1f, /*weight_decay=*/0.5f);
+  opt.Step(params);
+  // value -= lr * (grad + wd*value) = 10 - 0.1*5 = 9.5.
+  EXPECT_FLOAT_EQ(p.value().At(0, 0), 9.5f);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  // Minimize (x - 3)² with Adam; gradient = 2(x-3).
+  Variable x = Variable::Leaf(Tensor::Full(1, 1, 0.0f), true);
+  std::vector<Variable> params = {x};
+  AdamOptimizer opt(0.2f);
+  for (int step = 0; step < 200; ++step) {
+    x.ZeroGrad();
+    Tensor g(1, 1);
+    g.At(0, 0) = 2.0f * (x.value().At(0, 0) - 3.0f);
+    x.node()->AccumulateGrad(g);
+    opt.Step(params);
+  }
+  EXPECT_NEAR(x.value().At(0, 0), 3.0f, 0.05f);
+}
+
+TEST(AccuracyTest, CountsArgmaxMatches) {
+  Tensor logits = Tensor::FromRows(3, 2, {0.9f, 0.1f, 0.2f, 0.8f, 0.6f, 0.4f});
+  EXPECT_FLOAT_EQ(Accuracy(logits, {0, 1, 1}), 2.0f / 3.0f);
+  EXPECT_FLOAT_EQ(Accuracy(logits, {0, 1, 0}), 1.0f);
+}
+
+TEST(SegmentMaxTest, ForwardAndEmptySegments) {
+  Tensor x = Tensor::FromRows(4, 2, {1, 8, 3, 2, -1, -2, 5, 0});
+  Variable v = Variable::Leaf(x, true);
+  Variable out = AgSegmentMax(v, {0, 2, 2, 4});
+  EXPECT_FLOAT_EQ(out.value().At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.value().At(0, 1), 8.0f);
+  EXPECT_FLOAT_EQ(out.value().At(1, 0), 0.0f);  // empty segment
+  EXPECT_FLOAT_EQ(out.value().At(2, 0), 5.0f);
+  EXPECT_FLOAT_EQ(out.value().At(2, 1), 0.0f);
+}
+
+TEST(SegmentMaxTest, GradientRoutesToArgmax) {
+  Tensor x = Tensor::FromRows(3, 1, {1, 5, 3});
+  Variable v = Variable::Leaf(x, true);
+  Variable out = AgSegmentMax(v, {0, 3});
+  out.Backward();
+  EXPECT_FLOAT_EQ(v.grad().At(0, 0), 0.0f);
+  EXPECT_FLOAT_EQ(v.grad().At(1, 0), 1.0f);
+  EXPECT_FLOAT_EQ(v.grad().At(2, 0), 0.0f);
+}
+
+TEST(SegmentMaxTest, NumericGradient) {
+  Rng rng(3);
+  // Spread values so finite differences don't cross argmax ties.
+  Tensor x(6, 3);
+  for (int64_t i = 0; i < x.numel(); ++i) {
+    x.data()[i] = static_cast<float>(i % 7) + 0.3f * rng.NextFloat();
+  }
+  std::vector<uint64_t> offsets = {0, 2, 6};
+  ExpectGradientsMatch(x, [&](const Variable& v) { return AgSegmentMax(v, offsets); },
+                       1e-3f, 2e-2f);
+}
+
+TEST(LstmTest, SingleStepMatchesHandComputation) {
+  // One input, one segment: with all weights zero except bias, the gates are
+  // fixed and h = σ(bo)·tanh(σ(bi)·tanh(bg)).
+  Rng rng(4);
+  LstmCell cell(2, 1, rng);
+  cell.wx().mutable_value().Zero();
+  cell.wh().mutable_value().Zero();
+  Tensor bias(1, 4);
+  bias.At(0, 0) = 0.5f;   // input gate
+  bias.At(0, 1) = -0.5f;  // forget gate (irrelevant at t=0)
+  bias.At(0, 2) = 1.0f;   // cell candidate
+  bias.At(0, 3) = 0.25f;  // output gate
+  cell.bias().mutable_value() = bias;
+
+  Tensor x(1, 2);
+  Variable out = AgSegmentLstm(Variable::Leaf(x), {0, 1}, cell);
+  const auto sigmoid = [](float v) { return 1.0f / (1.0f + std::exp(-v)); };
+  const float c = sigmoid(0.5f) * std::tanh(1.0f);
+  const float expected = sigmoid(0.25f) * std::tanh(c);
+  EXPECT_NEAR(out.value().At(0, 0), expected, 1e-5f);
+}
+
+TEST(LstmTest, OrderDependence) {
+  // LSTM aggregation is non-commutative: reversing the neighbor order must
+  // change the output (this is exactly why partial aggregation is barred).
+  Rng rng(5);
+  LstmCell cell(3, 4, rng);
+  Tensor fwd = RandomTensor(5, 3, rng);
+  Tensor rev(5, 3);
+  for (int64_t i = 0; i < 5; ++i) {
+    std::memcpy(rev.Row(i), fwd.Row(4 - i), 3 * sizeof(float));
+  }
+  Variable out_fwd = AgSegmentLstm(Variable::Leaf(fwd), {0, 5}, cell);
+  Variable out_rev = AgSegmentLstm(Variable::Leaf(rev), {0, 5}, cell);
+  EXPECT_FALSE(AllClose(out_fwd.value(), out_rev.value(), 1e-4f));
+}
+
+TEST(LstmTest, EmptySegmentYieldsZero) {
+  Rng rng(6);
+  LstmCell cell(2, 3, rng);
+  Tensor x = RandomTensor(2, 2, rng);
+  Variable out = AgSegmentLstm(Variable::Leaf(x), {0, 0, 2}, cell);
+  for (int64_t j = 0; j < 3; ++j) {
+    EXPECT_FLOAT_EQ(out.value().At(0, j), 0.0f);
+  }
+}
+
+TEST(LstmTest, InputGradientMatchesNumeric) {
+  Rng rng(7);
+  LstmCell cell(2, 3, rng);
+  Tensor x = RandomTensor(6, 2, rng);
+  std::vector<uint64_t> offsets = {0, 3, 4, 6};
+  ExpectGradientsMatch(x, [&](const Variable& v) {
+    return AgSegmentLstm(v, offsets, cell);
+  }, 5e-3f, 2e-2f);
+}
+
+TEST(LstmTest, ParameterGradientsMatchNumeric) {
+  // Finite-difference check on the cell parameters: rebuild the forward with
+  // a perturbed parameter tensor and compare to the analytic gradient.
+  Rng rng(8);
+  Tensor x = RandomTensor(5, 2, rng);
+  const std::vector<uint64_t> offsets = {0, 2, 5};
+  const int64_t h = 3;
+
+  LstmCell cell(2, h, rng);
+  Tensor weights = RandomTensor(2, h, rng);  // loss weights over the output
+
+  auto loss_with = [&](const Tensor& wx, const Tensor& wh, const Tensor& bias) -> double {
+    LstmCell probe(2, h, rng);
+    probe.wx().mutable_value() = wx;
+    probe.wh().mutable_value() = wh;
+    probe.bias().mutable_value() = bias;
+    Variable out = AgSegmentLstm(Variable::Leaf(x), offsets, probe);
+    double acc = 0.0;
+    for (int64_t i = 0; i < out.value().numel(); ++i) {
+      acc += static_cast<double>(out.value().data()[i]) * weights.data()[i];
+    }
+    return acc;
+  };
+
+  Variable out = AgSegmentLstm(Variable::Leaf(x), offsets, cell);
+  out.Backward(weights);
+
+  const float eps = 5e-3f;
+  for (Variable* param : {&cell.wx(), &cell.wh(), &cell.bias()}) {
+    const Tensor& analytic = param->grad();
+    Tensor base = param->value();
+    // Spot-check a handful of coordinates per parameter (full sweeps are
+    // covered by the input-gradient test).
+    Rng pick(9);
+    for (int probe = 0; probe < 6; ++probe) {
+      const int64_t idx = static_cast<int64_t>(pick.NextBounded(
+          static_cast<uint64_t>(base.numel())));
+      Tensor up = base;
+      Tensor down = base;
+      up.data()[idx] += eps;
+      down.data()[idx] -= eps;
+      const Tensor& wx = param == &cell.wx() ? up : cell.wx().value();
+      const Tensor& wh = param == &cell.wh() ? up : cell.wh().value();
+      const Tensor& bias = param == &cell.bias() ? up : cell.bias().value();
+      const double up_loss = loss_with(wx, wh, bias);
+      const Tensor& wxd = param == &cell.wx() ? down : cell.wx().value();
+      const Tensor& whd = param == &cell.wh() ? down : cell.wh().value();
+      const Tensor& biasd = param == &cell.bias() ? down : cell.bias().value();
+      const double down_loss = loss_with(wxd, whd, biasd);
+      const double numeric = (up_loss - down_loss) / (2.0 * eps);
+      ASSERT_NEAR(numeric, analytic.data()[idx], 2e-2)
+          << "param grad mismatch at flat index " << idx;
+    }
+  }
+}
+
+TEST(LstmTest, CollectsThreeParameters) {
+  Rng rng(10);
+  LstmCell cell(4, 5, rng);
+  std::vector<Variable> params;
+  cell.CollectParameters(params);
+  EXPECT_EQ(params.size(), 3u);
+  EXPECT_EQ(params[0].rows(), 4);
+  EXPECT_EQ(params[0].cols(), 20);
+  EXPECT_EQ(params[1].rows(), 5);
+  EXPECT_EQ(params[2].cols(), 20);
+  // Forget-gate bias initialized to 1.
+  EXPECT_FLOAT_EQ(cell.bias().value().At(0, 5), 1.0f);
+  EXPECT_FLOAT_EQ(cell.bias().value().At(0, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace flexgraph

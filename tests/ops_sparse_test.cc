@@ -1,0 +1,173 @@
+// Unit + property tests for the sparse kernels (scatter, segment, SpMM).
+#include "src/tensor/ops_sparse.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops_dense.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(ScatterTest, SumMatchesFigure8) {
+  // The paper's Figure 8: values {30,60,20,40,50,70}, dst {0,0,1,0,0,1} →
+  // out {add(30,60,40,50)=180? — figure shows 210/120 with extra elements;
+  // here a simpler exact case}.
+  Tensor values = Tensor::FromRows(6, 1, {30, 60, 20, 40, 50, 70});
+  std::vector<uint32_t> index = {0, 0, 1, 0, 0, 1};
+  Tensor out = Scatter(values, index, 2, ReduceKind::kSum);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 180.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 90.0f);
+}
+
+TEST(ScatterTest, MeanDividesByCount) {
+  Tensor values = Tensor::FromRows(4, 2, {2, 4, 4, 8, 9, 9, 1, 1});
+  std::vector<uint32_t> index = {0, 0, 2, 2};
+  Tensor out = Scatter(values, index, 3, ReduceKind::kMean);
+  EXPECT_FLOAT_EQ(out.At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(out.At(0, 1), 6.0f);
+  EXPECT_FLOAT_EQ(out.At(1, 0), 0.0f);  // untouched row stays zero
+  EXPECT_FLOAT_EQ(out.At(2, 0), 5.0f);
+}
+
+TEST(ScatterTest, MaxMinHandleUntouchedRows) {
+  Tensor values = Tensor::FromRows(3, 1, {-5, -2, -9});
+  std::vector<uint32_t> index = {0, 0, 2};
+  Tensor mx = Scatter(values, index, 3, ReduceKind::kMax);
+  EXPECT_FLOAT_EQ(mx.At(0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(mx.At(1, 0), 0.0f);  // zero, not -inf
+  EXPECT_FLOAT_EQ(mx.At(2, 0), -9.0f);
+  Tensor mn = Scatter(values, index, 3, ReduceKind::kMin);
+  EXPECT_FLOAT_EQ(mn.At(0, 0), -5.0f);
+  EXPECT_FLOAT_EQ(mn.At(1, 0), 0.0f);
+}
+
+TEST(ScatterTest, OutOfRangeIndexThrows) {
+  Tensor values(2, 1);
+  std::vector<uint32_t> index = {0, 5};
+  EXPECT_THROW(Scatter(values, index, 2, ReduceKind::kSum), CheckError);
+}
+
+TEST(GatherTest, PicksRows) {
+  Tensor src = Tensor::FromRows(3, 2, {1, 2, 3, 4, 5, 6});
+  std::vector<uint32_t> index = {2, 0, 2};
+  Tensor out = GatherRows(src, index);
+  EXPECT_TRUE(AllClose(out, Tensor::FromRows(3, 2, {5, 6, 1, 2, 5, 6})));
+}
+
+TEST(SegmentTest, SumMeanWithEmptySegments) {
+  Tensor values = Tensor::FromRows(4, 1, {1, 3, 5, 7});
+  std::vector<uint64_t> offsets = {0, 2, 2, 4};
+  Tensor sum = SegmentReduce(values, offsets, ReduceKind::kSum);
+  EXPECT_FLOAT_EQ(sum.At(0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(sum.At(1, 0), 0.0f);  // empty segment
+  EXPECT_FLOAT_EQ(sum.At(2, 0), 12.0f);
+  Tensor mean = SegmentReduce(values, offsets, ReduceKind::kMean);
+  EXPECT_FLOAT_EQ(mean.At(0, 0), 2.0f);
+  EXPECT_FLOAT_EQ(mean.At(2, 0), 6.0f);
+}
+
+TEST(SegmentTest, MaxMin) {
+  Tensor values = Tensor::FromRows(3, 1, {4, -1, 9});
+  std::vector<uint64_t> offsets = {0, 3};
+  EXPECT_FLOAT_EQ(SegmentReduce(values, offsets, ReduceKind::kMax).At(0, 0), 9.0f);
+  EXPECT_FLOAT_EQ(SegmentReduce(values, offsets, ReduceKind::kMin).At(0, 0), -1.0f);
+}
+
+TEST(SegmentSoftmaxTest, SumsToOnePerSegment) {
+  Rng rng(4);
+  Tensor scores = RandomTensor(7, 1, rng, -3.0f, 3.0f);
+  std::vector<uint64_t> offsets = {0, 3, 3, 7};
+  Tensor w = SegmentSoftmax(scores, offsets);
+  EXPECT_NEAR(w.At(0, 0) + w.At(1, 0) + w.At(2, 0), 1.0f, 1e-5f);
+  EXPECT_NEAR(w.At(3, 0) + w.At(4, 0) + w.At(5, 0) + w.At(6, 0), 1.0f, 1e-5f);
+}
+
+TEST(SegmentSoftmaxTest, SingletonSegmentIsOne) {
+  Tensor scores = Tensor::FromRows(1, 1, {123.0f});
+  std::vector<uint64_t> offsets = {0, 1};
+  EXPECT_FLOAT_EQ(SegmentSoftmax(scores, offsets).At(0, 0), 1.0f);
+}
+
+TEST(MulRowScalarTest, ScalesRows) {
+  Tensor values = Tensor::FromRows(2, 2, {1, 2, 3, 4});
+  Tensor w = Tensor::FromRows(2, 1, {10, 0.5f});
+  EXPECT_TRUE(AllClose(MulRowScalar(values, w), Tensor::FromRows(2, 2, {10, 20, 1.5f, 2})));
+}
+
+TEST(SpmmTest, MatchesScatterPath) {
+  // Ring graph 0→1→2→3→0 in CSR.
+  std::vector<uint64_t> offsets = {0, 1, 2, 3, 4};
+  std::vector<uint32_t> cols = {1, 2, 3, 0};
+  Rng rng(6);
+  Tensor x = RandomTensor(4, 3, rng);
+  Tensor spmm = SpmmCsr(4, offsets, cols, x);
+  // Reference via gather + scatter.
+  std::vector<uint32_t> dst = {0, 1, 2, 3};
+  Tensor gathered = GatherRows(x, cols);
+  Tensor ref = Scatter(gathered, dst, 4, ReduceKind::kSum);
+  EXPECT_TRUE(AllClose(spmm, ref, 1e-5f));
+}
+
+// Property test: Scatter(kSum) over random (rows, dims, buckets) always
+// equals the naive reference, and per-column totals are conserved.
+class ScatterSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(ScatterSweep, MatchesNaiveAndConservesMass) {
+  const auto [rows, dim, buckets] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 7919 + dim * 13 + buckets));
+  Tensor values = RandomTensor(rows, dim, rng);
+  std::vector<uint32_t> index(static_cast<std::size_t>(rows));
+  for (auto& i : index) {
+    i = static_cast<uint32_t>(rng.NextBounded(static_cast<uint64_t>(buckets)));
+  }
+  Tensor out = Scatter(values, index, buckets, ReduceKind::kSum);
+
+  Tensor naive(buckets, dim);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < dim; ++c) {
+      naive.At(index[static_cast<std::size_t>(r)], c) += values.At(r, c);
+    }
+  }
+  EXPECT_TRUE(AllClose(out, naive, 1e-4f));
+
+  // Mass conservation: column sums of out equal column sums of values.
+  EXPECT_TRUE(AllClose(ColSum(out), ColSum(values), 1e-3f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, ScatterSweep,
+                         ::testing::Combine(::testing::Values(1, 16, 257),
+                                            ::testing::Values(1, 4, 31),
+                                            ::testing::Values(1, 3, 64)));
+
+// Property test: SegmentReduce(kSum) equals Scatter(kSum) with the expanded
+// index for random segment layouts.
+class SegmentVsScatterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SegmentVsScatterSweep, Agree) {
+  const int num_segments = GetParam();
+  Rng rng(static_cast<uint64_t>(num_segments) * 31 + 5);
+  std::vector<uint64_t> offsets{0};
+  for (int s = 0; s < num_segments; ++s) {
+    offsets.push_back(offsets.back() + rng.NextBounded(5));  // segments of size 0..4
+  }
+  const auto total = static_cast<int64_t>(offsets.back());
+  Tensor values = RandomTensor(total, 6, rng);
+
+  Tensor seg = SegmentReduce(values, offsets, ReduceKind::kSum);
+
+  std::vector<uint32_t> index(static_cast<std::size_t>(total));
+  for (int s = 0; s < num_segments; ++s) {
+    for (uint64_t e = offsets[static_cast<std::size_t>(s)];
+         e < offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+      index[e] = static_cast<uint32_t>(s);
+    }
+  }
+  Tensor sct = Scatter(values, index, num_segments, ReduceKind::kSum);
+  EXPECT_TRUE(AllClose(seg, sct, 1e-4f));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SegmentVsScatterSweep, ::testing::Values(1, 2, 9, 40, 177));
+
+}  // namespace
+}  // namespace flexgraph

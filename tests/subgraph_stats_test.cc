@@ -1,0 +1,110 @@
+// Tests for k-hop subgraph extraction and graph statistics.
+#include <gtest/gtest.h>
+
+#include "src/data/synthetic.h"
+#include "src/graph/graph_stats.h"
+#include "src/graph/subgraph.h"
+
+namespace flexgraph {
+namespace {
+
+CsrGraph MakeLine(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    b.AddUndirectedEdge(v, v + 1);
+  }
+  return b.Build();
+}
+
+TEST(SubgraphTest, KHopClosureOnLine) {
+  CsrGraph g = MakeLine(10);
+  const VertexId seeds[] = {5};
+  KHopSubgraph sub = BuildKHopSubgraph(g, seeds, 2);
+  // 2-hop closure of 5 on a line: {5, 4, 6, 3, 7}.
+  EXPECT_EQ(sub.num_vertices(), 5u);
+  EXPECT_EQ(sub.vertices[0], 5u);  // seeds first
+  for (VertexId v : {3u, 4u, 5u, 6u, 7u}) {
+    EXPECT_TRUE(sub.to_local.count(v)) << v;
+  }
+  EXPECT_FALSE(sub.to_local.count(2));
+  EXPECT_FALSE(sub.to_local.count(8));
+}
+
+TEST(SubgraphTest, InducedEdgesAreRemappedAndComplete) {
+  CsrGraph g = MakeLine(10);
+  const VertexId seeds[] = {5};
+  KHopSubgraph sub = BuildKHopSubgraph(g, seeds, 1);  // {5,4,6}
+  ASSERT_EQ(sub.num_vertices(), 3u);
+  // Local adjacency must contain exactly the induced edges 5-4, 5-6 (both
+  // directions): 4 directed edges total.
+  EXPECT_EQ(sub.num_edges(), 4u);
+  const uint32_t local5 = sub.to_local.at(5);
+  EXPECT_EQ(sub.offsets[local5 + 1] - sub.offsets[local5], 2u);
+  for (uint64_t e = sub.offsets[local5]; e < sub.offsets[local5 + 1]; ++e) {
+    const VertexId nbr_local = sub.neighbors[e];
+    const VertexId nbr_global = sub.vertices[nbr_local];
+    EXPECT_TRUE(nbr_global == 4 || nbr_global == 6);
+  }
+}
+
+TEST(SubgraphTest, ZeroHopsKeepsOnlySeeds) {
+  CsrGraph g = MakeLine(6);
+  const VertexId seeds[] = {1, 3};
+  KHopSubgraph sub = BuildKHopSubgraph(g, seeds, 0);
+  EXPECT_EQ(sub.num_vertices(), 2u);
+  EXPECT_EQ(sub.num_edges(), 0u);  // 1 and 3 are not adjacent
+}
+
+TEST(SubgraphTest, DuplicateSeedsDeduplicated) {
+  CsrGraph g = MakeLine(6);
+  const VertexId seeds[] = {2, 2, 2};
+  KHopSubgraph sub = BuildKHopSubgraph(g, seeds, 0);
+  EXPECT_EQ(sub.num_vertices(), 1u);
+}
+
+TEST(GraphStatsTest, HandComputedLine) {
+  CsrGraph g = MakeLine(5);  // degrees 1,2,2,2,1
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.min_degree, 1u);
+  EXPECT_EQ(stats.max_degree, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_degree, 8.0 / 5.0);
+  EXPECT_EQ(stats.p50, 2u);
+}
+
+TEST(GraphStatsTest, PowerLawIsSkewedCommunityIsNot) {
+  PowerLawGraphParams pl;
+  pl.num_vertices = 4096;
+  pl.zipf_exponent = 1.8;
+  DegreeStats skewed = ComputeDegreeStats(GeneratePowerLawGraph(pl));
+
+  CommunityGraphParams cg;
+  cg.num_vertices = 4096;
+  DegreeStats even = ComputeDegreeStats(GenerateCommunityGraph(cg));
+
+  EXPECT_GT(skewed.skew, 50.0);
+  EXPECT_LT(even.skew, 5.0);
+}
+
+TEST(GraphStatsTest, HistogramCountsEveryVertexOnce) {
+  CsrGraph g = MakeLine(100);
+  auto hist = DegreeHistogram(g);
+  uint64_t total = 0;
+  for (uint64_t b : hist) {
+    total += b;
+  }
+  EXPECT_EQ(total, 100u);
+  // Degrees 1 and 2 → buckets [1,2) and [2,4).
+  ASSERT_GE(hist.size(), 2u);
+  EXPECT_EQ(hist[0], 2u);   // the two endpoints
+  EXPECT_EQ(hist[1], 98u);  // interior vertices
+}
+
+TEST(GraphStatsTest, EmptyGraph) {
+  CsrGraph g;
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.max_degree, 0u);
+  EXPECT_TRUE(DegreeHistogram(g).empty());
+}
+
+}  // namespace
+}  // namespace flexgraph

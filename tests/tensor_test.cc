@@ -1,0 +1,182 @@
+// Unit tests for the dense tensor container and kernels.
+#include "src/tensor/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/ops_dense.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t(3, 4);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 4);
+  EXPECT_EQ(t.numel(), 12);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_EQ(t.data()[i], 0.0f);
+  }
+}
+
+TEST(TensorTest, FromRowsLayout) {
+  Tensor t = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.At(0, 0), 1.0f);
+  EXPECT_EQ(t.At(0, 2), 3.0f);
+  EXPECT_EQ(t.At(1, 0), 4.0f);
+  EXPECT_EQ(t.At(1, 2), 6.0f);
+}
+
+TEST(TensorTest, EmptyTensorIsLegal) {
+  Tensor t(0, 8);
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.numel(), 0);
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a = Tensor::Full(2, 2, 1.0f);
+  Tensor b = a;
+  b.At(0, 0) = 5.0f;
+  EXPECT_EQ(a.At(0, 0), 1.0f);
+  EXPECT_EQ(b.At(0, 0), 5.0f);
+}
+
+TEST(TensorTest, OutOfRangeAccessThrows) {
+  Tensor t(2, 2);
+  EXPECT_THROW(t.At(2, 0), CheckError);
+  EXPECT_THROW(t.At(0, 2), CheckError);
+}
+
+TEST(MatMulTest, MatchesHandComputed) {
+  Tensor a = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::FromRows(3, 2, {7, 8, 9, 10, 11, 12});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(c.At(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(MatMulTest, TransposeVariantsAgree) {
+  Rng rng(3);
+  Tensor a = RandomTensor(5, 7, rng);
+  Tensor b = RandomTensor(7, 4, rng);
+  Tensor expected = MatMul(a, b);
+
+  // A·B == A·(Bᵀ)ᵀ via MatMulTransB.
+  Tensor bt = Transpose(b);
+  EXPECT_TRUE(AllClose(MatMulTransB(a, bt), expected, 1e-4f));
+
+  // A·B == (Aᵀ)ᵀ·B via MatMulTransA.
+  Tensor at = Transpose(a);
+  EXPECT_TRUE(AllClose(MatMulTransA(at, b), expected, 1e-4f));
+}
+
+TEST(DenseOpsTest, AddSubHadamardScale) {
+  Tensor a = Tensor::FromRows(1, 3, {1, 2, 3});
+  Tensor b = Tensor::FromRows(1, 3, {4, 5, 6});
+  EXPECT_TRUE(AllClose(Add(a, b), Tensor::FromRows(1, 3, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(Sub(b, a), Tensor::FromRows(1, 3, {3, 3, 3})));
+  EXPECT_TRUE(AllClose(Hadamard(a, b), Tensor::FromRows(1, 3, {4, 10, 18})));
+  EXPECT_TRUE(AllClose(Scale(a, 2.0f), Tensor::FromRows(1, 3, {2, 4, 6})));
+}
+
+TEST(DenseOpsTest, ShapeMismatchThrows) {
+  Tensor a(2, 3);
+  Tensor b(3, 2);
+  EXPECT_THROW(Add(a, b), CheckError);
+  EXPECT_THROW(MatMul(a, a), CheckError);
+}
+
+TEST(DenseOpsTest, AddRowVectorBroadcasts) {
+  Tensor x = Tensor::FromRows(2, 2, {1, 2, 3, 4});
+  Tensor bias = Tensor::FromRows(1, 2, {10, 20});
+  EXPECT_TRUE(AllClose(AddRowVector(x, bias), Tensor::FromRows(2, 2, {11, 22, 13, 24})));
+}
+
+TEST(DenseOpsTest, ColSum) {
+  Tensor x = Tensor::FromRows(3, 2, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(ColSum(x), Tensor::FromRows(1, 2, {9, 12})));
+}
+
+TEST(DenseOpsTest, ReluAndBackward) {
+  Tensor x = Tensor::FromRows(1, 4, {-1, 0, 2, -3});
+  Tensor y = Relu(x);
+  EXPECT_TRUE(AllClose(y, Tensor::FromRows(1, 4, {0, 0, 2, 0})));
+  Tensor g = Tensor::Full(1, 4, 1.0f);
+  EXPECT_TRUE(AllClose(ReluBackward(g, y), Tensor::FromRows(1, 4, {0, 0, 1, 0})));
+}
+
+TEST(DenseOpsTest, ConcatAndSliceRoundTrip) {
+  Rng rng(5);
+  Tensor a = RandomTensor(3, 2, rng);
+  Tensor b = RandomTensor(3, 5, rng);
+  Tensor c = ConcatCols(a, b);
+  EXPECT_EQ(c.cols(), 7);
+  EXPECT_TRUE(AllClose(SliceCols(c, 0, 2), a));
+  EXPECT_TRUE(AllClose(SliceCols(c, 2, 7), b));
+}
+
+TEST(DenseOpsTest, GroupSumRowsMatchesManual) {
+  // 2 groups of 3 rows each.
+  Tensor x = Tensor::FromRows(6, 2, {1, 1, 2, 2, 3, 3, 10, 10, 20, 20, 30, 30});
+  Tensor out = GroupSumRows(x, 3);
+  EXPECT_TRUE(AllClose(out, Tensor::FromRows(2, 2, {6, 6, 60, 60})));
+  EXPECT_TRUE(AllClose(GroupMeanRows(x, 3), Tensor::FromRows(2, 2, {2, 2, 20, 20})));
+  EXPECT_TRUE(AllClose(GroupMaxRows(x, 3), Tensor::FromRows(2, 2, {3, 3, 30, 30})));
+}
+
+TEST(DenseOpsTest, GroupSumBackwardBroadcasts) {
+  Tensor g = Tensor::FromRows(2, 1, {5, 7});
+  Tensor bx = GroupSumRowsBackward(g, 2);
+  EXPECT_TRUE(AllClose(bx, Tensor::FromRows(4, 1, {5, 5, 7, 7})));
+}
+
+TEST(DenseOpsTest, RowSoftmaxSumsToOne) {
+  Rng rng(11);
+  Tensor x = RandomTensor(4, 6, rng, -5.0f, 5.0f);
+  Tensor p = RowSoftmax(x);
+  for (int64_t i = 0; i < p.rows(); ++i) {
+    float sum = 0.0f;
+    for (int64_t j = 0; j < p.cols(); ++j) {
+      EXPECT_GE(p.At(i, j), 0.0f);
+      sum += p.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+}
+
+TEST(DenseOpsTest, RowSoftmaxNumericallyStable) {
+  Tensor x = Tensor::FromRows(1, 2, {1000.0f, 1001.0f});
+  Tensor p = RowSoftmax(x);
+  EXPECT_NEAR(p.At(0, 0) + p.At(0, 1), 1.0f, 1e-5f);
+  EXPECT_GT(p.At(0, 1), p.At(0, 0));
+}
+
+// Parameterized sweep: GroupSumRows over many (groups, group size, dim)
+// combinations must match the naive per-element reference.
+class GroupSumSweep : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GroupSumSweep, MatchesNaive) {
+  const auto [n, g, d] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 131 + g * 17 + d));
+  Tensor x = RandomTensor(static_cast<int64_t>(n) * g, d, rng);
+  Tensor out = GroupSumRows(x, g);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < d; ++j) {
+      float expect = 0.0f;
+      for (int k = 0; k < g; ++k) {
+        expect += x.At(static_cast<int64_t>(i) * g + k, j);
+      }
+      ASSERT_NEAR(out.At(i, j), expect, 1e-4f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, GroupSumSweep,
+                         ::testing::Combine(::testing::Values(1, 3, 17),
+                                            ::testing::Values(1, 2, 6),
+                                            ::testing::Values(1, 8, 33)));
+
+}  // namespace
+}  // namespace flexgraph

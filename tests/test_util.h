@@ -1,0 +1,73 @@
+// Shared helpers for the FlexGraph test suite.
+#ifndef TESTS_TEST_UTIL_H_
+#define TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/tensor/autograd.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+inline Tensor RandomTensor(int64_t rows, int64_t cols, Rng& rng, float lo = -1.0f,
+                           float hi = 1.0f) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = rng.NextUniform(lo, hi);
+  }
+  return t;
+}
+
+// Numerical gradient check: given a differentiable function expressed as
+// leaf -> output Variable, compares autograd's gradient of
+// L = Σ w_ij · out_ij (fixed random weights w) against central finite
+// differences on the leaf tensor.
+inline void ExpectGradientsMatch(const Tensor& input,
+                                 const std::function<Variable(const Variable&)>& fn,
+                                 float eps = 1e-2f, float tol = 2e-2f, uint64_t seed = 7) {
+  Rng rng(seed);
+  Variable leaf = Variable::Leaf(input, /*requires_grad=*/true);
+  Variable out = fn(leaf);
+  Tensor weights = RandomTensor(out.rows(), out.cols(), rng);
+
+  // Analytic gradient.
+  out.Backward(weights);
+  const Tensor analytic = leaf.grad();
+
+  // Numeric gradient by central differences.
+  auto loss_at = [&](const Tensor& x) -> double {
+    Variable l = Variable::Leaf(x);
+    Variable o = fn(l);
+    double acc = 0.0;
+    for (int64_t i = 0; i < o.value().numel(); ++i) {
+      acc += static_cast<double>(o.value().data()[i]) * weights.data()[i];
+    }
+    return acc;
+  };
+
+  Tensor perturbed = input;
+  double max_err = 0.0;
+  for (int64_t i = 0; i < input.numel(); ++i) {
+    const float orig = perturbed.data()[i];
+    perturbed.data()[i] = orig + eps;
+    const double up = loss_at(perturbed);
+    perturbed.data()[i] = orig - eps;
+    const double down = loss_at(perturbed);
+    perturbed.data()[i] = orig;
+    const double numeric = (up - down) / (2.0 * eps);
+    const double err = std::fabs(numeric - analytic.data()[i]);
+    max_err = std::max(max_err, err);
+    ASSERT_NEAR(numeric, analytic.data()[i], tol)
+        << "gradient mismatch at flat index " << i;
+  }
+  (void)max_err;
+}
+
+}  // namespace flexgraph
+
+#endif  // TESTS_TEST_UTIL_H_

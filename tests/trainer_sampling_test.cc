@@ -1,0 +1,229 @@
+// Tests for the high-level Trainer (splits, masked loss, early stopping) and
+// the neighbor-sampling UDFs.
+#include <algorithm>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "src/core/sampling.h"
+#include "src/core/trainer.h"
+#include "src/data/datasets.h"
+#include "src/models/gcn.h"
+#include "src/models/graphsage.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(RandomSplitTest, PartitionsAreDisjointAndComplete) {
+  Rng rng(1);
+  DataSplit split = RandomSplit(1000, 0.6, 0.2, rng);
+  EXPECT_EQ(split.train.size(), 600u);
+  EXPECT_EQ(split.val.size(), 200u);
+  EXPECT_EQ(split.test.size(), 200u);
+  std::unordered_set<uint32_t> seen;
+  for (const auto* part : {&split.train, &split.val, &split.test}) {
+    for (uint32_t v : *part) {
+      EXPECT_TRUE(seen.insert(v).second) << "duplicate vertex " << v;
+      EXPECT_LT(v, 1000u);
+    }
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(RandomSplitTest, IsShuffledNotContiguous) {
+  Rng rng(2);
+  DataSplit split = RandomSplit(1000, 0.5, 0.25, rng);
+  // A contiguous split would have max(train) == 499.
+  const uint32_t mx = *std::max_element(split.train.begin(), split.train.end());
+  EXPECT_GT(mx, 600u);
+}
+
+TEST(RandomSplitTest, BadFractionsThrow) {
+  Rng rng(3);
+  EXPECT_THROW(RandomSplit(10, 0.8, 0.4, rng), CheckError);
+}
+
+TEST(MaskedLossTest, MatchesFullLossOnFullIndex) {
+  Rng rng(4);
+  Tensor logits = RandomTensor(6, 3, rng);
+  std::vector<uint32_t> labels = {0, 1, 2, 0, 1, 2};
+  std::vector<uint32_t> all = {0, 1, 2, 3, 4, 5};
+  Variable full = AgSoftmaxCrossEntropy(Variable::Leaf(logits), labels);
+  Variable masked = MaskedSoftmaxCrossEntropy(Variable::Leaf(logits), all, labels);
+  EXPECT_NEAR(full.value().At(0, 0), masked.value().At(0, 0), 1e-5f);
+}
+
+TEST(MaskedLossTest, OnlyMaskedRowsGetGradients) {
+  Rng rng(5);
+  Tensor logits = RandomTensor(4, 2, rng);
+  std::vector<uint32_t> labels = {0, 1, 0, 1};
+  Variable v = Variable::Leaf(logits, true);
+  Variable loss = MaskedSoftmaxCrossEntropy(v, {1, 3}, labels);
+  loss.Backward();
+  for (int64_t j = 0; j < 2; ++j) {
+    EXPECT_FLOAT_EQ(v.grad().At(0, j), 0.0f);
+    EXPECT_FLOAT_EQ(v.grad().At(2, j), 0.0f);
+    EXPECT_NE(v.grad().At(1, j), 0.0f);
+  }
+}
+
+TEST(MaskedAccuracyTest, SubsetOnly) {
+  Tensor logits = Tensor::FromRows(3, 2, {0.9f, 0.1f, 0.1f, 0.9f, 0.9f, 0.1f});
+  std::vector<uint32_t> labels = {0, 0, 1};  // rows 1 and 2 are wrong
+  EXPECT_FLOAT_EQ(MaskedAccuracy(logits, {0}, labels), 1.0f);
+  EXPECT_FLOAT_EQ(MaskedAccuracy(logits, {1, 2}, labels), 0.0f);
+  EXPECT_FLOAT_EQ(MaskedAccuracy(logits, {}, labels), 0.0f);
+}
+
+TEST(TrainerTest, LearnsAndReportsHistory) {
+  Dataset ds = MakeRedditLike(0.05, 6);
+  Rng rng(7);
+  GcnConfig config;
+  config.in_dim = ds.feature_dim();
+  config.num_classes = ds.num_classes;
+  GnnModel model = MakeGcnModel(config, rng);
+  Engine engine(ds.graph);
+
+  TrainerOptions options;
+  options.max_epochs = 25;
+  options.learning_rate = 0.2f;
+  Trainer trainer(engine, options);
+  DataSplit split = RandomSplit(ds.graph.num_vertices(), 0.6, 0.2, rng);
+  TrainerResult result = trainer.Fit(model, ds.features, ds.labels, split, rng);
+
+  ASSERT_EQ(result.history.size(), 25u);
+  EXPECT_LT(result.history.back().train_loss, result.history.front().train_loss);
+  EXPECT_GT(result.best_val_accuracy, 2.0f / ds.num_classes);
+  EXPECT_GT(result.test_accuracy, 2.0f / ds.num_classes);
+}
+
+TEST(TrainerTest, EarlyStoppingTriggers) {
+  Dataset ds = MakeRedditLike(0.04, 8);
+  Rng rng(9);
+  GcnConfig config;
+  config.in_dim = ds.feature_dim();
+  config.num_classes = ds.num_classes;
+  GnnModel model = MakeGcnModel(config, rng);
+  Engine engine(ds.graph);
+  TrainerOptions options;
+  options.max_epochs = 200;
+  options.learning_rate = 0.3f;
+  options.early_stop_patience = 5;
+  Trainer trainer(engine, options);
+  DataSplit split = RandomSplit(ds.graph.num_vertices(), 0.6, 0.2, rng);
+  TrainerResult result = trainer.Fit(model, ds.features, ds.labels, split, rng);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_LT(result.history.size(), 200u);
+}
+
+TEST(TrainerTest, OnEpochCanAbort) {
+  Dataset ds = MakeRedditLike(0.04, 10);
+  Rng rng(11);
+  GcnConfig config;
+  config.in_dim = ds.feature_dim();
+  config.num_classes = ds.num_classes;
+  GnnModel model = MakeGcnModel(config, rng);
+  Engine engine(ds.graph);
+  TrainerOptions options;
+  options.max_epochs = 50;
+  options.on_epoch = [](int epoch, float, float) { return epoch < 3; };
+  Trainer trainer(engine, options);
+  DataSplit split = RandomSplit(ds.graph.num_vertices(), 0.6, 0.2, rng);
+  TrainerResult result = trainer.Fit(model, ds.features, ds.labels, split, rng);
+  EXPECT_TRUE(result.early_stopped);
+  EXPECT_EQ(result.history.size(), 4u);
+}
+
+CsrGraph MakeStar(VertexId spokes) {
+  GraphBuilder b(spokes + 1);
+  for (VertexId v = 1; v <= spokes; ++v) {
+    b.AddUndirectedEdge(0, v);
+  }
+  return b.Build();
+}
+
+TEST(SamplingTest, UniformRespectsFanout) {
+  CsrGraph g = MakeStar(50);
+  Rng rng(12);
+  NeighborSelectionContext ctx{g, rng};
+  NeighborUdf udf = UniformSampledNeighborUdf(8);
+
+  HdgBuilder builder(SchemaTree::Flat(), {0});
+  udf(ctx, 0, builder);
+  Hdg hdg = builder.Build();
+  EXPECT_EQ(hdg.num_instances(), 8u);
+  // Samples are distinct spokes.
+  std::unordered_set<VertexId> seen(hdg.leaf_vertex_ids().begin(),
+                                    hdg.leaf_vertex_ids().end());
+  EXPECT_EQ(seen.size(), 8u);
+  for (VertexId v : seen) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 50u);
+  }
+}
+
+TEST(SamplingTest, UniformKeepsAllWhenDegreeSmall) {
+  CsrGraph g = MakeStar(3);
+  Rng rng(13);
+  NeighborSelectionContext ctx{g, rng};
+  HdgBuilder builder(SchemaTree::Flat(), {0});
+  UniformSampledNeighborUdf(8)(ctx, 0, builder);
+  EXPECT_EQ(builder.num_records(), 3u);
+}
+
+TEST(SamplingTest, DegreeBiasedPrefersHubs) {
+  // Vertex 0 connects to hub 1 (high degree) and leaf 2 (degree 1); biased
+  // sampling with 1 draw should pick the hub most of the time.
+  GraphBuilder b(13);
+  b.AddUndirectedEdge(0, 1);
+  b.AddUndirectedEdge(0, 2);
+  for (VertexId v = 3; v < 13; ++v) {
+    b.AddUndirectedEdge(1, v);  // hub
+  }
+  CsrGraph g = b.Build();
+  Rng rng(14);
+  NeighborSelectionContext ctx{g, rng};
+  NeighborUdf udf = DegreeBiasedNeighborUdf(1);
+  int hub_picks = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    HdgBuilder builder(SchemaTree::Flat(), {0});
+    udf(ctx, 0, builder);
+    Hdg hdg = builder.Build();
+    ASSERT_GE(hdg.num_instances(), 1u);
+    if (hdg.leaf_vertex_ids()[0] == 1) {
+      ++hub_picks;
+    }
+  }
+  EXPECT_GT(hub_picks, trials / 2);
+}
+
+TEST(SamplingTest, SampledGraphSageTrains) {
+  // GraphSAGE with a sampled neighborhood: swap the UDF, mark the HDGs
+  // per-epoch, train — NAU needs no other change.
+  Dataset ds = MakeRedditLike(0.05, 15);
+  Rng rng(16);
+  GraphSageConfig config;
+  config.in_dim = ds.feature_dim();
+  config.num_classes = ds.num_classes;
+  GnnModel model = MakeGraphSageModel(config, rng);
+  model.neighbor_udf = UniformSampledNeighborUdf(10);
+  model.hdg_from_input_graph = false;          // the sampler must run
+  model.cache_policy = HdgCachePolicy::kPerEpoch;  // fresh samples per epoch
+
+  Engine engine(ds.graph);
+  SgdOptimizer opt(0.1f);
+  float first = 0.0f;
+  float last = 0.0f;
+  for (int e = 0; e < 10; ++e) {
+    last = engine.TrainEpoch(model, ds.features, ds.labels, opt, rng).loss;
+    if (e == 0) {
+      first = last;
+    }
+  }
+  EXPECT_LT(last, first);
+}
+
+}  // namespace
+}  // namespace flexgraph

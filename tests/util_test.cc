@@ -1,0 +1,207 @@
+// Tests for the util substrate: checks, logging, RNG, thread pool, aligned
+// buffers, table printer, env parsing.
+#include <atomic>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "src/util/aligned_buffer.h"
+#include "src/util/check.h"
+#include "src/util/env.h"
+#include "src/util/logging.h"
+#include "src/util/rng.h"
+#include "src/util/table_printer.h"
+#include "src/util/thread_pool.h"
+#include "src/util/timer.h"
+
+namespace flexgraph {
+namespace {
+
+TEST(CheckTest, PassingChecksAreSilent) {
+  FLEX_CHECK(true);
+  FLEX_CHECK_EQ(1, 1);
+  FLEX_CHECK_LT(1, 2);
+  FLEX_CHECK_GE(2, 2);
+}
+
+TEST(CheckTest, FailureCarriesContext) {
+  try {
+    const int lhs = 3;
+    const int rhs = 4;
+    FLEX_CHECK_EQ(lhs, rhs);
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("lhs"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cc"), std::string::npos);
+    EXPECT_NE(what.find("lhs=3"), std::string::npos);
+  }
+}
+
+TEST(CheckTest, MessageVariant) {
+  EXPECT_THROW(FLEX_CHECK_MSG(false, "custom context"), CheckError);
+  try {
+    FLEX_CHECK_MSG(false, "custom context");
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("custom context"), std::string::npos);
+  }
+}
+
+TEST(LoggingTest, SeverityFilterRoundTrip) {
+  const LogSeverity original = MinLogSeverity();
+  SetMinLogSeverity(LogSeverity::kError);
+  EXPECT_EQ(MinLogSeverity(), LogSeverity::kError);
+  FLEX_LOG(Info) << "filtered out — must not crash";
+  SetMinLogSeverity(original);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+  Rng c(124);
+  EXPECT_NE(a.NextU64(), c.NextU64());
+}
+
+TEST(RngTest, UniformFloatInRange) {
+  Rng rng(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    const float f = rng.NextFloat();
+    ASSERT_GE(f, 0.0f);
+    ASSERT_LT(f, 1.0f);
+    sum += f;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, BoundedNeverExceedsBound) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(7), 7u);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(7);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversRange) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.ParallelFor(0, 100, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t i = lo; i < hi; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(1);
+  bool called = false;
+  pool.ParallelFor(5, 5, [&](std::size_t, std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(AlignedBufferTest, AlignmentAndValueSemantics) {
+  AlignedBuffer buf(100);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(buf.data()) % kCacheLineBytes, 0u);
+  buf.Fill(2.5f);
+  AlignedBuffer copy = buf;
+  copy[0] = 9.0f;
+  EXPECT_EQ(buf[0], 2.5f);
+  AlignedBuffer moved = std::move(copy);
+  EXPECT_EQ(moved[0], 9.0f);
+  EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(AlignedBufferTest, ZeroAndEmpty) {
+  AlignedBuffer empty;
+  EXPECT_TRUE(empty.empty());
+  AlignedBuffer buf(8);
+  buf.Fill(1.0f);
+  buf.Zero();
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(buf[i], 0.0f);
+  }
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndFormatsNumbers) {
+  TablePrinter table({"A", "LongHeader"});
+  table.AddRow({"x", TablePrinter::Num(1.23456, 2)});
+  std::ostringstream oss;
+  table.Print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("LongHeader"), std::string::npos);
+  EXPECT_NE(out.find("1.23"), std::string::npos);
+  EXPECT_EQ(out.find("1.234"), std::string::npos);
+}
+
+TEST(TablePrinterTest, WrongArityThrows) {
+  TablePrinter table({"A", "B"});
+  EXPECT_THROW(table.AddRow({"only one"}), CheckError);
+}
+
+TEST(EnvTest, ParsesAndFallsBack) {
+  ::setenv("FLEXGRAPH_TEST_INT", "42", 1);
+  ::setenv("FLEXGRAPH_TEST_DBL", "2.5", 1);
+  ::setenv("FLEXGRAPH_TEST_BAD", "zzz", 1);
+  EXPECT_EQ(EnvInt("FLEXGRAPH_TEST_INT", 0), 42);
+  EXPECT_DOUBLE_EQ(EnvDouble("FLEXGRAPH_TEST_DBL", 0.0), 2.5);
+  EXPECT_EQ(EnvInt("FLEXGRAPH_TEST_BAD", 7), 7);
+  EXPECT_EQ(EnvInt("FLEXGRAPH_TEST_UNSET_XYZ", -1), -1);
+  ::unsetenv("FLEXGRAPH_TEST_INT");
+  ::unsetenv("FLEXGRAPH_TEST_DBL");
+  ::unsetenv("FLEXGRAPH_TEST_BAD");
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer timer;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_GE(timer.ElapsedSeconds(), 0.009);
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), 0.009);
+}
+
+TEST(TimerTest, ScopedAccumulatorAdds) {
+  double sink = 0.0;
+  {
+    ScopedAccumulator acc(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  {
+    ScopedAccumulator acc(&sink);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(sink, 0.009);
+}
+
+}  // namespace
+}  // namespace flexgraph

@@ -1,0 +1,179 @@
+// Tests for random walks (PinSage neighbor selection) and metapath matching
+// (MAGNN neighbor selection).
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "src/graph/metapath.h"
+#include "src/graph/random_walk.h"
+
+namespace flexgraph {
+namespace {
+
+CsrGraph MakeLineGraph(VertexId n) {
+  GraphBuilder b(n);
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    b.AddUndirectedEdge(v, v + 1);
+  }
+  return b.Build();
+}
+
+TEST(RandomWalkTest, RespectsHopCount) {
+  CsrGraph g = MakeLineGraph(10);
+  Rng rng(1);
+  auto path = RandomWalk(g, 5, 4, rng);
+  EXPECT_EQ(path.size(), 4u);
+  // Consecutive path vertices must be adjacent.
+  VertexId prev = 5;
+  for (VertexId v : path) {
+    auto nbrs = g.OutNeighbors(prev);
+    EXPECT_TRUE(std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end());
+    prev = v;
+  }
+}
+
+TEST(RandomWalkTest, DeadEndTruncates) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1);  // directed: 1 has no out-edges
+  CsrGraph g = b.Build();
+  Rng rng(2);
+  auto path = RandomWalk(g, 0, 5, rng);
+  EXPECT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0], 1u);
+}
+
+TEST(RandomWalkTest, DeterministicForFixedSeed) {
+  CsrGraph g = MakeLineGraph(50);
+  Rng rng1(42);
+  Rng rng2(42);
+  EXPECT_EQ(RandomWalk(g, 25, 10, rng1), RandomWalk(g, 25, 10, rng2));
+}
+
+TEST(TopKVisitedTest, ExcludesStartAndBoundsK) {
+  CsrGraph g = MakeLineGraph(20);
+  Rng rng(3);
+  auto top = TopKVisited(g, 10, 20, 3, 5, rng);
+  EXPECT_LE(top.size(), 5u);
+  for (const auto& vc : top) {
+    EXPECT_NE(vc.vertex, 10u);
+    EXPECT_GT(vc.count, 0u);
+  }
+  // Sorted by count descending.
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].count, top[i].count);
+  }
+}
+
+TEST(TopKVisitedTest, StarGraphNeighborsDominate) {
+  // Star: center 0 connected to 1..9. Walks from 0 must visit spokes.
+  GraphBuilder b(10);
+  for (VertexId v = 1; v < 10; ++v) {
+    b.AddUndirectedEdge(0, v);
+  }
+  CsrGraph g = b.Build();
+  Rng rng(4);
+  auto top = TopKVisited(g, 0, 50, 2, 3, rng);
+  ASSERT_EQ(top.size(), 3u);
+  for (const auto& vc : top) {
+    EXPECT_GE(vc.vertex, 1u);
+  }
+}
+
+CsrGraph MakePaperHeteroGraph() {
+  // Figure 2a with 3 vertex types by color:
+  //   green:  A(0), G(6)        → type 0
+  //   purple: D(3), E(4), C(2), I(8) → type 1
+  //   orange: B(1), F(5), H(7)  → type 2
+  GraphBuilder b(9, 3);
+  const VertexType types[9] = {0, 2, 1, 1, 1, 2, 0, 2, 1};
+  for (VertexId v = 0; v < 9; ++v) {
+    b.SetVertexType(v, types[v]);
+  }
+  b.AddUndirectedEdge(0, 3);
+  b.AddUndirectedEdge(0, 4);
+  b.AddUndirectedEdge(0, 5);
+  b.AddUndirectedEdge(0, 7);
+  b.AddUndirectedEdge(1, 4);
+  b.AddUndirectedEdge(1, 2);
+  b.AddUndirectedEdge(2, 3);
+  b.AddUndirectedEdge(5, 6);
+  b.AddUndirectedEdge(6, 7);
+  b.AddUndirectedEdge(7, 8);
+  return b.Build();
+}
+
+TEST(MetapathTest, PaperFigure2Instances) {
+  // MP1 = green-purple-purple (A→{D,E}→…), MP2 = green-orange-{green|purple}.
+  CsrGraph g = MakePaperHeteroGraph();
+  // MP: [0, 1, 1] rooted at A(0): A-D-C (D's purple neighbor C). A-E? E's
+  // purple neighbors: none (E connects A and B). → expect exactly {A,D,C}.
+  Metapath mp{{0, 1, 1}};
+  auto instances = FindMetapathInstances(g, 0, mp);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0], (std::vector<VertexId>{0, 3, 2}));
+}
+
+TEST(MetapathTest, TypeMismatchAtRootYieldsNothing) {
+  CsrGraph g = MakePaperHeteroGraph();
+  Metapath mp{{1, 0, 1}};
+  EXPECT_TRUE(FindMetapathInstances(g, 0, mp).empty());  // A is type 0, not 1
+}
+
+TEST(MetapathTest, SimplePathsExcludeRevisits) {
+  // Triangle of alternating types would revisit without the simple-path rule.
+  GraphBuilder b(2, 2);
+  b.SetVertexType(0, 0);
+  b.SetVertexType(1, 1);
+  b.AddUndirectedEdge(0, 1);
+  CsrGraph g = b.Build();
+  Metapath mp{{0, 1, 0}};  // would need to return to 0
+  EXPECT_TRUE(FindMetapathInstances(g, 0, mp).empty());
+}
+
+TEST(MetapathTest, NonSimpleAllowsRevisits) {
+  GraphBuilder b(2, 2);
+  b.SetVertexType(0, 0);
+  b.SetVertexType(1, 1);
+  b.AddUndirectedEdge(0, 1);
+  CsrGraph g = b.Build();
+  Metapath mp{{0, 1, 0}};
+  MetapathMatchOptions options;
+  options.simple_paths = false;
+  auto instances = FindMetapathInstances(g, 0, mp, options);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0], (std::vector<VertexId>{0, 1, 0}));
+}
+
+TEST(MetapathTest, MaxInstancesCap) {
+  // Star with many leaves of the same type → cap limits the fan-out.
+  GraphBuilder b(21, 2);
+  b.SetVertexType(0, 0);
+  for (VertexId v = 1; v <= 20; ++v) {
+    b.SetVertexType(v, 1);
+    b.AddUndirectedEdge(0, v);
+  }
+  CsrGraph g = b.Build();
+  Metapath mp{{0, 1}};
+  MetapathMatchOptions options;
+  options.max_instances_per_path = 5;
+  EXPECT_EQ(FindMetapathInstances(g, 0, mp, options).size(), 5u);
+}
+
+TEST(MetapathTest, AllInstancesTaggedByIndex) {
+  CsrGraph g = MakePaperHeteroGraph();
+  std::vector<Metapath> mps = {Metapath{{0, 1, 1}}, Metapath{{0, 2, 0}}};
+  auto all = FindAllMetapathInstances(g, 0, mps);
+  bool saw0 = false;
+  bool saw1 = false;
+  for (const auto& inst : all) {
+    EXPECT_EQ(inst.vertices.front(), 0u);
+    EXPECT_EQ(inst.vertices.size(), 3u);
+    saw0 = saw0 || inst.metapath_index == 0;
+    saw1 = saw1 || inst.metapath_index == 1;
+  }
+  EXPECT_TRUE(saw0);
+  EXPECT_TRUE(saw1);  // A-F-G and A-H-G match [0,2,0]
+}
+
+}  // namespace
+}  // namespace flexgraph
