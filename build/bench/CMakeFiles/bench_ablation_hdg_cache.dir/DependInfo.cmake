@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_hdg_cache.cc" "bench/CMakeFiles/bench_ablation_hdg_cache.dir/bench_ablation_hdg_cache.cc.o" "gcc" "bench/CMakeFiles/bench_ablation_hdg_cache.dir/bench_ablation_hdg_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/flexgraph_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/models/CMakeFiles/flexgraph_models.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/flexgraph_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/flexgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdg/CMakeFiles/flexgraph_hdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flexgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flexgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

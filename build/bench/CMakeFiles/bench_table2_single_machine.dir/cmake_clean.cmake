@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_single_machine.dir/bench_table2_single_machine.cc.o"
+  "CMakeFiles/bench_table2_single_machine.dir/bench_table2_single_machine.cc.o.d"
+  "bench_table2_single_machine"
+  "bench_table2_single_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_single_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

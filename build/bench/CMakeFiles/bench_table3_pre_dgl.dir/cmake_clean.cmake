@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_pre_dgl.dir/bench_table3_pre_dgl.cc.o"
+  "CMakeFiles/bench_table3_pre_dgl.dir/bench_table3_pre_dgl.cc.o.d"
+  "bench_table3_pre_dgl"
+  "bench_table3_pre_dgl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_pre_dgl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_magnn.dir/heterogeneous_magnn.cpp.o"
+  "CMakeFiles/heterogeneous_magnn.dir/heterogeneous_magnn.cpp.o.d"
+  "heterogeneous_magnn"
+  "heterogeneous_magnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_magnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

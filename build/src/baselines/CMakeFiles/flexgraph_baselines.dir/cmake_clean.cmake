@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_baselines.dir/common.cc.o"
+  "CMakeFiles/flexgraph_baselines.dir/common.cc.o.d"
+  "CMakeFiles/flexgraph_baselines.dir/dgl_like.cc.o"
+  "CMakeFiles/flexgraph_baselines.dir/dgl_like.cc.o.d"
+  "CMakeFiles/flexgraph_baselines.dir/kernels.cc.o"
+  "CMakeFiles/flexgraph_baselines.dir/kernels.cc.o.d"
+  "CMakeFiles/flexgraph_baselines.dir/minibatch.cc.o"
+  "CMakeFiles/flexgraph_baselines.dir/minibatch.cc.o.d"
+  "CMakeFiles/flexgraph_baselines.dir/pre_expand.cc.o"
+  "CMakeFiles/flexgraph_baselines.dir/pre_expand.cc.o.d"
+  "CMakeFiles/flexgraph_baselines.dir/pytorch_like.cc.o"
+  "CMakeFiles/flexgraph_baselines.dir/pytorch_like.cc.o.d"
+  "libflexgraph_baselines.a"
+  "libflexgraph_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregation.cc" "src/core/CMakeFiles/flexgraph_core.dir/aggregation.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/aggregation.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/flexgraph_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/fused_ops.cc" "src/core/CMakeFiles/flexgraph_core.dir/fused_ops.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/fused_ops.cc.o.d"
+  "/root/repo/src/core/nau.cc" "src/core/CMakeFiles/flexgraph_core.dir/nau.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/nau.cc.o.d"
+  "/root/repo/src/core/neighbor_selection.cc" "src/core/CMakeFiles/flexgraph_core.dir/neighbor_selection.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/neighbor_selection.cc.o.d"
+  "/root/repo/src/core/sampling.cc" "src/core/CMakeFiles/flexgraph_core.dir/sampling.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/sampling.cc.o.d"
+  "/root/repo/src/core/trainer.cc" "src/core/CMakeFiles/flexgraph_core.dir/trainer.cc.o" "gcc" "src/core/CMakeFiles/flexgraph_core.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hdg/CMakeFiles/flexgraph_hdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flexgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flexgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_core.dir/aggregation.cc.o"
+  "CMakeFiles/flexgraph_core.dir/aggregation.cc.o.d"
+  "CMakeFiles/flexgraph_core.dir/engine.cc.o"
+  "CMakeFiles/flexgraph_core.dir/engine.cc.o.d"
+  "CMakeFiles/flexgraph_core.dir/fused_ops.cc.o"
+  "CMakeFiles/flexgraph_core.dir/fused_ops.cc.o.d"
+  "CMakeFiles/flexgraph_core.dir/nau.cc.o"
+  "CMakeFiles/flexgraph_core.dir/nau.cc.o.d"
+  "CMakeFiles/flexgraph_core.dir/neighbor_selection.cc.o"
+  "CMakeFiles/flexgraph_core.dir/neighbor_selection.cc.o.d"
+  "CMakeFiles/flexgraph_core.dir/sampling.cc.o"
+  "CMakeFiles/flexgraph_core.dir/sampling.cc.o.d"
+  "CMakeFiles/flexgraph_core.dir/trainer.cc.o"
+  "CMakeFiles/flexgraph_core.dir/trainer.cc.o.d"
+  "libflexgraph_core.a"
+  "libflexgraph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

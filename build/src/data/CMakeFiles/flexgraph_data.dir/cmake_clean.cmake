@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_data.dir/datasets.cc.o"
+  "CMakeFiles/flexgraph_data.dir/datasets.cc.o.d"
+  "CMakeFiles/flexgraph_data.dir/synthetic.cc.o"
+  "CMakeFiles/flexgraph_data.dir/synthetic.cc.o.d"
+  "libflexgraph_data.a"
+  "libflexgraph_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/adb_driver.cc" "src/dist/CMakeFiles/flexgraph_dist.dir/adb_driver.cc.o" "gcc" "src/dist/CMakeFiles/flexgraph_dist.dir/adb_driver.cc.o.d"
+  "/root/repo/src/dist/checkpoint.cc" "src/dist/CMakeFiles/flexgraph_dist.dir/checkpoint.cc.o" "gcc" "src/dist/CMakeFiles/flexgraph_dist.dir/checkpoint.cc.o.d"
+  "/root/repo/src/dist/comm_plan.cc" "src/dist/CMakeFiles/flexgraph_dist.dir/comm_plan.cc.o" "gcc" "src/dist/CMakeFiles/flexgraph_dist.dir/comm_plan.cc.o.d"
+  "/root/repo/src/dist/dist_trainer.cc" "src/dist/CMakeFiles/flexgraph_dist.dir/dist_trainer.cc.o" "gcc" "src/dist/CMakeFiles/flexgraph_dist.dir/dist_trainer.cc.o.d"
+  "/root/repo/src/dist/runtime.cc" "src/dist/CMakeFiles/flexgraph_dist.dir/runtime.cc.o" "gcc" "src/dist/CMakeFiles/flexgraph_dist.dir/runtime.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flexgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/flexgraph_partition.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdg/CMakeFiles/flexgraph_hdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flexgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flexgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_dist.dir/adb_driver.cc.o"
+  "CMakeFiles/flexgraph_dist.dir/adb_driver.cc.o.d"
+  "CMakeFiles/flexgraph_dist.dir/checkpoint.cc.o"
+  "CMakeFiles/flexgraph_dist.dir/checkpoint.cc.o.d"
+  "CMakeFiles/flexgraph_dist.dir/comm_plan.cc.o"
+  "CMakeFiles/flexgraph_dist.dir/comm_plan.cc.o.d"
+  "CMakeFiles/flexgraph_dist.dir/dist_trainer.cc.o"
+  "CMakeFiles/flexgraph_dist.dir/dist_trainer.cc.o.d"
+  "CMakeFiles/flexgraph_dist.dir/runtime.cc.o"
+  "CMakeFiles/flexgraph_dist.dir/runtime.cc.o.d"
+  "libflexgraph_dist.a"
+  "libflexgraph_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/csr_graph.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/csr_graph.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/csr_graph.cc.o.d"
+  "/root/repo/src/graph/edge_list_io.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/edge_list_io.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/edge_list_io.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/metapath.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/metapath.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/metapath.cc.o.d"
+  "/root/repo/src/graph/random_walk.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/random_walk.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/random_walk.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/subgraph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/graph/CMakeFiles/flexgraph_graph.dir/traversal.cc.o" "gcc" "src/graph/CMakeFiles/flexgraph_graph.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

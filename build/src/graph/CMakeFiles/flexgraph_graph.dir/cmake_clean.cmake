@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_graph.dir/csr_graph.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/csr_graph.cc.o.d"
+  "CMakeFiles/flexgraph_graph.dir/edge_list_io.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/edge_list_io.cc.o.d"
+  "CMakeFiles/flexgraph_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/flexgraph_graph.dir/metapath.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/metapath.cc.o.d"
+  "CMakeFiles/flexgraph_graph.dir/random_walk.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/random_walk.cc.o.d"
+  "CMakeFiles/flexgraph_graph.dir/subgraph.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/subgraph.cc.o.d"
+  "CMakeFiles/flexgraph_graph.dir/traversal.cc.o"
+  "CMakeFiles/flexgraph_graph.dir/traversal.cc.o.d"
+  "libflexgraph_graph.a"
+  "libflexgraph_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_hdg.dir/hdg.cc.o"
+  "CMakeFiles/flexgraph_hdg.dir/hdg.cc.o.d"
+  "libflexgraph_hdg.a"
+  "libflexgraph_hdg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_hdg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

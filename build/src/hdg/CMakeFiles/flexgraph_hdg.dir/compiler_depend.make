@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for flexgraph_hdg.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/models/gat.cc" "src/models/CMakeFiles/flexgraph_models.dir/gat.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/gat.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "src/models/CMakeFiles/flexgraph_models.dir/gcn.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/gcn.cc.o.d"
+  "/root/repo/src/models/gin.cc" "src/models/CMakeFiles/flexgraph_models.dir/gin.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/gin.cc.o.d"
+  "/root/repo/src/models/graphsage.cc" "src/models/CMakeFiles/flexgraph_models.dir/graphsage.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/graphsage.cc.o.d"
+  "/root/repo/src/models/jknet.cc" "src/models/CMakeFiles/flexgraph_models.dir/jknet.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/jknet.cc.o.d"
+  "/root/repo/src/models/magnn.cc" "src/models/CMakeFiles/flexgraph_models.dir/magnn.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/magnn.cc.o.d"
+  "/root/repo/src/models/pgnn.cc" "src/models/CMakeFiles/flexgraph_models.dir/pgnn.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/pgnn.cc.o.d"
+  "/root/repo/src/models/pinsage.cc" "src/models/CMakeFiles/flexgraph_models.dir/pinsage.cc.o" "gcc" "src/models/CMakeFiles/flexgraph_models.dir/pinsage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/flexgraph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hdg/CMakeFiles/flexgraph_hdg.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flexgraph_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/flexgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

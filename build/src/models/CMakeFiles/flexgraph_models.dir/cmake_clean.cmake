@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_models.dir/gat.cc.o"
+  "CMakeFiles/flexgraph_models.dir/gat.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/gcn.cc.o"
+  "CMakeFiles/flexgraph_models.dir/gcn.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/gin.cc.o"
+  "CMakeFiles/flexgraph_models.dir/gin.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/graphsage.cc.o"
+  "CMakeFiles/flexgraph_models.dir/graphsage.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/jknet.cc.o"
+  "CMakeFiles/flexgraph_models.dir/jknet.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/magnn.cc.o"
+  "CMakeFiles/flexgraph_models.dir/magnn.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/pgnn.cc.o"
+  "CMakeFiles/flexgraph_models.dir/pgnn.cc.o.d"
+  "CMakeFiles/flexgraph_models.dir/pinsage.cc.o"
+  "CMakeFiles/flexgraph_models.dir/pinsage.cc.o.d"
+  "libflexgraph_models.a"
+  "libflexgraph_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/adb.cc" "src/partition/CMakeFiles/flexgraph_partition.dir/adb.cc.o" "gcc" "src/partition/CMakeFiles/flexgraph_partition.dir/adb.cc.o.d"
+  "/root/repo/src/partition/cost_model.cc" "src/partition/CMakeFiles/flexgraph_partition.dir/cost_model.cc.o" "gcc" "src/partition/CMakeFiles/flexgraph_partition.dir/cost_model.cc.o.d"
+  "/root/repo/src/partition/partition.cc" "src/partition/CMakeFiles/flexgraph_partition.dir/partition.cc.o" "gcc" "src/partition/CMakeFiles/flexgraph_partition.dir/partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/flexgraph_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

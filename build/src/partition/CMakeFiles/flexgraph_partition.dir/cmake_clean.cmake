@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_partition.dir/adb.cc.o"
+  "CMakeFiles/flexgraph_partition.dir/adb.cc.o.d"
+  "CMakeFiles/flexgraph_partition.dir/cost_model.cc.o"
+  "CMakeFiles/flexgraph_partition.dir/cost_model.cc.o.d"
+  "CMakeFiles/flexgraph_partition.dir/partition.cc.o"
+  "CMakeFiles/flexgraph_partition.dir/partition.cc.o.d"
+  "libflexgraph_partition.a"
+  "libflexgraph_partition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tensor/autograd.cc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/autograd.cc.o" "gcc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/autograd.cc.o.d"
+  "/root/repo/src/tensor/lstm.cc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/lstm.cc.o" "gcc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/lstm.cc.o.d"
+  "/root/repo/src/tensor/nn.cc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/nn.cc.o" "gcc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/nn.cc.o.d"
+  "/root/repo/src/tensor/ops_dense.cc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/ops_dense.cc.o" "gcc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/ops_dense.cc.o.d"
+  "/root/repo/src/tensor/ops_sparse.cc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/ops_sparse.cc.o" "gcc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/ops_sparse.cc.o.d"
+  "/root/repo/src/tensor/serialize.cc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/serialize.cc.o" "gcc" "src/tensor/CMakeFiles/flexgraph_tensor.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/flexgraph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

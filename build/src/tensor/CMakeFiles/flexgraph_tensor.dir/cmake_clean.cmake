@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_tensor.dir/autograd.cc.o"
+  "CMakeFiles/flexgraph_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/flexgraph_tensor.dir/lstm.cc.o"
+  "CMakeFiles/flexgraph_tensor.dir/lstm.cc.o.d"
+  "CMakeFiles/flexgraph_tensor.dir/nn.cc.o"
+  "CMakeFiles/flexgraph_tensor.dir/nn.cc.o.d"
+  "CMakeFiles/flexgraph_tensor.dir/ops_dense.cc.o"
+  "CMakeFiles/flexgraph_tensor.dir/ops_dense.cc.o.d"
+  "CMakeFiles/flexgraph_tensor.dir/ops_sparse.cc.o"
+  "CMakeFiles/flexgraph_tensor.dir/ops_sparse.cc.o.d"
+  "CMakeFiles/flexgraph_tensor.dir/serialize.cc.o"
+  "CMakeFiles/flexgraph_tensor.dir/serialize.cc.o.d"
+  "libflexgraph_tensor.a"
+  "libflexgraph_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_util.dir/env.cc.o"
+  "CMakeFiles/flexgraph_util.dir/env.cc.o.d"
+  "CMakeFiles/flexgraph_util.dir/logging.cc.o"
+  "CMakeFiles/flexgraph_util.dir/logging.cc.o.d"
+  "CMakeFiles/flexgraph_util.dir/table_printer.cc.o"
+  "CMakeFiles/flexgraph_util.dir/table_printer.cc.o.d"
+  "CMakeFiles/flexgraph_util.dir/thread_pool.cc.o"
+  "CMakeFiles/flexgraph_util.dir/thread_pool.cc.o.d"
+  "libflexgraph_util.a"
+  "libflexgraph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hdg_test.dir/hdg_test.cc.o"
+  "CMakeFiles/hdg_test.dir/hdg_test.cc.o.d"
+  "hdg_test"
+  "hdg_test.pdb"
+  "hdg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hdg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_sparse_test.dir/ops_sparse_test.cc.o"
+  "CMakeFiles/ops_sparse_test.dir/ops_sparse_test.cc.o.d"
+  "ops_sparse_test"
+  "ops_sparse_test.pdb"
+  "ops_sparse_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_sparse_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/subgraph_stats_test.dir/subgraph_stats_test.cc.o"
+  "CMakeFiles/subgraph_stats_test.dir/subgraph_stats_test.cc.o.d"
+  "subgraph_stats_test"
+  "subgraph_stats_test.pdb"
+  "subgraph_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subgraph_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trainer_sampling_test.dir/trainer_sampling_test.cc.o"
+  "CMakeFiles/trainer_sampling_test.dir/trainer_sampling_test.cc.o.d"
+  "trainer_sampling_test"
+  "trainer_sampling_test.pdb"
+  "trainer_sampling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trainer_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/walk_metapath_test.dir/walk_metapath_test.cc.o"
+  "CMakeFiles/walk_metapath_test.dir/walk_metapath_test.cc.o.d"
+  "walk_metapath_test"
+  "walk_metapath_test.pdb"
+  "walk_metapath_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/walk_metapath_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_graphgen.dir/flexgraph_graphgen.cc.o"
+  "CMakeFiles/flexgraph_graphgen.dir/flexgraph_graphgen.cc.o.d"
+  "flexgraph_graphgen"
+  "flexgraph_graphgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_graphgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

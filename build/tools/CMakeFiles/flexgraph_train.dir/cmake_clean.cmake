@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flexgraph_train.dir/flexgraph_train.cc.o"
+  "CMakeFiles/flexgraph_train.dir/flexgraph_train.cc.o.d"
+  "flexgraph_train"
+  "flexgraph_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flexgraph_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
