@@ -56,6 +56,7 @@ CachePolicyCosts Measure(const Dataset& ds, const GnnModel& model, int epochs) {
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("ablation_hdg_cache");
   const int epochs = BenchEpochs();
   std::printf("== Ablation: HDG caching policies (per-epoch seconds, dataset=twitter) ==\n");
   std::printf("scale=%.2f epochs=%d (static amortizes one build over the %d epochs)\n",

@@ -13,7 +13,9 @@
 #ifndef BENCH_BENCH_COMMON_H_
 #define BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <string>
+#include <utility>
 
 #include "src/baselines/common.h"
 #include "src/core/engine.h"
@@ -21,6 +23,7 @@
 #include "src/models/gcn.h"
 #include "src/models/magnn.h"
 #include "src/models/pinsage.h"
+#include "src/obs/metrics.h"
 #include "src/util/env.h"
 #include "src/util/timer.h"
 
@@ -75,6 +78,45 @@ inline GnnModel BenchModel(const std::string& name, const Dataset& ds, Rng& rng)
   return MakeMagnnModel(c, rng);
 }
 
+// Routes a bench run through the metric registry. Each bench constructs one
+// at the top of main(); on destruction it snapshots every metric the
+// instrumented code paths populated (nau.*, dist.*, hdg.*, threadpool.*,
+// plus any Record() calls) into BENCH_<name>.json next to the binary.
+// FLEXGRAPH_BENCH_JSON=0 disables the export; any other value is used as the
+// output directory.
+class BenchReporter {
+ public:
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+
+  ~BenchReporter() {
+    const std::string setting = EnvString("FLEXGRAPH_BENCH_JSON", "1");
+    if (setting == "0") {
+      return;
+    }
+    std::string path = "BENCH_" + name_ + ".json";
+    if (setting != "1") {
+      path = setting + "/" + path;
+    }
+    if (obs::MetricRegistry::Get().WriteJsonFile(path)) {
+      std::fprintf(stderr, "bench metrics written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "warning: could not write bench metrics to %s\n", path.c_str());
+    }
+  }
+
+  BenchReporter(const BenchReporter&) = delete;
+  BenchReporter& operator=(const BenchReporter&) = delete;
+
+  // Records a headline result under "bench.<bench>.<metric>" so the numbers
+  // printed in the table also land in the JSON export.
+  void Record(const std::string& metric, double value) {
+    obs::MetricRegistry::Get().GetHistogram("bench." + name_ + "." + metric).Observe(value);
+  }
+
+ private:
+  std::string name_;
+};
+
 // Average FlexGraph forward-epoch time; per-stage times optionally summed
 // into *times (also averaged per epoch).
 inline double FlexGraphEpochSeconds(const Dataset& ds, const GnnModel& model,
@@ -88,6 +130,7 @@ inline double FlexGraphEpochSeconds(const Dataset& ds, const GnnModel& model,
     engine.Infer(model, ds.features, rng, &acc);
   }
   const double avg = total.ElapsedSeconds() / epochs;
+  FLEX_HIST_OBSERVE("bench.flexgraph_epoch_seconds", avg);
   if (times != nullptr) {
     times->neighbor_selection += acc.neighbor_selection / epochs;
     times->aggregation += acc.aggregation / epochs;

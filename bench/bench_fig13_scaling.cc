@@ -59,6 +59,7 @@ std::string Cell(double seconds) {
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("fig13_scaling");
   std::printf("== Figure 13: per-epoch time (seconds) on 1..16 workers, dataset=reddit ==\n");
   std::printf("scale=%.2f epochs=%d\n", BenchScale(), BenchEpochs());
   const NetworkModel net;

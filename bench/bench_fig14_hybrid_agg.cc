@@ -33,6 +33,7 @@ double AggregationSeconds(const Dataset& ds, const std::string& model_name,
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("fig14_hybrid_agg");
   const int epochs = BenchEpochs();
   std::printf("== Figure 14: Aggregation-stage time (seconds) under SA / SA+FA / HA ==\n");
   std::printf("scale=%.2f epochs=%d\n", BenchScale(), epochs);

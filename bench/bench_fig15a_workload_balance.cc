@@ -36,6 +36,7 @@ double AggregationMakespan(const Dataset& ds, const GnnModel& model, const Parti
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("fig15a_workload_balance");
   const int epochs = BenchEpochs();
   std::printf("== Figure 15a: Aggregation makespan (seconds) on Twitter, k=%u — "
               "PuLP vs Hash vs ADB ==\n",

@@ -43,6 +43,7 @@ PipelineComparison AggregationMakespans(const Dataset& ds, const GnnModel& model
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("fig15bc_pipeline");
   const int epochs = BenchEpochs();
   std::printf("== Figure 15b/c: Aggregation makespan (seconds), k=%u — pipeline processing "
               "on/off ==\n",

@@ -6,6 +6,7 @@
 // macro-benches (Table 2, Figure 14) aggregate.
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_common.h"
 #include "src/baselines/kernels.h"
 #include "src/core/fused_ops.h"
 #include "src/data/synthetic.h"
@@ -134,4 +135,15 @@ BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 }  // namespace
 }  // namespace flexgraph
 
-BENCHMARK_MAIN();
+// Hand-rolled BENCHMARK_MAIN so the run also exports the metric registry
+// (kernel.* counters populated by the fused ops) as BENCH_kernels.json.
+int main(int argc, char** argv) {
+  flexgraph::BenchReporter reporter("kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

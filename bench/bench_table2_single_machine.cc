@@ -98,6 +98,7 @@ void RunModelRows(TablePrinter& table, const std::string& model_name,
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("table2");
   const int epochs = BenchEpochs();
   std::printf("== Table 2: runtime (seconds) for 1 epoch on a single machine ==\n");
   std::printf("scale=%.2f epochs=%d  (X = model unsupported, OOM = memory budget exceeded)\n",

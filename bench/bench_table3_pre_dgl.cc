@@ -38,6 +38,7 @@ double FlexGraphWarmEpochSeconds(const Dataset& ds, const GnnModel& model, int e
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("table3");
   const int epochs = BenchEpochs();
   const WalkParams walks;
   std::printf("== Table 3: runtime (seconds) of PinSage and MAGNN — DGL vs Pre+DGL vs "

@@ -36,6 +36,7 @@ void AddBreakdownRow(TablePrinter& table, const std::string& model_name) {
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("table4");
   std::printf("== Table 4: breakdown of the 3 NAU stages on Twitter (seconds, %% of epoch) ==\n");
   std::printf("scale=%.2f\n", BenchScale());
   TablePrinter table({"Model", "Nbr.Selection", "Aggregation", "Update"});

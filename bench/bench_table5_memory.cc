@@ -43,6 +43,7 @@ void AddRow(TablePrinter& table, const std::string& model_name,
 
 int main() {
   using namespace flexgraph;
+  BenchReporter reporter("table5");
   std::printf("== Table 5: HDG memory footprint w.r.t. the input graph ==\n");
   std::printf("scale=%.2f (naive = explicit Dst arrays + per-root schema copies — the §4.1 "
               "storage ablation)\n",

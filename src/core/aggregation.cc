@@ -1,7 +1,8 @@
 #include "src/core/aggregation.h"
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
-#include "src/util/timer.h"
 
 namespace flexgraph {
 
@@ -20,13 +21,11 @@ Variable HdgAggregator::BottomLevel(const Variable& vertex_feats, ReduceKind kin
     const auto offs = hdg_.instance_leaf_offsets();
     offsets.assign(offs.begin(), offs.end());
   }
-  WallTimer timer;
-  Variable out = AgIndirectSegmentReduce(vertex_feats, std::move(leaf_ids), std::move(offsets),
-                                         kind, strategy_, stats_);
-  if (stats_ != nullptr) {
-    stats_->bottom_seconds += timer.ElapsedSeconds();
-  }
-  return out;
+  FLEX_TRACE_SPAN("hybrid_agg.bottom", {{"leaf_refs", static_cast<double>(leaf_ids.size())}});
+  FLEX_SCOPED_SECONDS("nau.bottom_level_seconds",
+                      stats_ != nullptr ? &stats_->bottom_seconds : nullptr);
+  return AgIndirectSegmentReduce(vertex_feats, std::move(leaf_ids), std::move(offsets),
+                                 kind, strategy_, stats_);
 }
 
 namespace {
@@ -110,6 +109,8 @@ Variable HdgAggregator::BottomLevelEdgeAttention(const Variable& transformed,
 Variable HdgAggregator::InstanceLevel(const Variable& instance_feats, ReduceKind kind) const {
   FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no instance level");
   FLEX_CHECK_EQ(instance_feats.rows(), static_cast<int64_t>(hdg_.num_instances()));
+  FLEX_TRACE_SPAN("hybrid_agg.instance",
+                  {{"instances", static_cast<double>(instance_feats.rows())}});
   std::vector<uint64_t> offsets = SlotOffsetsCopy();
   if (strategy_ == ExecStrategy::kSparse) {
     // Scatter with an explicit index tensor, as a sparse-only runtime would.
@@ -151,6 +152,7 @@ Variable HdgAggregator::SchemaLevel(const Variable& slot_feats, ReduceKind kind)
   FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no schema level");
   const int64_t group = hdg_.num_types();
   FLEX_CHECK_EQ(slot_feats.rows(), static_cast<int64_t>(hdg_.num_roots()) * group);
+  FLEX_TRACE_SPAN("hybrid_agg.schema", {{"slots", static_cast<double>(slot_feats.rows())}});
   return AgSchemaReduce(slot_feats, group, kind, strategy_, stats_);
 }
 

@@ -1,6 +1,7 @@
 #include "src/core/engine.h"
 
-#include "src/util/timer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace flexgraph {
 
@@ -8,11 +9,10 @@ const Hdg& Engine::EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times)
   const bool rebuild =
       !cached_hdg_.has_value() || model.cache_policy == HdgCachePolicy::kPerEpoch;
   if (rebuild) {
-    WallTimer timer;
+    FLEX_TRACE_SPAN("nau.neighbor_selection");
+    FLEX_SCOPED_SECONDS("nau.neighbor_selection_seconds",
+                        times != nullptr ? &times->neighbor_selection : nullptr);
     cached_hdg_ = BuildHdgAllVertices(model, graph_, rng);
-    if (times != nullptr) {
-      times->neighbor_selection += timer.ElapsedSeconds();
-    }
   }
   return *cached_hdg_;
 }
@@ -23,21 +23,20 @@ Variable Engine::Forward(const GnnModel& model, const Hdg& hdg, const Tensor& fe
   FLEX_CHECK_EQ(features.rows(), static_cast<int64_t>(graph_.num_vertices()));
   HdgAggregator aggregator(hdg, strategy_, &stats_);
   Variable feats = Variable::Leaf(features);
-  for (const auto& layer : model.layers) {
+  for (std::size_t l = 0; l < model.layers.size(); ++l) {
+    const auto& layer = model.layers[l];
     Variable nbr;
     {
-      WallTimer timer;
+      FLEX_TRACE_SPAN("nau.aggregation", {{"layer", static_cast<double>(l)}});
+      FLEX_SCOPED_SECONDS("nau.aggregation_seconds",
+                          times != nullptr ? &times->aggregation : nullptr);
       nbr = layer->Aggregate(feats, aggregator);
-      if (times != nullptr) {
-        times->aggregation += timer.ElapsedSeconds();
-      }
     }
     {
-      WallTimer timer;
+      FLEX_TRACE_SPAN("nau.update", {{"layer", static_cast<double>(l)}});
+      FLEX_SCOPED_SECONDS("nau.update_seconds",
+                          times != nullptr ? &times->update : nullptr);
       feats = layer->Update(feats, nbr);
-      if (times != nullptr) {
-        times->update += timer.ElapsedSeconds();
-      }
     }
   }
   return feats;
@@ -47,6 +46,7 @@ EpochResult Engine::TrainEpoch(const GnnModel& model, const Tensor& features,
                                const std::vector<uint32_t>& labels, const SgdOptimizer& opt,
                                Rng& rng) {
   EpochResult result;
+  FLEX_COUNTER_ADD("nau.epochs", 1);
   const Hdg& hdg = EnsureHdg(model, rng, &result.times);
   Variable logits = Forward(model, hdg, features, &result.times);
   Variable loss = AgSoftmaxCrossEntropy(logits, labels);
@@ -54,15 +54,15 @@ EpochResult Engine::TrainEpoch(const GnnModel& model, const Tensor& features,
 
   std::vector<Variable> params = model.Parameters();
   {
-    WallTimer timer;
+    FLEX_TRACE_SPAN("nau.backward");
+    FLEX_SCOPED_SECONDS("nau.backward_seconds", &result.times.backward);
     loss.Backward();
-    result.times.backward = timer.ElapsedSeconds();
   }
   {
-    WallTimer timer;
+    FLEX_TRACE_SPAN("nau.optimize");
+    FLEX_SCOPED_SECONDS("nau.optimize_seconds", &result.times.optimize);
     opt.Step(params);
     SgdOptimizer::ZeroGrad(params);
-    result.times.optimize = timer.ElapsedSeconds();
   }
   return result;
 }

@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops_dense.h"
 #include "src/util/check.h"
 
@@ -100,6 +102,10 @@ Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_i
     // with an explicit COO destination index — two [E, d]-sized passes plus
     // an [E]-sized index, which is exactly the overhead feature fusion
     // removes.
+    FLEX_TRACE_SPAN("kernel.sa_gather_scatter",
+                    {{"rows", static_cast<double>(leaf_ids.size())}});
+    FLEX_COUNTER_ADD("kernel.sparse_leaf_refs",
+                     static_cast<int64_t>(leaf_ids.size()));
     Tensor gathered = GatherRows(x.value(), leaf_ids);
     std::vector<uint32_t> dst_index(leaf_ids.size());
     const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
@@ -116,6 +122,10 @@ Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_i
     out = Scatter(gathered, dst_index, num_segments, kind);
   } else {
     // FA: fused gather-reduce.
+    FLEX_TRACE_SPAN("kernel.fa_fused_gather_reduce",
+                    {{"rows", static_cast<double>(leaf_ids.size())}});
+    FLEX_COUNTER_ADD("kernel.fused_leaf_refs",
+                     static_cast<int64_t>(leaf_ids.size()));
     out = FusedSegmentGatherReduce(x.value(), leaf_ids, offsets, kind);
     if (stats != nullptr) {
       stats->fused_rows += leaf_ids.size();

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace flexgraph {
@@ -74,13 +76,22 @@ TrainerResult Trainer::Fit(const GnnModel& model, const Tensor& features,
   int epochs_since_best = 0;
 
   for (int epoch = 0; epoch < options_.max_epochs; ++epoch) {
+    FLEX_COUNTER_ADD("nau.epochs", 1);
     StageTimes times;
     const Hdg& hdg = engine_.EnsureHdg(model, rng, &times);
     Variable logits = engine_.Forward(model, hdg, features, &times);
     Variable loss = MaskedSoftmaxCrossEntropy(logits, split.train, labels);
-    loss.Backward();
-    opt.Step(params);
-    SgdOptimizer::ZeroGrad(params);
+    {
+      FLEX_TRACE_SPAN("nau.backward");
+      FLEX_SCOPED_SECONDS("nau.backward_seconds", nullptr);
+      loss.Backward();
+    }
+    {
+      FLEX_TRACE_SPAN("nau.optimize");
+      FLEX_SCOPED_SECONDS("nau.optimize_seconds", nullptr);
+      opt.Step(params);
+      SgdOptimizer::ZeroGrad(params);
+    }
 
     EpochMetrics metrics;
     metrics.epoch = epoch;

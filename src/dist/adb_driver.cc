@@ -3,7 +3,10 @@
 #include <algorithm>
 
 #include "src/core/neighbor_selection.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
+#include "src/util/logging.h"
 
 namespace flexgraph {
 
@@ -45,6 +48,7 @@ AdbDriverResult RunAdbBalancing(const CsrGraph& graph, const GnnModel& model,
                                 const Partitioning& initial, int64_t feature_dim,
                                 const AdbDriverOptions& options, Rng& rng) {
   FLEX_CHECK_GT(options.sample_fraction, 0.0);
+  FLEX_TRACE_SPAN("adb.run_balancing");
 
   // One global HDG build gives both the per-root metrics and the induced
   // dependency graph the migration plans must respect.
@@ -75,7 +79,13 @@ AdbDriverResult RunAdbBalancing(const CsrGraph& graph, const GnnModel& model,
   FLEX_CHECK_MSG(!logs.empty(), "sampling produced no run logs");
 
   AdbDriverResult result;
-  result.fit_rms = result.cost_model.Fit(logs);
+  {
+    FLEX_TRACE_SPAN("adb.cost_model_fit", {{"samples", static_cast<double>(logs.size())}});
+    FLEX_SCOPED_SECONDS("adb.fit_seconds", nullptr);
+    result.fit_rms = result.cost_model.Fit(logs);
+  }
+  FLEX_COUNTER_ADD("adb.run_logs_sampled", static_cast<int64_t>(logs.size()));
+  FLEX_GAUGE_SET("adb.fit_rms", result.fit_rms);
 
   result.predicted_root_cost.resize(metrics.size());
   for (std::size_t r = 0; r < metrics.size(); ++r) {
@@ -84,7 +94,16 @@ AdbDriverResult RunAdbBalancing(const CsrGraph& graph, const GnnModel& model,
   }
 
   CsrGraph induced = BuildInducedGraph(hdg, graph.num_vertices());
-  result.adb = AdbRebalance(induced, initial, result.predicted_root_cost, options.adb);
+  {
+    FLEX_TRACE_SPAN("adb.rebalance");
+    FLEX_SCOPED_SECONDS("adb.rebalance_seconds", nullptr);
+    result.adb = AdbRebalance(induced, initial, result.predicted_root_cost, options.adb);
+  }
+  FLEX_GAUGE_SET("adb.balance_before", result.adb.balance_before);
+  FLEX_GAUGE_SET("adb.balance_after", result.adb.balance_after);
+  FLEX_LOG(Info) << "ADB rebalance: imbalance " << result.adb.balance_before << " -> "
+                 << result.adb.balance_after << " (cut " << result.adb.cut_edges_after
+                 << (result.adb.changed ? ", migrated)" : ", unchanged)");
   result.partitioning = result.adb.partitioning;
   return result;
 }

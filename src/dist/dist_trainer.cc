@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "src/core/neighbor_selection.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/tensor/ops_dense.h"
 #include "src/util/check.h"
 #include "src/util/timer.h"
@@ -24,6 +26,8 @@ DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
                                                     const std::vector<uint32_t>& labels,
                                                     Rng& rng) {
   DistTrainEpochResult result;
+  FLEX_TRACE_SPAN("dist.train_epoch", {{"workers", static_cast<double>(parts_.num_parts)}});
+  FLEX_COUNTER_ADD("dist.train_epochs", 1);
   WallTimer timer;
 
   // Synchronous data-parallel training with identical replicas optimizes the
@@ -74,6 +78,8 @@ DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
     result.allreduce_seconds =
         config_.network.TransferSeconds(result.allreduce_bytes, 2 * (k - 1));
   }
+  FLEX_COUNTER_ADD("dist.allreduce_bytes", static_cast<int64_t>(result.allreduce_bytes));
+  FLEX_HIST_OBSERVE("dist.train_compute_seconds", result.compute_seconds);
   return result;
 }
 

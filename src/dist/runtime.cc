@@ -2,11 +2,31 @@
 
 #include <algorithm>
 #include <cstring>
+#include <string>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
+#include "src/util/logging.h"
 #include "src/util/timer.h"
 
 namespace flexgraph {
+
+namespace {
+
+// Synthetic trace tracks: each simulated worker gets a compute track and a
+// network track so overlapped transfers render side by side in the viewer.
+uint32_t ComputeTrack(uint32_t worker) { return worker * 2; }
+uint32_t NetworkTrack(uint32_t worker) { return worker * 2 + 1; }
+
+std::string ComputeTrackName(uint32_t worker) {
+  return "worker " + std::to_string(worker) + " compute";
+}
+std::string NetworkTrackName(uint32_t worker) {
+  return "worker " + std::to_string(worker) + " network";
+}
+
+}  // namespace
 
 DistributedRuntime::DistributedRuntime(const CsrGraph& graph, Partitioning parts,
                                        DistConfig config)
@@ -16,6 +36,7 @@ DistributedRuntime::DistributedRuntime(const CsrGraph& graph, Partitioning parts
 }
 
 void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_makespan) {
+  FLEX_TRACE_SPAN("dist.prepare", {{"workers", static_cast<double>(parts_.num_parts)}});
   workers_.clear();
   workers_.resize(parts_.num_parts);
   for (uint32_t w = 0; w < parts_.num_parts; ++w) {
@@ -28,6 +49,7 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
 
   double makespan = 0.0;
   for (auto& worker : workers_) {
+    SetLogWorkerId(static_cast<int>(worker.id));
     WallTimer timer;
     if (worker.roots.empty()) {
       worker.hdg = Hdg();
@@ -36,9 +58,17 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
     }
     worker.hdg = BuildHdgForRoots(model, graph_, worker.roots, rng);
     worker.hdg_build_seconds = timer.ElapsedSeconds();
+    FLEX_HIST_OBSERVE("dist.hdg_build_seconds", worker.hdg_build_seconds);
     makespan = std::max(makespan, worker.hdg_build_seconds);
     worker.plan = BuildCommPlan(worker.hdg, parts_, worker.id, &worker.out_refs_by_owner);
+    FLEX_LOG(Debug) << "HDG built: " << worker.roots.size() << " roots, "
+                    << worker.hdg.num_leaf_refs() << " leaf refs ("
+                    << worker.plan.remote_leaf_refs << " remote) in "
+                    << worker.hdg_build_seconds << "s";
   }
+  SetLogWorkerId(kNoLogWorker);
+  FLEX_LOG(Debug) << "prepared " << parts_.num_parts
+                  << " workers, HDG build makespan " << makespan << "s";
 
   // out_refs_[p]: leaf rows worker p pre-reduces for *other* workers' HDGs —
   // the sending-side cost of pipelined partial aggregation.
@@ -70,15 +100,36 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
                                             Rng& rng, Tensor* logits_out) {
   DistEpochStats stats;
   stats.per_worker_aggregation_seconds.assign(parts_.num_parts, 0.0);
+  FLEX_COUNTER_ADD("dist.epochs", 1);
 
-  if (!prepared_ || model.cache_policy == HdgCachePolicy::kPerEpoch) {
+  obs::Tracer& tracer = obs::Tracer::Get();
+  // Modeled per-worker timelines are anchored at the epoch's start on the
+  // real trace clock, then advance by *modeled* seconds — so the simulated
+  // cluster's tracks replay the paper's timeline (Fig 15) beside the real
+  // host spans recorded while physically executing each worker's share.
+  const double trace_base = tracer.NowSeconds();
+  double sim_clock = 0.0;
+
+  const bool rebuilt = !prepared_ || model.cache_policy == HdgCachePolicy::kPerEpoch;
+  if (rebuilt) {
     Prepare(model, rng, &stats.neighbor_selection_seconds);
+    for (const auto& worker : workers_) {
+      if (worker.hdg_build_seconds > 0.0) {
+        tracer.EmitModeled(ComputeTrack(worker.id), ComputeTrackName(worker.id),
+                           "nau.neighbor_selection", trace_base,
+                           worker.hdg_build_seconds,
+                           {{"roots", static_cast<double>(worker.roots.size())}});
+      }
+    }
+    sim_clock += stats.neighbor_selection_seconds;
   }
 
   Tensor h = features;
   double compute_for_backward = 0.0;
 
-  for (const auto& layer : model.layers) {
+  for (std::size_t li = 0; li < model.layers.size(); ++li) {
+    const auto& layer = model.layers[li];
+    const double layer_arg = static_cast<double>(li);
     // Physically execute each worker's share and record its stage times.
     struct WorkerLayerTimes {
       double bottom = 0.0;
@@ -95,6 +146,9 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       if (worker.roots.empty()) {
         continue;
       }
+      SetLogWorkerId(static_cast<int>(worker.id));
+      FLEX_TRACE_SPAN("dist.worker_execute",
+                      {{"worker", static_cast<double>(worker.id)}, {"layer", layer_arg}});
       AggregationStats agg_stats;
       HdgAggregator aggregator(worker.hdg, config_.strategy, &agg_stats);
 
@@ -121,6 +175,7 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
                     static_cast<std::size_t>(rows.cols()) * sizeof(float));
       }
     }
+    SetLogWorkerId(kNoLogWorker);
     FLEX_CHECK(h_next_ready);
 
     // Homogeneous-cluster normalization (runtime.h): pool measured rates and
@@ -159,13 +214,18 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
     }
 
     // Combine measured compute with the modeled network into the layer
-    // timeline (header comment of runtime.h).
+    // timeline (header comment of runtime.h); lay the selected timeline out
+    // on each worker's modeled trace tracks as it is computed.
     const int64_t d = h.cols();
     double layer_makespan = 0.0;
     double layer_agg_makespan = 0.0;
     double layer_agg_pp_makespan = 0.0;
     double layer_agg_raw_makespan = 0.0;
     double layer_update_makespan = 0.0;
+    double layer_comm_makespan = 0.0;
+    double layer_merge_makespan = 0.0;
+    double layer_overlap_makespan = 0.0;
+    const double t0 = trace_base + sim_clock;
     for (const auto& worker : workers_) {
       if (worker.roots.empty()) {
         continue;
@@ -174,6 +234,10 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       const CommPlan& plan = worker.plan;
       const double row_rate =
           plan.total_leaf_refs > 0 ? t.bottom / static_cast<double>(plan.total_leaf_refs) : 0.0;
+      const uint32_t ct = ComputeTrack(worker.id);
+      const uint32_t nt = NetworkTrack(worker.id);
+      const std::string cname = ComputeTrackName(worker.id);
+      const std::string nname = NetworkTrackName(worker.id);
 
       // Pipelined timeline — adaptive (paper §5): partial aggregation when
       // the assembled (partial-sum) messages are smaller than raw dedup'd
@@ -182,7 +246,12 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       // of received data is serial.
       double agg_pp = 0.0;
       double pp_bytes = 0.0;
-      if (model.bottom_reduce_commutative && plan.PipelinedBytesIn(d) < plan.RawBytesIn(d)) {
+      double pp_comm = 0.0;
+      double pp_merge = 0.0;
+      double pp_overlap = 0.0;
+      const bool partial_mode =
+          model.bottom_reduce_commutative && plan.PipelinedBytesIn(d) < plan.RawBytesIn(d);
+      if (partial_mode) {
         const double partial_compute =
             row_rate * static_cast<double>(out_refs_[worker.id] + plan.local_leaf_refs);
         const double comm =
@@ -190,6 +259,21 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
         const double merge = row_rate * static_cast<double>(plan.partial_rows_in);
         agg_pp = std::max(partial_compute, comm) + merge + t.rest_agg;
         pp_bytes = static_cast<double>(plan.PipelinedBytesIn(d));
+        pp_comm = comm;
+        pp_merge = merge;
+        pp_overlap = std::min(partial_compute, comm);
+        if (config_.pipeline) {
+          tracer.EmitModeled(ct, cname, "agg.partial_reduce", t0, partial_compute,
+                             {{"layer", layer_arg}});
+          tracer.EmitModeled(nt, nname, "comm.partial_in", t0, comm,
+                             {{"layer", layer_arg},
+                              {"bytes", pp_bytes},
+                              {"senders", static_cast<double>(plan.pp_senders)}});
+          const double tm = t0 + std::max(partial_compute, comm);
+          tracer.EmitModeled(ct, cname, "agg.merge", tm, merge, {{"layer", layer_arg}});
+          tracer.EmitModeled(ct, cname, "agg.rest_levels", tm + merge, t.rest_agg,
+                             {{"layer", layer_arg}});
+        }
       } else {
         const double overlap_compute =
             row_rate * static_cast<double>(raw_out_rows_[worker.id] + plan.local_leaf_refs);
@@ -198,6 +282,22 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
         const double remote_reduce = row_rate * static_cast<double>(plan.remote_leaf_refs);
         agg_pp = std::max(overlap_compute, comm) + remote_reduce + t.rest_agg;
         pp_bytes = static_cast<double>(plan.RawBytesIn(d));
+        pp_comm = comm;
+        pp_merge = remote_reduce;
+        pp_overlap = std::min(overlap_compute, comm);
+        if (config_.pipeline) {
+          tracer.EmitModeled(ct, cname, "agg.local_reduce", t0, overlap_compute,
+                             {{"layer", layer_arg}});
+          tracer.EmitModeled(nt, nname, "comm.raw_in", t0, comm,
+                             {{"layer", layer_arg},
+                              {"bytes", pp_bytes},
+                              {"senders", static_cast<double>(plan.raw_senders)}});
+          const double tm = t0 + std::max(overlap_compute, comm);
+          tracer.EmitModeled(ct, cname, "agg.remote_reduce", tm, remote_reduce,
+                             {{"layer", layer_arg}});
+          tracer.EmitModeled(ct, cname, "agg.rest_levels", tm + remote_reduce, t.rest_agg,
+                             {{"layer", layer_arg}});
+        }
       }
 
       // Raw timeline: gather+serialize the rows others requested, wait for
@@ -206,22 +306,59 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       const double raw_comm =
           config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders);
       const double agg_raw = serialize_out + raw_comm + t.bottom + t.rest_agg;
+      if (!config_.pipeline) {
+        tracer.EmitModeled(ct, cname, "comm.serialize_out", t0, serialize_out,
+                           {{"layer", layer_arg}});
+        tracer.EmitModeled(nt, nname, "comm.raw_in", t0 + serialize_out, raw_comm,
+                           {{"layer", layer_arg},
+                            {"bytes", static_cast<double>(plan.RawBytesIn(d))},
+                            {"senders", static_cast<double>(plan.raw_senders)}});
+        const double tb = t0 + serialize_out + raw_comm;
+        tracer.EmitModeled(ct, cname, "agg.bottom", tb, t.bottom, {{"layer", layer_arg}});
+        tracer.EmitModeled(ct, cname, "agg.rest_levels", tb + t.bottom, t.rest_agg,
+                           {{"layer", layer_arg}});
+      }
 
       const double agg_time = config_.pipeline ? agg_pp : agg_raw;
-      stats.comm_bytes_total +=
+      const double comm_time = config_.pipeline ? pp_comm : raw_comm;
+      const double merge_time = config_.pipeline ? pp_merge : t.bottom;
+      const double overlap_time = config_.pipeline ? pp_overlap : 0.0;
+      const double bytes_in =
           config_.pipeline ? pp_bytes : static_cast<double>(plan.RawBytesIn(d));
+      tracer.EmitModeled(ct, cname, "nau.update", t0 + agg_time, t.update,
+                         {{"layer", layer_arg}});
+
+      FLEX_COUNTER_ADD("dist.comm_bytes", static_cast<int64_t>(bytes_in));
+      FLEX_HIST_OBSERVE("dist.comm_seconds", comm_time);
+      FLEX_HIST_OBSERVE("dist.merge_seconds", merge_time);
+      if (config_.pipeline) {
+        FLEX_HIST_OBSERVE("pipeline.overlap_seconds", overlap_time);
+      } else {
+        FLEX_HIST_OBSERVE("dist.serialize_seconds", serialize_out);
+      }
+      FLEX_HIST_OBSERVE("dist.worker_agg_seconds", agg_time);
+      FLEX_HIST_OBSERVE("dist.worker_update_seconds", t.update);
+
+      stats.comm_bytes_total += bytes_in;
       stats.per_worker_aggregation_seconds[worker.id] += agg_time;
       layer_agg_makespan = std::max(layer_agg_makespan, agg_time);
       layer_agg_pp_makespan = std::max(layer_agg_pp_makespan, agg_pp);
       layer_agg_raw_makespan = std::max(layer_agg_raw_makespan, agg_raw);
       layer_update_makespan = std::max(layer_update_makespan, t.update);
+      layer_comm_makespan = std::max(layer_comm_makespan, comm_time);
+      layer_merge_makespan = std::max(layer_merge_makespan, merge_time);
+      layer_overlap_makespan = std::max(layer_overlap_makespan, overlap_time);
       layer_makespan = std::max(layer_makespan, agg_time + t.update);
     }
     stats.aggregation_seconds += layer_agg_makespan;
     stats.aggregation_seconds_pipelined += layer_agg_pp_makespan;
     stats.aggregation_seconds_raw += layer_agg_raw_makespan;
     stats.update_seconds += layer_update_makespan;
+    stats.comm_seconds += layer_comm_makespan;
+    stats.merge_seconds += layer_merge_makespan;
+    stats.pipeline_overlap_seconds += layer_overlap_makespan;
     stats.makespan_seconds += layer_makespan;
+    sim_clock += layer_makespan;  // synchronous layer barrier
 
     // Track the per-epoch compute that backward would re-traverse.
     double max_worker_compute = 0.0;
@@ -252,11 +389,21 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       stats.backward_seconds +=
           config_.network.TransferSeconds(ring_bytes, 2 * (k - 1));
       stats.comm_bytes_total += static_cast<double>(ring_bytes) * k;
+      FLEX_COUNTER_ADD("dist.comm_bytes", static_cast<int64_t>(ring_bytes) * k);
     }
+    for (const auto& worker : workers_) {
+      if (!worker.roots.empty()) {
+        tracer.EmitModeled(ComputeTrack(worker.id), ComputeTrackName(worker.id),
+                           "nau.backward+allreduce", trace_base + sim_clock,
+                           stats.backward_seconds);
+      }
+    }
+    sim_clock += stats.backward_seconds;
     stats.makespan_seconds += stats.backward_seconds;
   }
 
   stats.makespan_seconds += stats.neighbor_selection_seconds;
+  FLEX_HIST_OBSERVE("dist.epoch_makespan_seconds", stats.makespan_seconds);
   if (logits_out != nullptr) {
     *logits_out = std::move(h);
   }

@@ -67,6 +67,13 @@ struct DistEpochStats {
   double update_seconds = 0.0;
   double backward_seconds = 0.0;
   double comm_bytes_total = 0.0;
+  // Makespans of the communication-facing sub-phases of the selected
+  // timeline: time on the wire, the serial post-receive merge/reduce, and —
+  // pipelined mode only — how much transfer time was hidden under sender/
+  // receiver compute (the Fig 15 overlap window).
+  double comm_seconds = 0.0;
+  double merge_seconds = 0.0;
+  double pipeline_overlap_seconds = 0.0;
   // Σ over layers of each worker's aggregation-stage time (for balance plots).
   std::vector<double> per_worker_aggregation_seconds;
 };

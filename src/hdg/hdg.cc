@@ -2,7 +2,26 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
 namespace flexgraph {
+
+namespace {
+
+// Shared accounting for every HDG construction path.
+void RecordHdgBuildMetrics(const Hdg& hdg, double build_seconds) {
+  FLEX_COUNTER_ADD("hdg.builds", 1);
+  FLEX_COUNTER_ADD("hdg.instances", static_cast<int64_t>(hdg.num_instances()));
+  FLEX_COUNTER_ADD("hdg.leaf_refs", static_cast<int64_t>(hdg.num_leaf_refs()));
+  FLEX_HIST_OBSERVE("hdg.build_seconds", build_seconds);
+  const Hdg::MemoryFootprint fp = hdg.Footprint();
+  FLEX_GAUGE_SET("hdg.last_build_bytes",
+                 static_cast<double>(fp.bottom_bytes + fp.in_between_bytes +
+                                     fp.schema_bytes + fp.roots_bytes));
+}
+
+}  // namespace
 
 Hdg::MemoryFootprint Hdg::Footprint() const {
   MemoryFootprint fp;
@@ -49,6 +68,9 @@ void HdgBuilder::AddRecord(VertexId root, uint32_t nei_type, std::span<const Ver
 }
 
 Hdg HdgBuilder::Build() {
+  FLEX_TRACE_SPAN("hdg.build", {{"roots", static_cast<double>(roots_.size())},
+                                {"records", static_cast<double>(records_.size())}});
+  WallTimer build_timer;
   // Order instances by their destination slot; this is what lets the
   // in-between Dst array be elided (paper §4.1(2)).
   const uint32_t num_types = schema_.num_leaf_types();
@@ -100,11 +122,14 @@ Hdg HdgBuilder::Build() {
       hdg.instance_leaf_offsets_.push_back(hdg.leaf_vertex_ids_.size());
     }
   }
+  RecordHdgBuildMetrics(hdg, build_timer.ElapsedSeconds());
   return hdg;
 }
 
 Hdg FlatHdgFromInNeighbors(const CsrGraph& graph, std::vector<VertexId> roots) {
   FLEX_CHECK(graph.has_in_edges());
+  FLEX_TRACE_SPAN("hdg.build_flat", {{"roots", static_cast<double>(roots.size())}});
+  WallTimer build_timer;
   Hdg hdg;
   hdg.flat_ = true;
   hdg.schema_ = SchemaTree::Flat();
@@ -116,6 +141,7 @@ Hdg FlatHdgFromInNeighbors(const CsrGraph& graph, std::vector<VertexId> roots) {
     hdg.leaf_vertex_ids_.insert(hdg.leaf_vertex_ids_.end(), nbrs.begin(), nbrs.end());
     hdg.slot_offsets_.push_back(hdg.leaf_vertex_ids_.size());
   }
+  RecordHdgBuildMetrics(hdg, build_timer.ElapsedSeconds());
   return hdg;
 }
 

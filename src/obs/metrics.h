@@ -1,0 +1,258 @@
+// Process-wide metrics registry: named counters, gauges, and streaming
+// histograms that every layer of the system (NAU engine, simulated
+// distributed runtime, thread pool, HDG builder, benches) reports into.
+//
+// Design goals, in order:
+//   * Hot-path cost is one or two relaxed atomic ops — call sites cache the
+//     metric reference (the FLEX_* macros below do this with a function-local
+//     static), so the name lookup happens once per call site, not per event.
+//   * No per-sample storage: histograms bin observations into fixed
+//     logarithmic buckets (8 per octave, ~9% relative resolution), which is
+//     plenty for p50/p95/p99 of stage times spanning nanoseconds to minutes.
+//   * Snapshot isolation: Snapshot() copies every value under the registry
+//     lock; later mutations never show through a snapshot.
+//
+// Naming convention (see README.md "Observability"): dot-separated
+// <subsystem>.<what>[_<unit>], e.g. "nau.aggregation_seconds",
+// "dist.comm_bytes", "threadpool.queue_depth".
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/util/timer.h"
+
+namespace flexgraph {
+namespace obs {
+
+// Monotonic integer counter (events, bytes, rounds). Only ever increases.
+class Counter {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void ResetForTest() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+// Last-write-wins double (queue depth, balance factor, cache bytes).
+class Gauge {
+ public:
+  void Set(double v) { bits_.store(Encode(v), std::memory_order_relaxed); }
+  void Add(double delta);
+  double value() const { return Decode(bits_.load(std::memory_order_relaxed)); }
+  void ResetForTest() { Set(0.0); }
+
+ private:
+  static uint64_t Encode(double v);
+  static double Decode(uint64_t bits);
+  std::atomic<uint64_t> bits_{0};
+};
+
+// Streaming log-bucket histogram. Buckets are spaced 2^(1/8) apart covering
+// [2^-30, 2^30) (~1ns..~13 days for seconds; 1B..1GiB for bytes), plus
+// underflow (v < 2^-30, including 0 and negatives) and overflow buckets.
+class Histogram {
+ public:
+  static constexpr int kSubBucketsPerOctave = 8;
+  static constexpr int kMinExponent = -30;
+  static constexpr int kMaxExponent = 30;
+  static constexpr int kNumCoreBuckets =
+      (kMaxExponent - kMinExponent) * kSubBucketsPerOctave;
+  // [0] = underflow, [1..kNumCoreBuckets] = core, [last] = overflow.
+  static constexpr int kNumBuckets = kNumCoreBuckets + 2;
+
+  void Observe(double v);
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void ResetForTest();
+
+  // Maps a value to its bucket index (exposed for the percentile math and
+  // the tests).
+  static int BucketIndex(double v);
+  // Representative value of a bucket: the geometric mean of its bounds.
+  static double BucketValue(int index);
+
+  struct Stats {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  // Consistent-enough copy of the current state (individual loads are
+  // relaxed; exact consistency comes from quiescence, same as any sampling
+  // profiler).
+  Stats Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};       // double, CAS-accumulated
+  std::atomic<uint64_t> min_bits_;          // double, CAS-min (init in ctor)
+  std::atomic<uint64_t> max_bits_;          // double, CAS-max
+
+ public:
+  Histogram();
+};
+
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Stats> histograms;
+
+  void WriteJson(std::ostream& os) const;
+  void WriteCsv(std::ostream& os) const;
+};
+
+// Thread-safe global registry. Metric objects are created on first use and
+// live for the process lifetime; references returned by the getters are
+// never invalidated (Reset zeroes values in place, it does not erase).
+class MetricRegistry {
+ public:
+  static MetricRegistry& Get();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  // Zeroes every registered metric (names stay registered). Used by tests
+  // and by --metrics-every interval reporting.
+  void Reset();
+
+  // Convenience: Snapshot() then export. WriteJsonFile returns false when
+  // the file cannot be opened.
+  void WriteJson(std::ostream& os) const { Snapshot().WriteJson(os); }
+  bool WriteJsonFile(const std::string& path) const;
+  void WriteCsv(std::ostream& os) const { Snapshot().WriteCsv(os); }
+  bool WriteCsvFile(const std::string& path) const;
+
+ private:
+  MetricRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+// Times a scope and reports it to a histogram, optionally also accumulating
+// into a plain double (the StageTimes structs predate the registry and are
+// still the per-call return channel).
+class ScopedSecondsTimer {
+ public:
+  explicit ScopedSecondsTimer(Histogram& hist, double* sink = nullptr)
+      : hist_(hist), sink_(sink) {}
+  ~ScopedSecondsTimer() {
+    const double s = timer_.ElapsedSeconds();
+    hist_.Observe(s);
+    if (sink_ != nullptr) {
+      *sink_ += s;
+    }
+  }
+
+  ScopedSecondsTimer(const ScopedSecondsTimer&) = delete;
+  ScopedSecondsTimer& operator=(const ScopedSecondsTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace flexgraph
+
+namespace flexgraph {
+namespace obs {
+
+// FLEX_SCOPED_SECONDS fallback when metrics are compiled out: the StageTimes
+// sinks are functional (the distributed runtime derives kernel rates from
+// them), so the wall timing must survive even with the histogram gone.
+class ScopedSecondsSinkOnly {
+ public:
+  explicit ScopedSecondsSinkOnly(double* sink) : sink_(sink) {}
+  ~ScopedSecondsSinkOnly() {
+    if (sink_ != nullptr) {
+      *sink_ += timer_.ElapsedSeconds();
+    }
+  }
+  ScopedSecondsSinkOnly(const ScopedSecondsSinkOnly&) = delete;
+  ScopedSecondsSinkOnly& operator=(const ScopedSecondsSinkOnly&) = delete;
+
+ private:
+  double* sink_;
+  WallTimer timer_;
+};
+
+}  // namespace obs
+}  // namespace flexgraph
+
+#ifdef FLEXGRAPH_DISABLE_METRICS
+
+// Compile-time kill switch mirroring FLEXGRAPH_DISABLE_TRACING: counters,
+// gauges and histogram observations vanish; scoped timers keep feeding their
+// StageTimes sinks (see ScopedSecondsSinkOnly).
+#define FLEX_COUNTER_ADD(name, delta) ((void)0)
+#define FLEX_GAUGE_SET(name, v) ((void)0)
+#define FLEX_HIST_OBSERVE(name, v) ((void)0)
+#define FLEX_OBS_CONCAT_INNER(a, b) a##b
+#define FLEX_OBS_CONCAT(a, b) FLEX_OBS_CONCAT_INNER(a, b)
+#define FLEX_SCOPED_SECONDS(name, sink_ptr)                                 \
+  ::flexgraph::obs::ScopedSecondsSinkOnly FLEX_OBS_CONCAT(flex_scoped_timer_, \
+                                                          __LINE__)(sink_ptr)
+
+#else
+
+// Call-site macros: resolve the metric once (magic static) and then touch
+// only the atomic on every hit.
+#define FLEX_COUNTER_ADD(name, delta)                                       \
+  do {                                                                      \
+    static ::flexgraph::obs::Counter& flex_counter_ =                       \
+        ::flexgraph::obs::MetricRegistry::Get().GetCounter(name);           \
+    flex_counter_.Add(delta);                                               \
+  } while (0)
+
+#define FLEX_GAUGE_SET(name, v)                                             \
+  do {                                                                      \
+    static ::flexgraph::obs::Gauge& flex_gauge_ =                           \
+        ::flexgraph::obs::MetricRegistry::Get().GetGauge(name);             \
+    flex_gauge_.Set(v);                                                     \
+  } while (0)
+
+#define FLEX_HIST_OBSERVE(name, v)                                          \
+  do {                                                                      \
+    static ::flexgraph::obs::Histogram& flex_hist_ =                        \
+        ::flexgraph::obs::MetricRegistry::Get().GetHistogram(name);         \
+    flex_hist_.Observe(v);                                                  \
+  } while (0)
+
+// Scoped stage timer: histogram observation + optional StageTimes-style sink.
+//   FLEX_SCOPED_SECONDS("nau.update_seconds", times ? &times->update : nullptr);
+#define FLEX_OBS_CONCAT_INNER(a, b) a##b
+#define FLEX_OBS_CONCAT(a, b) FLEX_OBS_CONCAT_INNER(a, b)
+#define FLEX_SCOPED_SECONDS(name, sink_ptr)                                 \
+  static ::flexgraph::obs::Histogram& FLEX_OBS_CONCAT(flex_scoped_hist_,    \
+                                                      __LINE__) =           \
+      ::flexgraph::obs::MetricRegistry::Get().GetHistogram(name);           \
+  ::flexgraph::obs::ScopedSecondsTimer FLEX_OBS_CONCAT(flex_scoped_timer_,  \
+                                                       __LINE__)(           \
+      FLEX_OBS_CONCAT(flex_scoped_hist_, __LINE__), sink_ptr)
+
+#endif  // FLEXGRAPH_DISABLE_METRICS
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,221 @@
+#include "src/obs/trace.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace flexgraph {
+namespace obs {
+
+namespace {
+
+// pids used in the emitted trace: real host threads vs. the simulated
+// cluster's synthetic tracks.
+constexpr int kHostPid = 1;
+constexpr int kSimulatedPid = 2;
+
+void JsonEscape(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      os << buf;
+    } else {
+      os << c;
+    }
+  }
+}
+
+std::string RenderArgs(std::initializer_list<SpanArg> args) {
+  if (args.size() == 0) {
+    return {};
+  }
+  std::string out;
+  for (const SpanArg& a : args) {
+    if (!out.empty()) {
+      out += ", ";
+    }
+    out += '"';
+    out += a.key;  // keys are literals chosen by call sites; no escaping needed
+    out += "\": ";
+    char buf[64];
+    if (std::isfinite(a.value) && a.value == std::floor(a.value) &&
+        std::fabs(a.value) < 1e15) {
+      std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(a.value));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.9g", std::isfinite(a.value) ? a.value : 0.0);
+    }
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::Get() {
+  // Leaked for the same static-destruction reason as MetricRegistry.
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+double Tracer::NowSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+}
+
+Tracer::ThreadBuffer& Tracer::LocalBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> local;
+  if (!local) {
+    local = std::make_shared<ThreadBuffer>();
+    std::lock_guard<std::mutex> lock(registry_mutex_);
+    local->tid = next_tid_++;
+    buffers_.push_back(local);
+  }
+  return *local;
+}
+
+void Tracer::BeginSpan(const char* name) {
+  Event ev;
+  ev.ts_us = NowSeconds() * 1e6;
+  ev.name = name;
+  ev.phase = 'B';
+  LocalBuffer().events.push_back(std::move(ev));
+}
+
+void Tracer::BeginSpan(const char* name, std::initializer_list<SpanArg> args) {
+  Event ev;
+  ev.ts_us = NowSeconds() * 1e6;
+  ev.name = name;
+  ev.phase = 'B';
+  ev.args = RenderArgs(args);
+  LocalBuffer().events.push_back(std::move(ev));
+}
+
+void Tracer::EndSpan() {
+  Event ev;
+  ev.ts_us = NowSeconds() * 1e6;
+  ev.phase = 'E';
+  LocalBuffer().events.push_back(std::move(ev));
+}
+
+void Tracer::EmitModeled(uint32_t track, const std::string& track_name, const char* name,
+                         double start_seconds, double duration_seconds,
+                         std::initializer_list<SpanArg> args) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ts_us = start_seconds * 1e6;
+  ev.dur_us = duration_seconds * 1e6;
+  ev.name = name;
+  ev.track_label = track_name;
+  ev.track = track;
+  ev.phase = 'X';
+  ev.args = RenderArgs(args);
+  LocalBuffer().events.push_back(std::move(ev));
+}
+
+void Tracer::WriteChromeTrace(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  const auto comma = [&] {
+    if (!first) {
+      os << ",\n";
+    }
+    first = false;
+  };
+
+  // Process/track naming metadata so the viewer shows meaningful labels.
+  comma();
+  os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << kHostPid
+     << ", \"args\": {\"name\": \"flexgraph host\"}}";
+  comma();
+  os << "{\"ph\": \"M\", \"name\": \"process_name\", \"pid\": " << kSimulatedPid
+     << ", \"args\": {\"name\": \"simulated cluster\"}}";
+  std::vector<std::pair<uint32_t, const std::string*>> named_tracks;
+  for (const auto& buffer : buffers_) {
+    for (const Event& ev : buffer->events) {
+      if (ev.phase == 'X' && !ev.track_label.empty()) {
+        bool seen = false;
+        for (const auto& [track, label] : named_tracks) {
+          if (track == ev.track) {
+            seen = true;
+            break;
+          }
+        }
+        if (!seen) {
+          named_tracks.emplace_back(ev.track, &ev.track_label);
+        }
+      }
+    }
+  }
+  for (const auto& [track, label] : named_tracks) {
+    comma();
+    os << "{\"ph\": \"M\", \"name\": \"thread_name\", \"pid\": " << kSimulatedPid
+       << ", \"tid\": " << track << ", \"args\": {\"name\": \"";
+    JsonEscape(os, label->c_str());
+    os << "\"}}";
+  }
+
+  char buf[64];
+  for (const auto& buffer : buffers_) {
+    for (const Event& ev : buffer->events) {
+      comma();
+      if (ev.phase == 'X') {
+        os << "{\"ph\": \"X\", \"pid\": " << kSimulatedPid << ", \"tid\": " << ev.track;
+      } else {
+        os << "{\"ph\": \"" << ev.phase << "\", \"pid\": " << kHostPid
+           << ", \"tid\": " << buffer->tid;
+      }
+      std::snprintf(buf, sizeof(buf), "%.3f", ev.ts_us);
+      os << ", \"ts\": " << buf;
+      if (ev.phase == 'X') {
+        std::snprintf(buf, sizeof(buf), "%.3f", ev.dur_us);
+        os << ", \"dur\": " << buf;
+      }
+      if (ev.name != nullptr) {
+        os << ", \"name\": \"";
+        JsonEscape(os, ev.name);
+        os << "\"";
+      }
+      if (!ev.args.empty()) {
+        os << ", \"args\": {" << ev.args << "}";
+      }
+      os << "}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+bool Tracer::WriteChromeTraceFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) {
+    return false;
+  }
+  WriteChromeTrace(out);
+  return static_cast<bool>(out);
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  for (const auto& buffer : buffers_) {
+    buffer->events.clear();
+  }
+}
+
+std::size_t Tracer::EventCountForTest() const {
+  std::lock_guard<std::mutex> lock(registry_mutex_);
+  std::size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+}  // namespace obs
+}  // namespace flexgraph

@@ -4,6 +4,8 @@
 #include <deque>
 #include <numeric>
 
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/util/check.h"
 
 namespace flexgraph {
@@ -111,6 +113,8 @@ AdbResult AdbRebalance(const CsrGraph& induced_graph, const Partitioning& curren
     if (Imbalance(loads) <= params.balance_threshold) {
       break;
     }
+    FLEX_TRACE_SPAN("adb.migration_round", {{"round", static_cast<double>(round)}});
+    FLEX_COUNTER_ADD("adb.migration_rounds", 1);
     const uint32_t overloaded = static_cast<uint32_t>(
         std::max_element(loads.begin(), loads.end()) - loads.begin());
     const double total = std::accumulate(loads.begin(), loads.end(), 0.0);
@@ -136,6 +140,7 @@ AdbResult AdbRebalance(const CsrGraph& induced_graph, const Partitioning& curren
     const double current_balance = Imbalance(loads);
     const int plans = std::min<int>(params.num_plans, static_cast<int>(part_vertices.size()));
     for (int pi = 0; pi < plans; ++pi) {
+      FLEX_COUNTER_ADD("adb.plans_evaluated", 1);
       Partitioning plan = MakePlan(induced_graph, result.partitioning, root_cost, overloaded,
                                    part_vertices[static_cast<std::size_t>(pi)], budget);
       const std::vector<double> plan_loads = PartLoads(plan, root_cost);

@@ -30,4 +30,12 @@ double EnvDouble(const std::string& name, double fallback) {
   return parsed;
 }
 
+std::string EnvString(const std::string& name, const std::string& fallback) {
+  const char* raw = std::getenv(name.c_str());
+  if (raw == nullptr || *raw == '\0') {
+    return fallback;
+  }
+  return raw;
+}
+
 }  // namespace flexgraph

@@ -15,6 +15,9 @@ int64_t EnvInt(const std::string& name, int64_t fallback);
 // Returns the env var parsed as double, or fallback when unset/unparseable.
 double EnvDouble(const std::string& name, double fallback);
 
+// Returns the env var as a string, or fallback when unset/empty.
+std::string EnvString(const std::string& name, const std::string& fallback);
+
 }  // namespace flexgraph
 
 #endif  // SRC_UTIL_ENV_H_

@@ -1,18 +1,27 @@
 #include "src/util/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>
-#include <mutex>
+
+#include "src/util/env.h"
 
 namespace flexgraph {
 
 namespace {
 
-std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
-std::mutex g_log_mutex;
+int InitialSeverity() {
+  return static_cast<int>(
+      ParseLogSeverity(EnvString("FLEXGRAPH_LOG_LEVEL", ""), LogSeverity::kInfo));
+}
+
+std::atomic<int> g_min_severity{InitialSeverity()};
+std::atomic<int> g_next_thread_id{0};
+thread_local int t_thread_id = -1;
+thread_local int t_worker_id = kNoLogWorker;
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -44,17 +53,54 @@ void SetMinLogSeverity(LogSeverity severity) {
   g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
 }
 
+LogSeverity ParseLogSeverity(const std::string& name, LogSeverity fallback) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug" || lower == "0") {
+    return LogSeverity::kDebug;
+  }
+  if (lower == "info" || lower == "1") {
+    return LogSeverity::kInfo;
+  }
+  if (lower == "warning" || lower == "warn" || lower == "2") {
+    return LogSeverity::kWarning;
+  }
+  if (lower == "error" || lower == "3") {
+    return LogSeverity::kError;
+  }
+  return fallback;
+}
+
+void SetLogWorkerId(int worker_id) { t_worker_id = worker_id; }
+int LogWorkerId() { return t_worker_id; }
+
+int LogThreadId() {
+  if (t_thread_id < 0) {
+    t_thread_id = g_next_thread_id.fetch_add(1, std::memory_order_relaxed);
+  }
+  return t_thread_id;
+}
+
 namespace detail {
 
 LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
-  stream_ << "[" << SeverityTag(severity) << " " << Basename(file) << ":" << line << "] ";
+  stream_ << "[" << SeverityTag(severity) << " t" << LogThreadId();
+  if (t_worker_id != kNoLogWorker) {
+    stream_ << " w" << t_worker_id;
+  }
+  stream_ << " " << Basename(file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {
-  const std::string line = stream_.str();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fputs(line.c_str(), stderr);
-  std::fputc('\n', stderr);
+  std::string line = stream_.str();
+  line.push_back('\n');
+  // One fwrite per line: concurrent flushes interleave at line granularity
+  // instead of shearing mid-line (stderr is unbuffered, so a single write
+  // either lands whole or not at all for any realistic line length).
+  std::fwrite(line.data(), 1, line.size(), stderr);
   if (severity_ >= LogSeverity::kError) {
     std::fflush(stderr);
   }

@@ -1,7 +1,13 @@
 // Minimal streaming logger. Usage:
 //   FLEX_LOG(INFO) << "built HDG with " << n << " levels";
 // Severity filtering is process-global and can be tightened for benchmarks so
-// that log IO never pollutes timing measurements.
+// that log IO never pollutes timing measurements. The initial severity honors
+// the FLEXGRAPH_LOG_LEVEL env var ("debug"/"info"/"warning"/"error" or 0-3).
+//
+// Every line carries the logical thread id, and — when the simulated
+// distributed runtime is executing a worker's share — that worker's id
+// ("w3"), so interleaved per-worker logs stay attributable. Each line is
+// flushed with a single fwrite so concurrent writers never shear lines.
 #ifndef SRC_UTIL_LOGGING_H_
 #define SRC_UTIL_LOGGING_H_
 
@@ -22,6 +28,21 @@ LogSeverity MinLogSeverity();
 
 // Sets the process-global minimum severity. Thread-safe.
 void SetMinLogSeverity(LogSeverity severity);
+
+// Parses "debug"/"info"/"warning"/"error" (or "0".."3"); returns fallback on
+// anything else. Exposed for tests of the FLEXGRAPH_LOG_LEVEL override.
+LogSeverity ParseLogSeverity(const std::string& name, LogSeverity fallback);
+
+// Tags subsequent log lines from this thread with a simulated worker id
+// (rendered as "w<id>"); pass kNoLogWorker to clear. The simulated runtime
+// sets this around each worker's execution slice.
+inline constexpr int kNoLogWorker = -1;
+void SetLogWorkerId(int worker_id);
+int LogWorkerId();
+
+// Small sequential id for the calling thread (first-use order), used in the
+// log prefix — stable within a run and far more readable than the native id.
+int LogThreadId();
 
 namespace detail {
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
 #include "src/util/check.h"
 
 namespace flexgraph {
@@ -31,8 +32,14 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     FLEX_CHECK_MSG(!shutdown_, "Submit after shutdown");
-    queue_.push(std::move(task));
+    QueuedTask queued{std::move(task), {}};
+    if (submit_count_++ % kSampleEvery == 0) {
+      queued.enqueued = std::chrono::steady_clock::now();
+    }
+    queue_.push(std::move(queued));
     ++in_flight_;
+    FLEX_COUNTER_ADD("threadpool.tasks_submitted", 1);
+    FLEX_GAUGE_SET("threadpool.queue_depth", static_cast<double>(queue_.size()));
   }
   cv_task_.notify_one();
 }
@@ -64,7 +71,7 @@ ThreadPool& ThreadPool::Global() {
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
@@ -73,8 +80,18 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      FLEX_GAUGE_SET("threadpool.queue_depth", static_cast<double>(queue_.size()));
     }
-    task();
+    if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+      FLEX_HIST_OBSERVE(
+          "threadpool.queue_wait_seconds",
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - task.enqueued)
+              .count());
+      FLEX_SCOPED_SECONDS("threadpool.task_seconds", nullptr);
+      task.fn();
+    } else {
+      task.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --in_flight_;

@@ -5,6 +5,7 @@
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -43,8 +44,21 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
+  // Sampled tasks carry their enqueue time so the pool can report queue-wait
+  // and run-time latencies ("threadpool.*" histograms). Only every
+  // kSampleEvery-th task is timed — clock reads and contended histogram
+  // updates per task would show up in the fine-grained ParallelFor chunks the
+  // fused kernels submit. Task/queue-depth counters stay exact.
+  static constexpr uint64_t kSampleEvery = 64;
+  struct QueuedTask {
+    std::function<void()> fn;
+    // Default (epoch) time point marks an unsampled task.
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
+  uint64_t submit_count_ = 0;  // guarded by mutex_; drives latency sampling
   std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_done_;

@@ -7,12 +7,21 @@
 //                   [--epochs 30] [--lr 0.1] [--strategy sa|safa|ha]
 //                   [--workers 1] [--checkpoint path] [--resume path]
 //                   [--seed 7]
+//                   [--metrics-json path] [--metrics-csv path] [--trace path]
+//                   [--metrics-every n]
 //
 // With --workers > 1 training runs on the simulated distributed runtime and
 // reports per-epoch makespans; otherwise the single-machine engine trains
 // with full backward passes and reports loss/accuracy on a 60/20/20 split.
+//
+// Observability (README.md "Observability"): --metrics-json/--metrics-csv
+// export the metric registry at exit, --trace enables span recording and
+// writes Chrome trace-event JSON (open in chrome://tracing or Perfetto), and
+// --metrics-every N re-prints the stage-breakdown table every N epochs. A
+// final stage-breakdown table is always printed.
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 #include "src/core/trainer.h"
@@ -27,6 +36,9 @@
 #include "src/models/magnn.h"
 #include "src/models/pgnn.h"
 #include "src/models/pinsage.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+#include "src/util/table_printer.h"
 
 namespace {
 
@@ -43,7 +55,55 @@ struct CliOptions {
   std::string checkpoint;
   std::string resume;
   uint64_t seed = 7;
+  std::string metrics_json;
+  std::string metrics_csv;
+  std::string trace;
+  int metrics_every = 0;
 };
+
+// Prints the per-stage breakdown (Table 4 shape) from the metric registry:
+// every stage histogram's total seconds and its share of the instrumented
+// stage time.
+void PrintStageBreakdown() {
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::Get().Snapshot();
+  struct StageRow {
+    const char* label;
+    const char* metric;
+  };
+  static constexpr StageRow kRows[] = {
+      {"NeighborSelection", "nau.neighbor_selection_seconds"},
+      {"Aggregation", "nau.aggregation_seconds"},
+      {"Update", "nau.update_seconds"},
+      {"Backward", "nau.backward_seconds"},
+      {"Optimize", "nau.optimize_seconds"},
+      {"Dist: aggregation", "dist.worker_agg_seconds"},
+      {"Dist: update", "dist.worker_update_seconds"},
+      {"Dist: comm", "dist.comm_seconds"},
+      {"Dist: merge", "dist.merge_seconds"},
+      {"Dist: serialize", "dist.serialize_seconds"},
+      {"Pipeline overlap", "pipeline.overlap_seconds"},
+  };
+  double total = 0.0;
+  for (const StageRow& row : kRows) {
+    auto it = snap.histograms.find(row.metric);
+    if (it != snap.histograms.end()) {
+      total += it->second.sum;
+    }
+  }
+  TablePrinter table({"Stage", "seconds", "share", "count", "p95"});
+  for (const StageRow& row : kRows) {
+    auto it = snap.histograms.find(row.metric);
+    if (it == snap.histograms.end() || it->second.count == 0) {
+      continue;
+    }
+    const obs::Histogram::Stats& h = it->second;
+    table.AddRow({row.label, TablePrinter::Num(h.sum, 4),
+                  TablePrinter::Num(total > 0.0 ? 100.0 * h.sum / total : 0.0, 1) + "%",
+                  std::to_string(h.count), TablePrinter::Num(h.p95, 6)});
+  }
+  std::printf("\n== stage breakdown (instrumented seconds, whole run) ==\n");
+  table.Print(std::cout);
+}
 
 bool ParseArgs(int argc, char** argv, CliOptions& opts) {
   for (int i = 1; i < argc; ++i) {
@@ -76,6 +136,14 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.resume = value;
     } else if (arg == "--seed" && (value = next())) {
       opts.seed = static_cast<uint64_t>(std::atoll(value));
+    } else if (arg == "--metrics-json" && (value = next())) {
+      opts.metrics_json = value;
+    } else if (arg == "--metrics-csv" && (value = next())) {
+      opts.metrics_csv = value;
+    } else if (arg == "--trace" && (value = next())) {
+      opts.trace = value;
+    } else if (arg == "--metrics-every" && (value = next())) {
+      opts.metrics_every = std::atoi(value);
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -183,6 +251,9 @@ int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model)
     if (epoch % 5 == 0 || epoch == opts.epochs - 1) {
       std::printf("epoch %3d  loss %.4f  val_acc %.4f\n", epoch, loss, val_acc);
     }
+    if (opts.metrics_every > 0 && (epoch + 1) % opts.metrics_every == 0) {
+      PrintStageBreakdown();
+    }
     if (!opts.checkpoint.empty()) {
       SaveCheckpoint(opts.checkpoint, model, start_epoch + epoch);
     }
@@ -212,8 +283,48 @@ int RunDistributed(const CliOptions& opts, const Dataset& ds, GnnModel& model) {
                   stats.aggregation_seconds, stats.update_seconds, stats.backward_seconds,
                   stats.comm_bytes_total / 1024.0);
     }
+    if (opts.metrics_every > 0 && (epoch + 1) % opts.metrics_every == 0) {
+      PrintStageBreakdown();
+    }
   }
   return 0;
+}
+
+// Writes the requested exports (registry JSON/CSV, Chrome trace) and prints
+// the final stage table. Called once, after the selected run mode returns.
+// Returns false if any requested export file could not be written.
+bool FinishObservability(const CliOptions& opts) {
+  PrintStageBreakdown();
+  bool ok = true;
+  if (!opts.metrics_json.empty()) {
+    if (obs::MetricRegistry::Get().WriteJsonFile(opts.metrics_json)) {
+      std::printf("metrics json written to %s\n", opts.metrics_json.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics json to %s\n",
+                   opts.metrics_json.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.metrics_csv.empty()) {
+    if (obs::MetricRegistry::Get().WriteCsvFile(opts.metrics_csv)) {
+      std::printf("metrics csv written to %s\n", opts.metrics_csv.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write metrics csv to %s\n",
+                   opts.metrics_csv.c_str());
+      ok = false;
+    }
+  }
+  if (!opts.trace.empty()) {
+    if (obs::Tracer::Get().WriteChromeTraceFile(opts.trace)) {
+      std::printf("chrome trace written to %s (open in chrome://tracing)\n",
+                  opts.trace.c_str());
+    } else {
+      std::fprintf(stderr, "error: cannot write chrome trace to %s\n",
+                   opts.trace.c_str());
+      ok = false;
+    }
+  }
+  return ok;
 }
 
 }  // namespace
@@ -224,8 +335,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: flexgraph_train [--model M] [--dataset D] [--scale S] [--epochs N]\n"
                  "                       [--lr F] [--strategy sa|safa|ha] [--workers K]\n"
-                 "                       [--checkpoint PATH] [--resume PATH] [--seed N]\n");
+                 "                       [--checkpoint PATH] [--resume PATH] [--seed N]\n"
+                 "                       [--metrics-json PATH] [--metrics-csv PATH]\n"
+                 "                       [--trace PATH] [--metrics-every N]\n");
     return 1;
+  }
+  if (!opts.trace.empty()) {
+    flexgraph::obs::Tracer::Get().Enable(true);
   }
   Dataset ds = MakeDatasetByName(opts.dataset, opts.scale, opts.seed);
   if ((opts.model == "magnn") && !ds.graph.is_heterogeneous()) {
@@ -237,6 +353,10 @@ int main(int argc, char** argv) {
               static_cast<long long>(ds.feature_dim()), ds.num_classes, opts.workers);
   flexgraph::Rng model_rng(opts.seed + 1);
   flexgraph::GnnModel model = BuildModel(opts, ds, model_rng);
-  return opts.workers > 1 ? RunDistributed(opts, ds, model)
-                          : RunSingleMachine(opts, ds, model);
+  int rc = opts.workers > 1 ? RunDistributed(opts, ds, model)
+                            : RunSingleMachine(opts, ds, model);
+  if (!FinishObservability(opts) && rc == 0) {
+    rc = 1;
+  }
+  return rc;
 }
