@@ -1,17 +1,26 @@
 #include "src/dist/checkpoint.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/tensor/serialize.h"
 #include "src/util/check.h"
+#include "src/util/crc32.h"
 
 namespace flexgraph {
 
 namespace {
 
 constexpr char kMagic[4] = {'F', 'X', 'C', 'P'};
-constexpr int64_t kVersion = 1;
+constexpr int64_t kVersion = 2;
+constexpr char kRotationPrefix[] = "ckpt-";
+constexpr char kRotationSuffix[] = ".fxcp";
 
 CheckpointInfo ReadHeader(std::istream& is) {
   char magic[4] = {};
@@ -20,7 +29,9 @@ CheckpointInfo ReadHeader(std::istream& is) {
                  "bad checkpoint magic");
   int64_t version = 0;
   is.read(reinterpret_cast<char*>(&version), sizeof(version));
-  FLEX_CHECK_EQ(version, kVersion);
+  FLEX_CHECK_MSG(is.good() && version == kVersion,
+                 "unsupported checkpoint version " + std::to_string(version) +
+                     " (expected " + std::to_string(kVersion) + ")");
 
   CheckpointInfo info;
   is.read(reinterpret_cast<char*>(&info.epoch), sizeof(info.epoch));
@@ -31,45 +42,88 @@ CheckpointInfo ReadHeader(std::istream& is) {
   is.read(info.model_name.data(), static_cast<std::streamsize>(name_len));
   uint64_t count = 0;
   is.read(reinterpret_cast<char*>(&count), sizeof(count));
+  is.read(reinterpret_cast<char*>(&info.payload_bytes), sizeof(info.payload_bytes));
+  is.read(reinterpret_cast<char*>(&info.payload_crc32), sizeof(info.payload_crc32));
   FLEX_CHECK_MSG(is.good(), "truncated checkpoint header");
   info.num_parameters = count;
+  return info;
+}
+
+// Header + full payload, with length and CRC verified. The payload is
+// returned so LoadCheckpoint can parse tensors out of validated memory.
+CheckpointInfo ReadValidated(std::istream& is, std::string* payload_out) {
+  CheckpointInfo info = ReadHeader(is);
+  FLEX_CHECK_MSG(info.payload_bytes < (1ull << 40),
+                 "implausible checkpoint payload size");
+  std::string payload(info.payload_bytes, '\0');
+  is.read(payload.data(), static_cast<std::streamsize>(payload.size()));
+  FLEX_CHECK_MSG(is.good() &&
+                     is.gcount() == static_cast<std::streamsize>(info.payload_bytes),
+                 "truncated checkpoint payload");
+  is.peek();
+  FLEX_CHECK_MSG(is.eof(), "trailing bytes after checkpoint payload");
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+  FLEX_CHECK_MSG(crc == info.payload_crc32, "checkpoint payload CRC mismatch");
+  if (payload_out != nullptr) {
+    *payload_out = std::move(payload);
+  }
   return info;
 }
 
 }  // namespace
 
 void SaveCheckpoint(const std::string& path, const GnnModel& model, int64_t epoch) {
-  std::ofstream ofs(path, std::ios::binary);
-  FLEX_CHECK_MSG(ofs.good(), "cannot open checkpoint for write: " + path);
-  ofs.write(kMagic, sizeof(kMagic));
-  ofs.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
-  ofs.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
-  const uint64_t name_len = model.name.size();
-  ofs.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
-  ofs.write(model.name.data(), static_cast<std::streamsize>(name_len));
-
+  FLEX_SCOPED_SECONDS("ckpt.save_seconds", nullptr);
+  // Serialize the payload first so its length and CRC land in the header.
+  std::ostringstream payload_stream;
   const std::vector<Variable> params = model.Parameters();
-  const uint64_t count = params.size();
-  ofs.write(reinterpret_cast<const char*>(&count), sizeof(count));
   for (const Variable& p : params) {
-    SaveTensor(p.value(), ofs);
+    SaveTensor(p.value(), payload_stream);
   }
-  FLEX_CHECK_MSG(ofs.good(), "checkpoint write failed: " + path);
+  const std::string payload = payload_stream.str();
+  const uint32_t crc = Crc32(payload.data(), payload.size());
+
+  // Atomic write: tmp file in the same directory, then rename over `path`.
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream ofs(tmp_path, std::ios::binary | std::ios::trunc);
+    FLEX_CHECK_MSG(ofs.good(), "cannot open checkpoint for write: " + tmp_path);
+    ofs.write(kMagic, sizeof(kMagic));
+    ofs.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    ofs.write(reinterpret_cast<const char*>(&epoch), sizeof(epoch));
+    const uint64_t name_len = model.name.size();
+    ofs.write(reinterpret_cast<const char*>(&name_len), sizeof(name_len));
+    ofs.write(model.name.data(), static_cast<std::streamsize>(name_len));
+    const uint64_t count = params.size();
+    ofs.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    const uint64_t payload_bytes = payload.size();
+    ofs.write(reinterpret_cast<const char*>(&payload_bytes), sizeof(payload_bytes));
+    ofs.write(reinterpret_cast<const char*>(&crc), sizeof(crc));
+    ofs.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    ofs.flush();
+    FLEX_CHECK_MSG(ofs.good(), "checkpoint write failed: " + tmp_path);
+  }
+  FLEX_CHECK_MSG(std::rename(tmp_path.c_str(), path.c_str()) == 0,
+                 "cannot rename checkpoint into place: " + path);
+  FLEX_COUNTER_ADD("ckpt.saved", 1);
 }
 
 CheckpointInfo LoadCheckpoint(const std::string& path, GnnModel& model) {
   std::ifstream ifs(path, std::ios::binary);
   FLEX_CHECK_MSG(ifs.good(), "cannot open checkpoint for read: " + path);
-  CheckpointInfo info = ReadHeader(ifs);
+  std::string payload;
+  CheckpointInfo info = ReadValidated(ifs, &payload);
 
   std::vector<Variable> params = model.Parameters();
   FLEX_CHECK_MSG(info.num_parameters == params.size(),
                  "checkpoint/model parameter count mismatch");
+  std::istringstream payload_stream(payload);
   for (Variable& p : params) {
-    Tensor loaded = LoadTensor(ifs);
+    Tensor loaded = LoadTensor(payload_stream);
     FLEX_CHECK_MSG(loaded.SameShape(p.value()), "checkpoint parameter shape mismatch");
     p.mutable_value() = std::move(loaded);
   }
+  FLEX_COUNTER_ADD("ckpt.loaded", 1);
   return info;
 }
 
@@ -77,6 +131,70 @@ CheckpointInfo PeekCheckpoint(const std::string& path) {
   std::ifstream ifs(path, std::ios::binary);
   FLEX_CHECK_MSG(ifs.good(), "cannot open checkpoint for read: " + path);
   return ReadHeader(ifs);
+}
+
+std::optional<CheckpointInfo> ValidateCheckpoint(const std::string& path) {
+  try {
+    std::ifstream ifs(path, std::ios::binary);
+    FLEX_CHECK_MSG(ifs.good(), "cannot open checkpoint for read: " + path);
+    return ReadValidated(ifs, nullptr);
+  } catch (const CheckError&) {
+    return std::nullopt;
+  }
+}
+
+std::string RotatingCheckpointPath(const std::string& dir, int64_t epoch) {
+  char name[64];
+  std::snprintf(name, sizeof(name), "%s%09lld%s", kRotationPrefix,
+                static_cast<long long>(epoch), kRotationSuffix);
+  return (std::filesystem::path(dir) / name).string();
+}
+
+namespace {
+
+// Rotation files in `dir`, sorted newest epoch first (the zero-padded name
+// encodes the epoch, so lexicographic order is epoch order).
+std::vector<std::string> ListRotationFiles(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind(kRotationPrefix, 0) == 0 &&
+        name.size() > std::strlen(kRotationSuffix) &&
+        name.compare(name.size() - std::strlen(kRotationSuffix),
+                     std::strlen(kRotationSuffix), kRotationSuffix) == 0) {
+      names.push_back(name);
+    }
+  }
+  std::sort(names.rbegin(), names.rend());
+  return names;
+}
+
+}  // namespace
+
+std::string SaveRotatingCheckpoint(const std::string& dir, const GnnModel& model,
+                                   int64_t epoch, int keep) {
+  FLEX_CHECK_GE(keep, 1);
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  const std::string path = RotatingCheckpointPath(dir, epoch);
+  SaveCheckpoint(path, model, epoch);
+  const std::vector<std::string> names = ListRotationFiles(dir);
+  for (std::size_t i = static_cast<std::size_t>(keep); i < names.size(); ++i) {
+    std::filesystem::remove(std::filesystem::path(dir) / names[i], ec);
+  }
+  return path;
+}
+
+std::string FindLatestValidCheckpoint(const std::string& dir) {
+  for (const std::string& name : ListRotationFiles(dir)) {
+    const std::string path = (std::filesystem::path(dir) / name).string();
+    if (ValidateCheckpoint(path).has_value()) {
+      return path;
+    }
+    FLEX_COUNTER_ADD("ckpt.invalid_skipped", 1);
+  }
+  return "";
 }
 
 }  // namespace flexgraph

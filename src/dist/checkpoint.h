@@ -2,14 +2,29 @@
 // parameters plus training progress, so a crashed training run resumes from
 // the last epoch boundary rather than from scratch.
 //
-// A checkpoint is a single binary file:
+// A checkpoint is a single binary file (format version 2):
 //   "FXCP" magic · version · epoch · model-name length+bytes ·
-//   parameter count · serialized tensors (in GnnModel::Parameters() order).
+//   parameter count · payload byte count · CRC-32 of the payload ·
+//   payload (serialized tensors in GnnModel::Parameters() order).
+//
+// Durability guarantees:
+//   * Atomic writes — the file is written to `<path>.tmp` and renamed into
+//     place, so readers never observe a partially written checkpoint and a
+//     crash mid-save leaves any previous checkpoint intact.
+//   * Validated reads — magic, version, header sanity, exact payload length,
+//     and the CRC-32 are all checked before any tensor is parsed; truncation
+//     or bit rot raises CheckError instead of loading garbage.
+//   * Rotation — SaveRotatingCheckpoint keeps the newest `keep` epoch-stamped
+//     files in a directory and FindLatestValidCheckpoint picks the newest one
+//     that still validates, falling back to older files on corruption.
+//
 // Restore requires a model with the same architecture (parameter shapes are
 // verified one by one).
 #ifndef SRC_DIST_CHECKPOINT_H_
 #define SRC_DIST_CHECKPOINT_H_
 
+#include <cstdint>
+#include <optional>
 #include <string>
 
 #include "src/core/nau.h"
@@ -20,16 +35,37 @@ struct CheckpointInfo {
   std::string model_name;
   int64_t epoch = 0;
   std::size_t num_parameters = 0;
+  uint64_t payload_bytes = 0;
+  uint32_t payload_crc32 = 0;
 };
 
-// Writes parameters + metadata; overwrites any existing file at `path`.
+// Writes parameters + metadata atomically (tmp file + rename); replaces any
+// existing file at `path`.
 void SaveCheckpoint(const std::string& path, const GnnModel& model, int64_t epoch);
 
 // Restores parameters into `model` (shapes must match) and returns metadata.
+// Throws CheckError on missing/truncated/corrupted files.
 CheckpointInfo LoadCheckpoint(const std::string& path, GnnModel& model);
 
-// Reads only the metadata (cheap; used to pick the latest resumable epoch).
+// Reads only the header metadata (cheap; does not verify the payload CRC).
 CheckpointInfo PeekCheckpoint(const std::string& path);
+
+// Full structural validation — header, exact payload length, CRC-32 — without
+// needing a model. Returns nullopt instead of throwing on any defect.
+std::optional<CheckpointInfo> ValidateCheckpoint(const std::string& path);
+
+// dir/ckpt-<epoch, zero-padded>.fxcp — the rotation naming scheme.
+std::string RotatingCheckpointPath(const std::string& dir, int64_t epoch);
+
+// Saves an epoch-stamped checkpoint into `dir` (created if absent) and prunes
+// the oldest rotation files beyond `keep`. Returns the path written.
+std::string SaveRotatingCheckpoint(const std::string& dir, const GnnModel& model,
+                                   int64_t epoch, int keep = 3);
+
+// Newest rotation file in `dir` that passes ValidateCheckpoint; corrupted
+// files are skipped (counted in the `ckpt.invalid_skipped` metric) and older
+// epochs are tried. Empty string when no valid checkpoint exists.
+std::string FindLatestValidCheckpoint(const std::string& dir);
 
 }  // namespace flexgraph
 

@@ -1,12 +1,15 @@
 #include "src/dist/dist_trainer.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "src/core/neighbor_selection.h"
+#include "src/dist/checkpoint.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/ops_dense.h"
 #include "src/util/check.h"
+#include "src/util/logging.h"
 #include "src/util/timer.h"
 
 namespace flexgraph {
@@ -25,6 +28,72 @@ DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
                                                     const Tensor& features,
                                                     const std::vector<uint32_t>& labels,
                                                     Rng& rng) {
+  const int64_t epoch = epoch_index_++;
+  std::optional<CrashPlan> crash =
+      config_.fault != nullptr ? config_.fault->NextCrash(epoch) : std::nullopt;
+
+  DistTrainEpochResult result;
+  if (!crash.has_value()) {
+    result = ExecuteEpoch(model, features, labels, rng, epoch);
+  } else {
+    FLEX_TRACE_SPAN("dist.train_recovery", {{"epoch", static_cast<double>(epoch)},
+                                            {"worker", static_cast<double>(crash->worker)}});
+    // Epoch-boundary snapshot: parameters + RNG state. This is the in-memory
+    // equivalent of the epoch-boundary checkpoint — rollback restores both so
+    // the re-executed epoch consumes the exact random stream and parameter
+    // state the fault-free run would have.
+    std::vector<Variable> params = model.Parameters();
+    std::vector<Tensor> boundary_values;
+    boundary_values.reserve(params.size());
+    for (const Variable& p : params) {
+      boundary_values.push_back(p.value());
+    }
+    const Rng boundary_rng = rng;
+
+    FLEX_LOG(Info) << "injected crash: worker " << crash->worker
+                   << " dies during training epoch " << epoch;
+    DistTrainEpochResult lost = ExecuteEpoch(model, features, labels, rng, epoch);
+
+    // Rollback to the boundary and re-execute on the restarted worker. The
+    // restart rebuilds HDG state, so the engine cache is dropped too.
+    for (std::size_t i = 0; i < params.size(); ++i) {
+      params[i].mutable_value() = boundary_values[i];
+    }
+    rng = boundary_rng;
+    engine_.InvalidateHdgCache();
+
+    result = ExecuteEpoch(model, features, labels, rng, epoch);
+    const double detection = config_.retry.DetectionSeconds();
+    result.recovery_seconds =
+        lost.compute_seconds + lost.allreduce_seconds + detection;
+    result.compute_seconds += result.recovery_seconds;
+    result.crashes_recovered = 1;
+    FLEX_COUNTER_ADD("dist.train_recoveries", 1);
+    FLEX_HIST_OBSERVE("fault.recovery_seconds", result.recovery_seconds);
+    FLEX_LOG(Info) << "recovery: rolled epoch " << epoch
+                   << " back to the boundary and re-executed ("
+                   << result.recovery_seconds << "s recovery time)";
+  }
+
+  // Rotating epoch-boundary checkpoint after the epoch commits. A scheduled
+  // truncation corrupts the file afterwards (disk rot — the atomic write
+  // itself cannot tear), which FindLatestValidCheckpoint detects and skips.
+  if (!config_.checkpoint_dir.empty() && config_.checkpoint_every > 0 &&
+      (epoch + 1) % config_.checkpoint_every == 0) {
+    const std::string path = SaveRotatingCheckpoint(config_.checkpoint_dir, model, epoch,
+                                                    config_.checkpoint_keep);
+    if (config_.fault != nullptr && config_.fault->CheckpointTruncationAt(epoch)) {
+      FaultInjector::TruncateFileTail(path);
+      FLEX_LOG(Warning) << "injected corruption: truncated checkpoint " << path;
+    }
+  }
+  return result;
+}
+
+DistTrainEpochResult DistributedTrainer::ExecuteEpoch(const GnnModel& model,
+                                                      const Tensor& features,
+                                                      const std::vector<uint32_t>& labels,
+                                                      Rng& rng, int64_t epoch) {
   DistTrainEpochResult result;
   FLEX_TRACE_SPAN("dist.train_epoch", {{"workers", static_cast<double>(parts_.num_parts)}});
   FLEX_COUNTER_ADD("dist.train_epochs", 1);
@@ -57,14 +126,20 @@ DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
   SgdOptimizer::ZeroGrad(params);
 
   // Timing: the epoch's compute parallelizes across workers; the straggler
-  // carries proportionally more roots than average.
+  // carries proportionally more roots than average — and an injected
+  // straggler fault multiplies its victim's compute on top of that.
   const double total_seconds = timer.ElapsedSeconds();
-  std::size_t max_roots = 0;
-  for (const auto& roots : worker_roots_) {
-    max_roots = std::max(max_roots, roots.size());
-  }
   const double avg_roots = n / parts_.num_parts;
-  const double straggler = avg_roots > 0 ? static_cast<double>(max_roots) / avg_roots : 1.0;
+  double straggler = 1.0;
+  for (uint32_t w = 0; w < parts_.num_parts; ++w) {
+    double relative = avg_roots > 0
+                          ? static_cast<double>(worker_roots_[w].size()) / avg_roots
+                          : 1.0;
+    if (config_.fault != nullptr && !worker_roots_[w].empty()) {
+      relative *= config_.fault->StragglerFactor(epoch, w);
+    }
+    straggler = std::max(straggler, relative);
+  }
   result.compute_seconds = total_seconds / parts_.num_parts * straggler;
 
   // Ring allreduce of the averaged gradients.
@@ -77,6 +152,19 @@ DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
     result.allreduce_bytes = 2 * param_bytes * (k - 1) / k;
     result.allreduce_seconds =
         config_.network.TransferSeconds(result.allreduce_bytes, 2 * (k - 1));
+    // Failed allreduce steps retransmit with timeout + backoff, like any
+    // other modeled transfer.
+    if (config_.fault != nullptr) {
+      int failures = 0;
+      for (uint32_t w = 0; w < k; ++w) {
+        failures += config_.fault->TransferFailures(epoch, kAnyLayer, w);
+      }
+      if (failures > 0) {
+        const double penalty = config_.retry.PenaltySeconds(failures);
+        result.allreduce_seconds += penalty;
+        FLEX_HIST_OBSERVE("fault.retry_wait_seconds", penalty);
+      }
+    }
   }
   FLEX_COUNTER_ADD("dist.allreduce_bytes", static_cast<int64_t>(result.allreduce_bytes));
   FLEX_HIST_OBSERVE("dist.train_compute_seconds", result.compute_seconds);

@@ -13,13 +13,25 @@
 // The result is *exactly* equivalent to single-machine training on the union
 // loss: Σ_w L_w(θ) / k with identical replicas is the same objective, and the
 // tests assert the loss trajectory matches the single-machine engine's.
+//
+// Fault tolerance: every epoch is a transaction against the last epoch
+// boundary. With a fault schedule configured, a worker crash rolls the model
+// parameters *and the RNG* back to the boundary (the in-memory equivalent of
+// loading the epoch-boundary checkpoint) and re-executes the epoch on a
+// restarted worker, so the loss trajectory is bit-identical to a fault-free
+// run — recovery changes the timeline, never the math. Optional rotating file
+// checkpoints (checkpoint_dir/checkpoint_every) persist the same boundaries
+// for cross-process resume via FindLatestValidCheckpoint.
 #ifndef SRC_DIST_DIST_TRAINER_H_
 #define SRC_DIST_DIST_TRAINER_H_
 
+#include <string>
 #include <vector>
 
 #include "src/core/trainer.h"
 #include "src/dist/network_model.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/retry.h"
 #include "src/partition/partition.h"
 
 namespace flexgraph {
@@ -27,6 +39,17 @@ namespace flexgraph {
 struct DistTrainConfig {
   float learning_rate = 0.1f;
   NetworkModel network;
+  // Deterministic fault schedule (not owned; nullptr = fault-free).
+  FaultInjector* fault = nullptr;
+  RetryPolicy retry;
+  // Non-empty enables rotating epoch-boundary checkpoints under this
+  // directory, written every `checkpoint_every` epochs (hardened format:
+  // atomic rename + CRC). A kCheckpointTruncate fault corrupts the file
+  // *after* the atomic write, modeling disk rot; FindLatestValidCheckpoint
+  // skips such files at resume time.
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int checkpoint_keep = 3;
 };
 
 struct DistTrainEpochResult {
@@ -34,6 +57,10 @@ struct DistTrainEpochResult {
   double compute_seconds = 0.0;  // makespan of the per-worker train step
   double allreduce_seconds = 0.0;
   uint64_t allreduce_bytes = 0;
+  // Fault handling (zero on fault-free epochs): time added by rollback +
+  // re-execution, already included in compute_seconds.
+  double recovery_seconds = 0.0;
+  int64_t crashes_recovered = 0;
 };
 
 class DistributedTrainer {
@@ -44,16 +71,24 @@ class DistributedTrainer {
 
   // One synchronous data-parallel epoch: per-worker forward + backward on the
   // worker's root share, gradient averaging, one SGD step on the (shared)
-  // parameters.
+  // parameters. Crash faults trigger rollback-to-boundary + re-execution
+  // inside this call (header comment).
   DistTrainEpochResult TrainEpoch(const GnnModel& model, const Tensor& features,
                                   const std::vector<uint32_t>& labels, Rng& rng);
 
  private:
+  // The epoch transaction body; called once normally, twice when this epoch's
+  // first attempt is killed by an injected crash.
+  DistTrainEpochResult ExecuteEpoch(const GnnModel& model, const Tensor& features,
+                                    const std::vector<uint32_t>& labels, Rng& rng,
+                                    int64_t epoch);
+
   const CsrGraph& graph_;
   Partitioning parts_;
   DistTrainConfig config_;
   Engine engine_;  // owns the HDG cache across epochs
   std::vector<std::vector<uint32_t>> worker_roots_;
+  int64_t epoch_index_ = 0;  // epochs started, for fault-schedule lookup
 };
 
 }  // namespace flexgraph

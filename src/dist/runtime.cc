@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 #include <string>
 
+#include "src/fault/recovery.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/util/check.h"
@@ -98,9 +100,72 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
 
 DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor& features,
                                             Rng& rng, Tensor* logits_out) {
+  const int64_t epoch = epoch_index_++;
+  FLEX_COUNTER_ADD("dist.epochs", 1);
+  std::optional<CrashPlan> crash =
+      config_.fault != nullptr ? config_.fault->NextCrash(epoch) : std::nullopt;
+  if (!crash.has_value()) {
+    return ExecuteEpoch(model, features, rng, logits_out, epoch, /*stop_after_layer=*/-1);
+  }
+
+  FLEX_TRACE_SPAN("dist.crash_recovery",
+                  {{"epoch", static_cast<double>(epoch)},
+                   {"worker", static_cast<double>(crash->worker)},
+                   {"layer", static_cast<double>(crash->layer)}});
+  // Crash recovery is a rollback to the epoch boundary; restoring the RNG
+  // alongside keeps the re-execution on the exact random stream the
+  // fault-free run would have consumed.
+  const Rng rng_at_boundary = rng;
+
+  // Attempt: the cluster executes up to and including the crash layer, then
+  // worker `crash->worker` dies and everything computed this epoch is lost.
+  FLEX_LOG(Info) << "injected crash: worker " << crash->worker << " dies at epoch "
+                 << epoch << ", layer " << crash->layer;
+  DistEpochStats lost =
+      ExecuteEpoch(model, features, rng, nullptr, epoch, crash->layer);
+
+  // Recovery: detect the dead worker, migrate its roots onto the survivors,
+  // and re-execute the epoch from the boundary. The survivors' HDG/comm-plan
+  // rebuild happens inside the re-execution (the invalidated cache forces a
+  // Prepare) and lands in neighbor_selection_seconds, per the fault model.
+  const double detection = config_.retry.DetectionSeconds();
+  MigrationResult migration = MigrateRoots(parts_, crash->worker);
+  InvalidateCache();
+  rng = rng_at_boundary;
+  FLEX_LOG(Info) << "recovery: migrated " << migration.migrated.size()
+                 << " roots off worker " << crash->worker << ", re-executing epoch "
+                 << epoch;
+  DistEpochStats stats =
+      ExecuteEpoch(model, features, rng, logits_out, epoch, /*stop_after_layer=*/-1);
+
+  obs::Tracer::Get().EmitModeled(ComputeTrack(crash->worker),
+                                 ComputeTrackName(crash->worker), "fault.crash_detect",
+                                 obs::Tracer::Get().NowSeconds() - detection, detection,
+                                 {{"epoch", static_cast<double>(epoch)}});
+
+  stats.lost_work_seconds = lost.makespan_seconds;
+  stats.detection_seconds = detection;
+  stats.recovery_seconds =
+      lost.makespan_seconds + detection + stats.neighbor_selection_seconds;
+  stats.crashes_recovered = 1;
+  stats.roots_migrated = static_cast<int64_t>(migration.migrated.size());
+  stats.makespan_seconds += lost.makespan_seconds + detection;
+  // Traffic and retries spent on the doomed attempt still happened.
+  stats.comm_bytes_total += lost.comm_bytes_total;
+  stats.retry_wait_seconds += lost.retry_wait_seconds;
+  stats.transfer_retries += lost.transfer_retries;
+  FLEX_HIST_OBSERVE("fault.recovery_seconds", stats.recovery_seconds);
+  FLEX_HIST_OBSERVE("fault.lost_work_seconds", stats.lost_work_seconds);
+  FLEX_HIST_OBSERVE("fault.detection_seconds", stats.detection_seconds);
+  return stats;
+}
+
+DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
+                                                const Tensor& features, Rng& rng,
+                                                Tensor* logits_out, int64_t epoch,
+                                                int stop_after_layer) {
   DistEpochStats stats;
   stats.per_worker_aggregation_seconds.assign(parts_.num_parts, 0.0);
-  FLEX_COUNTER_ADD("dist.epochs", 1);
 
   obs::Tracer& tracer = obs::Tracer::Get();
   // Modeled per-worker timelines are anchored at the epoch's start on the
@@ -213,6 +278,24 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       }
     }
 
+    // Straggler injection: a slow machine's compute runs `factor`× longer.
+    // Applied after rate pooling so the slowdown models a degraded host, not
+    // a measurement artifact. Timeline only — the physical results above are
+    // already in h_next.
+    if (config_.fault != nullptr) {
+      for (const auto& worker : workers_) {
+        if (worker.roots.empty()) {
+          continue;
+        }
+        const double factor = config_.fault->StragglerFactor(epoch, worker.id);
+        if (factor > 1.0) {
+          times[worker.id].bottom *= factor;
+          times[worker.id].rest_agg *= factor;
+          times[worker.id].update *= factor;
+        }
+      }
+    }
+
     // Combine measured compute with the modeled network into the layer
     // timeline (header comment of runtime.h); lay the selected timeline out
     // on each worker's modeled trace tracks as it is computed.
@@ -239,6 +322,22 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       const std::string cname = ComputeTrackName(worker.id);
       const std::string nname = NetworkTrackName(worker.id);
 
+      // Dropped/corrupted inbound transfers charge retransmission penalties
+      // (timeout + exponential backoff per failed attempt) onto the wire
+      // time; both timeline views price the same fault. Workers with no
+      // inbound transfer can't lose one.
+      double retry_penalty = 0.0;
+      if (config_.fault != nullptr && (plan.raw_senders > 0 || plan.pp_senders > 0)) {
+        const int failures =
+            config_.fault->TransferFailures(epoch, static_cast<int>(li), worker.id);
+        if (failures > 0) {
+          retry_penalty = config_.retry.PenaltySeconds(failures);
+          stats.transfer_retries += failures;
+          stats.retry_wait_seconds += retry_penalty;
+          FLEX_HIST_OBSERVE("fault.retry_wait_seconds", retry_penalty);
+        }
+      }
+
       // Pipelined timeline — adaptive (paper §5): partial aggregation when
       // the assembled (partial-sum) messages are smaller than raw dedup'd
       // rows, otherwise batched raw messages. Either way all sender/receiver
@@ -255,7 +354,8 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
         const double partial_compute =
             row_rate * static_cast<double>(out_refs_[worker.id] + plan.local_leaf_refs);
         const double comm =
-            config_.network.TransferSeconds(plan.PipelinedBytesIn(d), plan.pp_senders);
+            config_.network.TransferSeconds(plan.PipelinedBytesIn(d), plan.pp_senders) +
+            retry_penalty;
         const double merge = row_rate * static_cast<double>(plan.partial_rows_in);
         agg_pp = std::max(partial_compute, comm) + merge + t.rest_agg;
         pp_bytes = static_cast<double>(plan.PipelinedBytesIn(d));
@@ -278,7 +378,8 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
         const double overlap_compute =
             row_rate * static_cast<double>(raw_out_rows_[worker.id] + plan.local_leaf_refs);
         const double comm =
-            config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders);
+            config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders) +
+            retry_penalty;
         const double remote_reduce = row_rate * static_cast<double>(plan.remote_leaf_refs);
         agg_pp = std::max(overlap_compute, comm) + remote_reduce + t.rest_agg;
         pp_bytes = static_cast<double>(plan.RawBytesIn(d));
@@ -304,7 +405,8 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
       // the inbound rows, then run the full bottom reduce — fully serial.
       const double serialize_out = row_rate * static_cast<double>(raw_out_rows_[worker.id]);
       const double raw_comm =
-          config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders);
+          config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders) +
+          retry_penalty;
       const double agg_raw = serialize_out + raw_comm + t.bottom + t.rest_agg;
       if (!config_.pipeline) {
         tracer.EmitModeled(ct, cname, "comm.serialize_out", t0, serialize_out,
@@ -372,9 +474,16 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
     compute_for_backward += max_worker_compute;
 
     h = std::move(h_next);
+
+    if (stop_after_layer >= 0 && static_cast<int>(li) >= stop_after_layer) {
+      // Crash attempt: the victim dies in this layer, so later layers (and
+      // the modeled backward) never run. Any rebuild time already spent this
+      // epoch still counts toward the lost makespan below.
+      break;
+    }
   }
 
-  if (config_.backward_compute_factor > 0.0) {
+  if (config_.backward_compute_factor > 0.0 && stop_after_layer < 0) {
     // Backward retraces the forward kernels (scatter backward ≈ gather) plus
     // a ring allreduce of the parameter gradients.
     stats.backward_seconds = config_.backward_compute_factor * compute_for_backward;

@@ -18,6 +18,11 @@
 // partial messages are in flight (the max term), then merges. Computed vertex
 // features are bit-identical to single-machine execution — the tests assert
 // this — only the *timeline* differs between modes.
+//
+// Fault tolerance: with DistConfig::fault set, deterministic fault events
+// (worker crashes, transfer drops/corruption, stragglers) are injected into
+// the epoch and priced by the recovery protocol — see RunEpoch and
+// DESIGN.md §10 "Fault tolerance & recovery".
 #ifndef SRC_DIST_RUNTIME_H_
 #define SRC_DIST_RUNTIME_H_
 
@@ -26,6 +31,8 @@
 #include "src/core/engine.h"
 #include "src/dist/comm_plan.h"
 #include "src/dist/network_model.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/retry.h"
 #include "src/partition/partition.h"
 
 namespace flexgraph {
@@ -44,6 +51,13 @@ struct DistConfig {
   // measured on one time-shared host core is a simulation artifact, not a
   // property of the system. Disable to use raw per-worker wall times.
   bool uniform_compute_rates = true;
+  // Deterministic fault schedule queried during RunEpoch (not owned; may be
+  // nullptr = fault-free). Faults change the modeled timeline and trigger the
+  // recovery protocol, never the computed features — see the fault fields of
+  // DistEpochStats and src/fault/.
+  FaultInjector* fault = nullptr;
+  // Prices failed modeled transfers and crash detection (src/fault/retry.h).
+  RetryPolicy retry;
 };
 
 struct WorkerState {
@@ -76,6 +90,18 @@ struct DistEpochStats {
   double pipeline_overlap_seconds = 0.0;
   // Σ over layers of each worker's aggregation-stage time (for balance plots).
   std::vector<double> per_worker_aggregation_seconds;
+  // ---- Fault handling (all zero on a fault-free epoch) ----
+  // Total timeline added by the recovery protocol: lost work + detection +
+  // the post-migration HDG/comm-plan rebuild. Included in makespan_seconds.
+  double recovery_seconds = 0.0;
+  double lost_work_seconds = 0.0;   // partial-epoch work discarded at the crash
+  double detection_seconds = 0.0;   // heartbeat timeout + backoff before recovery
+  // Σ over workers of modeled retransmission penalties (timeout + backoff per
+  // failed transfer). The makespan impact flows through comm_seconds.
+  double retry_wait_seconds = 0.0;
+  int64_t transfer_retries = 0;     // failed delivery attempts recovered by resend
+  int64_t crashes_recovered = 0;
+  int64_t roots_migrated = 0;       // vertices re-owned by the elastic re-partition
 };
 
 class DistributedRuntime {
@@ -93,12 +119,30 @@ class DistributedRuntime {
   // One simulated epoch. Vertex features produced are identical to single-
   // machine execution; logits_out (optional) receives the final layer output
   // for all vertices.
+  //
+  // With a fault schedule configured (DistConfig::fault), a worker crash
+  // triggers the recovery protocol inside this call: the partial epoch up to
+  // the crash layer is charged as lost work, crash detection costs one
+  // heartbeat timeout + backoff, the dead worker's roots migrate onto the
+  // survivors (elastic re-partition), the survivors rebuild HDGs and comm
+  // plans (accounted as NeighborSelection makespan), and the epoch re-runs to
+  // completion. Message drop/corruption events price retransmissions into the
+  // comm makespan; stragglers scale the victim's compute times. None of this
+  // changes the produced features — recovery alters the timeline, never the
+  // math (tests assert bit-identical logits vs. a fault-free run for
+  // deterministic neighbor selection).
   DistEpochStats RunEpoch(const GnnModel& model, const Tensor& features, Rng& rng,
                           Tensor* logits_out = nullptr);
 
   void InvalidateCache() { prepared_ = false; }
 
  private:
+  // The epoch body: physically executes every worker's share (optionally
+  // stopping after `stop_after_layer` — the crash attempt) and lays out the
+  // modeled timeline. `epoch` indexes the fault schedule.
+  DistEpochStats ExecuteEpoch(const GnnModel& model, const Tensor& features, Rng& rng,
+                              Tensor* logits_out, int64_t epoch, int stop_after_layer);
+
   const CsrGraph& graph_;
   Partitioning parts_;
   DistConfig config_;
@@ -106,6 +150,7 @@ class DistributedRuntime {
   std::vector<uint64_t> out_refs_;       // rows worker w pre-reduces for others (PP)
   std::vector<uint64_t> raw_out_rows_;   // distinct rows worker w serializes (raw)
   bool prepared_ = false;
+  int64_t epoch_index_ = 0;              // epochs started, for fault-schedule lookup
 };
 
 }  // namespace flexgraph

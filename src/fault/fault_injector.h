@@ -1,0 +1,126 @@
+// Deterministic fault injection for the simulated distributed runtime.
+//
+// A FaultInjector holds an explicit schedule of fault events — worker crashes
+// at a chosen epoch/layer, dropped or corrupted modeled transfers, straggler
+// slowdown factors, checkpoint-file truncation — and the runtime/trainer query
+// it at well-defined points. Queries are deterministic: the same schedule (or
+// the same seed, for randomly generated schedules) always produces the same
+// fault sequence, so a faulty run is exactly reproducible and the tests can
+// assert that recovery restores bit-identical results.
+//
+// Consumption semantics per kind:
+//   * kWorkerCrash, kMessageDrop, kMessageCorrupt, kCheckpointTruncate fire
+//     at most once (one-shot): after a crash is recovered the re-executed
+//     epoch does not crash again, and a dropped transfer is re-sent cleanly.
+//   * kStraggler is persistent for its epoch — a slow machine stays slow for
+//     every layer of that epoch, including a post-recovery re-execution.
+//
+// Every fired event increments a `fault.*` counter in the MetricRegistry and
+// is appended to fired() so tests can assert the exact schedule replayed.
+#ifndef SRC_FAULT_FAULT_INJECTOR_H_
+#define SRC_FAULT_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace flexgraph {
+
+enum class FaultKind {
+  kWorkerCrash,
+  kMessageDrop,
+  kMessageCorrupt,
+  kStraggler,
+  kCheckpointTruncate,
+};
+
+// Wildcards for the matching fields of message-fault events.
+inline constexpr uint32_t kAnyWorker = UINT32_MAX;
+inline constexpr int kAnyLayer = -1;
+
+struct FaultEvent {
+  FaultKind kind = FaultKind::kWorkerCrash;
+  int64_t epoch = 0;
+  uint32_t worker = 0;  // crash/straggler victim; messages: receiving worker
+  int layer = 0;        // crash: layer the worker dies in; messages: affected layer
+  int failures = 1;     // messages: failed delivery attempts before success
+  double factor = 1.0;  // straggler compute-slowdown multiplier (>= 1)
+};
+
+// The crash the runtime must recover from this epoch.
+struct CrashPlan {
+  uint32_t worker = 0;
+  int layer = 0;
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed = 0) : rng_(seed) {}
+
+  // Schedule builders (chainable).
+  FaultInjector& ScheduleCrash(int64_t epoch, uint32_t worker, int layer = 0);
+  FaultInjector& ScheduleMessageDrop(int64_t epoch, int layer, uint32_t dst_worker,
+                                     int failures = 1);
+  FaultInjector& ScheduleMessageCorruption(int64_t epoch, int layer, uint32_t dst_worker,
+                                           int failures = 1);
+  FaultInjector& ScheduleStraggler(int64_t epoch, uint32_t worker, double factor);
+  FaultInjector& ScheduleCheckpointTruncation(int64_t epoch);
+
+  // Generates `count` message drop/corruption events uniformly over
+  // epochs × layers × workers from the injector's seed. Same seed, same
+  // schedule — the deterministic "random chaos" mode.
+  FaultInjector& ScheduleRandomMessageFaults(int count, int64_t num_epochs, int num_layers,
+                                             uint32_t num_workers);
+
+  // ---- Queries (called by the runtime/trainer at injection points) ----
+
+  // First unconsumed crash scheduled for `epoch`, if any. Consumes it.
+  std::optional<CrashPlan> NextCrash(int64_t epoch);
+
+  // Total failed delivery attempts charged to the transfer arriving at
+  // `dst_worker` in (epoch, layer). Sums drop + corruption events (corruption
+  // is detected by the receiver's checksum, so both cost a retransmission).
+  // Consumes the matched events.
+  int TransferFailures(int64_t epoch, int layer, uint32_t dst_worker);
+
+  // Combined compute-slowdown factor for `worker` during `epoch` (1.0 = no
+  // straggler). Persistent: does not consume the event.
+  double StragglerFactor(int64_t epoch, uint32_t worker);
+
+  // True when the checkpoint written at `epoch` should be truncated
+  // (torn-write / disk-corruption model). Consumes the event.
+  bool CheckpointTruncationAt(int64_t epoch);
+
+  // ---- Introspection ----
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+  const std::vector<FaultEvent>& fired() const { return fired_; }
+  int64_t fired_count(FaultKind kind) const;
+  Rng& rng() { return rng_; }
+
+  // Truncates the tail of `path` to keep_fraction of its size — the physical
+  // effect of a kCheckpointTruncate event. Returns the number of bytes
+  // removed (0 when the file does not exist).
+  static uint64_t TruncateFileTail(const std::string& path, double keep_fraction = 0.5);
+
+ private:
+  struct Slot {
+    FaultEvent event;
+    bool consumed = false;
+    bool reported = false;  // stragglers: fired() records them once
+  };
+
+  FaultInjector& Add(const FaultEvent& event);
+  void RecordFired(Slot& slot);
+
+  std::vector<Slot> slots_;
+  std::vector<FaultEvent> schedule_;
+  std::vector<FaultEvent> fired_;
+  Rng rng_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,32 @@
+#include "src/fault/retry.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace flexgraph {
+
+double RetryPolicy::BackoffSeconds(int attempt) const {
+  FLEX_CHECK_GE(attempt, 0);
+  double backoff = base_backoff_seconds;
+  for (int i = 0; i < attempt; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_seconds) {
+      return max_backoff_seconds;
+    }
+  }
+  return std::min(backoff, max_backoff_seconds);
+}
+
+double RetryPolicy::PenaltySeconds(int failures) const {
+  FLEX_CHECK_GE(failures, 0);
+  FLEX_CHECK_MSG(failures < max_attempts,
+                 "transfer failed on every allowed attempt — unrecoverable");
+  double penalty = 0.0;
+  for (int i = 0; i < failures; ++i) {
+    penalty += timeout_seconds + BackoffSeconds(i);
+  }
+  return penalty;
+}
+
+}  // namespace flexgraph

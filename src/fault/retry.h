@@ -1,0 +1,40 @@
+// Retry/backoff arithmetic for modeled transfers and crash detection.
+//
+// The simulated network never actually loses data — a fault event marks a
+// transfer as failed, and the RetryPolicy prices what a real runtime would
+// pay for it: each failed attempt burns the receive timeout, then the sender
+// waits an exponentially growing backoff before retransmitting. The total
+// penalty is charged to the epoch makespan (the successful transfer itself is
+// already part of the modeled comm time). Crash detection is priced the same
+// way: one missed-heartbeat timeout plus the first backoff before the
+// coordinator starts recovery.
+#ifndef SRC_FAULT_RETRY_H_
+#define SRC_FAULT_RETRY_H_
+
+namespace flexgraph {
+
+struct RetryPolicy {
+  int max_attempts = 5;                 // total delivery attempts allowed
+  double timeout_seconds = 0.05;        // receive/heartbeat timeout per failed attempt
+  double base_backoff_seconds = 0.01;   // wait before the first retransmit
+  double backoff_multiplier = 2.0;      // exponential growth per retry
+  double max_backoff_seconds = 1.0;     // backoff cap
+
+  // Backoff slept before retry number `attempt` (0-based):
+  // min(base * multiplier^attempt, max).
+  double BackoffSeconds(int attempt) const;
+
+  // Modeled wall-clock cost of `failures` failed attempts before the
+  // eventual success: sum of (timeout + backoff(i)) for i in [0, failures).
+  // Throws CheckError when failures leaves no attempt for the success —
+  // the modeled runtime's unrecoverable-transfer condition.
+  double PenaltySeconds(int failures) const;
+
+  // Time for the cluster to notice a dead worker and begin recovery: one
+  // missed heartbeat plus the initial backoff.
+  double DetectionSeconds() const { return timeout_seconds + BackoffSeconds(0); }
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_FAULT_RETRY_H_

@@ -1,12 +1,42 @@
 #include "src/graph/edge_list_io.h"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <optional>
 #include <sstream>
 
 #include "src/util/check.h"
 
 namespace flexgraph {
+
+namespace {
+
+// Signed extraction so "-3" is caught as a range error instead of silently
+// wrapping into a huge unsigned value (istream >> uint64_t accepts a minus
+// sign and negates). Also rejects trailing junk after the last field.
+int64_t ReadField(std::istringstream& ss, const std::string& line, const char* what) {
+  int64_t value = 0;
+  ss >> value;
+  FLEX_CHECK_MSG(!ss.fail(), std::string("bad ") + what + ": " + line);
+  FLEX_CHECK_MSG(value >= 0, std::string(what) + " is negative: " + line);
+  return value;
+}
+
+void CheckNoTrailingJunk(std::istringstream& ss, const std::string& line) {
+  std::string rest;
+  ss >> rest;
+  FLEX_CHECK_MSG(rest.empty(), "trailing junk on edge-list line: " + line);
+}
+
+int64_t CheckVertexId(int64_t v, uint64_t num_vertices, const std::string& line) {
+  FLEX_CHECK_MSG(static_cast<uint64_t>(v) < num_vertices,
+                 "vertex id out of range [0, " + std::to_string(num_vertices) +
+                     "): " + line);
+  return v;
+}
+
+}  // namespace
 
 void SaveEdgeList(const CsrGraph& g, std::ostream& os) {
   os << "# flexgraph-graph v1\n";
@@ -33,7 +63,7 @@ CsrGraph LoadEdgeList(std::istream& is) {
   std::string line;
   uint64_t num_vertices = 0;
   uint64_t num_edges = 0;
-  int num_types = 1;
+  int64_t num_types = 1;
   std::optional<GraphBuilder> builder;
 
   while (std::getline(is, line)) {
@@ -42,25 +72,37 @@ CsrGraph LoadEdgeList(std::istream& is) {
     }
     std::istringstream ss(line);
     if (!builder.has_value()) {
-      ss >> num_vertices >> num_edges >> num_types;
-      FLEX_CHECK_MSG(!ss.fail(), "bad edge-list header: " + line);
-      builder.emplace(static_cast<VertexId>(num_vertices), num_types);
+      const int64_t nv = ReadField(ss, line, "edge-list header");
+      num_edges = static_cast<uint64_t>(ReadField(ss, line, "edge-list header"));
+      num_types = ReadField(ss, line, "edge-list header");
+      CheckNoTrailingJunk(ss, line);
+      FLEX_CHECK_MSG(static_cast<uint64_t>(nv) <=
+                         static_cast<uint64_t>(std::numeric_limits<VertexId>::max()),
+                     "num_vertices exceeds VertexId range: " + line);
+      FLEX_CHECK_MSG(num_types >= 1 &&
+                         num_types <= std::numeric_limits<VertexType>::max(),
+                     "num_vertex_types out of range [1, 255]: " + line);
+      num_vertices = static_cast<uint64_t>(nv);
+      builder.emplace(static_cast<VertexId>(num_vertices), static_cast<int>(num_types));
       continue;
     }
     char tag = 0;
     ss >> tag;
     if (tag == 't') {
-      uint64_t v = 0;
-      int type = 0;
-      ss >> v >> type;
-      FLEX_CHECK_MSG(!ss.fail(), "bad type line: " + line);
+      const int64_t v = CheckVertexId(ReadField(ss, line, "type line"), num_vertices, line);
+      const int64_t type = ReadField(ss, line, "type line");
+      CheckNoTrailingJunk(ss, line);
+      FLEX_CHECK_MSG(type < num_types,
+                     "vertex type out of range [0, " + std::to_string(num_types) +
+                         "): " + line);
       builder->SetVertexType(static_cast<VertexId>(v), static_cast<VertexType>(type));
     } else if (tag == 'e') {
-      uint64_t s = 0;
-      uint64_t d = 0;
-      ss >> s >> d;
-      FLEX_CHECK_MSG(!ss.fail(), "bad edge line: " + line);
+      const int64_t s = CheckVertexId(ReadField(ss, line, "edge line"), num_vertices, line);
+      const int64_t d = CheckVertexId(ReadField(ss, line, "edge line"), num_vertices, line);
+      CheckNoTrailingJunk(ss, line);
       builder->AddEdge(static_cast<VertexId>(s), static_cast<VertexId>(d));
+    } else if (tag >= '0' && tag <= '9') {
+      FLEX_CHECK_MSG(false, "duplicate edge-list header line: " + line);
     } else {
       FLEX_CHECK_MSG(false, "unknown line tag: " + line);
     }

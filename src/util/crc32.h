@@ -1,0 +1,46 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) used to validate checkpoint
+// payloads. Table-driven, one table for the process; the classic
+// check value is Crc32("123456789", 9) == 0xCBF43926.
+#ifndef SRC_UTIL_CRC32_H_
+#define SRC_UTIL_CRC32_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace flexgraph {
+
+namespace detail {
+
+inline const std::array<uint32_t, 256>& Crc32Table() {
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace detail
+
+// Incremental update: feed the previous return value back in as `crc` to
+// checksum data arriving in chunks. Start from the default for a fresh sum.
+inline uint32_t Crc32(const void* data, std::size_t size, uint32_t crc = 0) {
+  const auto& table = detail::Crc32Table();
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_CRC32_H_

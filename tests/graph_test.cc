@@ -162,5 +162,52 @@ TEST(EdgeListIoTest, MissingHeaderThrows) {
   EXPECT_THROW(LoadEdgeList(ss), CheckError);
 }
 
+TEST(EdgeListIoTest, NegativeVertexIdThrows) {
+  // A minus sign must be a parse error, not a silent unsigned wrap-around.
+  std::stringstream ss("3 1 1\ne 0 -1\n");
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+  std::stringstream header("-3 1 1\n");
+  EXPECT_THROW(LoadEdgeList(header), CheckError);
+}
+
+TEST(EdgeListIoTest, OutOfRangeVertexIdThrows) {
+  std::stringstream ss("3 1 1\ne 0 3\n");  // valid ids are 0..2
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+  // Overflows int64 entirely.
+  std::stringstream huge("3 1 1\ne 0 99999999999999999999999\n");
+  EXPECT_THROW(LoadEdgeList(huge), CheckError);
+}
+
+TEST(EdgeListIoTest, NumVerticesBeyondVertexIdRangeThrows) {
+  std::stringstream ss("4294967296 0 1\n");  // 2^32 > max VertexId
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+}
+
+TEST(EdgeListIoTest, DuplicateHeaderLineThrows) {
+  std::stringstream ss("3 1 1\n3 1 1\ne 0 1\n");
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+}
+
+TEST(EdgeListIoTest, TrailingJunkThrows) {
+  std::stringstream edge("3 1 1\ne 0 1 junk\n");
+  EXPECT_THROW(LoadEdgeList(edge), CheckError);
+  std::stringstream header("3 1 1 junk\ne 0 1\n");
+  EXPECT_THROW(LoadEdgeList(header), CheckError);
+}
+
+TEST(EdgeListIoTest, VertexTypeOutOfRangeThrows) {
+  std::stringstream ss("3 0 2\nt 0 2\n");  // valid types are 0..1
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+  std::stringstream types("3 0 300\n");  // num_types must fit VertexType
+  EXPECT_THROW(LoadEdgeList(types), CheckError);
+  std::stringstream zero("3 0 0\n");  // at least one type
+  EXPECT_THROW(LoadEdgeList(zero), CheckError);
+}
+
+TEST(EdgeListIoTest, EdgeCountMismatchThrows) {
+  std::stringstream ss("3 2 1\ne 0 1\n");  // header claims 2 edges, file has 1
+  EXPECT_THROW(LoadEdgeList(ss), CheckError);
+}
+
 }  // namespace
 }  // namespace flexgraph

@@ -1,5 +1,7 @@
 // Tests for tensor serialization and the fault-tolerance checkpoint module.
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -120,6 +122,88 @@ TEST_F(CheckpointTest, MissingFileThrows) {
   Rng rng(7);
   GnnModel model = MakeGcnModel(config, rng);
   EXPECT_THROW(LoadCheckpoint("/nonexistent/dir/x.ckpt", model), CheckError);
+}
+
+TEST_F(CheckpointTest, NoTempFileLeftBehindAfterSave) {
+  Rng rng(10);
+  GcnConfig config;
+  config.in_dim = 8;
+  config.num_classes = 2;
+  GnnModel model = MakeGcnModel(config, rng);
+  SaveCheckpoint(path_, model, 1);
+  EXPECT_TRUE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(path_ + ".tmp"));
+}
+
+TEST_F(CheckpointTest, TruncatedFileRejectedByLoadAndPeek) {
+  Rng rng(11);
+  GcnConfig config;
+  config.in_dim = 8;
+  config.num_classes = 2;
+  GnnModel model = MakeGcnModel(config, rng);
+  SaveCheckpoint(path_, model, 1);
+
+  // Cut the file mid-payload: Load must throw, Validate must return nullopt.
+  std::filesystem::resize_file(path_, std::filesystem::file_size(path_) / 2);
+  EXPECT_THROW(LoadCheckpoint(path_, model), CheckError);
+  EXPECT_FALSE(ValidateCheckpoint(path_).has_value());
+
+  // Cut it mid-header: Peek must throw too.
+  std::filesystem::resize_file(path_, 10);
+  EXPECT_THROW(PeekCheckpoint(path_), CheckError);
+}
+
+TEST_F(CheckpointTest, BadMagicRejected) {
+  {
+    std::ofstream ofs(path_, std::ios::binary);
+    ofs << "not a checkpoint at all, just bytes";
+  }
+  GcnConfig config;
+  Rng rng(12);
+  GnnModel model = MakeGcnModel(config, rng);
+  EXPECT_THROW(PeekCheckpoint(path_), CheckError);
+  EXPECT_THROW(LoadCheckpoint(path_, model), CheckError);
+  EXPECT_FALSE(ValidateCheckpoint(path_).has_value());
+}
+
+TEST_F(CheckpointTest, PayloadBitFlipCaughtByCrc) {
+  Rng rng(13);
+  GcnConfig config;
+  config.in_dim = 8;
+  config.num_classes = 2;
+  GnnModel model = MakeGcnModel(config, rng);
+  SaveCheckpoint(path_, model, 1);
+
+  // Flip one bit near the end of the payload; the header stays intact, so
+  // only the CRC can catch this.
+  const auto size = std::filesystem::file_size(path_);
+  std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(static_cast<std::streamoff>(size - 5));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x1);
+  f.seekp(static_cast<std::streamoff>(size - 5));
+  f.write(&byte, 1);
+  f.close();
+
+  EXPECT_THROW(LoadCheckpoint(path_, model), CheckError);
+  EXPECT_FALSE(ValidateCheckpoint(path_).has_value());
+  EXPECT_NO_THROW(PeekCheckpoint(path_));  // header-only read still works
+}
+
+TEST_F(CheckpointTest, TrailingJunkRejected) {
+  Rng rng(14);
+  GcnConfig config;
+  config.in_dim = 8;
+  config.num_classes = 2;
+  GnnModel model = MakeGcnModel(config, rng);
+  SaveCheckpoint(path_, model, 1);
+  {
+    std::ofstream ofs(path_, std::ios::binary | std::ios::app);
+    ofs << "extra";
+  }
+  EXPECT_THROW(LoadCheckpoint(path_, model), CheckError);
+  EXPECT_FALSE(ValidateCheckpoint(path_).has_value());
 }
 
 TEST_F(CheckpointTest, ResumeContinuesTraining) {

@@ -9,6 +9,7 @@
 
 #include "src/util/aligned_buffer.h"
 #include "src/util/check.h"
+#include "src/util/crc32.h"
 #include "src/util/env.h"
 #include "src/util/logging.h"
 #include "src/util/rng.h"
@@ -201,6 +202,27 @@ TEST(TimerTest, ScopedAccumulatorAdds) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_GE(sink, 0.009);
+}
+
+TEST(Crc32Test, KnownAnswerAndIncrementalUpdate) {
+  // The CRC-32/IEEE check value: Crc32("123456789") == 0xCBF43926.
+  const char data[] = "123456789";
+  EXPECT_EQ(Crc32(data, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32(data, 0), 0u);
+
+  // Incremental computation over split buffers matches the one-shot result.
+  const uint32_t first = Crc32(data, 4);
+  EXPECT_EQ(Crc32(data + 4, 5, first), 0xCBF43926u);
+}
+
+TEST(Crc32Test, DetectsSingleBitFlip) {
+  std::string payload(256, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i);
+  }
+  const uint32_t clean = Crc32(payload.data(), payload.size());
+  payload[100] = static_cast<char>(payload[100] ^ 0x10);
+  EXPECT_NE(Crc32(payload.data(), payload.size()), clean);
 }
 
 }  // namespace

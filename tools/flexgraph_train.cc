@@ -5,7 +5,11 @@
 //                            graphsage-maxpool|graphsage-lstm]
 //                   [--dataset reddit|fb91|twitter|imdb] [--scale 1.0]
 //                   [--epochs 30] [--lr 0.1] [--strategy sa|safa|ha]
-//                   [--workers 1] [--checkpoint path] [--resume path]
+//                   [--workers 1] [--checkpoint path] [--resume path|dir|auto]
+//                   [--checkpoint-dir dir] [--checkpoint-every n]
+//                   [--keep-checkpoints n]
+//                   [--inject-crash E:W[:L]] [--inject-straggler E:W:F]
+//                   [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]
 //                   [--seed 7]
 //                   [--metrics-json path] [--metrics-csv path] [--trace path]
 //                   [--metrics-every n]
@@ -14,6 +18,21 @@
 // reports per-epoch makespans; otherwise the single-machine engine trains
 // with full backward passes and reports loss/accuracy on a 60/20/20 split.
 //
+// Checkpointing: --checkpoint writes one file every epoch (hardened format:
+// atomic rename + CRC32). --checkpoint-dir keeps a rotation of the newest
+// --keep-checkpoints files, written every --checkpoint-every epochs. --resume
+// accepts a file, a directory (the newest *valid* checkpoint inside it is
+// selected, skipping corrupted files), or the literal "auto" (resume from
+// --checkpoint-dir).
+//
+// Fault injection (README.md "Fault tolerance"): deterministic fault events
+// for recovery experiments. --inject-crash kills a worker at epoch E (layer L)
+// and exercises crash recovery; --inject-straggler multiplies worker W's
+// compute by factor F at epoch E; --inject-drop forces N failed delivery
+// attempts of the layer-L transfer into worker W at epoch E (priced as
+// timeout + backoff retries); --inject-corrupt-ckpt truncates the rotating
+// checkpoint written at epoch E so resume exercises the valid-file fallback.
+//
 // Observability (README.md "Observability"): --metrics-json/--metrics-csv
 // export the metric registry at exit, --trace enables span recording and
 // writes Chrome trace-event JSON (open in chrome://tracing or Perfetto), and
@@ -21,13 +40,16 @@
 // final stage-breakdown table is always printed.
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/core/trainer.h"
 #include "src/data/datasets.h"
 #include "src/dist/checkpoint.h"
 #include "src/dist/runtime.h"
+#include "src/fault/fault_injector.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
 #include "src/models/gin.h"
@@ -54,6 +76,13 @@ struct CliOptions {
   uint32_t workers = 1;
   std::string checkpoint;
   std::string resume;
+  std::string checkpoint_dir;
+  int checkpoint_every = 1;
+  int keep_checkpoints = 3;
+  std::vector<std::string> inject_crash;
+  std::vector<std::string> inject_straggler;
+  std::vector<std::string> inject_drop;
+  std::vector<std::string> inject_corrupt_ckpt;
   uint64_t seed = 7;
   std::string metrics_json;
   std::string metrics_csv;
@@ -82,6 +111,10 @@ void PrintStageBreakdown() {
       {"Dist: merge", "dist.merge_seconds"},
       {"Dist: serialize", "dist.serialize_seconds"},
       {"Pipeline overlap", "pipeline.overlap_seconds"},
+      {"Fault: recovery", "fault.recovery_seconds"},
+      {"Fault: retry wait", "fault.retry_wait_seconds"},
+      {"Fault: lost work", "fault.lost_work_seconds"},
+      {"Fault: detection", "fault.detection_seconds"},
   };
   double total = 0.0;
   for (const StageRow& row : kRows) {
@@ -134,6 +167,20 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.checkpoint = value;
     } else if (arg == "--resume" && (value = next())) {
       opts.resume = value;
+    } else if (arg == "--checkpoint-dir" && (value = next())) {
+      opts.checkpoint_dir = value;
+    } else if (arg == "--checkpoint-every" && (value = next())) {
+      opts.checkpoint_every = std::atoi(value);
+    } else if (arg == "--keep-checkpoints" && (value = next())) {
+      opts.keep_checkpoints = std::atoi(value);
+    } else if (arg == "--inject-crash" && (value = next())) {
+      opts.inject_crash.push_back(value);
+    } else if (arg == "--inject-straggler" && (value = next())) {
+      opts.inject_straggler.push_back(value);
+    } else if (arg == "--inject-drop" && (value = next())) {
+      opts.inject_drop.push_back(value);
+    } else if (arg == "--inject-corrupt-ckpt" && (value = next())) {
+      opts.inject_corrupt_ckpt.push_back(value);
     } else if (arg == "--seed" && (value = next())) {
       opts.seed = static_cast<uint64_t>(std::atoll(value));
     } else if (arg == "--metrics-json" && (value = next())) {
@@ -220,6 +267,78 @@ GnnModel BuildModel(const CliOptions& opts, const Dataset& ds, Rng& rng) {
   return {};
 }
 
+// Splits a colon-separated fault spec ("3:1:0") into numeric fields.
+std::vector<double> ParseSpec(const std::string& spec, std::size_t min_fields,
+                              std::size_t max_fields, const char* flag) {
+  std::vector<double> fields;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t colon = spec.find(':', pos);
+    const std::string field =
+        spec.substr(pos, colon == std::string::npos ? std::string::npos : colon - pos);
+    char* end = nullptr;
+    fields.push_back(std::strtod(field.c_str(), &end));
+    FLEX_CHECK_MSG(end != field.c_str() && *end == '\0',
+                   std::string("bad field in ") + flag + " spec: " + spec);
+    if (colon == std::string::npos) {
+      break;
+    }
+    pos = colon + 1;
+  }
+  FLEX_CHECK_MSG(fields.size() >= min_fields && fields.size() <= max_fields,
+                 std::string("wrong field count in ") + flag + " spec: " + spec);
+  return fields;
+}
+
+// Builds the deterministic fault schedule from the --inject-* flags; returns
+// false when no fault flags were given (leave DistConfig::fault null).
+bool BuildFaultSchedule(const CliOptions& opts, FaultInjector& injector) {
+  for (const std::string& spec : opts.inject_crash) {
+    const auto f = ParseSpec(spec, 2, 3, "--inject-crash");  // E:W[:L]
+    injector.ScheduleCrash(static_cast<int64_t>(f[0]), static_cast<uint32_t>(f[1]),
+                           f.size() > 2 ? static_cast<int>(f[2]) : 0);
+  }
+  for (const std::string& spec : opts.inject_straggler) {
+    const auto f = ParseSpec(spec, 3, 3, "--inject-straggler");  // E:W:F
+    injector.ScheduleStraggler(static_cast<int64_t>(f[0]), static_cast<uint32_t>(f[1]),
+                               f[2]);
+  }
+  for (const std::string& spec : opts.inject_drop) {
+    const auto f = ParseSpec(spec, 3, 4, "--inject-drop");  // E:L:W[:N]
+    injector.ScheduleMessageDrop(static_cast<int64_t>(f[0]), static_cast<int>(f[1]),
+                                 static_cast<uint32_t>(f[2]),
+                                 f.size() > 3 ? static_cast<int>(f[3]) : 1);
+  }
+  for (const std::string& spec : opts.inject_corrupt_ckpt) {
+    const auto f = ParseSpec(spec, 1, 1, "--inject-corrupt-ckpt");  // E
+    injector.ScheduleCheckpointTruncation(static_cast<int64_t>(f[0]));
+  }
+  return !opts.inject_crash.empty() || !opts.inject_straggler.empty() ||
+         !opts.inject_drop.empty() || !opts.inject_corrupt_ckpt.empty();
+}
+
+// Resolves --resume into a concrete checkpoint file: a file path is used as
+// given; a directory (or the literal "auto", meaning --checkpoint-dir) picks
+// the newest checkpoint that passes CRC validation, skipping corrupted files.
+// Returns "" when nothing valid is found.
+std::string ResolveResumePath(const CliOptions& opts) {
+  std::string target = opts.resume;
+  if (target == "auto") {
+    FLEX_CHECK_MSG(!opts.checkpoint_dir.empty(),
+                   "--resume auto requires --checkpoint-dir");
+    target = opts.checkpoint_dir;
+  }
+  if (std::filesystem::is_directory(target)) {
+    const std::string found = FindLatestValidCheckpoint(target);
+    if (found.empty()) {
+      std::fprintf(stderr, "warning: no valid checkpoint in %s, starting fresh\n",
+                   target.c_str());
+    }
+    return found;
+  }
+  return target;
+}
+
 ExecStrategy ParseStrategy(const std::string& name) {
   if (name == "sa") {
     return ExecStrategy::kSparse;
@@ -238,11 +357,17 @@ int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model)
 
   int64_t start_epoch = 0;
   if (!opts.resume.empty()) {
-    const CheckpointInfo info = LoadCheckpoint(opts.resume, model);
-    start_epoch = info.epoch + 1;
-    std::printf("resumed %s from %s at epoch %lld\n", info.model_name.c_str(),
-                opts.resume.c_str(), static_cast<long long>(start_epoch));
+    const std::string resume_path = ResolveResumePath(opts);
+    if (!resume_path.empty()) {
+      const CheckpointInfo info = LoadCheckpoint(resume_path, model);
+      start_epoch = info.epoch + 1;
+      std::printf("resumed %s from %s at epoch %lld\n", info.model_name.c_str(),
+                  resume_path.c_str(), static_cast<long long>(start_epoch));
+    }
   }
+
+  FaultInjector injector(opts.seed);
+  const bool have_faults = BuildFaultSchedule(opts, injector);
 
   TrainerOptions train_opts;
   train_opts.max_epochs = opts.epochs;
@@ -257,6 +382,16 @@ int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model)
     if (!opts.checkpoint.empty()) {
       SaveCheckpoint(opts.checkpoint, model, start_epoch + epoch);
     }
+    if (!opts.checkpoint_dir.empty() && opts.checkpoint_every > 0 &&
+        (epoch + 1) % opts.checkpoint_every == 0) {
+      const int64_t ckpt_epoch = start_epoch + epoch;
+      const std::string path = SaveRotatingCheckpoint(opts.checkpoint_dir, model,
+                                                      ckpt_epoch, opts.keep_checkpoints);
+      if (have_faults && injector.CheckpointTruncationAt(ckpt_epoch)) {
+        FaultInjector::TruncateFileTail(path);
+        std::printf("injected corruption: truncated %s\n", path.c_str());
+      }
+    }
     return true;
   };
   Trainer trainer(engine, train_opts);
@@ -267,25 +402,45 @@ int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model)
 }
 
 int RunDistributed(const CliOptions& opts, const Dataset& ds, GnnModel& model) {
+  FaultInjector injector(opts.seed);
   DistConfig config;
   config.strategy = ParseStrategy(opts.strategy);
   config.pipeline = true;
   config.backward_compute_factor = 1.0;
+  if (BuildFaultSchedule(opts, injector)) {
+    config.fault = &injector;
+  }
   DistributedRuntime runtime(ds.graph, HashPartition(ds.graph.num_vertices(), opts.workers),
                              config);
   Rng rng(opts.seed);
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     DistEpochStats stats = runtime.RunEpoch(model, ds.features, rng, nullptr);
-    if (epoch % 5 == 0 || epoch == opts.epochs - 1) {
+    if (epoch % 5 == 0 || epoch == opts.epochs - 1 || stats.crashes_recovered > 0) {
       std::printf("epoch %3d  makespan %.4fs (nbrsel %.4f, agg %.4f, update %.4f, "
                   "backward %.4f)  comm %.1f KiB\n",
                   epoch, stats.makespan_seconds, stats.neighbor_selection_seconds,
                   stats.aggregation_seconds, stats.update_seconds, stats.backward_seconds,
                   stats.comm_bytes_total / 1024.0);
     }
+    if (stats.crashes_recovered > 0) {
+      std::printf("epoch %3d  recovered %lld crash(es): recovery %.4fs "
+                  "(lost work %.4f, detection %.4f), %lld roots migrated\n",
+                  epoch, static_cast<long long>(stats.crashes_recovered),
+                  stats.recovery_seconds, stats.lost_work_seconds,
+                  stats.detection_seconds, static_cast<long long>(stats.roots_migrated));
+    }
+    if (stats.transfer_retries > 0) {
+      std::printf("epoch %3d  %lld transfer retries, %.4fs retry wait\n", epoch,
+                  static_cast<long long>(stats.transfer_retries),
+                  stats.retry_wait_seconds);
+    }
     if (opts.metrics_every > 0 && (epoch + 1) % opts.metrics_every == 0) {
       PrintStageBreakdown();
     }
+  }
+  if (config.fault != nullptr) {
+    std::printf("fault schedule: %zu event(s) scheduled, %zu fired\n",
+                injector.schedule().size(), injector.fired().size());
   }
   return 0;
 }
@@ -335,7 +490,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: flexgraph_train [--model M] [--dataset D] [--scale S] [--epochs N]\n"
                  "                       [--lr F] [--strategy sa|safa|ha] [--workers K]\n"
-                 "                       [--checkpoint PATH] [--resume PATH] [--seed N]\n"
+                 "                       [--checkpoint PATH] [--resume PATH|DIR|auto]\n"
+                 "                       [--checkpoint-dir DIR] [--checkpoint-every N]\n"
+                 "                       [--keep-checkpoints N] [--seed N]\n"
+                 "                       [--inject-crash E:W[:L]] [--inject-straggler E:W:F]\n"
+                 "                       [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]\n"
                  "                       [--metrics-json PATH] [--metrics-csv PATH]\n"
                  "                       [--trace PATH] [--metrics-every N]\n");
     return 1;
