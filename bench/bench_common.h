@@ -20,6 +20,7 @@
 #include "src/baselines/common.h"
 #include "src/core/engine.h"
 #include "src/data/datasets.h"
+#include "src/exec/parallel.h"
 #include "src/models/gcn.h"
 #include "src/models/magnn.h"
 #include "src/models/pinsage.h"
@@ -31,6 +32,14 @@ namespace flexgraph {
 
 inline double BenchScale() { return EnvDouble("FLEXGRAPH_SCALE", 1.0); }
 inline int BenchEpochs() { return static_cast<int>(EnvInt("FLEXGRAPH_EPOCHS", 5)); }
+
+// Kernel thread count for the benches. Resolution order matches the trainer:
+// explicit SetBenchThreads (a bench's own sweep), else FLEXGRAPH_NUM_THREADS,
+// else hardware concurrency. Kernel results are bitwise identical across
+// settings — the execution plan fixes chunk boundaries independently of the
+// pool size — so sweeps compare wall time only.
+inline int BenchThreads() { return exec::NumThreads(); }
+inline void SetBenchThreads(int n) { exec::SetNumThreads(n); }
 
 // MAGNN instance cap used throughout the benches (paper: 6 metapaths, 3
 // vertices per instance; the cap bounds hub blow-up on skewed graphs).

@@ -52,5 +52,31 @@ int main() {
     std::printf("\n(%s)\n", dataset_name);
     table.Print(std::cout);
   }
+
+  // Thread scaling of the HA aggregation stage on the synthetic MAGNN
+  // workload. The execution plan fixes chunk boundaries independently of the
+  // thread count, so every row computes bitwise-identical features — the
+  // sweep compares wall time only. Recorded separately as BENCH_fig14.json.
+  {
+    BenchReporter fig14("fig14");
+    Dataset ds = BenchDataset("fb91", /*typed=*/true);
+    TablePrinter table({"threads", "HA agg seconds", "speedup vs 1 thread"});
+    double t1 = 0.0;
+    for (int threads : {1, 2, 4, 8}) {
+      SetBenchThreads(threads);
+      const double t = AggregationSeconds(ds, "magnn", ExecStrategy::kHybrid, epochs);
+      if (threads == 1) {
+        t1 = t;
+      }
+      const double speedup = t > 0.0 ? t1 / t : 0.0;
+      fig14.Record("ha_magnn_threads" + std::to_string(threads) + "_seconds", t);
+      fig14.Record("ha_magnn_speedup_t" + std::to_string(threads), speedup);
+      table.AddRow({std::to_string(threads), TablePrinter::Num(t, 4),
+                    TablePrinter::Num(speedup, 2) + "x"});
+    }
+    SetBenchThreads(0);
+    std::printf("\n(HA thread scaling, magnn on synthetic fb91)\n");
+    table.Print(std::cout);
+  }
   return 0;
 }

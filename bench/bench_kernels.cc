@@ -10,9 +10,13 @@
 #include "src/baselines/kernels.h"
 #include "src/core/fused_ops.h"
 #include "src/data/synthetic.h"
+#include "src/exec/chunks.h"
+#include "src/exec/parallel.h"
 #include "src/tensor/ops_dense.h"
 #include "src/tensor/ops_sparse.h"
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
+#include "src/util/timer.h"
 
 namespace flexgraph {
 namespace {
@@ -115,6 +119,44 @@ void BM_SparseSchemaReduce(benchmark::State& state) {
 }
 BENCHMARK(BM_SparseSchemaReduce)->Arg(16)->Arg(64);
 
+// Thread sweep over the planned fused kernel. The plan's chunk boundaries are
+// fixed up front (independent of the pool size), so the output is bitwise
+// identical across every Arg — only the wall time moves.
+void BM_FusedAggregateThreads(benchmark::State& state) {
+  AggFixture f = MakeFixture(64);
+  const std::vector<int64_t> chunks = MakeSegmentChunks(f.offsets, kPlanChunkTarget);
+  exec::SetNumThreads(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    Tensor out =
+        FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+    benchmark::DoNotOptimize(out.data());
+  }
+  exec::SetNumThreads(0);  // back to the env/hardware default
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.leaf_ids.size()) * 64);
+}
+BENCHMARK(BM_FusedAggregateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+// Workspace ablation: the same kernel drawing its output from a bump arena
+// (steady-state: zero heap allocation) vs. plain heap tensors every call.
+void BM_FusedAggregateWorkspace(benchmark::State& state) {
+  AggFixture f = MakeFixture(64);
+  const std::vector<int64_t> chunks = MakeSegmentChunks(f.offsets, kPlanChunkTarget);
+  const bool use_arena = state.range(0) != 0;
+  Workspace ws;
+  for (auto _ : state) {
+    if (use_arena) {
+      ws.Reset();
+    }
+    WorkspaceScope scope(use_arena ? &ws : nullptr);
+    Tensor out =
+        FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(use_arena ? "arena" : "heap");
+}
+BENCHMARK(BM_FusedAggregateWorkspace)->Arg(0)->Arg(1);
+
 void BM_MatMul(benchmark::State& state) {
   Rng rng(3);
   Tensor a = Tensor::Uninitialized(4096, state.range(0));
@@ -132,11 +174,47 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 
+// Records the thread sweep and workspace ablation into the registry so they
+// land in BENCH_kernels.json (google-benchmark's own output goes to stdout).
+void RecordSweeps(BenchReporter& reporter) {
+  AggFixture f = MakeFixture(64);
+  const std::vector<int64_t> chunks = MakeSegmentChunks(f.offsets, kPlanChunkTarget);
+  constexpr int kReps = 10;
+  for (int threads : {1, 2, 4, 8}) {
+    exec::SetNumThreads(threads);
+    WallTimer timer;
+    for (int r = 0; r < kReps; ++r) {
+      Tensor out =
+          FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+      benchmark::DoNotOptimize(out.data());
+    }
+    reporter.Record("fused_threads" + std::to_string(threads) + "_seconds",
+                    timer.ElapsedSeconds() / kReps);
+  }
+  exec::SetNumThreads(0);
+  for (const bool use_arena : {false, true}) {
+    Workspace ws;
+    WallTimer timer;
+    for (int r = 0; r < kReps; ++r) {
+      if (use_arena) {
+        ws.Reset();
+      }
+      WorkspaceScope scope(use_arena ? &ws : nullptr);
+      Tensor out =
+          FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+      benchmark::DoNotOptimize(out.data());
+    }
+    reporter.Record(use_arena ? "fused_arena_seconds" : "fused_heap_seconds",
+                    timer.ElapsedSeconds() / kReps);
+  }
+}
+
 }  // namespace
 }  // namespace flexgraph
 
 // Hand-rolled BENCHMARK_MAIN so the run also exports the metric registry
-// (kernel.* counters populated by the fused ops) as BENCH_kernels.json.
+// (kernel.* counters populated by the fused ops, plus the recorded thread
+// sweep and workspace ablation) as BENCH_kernels.json.
 int main(int argc, char** argv) {
   flexgraph::BenchReporter reporter("kernels");
   benchmark::Initialize(&argc, argv);
@@ -144,6 +222,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   benchmark::RunSpecifiedBenchmarks();
+  flexgraph::RecordSweeps(reporter);
   benchmark::Shutdown();
   return 0;
 }

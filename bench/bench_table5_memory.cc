@@ -38,6 +38,43 @@ void AddRow(TablePrinter& table, const std::string& model_name,
                     "%"});
 }
 
+// Workspace-arena footprint of planned execution: train three epochs and
+// report the plan's size estimate, the arena's actual reservation and
+// high-water mark, slab growths, and the steady-state heap-allocation count
+// (epoch 3 — zero for models whose HDG/plan cache holds across epochs).
+void AddArenaRow(TablePrinter& table, BenchReporter& reporter,
+                 const std::string& model_name) {
+  Dataset ds = BenchDataset("fb91", model_name == "magnn");
+  Rng rng(5);
+  GnnModel model = BenchModel(model_name, ds, rng);
+  Engine engine(ds.graph, ExecStrategy::kHybrid);
+  SgdOptimizer opt(0.01f, 0.0f);
+  Rng epoch_rng(7);
+  const auto alloc_count = [] {
+    const obs::MetricsSnapshot snap = obs::MetricRegistry::Get().Snapshot();
+    const auto it = snap.counters.find("exec.alloc_count");
+    return it != snap.counters.end() ? it->second : int64_t{0};
+  };
+  engine.TrainEpoch(model, ds.features, ds.labels, opt, epoch_rng);
+  engine.TrainEpoch(model, ds.features, ds.labels, opt, epoch_rng);
+  const int64_t before = alloc_count();
+  engine.TrainEpoch(model, ds.features, ds.labels, opt, epoch_rng);
+  const int64_t steady_allocs = alloc_count() - before;
+
+  const double mib = 1 << 20;
+  const double planned = static_cast<double>(engine.plan()->planned_bytes);
+  const double reserved = static_cast<double>(engine.workspace().reserved_bytes());
+  const double high_water = static_cast<double>(engine.workspace().high_water_bytes());
+  table.AddRow({model_name, TablePrinter::Num(planned / mib, 2) + " MiB",
+                TablePrinter::Num(reserved / mib, 2) + " MiB",
+                TablePrinter::Num(high_water / mib, 2) + " MiB",
+                std::to_string(engine.workspace().growth_count()),
+                std::to_string(steady_allocs)});
+  reporter.Record("arena_high_water_mib_" + model_name, high_water / mib);
+  reporter.Record("arena_steady_allocs_" + model_name,
+                  static_cast<double>(steady_allocs));
+}
+
 }  // namespace
 }  // namespace flexgraph
 
@@ -59,5 +96,13 @@ int main() {
     AddRow(table, "magnn", dataset_name);
   }
   table.Print(std::cout);
+
+  std::printf("\n== Workspace arena (training, fb91, HA strategy) ==\n");
+  TablePrinter arena_table({"Model", "planned", "reserved", "high-water", "slab growths",
+                            "steady-state allocs"});
+  for (const char* model_name : {"gcn", "pinsage", "magnn"}) {
+    AddArenaRow(arena_table, reporter, model_name);
+  }
+  arena_table.Print(std::cout);
   return 0;
 }

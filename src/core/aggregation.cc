@@ -12,6 +12,13 @@ std::vector<uint64_t> HdgAggregator::SlotOffsetsCopy() const {
 }
 
 Variable HdgAggregator::BottomLevel(const Variable& vertex_feats, ReduceKind kind) const {
+  FLEX_TRACE_SPAN("hybrid_agg.bottom",
+                  {{"leaf_refs", static_cast<double>(hdg_.leaf_vertex_ids().size())}});
+  FLEX_SCOPED_SECONDS("nau.bottom_level_seconds",
+                      stats_ != nullptr ? &stats_->bottom_seconds : nullptr);
+  if (plan_ != nullptr) {
+    return AgIndirectSegmentReduce(vertex_feats, plan_->bottom, kind, strategy_, stats_);
+  }
   const auto leaf_span = hdg_.leaf_vertex_ids();
   std::vector<VertexId> leaf_ids(leaf_span.begin(), leaf_span.end());
   std::vector<uint64_t> offsets;
@@ -21,9 +28,6 @@ Variable HdgAggregator::BottomLevel(const Variable& vertex_feats, ReduceKind kin
     const auto offs = hdg_.instance_leaf_offsets();
     offsets.assign(offs.begin(), offs.end());
   }
-  FLEX_TRACE_SPAN("hybrid_agg.bottom", {{"leaf_refs", static_cast<double>(leaf_ids.size())}});
-  FLEX_SCOPED_SECONDS("nau.bottom_level_seconds",
-                      stats_ != nullptr ? &stats_->bottom_seconds : nullptr);
   return AgIndirectSegmentReduce(vertex_feats, std::move(leaf_ids), std::move(offsets),
                                  kind, strategy_, stats_);
 }
@@ -48,26 +52,36 @@ std::pair<std::vector<VertexId>, std::vector<uint64_t>> BottomLayout(const Hdg& 
 }  // namespace
 
 Variable HdgAggregator::BottomLevelMax(const Variable& vertex_feats) const {
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += hdg_.leaf_vertex_ids().size();
+    stats_->materialized_bytes += hdg_.leaf_vertex_ids().size() *
+                                  static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
+  }
+  if (plan_ != nullptr) {
+    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom.gather_index);
+    return AgSegmentMax(gathered, plan_->bottom.offsets);
+  }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
   std::vector<uint32_t> gather_index(leaf_ids.begin(), leaf_ids.end());
-  if (stats_ != nullptr) {
-    stats_->sparse_rows += gather_index.size();
-    stats_->materialized_bytes +=
-        gather_index.size() * static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
-  }
   Variable gathered = AgGatherRows(vertex_feats, std::move(gather_index));
   return AgSegmentMax(gathered, std::move(offsets));
 }
 
 Variable HdgAggregator::BottomLevelLstm(const Variable& vertex_feats,
                                         const LstmCell& cell) const {
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += hdg_.leaf_vertex_ids().size();
+    stats_->materialized_bytes += hdg_.leaf_vertex_ids().size() *
+                                  static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
+  }
+  if (plan_ != nullptr) {
+    // The LSTM itself stays on the legacy (vector-copy) path — its recurrence
+    // is inherently sequential — but the gather index comes from the plan.
+    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom.gather_index);
+    return AgSegmentLstm(gathered, std::vector<uint64_t>(*plan_->bottom.offsets), cell);
+  }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
   std::vector<uint32_t> gather_index(leaf_ids.begin(), leaf_ids.end());
-  if (stats_ != nullptr) {
-    stats_->sparse_rows += gather_index.size();
-    stats_->materialized_bytes +=
-        gather_index.size() * static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
-  }
   Variable gathered = AgGatherRows(vertex_feats, std::move(gather_index));
   return AgSegmentLstm(gathered, std::move(offsets), cell);
 }
@@ -79,6 +93,24 @@ Variable HdgAggregator::BottomLevelEdgeAttention(const Variable& transformed,
   FLEX_CHECK_MSG(hdg_.flat(), "edge attention targets flat (1-hop style) HDGs");
   FLEX_CHECK_EQ(src_scores.cols(), 1);
   FLEX_CHECK_EQ(dst_scores.cols(), 1);
+  if (stats_ != nullptr) {
+    stats_->sparse_rows += hdg_.leaf_vertex_ids().size();
+    stats_->materialized_bytes += hdg_.leaf_vertex_ids().size() *
+                                  static_cast<uint64_t>(transformed.cols() + 2) * sizeof(float);
+  }
+  if (plan_ != nullptr) {
+    FLEX_CHECK(plan_->edge_dst_index);
+    const U32VecPtr src_index = plan_->bottom.gather_index;
+    Variable edge_scores = AgLeakyRelu(
+        AgAdd(AgGatherRows(src_scores, src_index),
+              AgGatherRows(dst_scores, plan_->edge_dst_index)),
+        leaky_slope);
+    Variable weights = AgSegmentSoftmax(edge_scores, plan_->bottom.offsets, plan_->bottom.chunks);
+    Variable messages = AgGatherRows(transformed, src_index);
+    Variable weighted = AgMulRowScalar(messages, weights);
+    return AgSegmentReduce(weighted, plan_->bottom.offsets, ReduceKind::kSum,
+                           plan_->bottom.chunks);
+  }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
 
   // Per-edge source gather and per-edge destination broadcast (each root's
@@ -90,11 +122,6 @@ Variable HdgAggregator::BottomLevelEdgeAttention(const Variable& transformed,
     for (uint64_t e = offsets[s]; e < offsets[s + 1]; ++e) {
       dst_index[e] = roots[s];
     }
-  }
-  if (stats_ != nullptr) {
-    stats_->sparse_rows += leaf_ids.size();
-    stats_->materialized_bytes +=
-        leaf_ids.size() * static_cast<uint64_t>(transformed.cols() + 2) * sizeof(float);
   }
 
   Variable edge_scores = AgLeakyRelu(
@@ -111,6 +138,20 @@ Variable HdgAggregator::InstanceLevel(const Variable& instance_feats, ReduceKind
   FLEX_CHECK_EQ(instance_feats.rows(), static_cast<int64_t>(hdg_.num_instances()));
   FLEX_TRACE_SPAN("hybrid_agg.instance",
                   {{"instances", static_cast<double>(instance_feats.rows())}});
+  if (plan_ != nullptr && plan_->has_instance) {
+    const LevelPlan& inst = plan_->instance;
+    if (strategy_ == ExecStrategy::kSparse) {
+      if (stats_ != nullptr) {
+        stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
+        stats_->materialized_bytes += inst.scatter_index->size() * sizeof(uint32_t);
+      }
+      return AgScatter(instance_feats, inst.scatter_index, inst.num_segments, kind);
+    }
+    if (stats_ != nullptr) {
+      stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
+    }
+    return AgSegmentReduce(instance_feats, inst.offsets, kind, inst.chunks);
+  }
   std::vector<uint64_t> offsets = SlotOffsetsCopy();
   if (strategy_ == ExecStrategy::kSparse) {
     // Scatter with an explicit index tensor, as a sparse-only runtime would.
@@ -139,12 +180,18 @@ Variable HdgAggregator::InstanceLevelAttention(const Variable& instance_feats,
   FLEX_CHECK_MSG(!hdg_.flat(), "flat HDGs have no instance level");
   FLEX_CHECK_EQ(scores.rows(), instance_feats.rows());
   FLEX_CHECK_EQ(scores.cols(), 1);
-  std::vector<uint64_t> offsets = SlotOffsetsCopy();
-  Variable weights = AgSegmentSoftmax(scores, offsets);
-  Variable weighted = AgMulRowScalar(instance_feats, weights);
   if (stats_ != nullptr) {
     stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
   }
+  if (plan_ != nullptr && plan_->has_instance) {
+    const LevelPlan& inst = plan_->instance;
+    Variable weights = AgSegmentSoftmax(scores, inst.offsets, inst.chunks);
+    Variable weighted = AgMulRowScalar(instance_feats, weights);
+    return AgSegmentReduce(weighted, inst.offsets, ReduceKind::kSum, inst.chunks);
+  }
+  std::vector<uint64_t> offsets = SlotOffsetsCopy();
+  Variable weights = AgSegmentSoftmax(scores, offsets);
+  Variable weighted = AgMulRowScalar(instance_feats, weights);
   return AgSegmentReduce(weighted, std::move(offsets), ReduceKind::kSum);
 }
 
@@ -153,6 +200,9 @@ Variable HdgAggregator::SchemaLevel(const Variable& slot_feats, ReduceKind kind)
   const int64_t group = hdg_.num_types();
   FLEX_CHECK_EQ(slot_feats.rows(), static_cast<int64_t>(hdg_.num_roots()) * group);
   FLEX_TRACE_SPAN("hybrid_agg.schema", {{"slots", static_cast<double>(slot_feats.rows())}});
+  if (plan_ != nullptr && plan_->has_schema) {
+    return AgSchemaReduce(slot_feats, plan_->schema, kind, strategy_, stats_);
+  }
   return AgSchemaReduce(slot_feats, group, kind, strategy_, stats_);
 }
 

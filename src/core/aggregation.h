@@ -15,6 +15,7 @@
 
 #include "src/core/exec_strategy.h"
 #include "src/core/fused_ops.h"
+#include "src/exec/plan.h"
 #include "src/hdg/hdg.h"
 #include "src/tensor/autograd.h"
 #include "src/tensor/lstm.h"
@@ -23,8 +24,13 @@ namespace flexgraph {
 
 class HdgAggregator {
  public:
-  HdgAggregator(const Hdg& hdg, ExecStrategy strategy, AggregationStats* stats = nullptr)
-      : hdg_(hdg), strategy_(strategy), stats_(stats) {}
+  // `plan` (optional) must be compiled from this HDG with this strategy; when
+  // present the level methods draw indices, segment offsets and chunk
+  // boundaries from it instead of rebuilding them per call. Numerics are
+  // bitwise identical either way.
+  HdgAggregator(const Hdg& hdg, ExecStrategy strategy, AggregationStats* stats = nullptr,
+                const ExecutionPlan* plan = nullptr)
+      : hdg_(hdg), strategy_(strategy), stats_(stats), plan_(plan) {}
 
   const Hdg& hdg() const { return hdg_; }
   ExecStrategy strategy() const { return strategy_; }
@@ -72,6 +78,7 @@ class HdgAggregator {
   const Hdg& hdg_;
   ExecStrategy strategy_;
   AggregationStats* stats_;
+  const ExecutionPlan* plan_;
 };
 
 }  // namespace flexgraph

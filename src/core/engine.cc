@@ -6,13 +6,23 @@
 namespace flexgraph {
 
 const Hdg& Engine::EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times) {
-  const bool rebuild =
-      !cached_hdg_.has_value() || model.cache_policy == HdgCachePolicy::kPerEpoch;
+  const bool rebuild = !cached_hdg_.has_value() ||
+                       model.cache_policy == HdgCachePolicy::kPerEpoch ||
+                       cached_model_ != model.name;
   if (rebuild) {
-    FLEX_TRACE_SPAN("nau.neighbor_selection");
-    FLEX_SCOPED_SECONDS("nau.neighbor_selection_seconds",
-                        times != nullptr ? &times->neighbor_selection : nullptr);
-    cached_hdg_ = BuildHdgAllVertices(model, graph_, rng);
+    {
+      FLEX_TRACE_SPAN("nau.neighbor_selection");
+      FLEX_SCOPED_SECONDS("nau.neighbor_selection_seconds",
+                          times != nullptr ? &times->neighbor_selection : nullptr);
+      cached_hdg_ = BuildHdgAllVertices(model, graph_, rng);
+    }
+    // The plan is compiled once per (model, HDG, strategy) and lives/dies
+    // with the cached HDG; the arena reservation comes from its estimate.
+    FLEX_TRACE_SPAN("exec.plan_compile");
+    cached_plan_ = std::make_unique<ExecutionPlan>(
+        CompileExecutionPlan(model.name, *cached_hdg_, strategy_));
+    cached_model_ = model.name;
+    workspace_.Reserve(cached_plan_->planned_bytes);
   }
   return *cached_hdg_;
 }
@@ -21,8 +31,13 @@ Variable Engine::Forward(const GnnModel& model, const Hdg& hdg, const Tensor& fe
                          StageTimes* times) {
   FLEX_CHECK(!model.layers.empty());
   FLEX_CHECK_EQ(features.rows(), static_cast<int64_t>(graph_.num_vertices()));
-  HdgAggregator aggregator(hdg, strategy_, &stats_);
-  Variable feats = Variable::Leaf(features);
+  // The plan only applies when executing the HDG it was compiled from.
+  const ExecutionPlan* plan = cached_plan_ != nullptr && cached_hdg_.has_value() &&
+                                      &hdg == &*cached_hdg_ && cached_model_ == model.name
+                                  ? cached_plan_.get()
+                                  : nullptr;
+  HdgAggregator aggregator(hdg, strategy_, &stats_, plan);
+  Variable feats = Variable::Leaf(WsTensorCopy(features));
   for (std::size_t l = 0; l < model.layers.size(); ++l) {
     const auto& layer = model.layers[l];
     Variable nbr;
@@ -48,28 +63,43 @@ EpochResult Engine::TrainEpoch(const GnnModel& model, const Tensor& features,
   EpochResult result;
   FLEX_COUNTER_ADD("nau.epochs", 1);
   const Hdg& hdg = EnsureHdg(model, rng, &result.times);
-  Variable logits = Forward(model, hdg, features, &result.times);
-  Variable loss = AgSoftmaxCrossEntropy(logits, labels);
-  result.loss = loss.value().At(0, 0);
+  // Reset happens here — after the previous epoch's autograd graph has died,
+  // before any allocation of this epoch — so steady-state epochs bump-reuse
+  // the same slabs with zero heap traffic.
+  workspace_.Reset();
+  {
+    WorkspaceScope ws_scope(&workspace_);
+    Variable logits = Forward(model, hdg, features, &result.times);
+    Variable loss = AgSoftmaxCrossEntropy(logits, labels);
+    result.loss = loss.value().At(0, 0);
 
-  std::vector<Variable> params = model.Parameters();
-  {
-    FLEX_TRACE_SPAN("nau.backward");
-    FLEX_SCOPED_SECONDS("nau.backward_seconds", &result.times.backward);
-    loss.Backward();
-  }
-  {
-    FLEX_TRACE_SPAN("nau.optimize");
-    FLEX_SCOPED_SECONDS("nau.optimize_seconds", &result.times.optimize);
-    opt.Step(params);
-    SgdOptimizer::ZeroGrad(params);
+    std::vector<Variable> params = model.Parameters();
+    {
+      FLEX_TRACE_SPAN("nau.backward");
+      FLEX_SCOPED_SECONDS("nau.backward_seconds", &result.times.backward);
+      loss.Backward();
+    }
+    {
+      FLEX_TRACE_SPAN("nau.optimize");
+      FLEX_SCOPED_SECONDS("nau.optimize_seconds", &result.times.optimize);
+      opt.Step(params);
+      SgdOptimizer::ZeroGrad(params);
+    }
   }
   return result;
 }
 
 Tensor Engine::Infer(const GnnModel& model, const Tensor& features, Rng& rng, StageTimes* times) {
   const Hdg& hdg = EnsureHdg(model, rng, times);
-  Variable logits = Forward(model, hdg, features, times);
+  workspace_.Reset();
+  Variable logits;
+  {
+    WorkspaceScope ws_scope(&workspace_);
+    logits = Forward(model, hdg, features, times);
+  }
+  // Copied after the scope closes: the arena stays valid until the next
+  // Reset, and the caller's owning copy shouldn't count as kernel heap
+  // traffic.
   return logits.value();
 }
 

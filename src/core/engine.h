@@ -5,12 +5,16 @@
 #ifndef SRC_CORE_ENGINE_H_
 #define SRC_CORE_ENGINE_H_
 
+#include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "src/core/nau.h"
 #include "src/core/neighbor_selection.h"
+#include "src/exec/plan.h"
 #include "src/tensor/nn.h"
+#include "src/tensor/workspace.h"
 
 namespace flexgraph {
 
@@ -51,7 +55,19 @@ class Engine {
   // Returns the HDGs to use for this epoch, rebuilding per the cache policy.
   // Respects §3.2's discussion: PinSage rebuilds per epoch, GCN/MAGNN reuse
   // one HDG for the whole run. Rebuild time is added to times->neighbor_selection.
+  // Every (re)build also recompiles the ExecutionPlan for (model, HDG,
+  // strategy) and re-reserves the workspace arena from its size estimate;
+  // switching models on a shared engine invalidates both.
   const Hdg& EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times);
+
+  // The plan compiled beside the cached HDG (null before the first EnsureHdg).
+  const ExecutionPlan* plan() const { return cached_plan_.get(); }
+
+  // The arena steady-state epochs allocate from. Callers driving Forward
+  // manually (e.g. Trainer::Fit) reset it at the start of each epoch and open
+  // a WorkspaceScope around the forward/backward; TrainEpoch/Infer do this
+  // internally.
+  Workspace& workspace() { return workspace_; }
 
   // Forward pass through all layers: features for every graph vertex in,
   // final-layer features (logits) out.
@@ -66,13 +82,22 @@ class Engine {
   // Inference-only epoch (used by the stage-breakdown bench).
   Tensor Infer(const GnnModel& model, const Tensor& features, Rng& rng, StageTimes* times);
 
-  // Drops the cached HDGs (e.g. when switching models on a shared engine).
-  void InvalidateHdgCache() { cached_hdg_.reset(); }
+  // Drops the cached HDG and the plan compiled from it (e.g. when switching
+  // models on a shared engine — also done automatically when EnsureHdg sees a
+  // different model name).
+  void InvalidateHdgCache() {
+    cached_hdg_.reset();
+    cached_plan_.reset();
+    cached_model_.clear();
+  }
 
  private:
   const CsrGraph& graph_;
   ExecStrategy strategy_;
   std::optional<Hdg> cached_hdg_;
+  std::unique_ptr<ExecutionPlan> cached_plan_;
+  std::string cached_model_;
+  Workspace workspace_;
   AggregationStats stats_;
 };
 

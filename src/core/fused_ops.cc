@@ -2,71 +2,110 @@
 
 #include <cstring>
 
+#include "src/exec/chunks.h"
+#include "src/exec/parallel.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/ops_dense.h"
+#include "src/tensor/workspace.h"
 #include "src/util/check.h"
 
 namespace flexgraph {
 
-Tensor FusedSegmentGatherReduce(const Tensor& x, const std::vector<VertexId>& leaf_ids,
-                                const std::vector<uint64_t>& offsets, ReduceKind kind) {
+namespace {
+
+// Matches the src/tensor kernels' inline-below threshold (touched floats).
+constexpr int64_t kMinParallelWork = 1 << 14;
+
+// Runs body(s_lo, s_hi) over segment-aligned chunks (the plan's, or fixed
+// boundaries derived from the offsets). Per-segment work inside `body` is the
+// sequential kernel verbatim, so results are bitwise identical to 1 thread.
+void ForEachSegmentChunk(std::span<const uint64_t> offsets, std::span<const int64_t> chunks,
+                         int64_t total_work,
+                         const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t num_segments = offsets.empty() ? 0 : static_cast<int64_t>(offsets.size()) - 1;
+  if (num_segments <= 0) {
+    return;
+  }
+  if (total_work < kMinParallelWork || exec::NumThreads() <= 1) {
+    body(0, num_segments);
+    return;
+  }
+  std::vector<int64_t> local;
+  if (chunks.empty()) {
+    local = MakeSegmentChunks(offsets, kPlanChunkTarget);
+    chunks = local;
+  }
+  exec::ParallelChunks(static_cast<int64_t>(chunks.size()) - 1,
+                       [&](int64_t c) { body(chunks[c], chunks[c + 1]); });
+}
+
+}  // namespace
+
+Tensor FusedSegmentGatherReduce(const Tensor& x, std::span<const VertexId> leaf_ids,
+                                std::span<const uint64_t> offsets, ReduceKind kind,
+                                std::span<const int64_t> chunks) {
   FLEX_CHECK_GE(offsets.size(), 1u);
-  FLEX_CHECK_EQ(offsets.back(), leaf_ids.size());
+  FLEX_CHECK_EQ(offsets[offsets.size() - 1], leaf_ids.size());
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   const int64_t d = x.cols();
-  Tensor out(num_segments, d);
-  for (int64_t s = 0; s < num_segments; ++s) {
-    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-    if (lo == hi) {
-      continue;
-    }
-    float* __restrict orow = out.Row(s);
-    if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
-      std::memcpy(orow, x.Row(static_cast<int64_t>(leaf_ids[lo])),
-                  static_cast<std::size_t>(d) * sizeof(float));
-      for (uint64_t e = lo + 1; e < hi; ++e) {
-        const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
-        if (kind == ReduceKind::kMax) {
-          for (int64_t j = 0; j < d; ++j) {
-            orow[j] = orow[j] > src[j] ? orow[j] : src[j];
-          }
-        } else {
-          for (int64_t j = 0; j < d; ++j) {
-            orow[j] = orow[j] < src[j] ? orow[j] : src[j];
+  Tensor out = WsTensor(num_segments, d);
+  const int64_t total_work = static_cast<int64_t>(leaf_ids.size()) * d;
+  ForEachSegmentChunk(offsets, chunks, total_work, [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+      if (lo == hi) {
+        continue;
+      }
+      float* __restrict orow = out.Row(s);
+      if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
+        std::memcpy(orow, x.Row(static_cast<int64_t>(leaf_ids[lo])),
+                    static_cast<std::size_t>(d) * sizeof(float));
+        for (uint64_t e = lo + 1; e < hi; ++e) {
+          const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
+          if (kind == ReduceKind::kMax) {
+            for (int64_t j = 0; j < d; ++j) {
+              orow[j] = orow[j] > src[j] ? orow[j] : src[j];
+            }
+          } else {
+            for (int64_t j = 0; j < d; ++j) {
+              orow[j] = orow[j] < src[j] ? orow[j] : src[j];
+            }
           }
         }
+        continue;
       }
-      continue;
-    }
-    // Sum/mean: accumulate source rows directly into the destination buffer —
-    // no per-edge message tensor exists. The inner loop is contiguous over d
-    // so the compiler vectorizes it (the paper's AVX feature-fusion path).
-    for (uint64_t e = lo; e < hi; ++e) {
-      const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] += src[j];
+      // Sum/mean: accumulate source rows directly into the destination buffer —
+      // no per-edge message tensor exists. The inner loop is contiguous over d
+      // so the compiler vectorizes it (the paper's AVX feature-fusion path).
+      for (uint64_t e = lo; e < hi; ++e) {
+        const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] += src[j];
+        }
+      }
+      if (kind == ReduceKind::kMean) {
+        const float inv = 1.0f / static_cast<float>(hi - lo);
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] *= inv;
+        }
       }
     }
-    if (kind == ReduceKind::kMean) {
-      const float inv = 1.0f / static_cast<float>(hi - lo);
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] *= inv;
-      }
-    }
-  }
+  });
   return out;
 }
 
 namespace {
 
 // Shared backward for the indirect segment reduce: route each output-segment
-// gradient back to the source rows that fed it.
+// gradient back to the source rows that fed it. Sequential — source rows
+// collide arbitrarily; the planned path below replaces this with a parallel
+// per-source gather.
 Tensor IndirectSegmentReduceBackward(const Tensor& grad_out, const std::vector<VertexId>& leaf_ids,
                                      const std::vector<uint64_t>& offsets, ReduceKind kind,
                                      int64_t src_rows, int64_t d) {
-  Tensor gx(src_rows, d);
+  Tensor gx = WsTensor(src_rows, d);
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   for (int64_t s = 0; s < num_segments; ++s) {
     const uint64_t lo = offsets[static_cast<std::size_t>(s)];
@@ -82,6 +121,46 @@ Tensor IndirectSegmentReduceBackward(const Tensor& grad_out, const std::vector<V
         dst[j] += grow[j] * scale;
       }
     }
+  }
+  return gx;
+}
+
+// Planned backward: the inverse (source→segment) map turns the scatter-add
+// into a gather — each source row is owned by exactly one task. Contributions
+// are listed in ascending edge order, the same order the sequential
+// scatter-add visits them, so sums are bitwise identical.
+Tensor PlannedIndirectBackward(const Tensor& grad_out, const U64Vec& src_offsets,
+                               const U32Vec& src_edge_segments, const I64Vec& src_chunks,
+                               const U64Vec& offsets, ReduceKind kind, int64_t src_rows,
+                               int64_t d) {
+  Tensor gx = WsTensor(src_rows, d);
+  const auto& soff = *src_offsets;
+  const auto& ssegs = *src_edge_segments;
+  const auto& segs = *offsets;
+  const int64_t mapped_rows = static_cast<int64_t>(soff.size()) - 1;
+  const auto gather_range = [&](int64_t v_lo, int64_t v_hi) {
+    for (int64_t v = v_lo; v < v_hi; ++v) {
+      float* __restrict dst = gx.Row(v);
+      for (uint64_t idx = soff[static_cast<std::size_t>(v)];
+           idx < soff[static_cast<std::size_t>(v) + 1]; ++idx) {
+        const uint32_t s = ssegs[static_cast<std::size_t>(idx)];
+        const uint64_t width = segs[s + 1] - segs[s];
+        const float scale = kind == ReduceKind::kMean ? 1.0f / static_cast<float>(width) : 1.0f;
+        const float* __restrict grow = grad_out.Row(static_cast<int64_t>(s));
+        for (int64_t j = 0; j < d; ++j) {
+          dst[j] += grow[j] * scale;
+        }
+      }
+    }
+  };
+  const int64_t total_work = static_cast<int64_t>(ssegs.size()) * d;
+  if (total_work < kMinParallelWork || exec::NumThreads() <= 1 || !src_chunks) {
+    gather_range(0, mapped_rows);
+  } else {
+    const auto& bounds = *src_chunks;
+    exec::ParallelChunks(static_cast<int64_t>(bounds.size()) - 1, [&](int64_t c) {
+      gather_range(bounds[static_cast<std::size_t>(c)], bounds[static_cast<std::size_t>(c) + 1]);
+    });
   }
   return gx;
 }
@@ -141,6 +220,60 @@ Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_i
   });
 }
 
+Variable AgIndirectSegmentReduce(const Variable& x, const LevelPlan& level, ReduceKind kind,
+                                 ExecStrategy strategy, AggregationStats* stats) {
+  FLEX_CHECK_MSG(kind == ReduceKind::kSum || kind == ReduceKind::kMean,
+                 "differentiable aggregation supports sum/mean");
+  FLEX_CHECK(level.offsets && level.leaf_ids && level.gather_index);
+  const int64_t d = x.cols();
+  const int64_t src_rows = x.rows();
+  const std::size_t num_refs = level.leaf_ids->size();
+  Tensor out;
+
+  if (strategy == ExecStrategy::kSparse) {
+    // SA: still materializes the gathered [E, d] message tensor (that cost is
+    // what the strategy models), but reduces it over the plan's precompiled
+    // segment boundaries instead of building a COO index per call. The
+    // accumulation order per destination is identical to the scatter kernel's
+    // ascending-row order, so numerics are bitwise unchanged.
+    FLEX_TRACE_SPAN("kernel.sa_gather_scatter", {{"rows", static_cast<double>(num_refs)}});
+    FLEX_COUNTER_ADD("kernel.sparse_leaf_refs", static_cast<int64_t>(num_refs));
+    Tensor gathered = GatherRows(x.value(), *level.gather_index);
+    if (stats != nullptr) {
+      stats->materialized_bytes +=
+          gathered.ByteSize() + level.scatter_index->size() * sizeof(uint32_t);
+      stats->sparse_rows += static_cast<uint64_t>(gathered.rows());
+    }
+    out = SegmentReduce(gathered, *level.offsets, kind, *level.chunks);
+  } else {
+    FLEX_TRACE_SPAN("kernel.fa_fused_gather_reduce", {{"rows", static_cast<double>(num_refs)}});
+    FLEX_COUNTER_ADD("kernel.fused_leaf_refs", static_cast<int64_t>(num_refs));
+    out = FusedSegmentGatherReduce(x.value(), *level.leaf_ids, *level.offsets, kind,
+                                   level.chunks ? std::span<const int64_t>(*level.chunks)
+                                                : std::span<const int64_t>{});
+    if (stats != nullptr) {
+      stats->fused_rows += num_refs;
+    }
+  }
+
+  auto xn = x.node();
+  const U64Vec offs = level.offsets;
+  const IdVec ids = level.leaf_ids;
+  const U64Vec soff = level.src_offsets;
+  const U32Vec ssegs = level.src_edge_segments;
+  const I64Vec schunks = level.src_chunks;
+  return MakeVariable(std::move(out), {x},
+                      [xn, offs, ids, soff, ssegs, schunks, kind, src_rows, d](AgNode& self) {
+                        if (soff && ssegs) {
+                          xn->AccumulateGrad(PlannedIndirectBackward(
+                              self.grad(), soff, ssegs, schunks, offs, kind, src_rows, d));
+                        } else {
+                          xn->AccumulateGrad(IndirectSegmentReduceBackward(
+                              self.grad(), *ids, *offs, kind, src_rows, d));
+                        }
+                      });
+}
+
 Variable AgSchemaReduce(const Variable& slots, int64_t group, ReduceKind kind,
                         ExecStrategy strategy, AggregationStats* stats) {
   FLEX_CHECK_EQ(slots.rows() % group, 0);
@@ -166,19 +299,39 @@ Variable AgSchemaReduce(const Variable& slots, int64_t group, ReduceKind kind,
   return AgScatter(slots, std::move(index), out_rows, kind);
 }
 
+Variable AgSchemaReduce(const Variable& slots, const LevelPlan& level, ReduceKind kind,
+                        ExecStrategy strategy, AggregationStats* stats) {
+  const int64_t group = level.group;
+  FLEX_CHECK_GT(group, 0);
+  FLEX_CHECK_EQ(slots.rows() % group, 0);
+  if (strategy == ExecStrategy::kHybrid) {
+    if (stats != nullptr) {
+      stats->dense_rows += static_cast<uint64_t>(slots.rows());
+    }
+    return kind == ReduceKind::kMean ? AgGroupMean(slots, group) : AgGroupSum(slots, group);
+  }
+  FLEX_CHECK(level.scatter_index);
+  FLEX_CHECK_EQ(static_cast<int64_t>(level.scatter_index->size()), slots.rows());
+  if (stats != nullptr) {
+    stats->sparse_rows += static_cast<uint64_t>(slots.rows());
+    stats->materialized_bytes += level.scatter_index->size() * sizeof(uint32_t);
+  }
+  return AgScatter(slots, level.scatter_index, slots.rows() / group, kind);
+}
+
 Variable AgGroupConcat(const Variable& x, int64_t group) {
   FLEX_CHECK_EQ(x.rows() % group, 0);
   const int64_t n = x.rows() / group;
   const int64_t d = x.cols();
   // Row-major [n·g, d] and [n, g·d] share the same linear layout; the forward
   // is a straight copy and the backward the inverse copy.
-  Tensor out(n, group * d);
+  Tensor out = WsTensorUninit(n, group * d);
   std::memcpy(out.data(), x.value().data(),
               static_cast<std::size_t>(x.value().numel()) * sizeof(float));
   auto xn = x.node();
   const int64_t rows = x.rows();
   return MakeVariable(std::move(out), {x}, [xn, rows, d](AgNode& self) {
-    Tensor g(rows, d);
+    Tensor g = WsTensorUninit(rows, d);
     std::memcpy(g.data(), self.grad().data(),
                 static_cast<std::size_t>(g.numel()) * sizeof(float));
     xn->AccumulateGrad(g);

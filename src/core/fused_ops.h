@@ -12,9 +12,11 @@
 #define SRC_CORE_FUSED_OPS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/core/exec_strategy.h"
+#include "src/exec/plan.h"
 #include "src/graph/graph_types.h"
 #include "src/tensor/autograd.h"
 
@@ -34,9 +36,13 @@ struct AggregationStats {
 };
 
 // The raw fused forward kernel (no autograd): for each segment s reduce the
-// rows x[leaf_ids[e]]. kind may be kSum/kMean/kMax/kMin.
-Tensor FusedSegmentGatherReduce(const Tensor& x, const std::vector<VertexId>& leaf_ids,
-                                const std::vector<uint64_t>& offsets, ReduceKind kind);
+// rows x[leaf_ids[e]]. kind may be kSum/kMean/kMin/kMax. `chunks` (optional)
+// are precompiled segment-aligned parallel chunk boundaries; without them
+// fixed boundaries are derived on the fly. Bitwise identical across thread
+// counts either way.
+Tensor FusedSegmentGatherReduce(const Tensor& x, std::span<const VertexId> leaf_ids,
+                                std::span<const uint64_t> offsets, ReduceKind kind,
+                                std::span<const int64_t> chunks = {});
 
 // Differentiable indirect segment reduce with strategy-selected forward.
 // kind must be kSum or kMean (the differentiable aggregators GNNs use).
@@ -45,11 +51,24 @@ Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_i
                                  std::vector<uint64_t> offsets, ReduceKind kind,
                                  ExecStrategy strategy, AggregationStats* stats);
 
+// Planned-execution form: indices, chunk boundaries and the inverse
+// (source→segment) backward map all come precompiled from the level plan, so
+// steady-state epochs build no index tensors and the backward runs as a
+// race-free parallel per-source gather. Numerics are bitwise identical to the
+// ad-hoc overload above for every strategy.
+Variable AgIndirectSegmentReduce(const Variable& x, const LevelPlan& level, ReduceKind kind,
+                                 ExecStrategy strategy, AggregationStats* stats);
+
 // Dense schema-level reduce with strategy selection: under kHybrid this is a
 // reshape+reduce (AgGroupSum/Mean); under SA/SA+FA the same math runs through
 // a scatter op with an explicit index tensor, modelling sparse execution of
 // the schema level. group = number of consecutive rows per output row.
 Variable AgSchemaReduce(const Variable& slots, int64_t group, ReduceKind kind,
+                        ExecStrategy strategy, AggregationStats* stats);
+
+// Planned form of the schema reduce: the sparse path reuses the plan's
+// precompiled scatter index instead of rebuilding it per call.
+Variable AgSchemaReduce(const Variable& slots, const LevelPlan& level, ReduceKind kind,
                         ExecStrategy strategy, AggregationStats* stats);
 
 // Concatenation across a group of consecutive rows: [n·g, d] → [n, g·d].

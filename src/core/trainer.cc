@@ -79,18 +79,26 @@ TrainerResult Trainer::Fit(const GnnModel& model, const Tensor& features,
     FLEX_COUNTER_ADD("nau.epochs", 1);
     StageTimes times;
     const Hdg& hdg = engine_.EnsureHdg(model, rng, &times);
-    Variable logits = engine_.Forward(model, hdg, features, &times);
-    Variable loss = MaskedSoftmaxCrossEntropy(logits, split.train, labels);
+    // Previous epoch's graph died at the end of the last iteration, so the
+    // arena can be rewound and bump-reused for this one.
+    engine_.workspace().Reset();
+    Variable logits;
+    Variable loss;
     {
-      FLEX_TRACE_SPAN("nau.backward");
-      FLEX_SCOPED_SECONDS("nau.backward_seconds", nullptr);
-      loss.Backward();
-    }
-    {
-      FLEX_TRACE_SPAN("nau.optimize");
-      FLEX_SCOPED_SECONDS("nau.optimize_seconds", nullptr);
-      opt.Step(params);
-      SgdOptimizer::ZeroGrad(params);
+      WorkspaceScope ws_scope(&engine_.workspace());
+      logits = engine_.Forward(model, hdg, features, &times);
+      loss = MaskedSoftmaxCrossEntropy(logits, split.train, labels);
+      {
+        FLEX_TRACE_SPAN("nau.backward");
+        FLEX_SCOPED_SECONDS("nau.backward_seconds", nullptr);
+        loss.Backward();
+      }
+      {
+        FLEX_TRACE_SPAN("nau.optimize");
+        FLEX_SCOPED_SECONDS("nau.optimize_seconds", nullptr);
+        opt.Step(params);
+        SgdOptimizer::ZeroGrad(params);
+      }
     }
 
     EpochMetrics metrics;

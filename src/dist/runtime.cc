@@ -63,6 +63,14 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
     FLEX_HIST_OBSERVE("dist.hdg_build_seconds", worker.hdg_build_seconds);
     makespan = std::max(makespan, worker.hdg_build_seconds);
     worker.plan = BuildCommPlan(worker.hdg, parts_, worker.id, &worker.out_refs_by_owner);
+    // Each worker compiles its own execution plan and sizes its own arena —
+    // exactly what a real shared-nothing worker would do. A fault-recovery
+    // re-partition funnels back through Prepare, so migrated roots get fresh
+    // plans automatically.
+    worker.exec_plan = std::make_shared<const ExecutionPlan>(
+        CompileExecutionPlan(model.name, worker.hdg, config_.strategy));
+    worker.workspace = std::make_shared<Workspace>();
+    worker.workspace->Reserve(worker.exec_plan->planned_bytes);
     FLEX_LOG(Debug) << "HDG built: " << worker.roots.size() << " roots, "
                     << worker.hdg.num_leaf_refs() << " leaf refs ("
                     << worker.plan.remote_leaf_refs << " remote) in "
@@ -215,20 +223,34 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
       FLEX_TRACE_SPAN("dist.worker_execute",
                       {{"worker", static_cast<double>(worker.id)}, {"layer", layer_arg}});
       AggregationStats agg_stats;
-      HdgAggregator aggregator(worker.hdg, config_.strategy, &agg_stats);
+      HdgAggregator aggregator(worker.hdg, config_.strategy, &agg_stats,
+                               worker.exec_plan.get());
 
-      WallTimer agg_timer;
-      Variable nbr = layer->Aggregate(h_var, aggregator);
-      const double agg_seconds = agg_timer.ElapsedSeconds();
-      times[worker.id].bottom = agg_stats.bottom_seconds;
-      times[worker.id].rest_agg = std::max(0.0, agg_seconds - agg_stats.bottom_seconds);
+      // The worker's arena is rewound once per (worker, layer): every tensor
+      // this worker borrowed for the previous layer died with that layer's
+      // `nbr`/`local`/`out` variables, so the slabs can be bump-reused.
+      Variable out;
+      if (worker.workspace != nullptr) {
+        worker.workspace->Reset();
+      }
+      {
+        WorkspaceScope ws_scope(worker.workspace.get());
+        WallTimer agg_timer;
+        Variable nbr = layer->Aggregate(h_var, aggregator);
+        const double agg_seconds = agg_timer.ElapsedSeconds();
+        times[worker.id].bottom = agg_stats.bottom_seconds;
+        times[worker.id].rest_agg = std::max(0.0, agg_seconds - agg_stats.bottom_seconds);
 
-      WallTimer update_timer;
-      std::vector<uint32_t> root_index(worker.roots.begin(), worker.roots.end());
-      Variable local = AgGatherRows(h_var, std::move(root_index));
-      Variable out = layer->Update(local, nbr);
-      times[worker.id].update = update_timer.ElapsedSeconds();
+        WallTimer update_timer;
+        std::vector<uint32_t> root_index(worker.roots.begin(), worker.roots.end());
+        Variable local = AgGatherRows(h_var, std::move(root_index));
+        out = layer->Update(local, nbr);
+        times[worker.id].update = update_timer.ElapsedSeconds();
+      }
 
+      // h_next outlives the layer, so it is allocated outside the scope;
+      // out.value() (arena-borrowed) stays valid until this worker's next
+      // Reset, which is at least a layer away.
       if (!h_next_ready) {
         h_next = Tensor(graph_.num_vertices(), out.cols());
         h_next_ready = true;

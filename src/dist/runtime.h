@@ -67,6 +67,12 @@ struct WorkerState {
   CommPlan plan;
   std::vector<uint64_t> out_refs_by_owner;  // rows this worker's HDGs pull per owner
   double hdg_build_seconds = 0.0;
+  // Planned execution state, rebuilt by Prepare alongside the HDG (including
+  // after a fault-recovery re-partition) and reused across epochs: the
+  // compiled level plan and the per-worker arena its partial-aggregation and
+  // update buffers draw from.
+  std::shared_ptr<const ExecutionPlan> exec_plan;
+  std::shared_ptr<Workspace> workspace;
 };
 
 struct DistEpochStats {

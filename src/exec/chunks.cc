@@ -1,0 +1,46 @@
+#include "src/exec/chunks.h"
+
+#include <algorithm>
+
+namespace flexgraph {
+
+std::vector<int64_t> MakeSegmentChunks(std::span<const uint64_t> offsets,
+                                       int64_t target_chunks) {
+  std::vector<int64_t> bounds{0};
+  const int64_t num_segments = offsets.empty() ? 0 : static_cast<int64_t>(offsets.size()) - 1;
+  if (num_segments <= 0) {
+    return bounds;
+  }
+  target_chunks = std::clamp<int64_t>(target_chunks, 1, num_segments);
+  const uint64_t total = offsets[num_segments] - offsets[0];
+  // Greedy width-balanced walk: close a chunk once it holds >= total/target
+  // input rows. Empty-width segments ride along with their neighbors.
+  const uint64_t per_chunk = std::max<uint64_t>(1, (total + target_chunks - 1) /
+                                                       static_cast<uint64_t>(target_chunks));
+  uint64_t acc = 0;
+  for (int64_t s = 0; s < num_segments; ++s) {
+    acc += offsets[s + 1] - offsets[s];
+    if (acc >= per_chunk && s + 1 < num_segments) {
+      bounds.push_back(s + 1);
+      acc = 0;
+    }
+  }
+  bounds.push_back(num_segments);
+  return bounds;
+}
+
+std::vector<int64_t> MakeRowChunks(int64_t rows, int64_t target_chunks) {
+  std::vector<int64_t> bounds{0};
+  if (rows <= 0) {
+    return bounds;
+  }
+  target_chunks = std::clamp<int64_t>(target_chunks, 1, rows);
+  const int64_t step = (rows + target_chunks - 1) / target_chunks;
+  for (int64_t lo = step; lo < rows; lo += step) {
+    bounds.push_back(lo);
+  }
+  bounds.push_back(rows);
+  return bounds;
+}
+
+}  // namespace flexgraph

@@ -1,0 +1,127 @@
+#include "src/exec/parallel.h"
+
+#include <algorithm>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "src/util/check.h"
+#include "src/util/env.h"
+#include "src/util/thread_pool.h"
+
+namespace flexgraph {
+namespace exec {
+namespace {
+
+int DefaultThreads() {
+  const int64_t env = EnvInt("FLEXGRAPH_NUM_THREADS", 0);
+  if (env > 0) {
+    return static_cast<int>(env);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::mutex g_mutex;
+int g_num_threads = 0;  // 0 = not yet initialized
+std::unique_ptr<ThreadPool> g_pool;
+
+// Returns the pool for the current configuration, or nullptr when single-
+// threaded (callers run inline). Guarded by g_mutex.
+ThreadPool* PoolLocked() {
+  if (g_num_threads == 0) {
+    g_num_threads = DefaultThreads();
+  }
+  if (g_num_threads <= 1) {
+    return nullptr;
+  }
+  if (g_pool == nullptr || g_pool->num_threads() != static_cast<std::size_t>(g_num_threads)) {
+    g_pool = std::make_unique<ThreadPool>(static_cast<std::size_t>(g_num_threads));
+  }
+  return g_pool.get();
+}
+
+}  // namespace
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (g_num_threads == 0) {
+    g_num_threads = DefaultThreads();
+  }
+  return g_num_threads;
+}
+
+void SetNumThreads(int n) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_num_threads = n <= 0 ? DefaultThreads() : n;
+  // Drop an over/under-sized pool; PoolLocked() rebuilds on next use.
+  if (g_pool != nullptr && g_pool->num_threads() != static_cast<std::size_t>(g_num_threads)) {
+    g_pool.reset();
+  }
+}
+
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& body) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) {
+    return;
+  }
+  if (grain < 1) {
+    grain = 1;
+  }
+  ThreadPool* pool = nullptr;
+  std::int64_t threads = 1;
+  if (n > grain) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    pool = PoolLocked();
+    threads = g_num_threads;
+  }
+  if (pool == nullptr) {
+    body(begin, end);
+    return;
+  }
+  // Oversubscribe mildly for load balance; range boundaries depend only on
+  // n/grain, never on the thread count, but even thread-dependent splits
+  // would be bitwise-safe since ranges are disjoint.
+  const std::int64_t max_tasks = std::min<std::int64_t>(threads * 4, (n + grain - 1) / grain);
+  const std::int64_t num_tasks = std::max<std::int64_t>(1, max_tasks);
+  if (num_tasks == 1) {
+    body(begin, end);
+    return;
+  }
+  const std::int64_t step = (n + num_tasks - 1) / num_tasks;
+  for (std::int64_t t = 0; t < num_tasks; ++t) {
+    const std::int64_t lo = begin + t * step;
+    const std::int64_t hi = std::min(end, lo + step);
+    if (lo >= hi) {
+      break;
+    }
+    pool->Submit([lo, hi, &body] { body(lo, hi); });
+  }
+  pool->Wait();
+}
+
+void ParallelChunks(std::int64_t num_chunks,
+                    const std::function<void(std::int64_t)>& body) {
+  if (num_chunks <= 0) {
+    return;
+  }
+  ThreadPool* pool = nullptr;
+  if (num_chunks > 1) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    pool = PoolLocked();
+  }
+  if (pool == nullptr) {
+    for (std::int64_t c = 0; c < num_chunks; ++c) {
+      body(c);
+    }
+    return;
+  }
+  for (std::int64_t c = 0; c < num_chunks; ++c) {
+    pool->Submit([c, &body] { body(c); });
+  }
+  pool->Wait();
+}
+
+}  // namespace exec
+}  // namespace flexgraph

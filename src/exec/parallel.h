@@ -1,0 +1,41 @@
+// Process-wide kernel thread-count knob and deterministic parallel loops for
+// the planned execution layer. Unlike ThreadPool::Global(), this pool is
+// reconfigurable at runtime (--threads / FLEXGRAPH_NUM_THREADS), and every
+// loop here partitions work into fixed contiguous ranges whose boundaries do
+// not depend on the thread count — each output row is written by exactly one
+// task and per-row accumulation order never changes, so kernel results are
+// bitwise identical across thread counts.
+#ifndef SRC_EXEC_PARALLEL_H_
+#define SRC_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace flexgraph {
+namespace exec {
+
+// Current kernel thread count (>= 1). Initialized on first use from
+// FLEXGRAPH_NUM_THREADS, falling back to std::thread::hardware_concurrency().
+int NumThreads();
+
+// Reconfigures the kernel pool. n <= 0 resets to the environment/hardware
+// default. Safe to call between kernels; not from inside a parallel body.
+void SetNumThreads(int n);
+
+// Runs body(lo, hi) over contiguous subranges covering [begin, end). Ranges
+// never overlap, so the body may write freely to per-index outputs. `grain`
+// is the minimum range width; when the loop is too small to split (or the
+// pool has one thread) the body runs inline as body(begin, end). Blocks until
+// every range is done. The body must not throw.
+void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const std::function<void(std::int64_t, std::int64_t)>& body);
+
+// Convenience for chunk tables (e.g. an ExecutionPlan's segment chunks):
+// runs body(chunk_index) for each c in [0, num_chunks), one task per chunk.
+void ParallelChunks(std::int64_t num_chunks,
+                    const std::function<void(std::int64_t)>& body);
+
+}  // namespace exec
+}  // namespace flexgraph
+
+#endif  // SRC_EXEC_PARALLEL_H_

@@ -1,0 +1,107 @@
+// ExecutionPlan — the level-plan IR of the planned execution layer.
+//
+// Compiled once per (model, HDG, strategy), the plan records for every HDG
+// aggregation level which kernel class runs it, the segment boundaries it
+// reduces over, precomputed index tensors (gather/scatter indices that the
+// ad-hoc dispatch used to rebuild on every call), fixed parallel chunk
+// boundaries, and the inverse leaf→segment map that makes the bottom-level
+// backward a deterministic parallel gather. It also carries a workspace-size
+// estimate so the arena can be reserved up front and steady-state epochs run
+// without heap allocation.
+//
+// Determinism contract: chunk boundaries live in segment space — a chunk
+// never straddles a segment, so each output row is written by exactly one
+// task and the per-segment accumulation order is the same as the sequential
+// kernels'. Results are bitwise identical across thread counts.
+#ifndef SRC_EXEC_PLAN_H_
+#define SRC_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/core/exec_strategy.h"
+#include "src/exec/chunks.h"
+#include "src/hdg/hdg.h"
+
+namespace flexgraph {
+
+// Kernel class chosen for one HDG level (paper §4.2's fusion / sparse /
+// dense trichotomy).
+enum class LevelKernelClass {
+  kFused,              // fused gather+reduce over leaf ids (FA/HA bottom)
+  kGatherSegmentReduce,  // materialized gather then segment reduce (SA bottom)
+  kSegmentReduce,      // contiguous CSC segment reduce (instance level)
+  kScatter,            // explicit scatter with index tensor (SA levels)
+  kDenseGroupReduce,   // reshape+reduce over fixed-size groups (HA schema)
+};
+
+const char* LevelKernelClassName(LevelKernelClass k);
+
+// Shared immutable index vectors: compiled once, referenced by every epoch's
+// autograd closures without copying.
+using U32Vec = std::shared_ptr<const std::vector<uint32_t>>;
+using U64Vec = std::shared_ptr<const std::vector<uint64_t>>;
+using I64Vec = std::shared_ptr<const std::vector<int64_t>>;
+using IdVec = std::shared_ptr<const std::vector<VertexId>>;
+
+// Everything needed to execute one aggregation level.
+struct LevelPlan {
+  LevelKernelClass kernel = LevelKernelClass::kFused;
+  int64_t num_segments = 0;  // output rows
+  int64_t input_rows = 0;    // rows consumed (leaf refs for the bottom level)
+  int64_t group = 0;         // group size for kDenseGroupReduce
+
+  U64Vec offsets;       // [S+1] segment boundaries over the input rows
+  IdVec leaf_ids;       // bottom level: graph vertex id per leaf ref
+  U32Vec gather_index;  // bottom level: leaf_ids as u32 (gather index tensor)
+  U32Vec scatter_index; // destination segment per input row (scatter paths
+                        // and the broadcast backward of segment reduces)
+
+  // Fixed parallel chunking: chunk c covers segments
+  // [chunks[c], chunks[c+1]). Balanced by leaf count, independent of the
+  // thread count.
+  I64Vec chunks;
+
+  // Inverse (leaf→segment) map for the bottom-level backward: source row v
+  // contributed to segments src_edge_segments[src_offsets[v] ..
+  // src_offsets[v+1]), listed in ascending edge order so the parallel
+  // per-source gather accumulates in exactly the sequential kernel's order.
+  U64Vec src_offsets;        // [src_rows + 1]
+  U32Vec src_edge_segments;
+  I64Vec src_chunks;         // chunk boundaries over source rows
+  int64_t src_rows = 0;
+};
+
+struct ExecutionPlan {
+  std::string model_name;
+  ExecStrategy strategy = ExecStrategy::kHybrid;
+  bool flat = true;
+
+  LevelPlan bottom;
+  bool has_instance = false;
+  LevelPlan instance;   // hierarchical HDGs only
+  bool has_schema = false;
+  LevelPlan schema;     // hierarchical HDGs only
+
+  // Flat HDGs: per-edge root vertex id (GAT's destination-score broadcast).
+  U32Vec edge_dst_index;
+
+  // Arena sizing hint: estimated forward+backward workspace bytes per layer
+  // for feature dimension `planned_dim` (see CompileExecutionPlan).
+  std::size_t planned_bytes = 0;
+  int64_t planned_dim = 0;
+  double compile_seconds = 0.0;
+};
+
+// Compiles the plan for one (model, HDG, strategy) triple. `hint_dim` is the
+// feature width used for the workspace-size estimate (pass the model's
+// widest layer dimension; the estimate is a reservation hint, not a cap).
+ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg,
+                                   ExecStrategy strategy, int64_t hint_dim = 64);
+
+}  // namespace flexgraph
+
+#endif  // SRC_EXEC_PLAN_H_

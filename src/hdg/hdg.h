@@ -65,6 +65,21 @@ class Hdg {
   // Input-graph vertex ids at the bottom level.
   std::span<const VertexId> leaf_vertex_ids() const { return leaf_vertex_ids_; }
 
+  // [S + 1] CSC offsets of the bottom aggregation level: `slot_offsets` for
+  // flat HDGs (the instance and root levels coincide), `instance_leaf_offsets`
+  // otherwise. This is the segment layout every bottom-level kernel (and the
+  // ExecutionPlan compiler) consumes.
+  std::span<const uint64_t> bottom_offsets() const {
+    return flat_ ? std::span<const uint64_t>(slot_offsets_)
+                 : std::span<const uint64_t>(instance_leaf_offsets_);
+  }
+
+  // Number of bottom-level segments (instances, or roots for flat HDGs).
+  uint64_t num_bottom_segments() const {
+    const auto offs = bottom_offsets();
+    return offs.empty() ? 0 : offs.size() - 1;
+  }
+
   // ---- Memory accounting (Table 5 + storage-optimization ablation) ----
   struct MemoryFootprint {
     std::size_t bottom_bytes = 0;      // instance_leaf_offsets + leaf_vertex_ids

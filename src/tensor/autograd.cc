@@ -4,6 +4,8 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "src/exec/chunks.h"
+#include "src/exec/parallel.h"
 #include "src/tensor/ops_dense.h"
 #include "src/util/check.h"
 
@@ -41,7 +43,9 @@ void TopoSort(const AgNodePtr& root, std::vector<AgNode*>& order) {
 }  // namespace
 
 void Variable::Backward() const {
-  Backward(Tensor::Full(rows(), cols(), 1.0f));
+  Tensor seed = WsTensorUninit(rows(), cols());
+  std::fill(seed.data(), seed.data() + seed.numel(), 1.0f);
+  Backward(seed);
 }
 
 void Variable::Backward(const Tensor& seed) const {
@@ -135,14 +139,14 @@ Variable AgRelu(const Variable& x) {
 Variable AgLeakyRelu(const Variable& x, float slope) {
   FLEX_CHECK_GT(slope, 0.0f);
   FLEX_CHECK_LT(slope, 1.0f);
-  Tensor out = Tensor::Uninitialized(x.rows(), x.cols());
+  Tensor out = WsTensorUninit(x.rows(), x.cols());
   for (int64_t i = 0; i < out.numel(); ++i) {
     const float v = x.value().data()[i];
     out.data()[i] = v > 0.0f ? v : slope * v;
   }
   auto xn = x.node();
   return MakeVariable(std::move(out), {x}, [xn, slope](AgNode& self) {
-    Tensor g = Tensor::Uninitialized(self.grad().rows(), self.grad().cols());
+    Tensor g = WsTensorUninit(self.grad().rows(), self.grad().cols());
     for (int64_t i = 0; i < g.numel(); ++i) {
       g.data()[i] = self.grad().data()[i] * (xn->value().data()[i] > 0.0f ? 1.0f : slope);
     }
@@ -180,8 +184,8 @@ Variable AgDropout(const Variable& x, float p, Rng& rng) {
     return x;
   }
   const float keep_scale = 1.0f / (1.0f - p);
-  auto mask = std::make_shared<Tensor>(Tensor::Uninitialized(x.rows(), x.cols()));
-  Tensor out = Tensor::Uninitialized(x.rows(), x.cols());
+  auto mask = std::make_shared<Tensor>(WsTensorUninit(x.rows(), x.cols()));
+  Tensor out = WsTensorUninit(x.rows(), x.cols());
   for (int64_t i = 0; i < out.numel(); ++i) {
     const float m = rng.NextFloat() < p ? 0.0f : keep_scale;
     mask->data()[i] = m;
@@ -193,29 +197,31 @@ Variable AgDropout(const Variable& x, float p, Rng& rng) {
   });
 }
 
-Variable AgGatherRows(const Variable& x, std::vector<uint32_t> index) {
-  Tensor out = GatherRows(x.value(), index);
+Variable AgGatherRows(const Variable& x, U32VecPtr index) {
+  Tensor out = GatherRows(x.value(), *index);
   auto xn = x.node();
   const int64_t src_rows = x.rows();
-  auto idx = std::make_shared<std::vector<uint32_t>>(std::move(index));
-  return MakeVariable(std::move(out), {x}, [xn, idx, src_rows](AgNode& self) {
-    xn->AccumulateGrad(Scatter(self.grad(), *idx, src_rows, ReduceKind::kSum));
+  return MakeVariable(std::move(out), {x}, [xn, index, src_rows](AgNode& self) {
+    xn->AccumulateGrad(Scatter(self.grad(), *index, src_rows, ReduceKind::kSum));
   });
 }
 
-Variable AgScatter(const Variable& values, std::vector<uint32_t> index, int64_t out_rows,
-                   ReduceKind kind) {
+Variable AgGatherRows(const Variable& x, std::vector<uint32_t> index) {
+  return AgGatherRows(x, std::make_shared<const std::vector<uint32_t>>(std::move(index)));
+}
+
+Variable AgScatter(const Variable& values, U32VecPtr index, int64_t out_rows, ReduceKind kind) {
   FLEX_CHECK_MSG(kind == ReduceKind::kSum || kind == ReduceKind::kMean,
                  "autograd scatter supports sum/mean only");
-  Tensor out = Scatter(values.value(), index, out_rows, kind);
+  Tensor out = Scatter(values.value(), *index, out_rows, kind);
   auto vn = values.node();
-  auto idx = std::make_shared<std::vector<uint32_t>>(std::move(index));
-  return MakeVariable(std::move(out), {values}, [vn, idx, out_rows, kind](AgNode& self) {
-    Tensor g = GatherRows(self.grad(), *idx);
+  return MakeVariable(std::move(out), {values}, [vn, index, out_rows, kind](AgNode& self) {
+    Tensor g = GatherRows(self.grad(), *index);
     if (kind == ReduceKind::kMean) {
-      const std::vector<uint32_t> counts = ScatterCounts(*idx, out_rows);
+      const std::vector<uint32_t> counts = ScatterCounts(*index, out_rows);
       for (int64_t i = 0; i < g.rows(); ++i) {
-        const float inv = 1.0f / static_cast<float>(counts[(*idx)[static_cast<std::size_t>(i)]]);
+        const float inv =
+            1.0f / static_cast<float>(counts[(*index)[static_cast<std::size_t>(i)]]);
         float* grow = g.Row(i);
         for (int64_t j = 0; j < g.cols(); ++j) {
           grow[j] *= inv;
@@ -226,55 +232,82 @@ Variable AgScatter(const Variable& values, std::vector<uint32_t> index, int64_t 
   });
 }
 
+Variable AgScatter(const Variable& values, std::vector<uint32_t> index, int64_t out_rows,
+                   ReduceKind kind) {
+  return AgScatter(values, std::make_shared<const std::vector<uint32_t>>(std::move(index)),
+                   out_rows, kind);
+}
+
 namespace {
 
 // Broadcast segment-level gradients back to member rows; divides by segment
-// size for mean.
+// size for mean. Every row belongs to exactly one segment, so parallelizing
+// over segment chunks is race-free and each element is written exactly once.
 Tensor SegmentBroadcastBackward(const Tensor& grad_out, const std::vector<uint64_t>& offsets,
-                                ReduceKind kind) {
+                                ReduceKind kind,
+                                const std::vector<int64_t>* chunks = nullptr) {
   const int64_t total = static_cast<int64_t>(offsets.back());
-  Tensor g(total, grad_out.cols());
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
-  for (int64_t s = 0; s < num_segments; ++s) {
-    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-    if (lo == hi) {
-      continue;
-    }
-    const float scale =
-        kind == ReduceKind::kMean ? 1.0f / static_cast<float>(hi - lo) : 1.0f;
-    const float* orow = grad_out.Row(s);
-    for (uint64_t r = lo; r < hi; ++r) {
-      float* grow = g.Row(static_cast<int64_t>(r));
-      for (int64_t j = 0; j < grad_out.cols(); ++j) {
-        grow[j] = orow[j] * scale;
+  Tensor g = WsTensorUninit(total, grad_out.cols());
+  const auto broadcast_range = [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+      const float scale =
+          kind == ReduceKind::kMean && hi > lo ? 1.0f / static_cast<float>(hi - lo) : 1.0f;
+      const float* orow = grad_out.Row(s);
+      for (uint64_t r = lo; r < hi; ++r) {
+        float* grow = g.Row(static_cast<int64_t>(r));
+        for (int64_t j = 0; j < grad_out.cols(); ++j) {
+          grow[j] = orow[j] * scale;
+        }
       }
     }
+  };
+  const int64_t work = total * grad_out.cols();
+  if (work < (int64_t{1} << 14) || exec::NumThreads() <= 1) {
+    broadcast_range(0, num_segments);
+    return g;
   }
+  std::vector<int64_t> local;
+  const std::vector<int64_t>& bounds =
+      chunks != nullptr ? *chunks
+                        : (local = MakeSegmentChunks(offsets, kPlanChunkTarget), local);
+  exec::ParallelChunks(static_cast<int64_t>(bounds.size()) - 1, [&](int64_t c) {
+    broadcast_range(bounds[static_cast<std::size_t>(c)], bounds[static_cast<std::size_t>(c) + 1]);
+  });
   return g;
 }
 
 }  // namespace
 
-Variable AgSegmentReduce(const Variable& values, std::vector<uint64_t> offsets, ReduceKind kind) {
+Variable AgSegmentReduce(const Variable& values, U64VecPtr offsets, ReduceKind kind,
+                         I64VecPtr chunks) {
   FLEX_CHECK_MSG(kind == ReduceKind::kSum || kind == ReduceKind::kMean,
                  "autograd segment reduce supports sum/mean only");
-  Tensor out = SegmentReduce(values.value(), offsets, kind);
+  Tensor out = chunks ? SegmentReduce(values.value(), *offsets, kind, *chunks)
+                      : SegmentReduce(values.value(), *offsets, kind);
   auto vn = values.node();
-  auto offs = std::make_shared<std::vector<uint64_t>>(std::move(offsets));
-  return MakeVariable(std::move(out), {values}, [vn, offs, kind](AgNode& self) {
-    vn->AccumulateGrad(SegmentBroadcastBackward(self.grad(), *offs, kind));
+  return MakeVariable(std::move(out), {values}, [vn, offsets, chunks, kind](AgNode& self) {
+    vn->AccumulateGrad(
+        SegmentBroadcastBackward(self.grad(), *offsets, kind, chunks.get()));
   });
 }
 
-Variable AgSegmentMax(const Variable& values, std::vector<uint64_t> offsets) {
+Variable AgSegmentReduce(const Variable& values, std::vector<uint64_t> offsets, ReduceKind kind) {
+  return AgSegmentReduce(values, std::make_shared<const std::vector<uint64_t>>(std::move(offsets)),
+                         kind, nullptr);
+}
+
+Variable AgSegmentMax(const Variable& values, U64VecPtr offsets_ptr) {
+  const std::vector<uint64_t>& offsets = *offsets_ptr;
   const int64_t d = values.cols();
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets.back()), values.rows());
 
   // Forward with recorded argmax per (segment, column) so backward can route
   // the gradient to exactly the winning row.
-  Tensor out(num_segments, d);
+  Tensor out = WsTensor(num_segments, d);
   auto argmax = std::make_shared<std::vector<int64_t>>(
       static_cast<std::size_t>(num_segments * d), int64_t{-1});
   for (int64_t s = 0; s < num_segments; ++s) {
@@ -302,7 +335,7 @@ Variable AgSegmentMax(const Variable& values, std::vector<uint64_t> offsets) {
   auto vn = values.node();
   const int64_t rows = values.rows();
   return MakeVariable(std::move(out), {values}, [vn, argmax, rows, d](AgNode& self) {
-    Tensor g(rows, d);
+    Tensor g = WsTensor(rows, d);
     const Tensor& grad_out = self.grad();
     for (int64_t s = 0; s < grad_out.rows(); ++s) {
       for (int64_t j = 0; j < d; ++j) {
@@ -316,13 +349,25 @@ Variable AgSegmentMax(const Variable& values, std::vector<uint64_t> offsets) {
   });
 }
 
-Variable AgSegmentSoftmax(const Variable& scores, std::vector<uint64_t> offsets) {
-  Tensor out = SegmentSoftmax(scores.value(), offsets);
+Variable AgSegmentMax(const Variable& values, std::vector<uint64_t> offsets) {
+  return AgSegmentMax(values, std::make_shared<const std::vector<uint64_t>>(std::move(offsets)));
+}
+
+Variable AgSegmentSoftmax(const Variable& scores, U64VecPtr offsets, I64VecPtr chunks) {
+  Tensor out = chunks ? SegmentSoftmax(scores.value(), *offsets, *chunks)
+                      : SegmentSoftmax(scores.value(), *offsets);
   auto sn = scores.node();
-  auto offs = std::make_shared<std::vector<uint64_t>>(std::move(offsets));
-  return MakeVariable(std::move(out), {scores}, [sn, offs](AgNode& self) {
-    sn->AccumulateGrad(SegmentSoftmaxBackward(self.value(), self.grad(), *offs));
+  return MakeVariable(std::move(out), {scores}, [sn, offsets, chunks](AgNode& self) {
+    sn->AccumulateGrad(
+        chunks ? SegmentSoftmaxBackward(self.value(), self.grad(), *offsets, *chunks)
+               : SegmentSoftmaxBackward(self.value(), self.grad(), *offsets));
   });
+}
+
+Variable AgSegmentSoftmax(const Variable& scores, std::vector<uint64_t> offsets) {
+  return AgSegmentSoftmax(scores,
+                          std::make_shared<const std::vector<uint64_t>>(std::move(offsets)),
+                          nullptr);
 }
 
 Variable AgMulRowScalar(const Variable& values, const Variable& weights) {
@@ -336,7 +381,7 @@ Variable AgMulRowScalar(const Variable& values, const Variable& weights) {
     }
     if (NeedsGrad(Variable(wn))) {
       // dL/dw_i = <g_i, v_i>.
-      Tensor wg(g.rows(), 1);
+      Tensor wg = WsTensorUninit(g.rows(), 1);
       for (int64_t i = 0; i < g.rows(); ++i) {
         const float* grow = g.Row(i);
         const float* vrow = vn->value().Row(i);
@@ -380,9 +425,9 @@ Variable AgBatchNorm(const Variable& x, const Variable& gamma, const Variable& b
   FLEX_CHECK_GT(n, 0);
 
   // Per-column mean / variance, normalized values cached for backward.
-  auto mean = std::make_shared<Tensor>(1, d);
-  auto inv_std = std::make_shared<Tensor>(1, d);
-  auto normalized = std::make_shared<Tensor>(Tensor::Uninitialized(n, d));
+  auto mean = std::make_shared<Tensor>(WsTensorUninit(1, d));
+  auto inv_std = std::make_shared<Tensor>(WsTensorUninit(1, d));
+  auto normalized = std::make_shared<Tensor>(WsTensorUninit(n, d));
   for (int64_t j = 0; j < d; ++j) {
     double acc = 0.0;
     for (int64_t i = 0; i < n; ++i) {
@@ -398,7 +443,7 @@ Variable AgBatchNorm(const Variable& x, const Variable& gamma, const Variable& b
     inv_std->At(0, j) =
         1.0f / std::sqrt(static_cast<float>(var / static_cast<double>(n)) + eps);
   }
-  Tensor out = Tensor::Uninitialized(n, d);
+  Tensor out = WsTensorUninit(n, d);
   for (int64_t i = 0; i < n; ++i) {
     for (int64_t j = 0; j < d; ++j) {
       const float xhat = (x.value().At(i, j) - mean->At(0, j)) * inv_std->At(0, j);
@@ -413,9 +458,9 @@ Variable AgBatchNorm(const Variable& x, const Variable& gamma, const Variable& b
   return MakeVariable(std::move(out), {x, gamma, beta},
                       [xn, gn, bn, mean, inv_std, normalized, n, d](AgNode& self) {
                         const Tensor& g = self.grad();
-                        Tensor dgamma(1, d);
-                        Tensor dbeta(1, d);
-                        Tensor dx(n, d);
+                        Tensor dgamma = WsTensorUninit(1, d);
+                        Tensor dbeta = WsTensorUninit(1, d);
+                        Tensor dx = WsTensorUninit(n, d);
                         for (int64_t j = 0; j < d; ++j) {
                           // Standard batch-norm backward per column.
                           double sum_dy = 0.0;
@@ -460,7 +505,7 @@ Variable AgSoftmaxCrossEntropy(const Variable& logits, std::vector<uint32_t> lab
     FLEX_CHECK_LT(static_cast<int64_t>(y), logits.cols());
     loss_acc += -std::log(std::max(probs.At(i, static_cast<int64_t>(y)), 1e-12f));
   }
-  Tensor loss(1, 1);
+  Tensor loss = WsTensor(1, 1);
   loss.At(0, 0) = static_cast<float>(loss_acc / static_cast<double>(n));
 
   auto ln = logits.node();
@@ -469,7 +514,7 @@ Variable AgSoftmaxCrossEntropy(const Variable& logits, std::vector<uint32_t> lab
   return MakeVariable(std::move(loss), {logits}, [ln, probs_shared, labels_shared](AgNode& self) {
     const float upstream = self.grad().At(0, 0);
     const int64_t rows = probs_shared->rows();
-    Tensor g = *probs_shared;
+    Tensor g = WsTensorCopy(*probs_shared);
     const float inv_n = 1.0f / static_cast<float>(rows);
     for (int64_t i = 0; i < rows; ++i) {
       g.At(i, static_cast<int64_t>((*labels_shared)[static_cast<std::size_t>(i)])) -= 1.0f;

@@ -16,12 +16,20 @@
 
 #include "src/tensor/ops_sparse.h"
 #include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
 #include "src/util/rng.h"
 
 namespace flexgraph {
 
 class AgNode;
 using AgNodePtr = std::shared_ptr<AgNode>;
+
+// Shared immutable index metadata (an ExecutionPlan's precompiled vectors, or
+// ad-hoc ones built by the legacy overloads). Ops hold these by shared_ptr so
+// steady-state epochs copy no index data.
+using U32VecPtr = std::shared_ptr<const std::vector<uint32_t>>;
+using U64VecPtr = std::shared_ptr<const std::vector<uint64_t>>;
+using I64VecPtr = std::shared_ptr<const std::vector<int64_t>>;
 
 class AgNode {
  public:
@@ -33,10 +41,12 @@ class AgNode {
 
   bool requires_grad() const { return requires_grad_; }
 
-  // Lazily-allocated gradient with the value's shape.
+  // Lazily-allocated gradient with the value's shape. Drawn from the active
+  // workspace arena when a scope is open (gradients die with the epoch's
+  // graph, before the next Reset), from the heap otherwise.
   Tensor& grad() {
     if (!grad_.SameShape(value_)) {
-      grad_ = Tensor(value_.rows(), value_.cols());
+      grad_ = WsTensor(value_.rows(), value_.cols());
     }
     return grad_;
   }
@@ -115,17 +125,27 @@ Variable AgScale(const Variable& x, float s);
 Variable AgDropout(const Variable& x, float p, Rng& rng);
 
 // Row gather / scatter (COO aggregation path). Scatter supports kSum/kMean.
+// The shared_ptr overloads are the planned-execution path: the index lives in
+// the ExecutionPlan and is referenced, never copied, per call. The by-value
+// overloads wrap ad-hoc indices for the legacy/unplanned path.
 Variable AgGatherRows(const Variable& x, std::vector<uint32_t> index);
+Variable AgGatherRows(const Variable& x, U32VecPtr index);
 Variable AgScatter(const Variable& values, std::vector<uint32_t> index, int64_t out_rows,
                    ReduceKind kind);
+Variable AgScatter(const Variable& values, U32VecPtr index, int64_t out_rows, ReduceKind kind);
 
-// Segment (CSC-offset) reductions — kSum/kMean.
+// Segment (CSC-offset) reductions — kSum/kMean. `chunks` (optional) are the
+// plan's fixed segment-aligned parallel chunk boundaries.
 Variable AgSegmentReduce(const Variable& values, std::vector<uint64_t> offsets, ReduceKind kind);
+Variable AgSegmentReduce(const Variable& values, U64VecPtr offsets, ReduceKind kind,
+                         I64VecPtr chunks = nullptr);
 // Segment max with a proper backward: the gradient routes to the arg-max row
 // of each (segment, column), matching max-pool semantics (GraphSAGE-pool).
 Variable AgSegmentMax(const Variable& values, std::vector<uint64_t> offsets);
+Variable AgSegmentMax(const Variable& values, U64VecPtr offsets);
 // Softmax of [m,1] scores within segments, e.g. MAGNN's scatter_softmax.
 Variable AgSegmentSoftmax(const Variable& scores, std::vector<uint64_t> offsets);
+Variable AgSegmentSoftmax(const Variable& scores, U64VecPtr offsets, I64VecPtr chunks = nullptr);
 // Rows of values scaled by [m,1] weights.
 Variable AgMulRowScalar(const Variable& values, const Variable& weights);
 

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/exec/parallel.h"
+#include "src/tensor/workspace.h"
+
 namespace flexgraph {
 
 namespace {
@@ -12,6 +15,14 @@ namespace {
 // compiler vectorizes it. Good enough for the feature dims GNNs use (16–512).
 constexpr int64_t kBlock = 64;
 
+// Minimum touched floats before a kernel fans out to the pool; fixed so the
+// inline/parallel decision never depends on the thread count.
+constexpr int64_t kMinParallelWork = 1 << 14;
+
+int64_t RowGrain(int64_t cols) {
+  return std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, cols));
+}
+
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
@@ -19,21 +30,27 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.cols();
-  Tensor c(m, n);
-  for (int64_t kb = 0; kb < k; kb += kBlock) {
-    const int64_t kend = std::min(k, kb + kBlock);
-    for (int64_t i = 0; i < m; ++i) {
-      const float* arow = a.Row(i);
-      float* crow = c.Row(i);
-      for (int64_t kk = kb; kk < kend; ++kk) {
-        const float aik = arow[kk];
-        const float* __restrict brow = b.Row(kk);
-        for (int64_t j = 0; j < n; ++j) {
-          crow[j] += aik * brow[j];
+  Tensor c = WsTensor(m, n);
+  // Row-parallel: each task owns a contiguous range of output rows, and the
+  // (kb, kk) accumulation order for any given row is identical to the
+  // sequential kernel's, so results are bitwise identical across thread
+  // counts.
+  exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t kb = 0; kb < k; kb += kBlock) {
+      const int64_t kend = std::min(k, kb + kBlock);
+      for (int64_t i = row_lo; i < row_hi; ++i) {
+        const float* arow = a.Row(i);
+        float* crow = c.Row(i);
+        for (int64_t kk = kb; kk < kend; ++kk) {
+          const float aik = arow[kk];
+          const float* __restrict brow = b.Row(kk);
+          for (int64_t j = 0; j < n; ++j) {
+            crow[j] += aik * brow[j];
+          }
         }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -42,19 +59,21 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   const int64_t m = a.rows();
   const int64_t k = a.cols();
   const int64_t n = b.rows();
-  Tensor c(m, n);
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (int64_t j = 0; j < n; ++j) {
-      const float* brow = b.Row(j);
-      float acc = 0.0f;
-      for (int64_t kk = 0; kk < k; ++kk) {
-        acc += arow[kk] * brow[kk];
+  Tensor c = WsTensorUninit(m, n);
+  exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        const float* brow = b.Row(j);
+        float acc = 0.0f;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          acc += arow[kk] * brow[kk];
+        }
+        crow[j] = acc;
       }
-      crow[j] = acc;
     }
-  }
+  });
   return c;
 }
 
@@ -63,95 +82,128 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t k = a.rows();
   const int64_t m = a.cols();
   const int64_t n = b.cols();
-  Tensor c(m, n);
-  for (int64_t kk = 0; kk < k; ++kk) {
-    const float* arow = a.Row(kk);
-    const float* brow = b.Row(kk);
-    for (int64_t i = 0; i < m; ++i) {
-      const float aki = arow[i];
-      if (aki == 0.0f) {
-        continue;
-      }
-      float* crow = c.Row(i);
-      for (int64_t j = 0; j < n; ++j) {
-        crow[j] += aki * brow[j];
+  Tensor c = WsTensor(m, n);
+  // Output-row parallel: row i accumulates a[kk][i] * b[kk] over ascending
+  // kk, the same per-row order as the previous kk-outer kernel (the zero
+  // skip included), so the restructure is bitwise-neutral.
+  exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = a.Row(kk);
+      const float* brow = b.Row(kk);
+      for (int64_t i = row_lo; i < row_hi; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) {
+          continue;
+        }
+        float* crow = c.Row(i);
+        for (int64_t j = 0; j < n; ++j) {
+          crow[j] += aki * brow[j];
+        }
       }
     }
-  }
+  });
   return c;
 }
 
+namespace {
+
+// Flat elementwise map over [0, n): parallel ranges are disjoint, each output
+// element written once.
+template <typename Fn>
+Tensor ElementwiseInto(int64_t rows, int64_t cols, int64_t n, const Fn& fn) {
+  Tensor c = WsTensorUninit(rows, cols);
+  exec::ParallelFor(0, n, kMinParallelWork,
+                    [&](int64_t lo, int64_t hi) { fn(c.data(), lo, hi); });
+  return c;
+}
+
+}  // namespace
+
 Tensor Add(const Tensor& a, const Tensor& b) {
   FLEX_CHECK(a.SameShape(b));
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    c.data()[i] = a.data()[i] + b.data()[i];
-  }
-  return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = pa[i] + pb[i];
+    }
+  });
 }
 
 void AddInPlace(Tensor& dst, const Tensor& src) {
   FLEX_CHECK(dst.SameShape(src));
   const int64_t n = dst.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    dst.data()[i] += src.data()[i];
-  }
+  float* pd = dst.data();
+  const float* ps = src.data();
+  exec::ParallelFor(0, n, kMinParallelWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      pd[i] += ps[i];
+    }
+  });
 }
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   FLEX_CHECK(a.SameShape(b));
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    c.data()[i] = a.data()[i] - b.data()[i];
-  }
-  return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = pa[i] - pb[i];
+    }
+  });
 }
 
 Tensor Hadamard(const Tensor& a, const Tensor& b) {
   FLEX_CHECK(a.SameShape(b));
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    c.data()[i] = a.data()[i] * b.data()[i];
-  }
-  return c;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = pa[i] * pb[i];
+    }
+  });
 }
 
 Tensor Scale(const Tensor& a, float s) {
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    c.data()[i] = a.data()[i] * s;
-  }
-  return c;
+  const float* pa = a.data();
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = pa[i] * s;
+    }
+  });
 }
 
 void ScaleInPlace(Tensor& t, float s) {
   const int64_t n = t.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    t.data()[i] *= s;
-  }
+  float* p = t.data();
+  exec::ParallelFor(0, n, kMinParallelWork, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      p[i] *= s;
+    }
+  });
 }
 
 Tensor AddRowVector(const Tensor& a, const Tensor& bias) {
   FLEX_CHECK_EQ(bias.rows(), 1);
   FLEX_CHECK_EQ(bias.cols(), a.cols());
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
+  Tensor c = WsTensorUninit(a.rows(), a.cols());
   const float* brow = bias.Row(0);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      crow[j] = arow[j] + brow[j];
+  exec::ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      for (int64_t j = 0; j < a.cols(); ++j) {
+        crow[j] = arow[j] + brow[j];
+      }
     }
-  }
+  });
   return c;
 }
 
 Tensor ColSum(const Tensor& a) {
-  Tensor c(1, a.cols());
+  // Sequential: the row-ascending accumulation order per column is part of
+  // the bitwise contract (this feeds bias gradients).
+  Tensor c = WsTensor(1, a.cols());
   float* crow = c.Row(0);
   for (int64_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.Row(i);
@@ -163,47 +215,55 @@ Tensor ColSum(const Tensor& a) {
 }
 
 Tensor Relu(const Tensor& a) {
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
-  const int64_t n = a.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    c.data()[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
-  }
-  return c;
+  const float* pa = a.data();
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
+    }
+  });
 }
 
 Tensor ReluBackward(const Tensor& grad_out, const Tensor& forward_out) {
   FLEX_CHECK(grad_out.SameShape(forward_out));
-  Tensor g = Tensor::Uninitialized(grad_out.rows(), grad_out.cols());
-  const int64_t n = grad_out.numel();
-  for (int64_t i = 0; i < n; ++i) {
-    g.data()[i] = forward_out.data()[i] > 0.0f ? grad_out.data()[i] : 0.0f;
-  }
-  return g;
+  const float* pg = grad_out.data();
+  const float* pf = forward_out.data();
+  return ElementwiseInto(grad_out.rows(), grad_out.cols(), grad_out.numel(),
+                         [&](float* out, int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      out[i] = pf[i] > 0.0f ? pg[i] : 0.0f;
+    }
+  });
 }
 
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   FLEX_CHECK_EQ(a.rows(), b.rows());
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols() + b.cols());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    std::memcpy(c.Row(i), a.Row(i), static_cast<std::size_t>(a.cols()) * sizeof(float));
-    std::memcpy(c.Row(i) + a.cols(), b.Row(i),
-                static_cast<std::size_t>(b.cols()) * sizeof(float));
-  }
+  Tensor c = WsTensorUninit(a.rows(), a.cols() + b.cols());
+  exec::ParallelFor(0, a.rows(), RowGrain(a.cols() + b.cols()),
+                    [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      std::memcpy(c.Row(i), a.Row(i), static_cast<std::size_t>(a.cols()) * sizeof(float));
+      std::memcpy(c.Row(i) + a.cols(), b.Row(i),
+                  static_cast<std::size_t>(b.cols()) * sizeof(float));
+    }
+  });
   return c;
 }
 
 Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
   FLEX_CHECK_LE(begin, end);
   FLEX_CHECK_LE(end, a.cols());
-  Tensor c = Tensor::Uninitialized(a.rows(), end - begin);
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    std::memcpy(c.Row(i), a.Row(i) + begin, static_cast<std::size_t>(end - begin) * sizeof(float));
-  }
+  Tensor c = WsTensorUninit(a.rows(), end - begin);
+  exec::ParallelFor(0, a.rows(), RowGrain(end - begin), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      std::memcpy(c.Row(i), a.Row(i) + begin,
+                  static_cast<std::size_t>(end - begin) * sizeof(float));
+    }
+  });
   return c;
 }
 
 Tensor Transpose(const Tensor& a) {
-  Tensor c = Tensor::Uninitialized(a.cols(), a.rows());
+  Tensor c = WsTensorUninit(a.cols(), a.rows());
   for (int64_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.Row(i);
     for (int64_t j = 0; j < a.cols(); ++j) {
@@ -218,16 +278,20 @@ Tensor GroupSumRows(const Tensor& t, int64_t group) {
   FLEX_CHECK_EQ(t.rows() % group, 0);
   const int64_t n = t.rows() / group;
   const int64_t d = t.cols();
-  Tensor out(n, d);
-  for (int64_t i = 0; i < n; ++i) {
-    float* orow = out.Row(i);
-    for (int64_t g = 0; g < group; ++g) {
-      const float* trow = t.Row(i * group + g);
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] += trow[j];
+  Tensor out = WsTensor(n, d);
+  // Output-row parallel; each output row sums its own g-ascending group, the
+  // sequential order.
+  exec::ParallelFor(0, n, RowGrain(d * group), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      float* orow = out.Row(i);
+      for (int64_t g = 0; g < group; ++g) {
+        const float* trow = t.Row(i * group + g);
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] += trow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -242,52 +306,58 @@ Tensor GroupMaxRows(const Tensor& t, int64_t group) {
   FLEX_CHECK_EQ(t.rows() % group, 0);
   const int64_t n = t.rows() / group;
   const int64_t d = t.cols();
-  Tensor out(n, d);
-  for (int64_t i = 0; i < n; ++i) {
-    float* orow = out.Row(i);
-    std::memcpy(orow, t.Row(i * group), static_cast<std::size_t>(d) * sizeof(float));
-    for (int64_t g = 1; g < group; ++g) {
-      const float* trow = t.Row(i * group + g);
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] = std::max(orow[j], trow[j]);
+  Tensor out = WsTensorUninit(n, d);
+  exec::ParallelFor(0, n, RowGrain(d * group), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      float* orow = out.Row(i);
+      std::memcpy(orow, t.Row(i * group), static_cast<std::size_t>(d) * sizeof(float));
+      for (int64_t g = 1; g < group; ++g) {
+        const float* trow = t.Row(i * group + g);
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] = std::max(orow[j], trow[j]);
+        }
       }
     }
-  }
+  });
   return out;
 }
 
 Tensor GroupSumRowsBackward(const Tensor& grad_out, int64_t group) {
   const int64_t n = grad_out.rows();
   const int64_t d = grad_out.cols();
-  Tensor g = Tensor::Uninitialized(n * group, d);
-  for (int64_t i = 0; i < n; ++i) {
-    const float* orow = grad_out.Row(i);
-    for (int64_t k = 0; k < group; ++k) {
-      std::memcpy(g.Row(i * group + k), orow, static_cast<std::size_t>(d) * sizeof(float));
+  Tensor g = WsTensorUninit(n * group, d);
+  exec::ParallelFor(0, n, RowGrain(d * group), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      const float* orow = grad_out.Row(i);
+      for (int64_t k = 0; k < group; ++k) {
+        std::memcpy(g.Row(i * group + k), orow, static_cast<std::size_t>(d) * sizeof(float));
+      }
     }
-  }
+  });
   return g;
 }
 
 Tensor RowSoftmax(const Tensor& a) {
-  Tensor c = Tensor::Uninitialized(a.rows(), a.cols());
-  for (int64_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.Row(i);
-    float* crow = c.Row(i);
-    float mx = arow[0];
-    for (int64_t j = 1; j < a.cols(); ++j) {
-      mx = std::max(mx, arow[j]);
+  Tensor c = WsTensorUninit(a.rows(), a.cols());
+  exec::ParallelFor(0, a.rows(), RowGrain(a.cols() * 4), [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      const float* arow = a.Row(i);
+      float* crow = c.Row(i);
+      float mx = arow[0];
+      for (int64_t j = 1; j < a.cols(); ++j) {
+        mx = std::max(mx, arow[j]);
+      }
+      float sum = 0.0f;
+      for (int64_t j = 0; j < a.cols(); ++j) {
+        crow[j] = std::exp(arow[j] - mx);
+        sum += crow[j];
+      }
+      const float inv = 1.0f / sum;
+      for (int64_t j = 0; j < a.cols(); ++j) {
+        crow[j] *= inv;
+      }
     }
-    float sum = 0.0f;
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      crow[j] = std::exp(arow[j] - mx);
-      sum += crow[j];
-    }
-    const float inv = 1.0f / sum;
-    for (int64_t j = 0; j < a.cols(); ++j) {
-      crow[j] *= inv;
-    }
-  }
+  });
   return c;
 }
 

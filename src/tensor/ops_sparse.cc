@@ -5,7 +5,86 @@
 #include <cstring>
 #include <limits>
 
+#include "src/exec/chunks.h"
+#include "src/exec/parallel.h"
+#include "src/tensor/workspace.h"
+
 namespace flexgraph {
+namespace {
+
+// Below this many touched floats a kernel runs inline — the pool's submit
+// latency would dominate. A fixed constant (never a function of the thread
+// count) so the sequential/parallel decision is deterministic.
+constexpr int64_t kMinParallelWork = 1 << 14;
+
+// Runs body(s_lo, s_hi) over segment-aligned chunks. `chunks` may be empty,
+// in which case fixed boundaries are derived from the offsets (identical for
+// every thread count). The per-segment loops inside `body` are exactly the
+// sequential kernels', so results are bitwise identical to a 1-thread run.
+void ForEachSegmentChunk(std::span<const uint64_t> offsets, std::span<const int64_t> chunks,
+                         int64_t total_work,
+                         const std::function<void(int64_t, int64_t)>& body) {
+  const int64_t num_segments = offsets.empty() ? 0 : static_cast<int64_t>(offsets.size()) - 1;
+  if (num_segments <= 0) {
+    return;
+  }
+  if (total_work < kMinParallelWork || exec::NumThreads() <= 1) {
+    body(0, num_segments);
+    return;
+  }
+  std::vector<int64_t> local;
+  if (chunks.empty()) {
+    local = MakeSegmentChunks(offsets, kPlanChunkTarget);
+    chunks = local;
+  }
+  exec::ParallelChunks(static_cast<int64_t>(chunks.size()) - 1,
+                       [&](int64_t c) { body(chunks[c], chunks[c + 1]); });
+}
+
+void SegmentReduceInto(Tensor& out, const Tensor& values, std::span<const uint64_t> offsets,
+                       ReduceKind kind, int64_t s_lo, int64_t s_hi) {
+  const int64_t d = values.cols();
+  for (int64_t s = s_lo; s < s_hi; ++s) {
+    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+    FLEX_CHECK_LE(lo, hi);
+    if (lo == hi) {
+      continue;  // empty segment stays zero
+    }
+    float* orow = out.Row(s);
+    if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
+      std::memcpy(orow, values.Row(static_cast<int64_t>(lo)),
+                  static_cast<std::size_t>(d) * sizeof(float));
+      for (uint64_t r = lo + 1; r < hi; ++r) {
+        const float* vrow = values.Row(static_cast<int64_t>(r));
+        if (kind == ReduceKind::kMax) {
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = std::max(orow[j], vrow[j]);
+          }
+        } else {
+          for (int64_t j = 0; j < d; ++j) {
+            orow[j] = std::min(orow[j], vrow[j]);
+          }
+        }
+      }
+      continue;
+    }
+    for (uint64_t r = lo; r < hi; ++r) {
+      const float* vrow = values.Row(static_cast<int64_t>(r));
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] += vrow[j];
+      }
+    }
+    if (kind == ReduceKind::kMean) {
+      const float inv = 1.0f / static_cast<float>(hi - lo);
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] *= inv;
+      }
+    }
+  }
+}
+
+}  // namespace
 
 const char* ReduceKindName(ReduceKind kind) {
   switch (kind) {
@@ -25,7 +104,10 @@ Tensor Scatter(const Tensor& values, std::span<const uint32_t> index, int64_t ou
                ReduceKind kind) {
   FLEX_CHECK_EQ(static_cast<int64_t>(index.size()), values.rows());
   const int64_t d = values.cols();
-  Tensor out(out_rows, d);
+  // Sequential by design: the index is arbitrary, so destination rows can
+  // collide across input rows. The planned paths replace this kernel with a
+  // segment reduce; it stays as the unplanned/COO fallback.
+  Tensor out = WsTensor(out_rows, d);
 
   if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
     // Track which rows were touched so untouched rows stay zero rather than
@@ -95,124 +177,114 @@ std::vector<uint32_t> ScatterCounts(std::span<const uint32_t> index, int64_t out
 
 Tensor GatherRows(const Tensor& src, std::span<const uint32_t> index) {
   const int64_t d = src.cols();
-  Tensor out = Tensor::Uninitialized(static_cast<int64_t>(index.size()), d);
-  for (std::size_t i = 0; i < index.size(); ++i) {
-    FLEX_CHECK_LT(static_cast<int64_t>(index[i]), src.rows());
-    std::memcpy(out.Row(static_cast<int64_t>(i)), src.Row(static_cast<int64_t>(index[i])),
-                static_cast<std::size_t>(d) * sizeof(float));
-  }
+  const auto rows = static_cast<int64_t>(index.size());
+  Tensor out = WsTensorUninit(rows, d);
+  const int64_t grain = std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, d));
+  exec::ParallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      FLEX_CHECK_LT(static_cast<int64_t>(index[static_cast<std::size_t>(i)]), src.rows());
+      std::memcpy(out.Row(i), src.Row(static_cast<int64_t>(index[static_cast<std::size_t>(i)])),
+                  static_cast<std::size_t>(d) * sizeof(float));
+    }
+  });
   return out;
 }
 
 Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, ReduceKind kind) {
+  return SegmentReduce(values, offsets, kind, {});
+}
+
+Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, ReduceKind kind,
+                     std::span<const int64_t> chunks) {
   FLEX_CHECK_GE(offsets.size(), 1u);
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets[offsets.size() - 1]), values.rows());
-  const int64_t d = values.cols();
-  Tensor out(num_segments, d);
-  for (int64_t s = 0; s < num_segments; ++s) {
-    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-    FLEX_CHECK_LE(lo, hi);
-    if (lo == hi) {
-      continue;  // empty segment stays zero
-    }
-    float* orow = out.Row(s);
-    if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
-      std::memcpy(orow, values.Row(static_cast<int64_t>(lo)),
-                  static_cast<std::size_t>(d) * sizeof(float));
-      for (uint64_t r = lo + 1; r < hi; ++r) {
-        const float* vrow = values.Row(static_cast<int64_t>(r));
-        if (kind == ReduceKind::kMax) {
-          for (int64_t j = 0; j < d; ++j) {
-            orow[j] = std::max(orow[j], vrow[j]);
-          }
-        } else {
-          for (int64_t j = 0; j < d; ++j) {
-            orow[j] = std::min(orow[j], vrow[j]);
-          }
-        }
-      }
-      continue;
-    }
-    for (uint64_t r = lo; r < hi; ++r) {
-      const float* vrow = values.Row(static_cast<int64_t>(r));
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] += vrow[j];
-      }
-    }
-    if (kind == ReduceKind::kMean) {
-      const float inv = 1.0f / static_cast<float>(hi - lo);
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] *= inv;
-      }
-    }
-  }
+  Tensor out = WsTensor(num_segments, values.cols());
+  ForEachSegmentChunk(offsets, chunks, values.numel(), [&](int64_t s_lo, int64_t s_hi) {
+    SegmentReduceInto(out, values, offsets, kind, s_lo, s_hi);
+  });
   return out;
 }
 
 Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets) {
+  return SegmentSoftmax(scores, offsets, {});
+}
+
+Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets,
+                      std::span<const int64_t> chunks) {
   FLEX_CHECK_EQ(scores.cols(), 1);
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets[offsets.size() - 1]), scores.rows());
-  Tensor out(scores.rows(), 1);
-  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
-  for (int64_t s = 0; s < num_segments; ++s) {
-    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-    if (lo == hi) {
-      continue;
+  Tensor out = WsTensor(scores.rows(), 1);
+  ForEachSegmentChunk(offsets, chunks, scores.rows(), [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+      if (lo == hi) {
+        continue;
+      }
+      float mx = scores.At(static_cast<int64_t>(lo), 0);
+      for (uint64_t r = lo + 1; r < hi; ++r) {
+        mx = std::max(mx, scores.At(static_cast<int64_t>(r), 0));
+      }
+      float sum = 0.0f;
+      for (uint64_t r = lo; r < hi; ++r) {
+        const float e = std::exp(scores.At(static_cast<int64_t>(r), 0) - mx);
+        out.At(static_cast<int64_t>(r), 0) = e;
+        sum += e;
+      }
+      const float inv = 1.0f / sum;
+      for (uint64_t r = lo; r < hi; ++r) {
+        out.At(static_cast<int64_t>(r), 0) *= inv;
+      }
     }
-    float mx = scores.At(static_cast<int64_t>(lo), 0);
-    for (uint64_t r = lo + 1; r < hi; ++r) {
-      mx = std::max(mx, scores.At(static_cast<int64_t>(r), 0));
-    }
-    float sum = 0.0f;
-    for (uint64_t r = lo; r < hi; ++r) {
-      const float e = std::exp(scores.At(static_cast<int64_t>(r), 0) - mx);
-      out.At(static_cast<int64_t>(r), 0) = e;
-      sum += e;
-    }
-    const float inv = 1.0f / sum;
-    for (uint64_t r = lo; r < hi; ++r) {
-      out.At(static_cast<int64_t>(r), 0) *= inv;
-    }
-  }
+  });
   return out;
 }
 
 Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
                               std::span<const uint64_t> offsets) {
+  return SegmentSoftmaxBackward(weights, grad, offsets, {});
+}
+
+Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
+                              std::span<const uint64_t> offsets,
+                              std::span<const int64_t> chunks) {
   FLEX_CHECK(weights.SameShape(grad));
   FLEX_CHECK_EQ(weights.cols(), 1);
-  Tensor out(weights.rows(), 1);
-  const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
-  for (int64_t s = 0; s < num_segments; ++s) {
-    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-    float dot = 0.0f;
-    for (uint64_t r = lo; r < hi; ++r) {
-      dot += weights.At(static_cast<int64_t>(r), 0) * grad.At(static_cast<int64_t>(r), 0);
+  Tensor out = WsTensor(weights.rows(), 1);
+  ForEachSegmentChunk(offsets, chunks, weights.rows(), [&](int64_t s_lo, int64_t s_hi) {
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+      float dot = 0.0f;
+      for (uint64_t r = lo; r < hi; ++r) {
+        dot += weights.At(static_cast<int64_t>(r), 0) * grad.At(static_cast<int64_t>(r), 0);
+      }
+      for (uint64_t r = lo; r < hi; ++r) {
+        const float w = weights.At(static_cast<int64_t>(r), 0);
+        out.At(static_cast<int64_t>(r), 0) = w * (grad.At(static_cast<int64_t>(r), 0) - dot);
+      }
     }
-    for (uint64_t r = lo; r < hi; ++r) {
-      const float w = weights.At(static_cast<int64_t>(r), 0);
-      out.At(static_cast<int64_t>(r), 0) = w * (grad.At(static_cast<int64_t>(r), 0) - dot);
-    }
-  }
+  });
   return out;
 }
 
 Tensor MulRowScalar(const Tensor& values, const Tensor& weights) {
   FLEX_CHECK_EQ(weights.cols(), 1);
   FLEX_CHECK_EQ(weights.rows(), values.rows());
-  Tensor out = Tensor::Uninitialized(values.rows(), values.cols());
-  for (int64_t i = 0; i < values.rows(); ++i) {
-    const float w = weights.At(i, 0);
-    const float* vrow = values.Row(i);
-    float* orow = out.Row(i);
-    for (int64_t j = 0; j < values.cols(); ++j) {
-      orow[j] = w * vrow[j];
+  const int64_t d = values.cols();
+  Tensor out = WsTensorUninit(values.rows(), d);
+  const int64_t grain = std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, d));
+  exec::ParallelFor(0, values.rows(), grain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) {
+      const float w = weights.At(i, 0);
+      const float* vrow = values.Row(i);
+      float* orow = out.Row(i);
+      for (int64_t j = 0; j < d; ++j) {
+        orow[j] = w * vrow[j];
+      }
     }
-  }
+  });
   return out;
 }
 
@@ -220,17 +292,22 @@ Tensor SpmmCsr(int64_t num_rows, std::span<const uint64_t> offsets,
                std::span<const uint32_t> col_idx, const Tensor& x) {
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets.size()), num_rows + 1);
   const int64_t d = x.cols();
-  Tensor out(num_rows, d);
-  for (int64_t i = 0; i < num_rows; ++i) {
-    float* orow = out.Row(i);
-    for (uint64_t e = offsets[static_cast<std::size_t>(i)];
-         e < offsets[static_cast<std::size_t>(i) + 1]; ++e) {
-      const float* xrow = x.Row(static_cast<int64_t>(col_idx[static_cast<std::size_t>(e)]));
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] += xrow[j];
+  Tensor out = WsTensor(num_rows, d);
+  // Each output row accumulates its own CSR range: parallel over rows keeps
+  // the per-row edge order — and therefore the float sums — unchanged.
+  const int64_t grain = std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, d * 8));
+  exec::ParallelFor(0, num_rows, grain, [&](int64_t row_lo, int64_t row_hi) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      float* orow = out.Row(i);
+      for (uint64_t e = offsets[static_cast<std::size_t>(i)];
+           e < offsets[static_cast<std::size_t>(i) + 1]; ++e) {
+        const float* xrow = x.Row(static_cast<int64_t>(col_idx[static_cast<std::size_t>(e)]));
+        for (int64_t j = 0; j < d; ++j) {
+          orow[j] += xrow[j];
+        }
       }
     }
-  }
+  });
   return out;
 }
 

@@ -41,15 +41,27 @@ Tensor GatherRows(const Tensor& src, std::span<const uint32_t> index);
 
 // Segment ops: values rows [offsets[s], offsets[s+1]) belong to segment s.
 // offsets.size() == num_segments + 1 and offsets.back() == values.rows().
+//
+// The `chunks` overloads take precomputed segment-aligned chunk boundaries
+// (an ExecutionPlan's) for the deterministic parallel path; the plain
+// overloads derive fixed boundaries on the fly. Either way results are
+// bitwise identical across thread counts.
 Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, ReduceKind kind);
+Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, ReduceKind kind,
+                     std::span<const int64_t> chunks);
 
 // Softmax of scores within each segment. scores is [m, 1].
 Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets);
+Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets,
+                      std::span<const int64_t> chunks);
 
 // Backward of SegmentSoftmax: given weights w (forward output) and upstream
 // grad g, returns w ⊙ (g − Σ_segment w·g).
 Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
                               std::span<const uint64_t> offsets);
+Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
+                              std::span<const uint64_t> offsets,
+                              std::span<const int64_t> chunks);
 
 // Multiplies every row of values[m, d] by the scalar weights[m, 1].
 Tensor MulRowScalar(const Tensor& values, const Tensor& weights);

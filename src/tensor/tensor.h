@@ -36,6 +36,21 @@ class Tensor {
     return t;
   }
 
+  // Wraps externally managed storage (a workspace arena slab) without taking
+  // ownership. `data` must hold rows*cols floats, stay valid for the tensor's
+  // lifetime, and be kCacheLineBytes-aligned. Copying the tensor produces an
+  // owned heap copy (see AlignedBuffer::Borrow), so escaping values are safe.
+  static Tensor Borrowed(float* data, int64_t rows, int64_t cols) {
+    Tensor t;
+    t.rows_ = rows;
+    t.cols_ = cols;
+    t.buf_ = AlignedBuffer::Borrow(data, Numel(rows, cols));
+    return t;
+  }
+
+  // True when the underlying buffer owns (heap-allocated) its storage.
+  bool owns_storage() const { return buf_.owned(); }
+
   static Tensor Full(int64_t rows, int64_t cols, float value) {
     Tensor t(rows, cols);
     t.buf_.Fill(value);

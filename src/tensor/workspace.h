@@ -1,0 +1,96 @@
+// Workspace — a slab bump arena sized by the ExecutionPlan so steady-state
+// epochs do zero heap allocation in forward/backward.
+//
+// Lifetime schedule: every tensor allocated from the arena (kernel outputs,
+// autograd saved-tensors, gradients) lives until the next Reset(), which the
+// engine calls at the *start* of each epoch — after the previous epoch's
+// autograd graph has been destroyed but before any new allocation. The first
+// (recording) epoch grows the arena on demand; from the second epoch onward
+// the same slabs are bump-reused and the growth count stays flat, which
+// tests/exec_plan_test.cc asserts through the exec.* metrics.
+//
+// Not thread-safe: allocation happens on the driving thread before kernels
+// fan out; parallel kernel bodies only write into already-allocated rows.
+#ifndef SRC_TENSOR_WORKSPACE_H_
+#define SRC_TENSOR_WORKSPACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/tensor/tensor.h"
+
+namespace flexgraph {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  ~Workspace();
+
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  // Ensures at least `bytes` of total slab capacity (one contiguous slab for
+  // the shortfall). Typically called once with the plan's estimate.
+  void Reserve(std::size_t bytes);
+
+  // Rewinds every slab cursor. All previously returned pointers become
+  // reusable — callers must have dropped the tensors borrowing them.
+  void Reset();
+
+  // Bump-allocates `count` floats, 64-byte aligned. Grows by a new slab when
+  // the current slabs are exhausted (counted in growth_count).
+  float* AllocateFloats(std::size_t count);
+
+  std::size_t reserved_bytes() const { return reserved_bytes_; }
+  std::size_t used_bytes() const { return used_bytes_; }
+  // Peak used_bytes across the workspace's lifetime.
+  std::size_t high_water_bytes() const { return high_water_bytes_; }
+  // Number of slab allocations (heap hits). Flat across steady-state epochs.
+  std::uint64_t growth_count() const { return growth_count_; }
+
+ private:
+  struct Slab {
+    float* data = nullptr;
+    std::size_t capacity = 0;  // floats
+    std::size_t used = 0;      // floats
+  };
+
+  Slab& AddSlab(std::size_t min_floats);
+
+  std::vector<Slab> slabs_;
+  std::size_t active_ = 0;  // slab the bump cursor is in
+  std::size_t reserved_bytes_ = 0;
+  std::size_t used_bytes_ = 0;
+  std::size_t high_water_bytes_ = 0;
+  std::uint64_t growth_count_ = 0;
+};
+
+// RAII scope that routes WsTensor* allocations on this thread to `ws` and
+// turns on heap-allocation counting (exec.alloc_count). Nesting-safe; a null
+// workspace makes the scope a no-op.
+class WorkspaceScope {
+ public:
+  explicit WorkspaceScope(Workspace* ws);
+  ~WorkspaceScope();
+
+  WorkspaceScope(const WorkspaceScope&) = delete;
+  WorkspaceScope& operator=(const WorkspaceScope&) = delete;
+
+ private:
+  Workspace* previous_;
+  bool previous_counting_;
+};
+
+// The workspace targeted by the innermost active scope on this thread, or
+// nullptr.
+Workspace* CurrentWorkspace();
+
+// Arena-backed tensor when a scope is active, plain heap tensor otherwise.
+Tensor WsTensor(int64_t rows, int64_t cols);         // zero-initialized
+Tensor WsTensorUninit(int64_t rows, int64_t cols);   // uninitialized
+Tensor WsTensorCopy(const Tensor& src);              // arena copy of src
+
+}  // namespace flexgraph
+
+#endif  // SRC_TENSOR_WORKSPACE_H_

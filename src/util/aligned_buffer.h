@@ -11,19 +11,35 @@
 #include <new>
 #include <utility>
 
+#include "src/util/alloc_stats.h"
 #include "src/util/check.h"
 
 namespace flexgraph {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
 
-// Owning, aligned float array. Intentionally minimal: no geometric growth, the
-// tensor layer always knows its size up front.
+// Aligned float array. Normally owning (heap); can also borrow externally
+// managed storage (a workspace arena slab) — borrowed buffers never free,
+// and copying one always produces an owned heap copy so tensors that escape
+// an arena's lifetime stay valid.
+//
+// Intentionally minimal: no geometric growth, the tensor layer always knows
+// its size up front.
 class AlignedBuffer {
  public:
   AlignedBuffer() = default;
 
   explicit AlignedBuffer(std::size_t count) { Allocate(count); }
+
+  // Wraps `count` floats at `data` without taking ownership. `data` must stay
+  // valid for the buffer's lifetime and be kCacheLineBytes-aligned.
+  static AlignedBuffer Borrow(float* data, std::size_t count) {
+    AlignedBuffer b;
+    b.data_ = data;
+    b.size_ = count;
+    b.owned_ = false;
+    return b;
+  }
 
   AlignedBuffer(const AlignedBuffer& other) {
     Allocate(other.size_);
@@ -55,7 +71,10 @@ class AlignedBuffer {
   void swap(AlignedBuffer& other) noexcept {
     std::swap(data_, other.data_);
     std::swap(size_, other.size_);
+    std::swap(owned_, other.owned_);
   }
+
+  bool owned() const { return owned_; }
 
   float* data() { return data_; }
   const float* data() const { return data_; }
@@ -80,6 +99,7 @@ class AlignedBuffer {
  private:
   void Allocate(std::size_t count) {
     size_ = count;
+    owned_ = true;
     if (count == 0) {
       data_ = nullptr;
       return;
@@ -91,16 +111,21 @@ class AlignedBuffer {
     if (data_ == nullptr) {
       throw std::bad_alloc();
     }
+    allocstats::NoteHeapAlloc(bytes);
   }
 
   void Release() {
-    std::free(data_);
+    if (owned_) {
+      std::free(data_);
+    }
     data_ = nullptr;
     size_ = 0;
+    owned_ = true;
   }
 
   float* data_ = nullptr;
   std::size_t size_ = 0;
+  bool owned_ = true;
 };
 
 }  // namespace flexgraph

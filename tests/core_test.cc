@@ -6,7 +6,10 @@
 #include <gtest/gtest.h>
 
 #include "src/core/fused_ops.h"
+#include "src/exec/chunks.h"
+#include "src/exec/parallel.h"
 #include "src/tensor/ops_dense.h"
+#include "src/tensor/ops_sparse.h"
 #include "tests/test_util.h"
 
 namespace flexgraph {
@@ -178,6 +181,152 @@ TEST_F(AggregatorPaperExample, AttentionWeightsSumToOnePerSlot) {
   Variable attn = agg.InstanceLevelAttention(inst, scores);
   Variable mean = agg.InstanceLevel(inst, ReduceKind::kMean);
   EXPECT_TRUE(AllClose(attn.value(), mean.value(), 1e-5f));
+}
+
+// ---- Planned parallel kernels: bitwise determinism across thread counts ----
+//
+// The chunk table fixes work boundaries in segment space before any thread
+// fans out, so the chunked kernels must reproduce the single-thread result
+// byte for byte at every pool size. The workloads below are sized well past
+// the inline-execution threshold so the parallel paths actually engage.
+
+// Random segmented layout: `segments` segments with fanout 0..max_fanout into
+// `universe` source rows.
+std::pair<std::vector<VertexId>, std::vector<uint64_t>> RandomSegments(
+    Rng& rng, std::size_t segments, std::size_t max_fanout, uint64_t universe) {
+  std::vector<VertexId> leaf_ids;
+  std::vector<uint64_t> offsets = {0};
+  for (std::size_t s = 0; s < segments; ++s) {
+    const uint64_t fanout = rng.NextBounded(max_fanout + 1);
+    for (uint64_t e = 0; e < fanout; ++e) {
+      leaf_ids.push_back(static_cast<VertexId>(rng.NextBounded(universe)));
+    }
+    offsets.push_back(leaf_ids.size());
+  }
+  return {std::move(leaf_ids), std::move(offsets)};
+}
+
+class ThreadCountGuard {
+ public:
+  ~ThreadCountGuard() { exec::SetNumThreads(0); }
+};
+
+TEST(PlannedKernelTest, FusedReduceBitwiseAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(17);
+  Tensor x = RandomTensor(512, 33, rng);
+  auto [leaf_ids, offsets] = RandomSegments(rng, 1500, 6, 512);
+  const std::vector<int64_t> chunks = MakeSegmentChunks(offsets, kPlanChunkTarget);
+  for (ReduceKind kind :
+       {ReduceKind::kSum, ReduceKind::kMean, ReduceKind::kMax, ReduceKind::kMin}) {
+    exec::SetNumThreads(1);
+    const Tensor seq = FusedSegmentGatherReduce(x, leaf_ids, offsets, kind, chunks);
+    for (int threads : {2, 8}) {
+      exec::SetNumThreads(threads);
+      const Tensor par = FusedSegmentGatherReduce(x, leaf_ids, offsets, kind, chunks);
+      EXPECT_TRUE(BitwiseEqual(seq, par))
+          << ReduceKindName(kind) << " with " << threads << " threads";
+    }
+  }
+}
+
+TEST(PlannedKernelTest, SegmentReduceAndSoftmaxBitwiseAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(23);
+  auto [leaf_ids, offsets] = RandomSegments(rng, 1200, 8, 256);
+  const auto rows = static_cast<int64_t>(leaf_ids.size());
+  Tensor values = RandomTensor(rows, 19, rng);
+  Tensor scores = RandomTensor(rows, 1, rng);
+  const std::vector<int64_t> chunks = MakeSegmentChunks(offsets, kPlanChunkTarget);
+
+  exec::SetNumThreads(1);
+  const Tensor reduce_seq = SegmentReduce(values, offsets, ReduceKind::kSum, chunks);
+  const Tensor softmax_seq = SegmentSoftmax(scores, offsets, chunks);
+  for (int threads : {2, 8}) {
+    exec::SetNumThreads(threads);
+    EXPECT_TRUE(
+        BitwiseEqual(reduce_seq, SegmentReduce(values, offsets, ReduceKind::kSum, chunks)))
+        << threads << " threads";
+    EXPECT_TRUE(BitwiseEqual(softmax_seq, SegmentSoftmax(scores, offsets, chunks)))
+        << threads << " threads";
+  }
+}
+
+TEST(PlannedKernelTest, GatherAndMatMulBitwiseAcrossThreadCounts) {
+  ThreadCountGuard guard;
+  Rng rng(29);
+  Tensor x = RandomTensor(700, 48, rng);
+  Tensor w = RandomTensor(48, 32, rng);
+  std::vector<uint32_t> index;
+  for (int i = 0; i < 9000; ++i) {
+    index.push_back(static_cast<uint32_t>(rng.NextBounded(700)));
+  }
+  exec::SetNumThreads(1);
+  const Tensor gather_seq = GatherRows(x, index);
+  const Tensor matmul_seq = MatMul(x, w);
+  for (int threads : {2, 8}) {
+    exec::SetNumThreads(threads);
+    EXPECT_TRUE(BitwiseEqual(gather_seq, GatherRows(x, index))) << threads << " threads";
+    EXPECT_TRUE(BitwiseEqual(matmul_seq, MatMul(x, w))) << threads << " threads";
+  }
+}
+
+// The planned bottom level — parallel fused forward plus the parallel
+// per-source backward over the inverse leaf→segment map — must match the
+// legacy sequential kernels bitwise at every thread count.
+TEST(PlannedKernelTest, PlannedIndirectReduceBitwiseMatchesLegacy) {
+  ThreadCountGuard guard;
+  Rng rng(31);
+  const uint64_t universe = 400;
+  Tensor x = RandomTensor(static_cast<int64_t>(universe), 21, rng);
+  const std::size_t roots = 1300;
+  std::vector<VertexId> root_ids(roots);
+  for (std::size_t r = 0; r < roots; ++r) {
+    root_ids[r] = static_cast<VertexId>(r);
+  }
+  HdgBuilder builder(SchemaTree::Flat(), root_ids);
+  for (std::size_t r = 0; r < roots; ++r) {
+    // Flat HDGs carry one leaf per record (GCN-style neighbor lists); some
+    // roots get none at all — their slot stays an empty segment.
+    const uint64_t fanout = rng.NextBounded(8);
+    for (uint64_t e = 0; e < fanout; ++e) {
+      const VertexId leaf[] = {static_cast<VertexId>(rng.NextBounded(universe))};
+      builder.AddRecord(static_cast<VertexId>(r), 0, leaf);
+    }
+  }
+  const Hdg hdg = builder.Build();
+  const auto leaf_span = hdg.leaf_vertex_ids();
+  const std::vector<VertexId> leaf_ids(leaf_span.begin(), leaf_span.end());
+  const auto offs_span = hdg.slot_offsets();
+  const std::vector<uint64_t> offsets(offs_span.begin(), offs_span.end());
+  const ExecutionPlan plan =
+      CompileExecutionPlan("test", hdg, ExecStrategy::kSparseFused);
+
+  for (ReduceKind kind : {ReduceKind::kSum, ReduceKind::kMean}) {
+    // Legacy sequential reference.
+    exec::SetNumThreads(1);
+    Variable leaf_seq = Variable::Leaf(x, /*requires_grad=*/true);
+    Variable out_seq = AgIndirectSegmentReduce(leaf_seq, leaf_ids, offsets, kind,
+                                               ExecStrategy::kSparseFused, nullptr);
+    Tensor seed = Tensor::Uninitialized(out_seq.rows(), out_seq.cols());
+    for (int64_t i = 0; i < seed.numel(); ++i) {
+      seed.data()[i] = rng.NextUniform(-1.0f, 1.0f);
+    }
+    out_seq.Backward(seed);
+    const Tensor grad_seq = leaf_seq.grad();
+
+    for (int threads : {1, 2, 8}) {
+      exec::SetNumThreads(threads);
+      Variable leaf_par = Variable::Leaf(x, /*requires_grad=*/true);
+      Variable out_par = AgIndirectSegmentReduce(leaf_par, plan.bottom, kind,
+                                                 ExecStrategy::kSparseFused, nullptr);
+      out_par.Backward(seed);
+      EXPECT_TRUE(BitwiseEqual(out_seq.value(), out_par.value()))
+          << ReduceKindName(kind) << " forward, " << threads << " threads";
+      EXPECT_TRUE(BitwiseEqual(grad_seq, leaf_par.grad()))
+          << ReduceKindName(kind) << " backward, " << threads << " threads";
+    }
+  }
 }
 
 TEST_F(AggregatorPaperExample, FlatHdgRejectsHierarchyLevels) {

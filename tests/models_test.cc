@@ -1,11 +1,15 @@
 // End-to-end model tests: every model trains (loss decreases), all execution
 // strategies produce identical forward outputs, HDG caching honors policies.
 #include <cmath>
+#include <cstring>
 
 #include <gtest/gtest.h>
 
 #include "src/core/engine.h"
 #include "src/data/datasets.h"
+#include "src/dist/runtime.h"
+#include "src/exec/parallel.h"
+#include "src/partition/partition.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
 #include "src/models/gin.h"
@@ -132,6 +136,84 @@ TEST_P(StrategyEquivalenceSweep, ForwardIdenticalAcrossStrategies) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, StrategyEquivalenceSweep,
+                         ::testing::Values("gcn", "pinsage", "magnn", "pgnn", "jknet", "gin",
+                                           "gat", "sage-mean", "sage-max", "sage-lstm"));
+
+// Exact byte-for-byte tensor equality (the planned kernels' determinism
+// contract — AllClose would hide order-of-accumulation drift).
+bool BitwiseEqual(const Tensor& a, const Tensor& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(),
+                     static_cast<std::size_t>(a.numel()) * sizeof(float)) == 0;
+}
+
+class ThreadDeterminismSweep : public ::testing::TestWithParam<const char*> {};
+
+// The execution plan fixes chunk boundaries independently of the pool size,
+// so every model's logits and training loss must be bitwise identical at any
+// kernel thread count.
+TEST_P(ThreadDeterminismSweep, LogitsAndLossBitwiseIdenticalAcrossThreadCounts) {
+  const std::string name = GetParam();
+  Dataset ds = name == "magnn" ? SmallHetero() : SmallHomogeneous();
+
+  Tensor ref_logits;
+  float ref_loss = 0.0f;
+  for (int threads : {1, 2, 8}) {
+    exec::SetNumThreads(threads);
+    // Fresh identically-seeded model per pass: training mutates parameters.
+    Rng model_rng(13);
+    GnnModel model = MakeModelFor(name, ds, model_rng);
+    Engine engine(ds.graph);
+    Rng hdg_rng(99);
+    StageTimes times;
+    Tensor logits = engine.Infer(model, ds.features, hdg_rng, &times);
+
+    SgdOptimizer opt(0.05f);
+    Rng train_rng(7);
+    EpochResult epoch = engine.TrainEpoch(model, ds.features, ds.labels, opt, train_rng);
+
+    if (threads == 1) {
+      ref_logits = logits;
+      ref_loss = epoch.loss;
+    } else {
+      EXPECT_TRUE(BitwiseEqual(ref_logits, logits)) << name << " @ " << threads
+                                                    << " threads";
+      EXPECT_EQ(std::memcmp(&ref_loss, &epoch.loss, sizeof(float)), 0)
+          << name << " loss @ " << threads << " threads";
+    }
+  }
+  exec::SetNumThreads(0);
+}
+
+// Same contract on the simulated distributed runtime: per-worker plans and
+// arenas must not change the math either.
+TEST_P(ThreadDeterminismSweep, DistributedLogitsBitwiseIdenticalAcrossThreadCounts) {
+  const std::string name = GetParam();
+  Dataset ds = name == "magnn" ? SmallHetero() : SmallHomogeneous();
+  Rng model_rng(13);
+  GnnModel model = MakeModelFor(name, ds, model_rng);
+
+  Tensor reference;
+  for (int threads : {1, 2, 8}) {
+    exec::SetNumThreads(threads);
+    DistConfig config;
+    config.strategy = ExecStrategy::kHybrid;
+    DistributedRuntime runtime(ds.graph, HashPartition(ds.graph.num_vertices(), 3),
+                               config);
+    Rng epoch_rng(99);
+    Tensor logits;
+    runtime.RunEpoch(model, ds.features, epoch_rng, &logits);
+    if (threads == 1) {
+      reference = logits;
+    } else {
+      EXPECT_TRUE(BitwiseEqual(reference, logits)) << name << " @ " << threads
+                                                   << " threads";
+    }
+  }
+  exec::SetNumThreads(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ThreadDeterminismSweep,
                          ::testing::Values("gcn", "pinsage", "magnn", "pgnn", "jknet", "gin",
                                            "gat", "sage-mean", "sage-max", "sage-lstm"));
 

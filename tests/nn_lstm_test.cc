@@ -59,7 +59,7 @@ TEST(AccuracyTest, CountsArgmaxMatches) {
 TEST(SegmentMaxTest, ForwardAndEmptySegments) {
   Tensor x = Tensor::FromRows(4, 2, {1, 8, 3, 2, -1, -2, 5, 0});
   Variable v = Variable::Leaf(x, true);
-  Variable out = AgSegmentMax(v, {0, 2, 2, 4});
+  Variable out = AgSegmentMax(v, std::vector<uint64_t>{0, 2, 2, 4});
   EXPECT_FLOAT_EQ(out.value().At(0, 0), 3.0f);
   EXPECT_FLOAT_EQ(out.value().At(0, 1), 8.0f);
   EXPECT_FLOAT_EQ(out.value().At(1, 0), 0.0f);  // empty segment
@@ -70,7 +70,7 @@ TEST(SegmentMaxTest, ForwardAndEmptySegments) {
 TEST(SegmentMaxTest, GradientRoutesToArgmax) {
   Tensor x = Tensor::FromRows(3, 1, {1, 5, 3});
   Variable v = Variable::Leaf(x, true);
-  Variable out = AgSegmentMax(v, {0, 3});
+  Variable out = AgSegmentMax(v, std::vector<uint64_t>{0, 3});
   out.Backward();
   EXPECT_FLOAT_EQ(v.grad().At(0, 0), 0.0f);
   EXPECT_FLOAT_EQ(v.grad().At(1, 0), 1.0f);

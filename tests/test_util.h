@@ -3,6 +3,7 @@
 #define TESTS_TEST_UTIL_H_
 
 #include <cmath>
+#include <cstring>
 #include <functional>
 #include <vector>
 
@@ -21,6 +22,28 @@ inline Tensor RandomTensor(int64_t rows, int64_t cols, Rng& rng, float lo = -1.0
     t.data()[i] = rng.NextUniform(lo, hi);
   }
   return t;
+}
+
+// Exact byte-for-byte tensor equality — the determinism tests' comparison.
+// The planned kernels promise *bitwise*-identical results across thread
+// counts and execution strategies, not merely AllClose.
+inline ::testing::AssertionResult BitwiseEqual(const Tensor& a, const Tensor& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: [" << a.rows() << ", " << a.cols() << "] vs ["
+           << b.rows() << ", " << b.cols() << "]";
+  }
+  if (std::memcmp(a.data(), b.data(),
+                  static_cast<std::size_t>(a.numel()) * sizeof(float)) != 0) {
+    for (int64_t i = 0; i < a.numel(); ++i) {
+      if (std::memcmp(a.data() + i, b.data() + i, sizeof(float)) != 0) {
+        return ::testing::AssertionFailure()
+               << "first bit difference at flat index " << i << ": " << a.data()[i]
+               << " vs " << b.data()[i];
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
 }
 
 // Numerical gradient check: given a differentiable function expressed as

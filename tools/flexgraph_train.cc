@@ -5,6 +5,7 @@
 //                            graphsage-maxpool|graphsage-lstm]
 //                   [--dataset reddit|fb91|twitter|imdb] [--scale 1.0]
 //                   [--epochs 30] [--lr 0.1] [--strategy sa|safa|ha]
+//                   [--threads n]
 //                   [--workers 1] [--checkpoint path] [--resume path|dir|auto]
 //                   [--checkpoint-dir dir] [--checkpoint-every n]
 //                   [--keep-checkpoints n]
@@ -33,6 +34,11 @@
 // timeout + backoff retries); --inject-corrupt-ckpt truncates the rotating
 // checkpoint written at epoch E so resume exercises the valid-file fallback.
 //
+// Threading: --threads sets the kernel thread count (FLEXGRAPH_NUM_THREADS is
+// the env fallback; hardware concurrency otherwise). Kernel results are
+// bitwise identical across thread counts — the plan fixes chunk boundaries
+// independently of the pool size.
+//
 // Observability (README.md "Observability"): --metrics-json/--metrics-csv
 // export the metric registry at exit, --trace enables span recording and
 // writes Chrome trace-event JSON (open in chrome://tracing or Perfetto), and
@@ -49,6 +55,7 @@
 #include "src/data/datasets.h"
 #include "src/dist/checkpoint.h"
 #include "src/dist/runtime.h"
+#include "src/exec/parallel.h"
 #include "src/fault/fault_injector.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
@@ -73,6 +80,7 @@ struct CliOptions {
   int epochs = 30;
   float lr = 0.1f;
   std::string strategy = "ha";
+  int threads = 0;  // 0 = FLEXGRAPH_NUM_THREADS / hardware default
   uint32_t workers = 1;
   std::string checkpoint;
   std::string resume;
@@ -136,6 +144,37 @@ void PrintStageBreakdown() {
   }
   std::printf("\n== stage breakdown (instrumented seconds, whole run) ==\n");
   table.Print(std::cout);
+
+  // Planned-execution block: plan compilation cost, arena footprint, and the
+  // steady-state heap-allocation count (flat from the second epoch onward
+  // when the plan cache holds).
+  auto counter = [&](const char* name) -> int64_t {
+    auto it = snap.counters.find(name);
+    return it != snap.counters.end() ? it->second : 0;
+  };
+  auto gauge = [&](const char* name) -> double {
+    auto it = snap.gauges.find(name);
+    return it != snap.gauges.end() ? it->second : 0.0;
+  };
+  double compile_seconds = 0.0;
+  if (auto it = snap.histograms.find("exec.plan_compile_seconds");
+      it != snap.histograms.end()) {
+    compile_seconds = it->second.sum;
+  }
+  TablePrinter exec_table({"Execution", "value"});
+  exec_table.AddRow({"kernel threads", std::to_string(exec::NumThreads())});
+  exec_table.AddRow({"plan compiles", std::to_string(counter("exec.plan_compiles"))});
+  exec_table.AddRow({"plan compile seconds", TablePrinter::Num(compile_seconds, 4)});
+  exec_table.AddRow(
+      {"arena planned KiB", TablePrinter::Num(gauge("exec.planned_bytes") / 1024.0, 1)});
+  exec_table.AddRow({"arena reserved KiB",
+                     TablePrinter::Num(gauge("exec.arena_reserved_bytes") / 1024.0, 1)});
+  exec_table.AddRow({"arena high-water KiB",
+                     TablePrinter::Num(gauge("exec.arena_high_water_bytes") / 1024.0, 1)});
+  exec_table.AddRow({"arena growths", std::to_string(counter("exec.arena_grow"))});
+  exec_table.AddRow({"kernel heap allocs", std::to_string(counter("exec.alloc_count"))});
+  std::printf("\n== planned execution (exec.*) ==\n");
+  exec_table.Print(std::cout);
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& opts) {
@@ -161,6 +200,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.lr = static_cast<float>(std::atof(value));
     } else if (arg == "--strategy" && (value = next())) {
       opts.strategy = value;
+    } else if (arg == "--threads" && (value = next())) {
+      opts.threads = std::atoi(value);
     } else if (arg == "--workers" && (value = next())) {
       opts.workers = static_cast<uint32_t>(std::atoi(value));
     } else if (arg == "--checkpoint" && (value = next())) {
@@ -489,7 +530,8 @@ int main(int argc, char** argv) {
   if (!ParseArgs(argc, argv, opts)) {
     std::fprintf(stderr,
                  "usage: flexgraph_train [--model M] [--dataset D] [--scale S] [--epochs N]\n"
-                 "                       [--lr F] [--strategy sa|safa|ha] [--workers K]\n"
+                 "                       [--lr F] [--strategy sa|safa|ha] [--threads N]\n"
+                 "                       [--workers K]\n"
                  "                       [--checkpoint PATH] [--resume PATH|DIR|auto]\n"
                  "                       [--checkpoint-dir DIR] [--checkpoint-every N]\n"
                  "                       [--keep-checkpoints N] [--seed N]\n"
@@ -501,6 +543,9 @@ int main(int argc, char** argv) {
   }
   if (!opts.trace.empty()) {
     flexgraph::obs::Tracer::Get().Enable(true);
+  }
+  if (opts.threads > 0) {
+    flexgraph::exec::SetNumThreads(opts.threads);
   }
   Dataset ds = MakeDatasetByName(opts.dataset, opts.scale, opts.seed);
   if ((opts.model == "magnn") && !ds.graph.is_heterogeneous()) {
