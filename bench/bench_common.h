@@ -15,12 +15,14 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "src/baselines/common.h"
 #include "src/core/engine.h"
 #include "src/data/datasets.h"
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
 #include "src/models/gcn.h"
 #include "src/models/magnn.h"
 #include "src/models/pinsage.h"
@@ -95,7 +97,19 @@ inline GnnModel BenchModel(const std::string& name, const Dataset& ds, Rng& rng)
 // output directory.
 class BenchReporter {
  public:
-  explicit BenchReporter(std::string name) : name_(std::move(name)) {}
+  explicit BenchReporter(std::string name) : name_(std::move(name)) {
+    // Bench metadata: the dispatched kernel ISA and the machine's parallelism,
+    // so a BENCH_*.json is interpretable without knowing the host it ran on.
+    // Metric values are numeric-only, so the ISA name rides in the gauge key
+    // (e.g. "bench.meta.isa_avx512" = 1) next to the numeric level.
+    auto& reg = obs::MetricRegistry::Get();
+    reg.GetGauge("bench.meta.isa_level")
+        .Set(static_cast<double>(static_cast<int>(simd::ActiveIsa())));
+    reg.GetGauge(std::string("bench.meta.isa_") + simd::IsaName(simd::ActiveIsa())).Set(1.0);
+    reg.GetGauge("bench.meta.hw_threads")
+        .Set(static_cast<double>(std::thread::hardware_concurrency()));
+    reg.GetGauge("bench.meta.bench_threads").Set(static_cast<double>(exec::NumThreads()));
+  }
 
   ~BenchReporter() {
     const std::string setting = EnvString("FLEXGRAPH_BENCH_JSON", "1");

@@ -12,6 +12,7 @@
 #include "src/data/synthetic.h"
 #include "src/exec/chunks.h"
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
 #include "src/tensor/ops_dense.h"
 #include "src/tensor/ops_sparse.h"
 #include "src/tensor/workspace.h"
@@ -30,8 +31,8 @@ struct AggFixture {
 
 AggFixture MakeFixture(int64_t dim) {
   PowerLawGraphParams params;
-  params.num_vertices = 8192;
-  params.avg_degree = 16.0;
+  params.num_vertices = 16384;
+  params.avg_degree = 32.0;
   CsrGraph g = GeneratePowerLawGraph(params);
   AggFixture f;
   Rng rng(1);
@@ -121,9 +122,11 @@ BENCHMARK(BM_SparseSchemaReduce)->Arg(16)->Arg(64);
 
 // Thread sweep over the planned fused kernel. The plan's chunk boundaries are
 // fixed up front (independent of the pool size), so the output is bitwise
-// identical across every Arg — only the wall time moves.
+// identical across every Arg — only the wall time moves. d=128 keeps the
+// per-call work (~64M floats) far above exec::kMinParallelWork so the pool
+// actually engages.
 void BM_FusedAggregateThreads(benchmark::State& state) {
-  AggFixture f = MakeFixture(64);
+  AggFixture f = MakeFixture(128);
   const std::vector<int64_t> chunks = MakeSegmentChunks(f.offsets, kPlanChunkTarget);
   exec::SetNumThreads(static_cast<int>(state.range(0)));
   for (auto _ : state) {
@@ -133,7 +136,7 @@ void BM_FusedAggregateThreads(benchmark::State& state) {
   }
   exec::SetNumThreads(0);  // back to the env/hardware default
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(f.leaf_ids.size()) * 64);
+                          static_cast<int64_t>(f.leaf_ids.size()) * 128);
 }
 BENCHMARK(BM_FusedAggregateThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
@@ -174,22 +177,98 @@ void BM_MatMul(benchmark::State& state) {
 }
 BENCHMARK(BM_MatMul)->Arg(64)->Arg(256);
 
-// Records the thread sweep and workspace ablation into the registry so they
-// land in BENCH_kernels.json (google-benchmark's own output goes to stdout).
+// SIMD-vs-scalar ablation: the same fused gather-reduce and packed-GEMM calls
+// with the kernel table rebound to the scalar variant vs. the startup-
+// dispatched one. Single-threaded so the ratio isolates vector width; both
+// variants run the identical chunk schedule, so outputs stay bitwise equal.
+void RecordSimdComparison(BenchReporter& reporter, const AggFixture& f,
+                          const std::vector<int64_t>& chunks) {
+  constexpr int kReps = 10;
+  const simd::IsaLevel active = simd::ActiveIsa();
+  exec::SetNumThreads(1);
+  Rng rng(4);
+  Tensor a = Tensor::Uninitialized(2048, 256);
+  Tensor b = Tensor::Uninitialized(256, 256);
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    a.data()[i] = rng.NextFloat();
+  }
+  for (int64_t i = 0; i < b.numel(); ++i) {
+    b.data()[i] = rng.NextFloat();
+  }
+  double fused_scalar = 0.0;
+  double gemm_scalar = 0.0;
+  for (const bool scalar : {true, false}) {
+    simd::SetIsa(scalar ? simd::IsaLevel::kScalar : active);
+    const std::string tag = scalar ? "scalar" : "simd";
+    {
+      Tensor warm =
+          FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+      benchmark::DoNotOptimize(warm.data());
+      WallTimer timer;
+      for (int r = 0; r < kReps; ++r) {
+        Tensor out =
+            FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+        benchmark::DoNotOptimize(out.data());
+      }
+      const double avg = timer.ElapsedSeconds() / kReps;
+      reporter.Record("fused_" + tag + "_seconds", avg);
+      if (scalar) {
+        fused_scalar = avg;
+      } else {
+        reporter.Record("fused_simd_speedup_vs_scalar", fused_scalar / avg);
+      }
+    }
+    {
+      Tensor warm = MatMul(a, b);
+      benchmark::DoNotOptimize(warm.data());
+      WallTimer timer;
+      for (int r = 0; r < kReps; ++r) {
+        Tensor c = MatMul(a, b);
+        benchmark::DoNotOptimize(c.data());
+      }
+      const double avg = timer.ElapsedSeconds() / kReps;
+      reporter.Record("gemm_" + tag + "_seconds", avg);
+      if (scalar) {
+        gemm_scalar = avg;
+      } else {
+        reporter.Record("gemm_simd_speedup_vs_scalar", gemm_scalar / avg);
+      }
+    }
+  }
+  simd::ResetIsa();
+  exec::SetNumThreads(0);
+}
+
+// Records the thread sweep (with explicit speedup ratios vs. 1 thread), the
+// workspace ablation, and the SIMD-vs-scalar ablation into the registry so
+// they land in BENCH_kernels.json (google-benchmark's own output goes to
+// stdout).
 void RecordSweeps(BenchReporter& reporter) {
-  AggFixture f = MakeFixture(64);
+  AggFixture f = MakeFixture(128);
   const std::vector<int64_t> chunks = MakeSegmentChunks(f.offsets, kPlanChunkTarget);
   constexpr int kReps = 10;
+  double threads1 = 0.0;
   for (int threads : {1, 2, 4, 8}) {
     exec::SetNumThreads(threads);
+    {  // warm-up rep: spins up the resized pool before timing starts
+      Tensor out =
+          FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
+      benchmark::DoNotOptimize(out.data());
+    }
     WallTimer timer;
     for (int r = 0; r < kReps; ++r) {
       Tensor out =
           FusedSegmentGatherReduce(f.x, f.leaf_ids, f.offsets, ReduceKind::kSum, chunks);
       benchmark::DoNotOptimize(out.data());
     }
-    reporter.Record("fused_threads" + std::to_string(threads) + "_seconds",
-                    timer.ElapsedSeconds() / kReps);
+    const double avg = timer.ElapsedSeconds() / kReps;
+    reporter.Record("fused_threads" + std::to_string(threads) + "_seconds", avg);
+    if (threads == 1) {
+      threads1 = avg;
+    } else {
+      reporter.Record("fused_speedup_threads" + std::to_string(threads) + "_vs_1",
+                      threads1 / avg);
+    }
   }
   exec::SetNumThreads(0);
   for (const bool use_arena : {false, true}) {
@@ -207,6 +286,7 @@ void RecordSweeps(BenchReporter& reporter) {
     reporter.Record(use_arena ? "fused_arena_seconds" : "fused_heap_seconds",
                     timer.ElapsedSeconds() / kReps);
   }
+  RecordSimdComparison(reporter, f, chunks);
 }
 
 }  // namespace

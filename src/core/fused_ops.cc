@@ -4,6 +4,7 @@
 
 #include "src/exec/chunks.h"
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/ops_dense.h"
@@ -14,8 +15,7 @@ namespace flexgraph {
 
 namespace {
 
-// Matches the src/tensor kernels' inline-below threshold (touched floats).
-constexpr int64_t kMinParallelWork = 1 << 14;
+using exec::kMinParallelWork;
 
 // Runs body(s_lo, s_hi) over segment-aligned chunks (the plan's, or fixed
 // boundaries derived from the offsets). Per-segment work inside `body` is the
@@ -51,47 +51,14 @@ Tensor FusedSegmentGatherReduce(const Tensor& x, std::span<const VertexId> leaf_
   const int64_t d = x.cols();
   Tensor out = WsTensor(num_segments, d);
   const int64_t total_work = static_cast<int64_t>(leaf_ids.size()) * d;
+  // Sum/mean accumulate source rows directly into the destination buffer — no
+  // per-edge message tensor exists. The dispatched kernel vectorizes along d
+  // (the paper's AVX feature-fusion path) and software-prefetches upcoming
+  // leaf rows to hide the gather's DRAM latency.
+  const simd::KernelTable& kt = simd::Kernels();
+  const simd::Reduce sk = ToSimdReduce(kind);
   ForEachSegmentChunk(offsets, chunks, total_work, [&](int64_t s_lo, int64_t s_hi) {
-    for (int64_t s = s_lo; s < s_hi; ++s) {
-      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-      if (lo == hi) {
-        continue;
-      }
-      float* __restrict orow = out.Row(s);
-      if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
-        std::memcpy(orow, x.Row(static_cast<int64_t>(leaf_ids[lo])),
-                    static_cast<std::size_t>(d) * sizeof(float));
-        for (uint64_t e = lo + 1; e < hi; ++e) {
-          const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
-          if (kind == ReduceKind::kMax) {
-            for (int64_t j = 0; j < d; ++j) {
-              orow[j] = orow[j] > src[j] ? orow[j] : src[j];
-            }
-          } else {
-            for (int64_t j = 0; j < d; ++j) {
-              orow[j] = orow[j] < src[j] ? orow[j] : src[j];
-            }
-          }
-        }
-        continue;
-      }
-      // Sum/mean: accumulate source rows directly into the destination buffer —
-      // no per-edge message tensor exists. The inner loop is contiguous over d
-      // so the compiler vectorizes it (the paper's AVX feature-fusion path).
-      for (uint64_t e = lo; e < hi; ++e) {
-        const float* __restrict src = x.Row(static_cast<int64_t>(leaf_ids[e]));
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] += src[j];
-        }
-      }
-      if (kind == ReduceKind::kMean) {
-        const float inv = 1.0f / static_cast<float>(hi - lo);
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] *= inv;
-        }
-      }
-    }
+    kt.segment_reduce(x.data(), d, leaf_ids.data(), offsets.data(), s_lo, s_hi, sk, out.data());
   });
   return out;
 }
@@ -107,18 +74,20 @@ Tensor IndirectSegmentReduceBackward(const Tensor& grad_out, const std::vector<V
                                      int64_t src_rows, int64_t d) {
   Tensor gx = WsTensor(src_rows, d);
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
+  const simd::KernelTable& kt = simd::Kernels();
   for (int64_t s = 0; s < num_segments; ++s) {
     const uint64_t lo = offsets[static_cast<std::size_t>(s)];
     const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
     if (lo == hi) {
       continue;
     }
-    const float scale = kind == ReduceKind::kMean ? 1.0f / static_cast<float>(hi - lo) : 1.0f;
-    const float* __restrict grow = grad_out.Row(s);
+    const float* grow = grad_out.Row(s);
     for (uint64_t e = lo; e < hi; ++e) {
-      float* __restrict dst = gx.Row(static_cast<int64_t>(leaf_ids[e]));
-      for (int64_t j = 0; j < d; ++j) {
-        dst[j] += grow[j] * scale;
+      float* dst = gx.Row(static_cast<int64_t>(leaf_ids[e]));
+      if (kind == ReduceKind::kMean) {
+        kt.axpy_row(dst, grow, 1.0f / static_cast<float>(hi - lo), d);
+      } else {
+        kt.add_row(dst, grow, d);
       }
     }
   }
@@ -138,20 +107,11 @@ Tensor PlannedIndirectBackward(const Tensor& grad_out, const U64Vec& src_offsets
   const auto& ssegs = *src_edge_segments;
   const auto& segs = *offsets;
   const int64_t mapped_rows = static_cast<int64_t>(soff.size()) - 1;
+  const simd::KernelTable& kt = simd::Kernels();
+  const simd::Reduce sk = ToSimdReduce(kind);
   const auto gather_range = [&](int64_t v_lo, int64_t v_hi) {
-    for (int64_t v = v_lo; v < v_hi; ++v) {
-      float* __restrict dst = gx.Row(v);
-      for (uint64_t idx = soff[static_cast<std::size_t>(v)];
-           idx < soff[static_cast<std::size_t>(v) + 1]; ++idx) {
-        const uint32_t s = ssegs[static_cast<std::size_t>(idx)];
-        const uint64_t width = segs[s + 1] - segs[s];
-        const float scale = kind == ReduceKind::kMean ? 1.0f / static_cast<float>(width) : 1.0f;
-        const float* __restrict grow = grad_out.Row(static_cast<int64_t>(s));
-        for (int64_t j = 0; j < d; ++j) {
-          dst[j] += grow[j] * scale;
-        }
-      }
-    }
+    kt.indirect_backward(grad_out.data(), d, soff.data(), ssegs.data(), segs.data(), sk, v_lo,
+                         v_hi, gx.data());
   };
   const int64_t total_work = static_cast<int64_t>(ssegs.size()) * d;
   if (total_work < kMinParallelWork || exec::NumThreads() <= 1 || !src_chunks) {

@@ -89,15 +89,22 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
     body(begin, end);
     return;
   }
-  const std::int64_t step = (n + num_tasks - 1) / num_tasks;
-  for (std::int64_t t = 0; t < num_tasks; ++t) {
-    const std::int64_t lo = begin + t * step;
-    const std::int64_t hi = std::min(end, lo + step);
-    if (lo >= hi) {
-      break;
-    }
-    pool->Submit([lo, hi, &body] { body(lo, hi); });
+  // Round the step up to a whole cache line of floats so task boundaries in
+  // flat element loops land on 64-byte lines — adjacent tasks then never
+  // write the same line (false sharing). Row-indexed loops are unaffected
+  // beyond a slightly coarser split.
+  constexpr std::int64_t kStepAlign = 16;
+  std::int64_t step = (n + num_tasks - 1) / num_tasks;
+  if (step > kStepAlign) {
+    step = (step + kStepAlign - 1) / kStepAlign * kStepAlign;
   }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(num_tasks));
+  for (std::int64_t lo = begin; lo < end; lo += step) {
+    const std::int64_t hi = std::min(end, lo + step);
+    tasks.push_back([lo, hi, &body] { body(lo, hi); });
+  }
+  pool->SubmitBatch(std::move(tasks));
   pool->Wait();
 }
 
@@ -107,9 +114,11 @@ void ParallelChunks(std::int64_t num_chunks,
     return;
   }
   ThreadPool* pool = nullptr;
+  std::int64_t threads = 1;
   if (num_chunks > 1) {
     std::lock_guard<std::mutex> lock(g_mutex);
     pool = PoolLocked();
+    threads = g_num_threads;
   }
   if (pool == nullptr) {
     for (std::int64_t c = 0; c < num_chunks; ++c) {
@@ -117,9 +126,25 @@ void ParallelChunks(std::int64_t num_chunks,
     }
     return;
   }
-  for (std::int64_t c = 0; c < num_chunks; ++c) {
-    pool->Submit([c, &body] { body(c); });
+  // Plans compile ~64 chunks per level; one pool task per chunk made the
+  // queue handshake dominate at small sizes (the BENCH_kernels thread-scaling
+  // regression). Batch contiguous chunk ranges into at most threads*2 tasks —
+  // each chunk still runs whole, in ascending order within its task, so
+  // results stay bitwise identical to the per-chunk schedule.
+  const std::int64_t num_tasks =
+      std::max<std::int64_t>(1, std::min<std::int64_t>(threads * 2, num_chunks));
+  const std::int64_t step = (num_chunks + num_tasks - 1) / num_tasks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(num_tasks));
+  for (std::int64_t c_lo = 0; c_lo < num_chunks; c_lo += step) {
+    const std::int64_t c_hi = std::min(num_chunks, c_lo + step);
+    tasks.push_back([c_lo, c_hi, &body] {
+      for (std::int64_t c = c_lo; c < c_hi; ++c) {
+        body(c);
+      }
+    });
   }
+  pool->SubmitBatch(std::move(tasks));
   pool->Wait();
 }
 

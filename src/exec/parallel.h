@@ -8,11 +8,27 @@
 #ifndef SRC_EXEC_PARALLEL_H_
 #define SRC_EXEC_PARALLEL_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 
 namespace flexgraph {
 namespace exec {
+
+// Minimum touched floats before a kernel fans out to the pool — the single
+// tuning knob every kernel's inline/parallel decision derives from, fixed so
+// the decision never depends on the thread count. Retuned for the SIMD
+// kernels: the vector inner loops finish a 16k-float loop in a few
+// microseconds, well under the pool's wake+wait cost, so the cutover sits at
+// 64k floats (256 KiB touched, ~the L2 working set where extra cores start
+// bringing their own bandwidth).
+inline constexpr std::int64_t kMinParallelWork = 1 << 16;
+
+// Row-granularity helper: the minimum rows per task so a task covers at
+// least kMinParallelWork floats at `cols` floats per row.
+inline std::int64_t RowGrain(std::int64_t cols) {
+  return std::max<std::int64_t>(1, kMinParallelWork / std::max<std::int64_t>(1, cols));
+}
 
 // Current kernel thread count (>= 1). Initialized on first use from
 // FLEXGRAPH_NUM_THREADS, falling back to std::thread::hardware_concurrency().

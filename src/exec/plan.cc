@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "src/exec/simd.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
 
@@ -163,11 +164,13 @@ ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg
     plan.planned_bytes = floats * sizeof(float) * 3 / 2;  // 1.5x fudge
   }
 
+  plan.isa = simd::ActiveIsa();
   plan.compile_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   FLEX_COUNTER_ADD("exec.plan_compiles", 1);
   FLEX_HIST_OBSERVE("exec.plan_compile_seconds", plan.compile_seconds);
   FLEX_GAUGE_SET("exec.planned_bytes", static_cast<double>(plan.planned_bytes));
+  FLEX_GAUGE_SET("exec.isa_level", static_cast<double>(static_cast<int>(plan.isa)));
   return plan;
 }
 

@@ -24,6 +24,7 @@
 
 #include "src/core/exec_strategy.h"
 #include "src/exec/chunks.h"
+#include "src/exec/cpu_features.h"
 #include "src/hdg/hdg.h"
 
 namespace flexgraph {
@@ -94,6 +95,11 @@ struct ExecutionPlan {
   std::size_t planned_bytes = 0;
   int64_t planned_dim = 0;
   double compile_seconds = 0.0;
+
+  // Kernel ISA dispatched at compile time (simd::ActiveIsa()); every level's
+  // kernels run through this table. Recorded for provenance — reports and the
+  // trainer's stage table show which vector unit the run actually used.
+  simd::IsaLevel isa = simd::IsaLevel::kScalar;
 };
 
 // Compiles the plan for one (model, HDG, strategy) triple. `hint_dim` is the

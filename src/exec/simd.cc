@@ -1,0 +1,97 @@
+#include "src/exec/simd.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/util/aligned_buffer.h"
+
+namespace flexgraph {
+namespace simd {
+
+// The packed-GEMM panel stride and the allocator's padding unit must agree:
+// a line-aligned panel base plus a 16-float row stride is what keeps every
+// 512-bit panel load inside one cache line.
+static_assert(kPackAlignFloats == static_cast<int64_t>(kCacheLineFloats),
+              "GEMM panel stride must match the cache-line padding unit");
+
+namespace {
+
+const KernelTable* TableFor(IsaLevel level) {
+  switch (level) {
+    case IsaLevel::kScalar:
+      return GetScalarTable();
+    case IsaLevel::kSse2:
+      return GetSse2Table();
+    case IsaLevel::kAvx2:
+      return GetAvx2Table();
+    case IsaLevel::kAvx512:
+      return GetAvx512Table();
+  }
+  return GetScalarTable();
+}
+
+// A variant can be compiled out (e.g. the AVX2 TU built for a non-x86
+// target aliases the scalar table); the table's own level says what it
+// really is.
+bool VariantAvailable(IsaLevel level) { return TableFor(level)->level == level; }
+
+IsaLevel ResolveStartupIsa() {
+  IsaLevel level = DetectIsa();
+  if (const char* env = std::getenv("FLEXGRAPH_ISA")) {
+    IsaLevel requested;
+    if (!ParseIsaName(env, &requested)) {
+      std::fprintf(stderr,
+                   "[flexgraph] FLEXGRAPH_ISA=%s not recognized "
+                   "(scalar|sse2|neon|avx2|avx512); using %s\n",
+                   env, IsaName(level));
+    } else if (!IsaSupported(requested) || !VariantAvailable(requested)) {
+      std::fprintf(stderr,
+                   "[flexgraph] FLEXGRAPH_ISA=%s exceeds this CPU/build "
+                   "(max %s); clamping\n",
+                   env, IsaName(level));
+    } else {
+      level = requested;
+    }
+  }
+  // Walk down past compiled-out variants (scalar always exists).
+  while (!VariantAvailable(level)) {
+    level = static_cast<IsaLevel>(static_cast<int>(level) - 1);
+  }
+  return level;
+}
+
+const KernelTable* StartupTable() {
+  static const KernelTable* table = TableFor(ResolveStartupIsa());
+  return table;
+}
+
+std::atomic<const KernelTable*> g_active{nullptr};
+
+const KernelTable* Active() {
+  const KernelTable* t = g_active.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    t = StartupTable();
+    g_active.store(t, std::memory_order_release);
+  }
+  return t;
+}
+
+}  // namespace
+
+const KernelTable& Kernels() { return *Active(); }
+
+IsaLevel ActiveIsa() { return Active()->level; }
+
+bool SetIsa(IsaLevel level) {
+  if (!IsaSupported(level) || !VariantAvailable(level)) {
+    return false;
+  }
+  g_active.store(TableFor(level), std::memory_order_release);
+  return true;
+}
+
+void ResetIsa() { g_active.store(StartupTable(), std::memory_order_release); }
+
+}  // namespace simd
+}  // namespace flexgraph

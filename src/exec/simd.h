@@ -1,0 +1,139 @@
+// Explicit SIMD kernel suite with runtime CPU dispatch — the hot inner loops
+// of the feature-fusion aggregation kernels, the packed GEMM, and the sparse
+// scatter / dense reshape-reduce paths (paper §4.3's AVX-512 vertex-reduce
+// fast path).
+//
+// One KernelTable per ISA level (scalar / SSE2-or-NEON / AVX2 / AVX-512) is
+// compiled from a shared body template (simd_body.h); the active table is
+// selected once at startup from a CPUID probe, clamped by the FLEXGRAPH_ISA
+// environment override, and is rebindable at runtime for tests (SetIsa).
+//
+// Determinism contract (inherited from the planned execution layer and
+// extended across ISA levels): every kernel vectorizes along the feature
+// dimension only — per output element the accumulation order over edges /
+// rows / k is exactly the sequential scalar kernel's, lanes never mix, and
+// no variant uses FMA contraction (variant TUs build with -ffp-contract=off).
+// Results are therefore bitwise identical across scalar/sse2/avx2/avx512 and
+// across thread counts.
+#ifndef SRC_EXEC_SIMD_H_
+#define SRC_EXEC_SIMD_H_
+
+#include <cstdint>
+
+#include "src/exec/cpu_features.h"
+
+namespace flexgraph {
+namespace simd {
+
+// Mirrors the tensor layer's ReduceKind without depending on it (the exec
+// layer sits below src/tensor). The tensor kernels map explicitly.
+enum class Reduce : int { kSum = 0, kMean = 1, kMax = 2, kMin = 3 };
+
+// Packed GEMM panel rows are padded to this many floats (one cache line) so
+// vector loads never split cache lines and the panel layout is identical at
+// every ISA level.
+inline constexpr int64_t kPackAlignFloats = 16;
+
+// Software-prefetch lookahead of the gather-reduce kernels: while reducing
+// leaf row e the kernel prefetches the row ids[e + kPrefetchLeafRows] — far
+// enough to cover DRAM latency at GNN feature widths, near enough to stay in
+// the chunk's working set.
+inline constexpr int64_t kPrefetchLeafRows = 8;
+
+inline constexpr int64_t PackedStride(int64_t n) {
+  return (n + kPackAlignFloats - 1) / kPackAlignFloats * kPackAlignFloats;
+}
+
+// Function-pointer table for one ISA level. Row primitives cover the simple
+// dst-op-src loops; the coarse entries run a whole chunk of a kernel so the
+// dispatch cost is paid once per task, not once per row.
+struct KernelTable {
+  IsaLevel level;
+  const char* name;
+  int vector_width;  // float lanes per register (1 for scalar)
+
+  // dst[j] op= src[j] for j < d.
+  void (*add_row)(float* dst, const float* src, int64_t d);
+  // dst[j] = dst[j] > src[j] ? dst[j] : src[j]  (maxps semantics).
+  void (*max_row)(float* dst, const float* src, int64_t d);
+  void (*min_row)(float* dst, const float* src, int64_t d);
+  void (*scale_row)(float* dst, float s, int64_t d);
+  // dst[j] += a * src[j], multiply then add (never fused).
+  void (*axpy_row)(float* dst, const float* src, float a, int64_t d);
+
+  // Fused gather-reduce over segments [s_lo, s_hi): out row s reduces x rows
+  // ids[offsets[s] .. offsets[s+1]) (ids == nullptr reduces contiguous rows
+  // offsets[s] .. offsets[s+1), the materialized segment-reduce). `out` is
+  // the full output base (row stride d) and must be zeroed for sum/mean.
+  // Prefetches upcoming leaf rows kPrefetchLeafRows ahead when gathering.
+  void (*segment_reduce)(const float* x, int64_t d, const uint32_t* ids,
+                         const uint64_t* offsets, int64_t s_lo, int64_t s_hi, Reduce kind,
+                         float* out);
+
+  // Planned bottom-level backward over source rows [v_lo, v_hi): row v of gx
+  // accumulates grad rows src_segments[src_offsets[v] .. src_offsets[v+1]),
+  // scaled by 1/segment-width for mean. gx must be zeroed.
+  void (*indirect_backward)(const float* grad_out, int64_t d, const uint64_t* src_offsets,
+                            const uint32_t* src_segments, const uint64_t* seg_offsets,
+                            Reduce kind, int64_t v_lo, int64_t v_hi, float* gx);
+
+  // Sequential scatter accumulation (destinations may collide): out row
+  // index[i] accumulates values row i in ascending i order. Sum/mean
+  // accumulate into a zeroed out; max/min assume the caller pre-filled the
+  // identity and fixes untouched rows afterwards. Mean scaling is the
+  // caller's job (it needs the counts).
+  void (*scatter_rows)(const float* values, int64_t d, const uint32_t* index, int64_t rows,
+                       Reduce kind, float* out);
+
+  // Dense reshape-reduce: out row i (i in [row_lo, row_hi)) reduces values
+  // rows [i*group, (i+1)*group). Sum/mean need a zeroed out; mean scaling by
+  // 1/group happens inside.
+  void (*group_reduce)(const float* values, int64_t d, int64_t group, Reduce kind,
+                       int64_t row_lo, int64_t row_hi, float* out);
+
+  // Packs row-major B [k x n] (transpose == false) or row-major B [n x k]
+  // read as B^T (transpose == true) into a [k x PackedStride(n)] panel with
+  // zero-padded row tails. The panel layout is ISA-independent.
+  void (*gemm_pack_b)(const float* b, int64_t k, int64_t n, bool transpose, float* packed);
+
+  // Register-blocked micro-kernel over output rows [row_lo, row_hi):
+  // c[i][j] = sum_kk a[i*lda + kk] * packed_b[kk*PackedStride(n) + j], with
+  // ascending-kk accumulation per element. Overwrites the c rows it owns.
+  void (*gemm)(const float* a, int64_t lda, const float* packed_b, int64_t k, int64_t n,
+               float* c, int64_t ldc, int64_t row_lo, int64_t row_hi);
+
+  // A-transposed GEMM over output rows [i_lo, i_hi): c[i][j] += a[kk*m + i] *
+  // b[kk*n + j] for kk ascending, skipping kk where a[kk*m + i] == 0 (the
+  // sparse-gradient fast path). c must be zeroed.
+  void (*gemm_trans_a)(const float* a, int64_t k, int64_t m, const float* b, int64_t n,
+                       float* c, int64_t i_lo, int64_t i_hi);
+};
+
+// The active table. First use resolves FLEXGRAPH_ISA (clamped to what the
+// CPU supports, with a warning when the request exceeds it) and caches the
+// result; subsequent calls are one acquire load.
+const KernelTable& Kernels();
+
+// ISA level of the active table.
+IsaLevel ActiveIsa();
+
+// Rebinds the active table (tests sweep levels this way). Returns false —
+// leaving the binding unchanged — when the CPU cannot execute `level` or the
+// variant was compiled out on this architecture. Not thread-safe against
+// concurrently running kernels; call between kernels only.
+bool SetIsa(IsaLevel level);
+
+// Restores the startup default (FLEXGRAPH_ISA / CPU probe).
+void ResetIsa();
+
+// Per-level table accessors (variant TUs; aliases the scalar table where the
+// architecture cannot compile the variant).
+const KernelTable* GetScalarTable();
+const KernelTable* GetSse2Table();
+const KernelTable* GetAvx2Table();
+const KernelTable* GetAvx512Table();
+
+}  // namespace simd
+}  // namespace flexgraph
+
+#endif  // SRC_EXEC_SIMD_H_

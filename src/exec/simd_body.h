@@ -1,0 +1,342 @@
+// Shared kernel bodies for the SIMD dispatch layer. Each variant TU
+// (simd_scalar.cc, simd_sse2.cc, simd_avx2.cc, simd_avx512.cc) defines a
+// vector policy V — register type, lane count, load/store/add/mul/max/min/
+// broadcast — includes this header, and exports MakeTable<V>().
+//
+// Every body vectorizes along the feature (j) dimension only and finishes
+// with a scalar tail, so per output element the accumulation order over
+// edges / rows / k is identical at every lane width: results are bitwise
+// identical across scalar, 128-bit, 256-bit, and 512-bit variants. Variant
+// TUs compile with -ffp-contract=off so the scalar tails (and the scalar
+// policy) never fuse the multiply-add pairs the vector paths keep separate.
+//
+// Comparison semantics are pinned to maxps/minps: max(acc, src) returns acc
+// when acc > src and src otherwise (so src wins on NaN and ±0 ties), and the
+// scalar policy + tails spell out the same ternary.
+#ifndef SRC_EXEC_SIMD_BODY_H_
+#define SRC_EXEC_SIMD_BODY_H_
+
+#include <cstring>
+
+#include "src/exec/simd.h"
+
+namespace flexgraph {
+namespace simd {
+namespace detail {
+
+template <typename V>
+struct Body {
+  using Reg = typename V::Reg;
+  static constexpr int64_t kW = V::kWidth;
+
+  // ---- Row primitives ----
+
+  static void AddRow(float* dst, const float* src, int64_t d) {
+    int64_t j = 0;
+    for (; j + kW <= d; j += kW) {
+      V::Store(dst + j, V::Add(V::Load(dst + j), V::Load(src + j)));
+    }
+    for (; j < d; ++j) {
+      dst[j] = dst[j] + src[j];
+    }
+  }
+
+  static void MaxRow(float* dst, const float* src, int64_t d) {
+    int64_t j = 0;
+    for (; j + kW <= d; j += kW) {
+      V::Store(dst + j, V::Max(V::Load(dst + j), V::Load(src + j)));
+    }
+    for (; j < d; ++j) {
+      dst[j] = dst[j] > src[j] ? dst[j] : src[j];
+    }
+  }
+
+  static void MinRow(float* dst, const float* src, int64_t d) {
+    int64_t j = 0;
+    for (; j + kW <= d; j += kW) {
+      V::Store(dst + j, V::Min(V::Load(dst + j), V::Load(src + j)));
+    }
+    for (; j < d; ++j) {
+      dst[j] = dst[j] < src[j] ? dst[j] : src[j];
+    }
+  }
+
+  static void ScaleRow(float* dst, float s, int64_t d) {
+    const Reg sv = V::Broadcast(s);
+    int64_t j = 0;
+    for (; j + kW <= d; j += kW) {
+      V::Store(dst + j, V::Mul(V::Load(dst + j), sv));
+    }
+    for (; j < d; ++j) {
+      dst[j] = dst[j] * s;
+    }
+  }
+
+  static void AxpyRow(float* dst, const float* src, float a, int64_t d) {
+    const Reg av = V::Broadcast(a);
+    int64_t j = 0;
+    for (; j + kW <= d; j += kW) {
+      V::Store(dst + j, V::Add(V::Load(dst + j), V::Mul(av, V::Load(src + j))));
+    }
+    for (; j < d; ++j) {
+      const float p = a * src[j];
+      dst[j] = dst[j] + p;
+    }
+  }
+
+  // ---- Fused gather-reduce / segment reduce ----
+
+  static void SegmentReduce(const float* x, int64_t d, const uint32_t* ids,
+                            const uint64_t* offsets, int64_t s_lo, int64_t s_hi, Reduce kind,
+                            float* out) {
+    // Prefetch horizon: the last leaf ref this chunk will touch. Leaf refs
+    // are consumed in ascending global order, so prefetching ids[e + P] is
+    // always within the chunk's own working set.
+    const uint64_t chunk_end = offsets[static_cast<std::size_t>(s_hi)];
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+      if (lo == hi) {
+        continue;  // empty segment: stays zero (sum) / zero-filled (max)
+      }
+      float* dst = out + s * d;
+      const auto row = [&](uint64_t e) {
+        return x + static_cast<int64_t>(ids == nullptr ? e : ids[e]) * d;
+      };
+      if (kind == Reduce::kMax || kind == Reduce::kMin) {
+        std::memcpy(dst, row(lo), static_cast<std::size_t>(d) * sizeof(float));
+        for (uint64_t e = lo + 1; e < hi; ++e) {
+          if (ids != nullptr && e + kPrefetchLeafRows < chunk_end) {
+            __builtin_prefetch(x + static_cast<int64_t>(ids[e + kPrefetchLeafRows]) * d);
+          }
+          if (kind == Reduce::kMax) {
+            MaxRow(dst, row(e), d);
+          } else {
+            MinRow(dst, row(e), d);
+          }
+        }
+        continue;
+      }
+      for (uint64_t e = lo; e < hi; ++e) {
+        if (ids != nullptr && e + kPrefetchLeafRows < chunk_end) {
+          __builtin_prefetch(x + static_cast<int64_t>(ids[e + kPrefetchLeafRows]) * d);
+        }
+        AddRow(dst, row(e), d);
+      }
+      if (kind == Reduce::kMean) {
+        ScaleRow(dst, 1.0f / static_cast<float>(hi - lo), d);
+      }
+    }
+  }
+
+  // ---- Planned bottom-level backward (source-row gather) ----
+
+  static void IndirectBackward(const float* grad_out, int64_t d, const uint64_t* src_offsets,
+                               const uint32_t* src_segments, const uint64_t* seg_offsets,
+                               Reduce kind, int64_t v_lo, int64_t v_hi, float* gx) {
+    const uint64_t chunk_end = src_offsets[static_cast<std::size_t>(v_hi)];
+    for (int64_t v = v_lo; v < v_hi; ++v) {
+      float* dst = gx + v * d;
+      for (uint64_t idx = src_offsets[static_cast<std::size_t>(v)];
+           idx < src_offsets[static_cast<std::size_t>(v) + 1]; ++idx) {
+        if (idx + kPrefetchLeafRows < chunk_end) {
+          __builtin_prefetch(grad_out +
+                             static_cast<int64_t>(src_segments[idx + kPrefetchLeafRows]) * d);
+        }
+        const uint32_t s = src_segments[idx];
+        const float* grow = grad_out + static_cast<int64_t>(s) * d;
+        if (kind == Reduce::kMean) {
+          const uint64_t width = seg_offsets[s + 1] - seg_offsets[s];
+          AxpyRow(dst, grow, 1.0f / static_cast<float>(width), d);
+        } else {
+          AddRow(dst, grow, d);
+        }
+      }
+    }
+  }
+
+  // ---- Sparse scatter accumulation ----
+
+  static void ScatterRows(const float* values, int64_t d, const uint32_t* index, int64_t rows,
+                          Reduce kind, float* out) {
+    for (int64_t i = 0; i < rows; ++i) {
+      float* dst = out + static_cast<int64_t>(index[i]) * d;
+      const float* src = values + i * d;
+      if (kind == Reduce::kMax) {
+        MaxRow(dst, src, d);
+      } else if (kind == Reduce::kMin) {
+        MinRow(dst, src, d);
+      } else {
+        AddRow(dst, src, d);
+      }
+    }
+  }
+
+  // ---- Dense reshape-reduce (schema level) ----
+
+  static void GroupReduce(const float* values, int64_t d, int64_t group, Reduce kind,
+                          int64_t row_lo, int64_t row_hi, float* out) {
+    for (int64_t i = row_lo; i < row_hi; ++i) {
+      float* dst = out + i * d;
+      const float* first = values + i * group * d;
+      if (kind == Reduce::kMax || kind == Reduce::kMin) {
+        std::memcpy(dst, first, static_cast<std::size_t>(d) * sizeof(float));
+        for (int64_t g = 1; g < group; ++g) {
+          if (kind == Reduce::kMax) {
+            MaxRow(dst, first + g * d, d);
+          } else {
+            MinRow(dst, first + g * d, d);
+          }
+        }
+        continue;
+      }
+      for (int64_t g = 0; g < group; ++g) {
+        AddRow(dst, first + g * d, d);
+      }
+      if (kind == Reduce::kMean) {
+        ScaleRow(dst, 1.0f / static_cast<float>(group), d);
+      }
+    }
+  }
+
+  // ---- Packed GEMM ----
+
+  static void GemmPackB(const float* b, int64_t k, int64_t n, bool transpose, float* packed) {
+    const int64_t stride = PackedStride(n);
+    if (!transpose) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        float* prow = packed + kk * stride;
+        std::memcpy(prow, b + kk * n, static_cast<std::size_t>(n) * sizeof(float));
+        for (int64_t j = n; j < stride; ++j) {
+          prow[j] = 0.0f;
+        }
+      }
+      return;
+    }
+    // b is row-major [n x k]; packed[kk][j] = b[j][kk].
+    for (int64_t kk = 0; kk < k; ++kk) {
+      float* prow = packed + kk * stride;
+      for (int64_t j = 0; j < n; ++j) {
+        prow[j] = b[j * k + kk];
+      }
+      for (int64_t j = n; j < stride; ++j) {
+        prow[j] = 0.0f;
+      }
+    }
+  }
+
+  // 4-row × 2-vector register block. Accumulators live in registers for the
+  // whole ascending-kk loop, so each c[i][j] sums in exactly the scalar
+  // order; the padded panel makes every vector load safe while stores only
+  // touch the real n columns.
+  static constexpr int64_t kMr = 4;
+
+  template <int64_t MR>
+  static void GemmPanel(const float* a, int64_t lda, const float* pb, int64_t stride, int64_t k,
+                        int64_t n, float* c, int64_t ldc, int64_t i) {
+    int64_t j = 0;
+    for (; j + 2 * kW <= n; j += 2 * kW) {
+      Reg acc0[MR];
+      Reg acc1[MR];
+      for (int64_t r = 0; r < MR; ++r) {
+        acc0[r] = V::Zero();
+        acc1[r] = V::Zero();
+      }
+      const float* pbj = pb + j;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const Reg b0 = V::Load(pbj + kk * stride);
+        const Reg b1 = V::Load(pbj + kk * stride + kW);
+        for (int64_t r = 0; r < MR; ++r) {
+          const Reg av = V::Broadcast(a[(i + r) * lda + kk]);
+          acc0[r] = V::Add(acc0[r], V::Mul(av, b0));
+          acc1[r] = V::Add(acc1[r], V::Mul(av, b1));
+        }
+      }
+      for (int64_t r = 0; r < MR; ++r) {
+        V::Store(c + (i + r) * ldc + j, acc0[r]);
+        V::Store(c + (i + r) * ldc + j + kW, acc1[r]);
+      }
+    }
+    for (; j + kW <= n; j += kW) {
+      Reg acc[MR];
+      for (int64_t r = 0; r < MR; ++r) {
+        acc[r] = V::Zero();
+      }
+      const float* pbj = pb + j;
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const Reg b0 = V::Load(pbj + kk * stride);
+        for (int64_t r = 0; r < MR; ++r) {
+          acc[r] = V::Add(acc[r], V::Mul(V::Broadcast(a[(i + r) * lda + kk]), b0));
+        }
+      }
+      for (int64_t r = 0; r < MR; ++r) {
+        V::Store(c + (i + r) * ldc + j, acc[r]);
+      }
+    }
+    for (; j < n; ++j) {
+      for (int64_t r = 0; r < MR; ++r) {
+        float acc = 0.0f;
+        const float* arow = a + (i + r) * lda;
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float p = arow[kk] * pb[kk * stride + j];
+          acc = acc + p;
+        }
+        c[(i + r) * ldc + j] = acc;
+      }
+    }
+  }
+
+  static void Gemm(const float* a, int64_t lda, const float* packed_b, int64_t k, int64_t n,
+                   float* c, int64_t ldc, int64_t row_lo, int64_t row_hi) {
+    const int64_t stride = PackedStride(n);
+    int64_t i = row_lo;
+    for (; i + kMr <= row_hi; i += kMr) {
+      GemmPanel<kMr>(a, lda, packed_b, stride, k, n, c, ldc, i);
+    }
+    for (; i < row_hi; ++i) {
+      GemmPanel<1>(a, lda, packed_b, stride, k, n, c, ldc, i);
+    }
+  }
+
+  static void GemmTransA(const float* a, int64_t k, int64_t m, const float* b, int64_t n,
+                         float* c, int64_t i_lo, int64_t i_hi) {
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float* arow = a + kk * m;
+      const float* brow = b + kk * n;
+      for (int64_t i = i_lo; i < i_hi; ++i) {
+        const float aki = arow[i];
+        if (aki == 0.0f) {
+          continue;  // sparse-gradient fast path (post-ReLU zeros)
+        }
+        AxpyRow(c + i * n, brow, aki, n);
+      }
+    }
+  }
+};
+
+template <typename V>
+KernelTable MakeTable(IsaLevel level, const char* name) {
+  KernelTable t;
+  t.level = level;
+  t.name = name;
+  t.vector_width = static_cast<int>(V::kWidth);
+  t.add_row = &Body<V>::AddRow;
+  t.max_row = &Body<V>::MaxRow;
+  t.min_row = &Body<V>::MinRow;
+  t.scale_row = &Body<V>::ScaleRow;
+  t.axpy_row = &Body<V>::AxpyRow;
+  t.segment_reduce = &Body<V>::SegmentReduce;
+  t.indirect_backward = &Body<V>::IndirectBackward;
+  t.scatter_rows = &Body<V>::ScatterRows;
+  t.group_reduce = &Body<V>::GroupReduce;
+  t.gemm_pack_b = &Body<V>::GemmPackB;
+  t.gemm = &Body<V>::Gemm;
+  t.gemm_trans_a = &Body<V>::GemmTransA;
+  return t;
+}
+
+}  // namespace detail
+}  // namespace simd
+}  // namespace flexgraph
+
+#endif  // SRC_EXEC_SIMD_BODY_H_

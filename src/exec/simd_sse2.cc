@@ -1,0 +1,68 @@
+// 128-bit kernel variant: SSE2 on x86 (baseline for x86-64), NEON on
+// AArch64. Compiled with -ffp-contract=off; SSE2 has no FMA instruction and
+// the NEON path spells out vmulq + vaddq, so multiply-add pairs stay
+// unfused and match every other variant bitwise.
+#include "src/exec/simd_body.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+#include <arm_neon.h>
+#endif
+
+namespace flexgraph {
+namespace simd {
+namespace {
+
+#if defined(__SSE2__)
+
+struct Vec128 {
+  using Reg = __m128;
+  static constexpr int64_t kWidth = 4;
+  static Reg Load(const float* p) { return _mm_loadu_ps(p); }
+  static void Store(float* p, Reg v) { _mm_storeu_ps(p, v); }
+  static Reg Add(Reg a, Reg b) { return _mm_add_ps(a, b); }
+  static Reg Mul(Reg a, Reg b) { return _mm_mul_ps(a, b); }
+  static Reg Max(Reg a, Reg b) { return _mm_max_ps(a, b); }  // a>b?a:b — b on ties/NaN
+  static Reg Min(Reg a, Reg b) { return _mm_min_ps(a, b); }  // a<b?a:b — b on ties/NaN
+  static Reg Broadcast(float s) { return _mm_set1_ps(s); }
+  static Reg Zero() { return _mm_setzero_ps(); }
+};
+
+const KernelTable kTable = detail::MakeTable<Vec128>(IsaLevel::kSse2, "sse2");
+const KernelTable* Table() { return &kTable; }
+
+#elif defined(__ARM_NEON) || defined(__aarch64__)
+
+struct Vec128 {
+  using Reg = float32x4_t;
+  static constexpr int64_t kWidth = 4;
+  static Reg Load(const float* p) { return vld1q_f32(p); }
+  static void Store(float* p, Reg v) { vst1q_f32(p, v); }
+  static Reg Add(Reg a, Reg b) { return vaddq_f32(a, b); }
+  static Reg Mul(Reg a, Reg b) { return vmulq_f32(a, b); }
+  // vbslq selects a where a > b, else b — matches the scalar ternary for
+  // NaN/±0 exactly (NEON vmaxq propagates NaN differently, so avoid it).
+  static Reg Max(Reg a, Reg b) { return vbslq_f32(vcgtq_f32(a, b), a, b); }
+  static Reg Min(Reg a, Reg b) { return vbslq_f32(vcltq_f32(a, b), a, b); }
+  static Reg Broadcast(float s) { return vdupq_n_f32(s); }
+  static Reg Zero() { return vdupq_n_f32(0.0f); }
+};
+
+const KernelTable kTable = detail::MakeTable<Vec128>(IsaLevel::kSse2, "neon");
+const KernelTable* Table() { return &kTable; }
+
+#else
+
+// No 128-bit unit on this architecture: alias the scalar table so SetIsa
+// reports the variant as unavailable (level stays kScalar).
+const KernelTable* Table() { return GetScalarTable(); }
+
+#endif
+
+}  // namespace
+
+const KernelTable* GetSse2Table() { return Table(); }
+
+}  // namespace simd
+}  // namespace flexgraph

@@ -5,76 +5,47 @@
 #include <cstring>
 
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
 #include "src/tensor/workspace.h"
 
 namespace flexgraph {
 
 namespace {
 
-// Blocked i-k-j matmul: streams B rows, keeps the inner loop contiguous so the
-// compiler vectorizes it. Good enough for the feature dims GNNs use (16–512).
-constexpr int64_t kBlock = 64;
+using exec::kMinParallelWork;
+using exec::RowGrain;
 
-// Minimum touched floats before a kernel fans out to the pool; fixed so the
-// inline/parallel decision never depends on the thread count.
-constexpr int64_t kMinParallelWork = 1 << 14;
-
-int64_t RowGrain(int64_t cols) {
-  return std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, cols));
+// Packs B (or Bᵀ) into a cache-line-padded [k × PackedStride(n)] panel in the
+// workspace arena, then runs the register-blocked micro-kernel over disjoint
+// output-row ranges. Per output element the kk-ascending accumulation order
+// matches the sequential scalar kernel exactly, so results are bitwise
+// identical across ISA levels and thread counts.
+Tensor PackedGemm(const Tensor& a, const Tensor& b, bool b_transposed) {
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b_transposed ? b.rows() : b.cols();
+  Tensor c = WsTensorUninit(m, n);
+  Tensor panel = WsTensorUninit(k, simd::PackedStride(n));
+  const simd::KernelTable& kt = simd::Kernels();
+  kt.gemm_pack_b(b.data(), k, n, b_transposed, panel.data());
+  exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
+    kt.gemm(a.data(), k, panel.data(), k, n, c.data(), n, row_lo, row_hi);
+  });
+  return c;
 }
 
 }  // namespace
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   FLEX_CHECK_EQ(a.cols(), b.rows());
-  const int64_t m = a.rows();
-  const int64_t k = a.cols();
-  const int64_t n = b.cols();
-  Tensor c = WsTensor(m, n);
-  // Row-parallel: each task owns a contiguous range of output rows, and the
-  // (kb, kk) accumulation order for any given row is identical to the
-  // sequential kernel's, so results are bitwise identical across thread
-  // counts.
-  exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t kb = 0; kb < k; kb += kBlock) {
-      const int64_t kend = std::min(k, kb + kBlock);
-      for (int64_t i = row_lo; i < row_hi; ++i) {
-        const float* arow = a.Row(i);
-        float* crow = c.Row(i);
-        for (int64_t kk = kb; kk < kend; ++kk) {
-          const float aik = arow[kk];
-          const float* __restrict brow = b.Row(kk);
-          for (int64_t j = 0; j < n; ++j) {
-            crow[j] += aik * brow[j];
-          }
-        }
-      }
-    }
-  });
-  return c;
+  return PackedGemm(a, b, /*b_transposed=*/false);
 }
 
 Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   FLEX_CHECK_EQ(a.cols(), b.cols());
-  const int64_t m = a.rows();
-  const int64_t k = a.cols();
-  const int64_t n = b.rows();
-  Tensor c = WsTensorUninit(m, n);
-  exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      const float* arow = a.Row(i);
-      float* crow = c.Row(i);
-      for (int64_t j = 0; j < n; ++j) {
-        const float* brow = b.Row(j);
-        float acc = 0.0f;
-        for (int64_t kk = 0; kk < k; ++kk) {
-          acc += arow[kk] * brow[kk];
-        }
-        crow[j] = acc;
-      }
-    }
-  });
-  return c;
+  // Transpose-packing B turns the j-strided dot products into the same
+  // j-contiguous micro-kernel as MatMul, with the kk reduction order intact.
+  return PackedGemm(a, b, /*b_transposed=*/true);
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
@@ -83,24 +54,11 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
   const int64_t m = a.cols();
   const int64_t n = b.cols();
   Tensor c = WsTensor(m, n);
-  // Output-row parallel: row i accumulates a[kk][i] * b[kk] over ascending
-  // kk, the same per-row order as the previous kk-outer kernel (the zero
-  // skip included), so the restructure is bitwise-neutral.
+  // Output-row parallel, kk-outer with the zero skip (aᵀ here is usually a
+  // post-ReLU activation gradient, so whole rows drop out).
+  const simd::KernelTable& kt = simd::Kernels();
   exec::ParallelFor(0, m, RowGrain(k * n), [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float* arow = a.Row(kk);
-      const float* brow = b.Row(kk);
-      for (int64_t i = row_lo; i < row_hi; ++i) {
-        const float aki = arow[i];
-        if (aki == 0.0f) {
-          continue;
-        }
-        float* crow = c.Row(i);
-        for (int64_t j = 0; j < n; ++j) {
-          crow[j] += aki * brow[j];
-        }
-      }
-    }
+    kt.gemm_trans_a(a.data(), k, m, b.data(), n, c.data(), row_lo, row_hi);
   });
   return c;
 }
@@ -273,53 +231,37 @@ Tensor Transpose(const Tensor& a) {
   return c;
 }
 
-Tensor GroupSumRows(const Tensor& t, int64_t group) {
+namespace {
+
+// Dense reshape-reduce: [n·g, d] viewed as [n, g, d], reduced over g via the
+// dispatched vector kernel. Output-row parallel; each output row reduces its
+// own g-ascending group, the sequential order.
+Tensor GroupReduceRows(const Tensor& t, int64_t group, simd::Reduce kind) {
   FLEX_CHECK_GT(group, 0);
   FLEX_CHECK_EQ(t.rows() % group, 0);
   const int64_t n = t.rows() / group;
   const int64_t d = t.cols();
-  Tensor out = WsTensor(n, d);
-  // Output-row parallel; each output row sums its own g-ascending group, the
-  // sequential order.
+  const bool zeroed = kind == simd::Reduce::kSum || kind == simd::Reduce::kMean;
+  Tensor out = zeroed ? WsTensor(n, d) : WsTensorUninit(n, d);
+  const simd::KernelTable& kt = simd::Kernels();
   exec::ParallelFor(0, n, RowGrain(d * group), [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      float* orow = out.Row(i);
-      for (int64_t g = 0; g < group; ++g) {
-        const float* trow = t.Row(i * group + g);
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] += trow[j];
-        }
-      }
-    }
+    kt.group_reduce(t.data(), d, group, kind, row_lo, row_hi, out.data());
   });
   return out;
+}
+
+}  // namespace
+
+Tensor GroupSumRows(const Tensor& t, int64_t group) {
+  return GroupReduceRows(t, group, simd::Reduce::kSum);
 }
 
 Tensor GroupMeanRows(const Tensor& t, int64_t group) {
-  Tensor out = GroupSumRows(t, group);
-  ScaleInPlace(out, 1.0f / static_cast<float>(group));
-  return out;
+  return GroupReduceRows(t, group, simd::Reduce::kMean);
 }
 
 Tensor GroupMaxRows(const Tensor& t, int64_t group) {
-  FLEX_CHECK_GT(group, 0);
-  FLEX_CHECK_EQ(t.rows() % group, 0);
-  const int64_t n = t.rows() / group;
-  const int64_t d = t.cols();
-  Tensor out = WsTensorUninit(n, d);
-  exec::ParallelFor(0, n, RowGrain(d * group), [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      float* orow = out.Row(i);
-      std::memcpy(orow, t.Row(i * group), static_cast<std::size_t>(d) * sizeof(float));
-      for (int64_t g = 1; g < group; ++g) {
-        const float* trow = t.Row(i * group + g);
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] = std::max(orow[j], trow[j]);
-        }
-      }
-    }
-  });
-  return out;
+  return GroupReduceRows(t, group, simd::Reduce::kMax);
 }
 
 Tensor GroupSumRowsBackward(const Tensor& grad_out, int64_t group) {

@@ -12,10 +12,7 @@
 namespace flexgraph {
 namespace {
 
-// Below this many touched floats a kernel runs inline — the pool's submit
-// latency would dominate. A fixed constant (never a function of the thread
-// count) so the sequential/parallel decision is deterministic.
-constexpr int64_t kMinParallelWork = 1 << 14;
+using exec::kMinParallelWork;
 
 // Runs body(s_lo, s_hi) over segment-aligned chunks. `chunks` may be empty,
 // in which case fixed boundaries are derived from the offsets (identical for
@@ -41,49 +38,6 @@ void ForEachSegmentChunk(std::span<const uint64_t> offsets, std::span<const int6
                        [&](int64_t c) { body(chunks[c], chunks[c + 1]); });
 }
 
-void SegmentReduceInto(Tensor& out, const Tensor& values, std::span<const uint64_t> offsets,
-                       ReduceKind kind, int64_t s_lo, int64_t s_hi) {
-  const int64_t d = values.cols();
-  for (int64_t s = s_lo; s < s_hi; ++s) {
-    const uint64_t lo = offsets[static_cast<std::size_t>(s)];
-    const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
-    FLEX_CHECK_LE(lo, hi);
-    if (lo == hi) {
-      continue;  // empty segment stays zero
-    }
-    float* orow = out.Row(s);
-    if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
-      std::memcpy(orow, values.Row(static_cast<int64_t>(lo)),
-                  static_cast<std::size_t>(d) * sizeof(float));
-      for (uint64_t r = lo + 1; r < hi; ++r) {
-        const float* vrow = values.Row(static_cast<int64_t>(r));
-        if (kind == ReduceKind::kMax) {
-          for (int64_t j = 0; j < d; ++j) {
-            orow[j] = std::max(orow[j], vrow[j]);
-          }
-        } else {
-          for (int64_t j = 0; j < d; ++j) {
-            orow[j] = std::min(orow[j], vrow[j]);
-          }
-        }
-      }
-      continue;
-    }
-    for (uint64_t r = lo; r < hi; ++r) {
-      const float* vrow = values.Row(static_cast<int64_t>(r));
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] += vrow[j];
-      }
-    }
-    if (kind == ReduceKind::kMean) {
-      const float inv = 1.0f / static_cast<float>(hi - lo);
-      for (int64_t j = 0; j < d; ++j) {
-        orow[j] *= inv;
-      }
-    }
-  }
-}
-
 }  // namespace
 
 const char* ReduceKindName(ReduceKind kind) {
@@ -100,14 +54,31 @@ const char* ReduceKindName(ReduceKind kind) {
   return "?";
 }
 
+simd::Reduce ToSimdReduce(ReduceKind kind) {
+  switch (kind) {
+    case ReduceKind::kSum:
+      return simd::Reduce::kSum;
+    case ReduceKind::kMean:
+      return simd::Reduce::kMean;
+    case ReduceKind::kMax:
+      return simd::Reduce::kMax;
+    case ReduceKind::kMin:
+      return simd::Reduce::kMin;
+  }
+  return simd::Reduce::kSum;
+}
+
 Tensor Scatter(const Tensor& values, std::span<const uint32_t> index, int64_t out_rows,
                ReduceKind kind) {
   FLEX_CHECK_EQ(static_cast<int64_t>(index.size()), values.rows());
   const int64_t d = values.cols();
   // Sequential by design: the index is arbitrary, so destination rows can
   // collide across input rows. The planned paths replace this kernel with a
-  // segment reduce; it stays as the unplanned/COO fallback.
+  // segment reduce; it stays as the unplanned/COO fallback. The per-row
+  // accumulation runs through the dispatched vector kernel in ascending i
+  // order, the same order as ever.
   Tensor out = WsTensor(out_rows, d);
+  const simd::KernelTable& kt = simd::Kernels();
 
   if (kind == ReduceKind::kMax || kind == ReduceKind::kMin) {
     // Track which rows were touched so untouched rows stay zero rather than
@@ -116,22 +87,12 @@ Tensor Scatter(const Tensor& values, std::span<const uint32_t> index, int64_t ou
                                                 : std::numeric_limits<float>::max();
     std::vector<uint8_t> touched(static_cast<std::size_t>(out_rows), 0);
     out.Fill(init);
-    for (int64_t i = 0; i < values.rows(); ++i) {
-      const uint32_t dst = index[static_cast<std::size_t>(i)];
+    for (const uint32_t dst : index) {
       FLEX_CHECK_LT(static_cast<int64_t>(dst), out_rows);
       touched[dst] = 1;
-      const float* vrow = values.Row(i);
-      float* orow = out.Row(dst);
-      if (kind == ReduceKind::kMax) {
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] = std::max(orow[j], vrow[j]);
-        }
-      } else {
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] = std::min(orow[j], vrow[j]);
-        }
-      }
     }
+    kt.scatter_rows(values.data(), d, index.data(), values.rows(), ToSimdReduce(kind),
+                    out.data());
     for (int64_t r = 0; r < out_rows; ++r) {
       if (touched[static_cast<std::size_t>(r)] == 0) {
         float* orow = out.Row(r);
@@ -141,15 +102,10 @@ Tensor Scatter(const Tensor& values, std::span<const uint32_t> index, int64_t ou
     return out;
   }
 
-  for (int64_t i = 0; i < values.rows(); ++i) {
-    const uint32_t dst = index[static_cast<std::size_t>(i)];
+  for (const uint32_t dst : index) {
     FLEX_CHECK_LT(static_cast<int64_t>(dst), out_rows);
-    const float* vrow = values.Row(i);
-    float* orow = out.Row(dst);
-    for (int64_t j = 0; j < d; ++j) {
-      orow[j] += vrow[j];
-    }
   }
+  kt.scatter_rows(values.data(), d, index.data(), values.rows(), simd::Reduce::kSum, out.data());
   if (kind == ReduceKind::kMean) {
     const std::vector<uint32_t> counts = ScatterCounts(index, out_rows);
     for (int64_t r = 0; r < out_rows; ++r) {
@@ -200,8 +156,12 @@ Tensor SegmentReduce(const Tensor& values, std::span<const uint64_t> offsets, Re
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets[offsets.size() - 1]), values.rows());
   Tensor out = WsTensor(num_segments, values.cols());
+  const simd::KernelTable& kt = simd::Kernels();
+  const simd::Reduce sk = ToSimdReduce(kind);
+  const int64_t d = values.cols();
   ForEachSegmentChunk(offsets, chunks, values.numel(), [&](int64_t s_lo, int64_t s_hi) {
-    SegmentReduceInto(out, values, offsets, kind, s_lo, s_hi);
+    // ids == nullptr: contiguous rows [offsets[s], offsets[s+1]) per segment.
+    kt.segment_reduce(values.data(), d, nullptr, offsets.data(), s_lo, s_hi, sk, out.data());
   });
   return out;
 }
@@ -293,20 +253,14 @@ Tensor SpmmCsr(int64_t num_rows, std::span<const uint64_t> offsets,
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets.size()), num_rows + 1);
   const int64_t d = x.cols();
   Tensor out = WsTensor(num_rows, d);
-  // Each output row accumulates its own CSR range: parallel over rows keeps
-  // the per-row edge order — and therefore the float sums — unchanged.
+  // A CSR row is a segment of gathered x rows: run the fused gather-reduce
+  // kernel (with its leaf-row prefetch) per contiguous row range. Parallel
+  // over rows keeps the per-row edge order — and the float sums — unchanged.
+  const simd::KernelTable& kt = simd::Kernels();
   const int64_t grain = std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, d * 8));
   exec::ParallelFor(0, num_rows, grain, [&](int64_t row_lo, int64_t row_hi) {
-    for (int64_t i = row_lo; i < row_hi; ++i) {
-      float* orow = out.Row(i);
-      for (uint64_t e = offsets[static_cast<std::size_t>(i)];
-           e < offsets[static_cast<std::size_t>(i) + 1]; ++e) {
-        const float* xrow = x.Row(static_cast<int64_t>(col_idx[static_cast<std::size_t>(e)]));
-        for (int64_t j = 0; j < d; ++j) {
-          orow[j] += xrow[j];
-        }
-      }
-    }
+    kt.segment_reduce(x.data(), d, col_idx.data(), offsets.data(), row_lo, row_hi,
+                      simd::Reduce::kSum, out.data());
   });
   return out;
 }

@@ -13,6 +13,7 @@
 #include <span>
 #include <vector>
 
+#include "src/exec/simd.h"
 #include "src/tensor/tensor.h"
 
 namespace flexgraph {
@@ -25,6 +26,10 @@ enum class ReduceKind {
 };
 
 const char* ReduceKindName(ReduceKind kind);
+
+// Maps the tensor-layer reduce onto the exec-layer SIMD kernels' enum (the
+// exec layer sits below src/tensor and keeps its own mirror).
+simd::Reduce ToSimdReduce(ReduceKind kind);
 
 // out[index[i]] (reduce)= values[i]; out has out_rows rows. Rows of `out` that
 // receive no contribution stay zero (matching pytorch_scatter semantics for

@@ -73,6 +73,15 @@ class Tensor {
   int64_t numel() const { return rows_ * cols_; }
   bool empty() const { return numel() == 0; }
 
+  // The buffer base is always kCacheLineBytes-aligned (heap buffers via
+  // aligned_alloc, borrowed arena storage checked by AlignedBuffer::Borrow)
+  // and its allocation is padded to a whole cache line, so vector kernels may
+  // load full registers starting at any line-multiple offset. Rows are dense
+  // (stride == cols, no per-row padding — flat views like AgGroupConcat rely
+  // on it), so Row(r) itself is line-aligned only when cols is a multiple of
+  // kCacheLineFloats; the SIMD kernels therefore use unaligned loads plus
+  // scalar tails, and the packed GEMM gets guaranteed line-aligned rows by
+  // padding its B-panel stride instead (simd::PackedStride).
   float* data() { return buf_.data(); }
   const float* data() const { return buf_.data(); }
 

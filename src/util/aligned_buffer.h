@@ -6,6 +6,7 @@
 #define SRC_UTIL_ALIGNED_BUFFER_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <new>
@@ -17,6 +18,19 @@
 namespace flexgraph {
 
 inline constexpr std::size_t kCacheLineBytes = 64;
+// Floats per cache line — the unit tensor/workspace/GEMM-panel layouts pad
+// to. One line holds exactly one AVX-512 register, so a line-aligned base
+// guarantees 512-bit loads at line-multiple offsets never split cache lines.
+inline constexpr std::size_t kCacheLineFloats = kCacheLineBytes / sizeof(float);
+
+static_assert((kCacheLineBytes & (kCacheLineBytes - 1)) == 0,
+              "cache line size must be a power of two");
+static_assert(kCacheLineBytes >= 64, "AVX-512 loads need at least 64-byte alignment units");
+static_assert(kCacheLineFloats == 16, "one cache line must hold one 512-bit register");
+
+inline bool IsCacheLineAligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kCacheLineBytes - 1)) == 0;
+}
 
 // Aligned float array. Normally owning (heap); can also borrow externally
 // managed storage (a workspace arena slab) — borrowed buffers never free,
@@ -32,8 +46,10 @@ class AlignedBuffer {
   explicit AlignedBuffer(std::size_t count) { Allocate(count); }
 
   // Wraps `count` floats at `data` without taking ownership. `data` must stay
-  // valid for the buffer's lifetime and be kCacheLineBytes-aligned.
+  // valid for the buffer's lifetime and be kCacheLineBytes-aligned (checked:
+  // the SIMD kernels' padded-panel layouts assume line-aligned bases).
   static AlignedBuffer Borrow(float* data, std::size_t count) {
+    FLEX_CHECK(data == nullptr || IsCacheLineAligned(data));
     AlignedBuffer b;
     b.data_ = data;
     b.size_ = count;

@@ -30,6 +30,11 @@ class ThreadPool {
   // Enqueues a task; does not block.
   void Submit(std::function<void()> task);
 
+  // Enqueues a batch of tasks under one lock acquisition and a single
+  // notify_all — the per-task lock/notify handshake in Submit is measurable
+  // when a kernel fans out dozens of fine-grained ranges.
+  void SubmitBatch(std::vector<std::function<void()>> tasks);
+
   // Blocks until every submitted task has finished.
   void Wait();
 

@@ -9,6 +9,7 @@
 #include "src/data/datasets.h"
 #include "src/dist/runtime.h"
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
 #include "src/partition/partition.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
@@ -214,6 +215,57 @@ TEST_P(ThreadDeterminismSweep, DistributedLogitsBitwiseIdenticalAcrossThreadCoun
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModels, ThreadDeterminismSweep,
+                         ::testing::Values("gcn", "pinsage", "magnn", "pgnn", "jknet", "gin",
+                                           "gat", "sage-mean", "sage-max", "sage-lstm"));
+
+class IsaDeterminismSweep : public ::testing::TestWithParam<const char*> {};
+
+// The SIMD kernel variants vectorize along the feature dimension only and
+// never fuse multiply-adds, so logits and loss must be bitwise identical
+// under every ISA level the host supports — at any thread count.
+TEST_P(IsaDeterminismSweep, LogitsAndLossBitwiseIdenticalAcrossIsaLevels) {
+  const std::string name = GetParam();
+  Dataset ds = name == "magnn" ? SmallHetero() : SmallHomogeneous();
+
+  Tensor ref_logits;
+  float ref_loss = 0.0f;
+  bool have_reference = false;
+  for (int level = 0; level <= static_cast<int>(simd::IsaLevel::kAvx512); ++level) {
+    if (!simd::SetIsa(static_cast<simd::IsaLevel>(level))) {
+      continue;  // CPU or build can't run this variant
+    }
+    for (int threads : {1, 8}) {
+      exec::SetNumThreads(threads);
+      Rng model_rng(13);
+      GnnModel model = MakeModelFor(name, ds, model_rng);
+      Engine engine(ds.graph);
+      Rng hdg_rng(99);
+      StageTimes times;
+      Tensor logits = engine.Infer(model, ds.features, hdg_rng, &times);
+
+      SgdOptimizer opt(0.05f);
+      Rng train_rng(7);
+      EpochResult epoch = engine.TrainEpoch(model, ds.features, ds.labels, opt, train_rng);
+
+      if (!have_reference) {
+        ref_logits = logits;
+        ref_loss = epoch.loss;
+        have_reference = true;
+      } else {
+        EXPECT_TRUE(BitwiseEqual(ref_logits, logits))
+            << name << " @ " << simd::IsaName(static_cast<simd::IsaLevel>(level)) << " x "
+            << threads << " threads";
+        EXPECT_EQ(std::memcmp(&ref_loss, &epoch.loss, sizeof(float)), 0)
+            << name << " loss @ " << simd::IsaName(static_cast<simd::IsaLevel>(level)) << " x "
+            << threads << " threads";
+      }
+    }
+  }
+  simd::ResetIsa();
+  exec::SetNumThreads(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, IsaDeterminismSweep,
                          ::testing::Values("gcn", "pinsage", "magnn", "pgnn", "jknet", "gin",
                                            "gat", "sage-mean", "sage-max", "sage-lstm"));
 

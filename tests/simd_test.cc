@@ -1,0 +1,402 @@
+// Scalar-vs-SIMD bitwise parity for the dispatched kernel suite.
+//
+// The determinism contract says every KernelTable variant vectorizes along
+// the feature dimension only, never reassociates an accumulation and never
+// fuses a multiply-add — so for identical inputs every variant must produce
+// byte-identical outputs. These tests sweep every reduce op, odd feature
+// dims (1, 3, 17, 63, 65 — exercising full vectors, partial vectors, and
+// pure tail lanes at every lane width), empty segments, and both the
+// gathered and contiguous segment layouts, under every ISA level the host
+// supports (SetIsa; CI additionally pins FLEXGRAPH_ISA at process level).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/core/fused_ops.h"
+#include "src/exec/cpu_features.h"
+#include "src/exec/simd.h"
+#include "src/tensor/ops_dense.h"
+#include "src/tensor/ops_sparse.h"
+#include "src/tensor/tensor.h"
+#include "src/util/rng.h"
+#include "tests/test_util.h"
+
+namespace flexgraph {
+namespace {
+
+const int64_t kDims[] = {1, 3, 17, 63, 64, 65, 128};
+const simd::Reduce kReduces[] = {simd::Reduce::kSum, simd::Reduce::kMean, simd::Reduce::kMax,
+                                 simd::Reduce::kMin};
+
+std::vector<simd::IsaLevel> SupportedLevels() {
+  std::vector<simd::IsaLevel> levels;
+  for (int l = 0; l <= static_cast<int>(simd::IsaLevel::kAvx512); ++l) {
+    const auto level = static_cast<simd::IsaLevel>(l);
+    if (simd::SetIsa(level)) {
+      levels.push_back(level);
+    }
+  }
+  simd::ResetIsa();
+  return levels;
+}
+
+// Restores the startup dispatch after each test body.
+class SimdTest : public ::testing::Test {
+ protected:
+  void TearDown() override { simd::ResetIsa(); }
+};
+
+// Runs `fn` once per supported ISA level and asserts the produced tensor is
+// bitwise identical to the scalar table's output.
+void ExpectParityAcrossLevels(const std::function<Tensor()>& fn) {
+  ASSERT_TRUE(simd::SetIsa(simd::IsaLevel::kScalar));
+  const Tensor reference = fn();
+  for (simd::IsaLevel level : SupportedLevels()) {
+    ASSERT_TRUE(simd::SetIsa(level));
+    const Tensor got = fn();
+    EXPECT_TRUE(BitwiseEqual(reference, got)) << "isa=" << simd::IsaName(level);
+  }
+  simd::ResetIsa();
+}
+
+TEST(CpuFeaturesTest, NamesRoundTrip) {
+  for (int l = 0; l <= static_cast<int>(simd::IsaLevel::kAvx512); ++l) {
+    const auto level = static_cast<simd::IsaLevel>(l);
+    simd::IsaLevel parsed;
+    ASSERT_TRUE(simd::ParseIsaName(simd::IsaName(level), &parsed));
+    EXPECT_EQ(parsed, level);
+  }
+  simd::IsaLevel parsed;
+  EXPECT_TRUE(simd::ParseIsaName("neon", &parsed));
+  EXPECT_EQ(parsed, simd::IsaLevel::kSse2);
+  EXPECT_FALSE(simd::ParseIsaName("avx9000", &parsed));
+  EXPECT_FALSE(simd::ParseIsaName("", &parsed));
+}
+
+TEST(CpuFeaturesTest, DetectionIsMonotonic) {
+  // Every level at or below the detected one is supported, scalar always.
+  EXPECT_TRUE(simd::IsaSupported(simd::IsaLevel::kScalar));
+  const simd::IsaLevel max = simd::DetectIsa();
+  for (int l = 0; l <= static_cast<int>(max); ++l) {
+    EXPECT_TRUE(simd::IsaSupported(static_cast<simd::IsaLevel>(l)));
+  }
+}
+
+TEST_F(SimdTest, SetIsaRebindsAndRejectsUnsupported) {
+  for (simd::IsaLevel level : SupportedLevels()) {
+    ASSERT_TRUE(simd::SetIsa(level));
+    EXPECT_EQ(simd::ActiveIsa(), level);
+    EXPECT_EQ(simd::Kernels().level, level);
+  }
+  if (!simd::IsaSupported(simd::IsaLevel::kAvx512)) {
+    const simd::IsaLevel before = simd::ActiveIsa();
+    EXPECT_FALSE(simd::SetIsa(simd::IsaLevel::kAvx512));
+    EXPECT_EQ(simd::ActiveIsa(), before);  // binding unchanged on failure
+  }
+  simd::ResetIsa();
+  EXPECT_EQ(simd::ActiveIsa(), simd::Kernels().level);
+}
+
+TEST_F(SimdTest, VariantTablesReportTheirLevel) {
+  EXPECT_EQ(simd::GetScalarTable()->level, simd::IsaLevel::kScalar);
+  EXPECT_EQ(simd::GetScalarTable()->vector_width, 1);
+  // Compiled-in variants report their own level; compiled-out ones alias the
+  // scalar table. Either way the pointerful table is self-describing.
+  for (const auto* table : {simd::GetSse2Table(), simd::GetAvx2Table(), simd::GetAvx512Table()}) {
+    ASSERT_NE(table, nullptr);
+    EXPECT_GE(table->vector_width, 1);
+  }
+}
+
+TEST_F(SimdTest, RowPrimitivesBitwiseParity) {
+  Rng rng(11);
+  for (int64_t d : kDims) {
+    const Tensor a = RandomTensor(1, d, rng);
+    const Tensor b = RandomTensor(1, d, rng);
+    for (int variant = 0; variant < 5; ++variant) {
+      ExpectParityAcrossLevels([&]() {
+        Tensor dst = a;
+        const simd::KernelTable& kt = simd::Kernels();
+        switch (variant) {
+          case 0:
+            kt.add_row(dst.data(), b.data(), d);
+            break;
+          case 1:
+            kt.max_row(dst.data(), b.data(), d);
+            break;
+          case 2:
+            kt.min_row(dst.data(), b.data(), d);
+            break;
+          case 3:
+            kt.scale_row(dst.data(), 0.37f, d);
+            break;
+          default:
+            kt.axpy_row(dst.data(), b.data(), -1.61f, d);
+            break;
+        }
+        return dst;
+      });
+    }
+  }
+}
+
+// Segment fixture with empty, single-row, and wide segments plus a gather id
+// map that revisits rows (the fused kernel's real access pattern).
+struct SegmentFixture {
+  Tensor x;
+  std::vector<uint32_t> ids;
+  std::vector<uint64_t> offsets;
+  int64_t num_segments() const { return static_cast<int64_t>(offsets.size()) - 1; }
+};
+
+SegmentFixture MakeSegments(int64_t d, uint64_t seed) {
+  Rng rng(seed);
+  SegmentFixture f;
+  const int64_t rows = 40;
+  f.x = RandomTensor(rows, d, rng);
+  // Segment widths: empty head, singleton, a run past the prefetch distance,
+  // empty middle, medium, empty tail.
+  const int64_t widths[] = {0, 1, 17, 0, 6, 0};
+  f.offsets.push_back(0);
+  for (int64_t w : widths) {
+    for (int64_t i = 0; i < w; ++i) {
+      f.ids.push_back(rng.NextBounded(static_cast<uint32_t>(rows)));
+    }
+    f.offsets.push_back(f.ids.size());
+  }
+  return f;
+}
+
+TEST_F(SimdTest, SegmentReduceGatherBitwiseParity) {
+  for (int64_t d : kDims) {
+    const SegmentFixture f = MakeSegments(d, 23 + static_cast<uint64_t>(d));
+    for (simd::Reduce kind : kReduces) {
+      ExpectParityAcrossLevels([&]() {
+        Tensor out(f.num_segments(), d);  // zeroed, as the kernel contract requires
+        simd::Kernels().segment_reduce(f.x.data(), d, f.ids.data(), f.offsets.data(), 0,
+                                       f.num_segments(), kind, out.data());
+        return out;
+      });
+    }
+  }
+}
+
+TEST_F(SimdTest, SegmentReduceContiguousBitwiseParity) {
+  for (int64_t d : kDims) {
+    Rng rng(5 + static_cast<uint64_t>(d));
+    const Tensor values = RandomTensor(24, d, rng);
+    const std::vector<uint64_t> offsets = {0, 0, 1, 18, 18, 24};
+    const auto num_segments = static_cast<int64_t>(offsets.size()) - 1;
+    for (simd::Reduce kind : kReduces) {
+      ExpectParityAcrossLevels([&]() {
+        Tensor out(num_segments, d);
+        simd::Kernels().segment_reduce(values.data(), d, nullptr, offsets.data(), 0,
+                                      num_segments, kind, out.data());
+        return out;
+      });
+    }
+  }
+}
+
+TEST_F(SimdTest, IndirectBackwardBitwiseParity) {
+  for (int64_t d : kDims) {
+    const SegmentFixture f = MakeSegments(d, 31 + static_cast<uint64_t>(d));
+    // Invert leaf ids -> (source row, contributing segments) in edge order.
+    const int64_t src_rows = f.x.rows();
+    std::vector<std::vector<uint32_t>> by_src(static_cast<std::size_t>(src_rows));
+    for (int64_t s = 0; s < f.num_segments(); ++s) {
+      for (uint64_t e = f.offsets[static_cast<std::size_t>(s)];
+           e < f.offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+        by_src[f.ids[e]].push_back(static_cast<uint32_t>(s));
+      }
+    }
+    std::vector<uint64_t> src_offsets = {0};
+    std::vector<uint32_t> src_segments;
+    for (const auto& segs : by_src) {
+      src_segments.insert(src_segments.end(), segs.begin(), segs.end());
+      src_offsets.push_back(src_segments.size());
+    }
+    Rng rng(77);
+    const Tensor grad = RandomTensor(f.num_segments(), d, rng);
+    for (simd::Reduce kind : {simd::Reduce::kSum, simd::Reduce::kMean}) {
+      ExpectParityAcrossLevels([&]() {
+        Tensor gx(src_rows, d);
+        simd::Kernels().indirect_backward(grad.data(), d, src_offsets.data(),
+                                          src_segments.data(), f.offsets.data(), kind, 0,
+                                          src_rows, gx.data());
+        return gx;
+      });
+    }
+  }
+}
+
+TEST_F(SimdTest, ScatterRowsBitwiseParity) {
+  for (int64_t d : kDims) {
+    Rng rng(13 + static_cast<uint64_t>(d));
+    const int64_t rows = 30;
+    const int64_t out_rows = 9;
+    const Tensor values = RandomTensor(rows, d, rng);
+    std::vector<uint32_t> index(rows);
+    for (auto& i : index) {
+      i = rng.NextBounded(static_cast<uint32_t>(out_rows));
+    }
+    for (simd::Reduce kind : {simd::Reduce::kSum, simd::Reduce::kMax, simd::Reduce::kMin}) {
+      ExpectParityAcrossLevels([&]() {
+        Tensor out(out_rows, d);
+        if (kind != simd::Reduce::kSum) {
+          out.Fill(kind == simd::Reduce::kMax ? -1e30f : 1e30f);
+        }
+        simd::Kernels().scatter_rows(values.data(), d, index.data(), rows, kind, out.data());
+        return out;
+      });
+    }
+  }
+}
+
+TEST_F(SimdTest, GroupReduceBitwiseParity) {
+  for (int64_t d : kDims) {
+    for (int64_t group : {1, 3, 7}) {
+      Rng rng(41 + static_cast<uint64_t>(d));
+      const int64_t n = 11;
+      const Tensor values = RandomTensor(n * group, d, rng);
+      for (simd::Reduce kind : kReduces) {
+        ExpectParityAcrossLevels([&]() {
+          Tensor out(n, d);
+          simd::Kernels().group_reduce(values.data(), d, group, kind, 0, n, out.data());
+          return out;
+        });
+      }
+    }
+  }
+}
+
+// Naive reference GEMM with the contract's exact accumulation order
+// (kk-ascending, one rounding per multiply and per add). The product goes
+// through a volatile so this TU — built with the compiler's default
+// -ffp-contract=fast — cannot fuse mul+add into an FMA; the kernel variants
+// are compiled with contraction off and must match this double-rounded form.
+Tensor NaiveMatMul(const Tensor& a, const Tensor& b) {
+  Tensor c(a.rows(), b.cols());
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    for (int64_t j = 0; j < b.cols(); ++j) {
+      float acc = 0.0f;
+      for (int64_t kk = 0; kk < a.cols(); ++kk) {
+        volatile float p = a.At(i, kk) * b.At(kk, j);
+        acc = acc + p;
+      }
+      c.At(i, j) = acc;
+    }
+  }
+  return c;
+}
+
+TEST_F(SimdTest, PackedGemmBitwiseParityAndCorrectness) {
+  Rng rng(3);
+  // m sweeps past the MR=4 row blocking; n sweeps tail lanes.
+  for (int64_t n : kDims) {
+    const int64_t m = 7;
+    const int64_t k = 19;
+    const Tensor a = RandomTensor(m, k, rng);
+    const Tensor b = RandomTensor(k, n, rng);
+    ExpectParityAcrossLevels([&]() {
+      const simd::KernelTable& kt = simd::Kernels();
+      Tensor panel = Tensor::Uninitialized(k, simd::PackedStride(n));
+      kt.gemm_pack_b(b.data(), k, n, /*transpose=*/false, panel.data());
+      Tensor c = Tensor::Uninitialized(m, n);
+      kt.gemm(a.data(), k, panel.data(), k, n, c.data(), n, 0, m);
+      return c;
+    });
+    // Scalar-table result must ALSO match the naive reference exactly — the
+    // register-blocked micro-kernel changes the loop nest, not the per
+    // element rounding sequence.
+    ASSERT_TRUE(simd::SetIsa(simd::IsaLevel::kScalar));
+    const simd::KernelTable& kt = simd::Kernels();
+    Tensor panel = Tensor::Uninitialized(k, simd::PackedStride(n));
+    kt.gemm_pack_b(b.data(), k, n, false, panel.data());
+    Tensor c = Tensor::Uninitialized(m, n);
+    kt.gemm(a.data(), k, panel.data(), k, n, c.data(), n, 0, m);
+    EXPECT_TRUE(BitwiseEqual(NaiveMatMul(a, b), c)) << "n=" << n;
+  }
+}
+
+TEST_F(SimdTest, TransposedPackBitwiseParity) {
+  Rng rng(9);
+  for (int64_t n : {1, 17, 65}) {
+    const int64_t m = 6;
+    const int64_t k = 21;
+    const Tensor a = RandomTensor(m, k, rng);
+    const Tensor bt = RandomTensor(n, k, rng);  // row-major B^T
+    ExpectParityAcrossLevels([&]() {
+      const simd::KernelTable& kt = simd::Kernels();
+      Tensor panel = Tensor::Uninitialized(k, simd::PackedStride(n));
+      kt.gemm_pack_b(bt.data(), k, n, /*transpose=*/true, panel.data());
+      Tensor c = Tensor::Uninitialized(m, n);
+      kt.gemm(a.data(), k, panel.data(), k, n, c.data(), n, 0, m);
+      return c;
+    });
+  }
+}
+
+TEST_F(SimdTest, GemmTransABitwiseParity) {
+  Rng rng(15);
+  for (int64_t n : {3, 63, 65}) {
+    const int64_t k = 12;
+    const int64_t m = 10;
+    Tensor a = RandomTensor(k, m, rng);
+    // Sprinkle exact zeros to exercise the sparse-gradient skip.
+    for (int64_t i = 0; i < a.numel(); i += 3) {
+      a.data()[i] = 0.0f;
+    }
+    const Tensor b = RandomTensor(k, n, rng);
+    ExpectParityAcrossLevels([&]() {
+      Tensor c(m, n);
+      simd::Kernels().gemm_trans_a(a.data(), k, m, b.data(), n, c.data(), 0, m);
+      return c;
+    });
+  }
+}
+
+// End-to-end through the tensor layer: the public ops must dispatch through
+// the active table and stay bitwise stable across levels.
+TEST_F(SimdTest, TensorOpsBitwiseParityAcrossLevels) {
+  Rng rng(29);
+  const Tensor a = RandomTensor(33, 17, rng);
+  const Tensor b = RandomTensor(17, 65, rng);
+  ExpectParityAcrossLevels([&]() { return MatMul(a, b); });
+
+  const Tensor bt = RandomTensor(65, 17, rng);
+  ExpectParityAcrossLevels([&]() { return MatMulTransB(a, bt); });
+
+  const Tensor a2 = RandomTensor(12, 33, rng);
+  const Tensor b2 = RandomTensor(12, 65, rng);
+  ExpectParityAcrossLevels([&]() { return MatMulTransA(a2, b2); });
+
+  const Tensor grouped = RandomTensor(30, 63, rng);
+  ExpectParityAcrossLevels([&]() { return GroupSumRows(grouped, 3); });
+  ExpectParityAcrossLevels([&]() { return GroupMeanRows(grouped, 3); });
+  ExpectParityAcrossLevels([&]() { return GroupMaxRows(grouped, 3); });
+
+  const SegmentFixture f = MakeSegments(65, 99);
+  std::vector<VertexId> leaf_ids(f.ids.begin(), f.ids.end());
+  for (ReduceKind kind : {ReduceKind::kSum, ReduceKind::kMean, ReduceKind::kMax}) {
+    ExpectParityAcrossLevels(
+        [&]() { return FusedSegmentGatherReduce(f.x, leaf_ids, f.offsets, kind, {}); });
+  }
+}
+
+TEST(SimdLayoutTest, PackedStrideIsCacheLinePadded) {
+  EXPECT_EQ(simd::PackedStride(1), 16);
+  EXPECT_EQ(simd::PackedStride(16), 16);
+  EXPECT_EQ(simd::PackedStride(17), 32);
+  EXPECT_EQ(simd::PackedStride(64), 64);
+  EXPECT_EQ(simd::PackedStride(65), 80);
+  for (int64_t n = 1; n < 200; ++n) {
+    EXPECT_GE(simd::PackedStride(n), n);
+    EXPECT_EQ(simd::PackedStride(n) % simd::kPackAlignFloats, 0);
+  }
+}
+
+}  // namespace
+}  // namespace flexgraph

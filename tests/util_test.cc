@@ -111,6 +111,19 @@ TEST(ThreadPoolTest, RunsAllTasks) {
   EXPECT_EQ(counter.load(), 50);
 }
 
+TEST(ThreadPoolTest, SubmitBatchRunsAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 64; ++i) {
+    tasks.push_back([&counter] { counter.fetch_add(1); });
+  }
+  pool.SubmitBatch(std::move(tasks));
+  pool.SubmitBatch({});  // empty batch is a no-op
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 64);
+}
+
 TEST(ThreadPoolTest, ParallelForCoversRange) {
   ThreadPool pool(3);
   std::vector<std::atomic<int>> hits(100);
@@ -141,6 +154,26 @@ TEST(AlignedBufferTest, AlignmentAndValueSemantics) {
   AlignedBuffer moved = std::move(copy);
   EXPECT_EQ(moved[0], 9.0f);
   EXPECT_EQ(moved.size(), 100u);
+}
+
+TEST(AlignedBufferTest, EveryAllocationIsCacheLineAligned) {
+  // The SIMD kernels assume line-aligned bases for every size, including the
+  // odd feature dims the parity tests sweep; aligned_alloc also requires the
+  // byte size be a multiple of the alignment, which the buffer rounds up.
+  for (std::size_t count : {1u, 3u, 16u, 17u, 63u, 64u, 65u, 1000u}) {
+    AlignedBuffer buf(count);
+    EXPECT_TRUE(IsCacheLineAligned(buf.data())) << "count=" << count;
+  }
+  static_assert(kCacheLineFloats * sizeof(float) == kCacheLineBytes);
+}
+
+TEST(AlignedBufferTest, BorrowKeepsAlignmentContract) {
+  AlignedBuffer backing(64);
+  AlignedBuffer borrowed = AlignedBuffer::Borrow(backing.data(), 64);
+  EXPECT_FALSE(borrowed.owned());
+  EXPECT_TRUE(IsCacheLineAligned(borrowed.data()));
+  // A misaligned borrow trips the contract check.
+  EXPECT_THROW(AlignedBuffer::Borrow(backing.data() + 1, 8), CheckError);
 }
 
 TEST(AlignedBufferTest, ZeroAndEmpty) {

@@ -56,6 +56,7 @@
 #include "src/dist/checkpoint.h"
 #include "src/dist/runtime.h"
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
 #include "src/fault/fault_injector.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
@@ -163,6 +164,9 @@ void PrintStageBreakdown() {
   }
   TablePrinter exec_table({"Execution", "value"});
   exec_table.AddRow({"kernel threads", std::to_string(exec::NumThreads())});
+  exec_table.AddRow({"kernel ISA",
+                     std::string(simd::IsaName(simd::ActiveIsa())) + " (cpu max " +
+                         simd::IsaName(simd::DetectIsa()) + ")"});
   exec_table.AddRow({"plan compiles", std::to_string(counter("exec.plan_compiles"))});
   exec_table.AddRow({"plan compile seconds", TablePrinter::Num(compile_seconds, 4)});
   exec_table.AddRow(
