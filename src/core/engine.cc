@@ -6,6 +6,9 @@
 namespace flexgraph {
 
 const Hdg& Engine::EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times) {
+  // Held across the rebuild: a concurrent EnsureHdg/InvalidateHdgCache must
+  // not observe (or destroy) a half-swapped cache trio.
+  MutexLock lock(cache_mutex_);
   const bool rebuild = !cached_hdg_.has_value() ||
                        model.cache_policy == HdgCachePolicy::kPerEpoch ||
                        cached_model_ != model.name;
@@ -32,10 +35,16 @@ Variable Engine::Forward(const GnnModel& model, const Hdg& hdg, const Tensor& fe
   FLEX_CHECK(!model.layers.empty());
   FLEX_CHECK_EQ(features.rows(), static_cast<int64_t>(graph_.num_vertices()));
   // The plan only applies when executing the HDG it was compiled from.
-  const ExecutionPlan* plan = cached_plan_ != nullptr && cached_hdg_.has_value() &&
-                                      &hdg == &*cached_hdg_ && cached_model_ == model.name
-                                  ? cached_plan_.get()
-                                  : nullptr;
+  // Snapshot the pointer under the lock; the plan object itself stays alive
+  // for as long as `hdg` does (they live and die together in the cache).
+  const ExecutionPlan* plan = nullptr;
+  {
+    MutexLock lock(cache_mutex_);
+    if (cached_plan_ != nullptr && cached_hdg_.has_value() && &hdg == &*cached_hdg_ &&
+        cached_model_ == model.name) {
+      plan = cached_plan_.get();
+    }
+  }
   HdgAggregator aggregator(hdg, strategy_, &stats_, plan);
   Variable feats = Variable::Leaf(WsTensorCopy(features));
   for (std::size_t l = 0; l < model.layers.size(); ++l) {

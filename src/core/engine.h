@@ -15,6 +15,8 @@
 #include "src/exec/plan.h"
 #include "src/tensor/nn.h"
 #include "src/tensor/workspace.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 
@@ -58,10 +60,17 @@ class Engine {
   // Every (re)build also recompiles the ExecutionPlan for (model, HDG,
   // strategy) and re-reserves the workspace arena from its size estimate;
   // switching models on a shared engine invalidates both.
-  const Hdg& EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times);
+  // The returned reference stays valid until the next EnsureHdg or
+  // InvalidateHdgCache — callers must not race either against an epoch that
+  // is still executing the returned HDG.
+  const Hdg& EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times)
+      FLEX_EXCLUDES(cache_mutex_);
 
   // The plan compiled beside the cached HDG (null before the first EnsureHdg).
-  const ExecutionPlan* plan() const { return cached_plan_.get(); }
+  const ExecutionPlan* plan() const FLEX_EXCLUDES(cache_mutex_) {
+    MutexLock lock(cache_mutex_);
+    return cached_plan_.get();
+  }
 
   // The arena steady-state epochs allocate from. Callers driving Forward
   // manually (e.g. Trainer::Fit) reset it at the start of each epoch and open
@@ -72,7 +81,7 @@ class Engine {
   // Forward pass through all layers: features for every graph vertex in,
   // final-layer features (logits) out.
   Variable Forward(const GnnModel& model, const Hdg& hdg, const Tensor& features,
-                   StageTimes* times);
+                   StageTimes* times) FLEX_EXCLUDES(cache_mutex_);
 
   // Full supervised training epoch: forward, mean softmax cross-entropy over
   // all vertices, backward, SGD step.
@@ -85,7 +94,8 @@ class Engine {
   // Drops the cached HDG and the plan compiled from it (e.g. when switching
   // models on a shared engine — also done automatically when EnsureHdg sees a
   // different model name).
-  void InvalidateHdgCache() {
+  void InvalidateHdgCache() FLEX_EXCLUDES(cache_mutex_) {
+    MutexLock lock(cache_mutex_);
     cached_hdg_.reset();
     cached_plan_.reset();
     cached_model_.clear();
@@ -94,9 +104,14 @@ class Engine {
  private:
   const CsrGraph& graph_;
   ExecStrategy strategy_;
-  std::optional<Hdg> cached_hdg_;
-  std::unique_ptr<ExecutionPlan> cached_plan_;
-  std::string cached_model_;
+  // Guards the cache trio as a unit — the plan is only meaningful beside the
+  // exact HDG it was compiled from, so they are swapped together. The
+  // workspace and stats are epoch-local (see FLEXGRAPH_NOT_THREAD_SAFE on
+  // Workspace) and stay unguarded.
+  mutable Mutex cache_mutex_;
+  std::optional<Hdg> cached_hdg_ FLEX_GUARDED_BY(cache_mutex_);
+  std::unique_ptr<ExecutionPlan> cached_plan_ FLEX_GUARDED_BY(cache_mutex_);
+  std::string cached_model_ FLEX_GUARDED_BY(cache_mutex_);
   Workspace workspace_;
   AggregationStats stats_;
 };

@@ -100,7 +100,10 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
     }
   }
 
-  prepared_ = true;
+  {
+    MutexLock lock(state_mutex_);
+    prepared_ = true;
+  }
   if (build_makespan != nullptr) {
     *build_makespan = makespan;
   }
@@ -108,7 +111,11 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
 
 DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor& features,
                                             Rng& rng, Tensor* logits_out) {
-  const int64_t epoch = epoch_index_++;
+  int64_t epoch;
+  {
+    MutexLock lock(state_mutex_);
+    epoch = epoch_index_++;
+  }
   FLEX_COUNTER_ADD("dist.epochs", 1);
   std::optional<CrashPlan> crash =
       config_.fault != nullptr ? config_.fault->NextCrash(epoch) : std::nullopt;
@@ -183,7 +190,13 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
   const double trace_base = tracer.NowSeconds();
   double sim_clock = 0.0;
 
-  const bool rebuilt = !prepared_ || model.cache_policy == HdgCachePolicy::kPerEpoch;
+  // Snapshot under the lock, then Prepare (which locks internally) outside it.
+  bool prepared;
+  {
+    MutexLock lock(state_mutex_);
+    prepared = prepared_;
+  }
+  const bool rebuilt = !prepared || model.cache_policy == HdgCachePolicy::kPerEpoch;
   if (rebuilt) {
     Prepare(model, rng, &stats.neighbor_selection_seconds);
     for (const auto& worker : workers_) {

@@ -34,6 +34,8 @@
 #include "src/fault/fault_injector.h"
 #include "src/fault/retry.h"
 #include "src/partition/partition.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 
@@ -120,7 +122,8 @@ class DistributedRuntime {
 
   // Builds every worker's HDGs (and communication plans) for `model`.
   // Called implicitly by RunEpoch per the model's cache policy.
-  void Prepare(const GnnModel& model, Rng& rng, double* build_makespan = nullptr);
+  void Prepare(const GnnModel& model, Rng& rng, double* build_makespan = nullptr)
+      FLEX_EXCLUDES(state_mutex_);
 
   // One simulated epoch. Vertex features produced are identical to single-
   // machine execution; logits_out (optional) receives the final layer output
@@ -138,16 +141,20 @@ class DistributedRuntime {
   // math (tests assert bit-identical logits vs. a fault-free run for
   // deterministic neighbor selection).
   DistEpochStats RunEpoch(const GnnModel& model, const Tensor& features, Rng& rng,
-                          Tensor* logits_out = nullptr);
+                          Tensor* logits_out = nullptr) FLEX_EXCLUDES(state_mutex_);
 
-  void InvalidateCache() { prepared_ = false; }
+  void InvalidateCache() FLEX_EXCLUDES(state_mutex_) {
+    MutexLock lock(state_mutex_);
+    prepared_ = false;
+  }
 
  private:
   // The epoch body: physically executes every worker's share (optionally
   // stopping after `stop_after_layer` — the crash attempt) and lays out the
   // modeled timeline. `epoch` indexes the fault schedule.
   DistEpochStats ExecuteEpoch(const GnnModel& model, const Tensor& features, Rng& rng,
-                              Tensor* logits_out, int64_t epoch, int stop_after_layer);
+                              Tensor* logits_out, int64_t epoch, int stop_after_layer)
+      FLEX_EXCLUDES(state_mutex_);
 
   const CsrGraph& graph_;
   Partitioning parts_;
@@ -155,8 +162,14 @@ class DistributedRuntime {
   std::vector<WorkerState> workers_;
   std::vector<uint64_t> out_refs_;       // rows worker w pre-reduces for others (PP)
   std::vector<uint64_t> raw_out_rows_;   // distinct rows worker w serializes (raw)
-  bool prepared_ = false;
-  int64_t epoch_index_ = 0;              // epochs started, for fault-schedule lookup
+  // Guards the shared epoch bookkeeping flipped by InvalidateCache (crash
+  // recovery) against the prepared/epoch reads at the top of each run. The
+  // heavy per-worker state above is only mutated inside Prepare/ExecuteEpoch,
+  // which are serial per the class contract.
+  mutable Mutex state_mutex_;
+  bool prepared_ FLEX_GUARDED_BY(state_mutex_) = false;
+  // Epochs started, for fault-schedule lookup.
+  int64_t epoch_index_ FLEX_GUARDED_BY(state_mutex_) = 0;
 };
 
 }  // namespace flexgraph

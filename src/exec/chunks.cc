@@ -12,14 +12,16 @@ std::vector<int64_t> MakeSegmentChunks(std::span<const uint64_t> offsets,
     return bounds;
   }
   target_chunks = std::clamp<int64_t>(target_chunks, 1, num_segments);
-  const uint64_t total = offsets[num_segments] - offsets[0];
+  const auto target = static_cast<uint64_t>(target_chunks);
+  const uint64_t total =
+      offsets[static_cast<std::size_t>(num_segments)] - offsets[0];
   // Greedy width-balanced walk: close a chunk once it holds >= total/target
   // input rows. Empty-width segments ride along with their neighbors.
-  const uint64_t per_chunk = std::max<uint64_t>(1, (total + target_chunks - 1) /
-                                                       static_cast<uint64_t>(target_chunks));
+  const uint64_t per_chunk = std::max<uint64_t>(1, (total + target - 1) / target);
   uint64_t acc = 0;
   for (int64_t s = 0; s < num_segments; ++s) {
-    acc += offsets[s + 1] - offsets[s];
+    const auto us = static_cast<std::size_t>(s);
+    acc += offsets[us + 1] - offsets[us];
     if (acc >= per_chunk && s + 1 < num_segments) {
       bounds.push_back(s + 1);
       acc = 0;

@@ -2,11 +2,12 @@
 
 #include <algorithm>
 #include <memory>
-#include <mutex>
 #include <thread>
 
 #include "src/util/check.h"
 #include "src/util/env.h"
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/thread_pool.h"
 
 namespace flexgraph {
@@ -22,13 +23,13 @@ int DefaultThreads() {
   return hw == 0 ? 1 : static_cast<int>(hw);
 }
 
-std::mutex g_mutex;
-int g_num_threads = 0;  // 0 = not yet initialized
-std::unique_ptr<ThreadPool> g_pool;
+Mutex g_mutex;
+int g_num_threads FLEX_GUARDED_BY(g_mutex) = 0;  // 0 = not yet initialized
+std::unique_ptr<ThreadPool> g_pool FLEX_GUARDED_BY(g_mutex);
 
 // Returns the pool for the current configuration, or nullptr when single-
-// threaded (callers run inline). Guarded by g_mutex.
-ThreadPool* PoolLocked() {
+// threaded (callers run inline).
+ThreadPool* PoolLocked() FLEX_REQUIRES(g_mutex) {
   if (g_num_threads == 0) {
     g_num_threads = DefaultThreads();
   }
@@ -44,7 +45,7 @@ ThreadPool* PoolLocked() {
 }  // namespace
 
 int NumThreads() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   if (g_num_threads == 0) {
     g_num_threads = DefaultThreads();
   }
@@ -52,7 +53,7 @@ int NumThreads() {
 }
 
 void SetNumThreads(int n) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  MutexLock lock(g_mutex);
   g_num_threads = n <= 0 ? DefaultThreads() : n;
   // Drop an over/under-sized pool; PoolLocked() rebuilds on next use.
   if (g_pool != nullptr && g_pool->num_threads() != static_cast<std::size_t>(g_num_threads)) {
@@ -72,7 +73,7 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
   ThreadPool* pool = nullptr;
   std::int64_t threads = 1;
   if (n > grain) {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     pool = PoolLocked();
     threads = g_num_threads;
   }
@@ -116,7 +117,7 @@ void ParallelChunks(std::int64_t num_chunks,
   ThreadPool* pool = nullptr;
   std::int64_t threads = 1;
   if (num_chunks > 1) {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    MutexLock lock(g_mutex);
     pool = PoolLocked();
     threads = g_num_threads;
   }

@@ -2,10 +2,19 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 
 #include "src/exec/simd.h"
+#include "src/exec/verify.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
+
+// Debug builds re-verify every compiled plan against its HDG (O(E), so it is
+// free relative to the build it guards). Release callers opt in through
+// VerifyPlan directly or the trainer's --verify-plan flag.
+#if !defined(NDEBUG) && !defined(FLEXGRAPH_VERIFY_PLANS)
+#define FLEXGRAPH_VERIFY_PLANS 1
+#endif
 
 namespace flexgraph {
 namespace {
@@ -161,10 +170,26 @@ ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg
     const std::size_t root_rows =
         static_cast<std::size_t>(plan.flat ? plan.bottom.num_segments : plan.schema.num_segments);
     floats += 8 * root_rows * d;
-    plan.planned_bytes = floats * sizeof(float) * 3 / 2;  // 1.5x fudge
+    // The multiplier covers the most temporary-hungry layer types: an LSTM
+    // aggregator's gate tape holds ~2.5 d-wide rows per edge beyond the two
+    // generic ones, attention another ~2.4 (measured by VerifyWorkspace in
+    // the verify_test sweep). 3.5x keeps ~40% headroom over that worst case;
+    // untouched slab pages are never faulted in, so overshoot stays virtual.
+    plan.planned_bytes = floats * sizeof(float) * 7 / 2;
   }
 
   plan.isa = simd::ActiveIsa();
+
+#ifdef FLEXGRAPH_VERIFY_PLANS
+  {
+    // The graph vertex count is unknown here; the max bound disables only the
+    // gather-range check, every structural invariant still runs.
+    const VerifyResult vr =
+        VerifyPlan(plan, hdg, std::numeric_limits<uint64_t>::max());
+    FLEX_CHECK_MSG(vr.ok(), "compiled plan failed verification:\n" + vr.Summary());
+  }
+#endif
+
   plan.compile_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
   FLEX_COUNTER_ADD("exec.plan_compiles", 1);

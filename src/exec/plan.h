@@ -26,6 +26,7 @@
 #include "src/exec/chunks.h"
 #include "src/exec/cpu_features.h"
 #include "src/hdg/hdg.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 
@@ -101,6 +102,11 @@ struct ExecutionPlan {
   // trainer's stage table show which vector unit the run actually used.
   simd::IsaLevel isa = simd::IsaLevel::kScalar;
 };
+
+// The plan is immutable after CompileExecutionPlan and safe to *read* from
+// kernel worker threads, but compilation and any mutation must stay on one
+// thread. fglint flags plans captured mutably in pool submissions.
+FLEXGRAPH_NOT_THREAD_SAFE(ExecutionPlan);
 
 // Compiles the plan for one (model, HDG, strategy) triple. `hint_dim` is the
 // feature width used for the workspace-size estimate (pass the model's

@@ -1,10 +1,10 @@
 #include "src/exec/simd.h"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 
 #include "src/util/aligned_buffer.h"
+#include "src/util/logging.h"
 
 namespace flexgraph {
 namespace simd {
@@ -41,15 +41,14 @@ IsaLevel ResolveStartupIsa() {
   if (const char* env = std::getenv("FLEXGRAPH_ISA")) {
     IsaLevel requested;
     if (!ParseIsaName(env, &requested)) {
-      std::fprintf(stderr,
-                   "[flexgraph] FLEXGRAPH_ISA=%s not recognized "
-                   "(scalar|sse2|neon|avx2|avx512); using %s\n",
-                   env, IsaName(level));
+      // Through the project logger so FLEXGRAPH_LOG_LEVEL filtering applies
+      // (benchmarks silence Warning and below to keep timing output clean).
+      FLEX_LOG(Warning) << "FLEXGRAPH_ISA=" << env
+                        << " not recognized (scalar|sse2|neon|avx2|avx512); using "
+                        << IsaName(level);
     } else if (!IsaSupported(requested) || !VariantAvailable(requested)) {
-      std::fprintf(stderr,
-                   "[flexgraph] FLEXGRAPH_ISA=%s exceeds this CPU/build "
-                   "(max %s); clamping\n",
-                   env, IsaName(level));
+      FLEX_LOG(Warning) << "FLEXGRAPH_ISA=" << env << " exceeds this CPU/build (max "
+                        << IsaName(level) << "); clamping";
     } else {
       level = requested;
     }

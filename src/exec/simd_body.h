@@ -236,8 +236,8 @@ struct Body {
                         int64_t n, float* c, int64_t ldc, int64_t i) {
     int64_t j = 0;
     for (; j + 2 * kW <= n; j += 2 * kW) {
-      Reg acc0[MR];
-      Reg acc1[MR];
+      Reg acc0[static_cast<std::size_t>(MR)];
+      Reg acc1[static_cast<std::size_t>(MR)];
       for (int64_t r = 0; r < MR; ++r) {
         acc0[r] = V::Zero();
         acc1[r] = V::Zero();
@@ -258,7 +258,7 @@ struct Body {
       }
     }
     for (; j + kW <= n; j += kW) {
-      Reg acc[MR];
+      Reg acc[static_cast<std::size_t>(MR)];
       for (int64_t r = 0; r < MR; ++r) {
         acc[r] = V::Zero();
       }

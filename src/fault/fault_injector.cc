@@ -37,6 +37,7 @@ bool WorkerMatches(uint32_t scheduled, uint32_t queried) {
 }  // namespace
 
 FaultInjector& FaultInjector::Add(const FaultEvent& event) {
+  MutexLock lock(mutex_);
   slots_.push_back(Slot{event, false, false});
   schedule_.push_back(event);
   return *this;
@@ -101,11 +102,19 @@ FaultInjector& FaultInjector::ScheduleRandomMessageFaults(int count, int64_t num
   FLEX_CHECK_GE(num_layers, 1);
   FLEX_CHECK_GE(num_workers, 1u);
   for (int i = 0; i < count; ++i) {
-    const int64_t epoch = static_cast<int64_t>(
-        rng_.NextBounded(static_cast<uint64_t>(num_epochs)));
-    const int layer = static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(num_layers)));
-    const uint32_t worker = static_cast<uint32_t>(rng_.NextBounded(num_workers));
-    if (rng_.NextBounded(2) == 0) {
+    int64_t epoch;
+    int layer;
+    uint32_t worker;
+    bool drop;
+    {
+      MutexLock lock(mutex_);
+      epoch = static_cast<int64_t>(rng_.NextBounded(static_cast<uint64_t>(num_epochs)));
+      layer = static_cast<int>(rng_.NextBounded(static_cast<uint64_t>(num_layers)));
+      worker = static_cast<uint32_t>(rng_.NextBounded(num_workers));
+      drop = rng_.NextBounded(2) == 0;
+    }
+    // Schedule* re-acquire the lock themselves.
+    if (drop) {
       ScheduleMessageDrop(epoch, layer, worker);
     } else {
       ScheduleMessageCorruption(epoch, layer, worker);
@@ -124,6 +133,7 @@ void FaultInjector::RecordFired(Slot& slot) {
 }
 
 std::optional<CrashPlan> FaultInjector::NextCrash(int64_t epoch) {
+  MutexLock lock(mutex_);
   for (Slot& slot : slots_) {
     if (slot.event.kind == FaultKind::kWorkerCrash && !slot.consumed &&
         slot.event.epoch == epoch) {
@@ -136,6 +146,7 @@ std::optional<CrashPlan> FaultInjector::NextCrash(int64_t epoch) {
 }
 
 int FaultInjector::TransferFailures(int64_t epoch, int layer, uint32_t dst_worker) {
+  MutexLock lock(mutex_);
   int failures = 0;
   for (Slot& slot : slots_) {
     const FaultKind kind = slot.event.kind;
@@ -153,6 +164,7 @@ int FaultInjector::TransferFailures(int64_t epoch, int layer, uint32_t dst_worke
 }
 
 double FaultInjector::StragglerFactor(int64_t epoch, uint32_t worker) {
+  MutexLock lock(mutex_);
   double factor = 1.0;
   for (Slot& slot : slots_) {
     if (slot.event.kind == FaultKind::kStraggler && slot.event.epoch == epoch &&
@@ -165,6 +177,7 @@ double FaultInjector::StragglerFactor(int64_t epoch, uint32_t worker) {
 }
 
 bool FaultInjector::CheckpointTruncationAt(int64_t epoch) {
+  MutexLock lock(mutex_);
   for (Slot& slot : slots_) {
     if (slot.event.kind == FaultKind::kCheckpointTruncate && !slot.consumed &&
         slot.event.epoch == epoch) {
@@ -176,7 +189,18 @@ bool FaultInjector::CheckpointTruncationAt(int64_t epoch) {
   return false;
 }
 
+std::vector<FaultEvent> FaultInjector::schedule() const {
+  MutexLock lock(mutex_);
+  return schedule_;
+}
+
+std::vector<FaultEvent> FaultInjector::fired() const {
+  MutexLock lock(mutex_);
+  return fired_;
+}
+
 int64_t FaultInjector::fired_count(FaultKind kind) const {
+  MutexLock lock(mutex_);
   int64_t n = 0;
   for (const FaultEvent& e : fired_) {
     if (e.kind == kind) {

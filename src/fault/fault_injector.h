@@ -25,7 +25,9 @@
 #include <string>
 #include <vector>
 
+#include "src/util/mutex.h"
 #include "src/util/rng.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 
@@ -61,44 +63,47 @@ class FaultInjector {
   explicit FaultInjector(uint64_t seed = 0) : rng_(seed) {}
 
   // Schedule builders (chainable).
-  FaultInjector& ScheduleCrash(int64_t epoch, uint32_t worker, int layer = 0);
+  FaultInjector& ScheduleCrash(int64_t epoch, uint32_t worker, int layer = 0)
+      FLEX_EXCLUDES(mutex_);
   FaultInjector& ScheduleMessageDrop(int64_t epoch, int layer, uint32_t dst_worker,
-                                     int failures = 1);
+                                     int failures = 1) FLEX_EXCLUDES(mutex_);
   FaultInjector& ScheduleMessageCorruption(int64_t epoch, int layer, uint32_t dst_worker,
-                                           int failures = 1);
-  FaultInjector& ScheduleStraggler(int64_t epoch, uint32_t worker, double factor);
-  FaultInjector& ScheduleCheckpointTruncation(int64_t epoch);
+                                           int failures = 1) FLEX_EXCLUDES(mutex_);
+  FaultInjector& ScheduleStraggler(int64_t epoch, uint32_t worker, double factor)
+      FLEX_EXCLUDES(mutex_);
+  FaultInjector& ScheduleCheckpointTruncation(int64_t epoch) FLEX_EXCLUDES(mutex_);
 
   // Generates `count` message drop/corruption events uniformly over
   // epochs × layers × workers from the injector's seed. Same seed, same
   // schedule — the deterministic "random chaos" mode.
   FaultInjector& ScheduleRandomMessageFaults(int count, int64_t num_epochs, int num_layers,
-                                             uint32_t num_workers);
+                                             uint32_t num_workers) FLEX_EXCLUDES(mutex_);
 
   // ---- Queries (called by the runtime/trainer at injection points) ----
 
   // First unconsumed crash scheduled for `epoch`, if any. Consumes it.
-  std::optional<CrashPlan> NextCrash(int64_t epoch);
+  std::optional<CrashPlan> NextCrash(int64_t epoch) FLEX_EXCLUDES(mutex_);
 
   // Total failed delivery attempts charged to the transfer arriving at
   // `dst_worker` in (epoch, layer). Sums drop + corruption events (corruption
   // is detected by the receiver's checksum, so both cost a retransmission).
   // Consumes the matched events.
-  int TransferFailures(int64_t epoch, int layer, uint32_t dst_worker);
+  int TransferFailures(int64_t epoch, int layer, uint32_t dst_worker) FLEX_EXCLUDES(mutex_);
 
   // Combined compute-slowdown factor for `worker` during `epoch` (1.0 = no
   // straggler). Persistent: does not consume the event.
-  double StragglerFactor(int64_t epoch, uint32_t worker);
+  double StragglerFactor(int64_t epoch, uint32_t worker) FLEX_EXCLUDES(mutex_);
 
   // True when the checkpoint written at `epoch` should be truncated
   // (torn-write / disk-corruption model). Consumes the event.
-  bool CheckpointTruncationAt(int64_t epoch);
+  bool CheckpointTruncationAt(int64_t epoch) FLEX_EXCLUDES(mutex_);
 
   // ---- Introspection ----
-  const std::vector<FaultEvent>& schedule() const { return schedule_; }
-  const std::vector<FaultEvent>& fired() const { return fired_; }
-  int64_t fired_count(FaultKind kind) const;
-  Rng& rng() { return rng_; }
+  // Snapshots, returned by value: queries above mutate the underlying state
+  // concurrently, so handing out references would be a data race.
+  std::vector<FaultEvent> schedule() const FLEX_EXCLUDES(mutex_);
+  std::vector<FaultEvent> fired() const FLEX_EXCLUDES(mutex_);
+  int64_t fired_count(FaultKind kind) const FLEX_EXCLUDES(mutex_);
 
   // Truncates the tail of `path` to keep_fraction of its size — the physical
   // effect of a kCheckpointTruncate event. Returns the number of bytes
@@ -112,13 +117,17 @@ class FaultInjector {
     bool reported = false;  // stragglers: fired() records them once
   };
 
-  FaultInjector& Add(const FaultEvent& event);
-  void RecordFired(Slot& slot);
+  FaultInjector& Add(const FaultEvent& event) FLEX_EXCLUDES(mutex_);
+  void RecordFired(Slot& slot) FLEX_REQUIRES(mutex_);
 
-  std::vector<Slot> slots_;
-  std::vector<FaultEvent> schedule_;
-  std::vector<FaultEvent> fired_;
-  Rng rng_;
+  // One lock covers both the schedule (one-shot consumption flips `consumed`
+  // under it, so two workers can never both claim the same event) and the
+  // seeded RNG (ScheduleRandomMessageFaults draws from it).
+  mutable Mutex mutex_;
+  std::vector<Slot> slots_ FLEX_GUARDED_BY(mutex_);
+  std::vector<FaultEvent> schedule_ FLEX_GUARDED_BY(mutex_);
+  std::vector<FaultEvent> fired_ FLEX_GUARDED_BY(mutex_);
+  Rng rng_ FLEX_GUARDED_BY(mutex_);
 };
 
 }  // namespace flexgraph

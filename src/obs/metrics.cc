@@ -242,7 +242,7 @@ MetricRegistry& MetricRegistry::Get() {
 }
 
 Counter& MetricRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
@@ -251,7 +251,7 @@ Counter& MetricRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge& MetricRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -260,7 +260,7 @@ Gauge& MetricRegistry::GetGauge(std::string_view name) {
 }
 
 Histogram& MetricRegistry::GetHistogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
@@ -269,7 +269,7 @@ Histogram& MetricRegistry::GetHistogram(std::string_view name) {
 }
 
 MetricsSnapshot MetricRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   MetricsSnapshot snap;
   for (const auto& [name, counter] : counters_) {
     snap.counters.emplace(name, counter->value());
@@ -284,7 +284,7 @@ MetricsSnapshot MetricRegistry::Snapshot() const {
 }
 
 void MetricRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (auto& [name, counter] : counters_) {
     counter->ResetForTest();
   }

@@ -29,6 +29,8 @@
 #include <string_view>
 #include <vector>
 
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 #include "src/util/timer.h"
 
 namespace flexgraph {
@@ -124,15 +126,15 @@ class MetricRegistry {
  public:
   static MetricRegistry& Get();
 
-  Counter& GetCounter(std::string_view name);
-  Gauge& GetGauge(std::string_view name);
-  Histogram& GetHistogram(std::string_view name);
+  Counter& GetCounter(std::string_view name) FLEX_EXCLUDES(mutex_);
+  Gauge& GetGauge(std::string_view name) FLEX_EXCLUDES(mutex_);
+  Histogram& GetHistogram(std::string_view name) FLEX_EXCLUDES(mutex_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const FLEX_EXCLUDES(mutex_);
 
   // Zeroes every registered metric (names stay registered). Used by tests
   // and by --metrics-every interval reporting.
-  void Reset();
+  void Reset() FLEX_EXCLUDES(mutex_);
 
   // Convenience: Snapshot() then export. WriteJsonFile returns false when
   // the file cannot be opened.
@@ -144,10 +146,16 @@ class MetricRegistry {
  private:
   MetricRegistry() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  // The maps are guarded; the metric objects they point at are internally
+  // atomic and safely mutated outside the lock (the references handed out by
+  // the getters stay valid for the process lifetime).
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      FLEX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      FLEX_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      FLEX_GUARDED_BY(mutex_);
 };
 
 // Times a scope and reports it to a histogram, optionally also accumulating

@@ -71,7 +71,7 @@ Tracer::ThreadBuffer& Tracer::LocalBuffer() {
   thread_local std::shared_ptr<ThreadBuffer> local;
   if (!local) {
     local = std::make_shared<ThreadBuffer>();
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     local->tid = next_tid_++;
     buffers_.push_back(local);
   }
@@ -120,7 +120,7 @@ void Tracer::EmitModeled(uint32_t track, const std::string& track_name, const ch
 }
 
 void Tracer::WriteChromeTrace(std::ostream& os) const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
   bool first = true;
   const auto comma = [&] {
@@ -202,14 +202,14 @@ bool Tracer::WriteChromeTraceFile(const std::string& path) const {
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   for (const auto& buffer : buffers_) {
     buffer->events.clear();
   }
 }
 
 std::size_t Tracer::EventCountForTest() const {
-  std::lock_guard<std::mutex> lock(registry_mutex_);
+  MutexLock lock(registry_mutex_);
   std::size_t n = 0;
   for (const auto& buffer : buffers_) {
     n += buffer->events.size();

@@ -24,10 +24,12 @@
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 namespace obs {
@@ -66,14 +68,14 @@ class Tracer {
   // Serializes everything recorded so far as Chrome trace JSON. Requires
   // quiescence (see header comment). Returns false if the file can't be
   // written.
-  void WriteChromeTrace(std::ostream& os) const;
-  bool WriteChromeTraceFile(const std::string& path) const;
+  void WriteChromeTrace(std::ostream& os) const FLEX_EXCLUDES(registry_mutex_);
+  bool WriteChromeTraceFile(const std::string& path) const FLEX_EXCLUDES(registry_mutex_);
 
   // Drops all recorded events (buffers of live threads are kept allocated).
-  void Clear();
+  void Clear() FLEX_EXCLUDES(registry_mutex_);
 
   // Number of buffered events across all threads (test hook).
-  std::size_t EventCountForTest() const;
+  std::size_t EventCountForTest() const FLEX_EXCLUDES(registry_mutex_);
 
  private:
   struct Event {
@@ -92,14 +94,18 @@ class Tracer {
   };
 
   Tracer();
-  ThreadBuffer& LocalBuffer();
+  ThreadBuffer& LocalBuffer() FLEX_EXCLUDES(registry_mutex_);
 
   std::atomic<bool> enabled_{false};
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex registry_mutex_;
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  uint32_t next_tid_ = 0;
+  // Guards the buffer list and tid allocation only: each ThreadBuffer's
+  // event vector is appended to exclusively by its owning thread (lock-free
+  // recording); WriteChromeTrace/Clear read them under quiescence (see the
+  // header comment).
+  mutable Mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ FLEX_GUARDED_BY(registry_mutex_);
+  uint32_t next_tid_ FLEX_GUARDED_BY(registry_mutex_) = 0;
 };
 
 // RAII wrapper for a real span. Latches the enabled flag at construction so

@@ -130,21 +130,21 @@ Variable AgSegmentLstm(const Variable& values, std::vector<uint64_t> offsets,
       std::move(out), {values, wx_var, wh_var, bias_var},
       [vn, wxn, whn, bn, offs, tape, d, h](AgNode& self) {
         const Tensor& grad_out = self.grad();
-        const Tensor& x = vn->value();
-        const Tensor& wx = wxn->value();
-        const Tensor& wh = whn->value();
+        const Tensor& x_val = vn->value();
+        const Tensor& wx_val = wxn->value();
+        const Tensor& wh_val = whn->value();
 
-        Tensor gx(x.rows(), d);
-        Tensor gwx(wx.rows(), wx.cols());
-        Tensor gwh(wh.rows(), wh.cols());
+        Tensor gx(x_val.rows(), d);
+        Tensor gwx(wx_val.rows(), wx_val.cols());
+        Tensor gwh(wh_val.rows(), wh_val.cols());
         Tensor gb(1, 4 * h);
 
         std::vector<float> dh(static_cast<std::size_t>(h));
         std::vector<float> dc(static_cast<std::size_t>(h));
         std::vector<float> dz(static_cast<std::size_t>(4 * h));
 
-        const int64_t num_segments = static_cast<int64_t>(offs->size()) - 1;
-        for (int64_t s = 0; s < num_segments; ++s) {
+        const int64_t num_back_segments = static_cast<int64_t>(offs->size()) - 1;
+        for (int64_t s = 0; s < num_back_segments; ++s) {
           const uint64_t lo = (*offs)[static_cast<std::size_t>(s)];
           const uint64_t hi = (*offs)[static_cast<std::size_t>(s) + 1];
           if (lo == hi) {
@@ -183,13 +183,13 @@ Variable AgSegmentLstm(const Variable& values, std::vector<uint64_t> offsets,
             }
             // Parameter and input gradients: dWx += xᵀ·dz, dWh += h_prevᵀ·dz,
             // db += dz, dx = dz·Wxᵀ, dh_prev = dz·Whᵀ.
-            const float* xrow = x.Row(row);
+            const float* xrow = x_val.Row(row);
             float* gxrow = gx.Row(row);
             for (int64_t j = 0; j < 4 * h; ++j) {
               gb.At(0, j) += dz[static_cast<std::size_t>(j)];
             }
             for (int64_t k = 0; k < d; ++k) {
-              const float* wrow = wx.Row(k);
+              const float* wrow = wx_val.Row(k);
               float* gwrow = gwx.Row(k);
               float acc = 0.0f;
               for (int64_t j = 0; j < 4 * h; ++j) {
@@ -200,7 +200,7 @@ Variable AgSegmentLstm(const Variable& values, std::vector<uint64_t> offsets,
             }
             if (h_prev != nullptr) {
               for (int64_t k = 0; k < h; ++k) {
-                const float* wrow = wh.Row(k);
+                const float* wrow = wh_val.Row(k);
                 float* gwrow = gwh.Row(k);
                 float acc = 0.0f;
                 for (int64_t j = 0; j < 4 * h; ++j) {

@@ -34,8 +34,10 @@ void ForEachSegmentChunk(std::span<const uint64_t> offsets, std::span<const int6
     local = MakeSegmentChunks(offsets, kPlanChunkTarget);
     chunks = local;
   }
-  exec::ParallelChunks(static_cast<int64_t>(chunks.size()) - 1,
-                       [&](int64_t c) { body(chunks[c], chunks[c + 1]); });
+  exec::ParallelChunks(static_cast<int64_t>(chunks.size()) - 1, [&](int64_t c) {
+    const auto uc = static_cast<std::size_t>(c);
+    body(chunks[uc], chunks[uc + 1]);
+  });
 }
 
 }  // namespace

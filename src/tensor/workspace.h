@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/tensor/tensor.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 
@@ -65,6 +66,11 @@ class Workspace {
   std::size_t high_water_bytes_ = 0;
   std::uint64_t growth_count_ = 0;
 };
+
+// Bump cursors and the slab list are mutated on every AllocateFloats with no
+// locking: each epoch owns exactly one workspace per thread of execution.
+// fglint flags workspaces captured in pool submissions.
+FLEXGRAPH_NOT_THREAD_SAFE(Workspace);
 
 // RAII scope that routes WsTensor* allocations on this thread to `ws` and
 // turns on heap-allocation counting (exec.alloc_count). Nesting-safe; a null

@@ -1,0 +1,58 @@
+// Capability-annotated mutex wrapper over std::mutex.
+//
+// libstdc++'s std::mutex carries no clang `capability` attribute, so clang's
+// thread-safety analysis cannot reason about it directly. This wrapper (the
+// Abseil/Chromium pattern) re-exports std::mutex as an annotated capability,
+// which is what lets FLEX_GUARDED_BY / FLEX_REQUIRES declarations across the
+// runtime become compile-enforced under -Wthread-safety (see
+// thread_annotations.h and DESIGN.md §13).
+//
+// Mutex is also a BasicLockable (lower-case lock()/unlock()), so it works
+// directly with std::condition_variable_any — the ThreadPool waits on the
+// annotated mutex itself rather than dropping back to a raw std::mutex.
+#ifndef SRC_UTIL_MUTEX_H_
+#define SRC_UTIL_MUTEX_H_
+
+#include <mutex>
+
+#include "src/util/thread_annotations.h"
+
+namespace flexgraph {
+
+class FLEX_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() FLEX_ACQUIRE() { m_.lock(); }
+  void Unlock() FLEX_RELEASE() { m_.unlock(); }
+  bool TryLock() FLEX_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+  // BasicLockable spelling for std::condition_variable_any and std::scoped
+  // helpers. Same capability, same analysis.
+  void lock() FLEX_ACQUIRE() { m_.lock(); }
+  void unlock() FLEX_RELEASE() { m_.unlock(); }
+  bool try_lock() FLEX_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+// RAII lock, annotated as a scoped capability so the analysis tracks the
+// critical section's extent.
+class FLEX_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) FLEX_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() FLEX_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace flexgraph
+
+#endif  // SRC_UTIL_MUTEX_H_

@@ -1,0 +1,74 @@
+// Clang thread-safety-analysis capability annotations (no-ops elsewhere).
+//
+// These macros let the compiler statically prove the lock discipline the
+// runtime depends on: every field that a mutex protects is declared
+// FLEX_GUARDED_BY(that mutex), every private helper that assumes the lock is
+// held is declared FLEX_REQUIRES(it), and the clang build
+// (-DFLEXGRAPH_THREAD_SAFETY=ON → -Wthread-safety -Werror=thread-safety)
+// turns any unguarded access or missing lock into a compile error. GCC and
+// other compilers see empty macros and are unaffected.
+//
+// See https://clang.llvm.org/docs/ThreadSafetyAnalysis.html for the
+// semantics. The macro names mirror the canonical spelling with a FLEX_
+// prefix so fglint can tell project annotations from vendored ones.
+#ifndef SRC_UTIL_THREAD_ANNOTATIONS_H_
+#define SRC_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__) && (!defined(SWIG))
+#define FLEX_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define FLEX_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+// On the mutex type itself (std::mutex already carries the capability
+// attribute in libc++; declaring it again is harmless and makes libstdc++
+// builds analyzable too when wrapped).
+#define FLEX_CAPABILITY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define FLEX_SCOPED_CAPABILITY FLEX_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+// On data members: readable/writable only while holding `x`.
+#define FLEX_GUARDED_BY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+// On pointer members: the pointed-to data is protected by `x` (the pointer
+// itself is not).
+#define FLEX_PT_GUARDED_BY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+// On functions: caller must hold the capability / must NOT hold it.
+#define FLEX_REQUIRES(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+#define FLEX_REQUIRES_SHARED(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+#define FLEX_EXCLUDES(...) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+// On functions that take/release the capability themselves.
+#define FLEX_ACQUIRE(...) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+#define FLEX_RELEASE(...) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+#define FLEX_TRY_ACQUIRE(...) \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+// On functions whose return value is a reference to guarded state.
+#define FLEX_RETURN_CAPABILITY(x) FLEX_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot follow (condition-variable
+// re-acquire patterns, tested helpers). Use sparingly; fglint counts these.
+#define FLEX_NO_THREAD_SAFETY_ANALYSIS \
+  FLEX_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Documentation marker for classes that are single-threaded BY DESIGN: no
+// internal locking, and instances must never be shared across pool tasks.
+// Expands to nothing — its value is that (a) the class declaration states the
+// contract where readers look for it, and (b) fglint's `not-thread-safe`
+// rule collects every marked class name and flags any appearance of those
+// classes inside a ThreadPool / ParallelFor / ParallelChunks task body.
+//
+//   class Workspace {
+//    public:
+//     FLEXGRAPH_NOT_THREAD_SAFE(Workspace);
+//     ...
+//   };
+#define FLEXGRAPH_NOT_THREAD_SAFE(classname) \
+  static_assert(true, "single-threaded by design: " #classname)
+
+#endif  // SRC_UTIL_THREAD_ANNOTATIONS_H_

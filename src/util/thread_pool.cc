@@ -19,7 +19,7 @@ ThreadPool::ThreadPool(std::size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     shutdown_ = true;
   }
   cv_task_.notify_all();
@@ -28,16 +28,20 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::EnqueueLocked(std::function<void()> task) {
+  QueuedTask queued{std::move(task), {}};
+  if (submit_count_++ % kSampleEvery == 0) {
+    queued.enqueued = std::chrono::steady_clock::now();
+  }
+  queue_.push(std::move(queued));
+  ++in_flight_;
+}
+
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FLEX_CHECK_MSG(!shutdown_, "Submit after shutdown");
-    QueuedTask queued{std::move(task), {}};
-    if (submit_count_++ % kSampleEvery == 0) {
-      queued.enqueued = std::chrono::steady_clock::now();
-    }
-    queue_.push(std::move(queued));
-    ++in_flight_;
+    EnqueueLocked(std::move(task));
     FLEX_COUNTER_ADD("threadpool.tasks_submitted", 1);
     FLEX_GAUGE_SET("threadpool.queue_depth", static_cast<double>(queue_.size()));
   }
@@ -49,15 +53,10 @@ void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     FLEX_CHECK_MSG(!shutdown_, "SubmitBatch after shutdown");
     for (auto& task : tasks) {
-      QueuedTask queued{std::move(task), {}};
-      if (submit_count_++ % kSampleEvery == 0) {
-        queued.enqueued = std::chrono::steady_clock::now();
-      }
-      queue_.push(std::move(queued));
-      ++in_flight_;
+      EnqueueLocked(std::move(task));
     }
     FLEX_COUNTER_ADD("threadpool.tasks_submitted", static_cast<int64_t>(tasks.size()));
     FLEX_GAUGE_SET("threadpool.queue_depth", static_cast<double>(queue_.size()));
@@ -66,8 +65,8 @@ void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mutex_);
-  cv_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mutex_);
+  cv_done_.wait(mutex_, [this]() FLEX_REQUIRES(mutex_) { return in_flight_ == 0; });
 }
 
 void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
@@ -94,8 +93,9 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     QueuedTask task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mutex_);
+      cv_task_.wait(mutex_,
+                    [this]() FLEX_REQUIRES(mutex_) { return shutdown_ || !queue_.empty(); });
       if (queue_.empty()) {
         return;  // shutdown with a drained queue
       }
@@ -118,7 +118,7 @@ void ThreadPool::WorkerLoop() {
       task.fn();
     }
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --in_flight_;
       if (in_flight_ == 0) {
         cv_done_.notify_all();

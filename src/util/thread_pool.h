@@ -2,6 +2,10 @@
 // fusion kernels and by HDG construction. On a single-core host the pool
 // degrades gracefully to (near-)sequential execution; correctness never
 // depends on real parallelism.
+//
+// Lock discipline is compile-checked: every piece of cross-thread state is
+// FLEX_GUARDED_BY(mutex_) and the clang thread-safety build turns any access
+// outside a critical section into an error (DESIGN.md §13).
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
@@ -9,10 +13,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "src/util/mutex.h"
+#include "src/util/thread_annotations.h"
 
 namespace flexgraph {
 
@@ -28,26 +34,30 @@ class ThreadPool {
   std::size_t num_threads() const { return threads_.size(); }
 
   // Enqueues a task; does not block.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) FLEX_EXCLUDES(mutex_);
 
   // Enqueues a batch of tasks under one lock acquisition and a single
   // notify_all — the per-task lock/notify handshake in Submit is measurable
   // when a kernel fans out dozens of fine-grained ranges.
-  void SubmitBatch(std::vector<std::function<void()>> tasks);
+  void SubmitBatch(std::vector<std::function<void()>> tasks) FLEX_EXCLUDES(mutex_);
 
   // Blocks until every submitted task has finished.
-  void Wait();
+  void Wait() FLEX_EXCLUDES(mutex_);
 
   // Splits [begin, end) into contiguous chunks, runs body(chunk_begin,
   // chunk_end) across the pool, and blocks until all chunks finish.
   void ParallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t, std::size_t)>& body);
+                   const std::function<void(std::size_t, std::size_t)>& body)
+      FLEX_EXCLUDES(mutex_);
 
   // Process-wide default pool (lazily constructed).
   static ThreadPool& Global();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() FLEX_EXCLUDES(mutex_);
+
+  // Enqueues one task; caller holds the lock and handles notification.
+  void EnqueueLocked(std::function<void()> task) FLEX_REQUIRES(mutex_);
 
   // Sampled tasks carry their enqueue time so the pool can report queue-wait
   // and run-time latencies ("threadpool.*" histograms). Only every
@@ -62,13 +72,15 @@ class ThreadPool {
   };
 
   std::vector<std::thread> threads_;
-  std::queue<QueuedTask> queue_;
-  uint64_t submit_count_ = 0;  // guarded by mutex_; drives latency sampling
-  std::mutex mutex_;
-  std::condition_variable cv_task_;
-  std::condition_variable cv_done_;
-  std::size_t in_flight_ = 0;
-  bool shutdown_ = false;
+  Mutex mutex_;
+  std::queue<QueuedTask> queue_ FLEX_GUARDED_BY(mutex_);
+  // Drives latency sampling.
+  uint64_t submit_count_ FLEX_GUARDED_BY(mutex_) = 0;
+  // condition_variable_any waits directly on the annotated Mutex.
+  std::condition_variable_any cv_task_;
+  std::condition_variable_any cv_done_;
+  std::size_t in_flight_ FLEX_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ FLEX_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace flexgraph

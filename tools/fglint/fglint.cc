@@ -1,0 +1,594 @@
+// fglint — FlexGraph repository lint.
+//
+// A dependency-free single-binary linter enforcing the project conventions
+// that the compiler cannot: kernels allocate from the workspace arena only,
+// all threading goes through the pool, randomness is seeded, every SIMD
+// kernel TU compiles without FP contraction, shared kernel bodies stay free
+// of lane-crossing reductions, and console logging goes through the project
+// logger. Run by CTest (and CI) over the whole repository.
+//
+// Usage:
+//   fglint [--repo-root DIR]       lint the repository (default: cwd)
+//   fglint --self-test DIR         run the rules against the fixture files in
+//                                  DIR (tools/fglint/testdata): every
+//                                  <rule>_bad.* fixture must produce at least
+//                                  one finding, every <rule>_ok.* none.
+//
+// Suppression: append  // fglint-allow: <rule>  to a line to waive it.
+//
+// Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Source preprocessing
+// ---------------------------------------------------------------------------
+
+// One physical line, with comments and string/char literals blanked so token
+// matching cannot fire inside prose or messages. The allow-set is extracted
+// from the raw line before blanking.
+struct CodeLine {
+  std::string code;
+  std::string raw;
+  bool allows(const std::string& rule) const {
+    const std::string marker = "fglint-allow:";
+    const auto pos = raw.find(marker);
+    if (pos == std::string::npos) {
+      return false;
+    }
+    return raw.find(rule, pos + marker.size()) != std::string::npos;
+  }
+};
+
+std::vector<CodeLine> ReadLines(const fs::path& path) {
+  std::vector<CodeLine> lines;
+  std::ifstream in(path);
+  std::string raw;
+  bool in_block_comment = false;
+  while (std::getline(in, raw)) {
+    std::string code;
+    code.reserve(raw.size());
+    bool in_string = false;
+    bool in_char = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      const char c = raw[i];
+      if (in_block_comment) {
+        if (c == '*' && i + 1 < raw.size() && raw[i + 1] == '/') {
+          in_block_comment = false;
+          ++i;
+        }
+        code.push_back(' ');
+        continue;
+      }
+      if (in_string) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          in_string = false;
+        }
+        code.push_back(' ');
+        continue;
+      }
+      if (in_char) {
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          in_char = false;
+        }
+        code.push_back(' ');
+        continue;
+      }
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/') {
+        break;  // line comment: drop the rest
+      }
+      if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '*') {
+        in_block_comment = true;
+        code.push_back(' ');
+        continue;
+      }
+      if (c == '"') {
+        in_string = true;
+        code.push_back(' ');
+        continue;
+      }
+      // Char literal, distinguished from digit separators (1'000'000).
+      if (c == '\'' && (i == 0 || !std::isalnum(static_cast<unsigned char>(raw[i - 1])))) {
+        in_char = true;
+        code.push_back(' ');
+        continue;
+      }
+      code.push_back(c);
+    }
+    lines.push_back(CodeLine{std::move(code), raw});
+  }
+  return lines;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// True when `token` occurs in `code` with identifier boundaries on both
+// sides (so "printf" does not match "snprintf").
+bool HasToken(const std::string& code, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const char last = token.back();
+    const bool right_ok =
+        !IsIdentChar(last) || end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Token rules
+// ---------------------------------------------------------------------------
+
+struct TokenRule {
+  std::string id;
+  std::vector<std::string> banned;   // any token-boundary hit is a finding
+  std::vector<std::string> except;   // ...unless the line also contains one of these
+  std::string message;
+  // Path predicates, evaluated on the repo-relative path with '/' separators.
+  bool (*applies)(const std::string& rel);
+};
+
+bool IsSimdKernelTu(const std::string& rel) {
+  return rel.rfind("src/exec/simd_", 0) == 0 && rel.size() > 3 &&
+         rel.compare(rel.size() - 3, 3, ".cc") == 0;
+}
+
+bool InSrc(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
+
+bool InLintedTree(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 || rel.rfind("tools/", 0) == 0 ||
+         rel.rfind("bench/", 0) == 0;
+}
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule> rules = {
+      {
+          "kernel-alloc",
+          {"new", "malloc", "calloc", "realloc", ".push_back", ".emplace_back",
+           ".resize", ".reserve"},
+          {},
+          "kernel TUs must not allocate: draw scratch from the workspace arena",
+          [](const std::string& rel) { return IsSimdKernelTu(rel); },
+      },
+      {
+          "raw-thread",
+          {"std::thread", "std::jthread", "std::async"},
+          {"hardware_concurrency"},
+          "spawn work through flexgraph::ThreadPool, not raw threads",
+          [](const std::string& rel) {
+            return InSrc(rel) && rel != "src/util/thread_pool.cc" &&
+                   rel != "src/util/thread_pool.h";
+          },
+      },
+      {
+          "seeded-rng",
+          {"std::rand", "srand", "std::random_device", "random_device",
+           "time(nullptr)", "time(NULL)", "std::mt19937"},
+          {},
+          "use the seeded flexgraph::Rng so every run is reproducible",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel.rfind("src/util/rng", 0) != 0 &&
+                   rel.rfind("src/fault/", 0) != 0;
+          },
+      },
+      {
+          "simd-horizontal",
+          {"_mm_hadd_ps", "_mm_hadd_pd", "_mm256_hadd_ps", "_mm256_hadd_pd",
+           "_mm_dp_ps", "_mm256_dp_ps", "_mm512_reduce_add_ps",
+           "_mm512_reduce_add_pd", "vaddvq_f32", "vpaddq_f32"},
+          {},
+          "lane-crossing reductions round differently per ISA; keep kernel "
+          "bodies vertical and reduce in scalar order",
+          [](const std::string& rel) { return IsSimdKernelTu(rel); },
+      },
+      {
+          "iostream-logging",
+          {"std::cout", "std::cerr", "printf", "fprintf", "std::puts"},
+          {},
+          "log through FLEX_LOG (src/util/logging.h) so FLEXGRAPH_LOG_LEVEL "
+          "filtering applies",
+          [](const std::string& rel) {
+            return InSrc(rel) && rel != "src/util/logging.cc" &&
+                   rel != "src/util/logging.h";
+          },
+      },
+  };
+  return rules;
+}
+
+void RunTokenRule(const TokenRule& rule, const std::string& rel,
+                  const std::vector<CodeLine>& lines, std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const CodeLine& line = lines[i];
+    if (line.allows(rule.id)) {
+      continue;
+    }
+    bool excepted = false;
+    for (const std::string& ok : rule.except) {
+      if (line.code.find(ok) != std::string::npos) {
+        excepted = true;
+        break;
+      }
+    }
+    if (excepted) {
+      continue;
+    }
+    for (const std::string& token : rule.banned) {
+      if (HasToken(line.code, token)) {
+        findings->push_back(Finding{rel, static_cast<int>(i) + 1, rule.id,
+                                    token + ": " + rule.message});
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// simd-fp-contract: every SIMD kernel TU must carry -ffp-contract=off
+// ---------------------------------------------------------------------------
+
+// Extracts every parenthesized argument list of `command(...)` in a CMake
+// file (handles multi-line statements by balancing parentheses).
+std::vector<std::string> CMakeInvocations(const std::string& text,
+                                          const std::string& command) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(command, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(text[pos - 1]);
+    std::size_t open = text.find_first_not_of(" \t\r\n", pos + command.size());
+    if (!left_ok || open == std::string::npos || text[open] != '(') {
+      pos += command.size();
+      continue;
+    }
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '(') {
+        ++depth;
+      } else if (text[end] == ')' && --depth == 0) {
+        break;
+      }
+    }
+    out.push_back(text.substr(open + 1, end - open - 1));
+    pos = end;
+  }
+  return out;
+}
+
+// Lints one CMakeLists text: every file in `simd_tus` must be covered by a
+// set_source_files_properties statement whose options include
+// -ffp-contract=off, and no statement naming a TU may omit it.
+void CheckFpContract(const std::string& cmake_text, const std::string& rel,
+                     const std::vector<std::string>& simd_tus,
+                     std::vector<Finding>* findings) {
+  // Expand the conventional TU-list variable so
+  // set_source_files_properties(${FLEXGRAPH_SIMD_TUS} ...) covers its members.
+  std::string tu_list_values;
+  for (const std::string& set_args : CMakeInvocations(cmake_text, "set")) {
+    std::istringstream is(set_args);
+    std::string name;
+    is >> name;
+    if (name == "FLEXGRAPH_SIMD_TUS") {
+      std::string rest;
+      std::getline(is, rest);
+      tu_list_values = rest;
+    }
+  }
+
+  const auto props = CMakeInvocations(cmake_text, "set_source_files_properties");
+  for (const std::string& tu : simd_tus) {
+    bool covered = false;
+    for (std::string args : props) {
+      std::size_t var = args.find("${FLEXGRAPH_SIMD_TUS}");
+      if (var != std::string::npos) {
+        args.replace(var, std::string("${FLEXGRAPH_SIMD_TUS}").size(), tu_list_values);
+      }
+      if (args.find(tu) == std::string::npos) {
+        continue;
+      }
+      if (args.find("-ffp-contract=off") != std::string::npos) {
+        covered = true;
+      } else {
+        findings->push_back(Finding{
+            rel, 0, "simd-fp-contract",
+            tu + " gets COMPILE_OPTIONS without -ffp-contract=off: an FMA rounds "
+                 "once where mul+add rounds twice, breaking cross-ISA bitwise "
+                 "determinism"});
+        covered = true;  // mis-covered, already reported
+      }
+    }
+    if (!covered) {
+      findings->push_back(Finding{
+          rel, 0, "simd-fp-contract",
+          tu + " is not covered by any set_source_files_properties(... "
+               "-ffp-contract=off ...) statement"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// not-thread-safe: FLEXGRAPH_NOT_THREAD_SAFE(X) markers vs. pool handoff
+// ---------------------------------------------------------------------------
+
+// Collects class names marked FLEXGRAPH_NOT_THREAD_SAFE(...) in a file.
+void CollectNotThreadSafeMarkers(const std::vector<CodeLine>& lines,
+                                 std::vector<std::string>* names) {
+  const std::string macro = "FLEXGRAPH_NOT_THREAD_SAFE(";
+  for (const CodeLine& line : lines) {
+    std::size_t pos = line.code.find(macro);
+    if (pos == std::string::npos) {
+      continue;
+    }
+    const std::size_t open = pos + macro.size();
+    const std::size_t close = line.code.find(')', open);
+    if (close == std::string::npos) {
+      continue;
+    }
+    std::string name = line.code.substr(open, close - open);
+    name.erase(std::remove_if(name.begin(), name.end(),
+                              [](char c) { return std::isspace(static_cast<unsigned char>(c)); }),
+               name.end());
+    if (!name.empty()) {
+      names->push_back(name);
+    }
+  }
+}
+
+// A line that hands one of the marked single-threaded classes straight to the
+// pool is a lock-discipline bug the heuristic can see: the class name and a
+// Submit on one line.
+void CheckNotThreadSafeUse(const std::string& rel, const std::vector<CodeLine>& lines,
+                           const std::vector<std::string>& marked,
+                           std::vector<Finding>* findings) {
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const CodeLine& line = lines[i];
+    if (line.allows("not-thread-safe")) {
+      continue;
+    }
+    if (line.code.find("FLEXGRAPH_NOT_THREAD_SAFE(") != std::string::npos) {
+      continue;  // the marker itself
+    }
+    const bool submits = line.code.find("Submit(") != std::string::npos ||
+                         line.code.find("SubmitBatch(") != std::string::npos;
+    if (!submits) {
+      continue;
+    }
+    for (const std::string& name : marked) {
+      if (HasToken(line.code, name)) {
+        findings->push_back(Finding{
+            rel, static_cast<int>(i) + 1, "not-thread-safe",
+            name + " is marked FLEXGRAPH_NOT_THREAD_SAFE but is handed to the "
+                   "thread pool on this line"});
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Repository walk
+// ---------------------------------------------------------------------------
+
+bool IsCxxFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+std::vector<Finding> LintRepository(const fs::path& root) {
+  std::vector<Finding> findings;
+
+  // Pass 1: gather files and FLEXGRAPH_NOT_THREAD_SAFE markers.
+  std::vector<std::pair<std::string, std::vector<CodeLine>>> files;
+  std::vector<std::string> marked;
+  for (const char* top : {"src", "tools", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !IsCxxFile(entry.path())) {
+        continue;
+      }
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (rel.rfind("tools/fglint/", 0) == 0) {
+        continue;  // the linter and its fixtures deliberately contain bad code
+      }
+      std::vector<CodeLine> lines = ReadLines(entry.path());
+      CollectNotThreadSafeMarkers(lines, &marked);
+      files.emplace_back(std::move(rel), std::move(lines));
+    }
+  }
+  std::sort(files.begin(), files.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::sort(marked.begin(), marked.end());
+  marked.erase(std::unique(marked.begin(), marked.end()), marked.end());
+
+  // Pass 2: token rules + the marker cross-check.
+  for (const auto& [rel, lines] : files) {
+    for (const TokenRule& rule : TokenRules()) {
+      if (rule.applies(rel)) {
+        RunTokenRule(rule, rel, lines, &findings);
+      }
+    }
+    CheckNotThreadSafeUse(rel, lines, marked, &findings);
+  }
+
+  // Pass 3: the CMake fp-contract rule over src/exec.
+  const fs::path exec_dir = root / "src" / "exec";
+  const fs::path exec_cmake = exec_dir / "CMakeLists.txt";
+  if (fs::exists(exec_cmake)) {
+    std::vector<std::string> simd_tus;
+    for (const auto& entry : fs::directory_iterator(exec_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("simd_", 0) == 0 && name.size() > 3 &&
+          name.compare(name.size() - 3, 3, ".cc") == 0) {
+        simd_tus.push_back(name);
+      }
+    }
+    std::sort(simd_tus.begin(), simd_tus.end());
+    std::ifstream in(exec_cmake);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    CheckFpContract(buf.str(), "src/exec/CMakeLists.txt", simd_tus, &findings);
+  }
+
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test over fixture files
+// ---------------------------------------------------------------------------
+
+// Runs the rule whose id prefixes the fixture's filename against the fixture
+// content. Returns the finding count (CMake fixtures run the fp-contract
+// checker with the TU list mined from the fixture itself).
+std::size_t RunFixtureRule(const std::string& rule_id, const fs::path& fixture) {
+  std::vector<Finding> findings;
+  if (fixture.extension() == ".cmake") {
+    std::ifstream in(fixture);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    // The fixture's own mentions of simd_*.cc define the TU universe.
+    std::vector<std::string> tus;
+    std::size_t pos = 0;
+    while ((pos = text.find("simd_", pos)) != std::string::npos) {
+      std::size_t end = text.find(".cc", pos);
+      if (end == std::string::npos) {
+        break;
+      }
+      tus.push_back(text.substr(pos, end + 3 - pos));
+      pos = end + 3;
+    }
+    std::sort(tus.begin(), tus.end());
+    tus.erase(std::unique(tus.begin(), tus.end()), tus.end());
+    CheckFpContract(text, fixture.filename().string(), tus, &findings);
+    return findings.size();
+  }
+
+  const std::vector<CodeLine> lines = ReadLines(fixture);
+  if (rule_id == "not-thread-safe") {
+    std::vector<std::string> marked;
+    CollectNotThreadSafeMarkers(lines, &marked);
+    CheckNotThreadSafeUse(fixture.filename().string(), lines, marked, &findings);
+    return findings.size();
+  }
+  for (const TokenRule& rule : TokenRules()) {
+    if (rule.id == rule_id) {
+      RunTokenRule(rule, fixture.filename().string(), lines, &findings);
+      return findings.size();
+    }
+  }
+  std::fprintf(stderr, "fglint: fixture %s names no known rule\n",
+               fixture.string().c_str());
+  return static_cast<std::size_t>(-1);
+}
+
+int SelfTest(const fs::path& dir) {
+  if (!fs::exists(dir)) {
+    std::fprintf(stderr, "fglint: fixture directory %s not found\n", dir.string().c_str());
+    return 2;
+  }
+  int failures = 0;
+  int cases = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    const std::string stem = entry.path().stem().string();
+    bool expect_bad;
+    std::string rule_id;
+    if (stem.size() > 4 && stem.compare(stem.size() - 4, 4, "_bad") == 0) {
+      expect_bad = true;
+      rule_id = stem.substr(0, stem.size() - 4);
+    } else if (stem.size() > 3 && stem.compare(stem.size() - 3, 3, "_ok") == 0) {
+      expect_bad = false;
+      rule_id = stem.substr(0, stem.size() - 3);
+    } else {
+      continue;
+    }
+    ++cases;
+    const std::size_t count = RunFixtureRule(rule_id, entry.path());
+    const bool pass = count != static_cast<std::size_t>(-1) &&
+                      (expect_bad ? count > 0 : count == 0);
+    if (!pass) {
+      ++failures;
+      std::fprintf(stderr, "fglint self-test FAIL: %s (%zu finding(s), expected %s)\n",
+                   entry.path().filename().string().c_str(), count,
+                   expect_bad ? ">0" : "0");
+    }
+  }
+  std::printf("fglint self-test: %d fixture(s), %d failure(s)\n", cases, failures);
+  if (cases == 0) {
+    std::fprintf(stderr, "fglint: no fixtures found in %s\n", dir.string().c_str());
+    return 2;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  fs::path self_test_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo-root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      self_test_dir = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: fglint [--repo-root DIR] | fglint --self-test DIR\n");
+      return 2;
+    }
+  }
+  if (!self_test_dir.empty()) {
+    return SelfTest(self_test_dir);
+  }
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "fglint: %s does not look like the repository root\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const std::vector<Finding> findings = LintRepository(root);
+  for (const Finding& f : findings) {
+    if (f.line > 0) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    } else {
+      std::printf("%s: [%s] %s\n", f.file.c_str(), f.rule.c_str(), f.message.c_str());
+    }
+  }
+  if (findings.empty()) {
+    std::printf("fglint: clean\n");
+    return 0;
+  }
+  std::printf("fglint: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,10 @@
+// Fixture: console logging that bypasses FLEXGRAPH_LOG_LEVEL.
+#include <cstdio>
+#include <iostream>
+
+void Report(int n) {
+  std::cout << "processed " << n << " rows\n";
+  std::cerr << "warning: slow path\n";
+  printf("%d rows\n", n);
+  std::fprintf(stderr, "%d rows\n", n);
+}

@@ -1,0 +1,13 @@
+// Fixture: string formatting (snprintf) and the project logger are fine;
+// printf named in comments or strings must not fire.
+#include <cstdio>
+#include <string>
+
+std::string Format(int n) {
+  // printf-style formatting into a buffer is not console logging.
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d rows", n);
+  const char* doc = "use FLEX_LOG, not printf(";
+  (void)doc;
+  return buf;
+}

@@ -1,0 +1,12 @@
+// Fixture: kernel TU that heap-allocates inside a kernel body.
+#include <cstdlib>
+#include <vector>
+
+void KernelBody(std::vector<float>& scratch, int n) {
+  float* tmp = new float[16];
+  void* raw = malloc(static_cast<std::size_t>(n));
+  scratch.push_back(1.0f);
+  scratch.resize(static_cast<std::size_t>(n));
+  (void)tmp;
+  (void)raw;
+}

@@ -1,0 +1,15 @@
+// Fixture: kernel TU that draws scratch from the arena only. Mentions of
+// banned words in comments (new, malloc) or strings must not fire.
+float* ArenaAlloc(int n);
+
+void KernelBody(float* out, const float* in, int n) {
+  // A brand new approach: no malloc anywhere, push_back never happens.
+  float* scratch = ArenaAlloc(n);
+  for (int i = 0; i < n; ++i) {
+    out[i] = in[i] + scratch[i];
+  }
+  const char* msg = "calling malloc( here would be bad";
+  (void)msg;
+  int renewed = n;  // 'new' inside an identifier is not a hit
+  (void)renewed;
+}

@@ -1,0 +1,17 @@
+// Fixture: a class marked single-threaded handed straight to the pool.
+#define FLEXGRAPH_NOT_THREAD_SAFE(classname) \
+  static_assert(true, "single-threaded by design: " #classname)
+
+struct Workspace {
+  void Reset();
+};
+FLEXGRAPH_NOT_THREAD_SAFE(Workspace);
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F&& fn);
+};
+
+void Run(ThreadPool& pool, Workspace& ws) {
+  pool.Submit([&ws]() { static_cast<Workspace&>(ws).Reset(); });
+}

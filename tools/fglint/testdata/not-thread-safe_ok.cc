@@ -1,0 +1,19 @@
+// Fixture: the marked class stays on the submitting thread; the pool only
+// ever sees self-contained tasks.
+#define FLEXGRAPH_NOT_THREAD_SAFE(classname) \
+  static_assert(true, "single-threaded by design: " #classname)
+
+struct Workspace {
+  void Reset();
+};
+FLEXGRAPH_NOT_THREAD_SAFE(Workspace);
+
+struct ThreadPool {
+  template <typename F>
+  void Submit(F&& fn);
+};
+
+void Run(ThreadPool& pool, Workspace& ws) {
+  ws.Reset();  // single-threaded prologue
+  pool.Submit([]() { /* no marked state captured */ });
+}

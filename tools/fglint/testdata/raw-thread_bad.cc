@@ -1,0 +1,10 @@
+// Fixture: raw thread spawned outside the pool.
+#include <future>
+#include <thread>
+
+void Run() {
+  std::thread worker([] {});
+  auto f = std::async(std::launch::async, [] { return 1; });
+  worker.join();
+  f.get();
+}

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned uses — sizing from hardware_concurrency and the
+// project pool. Comments naming std::thread must not fire.
+#include <thread>
+
+struct ThreadPool {
+  void Submit(void (*fn)());
+};
+
+void Run(ThreadPool& pool, void (*fn)()) {
+  const unsigned hw = std::thread::hardware_concurrency();
+  (void)hw;
+  pool.Submit(fn);
+}

@@ -1,0 +1,11 @@
+// Fixture: unseeded / time-seeded randomness.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int Roll() {
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return std::rand() + static_cast<int>(gen());
+}

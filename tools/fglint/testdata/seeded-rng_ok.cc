@@ -1,0 +1,13 @@
+// Fixture: the seeded project RNG. The word srand in a comment is fine.
+#include <cstdint>
+
+struct Rng {
+  explicit Rng(uint64_t seed);
+  uint64_t Next();
+};
+
+uint64_t Roll(uint64_t seed) {
+  // Never reach for srand: a fixed seed keeps every run reproducible.
+  Rng rng(seed);
+  return rng.Next();
+}

@@ -1,0 +1,5 @@
+# Fixture: one TU in the list but the properties statement lacks the flag,
+# and another TU is mentioned nowhere.
+set(FLEXGRAPH_SIMD_TUS simd_scalar.cc simd_avx2.cc)
+set_source_files_properties(${FLEXGRAPH_SIMD_TUS} PROPERTIES COMPILE_OPTIONS "-O3")
+set_source_files_properties(simd_avx2.cc PROPERTIES COMPILE_OPTIONS "-mavx2")

@@ -1,0 +1,4 @@
+# Fixture: every TU covered, per-file overrides keep the flag.
+set(FLEXGRAPH_SIMD_TUS simd_scalar.cc simd_avx2.cc)
+set_source_files_properties(${FLEXGRAPH_SIMD_TUS} PROPERTIES COMPILE_OPTIONS "-ffp-contract=off")
+set_source_files_properties(simd_avx2.cc PROPERTIES COMPILE_OPTIONS "-mavx2;-ffp-contract=off")

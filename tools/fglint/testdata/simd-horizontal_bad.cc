@@ -1,0 +1,8 @@
+// Fixture: lane-crossing reduction intrinsics in a kernel body.
+#include <immintrin.h>
+
+float RowSum(__m256 acc) {
+  __m256 h = _mm256_hadd_ps(acc, acc);
+  __m512 wide = _mm512_setzero_ps();
+  return _mm512_reduce_add_ps(wide) + _mm256_cvtss_f32(h);
+}

@@ -1,0 +1,13 @@
+// Fixture: vertical-only SIMD with a scalar-order tail reduce — the pattern
+// that keeps results bitwise identical across ISA levels.
+#include <immintrin.h>
+
+float RowSum(const float* lanes, int n) {
+  // Spill the vector accumulator and reduce in scalar order; never
+  // _mm256_hadd_ps (mentioning it here in a comment must not fire).
+  float sum = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    sum += lanes[i];
+  }
+  return sum;
+}

@@ -13,7 +13,7 @@
 //                   [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]
 //                   [--seed 7]
 //                   [--metrics-json path] [--metrics-csv path] [--trace path]
-//                   [--metrics-every n]
+//                   [--metrics-every n] [--verify-plan]
 //
 // With --workers > 1 training runs on the simulated distributed runtime and
 // reports per-epoch makespans; otherwise the single-machine engine trains
@@ -57,6 +57,7 @@
 #include "src/dist/runtime.h"
 #include "src/exec/parallel.h"
 #include "src/exec/simd.h"
+#include "src/exec/verify.h"
 #include "src/fault/fault_injector.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
@@ -97,6 +98,7 @@ struct CliOptions {
   std::string metrics_csv;
   std::string trace;
   int metrics_every = 0;
+  bool verify_plan = false;
 };
 
 // Prints the per-stage breakdown (Table 4 shape) from the metric registry:
@@ -236,6 +238,9 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.trace = value;
     } else if (arg == "--metrics-every" && (value = next())) {
       opts.metrics_every = std::atoi(value);
+    } else if (arg == "--verify-plan") {
+      opts.verify_plan = true;
+      continue;
     } else if (arg == "--help" || arg == "-h") {
       return false;
     } else {
@@ -395,10 +400,38 @@ ExecStrategy ParseStrategy(const std::string& name) {
   return ExecStrategy::kHybrid;
 }
 
+// Prints every structural-verifier diagnostic; returns false on violations.
+bool ReportVerification(const std::string& what, const VerifyResult& result) {
+  if (result.ok()) {
+    std::printf("verify-plan: %s OK\n", what.c_str());
+    return true;
+  }
+  std::fprintf(stderr, "verify-plan: %s FAILED\n%s", what.c_str(),
+               result.Summary().c_str());
+  return false;
+}
+
 int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model) {
   Engine engine(ds.graph, ParseStrategy(opts.strategy));
   Rng rng(opts.seed);
   DataSplit split = RandomSplit(ds.graph.num_vertices(), 0.6, 0.2, rng);
+
+  if (opts.verify_plan) {
+    // Build the epoch-0 HDG + plan up front (Fit reuses the cached pair, so
+    // this consumes exactly the random stream a normal run would) and check
+    // every structural invariant before training touches them.
+    StageTimes times;
+    const Hdg& hdg = engine.EnsureHdg(model, rng, &times);
+    const bool hdg_ok =
+        ReportVerification("HDG (" + model.name + ")",
+                           VerifyHdg(hdg, ds.graph.num_vertices()));
+    const bool plan_ok =
+        ReportVerification("execution plan (" + model.name + ")",
+                           VerifyPlan(*engine.plan(), hdg, ds.graph.num_vertices()));
+    if (!hdg_ok || !plan_ok) {
+      return 1;
+    }
+  }
 
   int64_t start_epoch = 0;
   if (!opts.resume.empty()) {
@@ -443,6 +476,12 @@ int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model)
   TrainerResult result = trainer.Fit(model, ds.features, ds.labels, split, rng);
   std::printf("best val_acc %.4f @ epoch %d; test_acc %.4f\n", result.best_val_accuracy,
               result.best_epoch, result.test_accuracy);
+  if (opts.verify_plan && engine.plan() != nullptr &&
+      !ReportVerification("workspace estimate",
+                          VerifyWorkspace(*engine.plan(),
+                                          engine.workspace().high_water_bytes()))) {
+    return 1;
+  }
   return 0;
 }
 
@@ -458,6 +497,23 @@ int RunDistributed(const CliOptions& opts, const Dataset& ds, GnnModel& model) {
   DistributedRuntime runtime(ds.graph, HashPartition(ds.graph.num_vertices(), opts.workers),
                              config);
   Rng rng(opts.seed);
+  if (opts.verify_plan) {
+    // Prepare each worker's HDG/plan now (RunEpoch then reuses them) and
+    // verify every worker's structures before the first epoch.
+    runtime.Prepare(model, rng);
+    bool all_ok = true;
+    for (const WorkerState& worker : runtime.workers()) {
+      const std::string label = "worker " + std::to_string(worker.id);
+      all_ok &= ReportVerification(label + " HDG",
+                                   VerifyHdg(worker.hdg, ds.graph.num_vertices()));
+      all_ok &= ReportVerification(
+          label + " execution plan",
+          VerifyPlan(*worker.exec_plan, worker.hdg, ds.graph.num_vertices()));
+    }
+    if (!all_ok) {
+      return 1;
+    }
+  }
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
     DistEpochStats stats = runtime.RunEpoch(model, ds.features, rng, nullptr);
     if (epoch % 5 == 0 || epoch == opts.epochs - 1 || stats.crashes_recovered > 0) {
@@ -542,7 +598,8 @@ int main(int argc, char** argv) {
                  "                       [--inject-crash E:W[:L]] [--inject-straggler E:W:F]\n"
                  "                       [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]\n"
                  "                       [--metrics-json PATH] [--metrics-csv PATH]\n"
-                 "                       [--trace PATH] [--metrics-every N]\n");
+                 "                       [--trace PATH] [--metrics-every N]\n"
+                 "                       [--verify-plan]\n");
     return 1;
   }
   if (!opts.trace.empty()) {
