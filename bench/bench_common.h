@@ -27,6 +27,7 @@
 #include "src/models/magnn.h"
 #include "src/models/pinsage.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/util/env.h"
 #include "src/util/timer.h"
 
@@ -95,9 +96,18 @@ inline GnnModel BenchModel(const std::string& name, const Dataset& ds, Rng& rng)
 // plus any Record() calls) into BENCH_<name>.json next to the binary.
 // FLEXGRAPH_BENCH_JSON=0 disables the export; any other value is used as the
 // output directory.
+//
+// FLEXGRAPH_PROFILE=1 additionally turns on the kernel profiler for the whole
+// bench and exports its per-kernel prof.* rows into the same JSON. The
+// analytic byte/FLOP counters among them are deterministic — the bench
+// regression gate (tools/fgbench_diff) keys on those, never on seconds.
 class BenchReporter {
  public:
   explicit BenchReporter(std::string name) : name_(std::move(name)) {
+    const std::string profile = EnvString("FLEXGRAPH_PROFILE", "0");
+    if (profile == "1" || profile == "on") {
+      simd::SetKernelProfiling(true);
+    }
     // Bench metadata: the dispatched kernel ISA and the machine's parallelism,
     // so a BENCH_*.json is interpretable without knowing the host it ran on.
     // Metric values are numeric-only, so the ISA name rides in the gauge key
@@ -112,6 +122,9 @@ class BenchReporter {
   }
 
   ~BenchReporter() {
+    if (simd::KernelProfilingEnabled()) {
+      obs::KernelProfiler::Get().ExportMetrics();
+    }
     const std::string setting = EnvString("FLEXGRAPH_BENCH_JSON", "1");
     if (setting == "0") {
       return;

@@ -12,6 +12,14 @@ const Hdg& Engine::EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times)
   const bool rebuild = !cached_hdg_.has_value() ||
                        model.cache_policy == HdgCachePolicy::kPerEpoch ||
                        cached_model_ != model.name;
+  // Hit ratio of the HDG+plan cache trio: a per-epoch cache policy (PinSage)
+  // misses every epoch by design; anything else missing after epoch 0 means
+  // the cache is being thrashed (model switches on one engine).
+  if (rebuild) {
+    FLEX_COUNTER_ADD("exec.plan_cache_misses", 1);
+  } else {
+    FLEX_COUNTER_ADD("exec.plan_cache_hits", 1);
+  }
   if (rebuild) {
     {
       FLEX_TRACE_SPAN("nau.neighbor_selection");
@@ -54,12 +62,14 @@ Variable Engine::Forward(const GnnModel& model, const Hdg& hdg, const Tensor& fe
       FLEX_TRACE_SPAN("nau.aggregation", {{"layer", static_cast<double>(l)}});
       FLEX_SCOPED_SECONDS("nau.aggregation_seconds",
                           times != nullptr ? &times->aggregation : nullptr);
+      FLEX_SCOPED_CPU_SECONDS("nau.aggregation_cpu_seconds");
       nbr = layer->Aggregate(feats, aggregator);
     }
     {
       FLEX_TRACE_SPAN("nau.update", {{"layer", static_cast<double>(l)}});
       FLEX_SCOPED_SECONDS("nau.update_seconds",
                           times != nullptr ? &times->update : nullptr);
+      FLEX_SCOPED_CPU_SECONDS("nau.update_cpu_seconds");
       feats = layer->Update(feats, nbr);
     }
   }
@@ -86,11 +96,13 @@ EpochResult Engine::TrainEpoch(const GnnModel& model, const Tensor& features,
     {
       FLEX_TRACE_SPAN("nau.backward");
       FLEX_SCOPED_SECONDS("nau.backward_seconds", &result.times.backward);
+      FLEX_SCOPED_CPU_SECONDS("nau.backward_cpu_seconds");
       loss.Backward();
     }
     {
       FLEX_TRACE_SPAN("nau.optimize");
       FLEX_SCOPED_SECONDS("nau.optimize_seconds", &result.times.optimize);
+      FLEX_SCOPED_CPU_SECONDS("nau.optimize_cpu_seconds");
       opt.Step(params);
       SgdOptimizer::ZeroGrad(params);
     }

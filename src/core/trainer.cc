@@ -87,15 +87,22 @@ TrainerResult Trainer::Fit(const GnnModel& model, const Tensor& features,
     {
       WorkspaceScope ws_scope(&engine_.workspace());
       logits = engine_.Forward(model, hdg, features, &times);
-      loss = MaskedSoftmaxCrossEntropy(logits, split.train, labels);
+      {
+        FLEX_TRACE_SPAN("nau.loss");
+        FLEX_SCOPED_SECONDS("nau.loss_seconds", nullptr);
+        FLEX_SCOPED_CPU_SECONDS("nau.loss_cpu_seconds");
+        loss = MaskedSoftmaxCrossEntropy(logits, split.train, labels);
+      }
       {
         FLEX_TRACE_SPAN("nau.backward");
         FLEX_SCOPED_SECONDS("nau.backward_seconds", nullptr);
+        FLEX_SCOPED_CPU_SECONDS("nau.backward_cpu_seconds");
         loss.Backward();
       }
       {
         FLEX_TRACE_SPAN("nau.optimize");
         FLEX_SCOPED_SECONDS("nau.optimize_seconds", nullptr);
+        FLEX_SCOPED_CPU_SECONDS("nau.optimize_cpu_seconds");
         opt.Step(params);
         SgdOptimizer::ZeroGrad(params);
       }

@@ -1,13 +1,13 @@
 #include "src/exec/plan.h"
 
 #include <algorithm>
-#include <chrono>
 #include <limits>
 
 #include "src/exec/simd.h"
 #include "src/exec/verify.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
+#include "src/util/timer.h"
 
 // Debug builds re-verify every compiled plan against its HDG (O(E), so it is
 // free relative to the build it guards). Release callers opt in through
@@ -56,7 +56,7 @@ const char* LevelKernelClassName(LevelKernelClass k) {
 
 ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg,
                                    ExecStrategy strategy, int64_t hint_dim) {
-  const auto t0 = std::chrono::steady_clock::now();
+  WallTimer compile_timer;
   ExecutionPlan plan;
   plan.model_name = model_name;
   plan.strategy = strategy;
@@ -190,8 +190,7 @@ ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg
   }
 #endif
 
-  plan.compile_seconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+  plan.compile_seconds = compile_timer.ElapsedSeconds();
   FLEX_COUNTER_ADD("exec.plan_compiles", 1);
   FLEX_HIST_OBSERVE("exec.plan_compile_seconds", plan.compile_seconds);
   FLEX_GAUGE_SET("exec.planned_bytes", static_cast<double>(plan.planned_bytes));

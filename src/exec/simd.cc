@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "src/obs/prof.h"
 #include "src/util/aligned_buffer.h"
 #include "src/util/logging.h"
 
@@ -67,6 +68,161 @@ const KernelTable* StartupTable() {
 
 std::atomic<const KernelTable*> g_active{nullptr};
 
+// ---- Profiled dispatch -----------------------------------------------------
+//
+// When profiling is on, g_active points at g_prof_table, a table of shims
+// that account for each invocation (src/obs/prof.h) and then call through
+// g_prof_base — the real per-ISA table. The shims never show up when
+// profiling is off, so the unprofiled dispatch stays a single indirect call.
+//
+// Byte/FLOP formulas are derived purely from the kernel arguments (which the
+// execution plan fixes): integer sums in a deterministic order, bit-identical
+// across runs, thread counts, ISA levels, and FLEXGRAPH_PERF settings.
+// Convention: multiply-accumulate = 2 FLOPs, add/compare/scale = 1; every
+// operand array touched counts once per element, read-modify-write outputs
+// count on both sides. prof_test.cc pins these formulas — change them there
+// and in DESIGN.md §14 together.
+
+std::atomic<const KernelTable*> g_prof_base{nullptr};
+std::atomic<bool> g_profiling{false};
+KernelTable g_prof_table{};  // shims installed by InstallProfShims
+
+const KernelTable* ProfBase() { return g_prof_base.load(std::memory_order_acquire); }
+
+using obs::ProfKernel;
+
+constexpr int64_t kF = static_cast<int64_t>(sizeof(float));     // feature element
+constexpr int64_t kIdx = static_cast<int64_t>(sizeof(uint32_t));  // gather/scatter id
+constexpr int64_t kOff = static_cast<int64_t>(sizeof(uint64_t));  // CSC offset
+
+// Row primitives run per edge inside the hot loops — work-only accounting,
+// no clock or counter read (see prof.h).
+void ProfAddRow(float* dst, const float* src, int64_t d) {
+  obs::RecordKernelWork(ProfKernel::kAddRow, 2 * d * kF, d * kF, d);
+  ProfBase()->add_row(dst, src, d);
+}
+
+void ProfMaxRow(float* dst, const float* src, int64_t d) {
+  obs::RecordKernelWork(ProfKernel::kMaxRow, 2 * d * kF, d * kF, d);
+  ProfBase()->max_row(dst, src, d);
+}
+
+void ProfMinRow(float* dst, const float* src, int64_t d) {
+  obs::RecordKernelWork(ProfKernel::kMinRow, 2 * d * kF, d * kF, d);
+  ProfBase()->min_row(dst, src, d);
+}
+
+void ProfScaleRow(float* dst, float s, int64_t d) {
+  obs::RecordKernelWork(ProfKernel::kScaleRow, d * kF, d * kF, d);
+  ProfBase()->scale_row(dst, s, d);
+}
+
+void ProfAxpyRow(float* dst, const float* src, float a, int64_t d) {
+  obs::RecordKernelWork(ProfKernel::kAxpyRow, 2 * d * kF, d * kF, 2 * d);
+  ProfBase()->axpy_row(dst, src, a, d);
+}
+
+// Coarse kernels run a whole chunk per call — timed scope with hardware
+// counters around the real kernel.
+void ProfSegmentReduce(const float* x, int64_t d, const uint32_t* ids,
+                       const uint64_t* offsets, int64_t s_lo, int64_t s_hi, Reduce kind,
+                       float* out) {
+  const int64_t segs = s_hi - s_lo;
+  const int64_t edges = static_cast<int64_t>(offsets[s_hi] - offsets[s_lo]);
+  const int64_t read =
+      edges * d * kF + (ids != nullptr ? edges * kIdx : 0) + (segs + 1) * kOff;
+  const int64_t flops = edges * d + (kind == Reduce::kMean ? segs * d : 0);
+  obs::TimedKernelScope scope(ProfKernel::kSegmentReduce, read, segs * d * kF, flops);
+  ProfBase()->segment_reduce(x, d, ids, offsets, s_lo, s_hi, kind, out);
+}
+
+void ProfIndirectBackward(const float* grad_out, int64_t d, const uint64_t* src_offsets,
+                          const uint32_t* src_segments, const uint64_t* seg_offsets,
+                          Reduce kind, int64_t v_lo, int64_t v_hi, float* gx) {
+  const int64_t range = v_hi - v_lo;
+  const int64_t edges = static_cast<int64_t>(src_offsets[v_hi] - src_offsets[v_lo]);
+  const int64_t read = edges * (d * kF + kIdx) + (range + 1) * kOff;
+  // Mean scales each accumulated row by 1/width: axpy (2 FLOPs/element)
+  // instead of add.
+  const int64_t flops = (kind == Reduce::kMean ? 2 : 1) * edges * d;
+  obs::TimedKernelScope scope(ProfKernel::kIndirectBackward, read, range * d * kF, flops);
+  ProfBase()->indirect_backward(grad_out, d, src_offsets, src_segments, seg_offsets, kind,
+                                v_lo, v_hi, gx);
+}
+
+void ProfScatterRows(const float* values, int64_t d, const uint32_t* index, int64_t rows,
+                     Reduce kind, float* out) {
+  // Each row reads its value row and the out row it accumulates into (RMW).
+  const int64_t read = rows * (2 * d * kF + kIdx);
+  obs::TimedKernelScope scope(ProfKernel::kScatterRows, read, rows * d * kF, rows * d);
+  ProfBase()->scatter_rows(values, d, index, rows, kind, out);
+}
+
+void ProfGroupReduce(const float* values, int64_t d, int64_t group, Reduce kind,
+                     int64_t row_lo, int64_t row_hi, float* out) {
+  const int64_t range = row_hi - row_lo;
+  const int64_t flops = range * group * d + (kind == Reduce::kMean ? range * d : 0);
+  obs::TimedKernelScope scope(ProfKernel::kGroupReduce, range * group * d * kF,
+                              range * d * kF, flops);
+  ProfBase()->group_reduce(values, d, group, kind, row_lo, row_hi, out);
+}
+
+void ProfGemmPackB(const float* b, int64_t k, int64_t n, bool transpose, float* packed) {
+  obs::TimedKernelScope scope(ProfKernel::kGemmPackB, k * n * kF,
+                              k * PackedStride(n) * kF, 0);
+  ProfBase()->gemm_pack_b(b, k, n, transpose, packed);
+}
+
+void ProfGemm(const float* a, int64_t lda, const float* packed_b, int64_t k, int64_t n,
+              float* c, int64_t ldc, int64_t row_lo, int64_t row_hi) {
+  const int64_t range = row_hi - row_lo;
+  const int64_t read = range * k * kF + k * PackedStride(n) * kF;
+  obs::TimedKernelScope scope(ProfKernel::kGemm, read, range * n * kF, 2 * range * n * k);
+  ProfBase()->gemm(a, lda, packed_b, k, n, c, ldc, row_lo, row_hi);
+}
+
+void ProfGemmTransA(const float* a, int64_t k, int64_t m, const float* b, int64_t n,
+                    float* c, int64_t i_lo, int64_t i_hi) {
+  const int64_t range = i_hi - i_lo;
+  // c accumulates (RMW) — counted on both sides. FLOPs are nominal: the
+  // zero-skip fast path depends on the data, and data-dependent counts would
+  // break the bit-identical-accounting contract.
+  const int64_t read = range * k * kF + k * n * kF + range * n * kF;
+  obs::TimedKernelScope scope(ProfKernel::kGemmTransA, read, range * n * kF,
+                              2 * range * n * k);
+  ProfBase()->gemm_trans_a(a, k, m, b, n, c, i_lo, i_hi);
+}
+
+void InstallProfShims() {
+  g_prof_table.add_row = ProfAddRow;
+  g_prof_table.max_row = ProfMaxRow;
+  g_prof_table.min_row = ProfMinRow;
+  g_prof_table.scale_row = ProfScaleRow;
+  g_prof_table.axpy_row = ProfAxpyRow;
+  g_prof_table.segment_reduce = ProfSegmentReduce;
+  g_prof_table.indirect_backward = ProfIndirectBackward;
+  g_prof_table.scatter_rows = ProfScatterRows;
+  g_prof_table.group_reduce = ProfGroupReduce;
+  g_prof_table.gemm_pack_b = ProfGemmPackB;
+  g_prof_table.gemm = ProfGemm;
+  g_prof_table.gemm_trans_a = ProfGemmTransA;
+}
+
+// Single point through which every rebind goes: with profiling on, the real
+// table becomes the shim base and g_prof_table mirrors its identity fields
+// (tests inspect Kernels().level across SetIsa sweeps).
+void StoreActive(const KernelTable* base) {
+  if (g_profiling.load(std::memory_order_acquire)) {
+    g_prof_base.store(base, std::memory_order_release);
+    g_prof_table.level = base->level;
+    g_prof_table.name = base->name;
+    g_prof_table.vector_width = base->vector_width;
+    g_active.store(&g_prof_table, std::memory_order_release);
+  } else {
+    g_active.store(base, std::memory_order_release);
+  }
+}
+
 const KernelTable* Active() {
   const KernelTable* t = g_active.load(std::memory_order_acquire);
   if (t == nullptr) {
@@ -86,11 +242,27 @@ bool SetIsa(IsaLevel level) {
   if (!IsaSupported(level) || !VariantAvailable(level)) {
     return false;
   }
-  g_active.store(TableFor(level), std::memory_order_release);
+  StoreActive(TableFor(level));
   return true;
 }
 
-void ResetIsa() { g_active.store(StartupTable(), std::memory_order_release); }
+void ResetIsa() { StoreActive(StartupTable()); }
+
+void SetKernelProfiling(bool on) {
+  // Capture the real table before flipping the flag: with profiling already
+  // on it is the shim base, otherwise it is the active table itself.
+  const KernelTable* base = g_profiling.load(std::memory_order_acquire)
+                                ? ProfBase()
+                                : Active();
+  if (on) {
+    InstallProfShims();
+  }
+  g_profiling.store(on, std::memory_order_release);
+  StoreActive(base);
+  obs::KernelProfiler::Get().Enable(on);
+}
+
+bool KernelProfilingEnabled() { return g_profiling.load(std::memory_order_acquire); }
 
 }  // namespace simd
 }  // namespace flexgraph

@@ -126,6 +126,17 @@ bool SetIsa(IsaLevel level);
 // Restores the startup default (FLEXGRAPH_ISA / CPU probe).
 void ResetIsa();
 
+// Swaps the active table for a shim table that routes every invocation
+// through the kernel profiler (src/obs/prof.h) before calling the real
+// kernel: coarse kernels get a timed scope with hardware counters, row
+// primitives get work-only byte/FLOP accounting. The shims mirror the base
+// table's level/name/vector_width, so ISA-inspecting callers see through
+// them; SetIsa/ResetIsa keep working while profiling is on. Zero overhead
+// when off — the unshimmed table is dispatched directly. Same caveat as
+// SetIsa: not thread-safe against concurrently running kernels.
+void SetKernelProfiling(bool on);
+bool KernelProfilingEnabled();
+
 // Per-level table accessors (variant TUs; aliases the scalar table where the
 // architecture cannot compile the variant).
 const KernelTable* GetScalarTable();

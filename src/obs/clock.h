@@ -1,0 +1,57 @@
+// The one monotonic clock of the process.
+//
+// Every timestamp the observability layer emits — trace span begin/end,
+// modeled-track anchors, profiler kernel timings, stage timers — reads
+// CLOCK_MONOTONIC through MonotonicNowNs(), so all of them live in a single
+// clock domain and can be correlated sample-for-sample (a profiler row's
+// window lands exactly where its span sits on the trace timeline).
+//
+// fglint's `clock-source` rule forbids direct clock_gettime /
+// chrono::steady_clock / rdtsc reads outside src/obs; everything else in the
+// tree must come through here (src/util/timer.h's WallTimer is the shared
+// scoped-timing façade over this helper).
+//
+// Header-only on purpose: src/util cannot link flexgraph_obs (obs links
+// util's mutex the other way), but an inline syscall wrapper has no link
+// dependency, so both layers share the clock without a cycle.
+#ifndef SRC_OBS_CLOCK_H_
+#define SRC_OBS_CLOCK_H_
+
+#include <cstdint>
+#include <ctime>
+
+namespace flexgraph {
+namespace obs {
+
+// Nanoseconds on the CLOCK_MONOTONIC timeline. The epoch is unspecified
+// (boot-relative on Linux); only differences and cross-stream ordering are
+// meaningful.
+inline int64_t MonotonicNowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + static_cast<int64_t>(ts.tv_nsec);
+}
+
+inline double MonotonicNowSeconds() {
+  return static_cast<double>(MonotonicNowNs()) * 1e-9;
+}
+
+// Nanoseconds of CPU time consumed by the whole process (all threads). Used
+// by the profiler's stage accounting: per-thread kernel timings sum CPU time
+// across pool workers, so the attribution denominator must be CPU time too,
+// not wall clock. Falls back to the monotonic clock where the CPU clock is
+// unavailable (correct only for single-threaded runs there).
+inline int64_t ProcessCpuNowNs() {
+#ifdef CLOCK_PROCESS_CPUTIME_ID
+  timespec ts;
+  clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts);
+  return static_cast<int64_t>(ts.tv_sec) * 1000000000 + static_cast<int64_t>(ts.tv_nsec);
+#else
+  return MonotonicNowNs();
+#endif
+}
+
+}  // namespace obs
+}  // namespace flexgraph
+
+#endif  // SRC_OBS_CLOCK_H_

@@ -29,6 +29,7 @@
 #include <string_view>
 #include <vector>
 
+#include "src/obs/clock.h"
 #include "src/util/mutex.h"
 #include "src/util/thread_annotations.h"
 #include "src/util/timer.h"
@@ -182,6 +183,28 @@ class ScopedSecondsTimer {
   WallTimer timer_;
 };
 
+// Times a scope on the process CPU clock (all threads' busy time). The kernel
+// profiler's per-kernel wall times accumulate per worker thread, so its
+// attribution denominator — the *_cpu_seconds stage histograms this feeds —
+// must be in the same units; against wall clock a 4-thread run "attributes"
+// >100%. Only meaningful around scopes that run on one thread at a time
+// (the NAU stage spans are sequential on the training thread).
+class ScopedCpuSecondsTimer {
+ public:
+  explicit ScopedCpuSecondsTimer(Histogram& hist)
+      : hist_(hist), start_ns_(ProcessCpuNowNs()) {}
+  ~ScopedCpuSecondsTimer() {
+    hist_.Observe(static_cast<double>(ProcessCpuNowNs() - start_ns_) * 1e-9);
+  }
+
+  ScopedCpuSecondsTimer(const ScopedCpuSecondsTimer&) = delete;
+  ScopedCpuSecondsTimer& operator=(const ScopedCpuSecondsTimer&) = delete;
+
+ private:
+  Histogram& hist_;
+  int64_t start_ns_;
+};
+
 }  // namespace obs
 }  // namespace flexgraph
 
@@ -223,6 +246,7 @@ class ScopedSecondsSinkOnly {
 #define FLEX_SCOPED_SECONDS(name, sink_ptr)                                 \
   ::flexgraph::obs::ScopedSecondsSinkOnly FLEX_OBS_CONCAT(flex_scoped_timer_, \
                                                           __LINE__)(sink_ptr)
+#define FLEX_SCOPED_CPU_SECONDS(name) ((void)0)
 
 #else
 
@@ -260,6 +284,15 @@ class ScopedSecondsSinkOnly {
   ::flexgraph::obs::ScopedSecondsTimer FLEX_OBS_CONCAT(flex_scoped_timer_,  \
                                                        __LINE__)(           \
       FLEX_OBS_CONCAT(flex_scoped_hist_, __LINE__), sink_ptr)
+
+// Process-CPU companion to FLEX_SCOPED_SECONDS (see ScopedCpuSecondsTimer).
+#define FLEX_SCOPED_CPU_SECONDS(name)                                       \
+  static ::flexgraph::obs::Histogram& FLEX_OBS_CONCAT(flex_scoped_cpu_hist_,\
+                                                      __LINE__) =           \
+      ::flexgraph::obs::MetricRegistry::Get().GetHistogram(name);           \
+  ::flexgraph::obs::ScopedCpuSecondsTimer FLEX_OBS_CONCAT(                  \
+      flex_scoped_cpu_timer_, __LINE__)(                                    \
+      FLEX_OBS_CONCAT(flex_scoped_cpu_hist_, __LINE__))
 
 #endif  // FLEXGRAPH_DISABLE_METRICS
 

@@ -1,0 +1,186 @@
+#include "src/obs/perf_counters.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/util/logging.h"
+
+#if defined(__linux__)
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace flexgraph {
+namespace obs {
+
+namespace {
+
+std::atomic<int64_t> g_warnings_logged{0};
+
+// -1 undecided, 0 disabled, 1 enabled. Paired with g_disabled_reason.
+std::atomic<int> g_available{-1};
+std::atomic<const char*> g_disabled_reason{nullptr};
+
+void WarnOnce(const char* reason) {
+  // Only the first failure warns; later threads (or later groups) stay quiet.
+  int64_t expected = 0;
+  if (g_warnings_logged.compare_exchange_strong(expected, 1, std::memory_order_relaxed)) {
+    FLEX_LOG(Warning) << "hardware perf counters unavailable (" << reason
+                      << "); profiler falls back to monotonic timing + "
+                         "plan-derived byte/FLOP accounting";
+  }
+}
+
+bool EnvForcesOff() {
+  const char* env = std::getenv("FLEXGRAPH_PERF");
+  return env != nullptr && (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0);
+}
+
+#if defined(__linux__)
+
+int OpenPerfEvent(uint32_t type, uint64_t config, int group_fd) {
+  perf_event_attr attr;
+  std::memset(&attr, 0, sizeof(attr));
+  attr.type = type;
+  attr.size = sizeof(attr);
+  attr.config = config;
+  attr.disabled = group_fd < 0 ? 1 : 0;  // the leader starts the group
+  attr.exclude_kernel = 1;               // keeps perf_event_paranoid=1 happy
+  attr.exclude_hv = 1;
+  attr.read_format = PERF_FORMAT_GROUP;
+  return static_cast<int>(
+      syscall(SYS_perf_event_open, &attr, /*pid=*/0, /*cpu=*/-1, group_fd, /*flags=*/0));
+}
+
+constexpr uint64_t kLlcLoadMissConfig =
+    PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+    (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+
+#endif  // __linux__
+
+bool ResolveAvailability() {
+  if (EnvForcesOff()) {
+    g_disabled_reason.store("FLEXGRAPH_PERF=off", std::memory_order_relaxed);
+    return false;
+  }
+#if defined(__linux__)
+  const int fd = OpenPerfEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (fd < 0) {
+    g_disabled_reason.store("perf_event_open failed — container/paranoid setting?",
+                            std::memory_order_relaxed);
+    WarnOnce("perf_event_open failed");
+    return false;
+  }
+  close(fd);
+  return true;
+#else
+  g_disabled_reason.store("not a Linux build", std::memory_order_relaxed);
+  return false;
+#endif
+}
+
+}  // namespace
+
+bool PerfCountersEnabled() {
+  int state = g_available.load(std::memory_order_acquire);
+  if (state < 0) {
+    state = ResolveAvailability() ? 1 : 0;
+    g_available.store(state, std::memory_order_release);
+  }
+  return state == 1;
+}
+
+const char* PerfDisabledReason() {
+  return g_disabled_reason.load(std::memory_order_relaxed);
+}
+
+int64_t PerfWarningCountForTest() {
+  return g_warnings_logged.load(std::memory_order_relaxed);
+}
+
+void ResetPerfAvailabilityForTest() {
+  g_available.store(-1, std::memory_order_relaxed);
+  g_disabled_reason.store(nullptr, std::memory_order_relaxed);
+}
+
+#if defined(__linux__)
+
+PerfCounterGroup::PerfCounterGroup() {
+  if (!PerfCountersEnabled()) {
+    return;
+  }
+  leader_fd_ = OpenPerfEvent(PERF_TYPE_HARDWARE, PERF_COUNT_HW_CPU_CYCLES, -1);
+  if (leader_fd_ < 0) {
+    // The process-level probe passed but this thread's open failed (fd
+    // limits, late cgroup restrictions). Degrade this group only.
+    WarnOnce("per-thread perf_event_open failed");
+    return;
+  }
+  fds_[num_fds_] = leader_fd_;
+  cycles_index_ = num_fds_++;
+
+  struct Wanted {
+    uint32_t type;
+    uint64_t config;
+    int* index;
+  };
+  const Wanted wanted[] = {
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_INSTRUCTIONS, &instructions_index_},
+      {PERF_TYPE_HW_CACHE, kLlcLoadMissConfig, &llc_misses_index_},
+      {PERF_TYPE_HARDWARE, PERF_COUNT_HW_STALLED_CYCLES_BACKEND, &stalled_backend_index_},
+  };
+  for (const Wanted& w : wanted) {
+    const int fd = OpenPerfEvent(w.type, w.config, leader_fd_);
+    if (fd >= 0) {
+      fds_[num_fds_] = fd;
+      *w.index = num_fds_++;
+    }
+  }
+  ioctl(leader_fd_, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+  ioctl(leader_fd_, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+}
+
+PerfCounterGroup::~PerfCounterGroup() {
+  for (int i = 0; i < num_fds_; ++i) {
+    close(fds_[i]);
+  }
+}
+
+PerfSample PerfCounterGroup::Read() const {
+  PerfSample sample;
+  if (leader_fd_ < 0) {
+    return sample;
+  }
+  // PERF_FORMAT_GROUP layout: { u64 nr; u64 values[nr]; } in open order.
+  uint64_t buf[1 + 4] = {};
+  const ssize_t n = read(leader_fd_, buf, sizeof(buf));
+  if (n < static_cast<ssize_t>(sizeof(uint64_t))) {
+    return sample;
+  }
+  const auto nr = static_cast<int>(buf[0]);
+  const auto value_at = [&](int index, uint64_t* out, bool* has) {
+    if (index >= 0 && index < nr) {
+      *out = buf[1 + index];
+      *has = true;
+    }
+  };
+  value_at(cycles_index_, &sample.cycles, &sample.has_cycles);
+  value_at(instructions_index_, &sample.instructions, &sample.has_instructions);
+  value_at(llc_misses_index_, &sample.llc_misses, &sample.has_llc_misses);
+  value_at(stalled_backend_index_, &sample.stalled_backend, &sample.has_stalled_backend);
+  return sample;
+}
+
+#else  // !__linux__
+
+PerfCounterGroup::PerfCounterGroup() = default;
+PerfCounterGroup::~PerfCounterGroup() = default;
+PerfSample PerfCounterGroup::Read() const { return {}; }
+
+#endif  // __linux__
+
+}  // namespace obs
+}  // namespace flexgraph

@@ -1,0 +1,92 @@
+// Hardware performance counters via perf_event_open, with graceful
+// degradation everywhere the syscall is unavailable (containers with
+// seccomp filters, perf_event_paranoid >= 2 without CAP_PERFMON, non-Linux
+// builds, FLEXGRAPH_PERF=off).
+//
+// One PerfCounterGroup per thread: the four counters the kernel profiler
+// attributes per SIMD kernel (cycles, instructions, LLC-load-misses,
+// stalled-cycles-backend) are opened as one perf event group so a single
+// read() samples them atomically. Counters the kernel or hardware rejects
+// individually (stalled-cycles-backend is absent on many parts) are simply
+// missing from the sample; the group degrades counter-by-counter and only
+// counts as unavailable when the cycles leader itself cannot open.
+//
+// Availability is resolved once per process: the FLEXGRAPH_PERF environment
+// variable ("off"/"0" forces the software fallback) is consulted first, then
+// a probe open. The first failed open logs a single warning; every later
+// failure is silent, so a 16-thread run does not emit 16 warnings.
+#ifndef SRC_OBS_PERF_COUNTERS_H_
+#define SRC_OBS_PERF_COUNTERS_H_
+
+#include <cstdint>
+
+namespace flexgraph {
+namespace obs {
+
+// One atomic sample of the group. `has_*` flags say which columns are real;
+// a column whose counter failed to open reads 0 with has_* == false.
+struct PerfSample {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t llc_misses = 0;
+  uint64_t stalled_backend = 0;
+  bool has_cycles = false;
+  bool has_instructions = false;
+  bool has_llc_misses = false;
+  bool has_stalled_backend = false;
+
+  PerfSample operator-(const PerfSample& start) const {
+    PerfSample d = *this;
+    d.cycles -= start.cycles;
+    d.instructions -= start.instructions;
+    d.llc_misses -= start.llc_misses;
+    d.stalled_backend -= start.stalled_backend;
+    return d;
+  }
+};
+
+// Per-thread counter group, counting this thread only (exclude_kernel, no
+// inherit). Construction opens the group; available() is false when even the
+// cycles leader could not open, in which case Read() returns an all-zero,
+// all-has_*-false sample.
+class PerfCounterGroup {
+ public:
+  PerfCounterGroup();
+  ~PerfCounterGroup();
+
+  PerfCounterGroup(const PerfCounterGroup&) = delete;
+  PerfCounterGroup& operator=(const PerfCounterGroup&) = delete;
+
+  bool available() const { return leader_fd_ >= 0; }
+  PerfSample Read() const;
+
+ private:
+  int leader_fd_ = -1;
+  // Position of each column in the PERF_FORMAT_GROUP read buffer, or -1 when
+  // that counter failed to open.
+  int cycles_index_ = -1;
+  int instructions_index_ = -1;
+  int llc_misses_index_ = -1;
+  int stalled_backend_index_ = -1;
+  int fds_[4] = {-1, -1, -1, -1};
+  int num_fds_ = 0;
+};
+
+// Process-wide availability: false when FLEXGRAPH_PERF is "off"/"0", the
+// platform has no perf_event_open, or the probe open failed. Resolved once
+// and cached; PerfDisabledReason() names the cause (nullptr when enabled).
+bool PerfCountersEnabled();
+const char* PerfDisabledReason();
+
+// Number of open-failure warnings actually logged (the contract is at most
+// one per process). Test hook.
+int64_t PerfWarningCountForTest();
+
+// Drops the cached availability decision so a test can flip FLEXGRAPH_PERF
+// and re-resolve. Not thread-safe against concurrent PerfCountersEnabled().
+void ResetPerfAvailabilityForTest();
+
+}  // namespace obs
+}  // namespace flexgraph
+
+#endif  // SRC_OBS_PERF_COUNTERS_H_

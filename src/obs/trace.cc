@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "src/obs/clock.h"
+
 namespace flexgraph {
 namespace obs {
 
@@ -55,7 +57,7 @@ std::string RenderArgs(std::initializer_list<SpanArg> args) {
 
 }  // namespace
 
-Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+Tracer::Tracer() : epoch_ns_(MonotonicNowNs()) {}
 
 Tracer& Tracer::Get() {
   // Leaked for the same static-destruction reason as MetricRegistry.
@@ -64,7 +66,7 @@ Tracer& Tracer::Get() {
 }
 
 double Tracer::NowSeconds() const {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_).count();
+  return static_cast<double>(MonotonicNowNs() - epoch_ns_) * 1e-9;
 }
 
 Tracer::ThreadBuffer& Tracer::LocalBuffer() {
@@ -99,6 +101,18 @@ void Tracer::EndSpan() {
   Event ev;
   ev.ts_us = NowSeconds() * 1e6;
   ev.phase = 'E';
+  LocalBuffer().events.push_back(std::move(ev));
+}
+
+void Tracer::EmitCounter(const char* name, std::initializer_list<SpanArg> values) {
+  if (!enabled()) {
+    return;
+  }
+  Event ev;
+  ev.ts_us = NowSeconds() * 1e6;
+  ev.name = name;
+  ev.phase = 'C';
+  ev.args = RenderArgs(values);
   LocalBuffer().events.push_back(std::move(ev));
 }
 

@@ -20,7 +20,6 @@
 #define SRC_OBS_TRACE_H_
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <initializer_list>
 #include <memory>
@@ -56,6 +55,12 @@ class Tracer {
   void BeginSpan(const char* name);
   void BeginSpan(const char* name, std::initializer_list<SpanArg> args);
   void EndSpan();
+
+  // Counter sample ('C' event) on the calling thread at the current time —
+  // chrome://tracing renders each distinct `name` as its own stacked counter
+  // track. `name` must be a string literal or otherwise outlive the tracer
+  // (stored by pointer, like span names).
+  void EmitCounter(const char* name, std::initializer_list<SpanArg> values);
 
   // Modeled span on synthetic track `track` of the simulated process.
   // `track_name` labels the track in the viewer (copied, may be built
@@ -97,7 +102,7 @@ class Tracer {
   ThreadBuffer& LocalBuffer() FLEX_EXCLUDES(registry_mutex_);
 
   std::atomic<bool> enabled_{false};
-  std::chrono::steady_clock::time_point epoch_;
+  int64_t epoch_ns_;  // MonotonicNowNs() at construction
 
   // Guards the buffer list and tid allocation only: each ThreadBuffer's
   // event vector is appended to exclusively by its owning thread (lock-free

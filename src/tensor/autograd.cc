@@ -6,6 +6,8 @@
 
 #include "src/exec/chunks.h"
 #include "src/exec/parallel.h"
+#include "src/exec/simd.h"
+#include "src/obs/prof.h"
 #include "src/tensor/ops_dense.h"
 #include "src/util/check.h"
 
@@ -249,7 +251,15 @@ Tensor SegmentBroadcastBackward(const Tensor& grad_out, const std::vector<uint64
   const int64_t total = static_cast<int64_t>(offsets.back());
   const int64_t num_segments = static_cast<int64_t>(offsets.size()) - 1;
   Tensor g = WsTensorUninit(total, grad_out.cols());
+  const bool prof = simd::KernelProfilingEnabled();
   const auto broadcast_range = [&](int64_t s_lo, int64_t s_hi) {
+    // Each member row reads its segment's gradient row once (broadcast
+    // operands count per output element) and applies one scale multiply.
+    const int64_t m =
+        static_cast<int64_t>(offsets[static_cast<std::size_t>(s_hi)] -
+                             offsets[static_cast<std::size_t>(s_lo)]) *
+        grad_out.cols();
+    obs::TimedKernelScope scope(obs::ProfKernel::kElementwise, m * 4, m * 4, m, prof);
     for (int64_t s = s_lo; s < s_hi; ++s) {
       const uint64_t lo = offsets[static_cast<std::size_t>(s)];
       const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
@@ -382,14 +392,21 @@ Variable AgMulRowScalar(const Variable& values, const Variable& weights) {
     if (NeedsGrad(Variable(wn))) {
       // dL/dw_i = <g_i, v_i>.
       Tensor wg = WsTensorUninit(g.rows(), 1);
-      for (int64_t i = 0; i < g.rows(); ++i) {
-        const float* grow = g.Row(i);
-        const float* vrow = vn->value().Row(i);
-        float acc = 0.0f;
-        for (int64_t j = 0; j < g.cols(); ++j) {
-          acc += grow[j] * vrow[j];
+      {
+        // Row-dot: multiply-accumulate over every element of both operands.
+        // Closed before AccumulateGrad, whose AddInPlace times itself.
+        obs::TimedKernelScope scope(obs::ProfKernel::kElementwise, 2 * g.numel() * 4,
+                                    g.rows() * 4, 2 * g.numel(),
+                                    simd::KernelProfilingEnabled());
+        for (int64_t i = 0; i < g.rows(); ++i) {
+          const float* grow = g.Row(i);
+          const float* vrow = vn->value().Row(i);
+          float acc = 0.0f;
+          for (int64_t j = 0; j < g.cols(); ++j) {
+            acc += grow[j] * vrow[j];
+          }
+          wg.At(i, 0) = acc;
         }
-        wg.At(i, 0) = acc;
       }
       wn->AccumulateGrad(wg);
     }
@@ -516,11 +533,17 @@ Variable AgSoftmaxCrossEntropy(const Variable& logits, std::vector<uint32_t> lab
     const int64_t rows = probs_shared->rows();
     Tensor g = WsTensorCopy(*probs_shared);
     const float inv_n = 1.0f / static_cast<float>(rows);
-    for (int64_t i = 0; i < rows; ++i) {
-      g.At(i, static_cast<int64_t>((*labels_shared)[static_cast<std::size_t>(i)])) -= 1.0f;
-      float* grow = g.Row(i);
-      for (int64_t j = 0; j < g.cols(); ++j) {
-        grow[j] *= inv_n * upstream;
+    {
+      // In-place scale of every element plus one label subtract per row.
+      const int64_t m = g.numel();
+      obs::TimedKernelScope scope(obs::ProfKernel::kElementwise, m * 4, m * 4, m + rows,
+                                  simd::KernelProfilingEnabled());
+      for (int64_t i = 0; i < rows; ++i) {
+        g.At(i, static_cast<int64_t>((*labels_shared)[static_cast<std::size_t>(i)])) -= 1.0f;
+        float* grow = g.Row(i);
+        for (int64_t j = 0; j < g.cols(); ++j) {
+          grow[j] *= inv_n * upstream;
+        }
       }
     }
     ln->AccumulateGrad(g);

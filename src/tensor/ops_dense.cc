@@ -6,6 +6,7 @@
 
 #include "src/exec/parallel.h"
 #include "src/exec/simd.h"
+#include "src/obs/prof.h"
 #include "src/tensor/workspace.h"
 
 namespace flexgraph {
@@ -14,6 +15,16 @@ namespace {
 
 using exec::kMinParallelWork;
 using exec::RowGrain;
+
+// Profiler accounting for the non-KernelTable loops in this file (see
+// src/obs/prof.h). Scopes sit inside the parallel body — one per chunk, on
+// the worker thread, like the SIMD shims — and every byte/FLOP formula is
+// linear in the chunk range with no per-chunk constant, so the totals are
+// independent of how ParallelFor splits the range (which varies with the
+// thread count). prof_test.cc pins these formulas.
+using obs::ProfKernel;
+using obs::TimedKernelScope;
+constexpr int64_t kProfF = static_cast<int64_t>(sizeof(float));
 
 // Packs B (or Bᵀ) into a cache-line-padded [k × PackedStride(n)] panel in the
 // workspace arena, then runs the register-blocked micro-kernel over disjoint
@@ -66,12 +77,19 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
 namespace {
 
 // Flat elementwise map over [0, n): parallel ranges are disjoint, each output
-// element written once.
+// element written once. `reads_per_elem` is the number of input arrays `fn`
+// reads per output element (profiler accounting; one FLOP per element).
 template <typename Fn>
-Tensor ElementwiseInto(int64_t rows, int64_t cols, int64_t n, const Fn& fn) {
+Tensor ElementwiseInto(int64_t rows, int64_t cols, int64_t n, int64_t reads_per_elem,
+                       const Fn& fn) {
   Tensor c = WsTensorUninit(rows, cols);
-  exec::ParallelFor(0, n, kMinParallelWork,
-                    [&](int64_t lo, int64_t hi) { fn(c.data(), lo, hi); });
+  const bool prof = simd::KernelProfilingEnabled();
+  exec::ParallelFor(0, n, kMinParallelWork, [&](int64_t lo, int64_t hi) {
+    const int64_t m = hi - lo;
+    TimedKernelScope scope(ProfKernel::kElementwise, reads_per_elem * m * kProfF,
+                           m * kProfF, m, prof);
+    fn(c.data(), lo, hi);
+  });
   return c;
 }
 
@@ -81,7 +99,8 @@ Tensor Add(const Tensor& a, const Tensor& b) {
   FLEX_CHECK(a.SameShape(b));
   const float* pa = a.data();
   const float* pb = b.data();
-  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), /*reads_per_elem=*/2,
+                         [&](float* out, int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       out[i] = pa[i] + pb[i];
     }
@@ -93,7 +112,11 @@ void AddInPlace(Tensor& dst, const Tensor& src) {
   const int64_t n = dst.numel();
   float* pd = dst.data();
   const float* ps = src.data();
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, n, kMinParallelWork, [&](int64_t lo, int64_t hi) {
+    const int64_t m = hi - lo;
+    // dst is read-modify-write: counted on both sides.
+    TimedKernelScope scope(ProfKernel::kElementwise, 2 * m * kProfF, m * kProfF, m, prof);
     for (int64_t i = lo; i < hi; ++i) {
       pd[i] += ps[i];
     }
@@ -104,7 +127,8 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   FLEX_CHECK(a.SameShape(b));
   const float* pa = a.data();
   const float* pb = b.data();
-  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), /*reads_per_elem=*/2,
+                         [&](float* out, int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       out[i] = pa[i] - pb[i];
     }
@@ -115,7 +139,8 @@ Tensor Hadamard(const Tensor& a, const Tensor& b) {
   FLEX_CHECK(a.SameShape(b));
   const float* pa = a.data();
   const float* pb = b.data();
-  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), /*reads_per_elem=*/2,
+                         [&](float* out, int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       out[i] = pa[i] * pb[i];
     }
@@ -124,7 +149,8 @@ Tensor Hadamard(const Tensor& a, const Tensor& b) {
 
 Tensor Scale(const Tensor& a, float s) {
   const float* pa = a.data();
-  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), /*reads_per_elem=*/1,
+                         [&](float* out, int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       out[i] = pa[i] * s;
     }
@@ -134,7 +160,10 @@ Tensor Scale(const Tensor& a, float s) {
 void ScaleInPlace(Tensor& t, float s) {
   const int64_t n = t.numel();
   float* p = t.data();
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, n, kMinParallelWork, [&](int64_t lo, int64_t hi) {
+    const int64_t m = hi - lo;
+    TimedKernelScope scope(ProfKernel::kElementwise, m * kProfF, m * kProfF, m, prof);
     for (int64_t i = lo; i < hi; ++i) {
       p[i] *= s;
     }
@@ -146,7 +175,11 @@ Tensor AddRowVector(const Tensor& a, const Tensor& bias) {
   FLEX_CHECK_EQ(bias.cols(), a.cols());
   Tensor c = WsTensorUninit(a.rows(), a.cols());
   const float* brow = bias.Row(0);
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, a.rows(), RowGrain(a.cols()), [&](int64_t row_lo, int64_t row_hi) {
+    const int64_t m = (row_hi - row_lo) * a.cols();
+    // The broadcast bias row counts once per element it produces.
+    TimedKernelScope scope(ProfKernel::kElementwise, 2 * m * kProfF, m * kProfF, m, prof);
     for (int64_t i = row_lo; i < row_hi; ++i) {
       const float* arow = a.Row(i);
       float* crow = c.Row(i);
@@ -162,6 +195,11 @@ Tensor ColSum(const Tensor& a) {
   // Sequential: the row-ascending accumulation order per column is part of
   // the bitwise contract (this feeds bias gradients).
   Tensor c = WsTensor(1, a.cols());
+  // One call per op, always sequential — the accumulator row counts once on
+  // the write side (the segment_reduce convention).
+  TimedKernelScope scope(ProfKernel::kElementwise, a.numel() * kProfF,
+                         a.cols() * kProfF, a.numel(),
+                         simd::KernelProfilingEnabled());
   float* crow = c.Row(0);
   for (int64_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.Row(i);
@@ -174,7 +212,8 @@ Tensor ColSum(const Tensor& a) {
 
 Tensor Relu(const Tensor& a) {
   const float* pa = a.data();
-  return ElementwiseInto(a.rows(), a.cols(), a.numel(), [&](float* out, int64_t lo, int64_t hi) {
+  return ElementwiseInto(a.rows(), a.cols(), a.numel(), /*reads_per_elem=*/1,
+                         [&](float* out, int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       out[i] = pa[i] > 0.0f ? pa[i] : 0.0f;
     }
@@ -186,7 +225,7 @@ Tensor ReluBackward(const Tensor& grad_out, const Tensor& forward_out) {
   const float* pg = grad_out.data();
   const float* pf = forward_out.data();
   return ElementwiseInto(grad_out.rows(), grad_out.cols(), grad_out.numel(),
-                         [&](float* out, int64_t lo, int64_t hi) {
+                         /*reads_per_elem=*/2, [&](float* out, int64_t lo, int64_t hi) {
     for (int64_t i = lo; i < hi; ++i) {
       out[i] = pf[i] > 0.0f ? pg[i] : 0.0f;
     }
@@ -196,8 +235,11 @@ Tensor ReluBackward(const Tensor& grad_out, const Tensor& forward_out) {
 Tensor ConcatCols(const Tensor& a, const Tensor& b) {
   FLEX_CHECK_EQ(a.rows(), b.rows());
   Tensor c = WsTensorUninit(a.rows(), a.cols() + b.cols());
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, a.rows(), RowGrain(a.cols() + b.cols()),
                     [&](int64_t row_lo, int64_t row_hi) {
+    const int64_t m = (row_hi - row_lo) * (a.cols() + b.cols());
+    TimedKernelScope scope(ProfKernel::kRowCopy, m * kProfF, m * kProfF, 0, prof);
     for (int64_t i = row_lo; i < row_hi; ++i) {
       std::memcpy(c.Row(i), a.Row(i), static_cast<std::size_t>(a.cols()) * sizeof(float));
       std::memcpy(c.Row(i) + a.cols(), b.Row(i),
@@ -211,7 +253,10 @@ Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
   FLEX_CHECK_LE(begin, end);
   FLEX_CHECK_LE(end, a.cols());
   Tensor c = WsTensorUninit(a.rows(), end - begin);
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, a.rows(), RowGrain(end - begin), [&](int64_t row_lo, int64_t row_hi) {
+    const int64_t m = (row_hi - row_lo) * (end - begin);
+    TimedKernelScope scope(ProfKernel::kRowCopy, m * kProfF, m * kProfF, 0, prof);
     for (int64_t i = row_lo; i < row_hi; ++i) {
       std::memcpy(c.Row(i), a.Row(i) + begin,
                   static_cast<std::size_t>(end - begin) * sizeof(float));
@@ -222,6 +267,8 @@ Tensor SliceCols(const Tensor& a, int64_t begin, int64_t end) {
 
 Tensor Transpose(const Tensor& a) {
   Tensor c = WsTensorUninit(a.cols(), a.rows());
+  TimedKernelScope scope(ProfKernel::kRowCopy, a.numel() * kProfF, a.numel() * kProfF, 0,
+                         simd::KernelProfilingEnabled());
   for (int64_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.Row(i);
     for (int64_t j = 0; j < a.cols(); ++j) {
@@ -268,7 +315,12 @@ Tensor GroupSumRowsBackward(const Tensor& grad_out, int64_t group) {
   const int64_t n = grad_out.rows();
   const int64_t d = grad_out.cols();
   Tensor g = WsTensorUninit(n * group, d);
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, n, RowGrain(d * group), [&](int64_t row_lo, int64_t row_hi) {
+    const int64_t r = row_hi - row_lo;
+    // Broadcast copy: each source row is read once, written `group` times.
+    TimedKernelScope scope(ProfKernel::kRowCopy, r * d * kProfF, r * group * d * kProfF, 0,
+                           prof);
     for (int64_t i = row_lo; i < row_hi; ++i) {
       const float* orow = grad_out.Row(i);
       for (int64_t k = 0; k < group; ++k) {
@@ -281,7 +333,12 @@ Tensor GroupSumRowsBackward(const Tensor& grad_out, int64_t group) {
 
 Tensor RowSoftmax(const Tensor& a) {
   Tensor c = WsTensorUninit(a.rows(), a.cols());
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, a.rows(), RowGrain(a.cols() * 4), [&](int64_t row_lo, int64_t row_hi) {
+    const int64_t m = (row_hi - row_lo) * a.cols();
+    // Nominal 5 FLOPs/element: max compare, subtract, exp (counted as one),
+    // sum accumulate, scale.
+    TimedKernelScope scope(ProfKernel::kRowSoftmax, m * kProfF, m * kProfF, 5 * m, prof);
     for (int64_t i = row_lo; i < row_hi; ++i) {
       const float* arow = a.Row(i);
       float* crow = c.Row(i);

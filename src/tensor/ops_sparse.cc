@@ -7,12 +7,21 @@
 
 #include "src/exec/chunks.h"
 #include "src/exec/parallel.h"
+#include "src/obs/prof.h"
 #include "src/tensor/workspace.h"
 
 namespace flexgraph {
 namespace {
 
 using exec::kMinParallelWork;
+
+// Hand-instrumented profiler scopes for this file's non-KernelTable loops —
+// same rules as ops_dense.cc: one scope per chunk on the worker thread,
+// formulas linear in the chunk range (see src/obs/prof.h).
+using obs::ProfKernel;
+using obs::TimedKernelScope;
+constexpr int64_t kProfF = static_cast<int64_t>(sizeof(float));
+constexpr int64_t kProfIdx = static_cast<int64_t>(sizeof(uint32_t));
 
 // Runs body(s_lo, s_hi) over segment-aligned chunks. `chunks` may be empty,
 // in which case fixed boundaries are derived from the offsets (identical for
@@ -138,7 +147,11 @@ Tensor GatherRows(const Tensor& src, std::span<const uint32_t> index) {
   const auto rows = static_cast<int64_t>(index.size());
   Tensor out = WsTensorUninit(rows, d);
   const int64_t grain = std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, d));
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, rows, grain, [&](int64_t lo, int64_t hi) {
+    const int64_t r = hi - lo;
+    TimedKernelScope scope(ProfKernel::kRowCopy, r * (d * kProfF + kProfIdx),
+                           r * d * kProfF, 0, prof);
     for (int64_t i = lo; i < hi; ++i) {
       FLEX_CHECK_LT(static_cast<int64_t>(index[static_cast<std::size_t>(i)]), src.rows());
       std::memcpy(out.Row(i), src.Row(static_cast<int64_t>(index[static_cast<std::size_t>(i)])),
@@ -177,7 +190,11 @@ Tensor SegmentSoftmax(const Tensor& scores, std::span<const uint64_t> offsets,
   FLEX_CHECK_EQ(scores.cols(), 1);
   FLEX_CHECK_EQ(static_cast<int64_t>(offsets[offsets.size() - 1]), scores.rows());
   Tensor out = WsTensor(scores.rows(), 1);
+  const bool prof = simd::KernelProfilingEnabled();
   ForEachSegmentChunk(offsets, chunks, scores.rows(), [&](int64_t s_lo, int64_t s_hi) {
+    const int64_t m = static_cast<int64_t>(offsets[static_cast<std::size_t>(s_hi)] -
+                                           offsets[static_cast<std::size_t>(s_lo)]);
+    TimedKernelScope scope(ProfKernel::kRowSoftmax, m * kProfF, m * kProfF, 5 * m, prof);
     for (int64_t s = s_lo; s < s_hi; ++s) {
       const uint64_t lo = offsets[static_cast<std::size_t>(s)];
       const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
@@ -214,7 +231,13 @@ Tensor SegmentSoftmaxBackward(const Tensor& weights, const Tensor& grad,
   FLEX_CHECK(weights.SameShape(grad));
   FLEX_CHECK_EQ(weights.cols(), 1);
   Tensor out = WsTensor(weights.rows(), 1);
+  const bool prof = simd::KernelProfilingEnabled();
   ForEachSegmentChunk(offsets, chunks, weights.rows(), [&](int64_t s_lo, int64_t s_hi) {
+    const int64_t m = static_cast<int64_t>(offsets[static_cast<std::size_t>(s_hi)] -
+                                           offsets[static_cast<std::size_t>(s_lo)]);
+    // Per element: dot multiply-accumulate (2) + w*(g - dot) (2).
+    TimedKernelScope scope(ProfKernel::kElementwise, 2 * m * kProfF, m * kProfF, 4 * m,
+                           prof);
     for (int64_t s = s_lo; s < s_hi; ++s) {
       const uint64_t lo = offsets[static_cast<std::size_t>(s)];
       const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
@@ -237,7 +260,11 @@ Tensor MulRowScalar(const Tensor& values, const Tensor& weights) {
   const int64_t d = values.cols();
   Tensor out = WsTensorUninit(values.rows(), d);
   const int64_t grain = std::max<int64_t>(1, kMinParallelWork / std::max<int64_t>(1, d));
+  const bool prof = simd::KernelProfilingEnabled();
   exec::ParallelFor(0, values.rows(), grain, [&](int64_t lo, int64_t hi) {
+    const int64_t r = hi - lo;
+    TimedKernelScope scope(ProfKernel::kElementwise, r * (d + 1) * kProfF,
+                           r * d * kProfF, r * d, prof);
     for (int64_t i = lo; i < hi; ++i) {
       const float w = weights.At(i, 0);
       const float* vrow = values.Row(i);

@@ -5,7 +5,9 @@
 #include <cstring>
 #include <new>
 
+#include "src/exec/simd.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/util/aligned_buffer.h"
 #include "src/util/alloc_stats.h"
 #include "src/util/check.h"
@@ -121,7 +123,13 @@ Workspace* CurrentWorkspace() { return g_current; }
 
 Tensor WsTensor(int64_t rows, int64_t cols) {
   Tensor t = WsTensorUninit(rows, cols);
-  t.Zero();
+  {
+    // Zero fills are pure stores: no reads, no FLOPs.
+    obs::TimedKernelScope scope(obs::ProfKernel::kRowCopy, 0,
+                                t.numel() * static_cast<int64_t>(sizeof(float)), 0,
+                                simd::KernelProfilingEnabled());
+    t.Zero();
+  }
   return t;
 }
 
@@ -139,6 +147,9 @@ Tensor WsTensorUninit(int64_t rows, int64_t cols) {
 Tensor WsTensorCopy(const Tensor& src) {
   Tensor t = WsTensorUninit(src.rows(), src.cols());
   if (src.numel() > 0) {
+    const int64_t bytes = src.numel() * static_cast<int64_t>(sizeof(float));
+    obs::TimedKernelScope scope(obs::ProfKernel::kRowCopy, bytes, bytes, 0,
+                                simd::KernelProfilingEnabled());
     std::memcpy(t.data(), src.data(), static_cast<std::size_t>(src.numel()) * sizeof(float));
   }
   return t;

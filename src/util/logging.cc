@@ -2,7 +2,6 @@
 
 #include <atomic>
 #include <cctype>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <ctime>

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/obs/clock.h"
 #include "src/obs/metrics.h"
 #include "src/util/check.h"
 
@@ -29,9 +30,9 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::EnqueueLocked(std::function<void()> task) {
-  QueuedTask queued{std::move(task), {}};
+  QueuedTask queued{std::move(task), 0};
   if (submit_count_++ % kSampleEvery == 0) {
-    queued.enqueued = std::chrono::steady_clock::now();
+    queued.enqueued_ns = obs::MonotonicNowNs();
   }
   queue_.push(std::move(queued));
   ++in_flight_;
@@ -103,15 +104,14 @@ void ThreadPool::WorkerLoop() {
       queue_.pop();
       // Only sampled tasks refresh the depth gauge on the pop side — a
       // registry update per pop shows up in fine-grained kernel fan-outs.
-      if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+      if (task.enqueued_ns != 0) {
         FLEX_GAUGE_SET("threadpool.queue_depth", static_cast<double>(queue_.size()));
       }
     }
-    if (task.enqueued != std::chrono::steady_clock::time_point{}) {
+    if (task.enqueued_ns != 0) {
       FLEX_HIST_OBSERVE(
           "threadpool.queue_wait_seconds",
-          std::chrono::duration<double>(std::chrono::steady_clock::now() - task.enqueued)
-              .count());
+          static_cast<double>(obs::MonotonicNowNs() - task.enqueued_ns) * 1e-9);
       FLEX_SCOPED_SECONDS("threadpool.task_seconds", nullptr);
       task.fn();
     } else {

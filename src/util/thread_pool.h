@@ -9,9 +9,9 @@
 #ifndef SRC_UTIL_THREAD_POOL_H_
 #define SRC_UTIL_THREAD_POOL_H_
 
-#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <queue>
 #include <thread>
@@ -67,8 +67,8 @@ class ThreadPool {
   static constexpr uint64_t kSampleEvery = 64;
   struct QueuedTask {
     std::function<void()> fn;
-    // Default (epoch) time point marks an unsampled task.
-    std::chrono::steady_clock::time_point enqueued{};
+    // obs::MonotonicNowNs() at enqueue for sampled tasks; 0 marks unsampled.
+    int64_t enqueued_ns = 0;
   };
 
   std::vector<std::thread> threads_;

@@ -1,30 +1,34 @@
 // Wall-clock timers used by the benchmark harnesses and the simulated
 // distributed runtime (which measures real per-worker compute time and feeds
 // it into the network cost model).
+//
+// All timing reads CLOCK_MONOTONIC through obs::MonotonicNowNs() — the
+// process-wide clock domain shared with the tracer and the kernel profiler
+// (see src/obs/clock.h and fglint's clock-source rule).
 #ifndef SRC_UTIL_TIMER_H_
 #define SRC_UTIL_TIMER_H_
 
-#include <chrono>
 #include <cstdint>
+
+#include "src/obs/clock.h"
 
 namespace flexgraph {
 
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_ns_(obs::MonotonicNowNs()) {}
 
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ns_ = obs::MonotonicNowNs(); }
 
   double ElapsedSeconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
+    return static_cast<double>(obs::MonotonicNowNs() - start_ns_) * 1e-9;
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
   double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  int64_t start_ns_;
 };
 
 // Accumulates elapsed time into a double, e.g. one accumulator per NAU stage

@@ -1,0 +1,274 @@
+// Tests for the kernel profiler's analytic accounting: the hand-derived
+// byte/FLOP formulas on the instrumented tensor ops are pinned exactly
+// (against small tensors that run as a single inline chunk), the counts are
+// shown to be deterministic across runs and independent of FLEXGRAPH_PERF,
+// and the perf_event_open fallback is exercised: env-off resolves silently,
+// a failed probe warns at most once per process.
+#include "src/obs/prof.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "src/exec/parallel.h"
+#include "src/exec/simd.h"
+#include "src/obs/perf_counters.h"
+#include "src/tensor/autograd.h"
+#include "src/tensor/nn.h"
+#include "src/tensor/ops_dense.h"
+#include "src/tensor/ops_sparse.h"
+#include "src/tensor/tensor.h"
+#include "src/tensor/workspace.h"
+
+namespace flexgraph {
+namespace obs {
+namespace {
+
+constexpr int64_t kF = static_cast<int64_t>(sizeof(float));
+constexpr int64_t kIdx = static_cast<int64_t>(sizeof(uint32_t));
+
+Tensor Filled(int64_t rows, int64_t cols, float start = 1.0f) {
+  Tensor t(rows, cols);
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    t.data()[i] = start + 0.25f * static_cast<float>(i % 7);
+  }
+  return t;
+}
+
+class ProfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // The roofline probe burns ~100ms of measurement loops; accounting tests
+    // don't read the roofs, so skip it.
+    setenv("FLEXGRAPH_ROOFLINE_PROBE", "off", 1);
+    simd::SetKernelProfiling(true);
+    KernelProfiler::Get().Reset();
+  }
+
+  void TearDown() override { simd::SetKernelProfiling(false); }
+
+  static KernelProfileRow Row(ProfKernel k) {
+    const ProfilerReport report = KernelProfiler::Get().Aggregate();
+    return report.rows[static_cast<std::size_t>(k)];
+  }
+};
+
+// Small tensors sit far below the parallel grain, so every instrumented op
+// runs as one inline chunk and the per-chunk formula is observed verbatim.
+
+TEST_F(ProfTest, ElementwiseAddAccounting) {
+  const Tensor a = Filled(4, 8);
+  const Tensor b = Filled(4, 8, 2.0f);
+  (void)Add(a, b);
+  const KernelProfileRow row = Row(ProfKernel::kElementwise);
+  const int64_t m = 4 * 8;
+  EXPECT_EQ(row.calls, 1);
+  EXPECT_EQ(row.bytes_read, 2 * m * kF);  // two operand arrays
+  EXPECT_EQ(row.bytes_written, m * kF);
+  EXPECT_EQ(row.flops, m);  // one add per element
+}
+
+TEST_F(ProfTest, AddInPlaceCountsReadModifyWrite) {
+  Tensor a = Filled(5, 6);
+  const Tensor b = Filled(5, 6, 3.0f);
+  AddInPlace(a, b);
+  const KernelProfileRow row = Row(ProfKernel::kElementwise);
+  const int64_t m = 5 * 6;
+  EXPECT_EQ(row.calls, 1);
+  // The destination is read-modify-write: counted on both sides.
+  EXPECT_EQ(row.bytes_read, 2 * m * kF);
+  EXPECT_EQ(row.bytes_written, m * kF);
+  EXPECT_EQ(row.flops, m);
+}
+
+TEST_F(ProfTest, ColSumCountsAccumulatorOnWriteSideOnly) {
+  const Tensor a = Filled(4, 6);
+  (void)ColSum(a);
+  const KernelProfileRow row = Row(ProfKernel::kElementwise);
+  EXPECT_EQ(row.calls, 1);
+  EXPECT_EQ(row.bytes_read, a.numel() * kF);
+  EXPECT_EQ(row.bytes_written, a.cols() * kF);  // the segment_reduce convention
+  EXPECT_EQ(row.flops, a.numel());
+}
+
+TEST_F(ProfTest, RowSoftmaxCountsFiveNominalFlopsPerElement) {
+  const Tensor a = Filled(3, 5);
+  (void)RowSoftmax(a);
+  const KernelProfileRow row = Row(ProfKernel::kRowSoftmax);
+  const int64_t m = 3 * 5;
+  EXPECT_EQ(row.calls, 1);
+  EXPECT_EQ(row.bytes_read, m * kF);
+  EXPECT_EQ(row.bytes_written, m * kF);
+  // max compare, subtract, exp (counted as one), sum accumulate, scale.
+  EXPECT_EQ(row.flops, 5 * m);
+}
+
+TEST_F(ProfTest, GatherRowsCountsIndexBytes) {
+  const Tensor x = Filled(6, 4);
+  const std::vector<uint32_t> index = {5, 0, 3};
+  (void)GatherRows(x, index);
+  const KernelProfileRow row = Row(ProfKernel::kRowCopy);
+  const int64_t r = 3;
+  const int64_t d = 4;
+  EXPECT_EQ(row.calls, 1);
+  EXPECT_EQ(row.bytes_read, r * (d * kF + kIdx));  // rows plus the index entries
+  EXPECT_EQ(row.bytes_written, r * d * kF);
+  EXPECT_EQ(row.flops, 0);  // pure movement
+}
+
+TEST_F(ProfTest, WorkspaceFillAndCopyAccounting) {
+  const Tensor zeroed = WsTensor(4, 4);
+  const KernelProfileRow after_fill = Row(ProfKernel::kRowCopy);
+  EXPECT_EQ(after_fill.calls, 1);
+  EXPECT_EQ(after_fill.bytes_read, 0);  // a zero fill is pure stores
+  EXPECT_EQ(after_fill.bytes_written, 16 * kF);
+
+  (void)WsTensorCopy(zeroed);
+  const KernelProfileRow after_copy = Row(ProfKernel::kRowCopy);
+  EXPECT_EQ(after_copy.calls, 2);
+  EXPECT_EQ(after_copy.bytes_read, 16 * kF);
+  EXPECT_EQ(after_copy.bytes_written, 32 * kF);
+}
+
+TEST_F(ProfTest, SgdStepAccounting) {
+  Variable p = Variable::Leaf(Filled(2, 3), /*requires_grad=*/true);
+  p.grad() = Filled(2, 3, 0.5f);  // materialize outside the measured window
+  std::vector<Variable> params = {p};
+  KernelProfiler::Get().Reset();
+
+  SgdOptimizer opt(/*lr=*/0.1f, /*weight_decay=*/0.0f);
+  opt.Step(params);
+  const int64_t n = 2 * 3;
+  KernelProfileRow row = Row(ProfKernel::kElementwise);
+  EXPECT_EQ(row.calls, 1);
+  EXPECT_EQ(row.bytes_read, 2 * n * kF);  // grad + current value
+  EXPECT_EQ(row.bytes_written, n * kF);
+  EXPECT_EQ(row.flops, 2 * n);  // scale + subtract
+
+  // Weight decay adds a multiply-add per element.
+  KernelProfiler::Get().Reset();
+  SgdOptimizer decay(/*lr=*/0.1f, /*weight_decay=*/0.01f);
+  decay.Step(params);
+  row = Row(ProfKernel::kElementwise);
+  EXPECT_EQ(row.flops, 4 * n);
+}
+
+TEST_F(ProfTest, UntimedScopeRecordsNothing) {
+  {
+    TimedKernelScope scope(ProfKernel::kElementwise, 100, 100, 100, /*enabled=*/false);
+  }
+  const KernelProfileRow row = Row(ProfKernel::kElementwise);
+  EXPECT_EQ(row.calls, 0);
+  EXPECT_EQ(row.bytes_read, 0);
+}
+
+// A mixed workload's analytic counters replay bit-identically: they are
+// integer sums derived from shapes, never from measurement.
+TEST_F(ProfTest, AccountingIsDeterministicAcrossRuns) {
+  const auto workload = [] {
+    const Tensor a = Filled(7, 9);
+    const Tensor b = Filled(7, 9, 2.0f);
+    const Tensor w = Filled(9, 5);
+    Tensor sum = Add(a, b);
+    AddInPlace(sum, a);
+    (void)MatMul(sum, w);
+    (void)RowSoftmax(Filled(4, 6));
+    const std::vector<uint32_t> index = {6, 2, 2, 0};
+    (void)GatherRows(a, index);
+  };
+
+  struct Work {
+    int64_t calls, br, bw, fl;
+  };
+  const auto snapshot = [] {
+    std::vector<Work> out;
+    for (const KernelProfileRow& row : KernelProfiler::Get().Aggregate().rows) {
+      out.push_back(Work{row.calls, row.bytes_read, row.bytes_written, row.flops});
+    }
+    return out;
+  };
+
+  workload();
+  const std::vector<Work> first = snapshot();
+  KernelProfiler::Get().Reset();
+  workload();
+  const std::vector<Work> second = snapshot();
+
+  ASSERT_EQ(first.size(), second.size());
+  int64_t total_calls = 0;
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].calls, second[i].calls) << "kernel " << i;
+    EXPECT_EQ(first[i].br, second[i].br) << "kernel " << i;
+    EXPECT_EQ(first[i].bw, second[i].bw) << "kernel " << i;
+    EXPECT_EQ(first[i].fl, second[i].fl) << "kernel " << i;
+    total_calls += first[i].calls;
+  }
+  EXPECT_GT(total_calls, 0);
+}
+
+// FLEXGRAPH_PERF=off must resolve to the software fallback silently (the
+// warning is reserved for a *failed* probe) and leave the analytic counters
+// untouched.
+TEST_F(ProfTest, PerfOffFallsBackSilentlyWithIdenticalAccounting) {
+  const auto workload = [] {
+    const Tensor a = Filled(6, 8);
+    Tensor sum = Add(a, a);
+    AddInPlace(sum, a);
+    (void)RowSoftmax(sum);
+  };
+
+  setenv("FLEXGRAPH_PERF", "off", 1);
+  ResetPerfAvailabilityForTest();
+  const int64_t warnings_before = PerfWarningCountForTest();
+  EXPECT_FALSE(PerfCountersEnabled());
+  ASSERT_NE(PerfDisabledReason(), nullptr);
+  EXPECT_STREQ(PerfDisabledReason(), "FLEXGRAPH_PERF=off");
+  // Env-off is a choice, not a failure: no warning.
+  EXPECT_EQ(PerfWarningCountForTest(), warnings_before);
+
+  // Counter groups degrade to unavailable and read all-zero samples.
+  PerfCounterGroup group;
+  EXPECT_FALSE(group.available());
+  const PerfSample sample = group.Read();
+  EXPECT_FALSE(sample.has_cycles);
+  EXPECT_EQ(sample.cycles, 0u);
+
+  workload();
+  const ProfilerReport off_report = KernelProfiler::Get().Aggregate();
+
+  // Same workload with availability re-resolved without the override. In a
+  // container the probe may fail (warning allowed, but at most one per
+  // process); either way the analytic columns must not move.
+  unsetenv("FLEXGRAPH_PERF");
+  ResetPerfAvailabilityForTest();
+  (void)PerfCountersEnabled();
+  KernelProfiler::Get().Reset();
+  workload();
+  const ProfilerReport on_report = KernelProfiler::Get().Aggregate();
+  EXPECT_LE(PerfWarningCountForTest(), 1);
+
+  for (std::size_t i = 0; i < off_report.rows.size(); ++i) {
+    EXPECT_EQ(off_report.rows[i].calls, on_report.rows[i].calls) << "kernel " << i;
+    EXPECT_EQ(off_report.rows[i].bytes_read, on_report.rows[i].bytes_read)
+        << "kernel " << i;
+    EXPECT_EQ(off_report.rows[i].bytes_written, on_report.rows[i].bytes_written)
+        << "kernel " << i;
+    EXPECT_EQ(off_report.rows[i].flops, on_report.rows[i].flops) << "kernel " << i;
+  }
+
+  setenv("FLEXGRAPH_PERF", "off", 1);  // leave a known state for later tests
+  ResetPerfAvailabilityForTest();
+}
+
+TEST_F(ProfTest, EveryKernelHasAName) {
+  for (int k = 0; k < kNumProfKernels; ++k) {
+    const char* name = ProfKernelName(static_cast<ProfKernel>(k));
+    ASSERT_NE(name, nullptr);
+    EXPECT_GT(std::strlen(name), 0u) << "kernel " << k;
+  }
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace flexgraph

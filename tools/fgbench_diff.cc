@@ -1,0 +1,326 @@
+// fgbench_diff — the bench regression gate.
+//
+// Compares two BENCH_*.json snapshots (the metric-registry export written by
+// BenchReporter / flexgraph_train --metrics-json) and exits non-zero when any
+// compared metric in the current file drifted more than a relative threshold
+// from the baseline.
+//
+//   fgbench_diff [flags] <baseline.json> <current.json>
+//
+//   --threshold PCT   allowed relative drift in percent (default 15)
+//   --keys P[,P...]   only compare flattened keys starting with one of these
+//                     prefixes (default: all keys)
+//   --ignore S[,S...] skip flattened keys containing one of these substrings
+//                     (substring, not prefix: ".wall_seconds" prunes the
+//                     measured column from every kernel at once)
+//   --list            print every compared key with both values and its drift
+//
+// Flattened key space: counters and gauges keep their registry name;
+// histogram fields become "<name>.count", "<name>.sum", "<name>.min",
+// "<name>.max", "<name>.p50", "<name>.p95", "<name>.p99".
+//
+// Gate policy:
+//   * |current - baseline| > threshold * max(|baseline|, 1e-12)  → FAIL
+//   * key present in baseline but missing from current           → FAIL
+//   * key only in current (new metric)                           → note, pass
+//
+// CI keys the gate on the profiler's analytic counters
+// (prof.<kernel>.bytes_read / bytes_written / flops / calls), which are
+// deterministic for a pinned FLEXGRAPH_SCALE / FLEXGRAPH_EPOCHS /
+// FLEXGRAPH_NUM_THREADS — never on seconds, which a noisy shared runner can
+// move by far more than any real regression.
+//
+// The parser below handles exactly the registry's writer output (two-level
+// object of string→number / string→flat-object, no arrays, no nesting beyond
+// that) so the tool has no third-party JSON dependency.
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Parser {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  explicit Parser(const std::string& text) : s(text) {}
+
+  void SkipWs() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) {
+      ++i;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    ok = false;
+    return false;
+  }
+
+  bool Peek(char c) {
+    SkipWs();
+    return i < s.size() && s[i] == c;
+  }
+
+  std::string ParseString() {
+    SkipWs();
+    std::string out;
+    if (i >= s.size() || s[i] != '"') {
+      ok = false;
+      return out;
+    }
+    ++i;
+    while (i < s.size() && s[i] != '"') {
+      if (s[i] == '\\' && i + 1 < s.size()) {
+        ++i;
+        switch (s[i]) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          default: out.push_back(s[i]); break;
+        }
+      } else {
+        out.push_back(s[i]);
+      }
+      ++i;
+    }
+    if (i >= s.size()) {
+      ok = false;
+      return out;
+    }
+    ++i;  // closing quote
+    return out;
+  }
+
+  double ParseNumber() {
+    SkipWs();
+    const char* start = s.c_str() + i;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start) {
+      ok = false;
+      return 0.0;
+    }
+    i += static_cast<std::size_t>(end - start);
+    return v;
+  }
+};
+
+using FlatMetrics = std::map<std::string, double>;
+
+// Parses the registry export into the flattened key space documented above.
+bool ParseMetricsJson(const std::string& text, FlatMetrics& out, std::string& error) {
+  Parser p(text);
+  if (!p.Consume('{')) {
+    error = "expected top-level object";
+    return false;
+  }
+  while (p.ok && !p.Peek('}')) {
+    const std::string section = p.ParseString();
+    p.Consume(':');
+    if (!p.Consume('{')) {
+      error = "section '" + section + "' is not an object";
+      return false;
+    }
+    while (p.ok && !p.Peek('}')) {
+      const std::string name = p.ParseString();
+      p.Consume(':');
+      if (p.Peek('{')) {
+        // Histogram: flat object of numeric fields.
+        p.Consume('{');
+        while (p.ok && !p.Peek('}')) {
+          const std::string field = p.ParseString();
+          p.Consume(':');
+          out[name + "." + field] = p.ParseNumber();
+          if (!p.Peek('}')) {
+            p.Consume(',');
+          }
+        }
+        p.Consume('}');
+      } else {
+        out[name] = p.ParseNumber();
+      }
+      if (!p.Peek('}')) {
+        p.Consume(',');
+      }
+    }
+    p.Consume('}');
+    if (!p.Peek('}')) {
+      p.Consume(',');
+    }
+  }
+  p.Consume('}');
+  if (!p.ok) {
+    error = "malformed JSON near offset " + std::to_string(p.i);
+    return false;
+  }
+  return true;
+}
+
+bool ReadFile(const std::string& path, std::string& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+std::vector<std::string> SplitCsv(const std::string& arg) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const std::size_t comma = arg.find(',', start);
+    const std::string piece = arg.substr(start, comma - start);
+    if (!piece.empty()) {
+      out.push_back(piece);
+    }
+    if (comma == std::string::npos) {
+      break;
+    }
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool MatchesAny(const std::string& key, const std::vector<std::string>& prefixes) {
+  for (const std::string& p : prefixes) {
+    if (key.compare(0, p.size(), p) == 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ContainsAny(const std::string& key, const std::vector<std::string>& subs) {
+  for (const std::string& s : subs) {
+    if (key.find(s) != std::string::npos) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Usage() {
+  std::fprintf(stderr,
+               "usage: fgbench_diff [--threshold PCT] [--keys P[,P...]] "
+               "[--ignore P[,P...]] [--list] <baseline.json> <current.json>\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double threshold_pct = 15.0;
+  std::vector<std::string> key_prefixes;
+  std::vector<std::string> ignore_prefixes;
+  bool list = false;
+  std::vector<std::string> positional;
+
+  for (int a = 1; a < argc; ++a) {
+    const std::string arg = argv[a];
+    if (arg == "--threshold" && a + 1 < argc) {
+      threshold_pct = std::strtod(argv[++a], nullptr);
+    } else if (arg == "--keys" && a + 1 < argc) {
+      key_prefixes = SplitCsv(argv[++a]);
+    } else if (arg == "--ignore" && a + 1 < argc) {
+      ignore_prefixes = SplitCsv(argv[++a]);
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "fgbench_diff: unknown flag %s\n", arg.c_str());
+      Usage();
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() != 2 || threshold_pct < 0.0) {
+    Usage();
+    return 2;
+  }
+
+  FlatMetrics baseline;
+  FlatMetrics current;
+  for (int which = 0; which < 2; ++which) {
+    const std::string& path = positional[static_cast<std::size_t>(which)];
+    std::string text;
+    std::string error;
+    if (!ReadFile(path, text, error) ||
+        !ParseMetricsJson(text, which == 0 ? baseline : current, error)) {
+      std::fprintf(stderr, "fgbench_diff: %s: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+  }
+
+  const double threshold = threshold_pct / 100.0;
+  int regressions = 0;
+  int compared = 0;
+  int added = 0;
+
+  for (const auto& [key, base] : baseline) {
+    if (!key_prefixes.empty() && !MatchesAny(key, key_prefixes)) {
+      continue;
+    }
+    if (ContainsAny(key, ignore_prefixes)) {
+      continue;
+    }
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::fprintf(stderr, "FAIL %-60s missing from current\n", key.c_str());
+      ++regressions;
+      continue;
+    }
+    ++compared;
+    const double cur = it->second;
+    const double denom = std::max(std::fabs(base), 1e-12);
+    const double drift = std::fabs(cur - base) / denom;
+    const bool fail = drift > threshold;
+    if (fail) {
+      std::fprintf(stderr, "FAIL %-60s baseline=%.9g current=%.9g drift=%.2f%%\n",
+                   key.c_str(), base, cur, drift * 100.0);
+      ++regressions;
+    } else if (list) {
+      std::printf("ok   %-60s baseline=%.9g current=%.9g drift=%.2f%%\n", key.c_str(),
+                  base, cur, drift * 100.0);
+    }
+  }
+  for (const auto& [key, cur] : current) {
+    if (!key_prefixes.empty() && !MatchesAny(key, key_prefixes)) {
+      continue;
+    }
+    if (ContainsAny(key, ignore_prefixes)) {
+      continue;
+    }
+    if (baseline.find(key) == baseline.end()) {
+      ++added;
+      if (list) {
+        std::printf("new  %-60s current=%.9g (not in baseline)\n", key.c_str(), cur);
+      }
+    }
+  }
+
+  std::printf("fgbench_diff: %d compared, %d regression%s, %d new, threshold ±%.1f%%\n",
+              compared, regressions, regressions == 1 ? "" : "s", added, threshold_pct);
+  if (compared == 0 && regressions == 0) {
+    std::fprintf(stderr, "fgbench_diff: no keys matched the filters\n");
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}

@@ -221,6 +221,18 @@ const std::vector<TokenRule>& TokenRules() {
                    rel != "src/util/logging.h";
           },
       },
+      {
+          "clock-source",
+          {"clock_gettime", "steady_clock", "system_clock",
+           "high_resolution_clock", "gettimeofday", "rdtsc", "__rdtsc",
+           "_rdtsc", "QueryPerformanceCounter"},
+          {},
+          "read time through obs::MonotonicNowNs / obs::ProcessCpuNowNs "
+          "(src/obs/clock.h) so every timestamp shares one clock domain",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel.rfind("src/obs/", 0) != 0;
+          },
+      },
   };
   return rules;
 }

@@ -1,0 +1,23 @@
+// Fixture: direct clock reads outside src/obs — every line below must fire.
+#include <chrono>
+#include <ctime>
+
+double WallSecondsA() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<double>(ts.tv_sec);
+}
+
+long WallSecondsB() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+long WallSecondsC() {
+  return std::chrono::high_resolution_clock::now().time_since_epoch().count();
+}
+
+long WallSecondsD() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+unsigned long long Ticks() { return __rdtsc(); }

@@ -1,0 +1,19 @@
+// Fixture: the sanctioned ways to read time — none of these may fire.
+#include "src/obs/clock.h"
+#include "src/util/timer.h"
+
+double WallSeconds() {
+  flexgraph::WallTimer timer;
+  return timer.ElapsedSeconds();
+}
+
+long MonotonicNs() { return flexgraph::obs::MonotonicNowNs(); }
+
+long CpuNs() { return flexgraph::obs::ProcessCpuNowNs(); }
+
+// A waived direct read keeps working under the escape hatch.
+long Waived() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // fglint-allow: clock-source
+  return ts.tv_nsec;
+}

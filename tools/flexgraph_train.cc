@@ -13,7 +13,7 @@
 //                   [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]
 //                   [--seed 7]
 //                   [--metrics-json path] [--metrics-csv path] [--trace path]
-//                   [--metrics-every n] [--verify-plan]
+//                   [--metrics-every n] [--verify-plan] [--profile]
 //
 // With --workers > 1 training runs on the simulated distributed runtime and
 // reports per-epoch makespans; otherwise the single-machine engine trains
@@ -44,6 +44,13 @@
 // writes Chrome trace-event JSON (open in chrome://tracing or Perfetto), and
 // --metrics-every N re-prints the stage-breakdown table every N epochs. A
 // final stage-breakdown table is always printed.
+//
+// Profiling (README.md "Profiling"): --profile swaps the SIMD dispatch for
+// the kernel profiler's shim table — every kernel invocation is attributed
+// with analytic bytes/FLOPs and, where perf_event_open is available,
+// hardware counters — and prints an end-of-run per-kernel table positioned
+// against a measured roofline. Kernel results are unchanged; only wall time
+// is affected (row primitives are accounted without timing).
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -68,6 +75,7 @@
 #include "src/models/pgnn.h"
 #include "src/models/pinsage.h"
 #include "src/obs/metrics.h"
+#include "src/obs/prof.h"
 #include "src/obs/trace.h"
 #include "src/util/table_printer.h"
 
@@ -99,6 +107,7 @@ struct CliOptions {
   std::string trace;
   int metrics_every = 0;
   bool verify_plan = false;
+  bool profile = false;
 };
 
 // Prints the per-stage breakdown (Table 4 shape) from the metric registry:
@@ -170,6 +179,17 @@ void PrintStageBreakdown() {
                      std::string(simd::IsaName(simd::ActiveIsa())) + " (cpu max " +
                          simd::IsaName(simd::DetectIsa()) + ")"});
   exec_table.AddRow({"plan compiles", std::to_string(counter("exec.plan_compiles"))});
+  const int64_t cache_hits = counter("exec.plan_cache_hits");
+  const int64_t cache_misses = counter("exec.plan_cache_misses");
+  if (cache_hits + cache_misses > 0) {
+    exec_table.AddRow({"plan cache hits",
+                       std::to_string(cache_hits) + " / " +
+                           std::to_string(cache_hits + cache_misses) + " (" +
+                           TablePrinter::Num(100.0 * static_cast<double>(cache_hits) /
+                                                 static_cast<double>(cache_hits + cache_misses),
+                                             1) +
+                           "%)"});
+  }
   exec_table.AddRow({"plan compile seconds", TablePrinter::Num(compile_seconds, 4)});
   exec_table.AddRow(
       {"arena planned KiB", TablePrinter::Num(gauge("exec.planned_bytes") / 1024.0, 1)});
@@ -181,6 +201,75 @@ void PrintStageBreakdown() {
   exec_table.AddRow({"kernel heap allocs", std::to_string(counter("exec.alloc_count"))});
   std::printf("\n== planned execution (exec.*) ==\n");
   exec_table.Print(std::cout);
+}
+
+// Prints the --profile per-kernel table: calls, wall time, achieved GB/s and
+// GFLOP/s, arithmetic intensity, hardware cycles, position against the
+// measured roofline, and each kernel's share of the instrumented kernel-stage
+// time. Row primitives (per-edge add/axpy/...) carry work accounting but no
+// clock — their rate columns print "-".
+void PrintKernelProfile() {
+  const obs::ProfilerReport report = obs::KernelProfiler::Get().Aggregate();
+  const obs::MetricsSnapshot snap = obs::MetricRegistry::Get().Snapshot();
+  // Denominator for the share column: CPU seconds of the stages whose inner
+  // loops are the profiled kernels. CPU, not wall: kernel scopes run per
+  // chunk on the pool workers and sum busy time across threads, so comparing
+  // them against wall-clock stage time would read >100% on any parallel run.
+  // The modeled dist.worker_* times are simulation outputs, not measurements,
+  // and stay out of the denominator.
+  double stage_seconds = 0.0;
+  for (const char* name :
+       {"nau.aggregation_cpu_seconds", "nau.update_cpu_seconds",
+        "nau.loss_cpu_seconds", "nau.backward_cpu_seconds",
+        "nau.optimize_cpu_seconds"}) {
+    auto it = snap.histograms.find(name);
+    if (it != snap.histograms.end()) {
+      stage_seconds += it->second.sum;
+    }
+  }
+
+  TablePrinter table({"Kernel", "calls", "wall s", "GB/s", "GFLOP/s", "FLOP/B", "Mcycles",
+                      "roof%", "% stages"});
+  for (const obs::KernelProfileRow& row : report.rows) {
+    if (row.calls == 0) {
+      continue;
+    }
+    const bool timed = row.timed_calls > 0;
+    const bool have_roof = timed && report.roofline.mem_bw_gbps > 0.0;
+    table.AddRow(
+        {row.name, std::to_string(row.calls),
+         timed ? TablePrinter::Num(row.wall_seconds, 4) : "-",
+         timed ? TablePrinter::Num(row.achieved_gbps(), 2) : "-",
+         timed ? TablePrinter::Num(row.achieved_gflops(), 2) : "-",
+         TablePrinter::Num(row.intensity(), 3),
+         row.perf_samples > 0
+             ? TablePrinter::Num(static_cast<double>(row.cycles) / 1e6, 1)
+             : "-",
+         have_roof ? TablePrinter::Num(100.0 * row.roofline_fraction(report.roofline), 1) + "%"
+                   : "-",
+         timed && stage_seconds > 0.0
+             ? TablePrinter::Num(100.0 * row.wall_seconds / stage_seconds, 1) + "%"
+             : "-"});
+  }
+  std::printf("\n== kernel profile (--profile) ==\n");
+  table.Print(std::cout);
+  if (report.roofline.mem_bw_gbps > 0.0) {
+    std::printf("roofline: %.2f GB/s memory (STREAM triad), %.2f GFLOP/s compute "
+                "(L1 multiply-add)\n",
+                report.roofline.mem_bw_gbps, report.roofline.compute_gflops);
+  }
+  if (report.perf_available) {
+    std::printf("hardware counters: perf_event_open\n");
+  } else {
+    std::printf("hardware counters: unavailable (%s) — software fallback\n",
+                report.perf_disabled_reason != nullptr ? report.perf_disabled_reason
+                                                       : "unknown");
+  }
+  if (stage_seconds > 0.0) {
+    std::printf("attributed %.4fs of %.4fs kernel-stage CPU time (%.1f%%)\n",
+                report.timed_wall_seconds, stage_seconds,
+                100.0 * report.timed_wall_seconds / stage_seconds);
+  }
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions& opts) {
@@ -240,6 +329,9 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.metrics_every = std::atoi(value);
     } else if (arg == "--verify-plan") {
       opts.verify_plan = true;
+      continue;
+    } else if (arg == "--profile") {
+      opts.profile = true;
       continue;
     } else if (arg == "--help" || arg == "-h") {
       return false;
@@ -599,11 +691,15 @@ int main(int argc, char** argv) {
                  "                       [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]\n"
                  "                       [--metrics-json PATH] [--metrics-csv PATH]\n"
                  "                       [--trace PATH] [--metrics-every N]\n"
-                 "                       [--verify-plan]\n");
+                 "                       [--verify-plan] [--profile]\n");
     return 1;
   }
   if (!opts.trace.empty()) {
     flexgraph::obs::Tracer::Get().Enable(true);
+  }
+  if (opts.profile) {
+    // Before the run so the roofline probe's traffic never overlaps training.
+    flexgraph::simd::SetKernelProfiling(true);
   }
   if (opts.threads > 0) {
     flexgraph::exec::SetNumThreads(opts.threads);
@@ -620,6 +716,13 @@ int main(int argc, char** argv) {
   flexgraph::GnnModel model = BuildModel(opts, ds, model_rng);
   int rc = opts.workers > 1 ? RunDistributed(opts, ds, model)
                             : RunSingleMachine(opts, ds, model);
+  if (opts.profile) {
+    // Export before FinishObservability so prof.* rows land in the metrics
+    // JSON/CSV and the counter tracks in the Chrome trace.
+    obs::KernelProfiler::Get().ExportMetrics();
+    obs::KernelProfiler::Get().ExportTraceCounters();
+    PrintKernelProfile();
+  }
   if (!FinishObservability(opts) && rc == 0) {
     rc = 1;
   }
