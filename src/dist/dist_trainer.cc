@@ -5,6 +5,7 @@
 
 #include "src/core/neighbor_selection.h"
 #include "src/dist/checkpoint.h"
+#include "src/dist/supervisor.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/tensor/ops_dense.h"
@@ -18,19 +19,28 @@ DistributedTrainer::DistributedTrainer(const CsrGraph& graph, Partitioning parts
                                        DistTrainConfig config)
     : graph_(graph), parts_(std::move(parts)), config_(config), engine_(graph) {
   FLEX_CHECK_EQ(parts_.owner.size(), static_cast<std::size_t>(graph_.num_vertices()));
+  ValidateNetworkModel(config_.network);
   worker_roots_.resize(parts_.num_parts);
   for (VertexId v = 0; v < graph_.num_vertices(); ++v) {
     worker_roots_[parts_.owner[v]].push_back(v);
   }
 }
 
+// Out of line for the forward-declared SocketCluster's destructor.
+DistributedTrainer::~DistributedTrainer() = default;
+
 DistTrainEpochResult DistributedTrainer::TrainEpoch(const GnnModel& model,
                                                     const Tensor& features,
                                                     const std::vector<uint32_t>& labels,
                                                     Rng& rng) {
   const int64_t epoch = epoch_index_++;
+  // The modeled rollback-and-re-execute crash only applies to the modeled
+  // backend: re-executing an epoch would step the socket replicas twice.
+  // Socket-backend faults are real kills, handled inside the gradient sync.
   std::optional<CrashPlan> crash =
-      config_.fault != nullptr ? config_.fault->NextCrash(epoch) : std::nullopt;
+      (config_.fault != nullptr && config_.backend == DistBackend::kModeled)
+          ? config_.fault->NextCrash(epoch)
+          : std::nullopt;
 
   DistTrainEpochResult result;
   if (!crash.has_value()) {
@@ -100,30 +110,48 @@ DistTrainEpochResult DistributedTrainer::ExecuteEpoch(const GnnModel& model,
   WallTimer timer;
 
   // Synchronous data-parallel training with identical replicas optimizes the
-  // union objective Σ_w (|roots_w|/n)·L_w(θ); execute it once and model the
-  // distribution (header comment).
+  // union objective, so evaluate its canonical form — the same
+  // AgSoftmaxCrossEntropy over all vertices that Engine::TrainEpoch uses.
+  // One summation order, independent of the partitioning: the loss is bitwise
+  // identical to single-machine training and unchanged by root migration
+  // (header comment).
   StageTimes times;
   const Hdg& hdg = engine_.EnsureHdg(model, rng, &times);
   Variable logits = engine_.Forward(model, hdg, features, &times);
 
   const double n = static_cast<double>(graph_.num_vertices());
-  Variable total_loss;
-  for (const auto& roots : worker_roots_) {
-    if (roots.empty()) {
-      continue;
-    }
-    Variable worker_loss = MaskedSoftmaxCrossEntropy(logits, roots, labels);
-    Variable weighted = AgScale(worker_loss, static_cast<float>(roots.size() / n));
-    total_loss = total_loss.defined() ? AgAdd(total_loss, weighted) : weighted;
-  }
-  FLEX_CHECK(total_loss.defined());
+  Variable total_loss = AgSoftmaxCrossEntropy(logits, labels);
   result.loss = total_loss.value().At(0, 0);
 
   total_loss.Backward();
   std::vector<Variable> params = model.Parameters();
+  if (config_.backend == DistBackend::kSocket) {
+    if (cluster_ == nullptr) {
+      // Fork the replicas now, pre-step: every child inherits exactly the
+      // parameter state the supervisor is about to step from.
+      SocketCluster::Config cluster_config;
+      cluster_config.strategy = ExecStrategy::kHybrid;
+      cluster_config.network = config_.network;
+      cluster_config.fault = config_.fault;
+      cluster_config.retry = config_.retry;
+      cluster_ = std::make_unique<SocketCluster>(graph_, &parts_, cluster_config);
+      cluster_->Start(model, features);
+    }
+    // Ship the gradients before stepping locally: the replicas' steps overlap
+    // the supervisor's, and both run the identical SgdOptimizer code path.
+    cluster_->BroadcastGradients(model, config_.learning_rate, epoch);
+  }
   SgdOptimizer opt(config_.learning_rate);
   opt.Step(params);
   SgdOptimizer::ZeroGrad(params);
+  if (cluster_ != nullptr) {
+    const SocketCluster::GradSyncResult sync = cluster_->AwaitParamsAcks(model, epoch);
+    if (sync.workers_killed > 0) {
+      result.crashes_recovered += sync.workers_killed;
+      result.recovery_seconds += sync.detection_seconds;
+      FLEX_COUNTER_ADD("dist.train_recoveries", sync.workers_killed);
+    }
+  }
 
   // Timing: the epoch's compute parallelizes across workers; the straggler
   // carries proportionally more roots than average — and an injected

@@ -1,18 +1,20 @@
-// Data-parallel distributed training over the simulated workers.
+// Data-parallel distributed training over the distributed workers.
 //
-// Every worker holds a replica of the model parameters and computes, per
-// epoch, the masked loss over *its own roots* using the full forward pass
-// (aggregation reads the globally synchronized previous-layer features, as in
-// RunEpoch). Gradients flow through the worker's own compute graph — like
-// real distributed GNN training, gradients w.r.t. remote vertices' features
-// are serviced by the workers owning those vertices, which here falls out of
-// every worker back-propagating its own loss share — and parameter gradients
-// are averaged (simulated ring allreduce) before the optimizer step, so all
-// replicas stay bit-identical.
+// Every worker holds a replica of the model parameters; per epoch the
+// synchronized cluster optimizes the union objective — the softmax
+// cross-entropy over ALL vertices, exactly the loss Engine::TrainEpoch
+// computes. Because identical replicas with synchronized gradients make the
+// per-worker decomposition Σ_w (|roots_w|/n)·L_w(θ) and the union loss the
+// same objective, the trainer evaluates the *canonical* union form: one
+// forward pass, one loss, one backward. That makes the loss trajectory
+// bitwise identical to single-machine training AND independent of the
+// partitioning — which is what lets fault recovery migrate roots without
+// perturbing a single bit of the trajectory (the tests assert both).
 //
-// The result is *exactly* equivalent to single-machine training on the union
-// loss: Σ_w L_w(θ) / k with identical replicas is the same objective, and the
-// tests assert the loss trajectory matches the single-machine engine's.
+// On the modeled backend the gradient allreduce is priced with NetworkModel;
+// on the socket backend the gradients are additionally broadcast to N real
+// worker processes that each apply the identical optimizer step to their own
+// replica and ack with a parameter CRC the supervisor verifies.
 //
 // Fault tolerance: every epoch is a transaction against the last epoch
 // boundary. With a fault schedule configured, a worker crash rolls the model
@@ -25,19 +27,30 @@
 #ifndef SRC_DIST_DIST_TRAINER_H_
 #define SRC_DIST_DIST_TRAINER_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "src/core/trainer.h"
 #include "src/dist/network_model.h"
+#include "src/dist/transport.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/retry.h"
 #include "src/partition/partition.h"
 
 namespace flexgraph {
 
+class SocketCluster;
+
 struct DistTrainConfig {
   float learning_rate = 0.1f;
+  // kModeled executes the canonical step in-process and models the allreduce;
+  // kSocket additionally keeps one real parameter replica per forked worker
+  // process in sync: gradients broadcast over Unix sockets, every replica
+  // runs the identical SGD step, and each acks with a parameter CRC the
+  // supervisor verifies — so replica divergence fails loudly. The loss
+  // trajectory is bitwise identical across backends (dist_test asserts it).
+  DistBackend backend = DistBackend::kModeled;
   NetworkModel network;
   // Deterministic fault schedule (not owned; nullptr = fault-free).
   FaultInjector* fault = nullptr;
@@ -65,7 +78,12 @@ struct DistTrainEpochResult {
 
 class DistributedTrainer {
  public:
+  // Validates config.network; the socket backend's worker processes are
+  // forked lazily inside the first TrainEpoch, after the forward pass and
+  // before the first optimizer step, so every replica starts from the same
+  // parameter state the supervisor steps from.
   DistributedTrainer(const CsrGraph& graph, Partitioning parts, DistTrainConfig config);
+  ~DistributedTrainer();
 
   uint32_t num_workers() const { return parts_.num_parts; }
 
@@ -86,6 +104,8 @@ class DistributedTrainer {
   const CsrGraph& graph_;
   Partitioning parts_;
   DistTrainConfig config_;
+  // Socket backend only: the replica process group, forked on first use.
+  std::unique_ptr<SocketCluster> cluster_;
   Engine engine_;  // owns the HDG cache across epochs
   std::vector<std::vector<uint32_t>> worker_roots_;
   int64_t epoch_index_ = 0;  // epochs started, for fault-schedule lookup

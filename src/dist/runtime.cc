@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "src/dist/supervisor.h"
 #include "src/fault/recovery.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
@@ -35,7 +36,12 @@ DistributedRuntime::DistributedRuntime(const CsrGraph& graph, Partitioning parts
     : graph_(graph), parts_(std::move(parts)), config_(config) {
   FLEX_CHECK_EQ(parts_.owner.size(), static_cast<std::size_t>(graph_.num_vertices()));
   FLEX_CHECK_GE(parts_.num_parts, 1u);
+  ValidateNetworkModel(config_.network);
+  transport_ = MakeTransport(config_.backend, config_.network);
 }
+
+// Out of line for the forward-declared SocketCluster's destructor.
+DistributedRuntime::~DistributedRuntime() = default;
 
 void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_makespan) {
   FLEX_TRACE_SPAN("dist.prepare", {{"workers", static_cast<double>(parts_.num_parts)}});
@@ -52,29 +58,8 @@ void DistributedRuntime::Prepare(const GnnModel& model, Rng& rng, double* build_
   double makespan = 0.0;
   for (auto& worker : workers_) {
     SetLogWorkerId(static_cast<int>(worker.id));
-    WallTimer timer;
-    if (worker.roots.empty()) {
-      worker.hdg = Hdg();
-      worker.hdg_build_seconds = 0.0;
-      continue;
-    }
-    worker.hdg = BuildHdgForRoots(model, graph_, worker.roots, rng);
-    worker.hdg_build_seconds = timer.ElapsedSeconds();
-    FLEX_HIST_OBSERVE("dist.hdg_build_seconds", worker.hdg_build_seconds);
+    PrepareWorkerState(model, graph_, parts_, config_.strategy, rng, &worker);
     makespan = std::max(makespan, worker.hdg_build_seconds);
-    worker.plan = BuildCommPlan(worker.hdg, parts_, worker.id, &worker.out_refs_by_owner);
-    // Each worker compiles its own execution plan and sizes its own arena —
-    // exactly what a real shared-nothing worker would do. A fault-recovery
-    // re-partition funnels back through Prepare, so migrated roots get fresh
-    // plans automatically.
-    worker.exec_plan = std::make_shared<const ExecutionPlan>(
-        CompileExecutionPlan(model.name, worker.hdg, config_.strategy));
-    worker.workspace = std::make_shared<Workspace>();
-    worker.workspace->Reserve(worker.exec_plan->planned_bytes);
-    FLEX_LOG(Debug) << "HDG built: " << worker.roots.size() << " roots, "
-                    << worker.hdg.num_leaf_refs() << " leaf refs ("
-                    << worker.plan.remote_leaf_refs << " remote) in "
-                    << worker.hdg_build_seconds << "s";
   }
   SetLogWorkerId(kNoLogWorker);
   FLEX_LOG(Debug) << "prepared " << parts_.num_parts
@@ -117,6 +102,25 @@ DistEpochStats DistributedRuntime::RunEpoch(const GnnModel& model, const Tensor&
     epoch = epoch_index_++;
   }
   FLEX_COUNTER_ADD("dist.epochs", 1);
+
+  if (config_.backend == DistBackend::kSocket) {
+    // Real processes: the supervisor drives the same epoch shape over Unix
+    // sockets, including genuine SIGKILL injection and heartbeat-timeout
+    // recovery. The cluster binds the first epoch's model/features (the
+    // children inherit them copy-on-write at fork), so callers must keep
+    // using the same objects — which every trainer and test does.
+    if (cluster_ == nullptr) {
+      SocketCluster::Config cluster_config;
+      cluster_config.strategy = config_.strategy;
+      cluster_config.network = config_.network;
+      cluster_config.fault = config_.fault;
+      cluster_config.retry = config_.retry;
+      cluster_ = std::make_unique<SocketCluster>(graph_, &parts_, cluster_config);
+      cluster_->Start(model, features);
+    }
+    return cluster_->RunForwardEpoch(model, features, rng, epoch, logits_out);
+  }
+
   std::optional<CrashPlan> crash =
       config_.fault != nullptr ? config_.fault->NextCrash(epoch) : std::nullopt;
   if (!crash.has_value()) {
@@ -235,41 +239,17 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
       SetLogWorkerId(static_cast<int>(worker.id));
       FLEX_TRACE_SPAN("dist.worker_execute",
                       {{"worker", static_cast<double>(worker.id)}, {"layer", layer_arg}});
-      AggregationStats agg_stats;
-      HdgAggregator aggregator(worker.hdg, config_.strategy, &agg_stats,
-                               worker.exec_plan.get());
+      WorkerLayerSeconds seconds;
+      const Tensor rows = ExecuteWorkerLayer(*layer, config_.strategy, worker, h_var,
+                                             &seconds);
+      times[worker.id].bottom = seconds.bottom;
+      times[worker.id].rest_agg = seconds.rest_agg;
+      times[worker.id].update = seconds.update;
 
-      // The worker's arena is rewound once per (worker, layer): every tensor
-      // this worker borrowed for the previous layer died with that layer's
-      // `nbr`/`local`/`out` variables, so the slabs can be bump-reused.
-      Variable out;
-      if (worker.workspace != nullptr) {
-        worker.workspace->Reset();
-      }
-      {
-        WorkspaceScope ws_scope(worker.workspace.get());
-        WallTimer agg_timer;
-        Variable nbr = layer->Aggregate(h_var, aggregator);
-        const double agg_seconds = agg_timer.ElapsedSeconds();
-        times[worker.id].bottom = agg_stats.bottom_seconds;
-        times[worker.id].rest_agg = std::max(0.0, agg_seconds - agg_stats.bottom_seconds);
-
-        WallTimer update_timer;
-        std::vector<uint32_t> root_index(worker.roots.begin(), worker.roots.end());
-        Variable local = AgGatherRows(h_var, std::move(root_index));
-        out = layer->Update(local, nbr);
-        times[worker.id].update = update_timer.ElapsedSeconds();
-      }
-
-      // h_next outlives the layer, so it is allocated outside the scope;
-      // out.value() (arena-borrowed) stays valid until this worker's next
-      // Reset, which is at least a layer away.
       if (!h_next_ready) {
-        h_next = Tensor(graph_.num_vertices(), out.cols());
+        h_next = Tensor(graph_.num_vertices(), rows.cols());
         h_next_ready = true;
       }
-      const Tensor& rows = out.value();
-      FLEX_CHECK_EQ(rows.rows(), static_cast<int64_t>(worker.roots.size()));
       for (std::size_t r = 0; r < worker.roots.size(); ++r) {
         std::memcpy(h_next.Row(worker.roots[r]), rows.Row(static_cast<int64_t>(r)),
                     static_cast<std::size_t>(rows.cols()) * sizeof(float));
@@ -389,7 +369,7 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
         const double partial_compute =
             row_rate * static_cast<double>(out_refs_[worker.id] + plan.local_leaf_refs);
         const double comm =
-            config_.network.TransferSeconds(plan.PipelinedBytesIn(d), plan.pp_senders) +
+            transport_->TransferSeconds(plan.PipelinedBytesIn(d), plan.pp_senders) +
             retry_penalty;
         const double merge = row_rate * static_cast<double>(plan.partial_rows_in);
         agg_pp = std::max(partial_compute, comm) + merge + t.rest_agg;
@@ -413,7 +393,7 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
         const double overlap_compute =
             row_rate * static_cast<double>(raw_out_rows_[worker.id] + plan.local_leaf_refs);
         const double comm =
-            config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders) +
+            transport_->TransferSeconds(plan.RawBytesIn(d), plan.raw_senders) +
             retry_penalty;
         const double remote_reduce = row_rate * static_cast<double>(plan.remote_leaf_refs);
         agg_pp = std::max(overlap_compute, comm) + remote_reduce + t.rest_agg;
@@ -440,7 +420,7 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
       // the inbound rows, then run the full bottom reduce — fully serial.
       const double serialize_out = row_rate * static_cast<double>(raw_out_rows_[worker.id]);
       const double raw_comm =
-          config_.network.TransferSeconds(plan.RawBytesIn(d), plan.raw_senders) +
+          transport_->TransferSeconds(plan.RawBytesIn(d), plan.raw_senders) +
           retry_penalty;
       const double agg_raw = serialize_out + raw_comm + t.bottom + t.rest_agg;
       if (!config_.pipeline) {
@@ -531,7 +511,7 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
       const uint64_t ring_bytes =
           2 * param_bytes * (k - 1) / k;  // classic ring allreduce volume per node
       stats.backward_seconds +=
-          config_.network.TransferSeconds(ring_bytes, 2 * (k - 1));
+          transport_->TransferSeconds(ring_bytes, 2 * (k - 1));
       stats.comm_bytes_total += static_cast<double>(ring_bytes) * k;
       FLEX_COUNTER_ADD("dist.comm_bytes", static_cast<int64_t>(ring_bytes) * k);
     }

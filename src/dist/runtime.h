@@ -26,11 +26,14 @@
 #ifndef SRC_DIST_RUNTIME_H_
 #define SRC_DIST_RUNTIME_H_
 
+#include <memory>
 #include <vector>
 
 #include "src/core/engine.h"
 #include "src/dist/comm_plan.h"
 #include "src/dist/network_model.h"
+#include "src/dist/transport.h"
+#include "src/dist/worker_exec.h"
 #include "src/fault/fault_injector.h"
 #include "src/fault/retry.h"
 #include "src/partition/partition.h"
@@ -39,9 +42,17 @@
 
 namespace flexgraph {
 
+class SocketCluster;
+
 struct DistConfig {
   ExecStrategy strategy = ExecStrategy::kHybrid;
   bool pipeline = true;
+  // Which transport executes the epoch: kModeled prices transfers with
+  // NetworkModel on simulated in-process workers (every timeline above);
+  // kSocket forks one real process per worker and moves the same messages
+  // over Unix-domain sockets (src/dist/supervisor.h). Logits are bitwise
+  // identical across backends — the dist_test parity sweep asserts it.
+  DistBackend backend = DistBackend::kModeled;
   NetworkModel network;
   // > 0 enables training-epoch simulation: backward compute is modeled as
   // factor × (aggregation + update) per worker, plus a ring-allreduce of the
@@ -62,20 +73,8 @@ struct DistConfig {
   RetryPolicy retry;
 };
 
-struct WorkerState {
-  uint32_t id = 0;
-  std::vector<VertexId> roots;
-  Hdg hdg;
-  CommPlan plan;
-  std::vector<uint64_t> out_refs_by_owner;  // rows this worker's HDGs pull per owner
-  double hdg_build_seconds = 0.0;
-  // Planned execution state, rebuilt by Prepare alongside the HDG (including
-  // after a fault-recovery re-partition) and reused across epochs: the
-  // compiled level plan and the per-worker arena its partial-aggregation and
-  // update buffers draw from.
-  std::shared_ptr<const ExecutionPlan> exec_plan;
-  std::shared_ptr<Workspace> workspace;
-};
+// WorkerState lives in src/dist/worker_exec.h, shared with the socket
+// backend's worker processes.
 
 struct DistEpochStats {
   double makespan_seconds = 0.0;
@@ -114,7 +113,12 @@ struct DistEpochStats {
 
 class DistributedRuntime {
  public:
+  // Validates config.network (latency_seconds >= 0, bandwidth > 0 — a zero
+  // bandwidth would price every transfer infinite) and builds the selected
+  // transport. The socket backend's worker processes are forked lazily on the
+  // first RunEpoch, so a constructed-but-unused runtime costs nothing.
   DistributedRuntime(const CsrGraph& graph, Partitioning parts, DistConfig config);
+  ~DistributedRuntime();
 
   uint32_t num_workers() const { return parts_.num_parts; }
   const Partitioning& partitioning() const { return parts_; }
@@ -159,6 +163,11 @@ class DistributedRuntime {
   const CsrGraph& graph_;
   Partitioning parts_;
   DistConfig config_;
+  // Prices every modeled transfer; on the socket backend the same pricing
+  // keeps stat fields comparable while the bytes move for real.
+  std::unique_ptr<Transport> transport_;
+  // Socket backend only: the real process group, forked on first use.
+  std::unique_ptr<SocketCluster> cluster_;
   std::vector<WorkerState> workers_;
   std::vector<uint64_t> out_refs_;       // rows worker w pre-reduces for others (PP)
   std::vector<uint64_t> raw_out_rows_;   // distinct rows worker w serializes (raw)

@@ -1,0 +1,78 @@
+// Communication backend abstraction for the distributed runtime (DESIGN.md §15).
+//
+// The runtime's epoch timeline needs one thing from the network: the cost of
+// a transfer. Transport narrows that contract to a single virtual —
+// TransferSeconds — with two implementations:
+//
+//   * ModeledTransport wraps the analytic NetworkModel and preserves the
+//     Fig-13/Fig-15 modeled timelines bit-for-bit (it IS the old direct
+//     config_.network call, one virtual hop away).
+//   * SocketTransport (src/dist/transport_socket.h) moves real bytes between
+//     real worker processes over Unix-domain sockets; its pricing passthrough
+//     keeps the modeled stat fields meaningful while the wire traffic is
+//     genuine.
+//
+// flexgraph_train --backend modeled|socket selects between them; either way
+// the computed features are bitwise identical (tests/dist_test.cc parity
+// sweep) — the backend changes how bytes move, never the math.
+#ifndef SRC_DIST_TRANSPORT_H_
+#define SRC_DIST_TRANSPORT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/dist/network_model.h"
+
+namespace flexgraph {
+
+enum class DistBackend {
+  kModeled,  // single process, modeled network (the paper-figure simulator)
+  kSocket,   // forked worker processes, Unix-domain sockets
+};
+
+const char* DistBackendName(DistBackend backend);
+
+// Parses "modeled" / "socket" (CLI --backend). Returns false on anything else.
+bool ParseDistBackend(const std::string& name, DistBackend* out);
+
+// Rejects configurations that silently poison every makespan downstream: a
+// zero/negative bandwidth turns TransferSeconds into inf/NaN, a negative
+// latency into time travel. Throws CheckError; called at runtime/trainer
+// construction so the bad config fails at the boundary, not epochs later.
+void ValidateNetworkModel(const NetworkModel& model);
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual const char* name() const = 0;
+
+  // Modeled seconds for delivering `bytes` to one worker in `num_messages`
+  // per-sender messages — the quantity every timeline in runtime.cc is built
+  // from.
+  virtual double TransferSeconds(uint64_t bytes, uint32_t num_messages) const = 0;
+};
+
+class ModeledTransport final : public Transport {
+ public:
+  explicit ModeledTransport(NetworkModel model) : model_(model) {}
+
+  const char* name() const override { return "modeled"; }
+
+  double TransferSeconds(uint64_t bytes, uint32_t num_messages) const override {
+    return model_.TransferSeconds(bytes, num_messages);
+  }
+
+ private:
+  NetworkModel model_;
+};
+
+// Builds the pricing transport for `backend`. Both backends price with the
+// same analytic model (so modeled stat fields stay comparable); the socket
+// backend's real byte movement lives in SocketCluster, not here.
+std::unique_ptr<Transport> MakeTransport(DistBackend backend, const NetworkModel& model);
+
+}  // namespace flexgraph
+
+#endif  // SRC_DIST_TRANSPORT_H_

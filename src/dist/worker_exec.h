@@ -1,0 +1,68 @@
+// Per-worker planned state and physical execution shared by both distributed
+// backends.
+//
+// The modeled runtime executes every worker's share in-process; the socket
+// backend executes each worker's share in its own forked process. Both call
+// exactly the functions below on exactly the same inputs, which is what makes
+// the backends' logits bitwise identical (the dist_test parity sweep): there
+// is one implementation of "build this worker's HDG/plan" and one of "run
+// this worker's layer", not a modeled copy and a real copy that could drift.
+#ifndef SRC_DIST_WORKER_EXEC_H_
+#define SRC_DIST_WORKER_EXEC_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/core/engine.h"
+#include "src/dist/comm_plan.h"
+
+namespace flexgraph {
+
+struct WorkerState {
+  uint32_t id = 0;
+  std::vector<VertexId> roots;
+  Hdg hdg;
+  CommPlan plan;
+  std::vector<uint64_t> out_refs_by_owner;  // rows this worker's HDGs pull per owner
+  double hdg_build_seconds = 0.0;
+  // Planned execution state, rebuilt by Prepare alongside the HDG (including
+  // after a fault-recovery re-partition) and reused across epochs: the
+  // compiled level plan and the per-worker arena its partial-aggregation and
+  // update buffers draw from.
+  std::shared_ptr<const ExecutionPlan> exec_plan;
+  std::shared_ptr<Workspace> workspace;
+};
+
+// Builds `worker`'s planned state for `model`: the HDG for its (already
+// assigned) roots, the comm plan, the compiled execution plan and a sized
+// arena. Consumes `rng` exactly as the modeled Prepare always has — a
+// root-less worker is reset to empty state and consumes NO rng, which both
+// backends rely on for stream parity. `parts` is only read for the comm plan.
+void PrepareWorkerState(const GnnModel& model, const CsrGraph& graph,
+                        const Partitioning& parts, ExecStrategy strategy, Rng& rng,
+                        WorkerState* worker);
+
+struct WorkerLayerSeconds {
+  double bottom = 0.0;
+  double rest_agg = 0.0;
+  double update = 0.0;
+};
+
+// Physically executes `worker`'s share of one layer against the globally
+// assembled previous-layer features `h_var`, and returns the worker's root
+// rows (|roots| × out_cols, in worker.roots order) as an owned tensor.
+// Measured stage times land in `seconds`.
+Tensor ExecuteWorkerLayer(const GnnLayer& layer, ExecStrategy strategy,
+                          WorkerState& worker, const Variable& h_var,
+                          WorkerLayerSeconds* seconds);
+
+// CRC-32 over every parameter's value bytes in Parameters() order. After each
+// gradient step the supervisor and every worker replica compute this
+// fingerprint; the supervisor FLEX_CHECKs they all agree, which is how replica
+// divergence (a worker whose SGD step drifted) fails loudly instead of
+// silently corrupting training.
+uint32_t ParametersCrc(const GnnModel& model);
+
+}  // namespace flexgraph
+
+#endif  // SRC_DIST_WORKER_EXEC_H_

@@ -61,6 +61,16 @@ void SetNumThreads(int n) {
   }
 }
 
+void ReinitPoolAfterFork() {
+  // The child is single-threaded here, so the lock is uncontended; it is taken
+  // anyway to keep the thread-safety annotations honest. release() (not
+  // reset()) abandons the inherited pool — its worker threads died with the
+  // parent's address space, so the destructor's join would hang forever.
+  MutexLock lock(g_mutex);
+  ThreadPool* stale = g_pool.release();
+  (void)stale;
+}
+
 void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
                  const std::function<void(std::int64_t, std::int64_t)>& body) {
   const std::int64_t n = end - begin;

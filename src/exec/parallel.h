@@ -38,6 +38,12 @@ int NumThreads();
 // default. Safe to call between kernels; not from inside a parallel body.
 void SetNumThreads(int n);
 
+// Must be called first thing in a freshly forked child process (alongside
+// ThreadPool::ReinitGlobalAfterFork): the inherited kernel pool's threads
+// exist only in the parent, so the child abandons it and rebuilds on first
+// use. Destroying it instead would join threads that never existed here.
+void ReinitPoolAfterFork();
+
 // Runs body(lo, hi) over contiguous subranges covering [begin, end). Ranges
 // never overlap, so the body may write freely to per-index outputs. `grain`
 // is the minimum range width; when the loop is too small to split (or the

@@ -33,6 +33,10 @@ namespace flexgraph {
 
 enum class FaultKind {
   kWorkerCrash,
+  // Socket backend only: the supervisor genuinely SIGKILLs the live worker
+  // process mid-epoch; detection then happens through real heartbeat silence
+  // rather than the modeled timeline. One-shot like kWorkerCrash.
+  kWorkerKill,
   kMessageDrop,
   kMessageCorrupt,
   kStraggler,
@@ -69,6 +73,8 @@ class FaultInjector {
                                      int failures = 1) FLEX_EXCLUDES(mutex_);
   FaultInjector& ScheduleMessageCorruption(int64_t epoch, int layer, uint32_t dst_worker,
                                            int failures = 1) FLEX_EXCLUDES(mutex_);
+  FaultInjector& ScheduleKill(int64_t epoch, uint32_t worker, int layer = 0)
+      FLEX_EXCLUDES(mutex_);
   FaultInjector& ScheduleStraggler(int64_t epoch, uint32_t worker, double factor)
       FLEX_EXCLUDES(mutex_);
   FaultInjector& ScheduleCheckpointTruncation(int64_t epoch) FLEX_EXCLUDES(mutex_);
@@ -83,6 +89,10 @@ class FaultInjector {
 
   // First unconsumed crash scheduled for `epoch`, if any. Consumes it.
   std::optional<CrashPlan> NextCrash(int64_t epoch) FLEX_EXCLUDES(mutex_);
+
+  // First unconsumed real-kill scheduled for `epoch`, if any. Consumes it.
+  // Queried by the socket supervisor; the modeled runtime never kills.
+  std::optional<CrashPlan> NextKill(int64_t epoch) FLEX_EXCLUDES(mutex_);
 
   // Total failed delivery attempts charged to the transfer arriving at
   // `dst_worker` in (epoch, layer). Sums drop + corruption events (corruption

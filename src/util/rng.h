@@ -63,6 +63,27 @@ class Rng {
     return __builtin_sqrt(-2.0 * __builtin_log(u1)) * __builtin_cos(6.283185307179586 * u2);
   }
 
+  // Raw xoshiro state, for transporting the generator across process
+  // boundaries (the socket runtime's Prepare token ring): restoring the four
+  // words resumes the exact stream, so a remote worker consumes randomness
+  // bitwise-identically to an in-process one.
+  void GetState(uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) {
+      out[i] = state_[i];
+    }
+  }
+  void SetState(const uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) {
+      state_[i] = in[i];
+    }
+  }
+
+  friend bool operator==(const Rng& a, const Rng& b) {
+    return a.state_[0] == b.state_[0] && a.state_[1] == b.state_[1] &&
+           a.state_[2] == b.state_[2] && a.state_[3] == b.state_[3];
+  }
+  friend bool operator!=(const Rng& a, const Rng& b) { return !(a == b); }
+
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 

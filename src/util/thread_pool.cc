@@ -1,6 +1,7 @@
 #include "src/util/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "src/obs/clock.h"
 #include "src/obs/metrics.h"
@@ -85,9 +86,31 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   Wait();
 }
 
+namespace {
+// Leaked-pointer slot rather than a function-local static object: a forked
+// worker process must be able to drop the inherited (thread-less) pool and
+// rebuild, and process exit must not join threads that a child never had.
+std::atomic<ThreadPool*> g_global_pool{nullptr};
+Mutex g_global_pool_init_mutex;
+}  // namespace
+
 ThreadPool& ThreadPool::Global() {
-  static ThreadPool pool;
-  return pool;
+  ThreadPool* pool = g_global_pool.load(std::memory_order_acquire);
+  if (pool == nullptr) {
+    MutexLock lock(g_global_pool_init_mutex);
+    pool = g_global_pool.load(std::memory_order_relaxed);
+    if (pool == nullptr) {
+      pool = new ThreadPool();
+      g_global_pool.store(pool, std::memory_order_release);
+    }
+  }
+  return *pool;
+}
+
+void ThreadPool::ReinitGlobalAfterFork() {
+  // Deliberately does NOT delete: the destructor would join threads that only
+  // ever ran in the parent. The stale object is simply abandoned.
+  g_global_pool.store(nullptr, std::memory_order_release);
 }
 
 void ThreadPool::WorkerLoop() {

@@ -50,8 +50,17 @@ class ThreadPool {
                    const std::function<void(std::size_t, std::size_t)>& body)
       FLEX_EXCLUDES(mutex_);
 
-  // Process-wide default pool (lazily constructed).
+  // Process-wide default pool (lazily constructed, intentionally leaked so it
+  // can be abandoned after fork()).
   static ThreadPool& Global();
+
+  // Must be called first thing in a freshly forked child process: the
+  // inherited pool's threads exist only in the parent, so any ParallelFor in
+  // the child would enqueue work nobody drains. Abandons the inherited pool
+  // (its memory is unreachable garbage in the child, never touched again) and
+  // lets the next Global() call construct a live one. The child is single-
+  // threaded at that point, so no locking is needed.
+  static void ReinitGlobalAfterFork();
 
  private:
   void WorkerLoop() FLEX_EXCLUDES(mutex_);

@@ -13,6 +13,8 @@
 #include "src/models/magnn.h"
 #include "src/models/pinsage.h"
 #include "src/tensor/ops_dense.h"
+#include "src/util/check.h"
+#include "tests/test_util.h"
 
 namespace flexgraph {
 namespace {
@@ -246,8 +248,10 @@ TEST(DistRuntimeTest, RawPerWorkerTimesWhenPoolingDisabled) {
 
 TEST(DistTrainerTest, MatchesSingleMachineTrajectory) {
   // Synchronous data-parallel training with identical replicas optimizes the
-  // single-machine objective: with the same init and lr, the loss trajectory
-  // must match Engine::TrainEpoch exactly.
+  // single-machine objective, and the trainer evaluates it in its canonical
+  // union form (one AgSoftmaxCrossEntropy over all vertices — the same code
+  // path Engine::TrainEpoch runs): with the same init and lr, the loss
+  // trajectory is BITWISE identical, not merely close.
   Dataset ds = MakeRedditLike(0.05, 3);
   GcnConfig config;
   config.in_dim = ds.feature_dim();
@@ -272,9 +276,102 @@ TEST(DistTrainerTest, MatchesSingleMachineTrajectory) {
   Rng epoch_rng_b(5);
   for (int e = 0; e < 5; ++e) {
     DistTrainEpochResult r = trainer.TrainEpoch(model_b, ds.features, ds.labels, epoch_rng_b);
-    EXPECT_NEAR(r.loss, single_losses[static_cast<std::size_t>(e)], 1e-4f) << "epoch " << e;
+    EXPECT_EQ(r.loss, single_losses[static_cast<std::size_t>(e)]) << "epoch " << e;
     EXPECT_GT(r.compute_seconds, 0.0);
   }
+}
+
+TEST(DistBackendParityTest, SocketParitySweep) {
+  // The tentpole invariant: the socket backend (real forked processes, real
+  // bytes over Unix sockets) computes BITWISE-identical logits and losses to
+  // the modeled backend, at every cluster size. The backend changes how bytes
+  // move, never the math.
+  Dataset ds = MakeRedditLike(0.04, 3);
+  GcnConfig config;
+  config.in_dim = ds.feature_dim();
+  config.num_classes = ds.num_classes;
+
+  for (uint32_t workers : {2u, 4u}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+
+    // Forward epochs on the runtime.
+    Rng model_rng_a(41);
+    GnnModel model_a = MakeGcnModel(config, model_rng_a);
+    DistConfig modeled;
+    DistributedRuntime modeled_rt(ds.graph, HashPartition(ds.graph.num_vertices(), workers),
+                                  modeled);
+    Rng rng_a(5);
+
+    Rng model_rng_b(41);
+    GnnModel model_b = MakeGcnModel(config, model_rng_b);
+    DistConfig socket_config;
+    socket_config.backend = DistBackend::kSocket;
+    DistributedRuntime socket_rt(ds.graph, HashPartition(ds.graph.num_vertices(), workers),
+                                 socket_config);
+    Rng rng_b(5);
+
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      Tensor modeled_logits;
+      Tensor socket_logits;
+      modeled_rt.RunEpoch(model_a, ds.features, rng_a, &modeled_logits);
+      DistEpochStats stats = socket_rt.RunEpoch(model_b, ds.features, rng_b, &socket_logits);
+      EXPECT_TRUE(BitwiseEqual(modeled_logits, socket_logits))
+          << "epoch " << epoch;
+      EXPECT_GT(stats.makespan_seconds, 0.0);
+    }
+
+    // Training: the socket trainer keeps one real parameter replica per
+    // worker process in sync; its loss trajectory must equal the modeled
+    // trainer's bitwise.
+    Rng model_rng_c(41);
+    GnnModel model_c = MakeGcnModel(config, model_rng_c);
+    DistTrainConfig modeled_train;
+    DistributedTrainer modeled_trainer(
+        ds.graph, HashPartition(ds.graph.num_vertices(), workers), modeled_train);
+    Rng rng_c(5);
+
+    Rng model_rng_d(41);
+    GnnModel model_d = MakeGcnModel(config, model_rng_d);
+    DistTrainConfig socket_train;
+    socket_train.backend = DistBackend::kSocket;
+    DistributedTrainer socket_trainer(
+        ds.graph, HashPartition(ds.graph.num_vertices(), workers), socket_train);
+    Rng rng_d(5);
+
+    for (int epoch = 0; epoch < 3; ++epoch) {
+      const float modeled_loss =
+          modeled_trainer.TrainEpoch(model_c, ds.features, ds.labels, rng_c).loss;
+      const float socket_loss =
+          socket_trainer.TrainEpoch(model_d, ds.features, ds.labels, rng_d).loss;
+      EXPECT_EQ(modeled_loss, socket_loss) << "epoch " << epoch;
+    }
+    // The replicas themselves are checked every epoch: each worker acks the
+    // gradient broadcast with a CRC-32 of its updated parameters and the
+    // supervisor FLEX_CHECKs it against its own — reaching here means no
+    // replica diverged.
+  }
+}
+
+TEST(DistBackendParityTest, NetworkModelValidatedAtConstruction) {
+  // A zero bandwidth poisons every downstream makespan with inf; a negative
+  // latency is time travel. Both must fail at the construction boundary, not
+  // epochs later.
+  Dataset ds = MakeRedditLike(0.02, 3);
+  DistConfig bad_bw;
+  bad_bw.network.bandwidth_bytes_per_sec = 0.0;
+  EXPECT_THROW(DistributedRuntime(ds.graph, HashPartition(ds.graph.num_vertices(), 2), bad_bw),
+               CheckError);
+  DistConfig bad_latency;
+  bad_latency.network.latency_seconds = -1.0;
+  EXPECT_THROW(
+      DistributedRuntime(ds.graph, HashPartition(ds.graph.num_vertices(), 2), bad_latency),
+      CheckError);
+
+  DistTrainConfig bad_train;
+  bad_train.network.bandwidth_bytes_per_sec = -3.0;
+  EXPECT_THROW(
+      DistributedTrainer(ds.graph, HashPartition(ds.graph.num_vertices(), 2), bad_train),
+      CheckError);
 }
 
 TEST(DistTrainerTest, AllreduceAccounting) {

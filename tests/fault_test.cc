@@ -329,6 +329,99 @@ TEST(TrainerRecoveryTest, CrashRecoveryKeepsLossTrajectoryBitIdentical) {
   EXPECT_EQ(faulty_results[0].crashes_recovered, 0);
 }
 
+// ------------------------------------------------- socket backend real kills
+
+TEST(SocketRecoveryTest, RealKillRecoveryProducesBitIdenticalLogits) {
+  // Genuine fault tolerance, not simulation: a worker PROCESS is SIGKILLed
+  // mid-epoch, the supervisor notices only through heartbeat silence, migrates
+  // the dead worker's roots onto survivors, and re-executes the epoch — and
+  // the logits still match a fault-free MODELED run bit for bit.
+  FaultFixture fx;
+  const uint32_t kWorkers = 4;
+
+  DistributedRuntime clean(fx.ds.graph,
+                           HashPartition(fx.ds.graph.num_vertices(), kWorkers),
+                           DistConfig{});
+  Tensor clean_logits = fx.RunEpochs(clean, 3, /*seed=*/5);
+
+  FaultInjector injector;
+  injector.ScheduleKill(/*epoch=*/1, /*worker=*/2, /*layer=*/1);
+  injector.ScheduleStraggler(/*epoch=*/2, /*worker=*/1, /*factor=*/50.0);
+  DistConfig config;
+  config.backend = DistBackend::kSocket;
+  config.fault = &injector;
+  DistributedRuntime faulty(fx.ds.graph,
+                            HashPartition(fx.ds.graph.num_vertices(), kWorkers), config);
+  std::vector<DistEpochStats> stats;
+  Tensor faulty_logits = fx.RunEpochs(faulty, 3, /*seed=*/5, &stats);
+
+  EXPECT_TRUE(AllClose(clean_logits, faulty_logits, 0.0f));
+
+  // The kill fired for real and the recovery accounting landed on its epoch.
+  EXPECT_EQ(injector.fired_count(FaultKind::kWorkerKill), 1);
+  EXPECT_EQ(stats[1].crashes_recovered, 1);
+  EXPECT_GT(stats[1].detection_seconds, 0.0);
+  EXPECT_GT(stats[1].roots_migrated, 0);
+  EXPECT_EQ(stats[0].crashes_recovered, 0);
+  EXPECT_EQ(stats[2].crashes_recovered, 0);
+  // The dead process stays dead: every vertex is owned by a survivor.
+  for (uint32_t owner : faulty.partitioning().owner) {
+    EXPECT_NE(owner, 2u);
+  }
+  // The straggler schedule rode along on the epoch after recovery.
+  EXPECT_EQ(injector.fired_count(FaultKind::kStraggler), 1);
+}
+
+TEST(SocketRecoveryTest, TrainerRealKillKeepsLossTrajectoryBitIdentical) {
+  // A replica process SIGKILLed right before the gradient broadcast: the
+  // supervisor's CRC-ack collection detects the silence, migrates the dead
+  // replica's roots, and training continues — with a loss trajectory bitwise
+  // identical to a fault-free modeled run (the canonical union loss does not
+  // depend on the partitioning, so losing a replica never moves the math).
+  FaultFixture fx;
+  const uint32_t kWorkers = 4;
+  const int kEpochs = 4;
+
+  auto run = [&](DistBackend backend, FaultInjector* injector) {
+    Rng model_rng(11);
+    GcnConfig config;
+    config.in_dim = fx.ds.feature_dim();
+    config.num_classes = fx.ds.num_classes;
+    GnnModel model = MakeGcnModel(config, model_rng);
+    DistTrainConfig train_config;
+    train_config.backend = backend;
+    train_config.fault = injector;
+    DistributedTrainer trainer(fx.ds.graph,
+                               HashPartition(fx.ds.graph.num_vertices(), kWorkers),
+                               train_config);
+    Rng rng(5);
+    std::vector<float> losses;
+    std::vector<DistTrainEpochResult> results;
+    for (int e = 0; e < kEpochs; ++e) {
+      DistTrainEpochResult r = trainer.TrainEpoch(model, fx.ds.features, fx.ds.labels, rng);
+      losses.push_back(r.loss);
+      results.push_back(r);
+    }
+    return std::make_pair(losses, results);
+  };
+
+  auto [clean_losses, clean_results] = run(DistBackend::kModeled, nullptr);
+
+  FaultInjector injector;
+  injector.ScheduleKill(/*epoch=*/2, /*worker=*/1);
+  auto [faulty_losses, faulty_results] = run(DistBackend::kSocket, &injector);
+
+  ASSERT_EQ(clean_losses.size(), faulty_losses.size());
+  for (int e = 0; e < kEpochs; ++e) {
+    EXPECT_EQ(clean_losses[e], faulty_losses[e]) << "loss diverged at epoch " << e;
+  }
+  EXPECT_EQ(injector.fired_count(FaultKind::kWorkerKill), 1);
+  EXPECT_EQ(faulty_results[2].crashes_recovered, 1);
+  EXPECT_GT(faulty_results[2].recovery_seconds, 0.0);
+  EXPECT_EQ(faulty_results[0].crashes_recovered, 0);
+  EXPECT_EQ(faulty_results[3].crashes_recovered, 0);
+}
+
 // ------------------------------------------------- rotating checkpoints
 
 class RotatingCheckpointTest : public ::testing::Test {

@@ -222,6 +222,20 @@ const std::vector<TokenRule>& TokenRules() {
           },
       },
       {
+          "raw-socket",
+          {"socket(", "send(", "recv(", "fork("},
+          {},
+          "raw socket/process primitives live behind the transport/supervisor "
+          "layer (src/dist/transport*, src/dist/supervisor*): everything else "
+          "speaks frames through SocketTransport so framing, CRC validation, "
+          "and fork hygiene stay in one place",
+          [](const std::string& rel) {
+            return InLintedTree(rel) &&
+                   rel.rfind("src/dist/transport", 0) != 0 &&
+                   rel.rfind("src/dist/supervisor", 0) != 0;
+          },
+      },
+      {
           "clock-source",
           {"clock_gettime", "steady_clock", "system_clock",
            "high_resolution_clock", "gettimeofday", "rdtsc", "__rdtsc",

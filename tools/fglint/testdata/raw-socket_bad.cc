@@ -1,0 +1,20 @@
+// Fixture: raw socket/process primitives outside the transport/supervisor
+// layer must be flagged.
+#include <sys/socket.h>
+#include <unistd.h>
+
+int OpenChannel() {
+  return ::socket(AF_UNIX, SOCK_STREAM, 0);  // finding: socket(
+}
+
+void Ship(int fd, const char* buf, unsigned long n) {
+  (void)send(fd, buf, n, 0);  // finding: send(
+}
+
+void Drain(int fd, char* buf, unsigned long n) {
+  (void)recv(fd, buf, n, 0);  // finding: recv(
+}
+
+int SpawnWorker() {
+  return fork();  // finding: fork(
+}

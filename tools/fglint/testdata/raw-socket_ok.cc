@@ -1,0 +1,17 @@
+// Fixture: lookalike identifiers, comments, and fglint-allow'd lines must
+// not trip the raw-socket rule.
+#include <unistd.h>
+
+// fork() and socket() in a comment are invisible to the linter.
+void ResendFrame(int fd);
+
+void Relay(int fd) {
+  ResendFrame(fd);  // "resend(" does not token-match "send(" (left boundary)
+}
+
+int WebsocketPort();   // "websocket" has no call parenthesis on "socket("
+int ForkliftCount();   // identifier boundary keeps "fork(" from matching
+
+int SpawnForTest() {
+  return fork();  // fglint-allow: raw-socket
+}

@@ -6,18 +6,31 @@
 //                   [--dataset reddit|fb91|twitter|imdb] [--scale 1.0]
 //                   [--epochs 30] [--lr 0.1] [--strategy sa|safa|ha]
 //                   [--threads n]
-//                   [--workers 1] [--checkpoint path] [--resume path|dir|auto]
+//                   [--workers 1] [--backend modeled|socket]
+//                   [--checkpoint path] [--resume path|dir|auto]
 //                   [--checkpoint-dir dir] [--checkpoint-every n]
 //                   [--keep-checkpoints n]
 //                   [--inject-crash E:W[:L]] [--inject-straggler E:W:F]
 //                   [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]
+//                   [--inject-kill E:W[:L]]
 //                   [--seed 7]
 //                   [--metrics-json path] [--metrics-csv path] [--trace path]
 //                   [--metrics-every n] [--verify-plan] [--profile]
 //
-// With --workers > 1 training runs on the simulated distributed runtime and
-// reports per-epoch makespans; otherwise the single-machine engine trains
-// with full backward passes and reports loss/accuracy on a 60/20/20 split.
+// With --workers > 1 training runs on the distributed runtime and reports
+// per-epoch makespans; otherwise the single-machine engine trains with full
+// backward passes and reports loss/accuracy on a 60/20/20 split.
+//
+// Distributed backends (README.md "Distributed backends"): --backend modeled
+// (default) runs every worker in-process against the analytic NetworkModel;
+// --backend socket forks one real worker process per --workers and moves the
+// partial aggregations and gradients over Unix-domain sockets. Both backends
+// print the same parity surface — a `logits crc32 0x…` line after the forward
+// epochs and a `final loss …` line after training — which must match bitwise
+// between the two (CI's multi-process smoke job diffs them). --inject-kill
+// SIGKILLs worker W for real at epoch E (before layer L) on the socket
+// backend; the supervisor detects the silence via heartbeat timeout, migrates
+// the dead worker's roots, and re-executes the epoch.
 //
 // Checkpointing: --checkpoint writes one file every epoch (hardened format:
 // atomic rename + CRC32). --checkpoint-dir keeps a rotation of the newest
@@ -61,6 +74,7 @@
 #include "src/core/trainer.h"
 #include "src/data/datasets.h"
 #include "src/dist/checkpoint.h"
+#include "src/dist/dist_trainer.h"
 #include "src/dist/runtime.h"
 #include "src/exec/parallel.h"
 #include "src/exec/simd.h"
@@ -77,6 +91,7 @@
 #include "src/obs/metrics.h"
 #include "src/obs/prof.h"
 #include "src/obs/trace.h"
+#include "src/util/crc32.h"
 #include "src/util/table_printer.h"
 
 namespace {
@@ -92,6 +107,7 @@ struct CliOptions {
   std::string strategy = "ha";
   int threads = 0;  // 0 = FLEXGRAPH_NUM_THREADS / hardware default
   uint32_t workers = 1;
+  std::string backend = "modeled";
   std::string checkpoint;
   std::string resume;
   std::string checkpoint_dir;
@@ -101,6 +117,7 @@ struct CliOptions {
   std::vector<std::string> inject_straggler;
   std::vector<std::string> inject_drop;
   std::vector<std::string> inject_corrupt_ckpt;
+  std::vector<std::string> inject_kill;
   uint64_t seed = 7;
   std::string metrics_json;
   std::string metrics_csv;
@@ -299,6 +316,14 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.threads = std::atoi(value);
     } else if (arg == "--workers" && (value = next())) {
       opts.workers = static_cast<uint32_t>(std::atoi(value));
+    } else if (arg == "--backend" && (value = next())) {
+      opts.backend = value;
+      DistBackend parsed = DistBackend::kModeled;
+      if (!ParseDistBackend(opts.backend, &parsed)) {
+        std::fprintf(stderr, "error: unknown backend '%s' (want modeled|socket)\n",
+                     value);
+        return false;
+      }
     } else if (arg == "--checkpoint" && (value = next())) {
       opts.checkpoint = value;
     } else if (arg == "--resume" && (value = next())) {
@@ -317,6 +342,8 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.inject_drop.push_back(value);
     } else if (arg == "--inject-corrupt-ckpt" && (value = next())) {
       opts.inject_corrupt_ckpt.push_back(value);
+    } else if (arg == "--inject-kill" && (value = next())) {
+      opts.inject_kill.push_back(value);
     } else if (arg == "--seed" && (value = next())) {
       opts.seed = static_cast<uint64_t>(std::atoll(value));
     } else if (arg == "--metrics-json" && (value = next())) {
@@ -455,8 +482,14 @@ bool BuildFaultSchedule(const CliOptions& opts, FaultInjector& injector) {
     const auto f = ParseSpec(spec, 1, 1, "--inject-corrupt-ckpt");  // E
     injector.ScheduleCheckpointTruncation(static_cast<int64_t>(f[0]));
   }
+  for (const std::string& spec : opts.inject_kill) {
+    const auto f = ParseSpec(spec, 2, 3, "--inject-kill");  // E:W[:L]
+    injector.ScheduleKill(static_cast<int64_t>(f[0]), static_cast<uint32_t>(f[1]),
+                          f.size() > 2 ? static_cast<int>(f[2]) : 0);
+  }
   return !opts.inject_crash.empty() || !opts.inject_straggler.empty() ||
-         !opts.inject_drop.empty() || !opts.inject_corrupt_ckpt.empty();
+         !opts.inject_drop.empty() || !opts.inject_corrupt_ckpt.empty() ||
+         !opts.inject_kill.empty();
 }
 
 // Resolves --resume into a concrete checkpoint file: a file path is used as
@@ -578,63 +611,118 @@ int RunSingleMachine(const CliOptions& opts, const Dataset& ds, GnnModel& model)
 }
 
 int RunDistributed(const CliOptions& opts, const Dataset& ds, GnnModel& model) {
-  FaultInjector injector(opts.seed);
-  DistConfig config;
-  config.strategy = ParseStrategy(opts.strategy);
-  config.pipeline = true;
-  config.backward_compute_factor = 1.0;
-  if (BuildFaultSchedule(opts, injector)) {
-    config.fault = &injector;
-  }
-  DistributedRuntime runtime(ds.graph, HashPartition(ds.graph.num_vertices(), opts.workers),
-                             config);
-  Rng rng(opts.seed);
-  if (opts.verify_plan) {
-    // Prepare each worker's HDG/plan now (RunEpoch then reuses them) and
-    // verify every worker's structures before the first epoch.
-    runtime.Prepare(model, rng);
-    bool all_ok = true;
-    for (const WorkerState& worker : runtime.workers()) {
-      const std::string label = "worker " + std::to_string(worker.id);
-      all_ok &= ReportVerification(label + " HDG",
-                                   VerifyHdg(worker.hdg, ds.graph.num_vertices()));
-      all_ok &= ReportVerification(
-          label + " execution plan",
-          VerifyPlan(*worker.exec_plan, worker.hdg, ds.graph.num_vertices()));
+  DistBackend backend = DistBackend::kModeled;
+  FLEX_CHECK_MSG(ParseDistBackend(opts.backend, &backend),
+                 "unknown backend: " + opts.backend + " (want modeled|socket)");
+
+  // Phase 1 — forward epochs on the distributed runtime, scoped so a socket
+  // backend's worker processes are reaped before the trainer forks its own.
+  // The last epoch's logits are CRC'd below: with the same seed the line is
+  // bitwise identical across backends (the CI smoke job diffs it).
+  Tensor logits;
+  {
+    FaultInjector injector(opts.seed);
+    DistConfig config;
+    config.strategy = ParseStrategy(opts.strategy);
+    config.pipeline = true;
+    config.backward_compute_factor = 1.0;
+    config.backend = backend;
+    if (BuildFaultSchedule(opts, injector)) {
+      config.fault = &injector;
     }
-    if (!all_ok) {
-      return 1;
+    DistributedRuntime runtime(ds.graph,
+                               HashPartition(ds.graph.num_vertices(), opts.workers),
+                               config);
+    Rng rng(opts.seed);
+    if (opts.verify_plan && backend != DistBackend::kModeled) {
+      // Preparing the in-process worker states would consume the random
+      // stream the socket cluster's own Prepare is about to consume, skewing
+      // the cross-backend parity this mode exists to demonstrate.
+      std::fprintf(stderr, "warning: --verify-plan requires --backend modeled; skipped\n");
+    } else if (opts.verify_plan) {
+      // Prepare each worker's HDG/plan now (RunEpoch then reuses them) and
+      // verify every worker's structures before the first epoch.
+      runtime.Prepare(model, rng);
+      bool all_ok = true;
+      for (const WorkerState& worker : runtime.workers()) {
+        const std::string label = "worker " + std::to_string(worker.id);
+        all_ok &= ReportVerification(label + " HDG",
+                                     VerifyHdg(worker.hdg, ds.graph.num_vertices()));
+        all_ok &= ReportVerification(
+            label + " execution plan",
+            VerifyPlan(*worker.exec_plan, worker.hdg, ds.graph.num_vertices()));
+      }
+      if (!all_ok) {
+        return 1;
+      }
+    }
+    for (int epoch = 0; epoch < opts.epochs; ++epoch) {
+      const bool last = epoch == opts.epochs - 1;
+      DistEpochStats stats = runtime.RunEpoch(model, ds.features, rng,
+                                              last ? &logits : nullptr);
+      if (epoch % 5 == 0 || last || stats.crashes_recovered > 0) {
+        std::printf("epoch %3d  makespan %.4fs (nbrsel %.4f, agg %.4f, update %.4f, "
+                    "backward %.4f)  comm %.1f KiB\n",
+                    epoch, stats.makespan_seconds, stats.neighbor_selection_seconds,
+                    stats.aggregation_seconds, stats.update_seconds,
+                    stats.backward_seconds, stats.comm_bytes_total / 1024.0);
+      }
+      if (stats.crashes_recovered > 0) {
+        std::printf("epoch %3d  recovered %lld crash(es): recovery %.4fs "
+                    "(lost work %.4f, detection %.4f), %lld roots migrated\n",
+                    epoch, static_cast<long long>(stats.crashes_recovered),
+                    stats.recovery_seconds, stats.lost_work_seconds,
+                    stats.detection_seconds, static_cast<long long>(stats.roots_migrated));
+      }
+      if (stats.transfer_retries > 0) {
+        std::printf("epoch %3d  %lld transfer retries, %.4fs retry wait\n", epoch,
+                    static_cast<long long>(stats.transfer_retries),
+                    stats.retry_wait_seconds);
+      }
+      if (opts.metrics_every > 0 && (epoch + 1) % opts.metrics_every == 0) {
+        PrintStageBreakdown();
+      }
+    }
+    if (config.fault != nullptr) {
+      std::printf("fault schedule: %zu event(s) scheduled, %zu fired\n",
+                  injector.schedule().size(), injector.fired().size());
     }
   }
+  if (!logits.empty()) {
+    std::printf("logits crc32 0x%08x\n", Crc32(logits.data(), logits.ByteSize()));
+  }
+
+  // Phase 2 — data-parallel training. A fresh injector: the runtime loop
+  // consumed the one-shot events above. The backend changes how gradients
+  // move (modeled allreduce vs. real broadcast to replica processes), never
+  // the math — `final loss` must match bitwise across backends.
+  FaultInjector train_injector(opts.seed);
+  DistTrainConfig train_config;
+  train_config.learning_rate = opts.lr;
+  train_config.backend = backend;
+  if (BuildFaultSchedule(opts, train_injector)) {
+    train_config.fault = &train_injector;
+  }
+  DistributedTrainer trainer(ds.graph,
+                             HashPartition(ds.graph.num_vertices(), opts.workers),
+                             train_config);
+  Rng train_rng(opts.seed + 2);
+  float final_loss = 0.0f;
   for (int epoch = 0; epoch < opts.epochs; ++epoch) {
-    DistEpochStats stats = runtime.RunEpoch(model, ds.features, rng, nullptr);
-    if (epoch % 5 == 0 || epoch == opts.epochs - 1 || stats.crashes_recovered > 0) {
-      std::printf("epoch %3d  makespan %.4fs (nbrsel %.4f, agg %.4f, update %.4f, "
-                  "backward %.4f)  comm %.1f KiB\n",
-                  epoch, stats.makespan_seconds, stats.neighbor_selection_seconds,
-                  stats.aggregation_seconds, stats.update_seconds, stats.backward_seconds,
-                  stats.comm_bytes_total / 1024.0);
+    const DistTrainEpochResult result =
+        trainer.TrainEpoch(model, ds.features, ds.labels, train_rng);
+    final_loss = result.loss;
+    if (epoch % 5 == 0 || epoch == opts.epochs - 1 || result.crashes_recovered > 0) {
+      std::printf("train epoch %3d  loss %.6f  compute %.4fs  allreduce %.4fs\n", epoch,
+                  result.loss, result.compute_seconds, result.allreduce_seconds);
     }
-    if (stats.crashes_recovered > 0) {
-      std::printf("epoch %3d  recovered %lld crash(es): recovery %.4fs "
-                  "(lost work %.4f, detection %.4f), %lld roots migrated\n",
-                  epoch, static_cast<long long>(stats.crashes_recovered),
-                  stats.recovery_seconds, stats.lost_work_seconds,
-                  stats.detection_seconds, static_cast<long long>(stats.roots_migrated));
-    }
-    if (stats.transfer_retries > 0) {
-      std::printf("epoch %3d  %lld transfer retries, %.4fs retry wait\n", epoch,
-                  static_cast<long long>(stats.transfer_retries),
-                  stats.retry_wait_seconds);
-    }
-    if (opts.metrics_every > 0 && (epoch + 1) % opts.metrics_every == 0) {
-      PrintStageBreakdown();
+    if (result.crashes_recovered > 0) {
+      std::printf("train epoch %3d  recovered %lld crash(es), recovery %.4fs\n", epoch,
+                  static_cast<long long>(result.crashes_recovered),
+                  result.recovery_seconds);
     }
   }
-  if (config.fault != nullptr) {
-    std::printf("fault schedule: %zu event(s) scheduled, %zu fired\n",
-                injector.schedule().size(), injector.fired().size());
-  }
+  std::printf("final loss %.9g\n", static_cast<double>(final_loss));
   return 0;
 }
 
@@ -683,12 +771,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: flexgraph_train [--model M] [--dataset D] [--scale S] [--epochs N]\n"
                  "                       [--lr F] [--strategy sa|safa|ha] [--threads N]\n"
-                 "                       [--workers K]\n"
+                 "                       [--workers K] [--backend modeled|socket]\n"
                  "                       [--checkpoint PATH] [--resume PATH|DIR|auto]\n"
                  "                       [--checkpoint-dir DIR] [--checkpoint-every N]\n"
                  "                       [--keep-checkpoints N] [--seed N]\n"
                  "                       [--inject-crash E:W[:L]] [--inject-straggler E:W:F]\n"
                  "                       [--inject-drop E:L:W[:N]] [--inject-corrupt-ckpt E]\n"
+                 "                       [--inject-kill E:W[:L]]\n"
                  "                       [--metrics-json PATH] [--metrics-csv PATH]\n"
                  "                       [--trace PATH] [--metrics-every N]\n"
                  "                       [--verify-plan] [--profile]\n");
