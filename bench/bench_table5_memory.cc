@@ -62,7 +62,7 @@ void AddArenaRow(TablePrinter& table, BenchReporter& reporter,
   const int64_t steady_allocs = alloc_count() - before;
 
   const double mib = 1 << 20;
-  const double planned = static_cast<double>(engine.plan()->planned_bytes);
+  const double planned = static_cast<double>(engine.plan()->planned_bytes());
   const double reserved = static_cast<double>(engine.workspace().reserved_bytes());
   const double high_water = static_cast<double>(engine.workspace().high_water_bytes());
   table.AddRow({model_name, TablePrinter::Num(planned / mib, 2) + " MiB",

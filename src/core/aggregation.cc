@@ -17,7 +17,7 @@ Variable HdgAggregator::BottomLevel(const Variable& vertex_feats, ReduceKind kin
   FLEX_SCOPED_SECONDS("nau.bottom_level_seconds",
                       stats_ != nullptr ? &stats_->bottom_seconds : nullptr);
   if (plan_ != nullptr) {
-    return AgIndirectSegmentReduce(vertex_feats, plan_->bottom, kind, strategy_, stats_);
+    return AgIndirectSegmentReduce(vertex_feats, plan_->bottom(), kind, strategy_, stats_);
   }
   const auto leaf_span = hdg_.leaf_vertex_ids();
   std::vector<VertexId> leaf_ids(leaf_span.begin(), leaf_span.end());
@@ -58,8 +58,8 @@ Variable HdgAggregator::BottomLevelMax(const Variable& vertex_feats) const {
                                   static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
   }
   if (plan_ != nullptr) {
-    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom.gather_index);
-    return AgSegmentMax(gathered, plan_->bottom.offsets);
+    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom().gather_index);
+    return AgSegmentMax(gathered, plan_->bottom().offsets);
   }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
   std::vector<uint32_t> gather_index(leaf_ids.begin(), leaf_ids.end());
@@ -77,8 +77,8 @@ Variable HdgAggregator::BottomLevelLstm(const Variable& vertex_feats,
   if (plan_ != nullptr) {
     // The LSTM itself stays on the legacy (vector-copy) path — its recurrence
     // is inherently sequential — but the gather index comes from the plan.
-    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom.gather_index);
-    return AgSegmentLstm(gathered, std::vector<uint64_t>(*plan_->bottom.offsets), cell);
+    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom().gather_index);
+    return AgSegmentLstm(gathered, std::vector<uint64_t>(*plan_->bottom().offsets), cell);
   }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
   std::vector<uint32_t> gather_index(leaf_ids.begin(), leaf_ids.end());
@@ -99,17 +99,17 @@ Variable HdgAggregator::BottomLevelEdgeAttention(const Variable& transformed,
                                   static_cast<uint64_t>(transformed.cols() + 2) * sizeof(float);
   }
   if (plan_ != nullptr) {
-    FLEX_CHECK(plan_->edge_dst_index);
-    const U32VecPtr src_index = plan_->bottom.gather_index;
+    FLEX_CHECK(plan_->edge_dst_index());
+    const U32VecPtr src_index = plan_->bottom().gather_index;
     Variable edge_scores = AgLeakyRelu(
         AgAdd(AgGatherRows(src_scores, src_index),
-              AgGatherRows(dst_scores, plan_->edge_dst_index)),
+              AgGatherRows(dst_scores, plan_->edge_dst_index())),
         leaky_slope);
-    Variable weights = AgSegmentSoftmax(edge_scores, plan_->bottom.offsets, plan_->bottom.chunks);
+    Variable weights = AgSegmentSoftmax(edge_scores, plan_->bottom().offsets, plan_->bottom().chunks);
     Variable messages = AgGatherRows(transformed, src_index);
     Variable weighted = AgMulRowScalar(messages, weights);
-    return AgSegmentReduce(weighted, plan_->bottom.offsets, ReduceKind::kSum,
-                           plan_->bottom.chunks);
+    return AgSegmentReduce(weighted, plan_->bottom().offsets, ReduceKind::kSum,
+                           plan_->bottom().chunks);
   }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
 
@@ -138,8 +138,8 @@ Variable HdgAggregator::InstanceLevel(const Variable& instance_feats, ReduceKind
   FLEX_CHECK_EQ(instance_feats.rows(), static_cast<int64_t>(hdg_.num_instances()));
   FLEX_TRACE_SPAN("hybrid_agg.instance",
                   {{"instances", static_cast<double>(instance_feats.rows())}});
-  if (plan_ != nullptr && plan_->has_instance) {
-    const LevelPlan& inst = plan_->instance;
+  if (plan_ != nullptr && plan_->has_instance()) {
+    const LevelPlan& inst = plan_->instance();
     if (strategy_ == ExecStrategy::kSparse) {
       if (stats_ != nullptr) {
         stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
@@ -183,8 +183,8 @@ Variable HdgAggregator::InstanceLevelAttention(const Variable& instance_feats,
   if (stats_ != nullptr) {
     stats_->sparse_rows += static_cast<uint64_t>(instance_feats.rows());
   }
-  if (plan_ != nullptr && plan_->has_instance) {
-    const LevelPlan& inst = plan_->instance;
+  if (plan_ != nullptr && plan_->has_instance()) {
+    const LevelPlan& inst = plan_->instance();
     Variable weights = AgSegmentSoftmax(scores, inst.offsets, inst.chunks);
     Variable weighted = AgMulRowScalar(instance_feats, weights);
     return AgSegmentReduce(weighted, inst.offsets, ReduceKind::kSum, inst.chunks);
@@ -200,8 +200,8 @@ Variable HdgAggregator::SchemaLevel(const Variable& slot_feats, ReduceKind kind)
   const int64_t group = hdg_.num_types();
   FLEX_CHECK_EQ(slot_feats.rows(), static_cast<int64_t>(hdg_.num_roots()) * group);
   FLEX_TRACE_SPAN("hybrid_agg.schema", {{"slots", static_cast<double>(slot_feats.rows())}});
-  if (plan_ != nullptr && plan_->has_schema) {
-    return AgSchemaReduce(slot_feats, plan_->schema, kind, strategy_, stats_);
+  if (plan_ != nullptr && plan_->has_schema()) {
+    return AgSchemaReduce(slot_feats, plan_->schema(), kind, strategy_, stats_);
   }
   return AgSchemaReduce(slot_feats, group, kind, strategy_, stats_);
 }

@@ -33,7 +33,7 @@ const Hdg& Engine::EnsureHdg(const GnnModel& model, Rng& rng, StageTimes* times)
     cached_plan_ = std::make_unique<ExecutionPlan>(
         CompileExecutionPlan(model.name, *cached_hdg_, strategy_));
     cached_model_ = model.name;
-    workspace_.Reserve(cached_plan_->planned_bytes);
+    workspace_.Reserve(cached_plan_->planned_bytes());
   }
   return *cached_hdg_;
 }

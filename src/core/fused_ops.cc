@@ -125,6 +125,95 @@ Tensor PlannedIndirectBackward(const Tensor& grad_out, const U64Vec& src_offsets
   return gx;
 }
 
+// ---- Common-subtree fusion execution (FusionPlan, see src/exec/plan.h) ----
+//
+// Forward: materialize each shared partial exactly once (level by level —
+// a partial only references strictly lower-indexed partials, so levels are
+// parallel-safe), then run the rewritten root reduce over extended ids.
+// Partials are plain sums; mean segments scale by the ORIGINAL width at the
+// root, so the fused result is bitwise identical to the unfused fold (a
+// zero-seeded left-fold never produces -0.0, hence 0 + P == P bitwise).
+Tensor FusedSubtreeForward(const Tensor& x, const FusionPlan& fp, ReduceKind kind) {
+  const int64_t d = x.cols();
+  const simd::KernelTable& kt = simd::Kernels();
+  const auto& poffs = *fp.partial_offsets;
+  const auto& pids = *fp.partial_ids;
+
+  Tensor partials = WsTensor(fp.num_partials, d);
+  int64_t start = 0;
+  for (std::size_t l = 0; l < fp.level_ends.size(); ++l) {
+    const int64_t end = fp.level_ends[l];
+    if (end == start) {
+      continue;
+    }
+    const auto build_range = [&](int64_t p_lo, int64_t p_hi) {
+      kt.segment_reduce_ext(x.data(), fp.base_rows, partials.data(), d, pids.data(),
+                            poffs.data(), /*scale_offsets=*/nullptr, p_lo, p_hi,
+                            simd::Reduce::kSum, partials.data());
+    };
+    const int64_t level_work =
+        static_cast<int64_t>(poffs[static_cast<std::size_t>(end)] -
+                             poffs[static_cast<std::size_t>(start)]) *
+        d;
+    const I64Vec& chunks = fp.level_chunks[l];
+    if (level_work < kMinParallelWork || exec::NumThreads() <= 1 || !chunks) {
+      build_range(start, end);
+    } else {
+      const auto& bounds = *chunks;
+      exec::ParallelChunks(static_cast<int64_t>(bounds.size()) - 1, [&](int64_t c) {
+        build_range(bounds[static_cast<std::size_t>(c)],
+                    bounds[static_cast<std::size_t>(c) + 1]);
+      });
+    }
+    start = end;
+  }
+
+  const auto& offs = *fp.offsets;
+  const int64_t num_segments = static_cast<int64_t>(offs.size()) - 1;
+  Tensor out = WsTensor(num_segments, d);
+  const simd::Reduce sk = ToSimdReduce(kind);
+  const int64_t total_work = static_cast<int64_t>(fp.ids->size()) * d;
+  ForEachSegmentChunk(offs, fp.chunks ? std::span<const int64_t>(*fp.chunks)
+                                      : std::span<const int64_t>{},
+                      total_work, [&](int64_t s_lo, int64_t s_hi) {
+                        kt.segment_reduce_ext(x.data(), fp.base_rows, partials.data(), d,
+                                              fp.ids->data(), offs.data(),
+                                              fp.scale_offsets->data(), s_lo, s_hi, sk,
+                                              out.data());
+                      });
+  return out;
+}
+
+// Backward of the fused forward. Phase 1: the extended inverse map routes
+// each rewritten segment's gradient to the extended source rows (base rows
+// and partials) — the parallel per-source gather, with the ORIGINAL segment
+// widths (scale_offsets) driving the mean scaling. Phase 2: partial rows
+// distribute their gradient to their build refs, highest partial index first
+// (a partial only references lower indices, so its own gradient is complete
+// by the time it distributes). Phase 3: the base slice is the input
+// gradient. Deterministic across threads and ISA levels; not bitwise equal
+// to the unfused backward (different — but fixed — accumulation order).
+Tensor FusedSubtreeBackward(const Tensor& grad_out, const FusionPlan& fp, ReduceKind kind,
+                            int64_t src_rows, int64_t d) {
+  Tensor gx_ext = PlannedIndirectBackward(grad_out, fp.src_offsets, fp.src_edge_segments,
+                                          fp.src_chunks, fp.scale_offsets, kind, fp.src_rows,
+                                          d);
+  const simd::KernelTable& kt = simd::Kernels();
+  const auto& poffs = *fp.partial_offsets;
+  const auto& pids = *fp.partial_ids;
+  for (int64_t p = fp.num_partials - 1; p >= 0; --p) {
+    const float* gp = gx_ext.Row(fp.base_rows + p);
+    for (uint64_t e = poffs[static_cast<std::size_t>(p)];
+         e < poffs[static_cast<std::size_t>(p) + 1]; ++e) {
+      kt.add_row(gx_ext.Row(static_cast<int64_t>(pids[e])), gp, d);
+    }
+  }
+  Tensor gx = WsTensor(src_rows, d);
+  std::memcpy(gx.data(), gx_ext.data(),
+              static_cast<std::size_t>(fp.base_rows * d) * sizeof(float));
+  return gx;
+}
+
 }  // namespace
 
 Variable AgIndirectSegmentReduce(const Variable& x, std::vector<VertexId> leaf_ids,
@@ -205,6 +294,18 @@ Variable AgIndirectSegmentReduce(const Variable& x, const LevelPlan& level, Redu
       stats->sparse_rows += static_cast<uint64_t>(gathered.rows());
     }
     out = SegmentReduce(gathered, *level.offsets, kind, *level.chunks);
+  } else if (level.fusion != nullptr) {
+    // FA with a mined fusion program: shared subtrees materialize once, the
+    // root reduce reads the rewritten (shorter) ref lists.
+    const FusionPlan& fp = *level.fusion;
+    FLEX_TRACE_SPAN("kernel.fa_fused_gather_reduce",
+                    {{"rows", static_cast<double>(fp.leaf_refs_after)},
+                     {"shared_partials", static_cast<double>(fp.num_partials)}});
+    FLEX_COUNTER_ADD("kernel.fused_leaf_refs", static_cast<int64_t>(fp.leaf_refs_after));
+    out = FusedSubtreeForward(x.value(), fp, kind);
+    if (stats != nullptr) {
+      stats->fused_rows += num_refs;
+    }
   } else {
     FLEX_TRACE_SPAN("kernel.fa_fused_gather_reduce", {{"rows", static_cast<double>(num_refs)}});
     FLEX_COUNTER_ADD("kernel.fused_leaf_refs", static_cast<int64_t>(num_refs));
@@ -222,9 +323,15 @@ Variable AgIndirectSegmentReduce(const Variable& x, const LevelPlan& level, Redu
   const U64Vec soff = level.src_offsets;
   const U32Vec ssegs = level.src_edge_segments;
   const I64Vec schunks = level.src_chunks;
+  const std::shared_ptr<const FusionPlan> fused =
+      strategy == ExecStrategy::kSparse ? nullptr : level.fusion;
   return MakeVariable(std::move(out), {x},
-                      [xn, offs, ids, soff, ssegs, schunks, kind, src_rows, d](AgNode& self) {
-                        if (soff && ssegs) {
+                      [xn, offs, ids, soff, ssegs, schunks, fused, kind, src_rows,
+                       d](AgNode& self) {
+                        if (fused != nullptr) {
+                          xn->AccumulateGrad(
+                              FusedSubtreeBackward(self.grad(), *fused, kind, src_rows, d));
+                        } else if (soff && ssegs) {
                           xn->AccumulateGrad(PlannedIndirectBackward(
                               self.grad(), soff, ssegs, schunks, offs, kind, src_rows, d));
                         } else {

@@ -31,7 +31,7 @@ void PrepareWorkerState(const GnnModel& model, const CsrGraph& graph,
   worker->exec_plan = std::make_shared<const ExecutionPlan>(
       CompileExecutionPlan(model.name, worker->hdg, strategy));
   worker->workspace = std::make_shared<Workspace>();
-  worker->workspace->Reserve(worker->exec_plan->planned_bytes);
+  worker->workspace->Reserve(worker->exec_plan->planned_bytes());
   FLEX_LOG(Debug) << "HDG built: " << worker->roots.size() << " roots, "
                   << worker->hdg.num_leaf_refs() << " leaf refs ("
                   << worker->plan.remote_leaf_refs << " remote) in "

@@ -1,0 +1,369 @@
+// FusePass — HAG-style common-subtree fusion (Jia et al., "Redundancy-Free
+// Computation Graphs for GNNs"), restricted to shared *prefixes* of the
+// bottom level's per-segment leaf lists.
+//
+// Why prefixes only: the segment-reduce kernel left-folds each segment's
+// refs in list order into a zeroed accumulator. Materializing an arbitrary
+// shared subset would reassociate the float sum and change low bits; a
+// shared prefix, seeded first into the fold, reproduces the unfused bit
+// pattern exactly (a zero-initialized left-fold never yields -0.0, so
+// 0 + prefix_value == the prefix's own fold result bitwise). The fused
+// forward is therefore bitwise identical to the unfused one — across
+// strategies, thread counts, ISA levels, and both distributed backends —
+// which is the correctness bar the whole pass rests on.
+//
+// Mining: sort segments lexicographically by leaf list, compute adjacent
+// LCPs, and enumerate the LCP-interval tree — exactly the branching nodes of
+// the prefix trie, each node a (prefix length, consumer count) candidate.
+// Candidates are visited shallowest-first under a budget; one is materialized
+// when the net ref saving is positive:
+//
+//   sigma = len - max(materialized ancestor len, 1)   refs saved per consumer
+//   build = sigma + 1                                 refs to build the partial
+//   net   = (consumers - 1) * sigma - 1               > 0 → materialize
+//
+// Chained prefixes build on their nearest materialized ancestor (one partial
+// ref + the extension), giving the multi-level partial program executed
+// level-by-level before the rewritten root reduce.
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "src/exec/chunks.h"
+#include "src/exec/passes/pass.h"
+#include "src/obs/metrics.h"
+
+namespace flexgraph {
+namespace {
+
+// One branching node of the prefix trie: the first `len` refs of sorted
+// position `lo`'s segment, shared by sorted positions [lo, hi].
+struct TrieNode {
+  int64_t len = 0;
+  int64_t lo = 0;
+  int64_t hi = 0;
+  int32_t parent = -1;       // enclosing node (strictly smaller len)
+  int32_t level = -1;        // partial dependency level when materialized
+  int64_t mat_len = 0;       // nearest materialized ancestor-or-self prefix len
+  int32_t mat_node = -1;     // that node's index (-1: none)
+  int32_t partial_id = -1;   // assigned when materialized
+};
+
+}  // namespace
+
+void FusePass(PlanDraft& draft, const PlanOptions& options, const PassContext& ctx) {
+  if (!options.fuse || draft.strategy == ExecStrategy::kSparse) {
+    return;
+  }
+  const LevelDraft& bottom = draft.bottom;
+  const std::vector<uint64_t>& offs = bottom.offsets;
+  const std::vector<uint32_t>& refs = bottom.gather_index;
+  const int64_t num_segments = bottom.num_segments;
+  if (num_segments <= 1 || refs.size() < 4 || ctx.bottom_stats.fusable_segments < 2) {
+    return;
+  }
+
+  // ---- Sort fusable segments (width >= 2) lexicographically by leaf list ----
+  std::vector<uint32_t> order;
+  order.reserve(static_cast<std::size_t>(ctx.bottom_stats.fusable_segments));
+  for (int64_t s = 0; s < num_segments; ++s) {
+    if (offs[static_cast<std::size_t>(s) + 1] - offs[static_cast<std::size_t>(s)] >= 2) {
+      order.push_back(static_cast<uint32_t>(s));
+    }
+  }
+  const auto seg_begin = [&](uint32_t s) { return offs[s]; };
+  const auto seg_width = [&](uint32_t s) {
+    return offs[static_cast<std::size_t>(s) + 1] - offs[s];
+  };
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    const uint64_t wa = seg_width(a);
+    const uint64_t wb = seg_width(b);
+    const uint64_t n = std::min(wa, wb);
+    for (uint64_t i = 0; i < n; ++i) {
+      const uint32_t ra = refs[seg_begin(a) + i];
+      const uint32_t rb = refs[seg_begin(b) + i];
+      if (ra != rb) {
+        return ra < rb;
+      }
+    }
+    if (wa != wb) {
+      return wa < wb;
+    }
+    return a < b;  // deterministic total order
+  });
+  const auto n_sorted = static_cast<int64_t>(order.size());
+
+  // ---- Adjacent LCPs ----
+  std::vector<int64_t> lcp(static_cast<std::size_t>(n_sorted), 0);  // lcp[i]: i-1 vs i
+  for (int64_t i = 1; i < n_sorted; ++i) {
+    const uint32_t a = order[static_cast<std::size_t>(i - 1)];
+    const uint32_t b = order[static_cast<std::size_t>(i)];
+    const uint64_t n = std::min(seg_width(a), seg_width(b));
+    uint64_t l = 0;
+    while (l < n && refs[seg_begin(a) + l] == refs[seg_begin(b) + l]) {
+      ++l;
+    }
+    lcp[static_cast<std::size_t>(i)] = static_cast<int64_t>(l);
+  }
+
+  // ---- Enumerate the LCP-interval tree (the prefix trie's branching nodes) ----
+  std::vector<TrieNode> nodes;
+  {
+    struct Open {
+      int64_t len;
+      int64_t lo;
+    };
+    std::vector<Open> stack;
+    for (int64_t i = 1; i <= n_sorted; ++i) {
+      const int64_t l = i < n_sorted ? lcp[static_cast<std::size_t>(i)] : 0;
+      int64_t lb = i - 1;
+      while (!stack.empty() && stack.back().len > l) {
+        const Open top = stack.back();
+        stack.pop_back();
+        lb = top.lo;
+        if (top.len >= 2) {
+          TrieNode node;
+          node.len = top.len;
+          node.lo = top.lo;
+          node.hi = i - 1;
+          nodes.push_back(node);
+        }
+      }
+      if (l >= 2 && (stack.empty() || stack.back().len < l)) {
+        stack.push_back({l, lb});
+      }
+    }
+  }
+  if (nodes.empty()) {
+    return;
+  }
+
+  // ---- Parent links: smallest strictly-containing node ----
+  // Intervals are laminar (containment implies strictly smaller prefix len),
+  // so a (lo asc, hi desc) sweep with a containment stack finds each node's
+  // immediate ancestor.
+  std::vector<int32_t> by_span(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    by_span[i] = static_cast<int32_t>(i);
+  }
+  std::sort(by_span.begin(), by_span.end(), [&](int32_t a, int32_t b) {
+    const TrieNode& na = nodes[static_cast<std::size_t>(a)];
+    const TrieNode& nb = nodes[static_cast<std::size_t>(b)];
+    if (na.lo != nb.lo) {
+      return na.lo < nb.lo;
+    }
+    if (na.hi != nb.hi) {
+      return na.hi > nb.hi;
+    }
+    return na.len < nb.len;
+  });
+  {
+    std::vector<int32_t> containment;
+    for (const int32_t idx : by_span) {
+      TrieNode& node = nodes[static_cast<std::size_t>(idx)];
+      while (!containment.empty() &&
+             nodes[static_cast<std::size_t>(containment.back())].hi < node.hi) {
+        containment.pop_back();
+      }
+      node.parent = containment.empty() ? -1 : containment.back();
+      containment.push_back(idx);
+    }
+  }
+
+  // ---- Shallowest-first greedy selection under the budget ----
+  // Visiting by ascending prefix length guarantees parents are decided before
+  // children (a parent's len is strictly smaller), so the nearest
+  // materialized ancestor is already known.
+  std::vector<int32_t> by_len(by_span);
+  std::sort(by_len.begin(), by_len.end(), [&](int32_t a, int32_t b) {
+    const TrieNode& na = nodes[static_cast<std::size_t>(a)];
+    const TrieNode& nb = nodes[static_cast<std::size_t>(b)];
+    if (na.len != nb.len) {
+      return na.len < nb.len;
+    }
+    if (na.lo != nb.lo) {
+      return na.lo < nb.lo;
+    }
+    return na.hi < nb.hi;
+  });
+  std::vector<int32_t> selected;
+  int32_t max_level = -1;
+  for (const int32_t idx : by_len) {
+    TrieNode& node = nodes[static_cast<std::size_t>(idx)];
+    const TrieNode* par =
+        node.parent >= 0 ? &nodes[static_cast<std::size_t>(node.parent)] : nullptr;
+    const int64_t plen = par != nullptr ? par->mat_len : 0;
+    const int32_t pnode = par != nullptr ? par->mat_node : -1;
+    // Inherit by default; overwritten below when this node materializes.
+    node.mat_len = plen;
+    node.mat_node = pnode;
+    if (static_cast<int64_t>(selected.size()) >= ctx.fuse_budget) {
+      continue;
+    }
+    const int64_t consumers = node.hi - node.lo + 1;
+    const int64_t sigma = node.len - std::max<int64_t>(plen, 1);
+    if ((consumers - 1) * sigma < 2) {
+      continue;
+    }
+    node.level = pnode >= 0 ? nodes[static_cast<std::size_t>(pnode)].level + 1 : 0;
+    node.mat_len = node.len;
+    node.mat_node = idx;
+    max_level = std::max(max_level, node.level);
+    selected.push_back(idx);
+  }
+  if (selected.empty()) {
+    return;
+  }
+
+  const int64_t base_rows = bottom.src_rows;
+  const auto num_partials = static_cast<int64_t>(selected.size());
+  if (static_cast<uint64_t>(base_rows) + static_cast<uint64_t>(num_partials) >
+      std::numeric_limits<uint32_t>::max()) {
+    return;  // extended ids must fit u32
+  }
+
+  // ---- Assign partial indices: level-major, deterministic within a level ----
+  // A partial's build list references only its materialized ancestor, which
+  // sits in a strictly lower level, so level-major order is a topological
+  // order and each level is internally parallel.
+  std::sort(selected.begin(), selected.end(), [&](int32_t a, int32_t b) {
+    const TrieNode& na = nodes[static_cast<std::size_t>(a)];
+    const TrieNode& nb = nodes[static_cast<std::size_t>(b)];
+    if (na.level != nb.level) {
+      return na.level < nb.level;
+    }
+    if (na.lo != nb.lo) {
+      return na.lo < nb.lo;
+    }
+    return na.len < nb.len;
+  });
+  for (std::size_t p = 0; p < selected.size(); ++p) {
+    nodes[static_cast<std::size_t>(selected[p])].partial_id = static_cast<int32_t>(p);
+  }
+
+  FusionDraft& fusion = draft.fusion;
+  fusion.base_rows = base_rows;
+  fusion.num_partials = num_partials;
+
+  // ---- Partial build program + per-level chunk tables ----
+  fusion.partial_offsets.assign(1, 0);
+  fusion.partial_offsets.reserve(static_cast<std::size_t>(num_partials) + 1);
+  for (const int32_t idx : selected) {
+    const TrieNode& node = nodes[static_cast<std::size_t>(idx)];
+    const uint64_t base = seg_begin(order[static_cast<std::size_t>(node.lo)]);
+    const TrieNode* anc =
+        node.parent >= 0 ? &nodes[static_cast<std::size_t>(node.parent)] : nullptr;
+    const int64_t plen = anc != nullptr ? anc->mat_len : 0;
+    if (plen > 0) {
+      const int32_t anc_partial =
+          nodes[static_cast<std::size_t>(anc->mat_node)].partial_id;
+      fusion.partial_ids.push_back(
+          static_cast<uint32_t>(base_rows + anc_partial));
+    }
+    for (int64_t i = plen; i < node.len; ++i) {
+      fusion.partial_ids.push_back(refs[base + static_cast<uint64_t>(i)]);
+    }
+    fusion.partial_offsets.push_back(fusion.partial_ids.size());
+  }
+  for (int32_t level = 0; level <= max_level; ++level) {
+    int64_t end = 0;
+    for (const int32_t idx : selected) {
+      if (nodes[static_cast<std::size_t>(idx)].level <= level) {
+        ++end;
+      }
+    }
+    fusion.level_ends.push_back(end);
+  }
+  {
+    int64_t start = 0;
+    for (const int64_t end : fusion.level_ends) {
+      const std::span<const uint64_t> sub(fusion.partial_offsets.data() + start,
+                                          static_cast<std::size_t>(end - start) + 1);
+      std::vector<int64_t> chunks = MakeSegmentChunks(sub, kPlanChunkTarget);
+      for (int64_t& c : chunks) {
+        c += start;
+      }
+      fusion.level_chunks.push_back(std::move(chunks));
+      start = end;
+    }
+  }
+
+  // ---- Rewrite the root reduce: longest materialized prefix per segment ----
+  // Deepest-wins overwrite in ascending-len order leaves best[p] = the
+  // longest materialized prefix covering sorted position p.
+  std::vector<int32_t> best(static_cast<std::size_t>(n_sorted), -1);
+  for (const int32_t idx : by_len) {
+    const TrieNode& node = nodes[static_cast<std::size_t>(idx)];
+    if (node.partial_id < 0) {
+      continue;
+    }
+    for (int64_t p = node.lo; p <= node.hi; ++p) {
+      best[static_cast<std::size_t>(p)] = idx;
+    }
+  }
+  std::vector<int32_t> best_of_segment(static_cast<std::size_t>(num_segments), -1);
+  for (int64_t p = 0; p < n_sorted; ++p) {
+    best_of_segment[order[static_cast<std::size_t>(p)]] = best[static_cast<std::size_t>(p)];
+  }
+
+  fusion.offsets.assign(1, 0);
+  fusion.offsets.reserve(static_cast<std::size_t>(num_segments) + 1);
+  fusion.ids.reserve(refs.size());
+  for (int64_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offs[static_cast<std::size_t>(s)];
+    const uint64_t hi = offs[static_cast<std::size_t>(s) + 1];
+    const int32_t node_idx = best_of_segment[static_cast<std::size_t>(s)];
+    uint64_t skip = 0;
+    if (node_idx >= 0) {
+      const TrieNode& node = nodes[static_cast<std::size_t>(node_idx)];
+      fusion.ids.push_back(static_cast<uint32_t>(base_rows + node.partial_id));
+      skip = static_cast<uint64_t>(node.len);
+    }
+    for (uint64_t e = lo + skip; e < hi; ++e) {
+      fusion.ids.push_back(refs[e]);
+    }
+    fusion.offsets.push_back(fusion.ids.size());
+  }
+  fusion.chunks = MakeSegmentChunks(fusion.offsets, kPlanChunkTarget);
+
+  fusion.leaf_refs_before = refs.size();
+  fusion.leaf_refs_after = fusion.ids.size() + fusion.partial_ids.size();
+  if (fusion.leaf_refs_after >= fusion.leaf_refs_before) {
+    draft.fusion = FusionDraft();  // cost model says this cannot happen; belt+braces
+    return;
+  }
+
+  // ---- Extended inverse map for the backward's parallel per-source gather ----
+  // Same counting sort as the lower pass, over extended source ids and the
+  // rewritten root segments only (partial-gradient distribution to build refs
+  // is a separate sequential sweep in the executor).
+  {
+    const int64_t src_rows = base_rows + num_partials;
+    std::vector<uint64_t> src_offsets(static_cast<std::size_t>(src_rows) + 1, 0);
+    for (const uint32_t v : fusion.ids) {
+      ++src_offsets[static_cast<std::size_t>(v) + 1];
+    }
+    for (std::size_t v = 1; v < src_offsets.size(); ++v) {
+      src_offsets[v] += src_offsets[v - 1];
+    }
+    std::vector<uint32_t> src_edge_segments(fusion.ids.size());
+    std::vector<uint64_t> cursor(src_offsets.begin(), src_offsets.end() - 1);
+    for (int64_t s = 0; s < num_segments; ++s) {
+      for (uint64_t e = fusion.offsets[static_cast<std::size_t>(s)];
+           e < fusion.offsets[static_cast<std::size_t>(s) + 1]; ++e) {
+        const auto v = static_cast<std::size_t>(fusion.ids[e]);
+        src_edge_segments[cursor[v]++] = static_cast<uint32_t>(s);
+      }
+    }
+    fusion.src_rows = src_rows;
+    fusion.src_chunks = MakeSegmentChunks(src_offsets, kPlanChunkTarget);
+    fusion.src_offsets = std::move(src_offsets);
+    fusion.src_edge_segments = std::move(src_edge_segments);
+  }
+
+  draft.has_fusion = true;
+  FLEX_COUNTER_ADD("plan.fuse_candidates", static_cast<int64_t>(nodes.size()));
+}
+
+}  // namespace flexgraph

@@ -1,42 +1,11 @@
 #include "src/exec/plan.h"
 
 #include <algorithm>
-#include <limits>
 
-#include "src/exec/simd.h"
-#include "src/exec/verify.h"
-#include "src/obs/metrics.h"
-#include "src/util/check.h"
-#include "src/util/timer.h"
-
-// Debug builds re-verify every compiled plan against its HDG (O(E), so it is
-// free relative to the build it guards). Release callers opt in through
-// VerifyPlan directly or the trainer's --verify-plan flag.
-#if !defined(NDEBUG) && !defined(FLEXGRAPH_VERIFY_PLANS)
-#define FLEXGRAPH_VERIFY_PLANS 1
-#endif
+#include "src/exec/passes/pass.h"
+#include "src/util/env.h"
 
 namespace flexgraph {
-namespace {
-
-template <typename T>
-std::shared_ptr<const std::vector<T>> Shared(std::vector<T> v) {
-  return std::make_shared<const std::vector<T>>(std::move(v));
-}
-
-// Destination segment per input row, from CSC offsets.
-std::vector<uint32_t> SegmentOfRow(std::span<const uint64_t> offsets) {
-  const std::size_t num_segments = offsets.empty() ? 0 : offsets.size() - 1;
-  std::vector<uint32_t> seg(num_segments == 0 ? 0 : offsets[num_segments]);
-  for (std::size_t s = 0; s < num_segments; ++s) {
-    for (uint64_t e = offsets[s]; e < offsets[s + 1]; ++e) {
-      seg[e] = static_cast<uint32_t>(s);
-    }
-  }
-  return seg;
-}
-
-}  // namespace
 
 const char* LevelKernelClassName(LevelKernelClass k) {
   switch (k) {
@@ -54,148 +23,23 @@ const char* LevelKernelClassName(LevelKernelClass k) {
   return "?";
 }
 
+PlanOptions DefaultPlanOptions() {
+  PlanOptions options;
+  const std::string fuse = EnvString("FLEXGRAPH_FUSE", "on");
+  options.fuse = !(fuse == "off" || fuse == "0" || fuse == "false");
+  options.fuse_budget = EnvInt("FLEXGRAPH_FUSE_BUDGET", 0);
+  return options;
+}
+
 ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg,
                                    ExecStrategy strategy, int64_t hint_dim) {
-  WallTimer compile_timer;
-  ExecutionPlan plan;
-  plan.model_name = model_name;
-  plan.strategy = strategy;
-  plan.flat = hdg.flat();
-  plan.planned_dim = std::max<int64_t>(1, hint_dim);
+  return CompileExecutionPlan(model_name, hdg, strategy, hint_dim, DefaultPlanOptions());
+}
 
-  // ---- Bottom level: leaf refs → instances (or roots when flat) ----
-  const auto bottom_offs = hdg.bottom_offsets();
-  const auto leaf_span = hdg.leaf_vertex_ids();
-  LevelPlan& bottom = plan.bottom;
-  bottom.kernel = strategy == ExecStrategy::kSparse ? LevelKernelClass::kGatherSegmentReduce
-                                                    : LevelKernelClass::kFused;
-  bottom.num_segments = static_cast<int64_t>(hdg.num_bottom_segments());
-  bottom.input_rows = static_cast<int64_t>(leaf_span.size());
-  bottom.offsets = Shared(std::vector<uint64_t>(bottom_offs.begin(), bottom_offs.end()));
-  bottom.leaf_ids = Shared(std::vector<VertexId>(leaf_span.begin(), leaf_span.end()));
-  bottom.gather_index = Shared(std::vector<uint32_t>(leaf_span.begin(), leaf_span.end()));
-  bottom.scatter_index = Shared(SegmentOfRow(bottom_offs));
-  bottom.chunks = Shared(MakeSegmentChunks(bottom_offs, kPlanChunkTarget));
-
-  // Inverse leaf→segment map for the deterministic parallel backward: bucket
-  // the leaf refs by source vertex, preserving ascending edge order within
-  // each bucket (a counting sort is stable here because we append in edge
-  // order), so the per-source accumulation order matches the sequential
-  // scatter's global edge order.
-  {
-    VertexId max_id = 0;
-    for (const VertexId v : leaf_span) {
-      max_id = std::max(max_id, v);
-    }
-    const int64_t src_rows = leaf_span.empty() ? 0 : static_cast<int64_t>(max_id) + 1;
-    std::vector<uint64_t> src_offsets(static_cast<std::size_t>(src_rows) + 1, 0);
-    for (const VertexId v : leaf_span) {
-      ++src_offsets[static_cast<std::size_t>(v) + 1];
-    }
-    for (std::size_t v = 1; v < src_offsets.size(); ++v) {
-      src_offsets[v] += src_offsets[v - 1];
-    }
-    std::vector<uint32_t> src_edge_segments(leaf_span.size());
-    std::vector<uint64_t> cursor(src_offsets.begin(), src_offsets.end() - 1);
-    const auto& seg_of_row = *bottom.scatter_index;
-    for (std::size_t e = 0; e < leaf_span.size(); ++e) {
-      const auto v = static_cast<std::size_t>(leaf_span[e]);
-      src_edge_segments[cursor[v]++] = seg_of_row[e];
-    }
-    bottom.src_rows = src_rows;
-    bottom.src_chunks = Shared(MakeSegmentChunks(src_offsets, kPlanChunkTarget));
-    bottom.src_offsets = Shared(std::move(src_offsets));
-    bottom.src_edge_segments = Shared(std::move(src_edge_segments));
-  }
-
-  // Flat HDGs: per-edge root vertex id, the destination side of GAT's edge
-  // attention scores.
-  if (plan.flat) {
-    std::vector<uint32_t> dst(leaf_span.size());
-    const auto roots = hdg.roots();
-    for (std::size_t s = 0; s + 1 < bottom_offs.size(); ++s) {
-      for (uint64_t e = bottom_offs[s]; e < bottom_offs[s + 1]; ++e) {
-        dst[e] = static_cast<uint32_t>(roots[s]);
-      }
-    }
-    plan.edge_dst_index = Shared(std::move(dst));
-  }
-
-  // ---- Instance and schema levels (hierarchical HDGs only) ----
-  if (!plan.flat) {
-    const auto slot_offs = hdg.slot_offsets();
-    LevelPlan& inst = plan.instance;
-    inst.kernel = strategy == ExecStrategy::kSparse ? LevelKernelClass::kScatter
-                                                    : LevelKernelClass::kSegmentReduce;
-    inst.num_segments = static_cast<int64_t>(slot_offs.size()) - 1;
-    inst.input_rows = static_cast<int64_t>(hdg.num_instances());
-    inst.offsets = Shared(std::vector<uint64_t>(slot_offs.begin(), slot_offs.end()));
-    inst.scatter_index = Shared(SegmentOfRow(slot_offs));
-    inst.chunks = Shared(MakeSegmentChunks(slot_offs, kPlanChunkTarget));
-    plan.has_instance = true;
-
-    const int64_t group = hdg.num_types();
-    const int64_t num_roots = hdg.num_roots();
-    LevelPlan& schema = plan.schema;
-    schema.kernel = strategy == ExecStrategy::kHybrid ? LevelKernelClass::kDenseGroupReduce
-                                                      : LevelKernelClass::kScatter;
-    schema.group = group;
-    schema.num_segments = num_roots;
-    schema.input_rows = num_roots * group;
-    std::vector<uint32_t> schema_index(static_cast<std::size_t>(schema.input_rows));
-    for (std::size_t i = 0; i < schema_index.size(); ++i) {
-      schema_index[i] = static_cast<uint32_t>(i / static_cast<std::size_t>(group));
-    }
-    schema.scatter_index = Shared(std::move(schema_index));
-    schema.chunks = Shared(MakeRowChunks(num_roots, kPlanChunkTarget));
-    plan.has_schema = true;
-  }
-
-  // ---- Workspace-size hint ----
-  // Per layer, forward + backward touch roughly one input-width and one
-  // output-width tensor per level, plus update-stage temporaries around the
-  // root rows. This is a reservation hint — the arena still grows on demand
-  // during the recording (first) epoch and is exact from then on.
-  {
-    const auto d = static_cast<std::size_t>(plan.planned_dim);
-    std::size_t floats = 0;
-    const LevelPlan* levels[] = {&plan.bottom, plan.has_instance ? &plan.instance : nullptr,
-                                 plan.has_schema ? &plan.schema : nullptr};
-    for (const LevelPlan* level : levels) {
-      if (level == nullptr) {
-        continue;
-      }
-      floats += 2 * static_cast<std::size_t>(level->input_rows + level->num_segments) * d;
-    }
-    const std::size_t root_rows =
-        static_cast<std::size_t>(plan.flat ? plan.bottom.num_segments : plan.schema.num_segments);
-    floats += 8 * root_rows * d;
-    // The multiplier covers the most temporary-hungry layer types: an LSTM
-    // aggregator's gate tape holds ~2.5 d-wide rows per edge beyond the two
-    // generic ones, attention another ~2.4 (measured by VerifyWorkspace in
-    // the verify_test sweep). 3.5x keeps ~40% headroom over that worst case;
-    // untouched slab pages are never faulted in, so overshoot stays virtual.
-    plan.planned_bytes = floats * sizeof(float) * 7 / 2;
-  }
-
-  plan.isa = simd::ActiveIsa();
-
-#ifdef FLEXGRAPH_VERIFY_PLANS
-  {
-    // The graph vertex count is unknown here; the max bound disables only the
-    // gather-range check, every structural invariant still runs.
-    const VerifyResult vr =
-        VerifyPlan(plan, hdg, std::numeric_limits<uint64_t>::max());
-    FLEX_CHECK_MSG(vr.ok(), "compiled plan failed verification:\n" + vr.Summary());
-  }
-#endif
-
-  plan.compile_seconds = compile_timer.ElapsedSeconds();
-  FLEX_COUNTER_ADD("exec.plan_compiles", 1);
-  FLEX_HIST_OBSERVE("exec.plan_compile_seconds", plan.compile_seconds);
-  FLEX_GAUGE_SET("exec.planned_bytes", static_cast<double>(plan.planned_bytes));
-  FLEX_GAUGE_SET("exec.isa_level", static_cast<double>(static_cast<int>(plan.isa)));
-  return plan;
+ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg,
+                                   ExecStrategy strategy, int64_t hint_dim,
+                                   const PlanOptions& options) {
+  return RunPlanPipeline(model_name, hdg, strategy, hint_dim, options);
 }
 
 }  // namespace flexgraph

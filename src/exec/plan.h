@@ -1,8 +1,10 @@
 // ExecutionPlan — the level-plan IR of the planned execution layer.
 //
-// Compiled once per (model, HDG, strategy), the plan records for every HDG
-// aggregation level which kernel class runs it, the segment boundaries it
-// reduces over, precomputed index tensors (gather/scatter indices that the
+// Compiled once per (model, HDG, strategy) by the pass pipeline in
+// src/exec/passes/ (analyze → lower → optimize → finalize over a mutable
+// PlanDraft, frozen into this type at the end), the plan records for every
+// HDG aggregation level which kernel class runs it, the segment boundaries it
+// reduces over, precompiled index tensors (gather/scatter indices that the
 // ad-hoc dispatch used to rebuild on every call), fixed parallel chunk
 // boundaries, and the inverse leaf→segment map that makes the bottom-level
 // backward a deterministic parallel gather. It also carries a workspace-size
@@ -13,6 +15,11 @@
 // never straddles a segment, so each output row is written by exactly one
 // task and the per-segment accumulation order is the same as the sequential
 // kernels'. Results are bitwise identical across thread counts.
+//
+// Immutability contract: every accessor is const and the fields are private;
+// the only writer is the pass pipeline's PlanDraft, and fglint confines that
+// type to src/exec/passes/. A frozen plan is therefore safe for any number
+// of concurrent readers (FLEXGRAPH_SHARED_AFTER_FREEZE below).
 #ifndef SRC_EXEC_PLAN_H_
 #define SRC_EXEC_PLAN_H_
 
@@ -49,6 +56,60 @@ using U64Vec = std::shared_ptr<const std::vector<uint64_t>>;
 using I64Vec = std::shared_ptr<const std::vector<int64_t>>;
 using IdVec = std::shared_ptr<const std::vector<VertexId>>;
 
+// Common-subtree fusion program for one bottom level (HAG-style, mined by
+// src/exec/passes/fuse.cc). Instead of re-reducing every root's full leaf
+// list, shared leaf-list *prefixes* are materialized once as partial rows and
+// the root segments re-read the partial. Extended-id convention throughout:
+// an id < base_rows reads input row id, an id >= base_rows reads partial row
+// (id - base_rows).
+//
+// Prefix-only sharing keeps the forward bitwise identical to the unfused
+// reduce: sum/mean segments left-fold into a zeroed row, a zero-initialized
+// left-fold can never produce -0.0 (x+y rounds to -0 only when both operands
+// are -0, and 0 + a0 is never -0), so seeding the fold with the materialized
+// prefix value reproduces the unfused bit pattern exactly. Mean segments
+// scale by the ORIGINAL width (scale_offsets).
+struct FusionPlan {
+  int64_t base_rows = 0;     // extended ids below this read the input tensor
+  int64_t num_partials = 0;  // materialized shared prefixes
+
+  // Partial build program: partial p sums extended rows
+  // partial_ids[partial_offsets[p] .. partial_offsets[p+1]). A partial only
+  // references strictly lower-indexed partials, and partials are grouped into
+  // dependency levels: level L covers partial indices
+  // [level_ends[L-1], level_ends[L]) (level 0 starts at 0) and references
+  // only input rows and partials from levels < L, so each level is a
+  // parallel segment-reduce over level_chunks[L] (absolute partial indices).
+  U64Vec partial_offsets;  // [num_partials + 1]
+  U32Vec partial_ids;      // extended ids
+  std::vector<int64_t> level_ends;
+  std::vector<I64Vec> level_chunks;
+
+  // Rewritten root reduce: segment s sums extended rows
+  // ids[offsets[s] .. offsets[s+1]), then mean-scales by the original width
+  // scale_offsets[s+1] - scale_offsets[s]. Same segment count and order as
+  // the unfused level; chunks are re-balanced for the rewritten ref counts.
+  U64Vec offsets;        // [num_segments + 1]
+  U32Vec ids;            // extended ids
+  U64Vec scale_offsets;  // original segment offsets (aliases the level's)
+  I64Vec chunks;
+
+  // Inverse (extended source → segment) map of the rewritten root reduce,
+  // for the backward's parallel per-source gather. src_rows = base_rows +
+  // num_partials; partial rows then distribute their gradient to their build
+  // refs sequentially, deepest level first.
+  U64Vec src_offsets;  // [src_rows + 1]
+  U32Vec src_edge_segments;
+  I64Vec src_chunks;
+  int64_t src_rows = 0;
+
+  // Static ref accounting (the bench's leaf_ref_ratio): refs the unfused
+  // level reads per execution vs. the fused program (rewritten root refs +
+  // partial build refs).
+  uint64_t leaf_refs_before = 0;
+  uint64_t leaf_refs_after = 0;
+};
+
 // Everything needed to execute one aggregation level.
 struct LevelPlan {
   LevelKernelClass kernel = LevelKernelClass::kFused;
@@ -75,44 +136,97 @@ struct LevelPlan {
   U32Vec src_edge_segments;
   I64Vec src_chunks;         // chunk boundaries over source rows
   int64_t src_rows = 0;
+
+  // Optional common-subtree fusion program (bottom level of FA/HA plans
+  // only; null when fusion is off or found nothing worth materializing).
+  // All the original arrays above are kept untouched — max/LSTM/attention
+  // aggregators and the SA path keep reading them.
+  std::shared_ptr<const FusionPlan> fusion;
 };
 
-struct ExecutionPlan {
-  std::string model_name;
-  ExecStrategy strategy = ExecStrategy::kHybrid;
-  bool flat = true;
+// Knobs for the pass pipeline. DefaultPlanOptions() resolves the environment:
+// FLEXGRAPH_FUSE=off|0 disables the fusion pass (default on),
+// FLEXGRAPH_FUSE_BUDGET caps materialized partials (<= 0 → auto heuristic,
+// see src/exec/passes/fuse.cc).
+struct PlanOptions {
+  bool fuse = true;
+  int64_t fuse_budget = 0;
+};
 
-  LevelPlan bottom;
-  bool has_instance = false;
-  LevelPlan instance;   // hierarchical HDGs only
-  bool has_schema = false;
-  LevelPlan schema;     // hierarchical HDGs only
+PlanOptions DefaultPlanOptions();
+
+// The pipeline's mutable mirror (src/exec/passes/pass.h). Forward-declared
+// only so Freeze() can be befriended below; naming PlanDraft anywhere else
+// outside src/exec/passes/ is a lint error (fglint rule plan-draft).
+struct PlanDraft;  // fglint-allow: plan-draft
+
+// The frozen plan: private fields, const accessors, no mutating API. Built
+// exclusively by PlanDraft::Freeze() in the pass pipeline.
+class ExecutionPlan {
+ public:
+  ExecutionPlan() = default;
+
+  const std::string& model_name() const { return model_name_; }
+  ExecStrategy strategy() const { return strategy_; }
+  bool flat() const { return flat_; }
+
+  const LevelPlan& bottom() const { return bottom_; }
+  bool has_instance() const { return has_instance_; }
+  const LevelPlan& instance() const { return instance_; }
+  bool has_schema() const { return has_schema_; }
+  const LevelPlan& schema() const { return schema_; }
 
   // Flat HDGs: per-edge root vertex id (GAT's destination-score broadcast).
-  U32Vec edge_dst_index;
+  const U32Vec& edge_dst_index() const { return edge_dst_index_; }
+
+  // Bottom-level fusion program, or nullptr when not fused.
+  const FusionPlan* fusion() const { return bottom_.fusion.get(); }
 
   // Arena sizing hint: estimated forward+backward workspace bytes per layer
-  // for feature dimension `planned_dim` (see CompileExecutionPlan).
-  std::size_t planned_bytes = 0;
-  int64_t planned_dim = 0;
-  double compile_seconds = 0.0;
+  // for feature dimension `planned_dim` (see the finalize pass).
+  std::size_t planned_bytes() const { return planned_bytes_; }
+  int64_t planned_dim() const { return planned_dim_; }
+  double compile_seconds() const { return compile_seconds_; }
 
   // Kernel ISA dispatched at compile time (simd::ActiveIsa()); every level's
   // kernels run through this table. Recorded for provenance — reports and the
   // trainer's stage table show which vector unit the run actually used.
-  simd::IsaLevel isa = simd::IsaLevel::kScalar;
+  simd::IsaLevel isa() const { return isa_; }
+
+ private:
+  // The only writer; confined to src/exec/passes/.
+  friend struct PlanDraft;  // fglint-allow: plan-draft
+
+  std::string model_name_;
+  ExecStrategy strategy_ = ExecStrategy::kHybrid;
+  bool flat_ = true;
+  LevelPlan bottom_;
+  bool has_instance_ = false;
+  LevelPlan instance_;   // hierarchical HDGs only
+  bool has_schema_ = false;
+  LevelPlan schema_;     // hierarchical HDGs only
+  U32Vec edge_dst_index_;
+  std::size_t planned_bytes_ = 0;
+  int64_t planned_dim_ = 0;
+  double compile_seconds_ = 0.0;
+  simd::IsaLevel isa_ = simd::IsaLevel::kScalar;
 };
 
-// The plan is immutable after CompileExecutionPlan and safe to *read* from
-// kernel worker threads, but compilation and any mutation must stay on one
-// thread. fglint flags plans captured mutably in pool submissions.
-FLEXGRAPH_NOT_THREAD_SAFE(ExecutionPlan);
+// Compilation and the PlanDraft it runs over are single-threaded; the frozen
+// ExecutionPlan is all-const and safe for concurrent readers — kernel worker
+// threads and (the serving roadmap item) request threads read one plan
+// simultaneously with no locking.
+FLEXGRAPH_SHARED_AFTER_FREEZE(ExecutionPlan);
 
-// Compiles the plan for one (model, HDG, strategy) triple. `hint_dim` is the
-// feature width used for the workspace-size estimate (pass the model's
-// widest layer dimension; the estimate is a reservation hint, not a cap).
+// Compiles the plan for one (model, HDG, strategy) triple through the pass
+// pipeline. `hint_dim` is the feature width used for the workspace-size
+// estimate (pass the model's widest layer dimension; the estimate is a
+// reservation hint, not a cap).
 ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg,
                                    ExecStrategy strategy, int64_t hint_dim = 64);
+ExecutionPlan CompileExecutionPlan(const std::string& model_name, const Hdg& hdg,
+                                   ExecStrategy strategy, int64_t hint_dim,
+                                   const PlanOptions& options);
 
 }  // namespace flexgraph
 

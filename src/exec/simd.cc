@@ -136,6 +136,24 @@ void ProfSegmentReduce(const float* x, int64_t d, const uint32_t* ids,
   ProfBase()->segment_reduce(x, d, ids, offsets, s_lo, s_hi, kind, out);
 }
 
+void ProfSegmentReduceExt(const float* x, int64_t base_rows, const float* partials,
+                          int64_t d, const uint32_t* ids, const uint64_t* offsets,
+                          const uint64_t* scale_offsets, int64_t s_lo, int64_t s_hi,
+                          Reduce kind, float* out) {
+  const int64_t segs = s_hi - s_lo;
+  const int64_t refs = static_cast<int64_t>(offsets[s_hi] - offsets[s_lo]);
+  // Same shape as segment_reduce with ids always present, plus the original
+  // widths read from scale_offsets when mean-scaling.
+  const int64_t read = refs * (d * kF + kIdx) + (segs + 1) * kOff +
+                       (kind == Reduce::kMean && scale_offsets != nullptr
+                            ? (segs + 1) * kOff
+                            : 0);
+  const int64_t flops = refs * d + (kind == Reduce::kMean ? segs * d : 0);
+  obs::TimedKernelScope scope(ProfKernel::kSegmentReduceExt, read, segs * d * kF, flops);
+  ProfBase()->segment_reduce_ext(x, base_rows, partials, d, ids, offsets, scale_offsets,
+                                 s_lo, s_hi, kind, out);
+}
+
 void ProfIndirectBackward(const float* grad_out, int64_t d, const uint64_t* src_offsets,
                           const uint32_t* src_segments, const uint64_t* seg_offsets,
                           Reduce kind, int64_t v_lo, int64_t v_hi, float* gx) {
@@ -200,6 +218,7 @@ void InstallProfShims() {
   g_prof_table.scale_row = ProfScaleRow;
   g_prof_table.axpy_row = ProfAxpyRow;
   g_prof_table.segment_reduce = ProfSegmentReduce;
+  g_prof_table.segment_reduce_ext = ProfSegmentReduceExt;
   g_prof_table.indirect_backward = ProfIndirectBackward;
   g_prof_table.scatter_rows = ProfScatterRows;
   g_prof_table.group_reduce = ProfGroupReduce;

@@ -70,6 +70,20 @@ struct KernelTable {
                          const uint64_t* offsets, int64_t s_lo, int64_t s_hi, Reduce kind,
                          float* out);
 
+  // Extended-id gather-reduce for the fused bottom level (common-subtree
+  // fusion): id < base_rows reads x row id, id >= base_rows reads partials
+  // row (id - base_rows). Mean scales by the ORIGINAL segment width
+  // scale_offsets[s+1] - scale_offsets[s] (scale_offsets == nullptr falls
+  // back to the rewritten width — the partial-build calls, which are always
+  // kSum). Accumulation is the same zeroed left-fold as segment_reduce, so
+  // seeding a segment with its materialized prefix keeps results bitwise
+  // identical to the unfused reduce. `out` is the full output base (row
+  // stride d) and must be zeroed for sum/mean.
+  void (*segment_reduce_ext)(const float* x, int64_t base_rows, const float* partials,
+                             int64_t d, const uint32_t* ids, const uint64_t* offsets,
+                             const uint64_t* scale_offsets, int64_t s_lo, int64_t s_hi,
+                             Reduce kind, float* out);
+
   // Planned bottom-level backward over source rows [v_lo, v_hi): row v of gx
   // accumulates grad rows src_segments[src_offsets[v] .. src_offsets[v+1]),
   // scaled by 1/segment-width for mean. gx must be zeroed.

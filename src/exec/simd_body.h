@@ -129,6 +129,55 @@ struct Body {
     }
   }
 
+  // ---- Extended-id gather-reduce (fused bottom level) ----
+
+  static void SegmentReduceExt(const float* x, int64_t base_rows, const float* partials,
+                               int64_t d, const uint32_t* ids, const uint64_t* offsets,
+                               const uint64_t* scale_offsets, int64_t s_lo, int64_t s_hi,
+                               Reduce kind, float* out) {
+    const uint64_t chunk_end = offsets[static_cast<std::size_t>(s_hi)];
+    const auto row = [&](uint64_t e) {
+      const int64_t id = static_cast<int64_t>(ids[e]);
+      return id < base_rows ? x + id * d : partials + (id - base_rows) * d;
+    };
+    for (int64_t s = s_lo; s < s_hi; ++s) {
+      const uint64_t lo = offsets[static_cast<std::size_t>(s)];
+      const uint64_t hi = offsets[static_cast<std::size_t>(s) + 1];
+      if (lo == hi) {
+        continue;  // empty segment: stays zero (sum) / zero-filled (max)
+      }
+      float* dst = out + s * d;
+      if (kind == Reduce::kMax || kind == Reduce::kMin) {
+        std::memcpy(dst, row(lo), static_cast<std::size_t>(d) * sizeof(float));
+        for (uint64_t e = lo + 1; e < hi; ++e) {
+          if (e + kPrefetchLeafRows < chunk_end) {
+            __builtin_prefetch(row(e + kPrefetchLeafRows));
+          }
+          if (kind == Reduce::kMax) {
+            MaxRow(dst, row(e), d);
+          } else {
+            MinRow(dst, row(e), d);
+          }
+        }
+        continue;
+      }
+      for (uint64_t e = lo; e < hi; ++e) {
+        if (e + kPrefetchLeafRows < chunk_end) {
+          __builtin_prefetch(row(e + kPrefetchLeafRows));
+        }
+        AddRow(dst, row(e), d);
+      }
+      if (kind == Reduce::kMean) {
+        const uint64_t width =
+            scale_offsets != nullptr
+                ? scale_offsets[static_cast<std::size_t>(s) + 1] -
+                      scale_offsets[static_cast<std::size_t>(s)]
+                : hi - lo;
+        ScaleRow(dst, 1.0f / static_cast<float>(width), d);
+      }
+    }
+  }
+
   // ---- Planned bottom-level backward (source-row gather) ----
 
   static void IndirectBackward(const float* grad_out, int64_t d, const uint64_t* src_offsets,
@@ -326,6 +375,7 @@ KernelTable MakeTable(IsaLevel level, const char* name) {
   t.scale_row = &Body<V>::ScaleRow;
   t.axpy_row = &Body<V>::AxpyRow;
   t.segment_reduce = &Body<V>::SegmentReduce;
+  t.segment_reduce_ext = &Body<V>::SegmentReduceExt;
   t.indirect_backward = &Body<V>::IndirectBackward;
   t.scatter_rows = &Body<V>::ScatterRows;
   t.group_reduce = &Body<V>::GroupReduce;

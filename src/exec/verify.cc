@@ -112,6 +112,144 @@ void CheckChunks(IssueSink& sink, const std::string& array,
   }
 }
 
+// Common-subtree fusion invariants (FusionPlan, level label "fusion"):
+//   - structure: partial build / rewritten root offset arrays well-formed;
+//   - acyclicity: a partial references only input rows and strictly
+//     lower-indexed partials, so the build program has a topological order;
+//   - range: every extended id (build refs and rewritten root refs) lies in
+//     [0, base_rows + num_partials);
+//   - profitability: every materialized partial has >= 2 consumers across
+//     the rewritten root and the other partials (a single-consumer partial
+//     is a pure loss: one materialization + one read replaces one read);
+//   - semantics: recursively expanding each rewritten segment reproduces the
+//     level's original leaf list exactly, order included (prefix fusion is
+//     order-preserving — this is what makes the fused fold bitwise equal).
+// Each check returns on first failure so a corrupted program names exactly
+// one issue.
+void VerifyFusion(VerifyResult* result, const LevelPlan& bottom) {
+  IssueSink sink(result, "fusion");
+  const FusionPlan& f = *bottom.fusion;
+  if (!f.partial_offsets || !f.partial_ids || !f.offsets || !f.ids || !f.scale_offsets) {
+    sink.Fail("fusion", -1, "fusion program is missing index arrays");
+    return;
+  }
+  const auto& poffs = *f.partial_offsets;
+  const auto& pids = *f.partial_ids;
+  const auto& offs = *f.offsets;
+  const auto& ids = *f.ids;
+  const uint64_t ext_rows = static_cast<uint64_t>(f.base_rows + f.num_partials);
+
+  const std::size_t issues_before = result->issues.size();
+  CheckOffsets(sink, "partial_offsets", poffs, f.num_partials,
+               static_cast<int64_t>(pids.size()));
+  CheckOffsets(sink, "offsets", offs, bottom.num_segments, static_cast<int64_t>(ids.size()));
+  if (result->issues.size() != issues_before) {
+    return;  // structure broken; element checks would cascade
+  }
+
+  for (int64_t p = 0; p < f.num_partials; ++p) {
+    for (uint64_t e = poffs[static_cast<std::size_t>(p)];
+         e < poffs[static_cast<std::size_t>(p) + 1]; ++e) {
+      const uint32_t id = pids[e];
+      if (static_cast<uint64_t>(id) >= ext_rows) {
+        sink.Fail("partial_ids", static_cast<int64_t>(e),
+                  "extended id " + U64(id) + " out of range [0, " + U64(ext_rows) + ")");
+        return;
+      }
+      if (static_cast<int64_t>(id) >= f.base_rows + p) {
+        sink.Fail("partial_ids", static_cast<int64_t>(e),
+                  "partial " + I64(p) + " references partial " +
+                      I64(static_cast<int64_t>(id) - f.base_rows) +
+                      "; the dependency order must be strictly lower-indexed (acyclic)");
+        return;
+      }
+    }
+  }
+
+  for (std::size_t e = 0; e < ids.size(); ++e) {
+    if (static_cast<uint64_t>(ids[e]) >= ext_rows) {
+      sink.Fail("ids", static_cast<int64_t>(e),
+                "rewritten index " + U64(ids[e]) + " out of range [0, " + U64(ext_rows) +
+                    ")");
+      return;
+    }
+  }
+
+  std::vector<uint64_t> consumers(static_cast<std::size_t>(f.num_partials), 0);
+  for (const uint32_t id : ids) {
+    if (static_cast<int64_t>(id) >= f.base_rows) {
+      ++consumers[static_cast<std::size_t>(static_cast<int64_t>(id) - f.base_rows)];
+    }
+  }
+  for (const uint32_t id : pids) {
+    if (static_cast<int64_t>(id) >= f.base_rows) {
+      ++consumers[static_cast<std::size_t>(static_cast<int64_t>(id) - f.base_rows)];
+    }
+  }
+  for (int64_t p = 0; p < f.num_partials; ++p) {
+    if (consumers[static_cast<std::size_t>(p)] < 2) {
+      sink.Fail("partials", p,
+                "shared partial " + I64(p) + " is referenced " +
+                    U64(consumers[static_cast<std::size_t>(p)]) +
+                    " time(s); a materialized partial must have at least 2 consumers");
+      return;
+    }
+  }
+
+  if (bottom.gather_index == nullptr || bottom.offsets == nullptr) {
+    return;  // missing originals already reported by the level checks
+  }
+  const auto& orig = *bottom.gather_index;
+  const auto& orig_offs = *bottom.offsets;
+  if (!std::equal(f.scale_offsets->begin(), f.scale_offsets->end(), orig_offs.begin(),
+                  orig_offs.end())) {
+    sink.Fail("scale_offsets", -1,
+              "mean-scale offsets diverge from the level's original offsets");
+    return;
+  }
+  // Memoized expansion: ascending partial index is a topological order (the
+  // acyclicity check above), so every referenced partial is already expanded.
+  std::vector<std::vector<uint32_t>> expanded(static_cast<std::size_t>(f.num_partials));
+  for (int64_t p = 0; p < f.num_partials; ++p) {
+    auto& flat = expanded[static_cast<std::size_t>(p)];
+    for (uint64_t e = poffs[static_cast<std::size_t>(p)];
+         e < poffs[static_cast<std::size_t>(p) + 1]; ++e) {
+      const uint32_t id = pids[e];
+      if (static_cast<int64_t>(id) < f.base_rows) {
+        flat.push_back(id);
+      } else {
+        const auto& sub = expanded[static_cast<std::size_t>(static_cast<int64_t>(id) -
+                                                            f.base_rows)];
+        flat.insert(flat.end(), sub.begin(), sub.end());
+      }
+    }
+  }
+  std::vector<uint32_t> segment;
+  for (int64_t s = 0; s < bottom.num_segments; ++s) {
+    segment.clear();
+    for (uint64_t e = offs[static_cast<std::size_t>(s)];
+         e < offs[static_cast<std::size_t>(s) + 1]; ++e) {
+      const uint32_t id = ids[e];
+      if (static_cast<int64_t>(id) < f.base_rows) {
+        segment.push_back(id);
+      } else {
+        const auto& sub = expanded[static_cast<std::size_t>(static_cast<int64_t>(id) -
+                                                            f.base_rows)];
+        segment.insert(segment.end(), sub.begin(), sub.end());
+      }
+    }
+    const uint64_t olo = orig_offs[static_cast<std::size_t>(s)];
+    const uint64_t ohi = orig_offs[static_cast<std::size_t>(s) + 1];
+    if (segment.size() != ohi - olo ||
+        !std::equal(segment.begin(), segment.end(), orig.begin() + static_cast<int64_t>(olo))) {
+      sink.Fail("ids", s,
+                "rewritten segment " + I64(s) +
+                    " does not expand to the original leaf list");
+      return;
+    }
+  }
+}
+
 }  // namespace
 
 std::string VerifyResult::Summary() const {
@@ -329,12 +467,12 @@ VerifyResult VerifyPlan(const ExecutionPlan& plan, const HdgView& view,
                         uint64_t num_graph_vertices) {
   VerifyResult result;
 
-  VerifyLevel(&result, "bottom", plan.bottom, /*offsets_required=*/true);
-  if (plan.has_instance) {
-    VerifyLevel(&result, "instance", plan.instance, /*offsets_required=*/true);
+  VerifyLevel(&result, "bottom", plan.bottom(), /*offsets_required=*/true);
+  if (plan.has_instance()) {
+    VerifyLevel(&result, "instance", plan.instance(), /*offsets_required=*/true);
   }
-  if (plan.has_schema) {
-    VerifyLevel(&result, "schema", plan.schema, /*offsets_required=*/false);
+  if (plan.has_schema()) {
+    VerifyLevel(&result, "schema", plan.schema(), /*offsets_required=*/false);
   }
 
   IssueSink bottom_sink(&result, "bottom");
@@ -342,13 +480,13 @@ VerifyResult VerifyPlan(const ExecutionPlan& plan, const HdgView& view,
   // Gather index tensor: same length as the forward edges, every entry a real
   // graph vertex, and byte-for-byte the leaf id array (it is the same data in
   // gather-kernel dtype).
-  if (plan.bottom.gather_index == nullptr || plan.bottom.leaf_ids == nullptr) {
-    if (plan.bottom.input_rows > 0) {
+  if (plan.bottom().gather_index == nullptr || plan.bottom().leaf_ids == nullptr) {
+    if (plan.bottom().input_rows > 0) {
       bottom_sink.Fail("gather_index", -1, "bottom level is missing its gather index");
     }
   } else {
-    const auto& gather = *plan.bottom.gather_index;
-    const auto& leaf_ids = *plan.bottom.leaf_ids;
+    const auto& gather = *plan.bottom().gather_index;
+    const auto& leaf_ids = *plan.bottom().leaf_ids;
     if (gather.size() != leaf_ids.size()) {
       bottom_sink.Fail("gather_index", -1,
                        "gather index has " + U64(gather.size()) + " entries, leaf ids have " +
@@ -371,31 +509,35 @@ VerifyResult VerifyPlan(const ExecutionPlan& plan, const HdgView& view,
     }
   }
 
-  VerifyInverseMap(&result, plan.bottom);
+  VerifyInverseMap(&result, plan.bottom());
+
+  if (plan.bottom().fusion != nullptr) {
+    VerifyFusion(&result, plan.bottom());
+  }
 
   // Cross-consistency with the HDG the plan claims to execute.
-  if (plan.flat != view.flat) {
+  if (plan.flat() != view.flat) {
     bottom_sink.Fail("plan", -1,
                      std::string("plan/HDG flatness mismatch: plan is ") +
-                         (plan.flat ? "flat" : "hierarchical") + ", HDG is " +
+                         (plan.flat() ? "flat" : "hierarchical") + ", HDG is " +
                          (view.flat ? "flat" : "hierarchical"));
   }
   const std::span<const uint64_t> hdg_bottom =
       view.flat ? view.slot_offsets : view.instance_leaf_offsets;
-  if (plan.bottom.offsets != nullptr &&
-      !std::equal(plan.bottom.offsets->begin(), plan.bottom.offsets->end(),
+  if (plan.bottom().offsets != nullptr &&
+      !std::equal(plan.bottom().offsets->begin(), plan.bottom().offsets->end(),
                   hdg_bottom.begin(), hdg_bottom.end())) {
     bottom_sink.Fail("offsets", -1, "plan bottom offsets diverge from the HDG's");
   }
-  if (plan.bottom.leaf_ids != nullptr &&
-      !std::equal(plan.bottom.leaf_ids->begin(), plan.bottom.leaf_ids->end(),
+  if (plan.bottom().leaf_ids != nullptr &&
+      !std::equal(plan.bottom().leaf_ids->begin(), plan.bottom().leaf_ids->end(),
                   view.leaf_vertex_ids.begin(), view.leaf_vertex_ids.end())) {
     bottom_sink.Fail("leaf_ids", -1, "plan leaf ids diverge from the HDG's");
   }
-  if (!plan.flat) {
+  if (!plan.flat()) {
     IssueSink instance_sink(&result, "instance");
-    if (plan.instance.offsets != nullptr &&
-        !std::equal(plan.instance.offsets->begin(), plan.instance.offsets->end(),
+    if (plan.instance().offsets != nullptr &&
+        !std::equal(plan.instance().offsets->begin(), plan.instance().offsets->end(),
                     view.slot_offsets.begin(), view.slot_offsets.end())) {
       instance_sink.Fail("offsets", -1, "plan instance offsets diverge from the HDG's slots");
     }
@@ -403,10 +545,10 @@ VerifyResult VerifyPlan(const ExecutionPlan& plan, const HdgView& view,
 
   // Flat plans carry the per-edge destination vertex (GAT broadcast): each
   // edge's destination must be the root of the segment that owns it.
-  if (plan.flat && plan.edge_dst_index != nullptr && plan.bottom.scatter_index != nullptr &&
-      view.roots.size() == static_cast<std::size_t>(plan.bottom.num_segments)) {
-    const auto& dst = *plan.edge_dst_index;
-    const auto& scatter = *plan.bottom.scatter_index;
+  if (plan.flat() && plan.edge_dst_index() != nullptr && plan.bottom().scatter_index != nullptr &&
+      view.roots.size() == static_cast<std::size_t>(plan.bottom().num_segments)) {
+    const auto& dst = *plan.edge_dst_index();
+    const auto& scatter = *plan.bottom().scatter_index;
     if (dst.size() != scatter.size()) {
       bottom_sink.Fail("edge_dst_index", -1,
                        "edge destination index has " + U64(dst.size()) + " entries, expected " +
@@ -424,7 +566,7 @@ VerifyResult VerifyPlan(const ExecutionPlan& plan, const HdgView& view,
   }
 
   // The arena reservation hint must be present whenever there is work.
-  if (plan.bottom.input_rows > 0 && plan.planned_bytes == 0) {
+  if (plan.bottom().input_rows > 0 && plan.planned_bytes() == 0) {
     IssueSink ws_sink(&result, "workspace");
     ws_sink.Fail("planned_bytes", -1, "plan has work but a zero workspace estimate");
   }
@@ -440,9 +582,9 @@ VerifyResult VerifyPlan(const ExecutionPlan& plan, const Hdg& hdg,
 VerifyResult VerifyWorkspace(const ExecutionPlan& plan, std::size_t high_water_bytes) {
   VerifyResult result;
   IssueSink sink(&result, "workspace");
-  if (high_water_bytes > plan.planned_bytes) {
+  if (high_water_bytes > plan.planned_bytes()) {
     sink.Fail("planned_bytes", -1,
-              "workspace estimate " + U64(plan.planned_bytes) +
+              "workspace estimate " + U64(plan.planned_bytes()) +
                   " bytes below the measured high water " + U64(high_water_bytes) +
                   " bytes");
   }

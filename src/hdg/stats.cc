@@ -1,0 +1,52 @@
+#include "src/hdg/stats.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace flexgraph {
+
+HdgLeafStats ComputeLeafStats(std::span<const uint64_t> offsets,
+                              std::span<const VertexId> ids) {
+  HdgLeafStats st;
+  if (offsets.size() <= 1) {
+    return st;
+  }
+  st.num_segments = offsets.size() - 1;
+  st.leaf_refs = ids.size();
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s) {
+    const uint64_t width = offsets[s + 1] - offsets[s];
+    if (width == 0) {
+      continue;
+    }
+    ++st.nonempty_segments;
+    st.max_segment_width = std::max(st.max_segment_width, width);
+    if (width >= 2) {
+      ++st.fusable_segments;
+      st.fusable_refs += width;
+    }
+  }
+  st.avg_segment_width =
+      st.nonempty_segments == 0
+          ? 0.0
+          : static_cast<double>(st.leaf_refs) / static_cast<double>(st.nonempty_segments);
+
+  VertexId max_id = 0;
+  for (const VertexId v : ids) {
+    max_id = std::max(max_id, v);
+  }
+  std::vector<uint64_t> degree(ids.empty() ? 0 : static_cast<std::size_t>(max_id) + 1, 0);
+  for (const VertexId v : ids) {
+    ++degree[v];
+  }
+  for (const uint64_t deg : degree) {
+    if (deg == 0) {
+      continue;
+    }
+    ++st.distinct_leaves;
+    st.max_leaf_degree = std::max(st.max_leaf_degree, deg);
+    st.repeat_refs += deg - 1;
+  }
+  return st;
+}
+
+}  // namespace flexgraph

@@ -60,6 +60,7 @@ enum class ProfKernel : int {
   kScaleRow,
   kAxpyRow,
   kSegmentReduce,
+  kSegmentReduceExt,
   kIndirectBackward,
   kScatterRows,
   kGroupReduce,

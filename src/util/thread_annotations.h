@@ -71,4 +71,21 @@
 #define FLEXGRAPH_NOT_THREAD_SAFE(classname) \
   static_assert(true, "single-threaded by design: " #classname)
 
+// Documentation marker for freeze-then-share types: construction/mutation is
+// single-threaded (typically through a builder/draft that IS marked
+// FLEXGRAPH_NOT_THREAD_SAFE), but once frozen every accessor is const and the
+// instance is safe for any number of concurrent readers with no locking —
+// the serving contract. Like the marker above it expands to nothing; it
+// exists so the class declaration states which side of the freeze boundary
+// the type sits on, and so fglint does NOT flag read-only captures of marked
+// classes in pool task bodies.
+//
+//   class ExecutionPlan {
+//    public:
+//     FLEXGRAPH_SHARED_AFTER_FREEZE(ExecutionPlan);
+//     ...
+//   };
+#define FLEXGRAPH_SHARED_AFTER_FREEZE(classname) \
+  static_assert(true, "immutable after freeze, concurrent readers ok: " #classname)
+
 #endif  // SRC_UTIL_THREAD_ANNOTATIONS_H_

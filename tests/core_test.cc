@@ -318,7 +318,7 @@ TEST(PlannedKernelTest, PlannedIndirectReduceBitwiseMatchesLegacy) {
     for (int threads : {1, 2, 8}) {
       exec::SetNumThreads(threads);
       Variable leaf_par = Variable::Leaf(x, /*requires_grad=*/true);
-      Variable out_par = AgIndirectSegmentReduce(leaf_par, plan.bottom, kind,
+      Variable out_par = AgIndirectSegmentReduce(leaf_par, plan.bottom(), kind,
                                                  ExecStrategy::kSparseFused, nullptr);
       out_par.Backward(seed);
       EXPECT_TRUE(BitwiseEqual(out_seq.value(), out_par.value()))

@@ -108,17 +108,17 @@ TEST(ExecutionPlanTest, BottomLevelLayoutMatchesHdg) {
   Hdg hdg = BuildHdgAllVertices(model, ds.graph, rng);
   const ExecutionPlan plan = CompileExecutionPlan("gcn", hdg, ExecStrategy::kHybrid);
 
-  EXPECT_EQ(plan.model_name, "gcn");
+  EXPECT_EQ(plan.model_name(), "gcn");
   const auto leaf_span = hdg.leaf_vertex_ids();
-  ASSERT_TRUE(plan.bottom.offsets);
-  ASSERT_TRUE(plan.bottom.gather_index);
-  EXPECT_EQ(plan.bottom.gather_index->size(), leaf_span.size());
-  EXPECT_EQ(plan.bottom.input_rows, static_cast<int64_t>(leaf_span.size()));
-  EXPECT_EQ(plan.bottom.offsets->back(), leaf_span.size());
+  ASSERT_TRUE(plan.bottom().offsets);
+  ASSERT_TRUE(plan.bottom().gather_index);
+  EXPECT_EQ(plan.bottom().gather_index->size(), leaf_span.size());
+  EXPECT_EQ(plan.bottom().input_rows, static_cast<int64_t>(leaf_span.size()));
+  EXPECT_EQ(plan.bottom().offsets->back(), leaf_span.size());
   for (std::size_t i = 0; i < leaf_span.size(); ++i) {
-    ASSERT_EQ((*plan.bottom.gather_index)[i], leaf_span[i]) << "at leaf " << i;
+    ASSERT_EQ((*plan.bottom().gather_index)[i], leaf_span[i]) << "at leaf " << i;
   }
-  EXPECT_GT(plan.planned_bytes, 0u);
+  EXPECT_GT(plan.planned_bytes(), 0u);
 }
 
 TEST(ExecutionPlanTest, InverseMapListsEachLeafOccurrenceInEdgeOrder) {
@@ -128,13 +128,13 @@ TEST(ExecutionPlanTest, InverseMapListsEachLeafOccurrenceInEdgeOrder) {
   Hdg hdg = BuildHdgAllVertices(model, ds.graph, rng);
   const ExecutionPlan plan = CompileExecutionPlan("gcn", hdg, ExecStrategy::kHybrid);
 
-  ASSERT_TRUE(plan.bottom.src_offsets);
-  ASSERT_TRUE(plan.bottom.src_edge_segments);
-  const auto& src_offsets = *plan.bottom.src_offsets;
-  const auto& src_segments = *plan.bottom.src_edge_segments;
-  const auto& offsets = *plan.bottom.offsets;
-  const auto& ids = *plan.bottom.gather_index;
-  ASSERT_EQ(src_offsets.size(), static_cast<std::size_t>(plan.bottom.src_rows) + 1);
+  ASSERT_TRUE(plan.bottom().src_offsets);
+  ASSERT_TRUE(plan.bottom().src_edge_segments);
+  const auto& src_offsets = *plan.bottom().src_offsets;
+  const auto& src_segments = *plan.bottom().src_edge_segments;
+  const auto& offsets = *plan.bottom().offsets;
+  const auto& ids = *plan.bottom().gather_index;
+  ASSERT_EQ(src_offsets.size(), static_cast<std::size_t>(plan.bottom().src_rows) + 1);
   ASSERT_EQ(src_segments.size(), ids.size());
 
   // Recompute the inverse by walking edges in ascending order — the exact
@@ -167,7 +167,7 @@ TEST(ExecutionPlanTest, EngineRecompilesPlanOnModelSwitch) {
   EXPECT_EQ(engine.plan(), nullptr);
   engine.EnsureHdg(gcn, hdg_rng, nullptr);
   ASSERT_NE(engine.plan(), nullptr);
-  EXPECT_EQ(engine.plan()->model_name, "gcn");
+  EXPECT_EQ(engine.plan()->model_name(), "gcn");
   const int64_t compiles_after_gcn = ExecCounter("exec.plan_compiles");
 
   // Same model again: cache holds, no recompilation.
@@ -177,7 +177,7 @@ TEST(ExecutionPlanTest, EngineRecompilesPlanOnModelSwitch) {
   // Different model: both HDG and plan are rebuilt.
   engine.EnsureHdg(gin, hdg_rng, nullptr);
   ASSERT_NE(engine.plan(), nullptr);
-  EXPECT_EQ(engine.plan()->model_name, "gin");
+  EXPECT_EQ(engine.plan()->model_name(), "gin");
   EXPECT_GT(ExecCounter("exec.plan_compiles"), compiles_after_gcn);
 
   engine.InvalidateHdgCache();
@@ -226,7 +226,7 @@ TEST(ExecutionPlanTest, WorkspaceReservationComesFromPlanEstimate) {
   Rng hdg_rng(29);
   engine.EnsureHdg(model, hdg_rng, nullptr);
   ASSERT_NE(engine.plan(), nullptr);
-  EXPECT_GE(engine.workspace().reserved_bytes(), engine.plan()->planned_bytes);
+  EXPECT_GE(engine.workspace().reserved_bytes(), engine.plan()->planned_bytes());
 }
 
 // ---- Bitwise determinism: the plan path vs. the legacy path ----

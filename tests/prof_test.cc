@@ -154,6 +154,37 @@ TEST_F(ProfTest, SgdStepAccounting) {
   EXPECT_EQ(row.flops, 4 * n);
 }
 
+TEST_F(ProfTest, SegmentReduceExtAccounting) {
+  const int64_t d = 4;
+  const Tensor x = Filled(3, d);
+  const Tensor partials = Filled(1, d, 2.0f);
+  // Rewritten root over 2 segments: segment 0 = [partial 0], segment 1 =
+  // [rows 0, 2]; original widths (scale offsets) are 2 and 2.
+  const std::vector<uint32_t> ids = {3, 0, 2};
+  const std::vector<uint64_t> offsets = {0, 1, 3};
+  const std::vector<uint64_t> scale = {0, 2, 4};
+  Tensor out = WsTensor(2, d);
+  simd::Kernels().segment_reduce_ext(x.data(), /*base_rows=*/3, partials.data(), d,
+                                     ids.data(), offsets.data(), scale.data(), 0, 2,
+                                     simd::Reduce::kMean, out.data());
+  // Extended id 3 reads partials row 0; mean scales by the ORIGINAL width.
+  for (int64_t j = 0; j < d; ++j) {
+    EXPECT_EQ(out.Row(0)[j], partials.Row(0)[j] * 0.5f);
+    EXPECT_EQ(out.Row(1)[j], (x.Row(0)[j] + x.Row(2)[j]) * 0.5f);
+  }
+
+  const KernelProfileRow row = Row(ProfKernel::kSegmentReduceExt);
+  const int64_t refs = 3;
+  const int64_t segs = 2;
+  const int64_t kOff = static_cast<int64_t>(sizeof(uint64_t));
+  EXPECT_EQ(row.calls, 1);
+  // Ref rows + extended ids, the segment bounds, and (mean only) the
+  // original-width offsets.
+  EXPECT_EQ(row.bytes_read, refs * (d * kF + kIdx) + 2 * (segs + 1) * kOff);
+  EXPECT_EQ(row.bytes_written, segs * d * kF);
+  EXPECT_EQ(row.flops, refs * d + segs * d);
+}
+
 TEST_F(ProfTest, UntimedScopeRecordsNothing) {
   {
     TimedKernelScope scope(ProfKernel::kElementwise, 100, 100, 100, /*enabled=*/false);

@@ -13,6 +13,7 @@
 
 #include "src/core/engine.h"
 #include "src/data/datasets.h"
+#include "src/exec/passes/pass.h"
 #include "src/models/gat.h"
 #include "src/models/gcn.h"
 #include "src/models/gin.h"
@@ -241,35 +242,37 @@ TEST(VerifyHdgNegative, SchemaTreeMustBeShared) {
   ExpectIssue(VerifyHdg(view, kNumVertices), "hdg", "schema", -1);
 }
 
-// Builds the execution plan matching FlatFixture: one bottom level, the
+// Builds the plan draft matching FlatFixture: one bottom level, the
 // elided-Dst scatter {0, 0, 1}, gather = leaf ids, and the true inverse map.
-ExecutionPlan MakeFlatPlan(const FlatFixture& fx) {
-  ExecutionPlan plan;
-  plan.model_name = "fixture";
-  plan.flat = true;
-  plan.planned_bytes = 4096;
-  plan.planned_dim = 4;
+// Negative tests corrupt the draft, Freeze() it, and verify the frozen plan
+// — the frozen ExecutionPlan itself is immutable by design.
+PlanDraft MakeFlatDraft(const FlatFixture& fx) {
+  PlanDraft draft;
+  draft.model_name = "fixture";
+  draft.flat = true;
+  draft.planned_bytes = 4096;
+  draft.planned_dim = 4;
 
-  LevelPlan& b = plan.bottom;
+  LevelDraft& b = draft.bottom;
   b.kernel = LevelKernelClass::kGatherSegmentReduce;
   b.num_segments = 2;
   b.input_rows = 3;
-  b.offsets = std::make_shared<const std::vector<uint64_t>>(fx.slot_offsets);
-  b.leaf_ids = std::make_shared<const std::vector<VertexId>>(fx.leaf_ids);
-  b.gather_index =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 2, 0});
-  b.scatter_index =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{0, 0, 1});
-  b.chunks = std::make_shared<const std::vector<int64_t>>(std::vector<int64_t>{0, 2});
+  b.offsets = fx.slot_offsets;
+  b.leaf_ids = fx.leaf_ids;
+  b.gather_index = {1, 2, 0};
+  b.scatter_index = {0, 0, 1};
+  b.chunks = {0, 2};
   // Inverse: vertex 0 feeds segment 1 (edge 2), vertex 1 feeds segment 0
   // (edge 0), vertex 2 feeds segment 0 (edge 1).
   b.src_rows = 3;
-  b.src_offsets =
-      std::make_shared<const std::vector<uint64_t>>(std::vector<uint64_t>{0, 1, 2, 3});
-  b.src_edge_segments =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 0, 0});
-  b.src_chunks = std::make_shared<const std::vector<int64_t>>(std::vector<int64_t>{0, 3});
-  return plan;
+  b.src_offsets = {0, 1, 2, 3};
+  b.src_edge_segments = {1, 0, 0};
+  b.src_chunks = {0, 3};
+  return draft;
+}
+
+ExecutionPlan MakeFlatPlan(const FlatFixture& fx) {
+  return MakeFlatDraft(fx).Freeze();
 }
 
 TEST(VerifyPlanNegative, FixtureIsCleanBeforeCorruption) {
@@ -280,11 +283,11 @@ TEST(VerifyPlanNegative, FixtureIsCleanBeforeCorruption) {
 
 TEST(VerifyPlanNegative, ScatterMustMatchOffsets) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
+  PlanDraft draft = MakeFlatDraft(fx);
   // Edge 1 claims segment 1 but lives in segment 0's offset range — the
   // elided in-between Dst property is broken at exactly that edge.
-  plan.bottom.scatter_index =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{0, 1, 1});
+  draft.bottom.scatter_index = {0, 1, 1};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "bottom");
@@ -294,9 +297,9 @@ TEST(VerifyPlanNegative, ScatterMustMatchOffsets) {
 
 TEST(VerifyPlanNegative, GatherIndexMustBeInRange) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
-  plan.bottom.gather_index =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 7, 0});
+  PlanDraft draft = MakeFlatDraft(fx);
+  draft.bottom.gather_index = {1, 7, 0};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "bottom");
@@ -306,9 +309,9 @@ TEST(VerifyPlanNegative, GatherIndexMustBeInRange) {
 
 TEST(VerifyPlanNegative, GatherIndexMustMirrorLeafIds) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
-  plan.bottom.gather_index =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 2, 2});
+  PlanDraft draft = MakeFlatDraft(fx);
+  draft.bottom.gather_index = {1, 2, 2};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].array, "gather_index");
@@ -317,10 +320,10 @@ TEST(VerifyPlanNegative, GatherIndexMustMirrorLeafIds) {
 
 TEST(VerifyPlanNegative, InverseMapMustRecordTheForwardSegments) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
+  PlanDraft draft = MakeFlatDraft(fx);
   // Vertex 1's only edge scatters to segment 0; the inverse claims 1.
-  plan.bottom.src_edge_segments =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 1, 0});
+  draft.bottom.src_edge_segments = {1, 1, 0};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "bottom");
@@ -330,13 +333,12 @@ TEST(VerifyPlanNegative, InverseMapMustRecordTheForwardSegments) {
 
 TEST(VerifyPlanNegative, InverseBucketsMustPartitionTheEdges) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
+  PlanDraft draft = MakeFlatDraft(fx);
   // Vertex 0's bucket advertises two edges; the forward scatter has one, so
   // the cursor walk reads vertex 1's slot out of place.
-  plan.bottom.src_offsets =
-      std::make_shared<const std::vector<uint64_t>>(std::vector<uint64_t>{0, 2, 2, 3});
-  plan.bottom.src_edge_segments =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 0, 0});
+  draft.bottom.src_offsets = {0, 2, 2, 3};
+  draft.bottom.src_edge_segments = {1, 0, 0};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "bottom");
@@ -344,9 +346,9 @@ TEST(VerifyPlanNegative, InverseBucketsMustPartitionTheEdges) {
 
 TEST(VerifyPlanNegative, ChunksMustCoverAllSegments) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
-  plan.bottom.chunks =
-      std::make_shared<const std::vector<int64_t>>(std::vector<int64_t>{0, 1});
+  PlanDraft draft = MakeFlatDraft(fx);
+  draft.bottom.chunks = {0, 1};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "bottom");
@@ -356,14 +358,12 @@ TEST(VerifyPlanNegative, ChunksMustCoverAllSegments) {
 
 TEST(VerifyPlanNegative, PlanOffsetsMustMirrorTheHdg) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
+  PlanDraft draft = MakeFlatDraft(fx);
   // Valid in isolation (same totals) but not the HDG's segmentation.
-  plan.bottom.offsets =
-      std::make_shared<const std::vector<uint64_t>>(std::vector<uint64_t>{0, 1, 3});
-  plan.bottom.scatter_index =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{0, 1, 1});
-  plan.bottom.src_edge_segments =
-      std::make_shared<const std::vector<uint32_t>>(std::vector<uint32_t>{1, 0, 1});
+  draft.bottom.offsets = {0, 1, 3};
+  draft.bottom.scatter_index = {0, 1, 1};
+  draft.bottom.src_edge_segments = {1, 0, 1};
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "bottom");
@@ -373,8 +373,9 @@ TEST(VerifyPlanNegative, PlanOffsetsMustMirrorTheHdg) {
 
 TEST(VerifyPlanNegative, FlatnessMustMatch) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
-  plan.flat = false;
+  PlanDraft draft = MakeFlatDraft(fx);
+  draft.flat = false;
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   bool found = false;
@@ -386,19 +387,128 @@ TEST(VerifyPlanNegative, FlatnessMustMatch) {
 
 TEST(VerifyPlanNegative, WorkEstimateMustBeNonZero) {
   FlatFixture fx;
-  ExecutionPlan plan = MakeFlatPlan(fx);
-  plan.planned_bytes = 0;
+  PlanDraft draft = MakeFlatDraft(fx);
+  draft.planned_bytes = 0;
+  const ExecutionPlan plan = std::move(draft).Freeze();
   const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "workspace");
   EXPECT_EQ(result.issues[0].array, "planned_bytes");
 }
 
+// ---- Fusion invariants: corrupt one each, expect the exact diagnostic ----
+
+// A flat fixture where fusion is genuinely profitable: both roots aggregate
+// the same leaves {1, 2}, so one shared partial (extended id 3) serves both
+// rewritten segments.
+struct FusedFixture {
+  std::vector<VertexId> roots = {0, 1};
+  std::vector<uint64_t> slot_offsets = {0, 2, 4};
+  std::vector<VertexId> leaf_ids = {1, 2, 1, 2};
+
+  HdgView View() const {
+    HdgView view;
+    view.flat = true;
+    view.num_roots = 2;
+    view.num_types = 1;
+    view.roots = roots;
+    view.slot_offsets = slot_offsets;
+    view.leaf_vertex_ids = leaf_ids;
+    view.schema_bytes = 64;
+    view.naive_schema_bytes = 128;
+    return view;
+  }
+};
+
+PlanDraft MakeFusedDraft(const FusedFixture& fx) {
+  PlanDraft draft;
+  draft.model_name = "fused-fixture";
+  draft.flat = true;
+  draft.planned_bytes = 4096;
+  draft.planned_dim = 4;
+
+  LevelDraft& b = draft.bottom;
+  b.kernel = LevelKernelClass::kFused;
+  b.num_segments = 2;
+  b.input_rows = 4;
+  b.offsets = fx.slot_offsets;
+  b.leaf_ids = fx.leaf_ids;
+  b.gather_index = {1, 2, 1, 2};
+  b.scatter_index = {0, 0, 1, 1};
+  b.chunks = {0, 2};
+  b.src_rows = 3;
+  b.src_offsets = {0, 0, 2, 4};
+  b.src_edge_segments = {0, 1, 0, 1};
+  b.src_chunks = {0, 3};
+
+  draft.has_fusion = true;
+  FusionDraft& f = draft.fusion;
+  f.base_rows = 3;
+  f.num_partials = 1;
+  f.partial_offsets = {0, 2};
+  f.partial_ids = {1, 2};  // partial 0 = rows 1 + 2
+  f.level_ends = {1};
+  f.offsets = {0, 1, 2};
+  f.ids = {3, 3};  // both segments read the shared partial
+  f.chunks = {0, 2};
+  f.leaf_refs_before = 4;
+  f.leaf_refs_after = 4;  // 2 rewritten refs + 2 build refs
+  return draft;
+}
+
+TEST(VerifyFusionNegative, FusedFixtureIsCleanBeforeCorruption) {
+  FusedFixture fx;
+  const ExecutionPlan plan = MakeFusedDraft(fx).Freeze();
+  const VerifyResult result = VerifyPlan(plan, fx.View(), kNumVertices);
+  EXPECT_TRUE(result.ok()) << result.Summary();
+}
+
+TEST(VerifyFusionNegative, SharedPartialMustHaveTwoConsumers) {
+  FusedFixture fx;
+  PlanDraft draft = MakeFusedDraft(fx);
+  // Segment 1 reads row 0 directly instead of the partial: the materialized
+  // partial is left with a single consumer — a pure loss, never a valid
+  // miner output.
+  draft.fusion.ids = {3, 0};
+  const ExecutionPlan plan = std::move(draft).Freeze();
+  ExpectIssue(VerifyPlan(plan, fx.View(), kNumVertices), "fusion", "partials", 0);
+}
+
+TEST(VerifyFusionNegative, PartialDependenciesMustBeAcyclic) {
+  FusedFixture fx;
+  PlanDraft draft = MakeFusedDraft(fx);
+  // Partial 0's build list references extended id 3 — partial 0 itself.
+  draft.fusion.partial_ids = {1, 3};
+  const ExecutionPlan plan = std::move(draft).Freeze();
+  ExpectIssue(VerifyPlan(plan, fx.View(), kNumVertices), "fusion", "partial_ids", 1);
+}
+
+TEST(VerifyFusionNegative, RewrittenIndicesMustBeInRange) {
+  FusedFixture fx;
+  PlanDraft draft = MakeFusedDraft(fx);
+  // Extended-id space is [0, base_rows + num_partials) = [0, 4); 9 points at
+  // neither an input row nor a partial.
+  draft.fusion.ids = {3, 9};
+  const ExecutionPlan plan = std::move(draft).Freeze();
+  ExpectIssue(VerifyPlan(plan, fx.View(), kNumVertices), "fusion", "ids", 1);
+}
+
+TEST(VerifyFusionNegative, RewrittenSegmentsMustExpandToTheOriginalLeaves) {
+  FusedFixture fx;
+  PlanDraft draft = MakeFusedDraft(fx);
+  // Structurally valid (in range, acyclic, two consumers) but segment 1's
+  // expansion is {1, 2, 1, 2}, not the original {1, 2}.
+  draft.fusion.ids = {3, 3, 3};
+  draft.fusion.offsets = {0, 1, 3};
+  const ExecutionPlan plan = std::move(draft).Freeze();
+  ExpectIssue(VerifyPlan(plan, fx.View(), kNumVertices), "fusion", "ids", 1);
+}
+
 TEST(VerifyWorkspaceNegative, HighWaterAboveEstimateIsAnIssue) {
   FlatFixture fx;
   const ExecutionPlan plan = MakeFlatPlan(fx);
-  EXPECT_TRUE(VerifyWorkspace(plan, plan.planned_bytes).ok());
-  const VerifyResult result = VerifyWorkspace(plan, plan.planned_bytes + 1);
+  EXPECT_TRUE(VerifyWorkspace(plan, plan.planned_bytes()).ok());
+  const VerifyResult result = VerifyWorkspace(plan, plan.planned_bytes() + 1);
   ASSERT_FALSE(result.ok());
   EXPECT_EQ(result.issues[0].level, "workspace");
   EXPECT_EQ(result.issues[0].array, "planned_bytes");

@@ -247,6 +247,17 @@ const std::vector<TokenRule>& TokenRules() {
             return InLintedTree(rel) && rel.rfind("src/obs/", 0) != 0;
           },
       },
+      {
+          "plan-draft",
+          {"PlanDraft", "LevelDraft", "FusionDraft"},
+          {},
+          "plan construction is confined to the pass pipeline "
+          "(src/exec/passes/): everything else consumes the frozen "
+          "ExecutionPlan through its const accessors",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel.rfind("src/exec/passes/", 0) != 0;
+          },
+      },
   };
   return rules;
 }

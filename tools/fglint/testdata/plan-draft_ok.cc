@@ -1,0 +1,16 @@
+// Fixture: the sanctioned way to obtain and consume a plan — compile through
+// the pipeline entry point, then read the frozen accessors. None of these
+// lines may fire.
+#include "src/exec/plan.h"
+
+int64_t PlannedFootprint(const flexgraph::HierarchicalDag& hdg) {
+  const flexgraph::ExecutionPlan plan =
+      flexgraph::CompileExecutionPlan("gcn", flexgraph::ExecStrategy::kHybrid, hdg);
+  return plan.planned_bytes();
+}
+
+// A declaration that genuinely needs the draft type keeps working under the
+// escape hatch.
+namespace flexgraph {
+struct PlanDraft;  // fglint-allow: plan-draft
+}

@@ -16,6 +16,7 @@
 //                   [--seed 7]
 //                   [--metrics-json path] [--metrics-csv path] [--trace path]
 //                   [--metrics-every n] [--verify-plan] [--profile]
+//                   [--fuse on|off]
 //
 // With --workers > 1 training runs on the distributed runtime and reports
 // per-epoch makespans; otherwise the single-machine engine trains with full
@@ -354,6 +355,16 @@ bool ParseArgs(int argc, char** argv, CliOptions& opts) {
       opts.trace = value;
     } else if (arg == "--metrics-every" && (value = next())) {
       opts.metrics_every = std::atoi(value);
+    } else if (arg == "--fuse" && (value = next())) {
+      // Plan-compiler knob, not engine state: the compiler reads
+      // FLEXGRAPH_FUSE wherever plans are built (including distributed
+      // workers forked from this process), so the flag routes through the
+      // environment.
+      if (std::string(value) != "on" && std::string(value) != "off") {
+        std::fprintf(stderr, "--fuse expects on|off\n");
+        return false;
+      }
+      setenv("FLEXGRAPH_FUSE", value, /*overwrite=*/1);
     } else if (arg == "--verify-plan") {
       opts.verify_plan = true;
       continue;
@@ -780,7 +791,7 @@ int main(int argc, char** argv) {
                  "                       [--inject-kill E:W[:L]]\n"
                  "                       [--metrics-json PATH] [--metrics-csv PATH]\n"
                  "                       [--trace PATH] [--metrics-every N]\n"
-                 "                       [--verify-plan] [--profile]\n");
+                 "                       [--verify-plan] [--profile] [--fuse on|off]\n");
     return 1;
   }
   if (!opts.trace.empty()) {
