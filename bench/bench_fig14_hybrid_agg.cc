@@ -28,6 +28,31 @@ double AggregationSeconds(const Dataset& ds, const std::string& model_name,
   return times.aggregation / epochs;
 }
 
+// Best-of-epochs variant for the thread-scaling sweep: the per-epoch minimum
+// filters scheduler noise (a time-shared runner can move a single epoch by
+// more than the effect being measured), which the speedup-ratio gate needs.
+double AggregationSecondsMin(const Dataset& ds, const std::string& model_name,
+                             ExecStrategy strategy, int epochs) {
+  Rng rng(5);
+  GnnModel model = BenchModel(model_name, ds, rng);
+  Engine engine(ds.graph, strategy);
+  Rng epoch_rng(7);
+  StageTimes warmup;
+  engine.Infer(model, ds.features, epoch_rng, &warmup);
+  double best = 0.0;
+  double prev = 0.0;
+  StageTimes acc;
+  for (int e = 0; e < epochs; ++e) {
+    engine.Infer(model, ds.features, epoch_rng, &acc);
+    const double epoch_seconds = acc.aggregation - prev;
+    prev = acc.aggregation;
+    if (e == 0 || epoch_seconds < best) {
+      best = epoch_seconds;
+    }
+  }
+  return best;
+}
+
 }  // namespace
 }  // namespace flexgraph
 
@@ -61,10 +86,14 @@ int main() {
     BenchReporter fig14("fig14");
     Dataset ds = BenchDataset("fb91", /*typed=*/true);
     TablePrinter table({"threads", "HA agg seconds", "speedup vs 1 thread"});
+    // The sweep needs tighter timing than the tables: the effect being gated
+    // (speedup ratios vs 1 thread) is a few percent, so it takes min-of-reps
+    // with its own floor on the rep count rather than the table's epochs.
+    const int sweep_reps = std::max(epochs, 8);
     double t1 = 0.0;
     for (int threads : {1, 2, 4, 8}) {
       SetBenchThreads(threads);
-      const double t = AggregationSeconds(ds, "magnn", ExecStrategy::kHybrid, epochs);
+      const double t = AggregationSecondsMin(ds, "magnn", ExecStrategy::kHybrid, sweep_reps);
       if (threads == 1) {
         t1 = t;
       }
@@ -94,6 +123,52 @@ int main() {
     std::printf("\nfusion leaf refs: before=%lld after=%lld ratio=%.4f\n",
                 static_cast<long long>(refs_before),
                 static_cast<long long>(refs_after), ratio);
+
+    // Gather locality: achieved GB/s of the fused gather kernels
+    // (segment_reduce + segment_reduce_ext) over one profiled HA epoch,
+    // against a streaming reference — the roofline STREAM triad when the
+    // probe ran, else the row_copy kernel's rate from the same profiled
+    // epoch (pure sequential movement, the best a gather could do). The
+    // reorder + tiling work exists to push this ratio up.
+    {
+      const bool was_profiling = simd::KernelProfilingEnabled();
+      if (!was_profiling) {
+        simd::SetKernelProfiling(true);  // first enable runs the roofline probe
+      }
+      const obs::ProfilerReport before = obs::KernelProfiler::Get().Aggregate();
+      AggregationSeconds(ds, "magnn", ExecStrategy::kHybrid, 1);
+      const obs::ProfilerReport after = obs::KernelProfiler::Get().Aggregate();
+      if (!was_profiling) {
+        simd::SetKernelProfiling(false);
+      }
+      auto delta = [&](obs::ProfKernel k, double* bytes, double* wall) {
+        const auto& b = before.rows[static_cast<std::size_t>(k)];
+        const auto& a = after.rows[static_cast<std::size_t>(k)];
+        *bytes += static_cast<double>(a.total_bytes() - b.total_bytes());
+        *wall += a.wall_seconds - b.wall_seconds;
+      };
+      double gather_bytes = 0.0, gather_wall = 0.0;
+      delta(obs::ProfKernel::kSegmentReduce, &gather_bytes, &gather_wall);
+      delta(obs::ProfKernel::kSegmentReduceExt, &gather_bytes, &gather_wall);
+      double copy_bytes = 0.0, copy_wall = 0.0;
+      delta(obs::ProfKernel::kRowCopy, &copy_bytes, &copy_wall);
+      const double gather_gbps =
+          gather_wall > 0.0 ? gather_bytes / gather_wall * 1e-9 : 0.0;
+      const double stream_ref_gbps =
+          after.roofline.mem_bw_gbps > 0.0
+              ? after.roofline.mem_bw_gbps
+              : (copy_wall > 0.0 ? copy_bytes / copy_wall * 1e-9 : 0.0);
+      const double locality_ratio =
+          stream_ref_gbps > 0.0 ? gather_gbps / stream_ref_gbps : 0.0;
+      fig14.Record("gather_gbps", gather_gbps);
+      fig14.Record("stream_ref_gbps", stream_ref_gbps);
+      fig14.Record("gather_locality_ratio", locality_ratio);
+      std::printf("gather locality: %.2f GB/s gather vs %.2f GB/s stream (%s) "
+                  "= ratio %.3f\n",
+                  gather_gbps, stream_ref_gbps,
+                  after.roofline.mem_bw_gbps > 0.0 ? "roofline probe" : "row_copy ref",
+                  locality_ratio);
+    }
   }
   return 0;
 }

@@ -17,6 +17,13 @@ Variable HdgAggregator::BottomLevel(const Variable& vertex_feats, ReduceKind kin
   FLEX_SCOPED_SECONDS("nau.bottom_level_seconds",
                       stats_ != nullptr ? &stats_->bottom_seconds : nullptr);
   if (plan_ != nullptr) {
+    // Under the locality reorder the plan's gather stream addresses relabeled
+    // rows: permute the source tensor once at the level boundary (a bijective
+    // row copy, numerically invisible) and reduce over the relabeled arrays.
+    if (plan_->bottom().reorder != nullptr) {
+      Variable reordered = AgReorderSource(vertex_feats, *plan_->bottom().reorder);
+      return AgIndirectSegmentReduce(reordered, plan_->bottom(), kind, strategy_, stats_);
+    }
     return AgIndirectSegmentReduce(vertex_feats, plan_->bottom(), kind, strategy_, stats_);
   }
   const auto leaf_span = hdg_.leaf_vertex_ids();
@@ -58,7 +65,10 @@ Variable HdgAggregator::BottomLevelMax(const Variable& vertex_feats) const {
                                   static_cast<uint64_t>(vertex_feats.cols()) * sizeof(float);
   }
   if (plan_ != nullptr) {
-    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom().gather_index);
+    Variable src = plan_->bottom().reorder != nullptr
+                       ? AgReorderSource(vertex_feats, *plan_->bottom().reorder)
+                       : vertex_feats;
+    Variable gathered = AgGatherRows(src, plan_->bottom().gather_index);
     return AgSegmentMax(gathered, plan_->bottom().offsets);
   }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
@@ -77,7 +87,10 @@ Variable HdgAggregator::BottomLevelLstm(const Variable& vertex_feats,
   if (plan_ != nullptr) {
     // The LSTM itself stays on the legacy (vector-copy) path — its recurrence
     // is inherently sequential — but the gather index comes from the plan.
-    Variable gathered = AgGatherRows(vertex_feats, plan_->bottom().gather_index);
+    Variable src = plan_->bottom().reorder != nullptr
+                       ? AgReorderSource(vertex_feats, *plan_->bottom().reorder)
+                       : vertex_feats;
+    Variable gathered = AgGatherRows(src, plan_->bottom().gather_index);
     return AgSegmentLstm(gathered, std::vector<uint64_t>(*plan_->bottom().offsets), cell);
   }
   auto [leaf_ids, offsets] = BottomLayout(hdg_);
@@ -101,12 +114,17 @@ Variable HdgAggregator::BottomLevelEdgeAttention(const Variable& transformed,
   if (plan_ != nullptr) {
     FLEX_CHECK(plan_->edge_dst_index());
     const U32VecPtr src_index = plan_->bottom().gather_index;
+    // The reorder relabels source vertices only; edge_dst_index holds root
+    // vertex ids into dst_scores and is left in the original numbering.
+    const ReorderPlan* rp = plan_->bottom().reorder.get();
+    Variable src_sc = rp != nullptr ? AgReorderSource(src_scores, *rp) : src_scores;
+    Variable msgs_src = rp != nullptr ? AgReorderSource(transformed, *rp) : transformed;
     Variable edge_scores = AgLeakyRelu(
-        AgAdd(AgGatherRows(src_scores, src_index),
+        AgAdd(AgGatherRows(src_sc, src_index),
               AgGatherRows(dst_scores, plan_->edge_dst_index())),
         leaky_slope);
     Variable weights = AgSegmentSoftmax(edge_scores, plan_->bottom().offsets, plan_->bottom().chunks);
-    Variable messages = AgGatherRows(transformed, src_index);
+    Variable messages = AgGatherRows(msgs_src, src_index);
     Variable weighted = AgMulRowScalar(messages, weights);
     return AgSegmentReduce(weighted, plan_->bottom().offsets, ReduceKind::kSum,
                            plan_->bottom().chunks);

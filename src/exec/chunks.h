@@ -15,7 +15,11 @@ namespace flexgraph {
 // Default chunk target used by plan compilation and ad-hoc kernels. Fixed
 // (not a function of the thread count) so chunkings — and therefore results —
 // are identical no matter how many threads execute them; 64 balances well up
-// to 16 threads.
+// to 16 threads. Re-checked after the RunBatch pool change: ParallelChunks
+// coalesces chunks into at most threads*2 tasks, so the chunk count no
+// longer drives queue-handshake overhead (a flat ~1-4 us per batch on the
+// cutover sweep) — only load balance, where 64 remains comfortably finer
+// than any supported thread count.
 inline constexpr int64_t kPlanChunkTarget = 64;
 
 // Chunk boundaries over segments, balanced by per-segment width

@@ -115,8 +115,10 @@ void ParallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
     const std::int64_t hi = std::min(end, lo + step);
     tasks.push_back([lo, hi, &body] { body(lo, hi); });
   }
-  pool->SubmitBatch(std::move(tasks));
-  pool->Wait();
+  // RunBatch shares the work with the calling thread, so a batch never costs
+  // more than running it inline — oversubscribed thread counts on small hosts
+  // stay at parity with --threads 1 instead of paying wake+wait latency.
+  pool->RunBatch(std::move(tasks));
 }
 
 void ParallelChunks(std::int64_t num_chunks,
@@ -155,8 +157,7 @@ void ParallelChunks(std::int64_t num_chunks,
       }
     });
   }
-  pool->SubmitBatch(std::move(tasks));
-  pool->Wait();
+  pool->RunBatch(std::move(tasks));
 }
 
 }  // namespace exec

@@ -17,12 +17,16 @@ namespace exec {
 
 // Minimum touched floats before a kernel fans out to the pool — the single
 // tuning knob every kernel's inline/parallel decision derives from, fixed so
-// the decision never depends on the thread count. Retuned for the SIMD
-// kernels: the vector inner loops finish a 16k-float loop in a few
-// microseconds, well under the pool's wake+wait cost, so the cutover sits at
-// 64k floats (256 KiB touched, ~the L2 working set where extra cores start
-// bringing their own bandwidth).
-inline constexpr std::int64_t kMinParallelWork = 1 << 16;
+// the decision never depends on the thread count. Retuned after the pool
+// moved to RunBatch (caller drains the queue alongside the workers): the
+// wake-chain handshake costs a flat ~1-4 us per batch regardless of size, so
+// the old 64k-float cutover paid up to 13% overhead at 8 threads (28.7 us
+// pooled vs 25.5 us inline on the stream-add sweep), while at 128k floats
+// the same handshake is under 8% (57 us vs 53 us) and vanishes into the
+// noise by 256k. 128k floats = 512 KiB touched, still far below the point
+// where a second core's L2/bandwidth stops paying for itself, so raising
+// the floor costs nothing on real multicore hosts.
+inline constexpr std::int64_t kMinParallelWork = 1 << 17;
 
 // Row-granularity helper: the minimum rows per task so a task covers at
 // least kMinParallelWork floats at `cols` floats per row.

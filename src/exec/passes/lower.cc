@@ -25,6 +25,35 @@ std::vector<uint32_t> SegmentOfRow(std::span<const uint64_t> offsets) {
 
 }  // namespace
 
+void BuildLevelInverseMap(LevelDraft& level, int64_t src_rows) {
+  const std::vector<uint32_t>& gather = level.gather_index;
+  if (src_rows < 0) {
+    uint32_t max_id = 0;
+    for (const uint32_t v : gather) {
+      max_id = std::max(max_id, v);
+    }
+    src_rows = gather.empty() ? 0 : static_cast<int64_t>(max_id) + 1;
+  }
+  std::vector<uint64_t> src_offsets(static_cast<std::size_t>(src_rows) + 1, 0);
+  for (const uint32_t v : gather) {
+    ++src_offsets[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t v = 1; v < src_offsets.size(); ++v) {
+    src_offsets[v] += src_offsets[v - 1];
+  }
+  std::vector<uint32_t> src_edge_segments(gather.size());
+  std::vector<uint64_t> cursor(src_offsets.begin(), src_offsets.end() - 1);
+  const auto& seg_of_row = level.scatter_index;
+  for (std::size_t e = 0; e < gather.size(); ++e) {
+    const auto v = static_cast<std::size_t>(gather[e]);
+    src_edge_segments[cursor[v]++] = seg_of_row[e];
+  }
+  level.src_rows = src_rows;
+  level.src_chunks = MakeSegmentChunks(src_offsets, kPlanChunkTarget);
+  level.src_offsets = std::move(src_offsets);
+  level.src_edge_segments = std::move(src_edge_segments);
+}
+
 void LowerPass(PlanDraft& draft, const Hdg& hdg) {
   // ---- Bottom level: leaf refs → instances (or roots when flat) ----
   const auto bottom_offs = hdg.bottom_offsets();
@@ -46,31 +75,7 @@ void LowerPass(PlanDraft& draft, const Hdg& hdg) {
   // each bucket (a counting sort is stable here because we append in edge
   // order), so the per-source accumulation order matches the sequential
   // scatter's global edge order.
-  {
-    VertexId max_id = 0;
-    for (const VertexId v : leaf_span) {
-      max_id = std::max(max_id, v);
-    }
-    const int64_t src_rows = leaf_span.empty() ? 0 : static_cast<int64_t>(max_id) + 1;
-    std::vector<uint64_t> src_offsets(static_cast<std::size_t>(src_rows) + 1, 0);
-    for (const VertexId v : leaf_span) {
-      ++src_offsets[static_cast<std::size_t>(v) + 1];
-    }
-    for (std::size_t v = 1; v < src_offsets.size(); ++v) {
-      src_offsets[v] += src_offsets[v - 1];
-    }
-    std::vector<uint32_t> src_edge_segments(leaf_span.size());
-    std::vector<uint64_t> cursor(src_offsets.begin(), src_offsets.end() - 1);
-    const auto& seg_of_row = bottom.scatter_index;
-    for (std::size_t e = 0; e < leaf_span.size(); ++e) {
-      const auto v = static_cast<std::size_t>(leaf_span[e]);
-      src_edge_segments[cursor[v]++] = seg_of_row[e];
-    }
-    bottom.src_rows = src_rows;
-    bottom.src_chunks = MakeSegmentChunks(src_offsets, kPlanChunkTarget);
-    bottom.src_offsets = std::move(src_offsets);
-    bottom.src_edge_segments = std::move(src_edge_segments);
-  }
+  BuildLevelInverseMap(bottom, /*src_rows=*/-1);
 
   // Flat HDGs: per-edge root vertex id, the destination side of GAT's edge
   // attention scores.

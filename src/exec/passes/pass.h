@@ -10,7 +10,15 @@
 //     │                  shared leaf-list prefixes and builds the FusionPlan
 //     │                  (no-op when options.fuse is off, the strategy is
 //     │                  sparse, or nothing clears the cost model)
-//     └─ FinalizePass  — workspace-size estimate, ISA stamp, plan metrics
+//     ├─ ReorderPass   — locality: hub/community vertex reordering of the
+//     │                  bottom gather space (src/hdg/reorder); relabels the
+//     │                  gather stream + fusion program in place, rebuilds
+//     │                  both inverse maps, records the ReorderPlan. Runs
+//     │                  AFTER fuse so the mined program is independent of
+//     │                  the labeling (pure bijective relabeling → bitwise
+//     │                  identical results). No-op when options.reorder off.
+//     └─ FinalizePass  — workspace-size estimate, kernel tile width, ISA
+//                        stamp, plan metrics
 //   → PlanDraft::Freeze() moves the draft into the immutable ExecutionPlan
 //
 // PlanDraft is the ONLY mutable view of a plan, and fglint (rule plan-draft)
@@ -50,9 +58,19 @@ struct LevelDraft {
   std::vector<int64_t> src_chunks;
   int64_t src_rows = 0;
 
+  int64_t tile_cols = 0;
+
   // Empty vectors freeze to null shared_ptrs: "absent" in the frozen plan
   // (the schema level has no offsets, only the bottom has an inverse map).
   LevelPlan Freeze() &&;
+};
+
+// Mutable mirror of ReorderPlan (see plan.h for the field semantics).
+struct ReorderDraft {
+  int64_t num_rows = 0;
+  int64_t num_hot = 0;
+  std::vector<uint32_t> perm;
+  std::vector<uint32_t> inv;
 };
 
 // Mutable mirror of FusionPlan (see plan.h for the field semantics).
@@ -95,6 +113,9 @@ struct PlanDraft {
   bool has_fusion = false;
   FusionDraft fusion;
 
+  bool has_reorder = false;
+  ReorderDraft reorder;
+
   std::size_t planned_bytes = 0;
   int64_t planned_dim = 0;
   double compile_seconds = 0.0;
@@ -115,7 +136,16 @@ void AnalyzePass(PlanDraft& draft, const Hdg& hdg, const PlanOptions& options,
                  PassContext& ctx);
 void LowerPass(PlanDraft& draft, const Hdg& hdg);
 void FusePass(PlanDraft& draft, const PlanOptions& options, const PassContext& ctx);
-void FinalizePass(PlanDraft& draft, const PassContext& ctx);
+void ReorderPass(PlanDraft& draft, const PlanOptions& options);
+void FinalizePass(PlanDraft& draft, const PlanOptions& options, const PassContext& ctx);
+
+// Rebuilds a bottom level's inverse (source → segment) map and source chunk
+// table from its current gather_index / scatter_index, preserving ascending
+// edge order per source bucket (counting sort; see the lower pass for why
+// that order is the determinism contract). `src_rows` fixes the map's extent;
+// pass < 0 to derive it as max(gather_index) + 1. Shared by the lower pass
+// (initial build) and the reorder pass (rebuild after relabeling).
+void BuildLevelInverseMap(LevelDraft& level, int64_t src_rows);
 
 // The driver CompileExecutionPlan calls: runs the four passes in order over a
 // fresh draft, freezes it, then (debug builds) re-verifies the frozen plan

@@ -1,5 +1,5 @@
 // The pipeline driver and the freeze boundary: runs analyze → lower →
-// optimize (fuse) → finalize over a PlanDraft, then moves the draft into the
+// optimize (fuse) → reorder → finalize over a PlanDraft, then moves the draft into the
 // immutable ExecutionPlan. Debug builds re-verify every frozen plan against
 // its HDG before it escapes (O(E), free relative to the build it guards);
 // release callers opt in through VerifyPlan directly or the trainer's
@@ -47,6 +47,7 @@ LevelPlan LevelDraft::Freeze() && {
   level.src_edge_segments = Shared(std::move(src_edge_segments));
   level.src_chunks = Shared(std::move(src_chunks));
   level.src_rows = src_rows;
+  level.tile_cols = tile_cols;
   return level;
 }
 
@@ -91,6 +92,14 @@ ExecutionPlan PlanDraft::Freeze() && {
     fp->leaf_refs_after = fusion.leaf_refs_after;
     plan.bottom_.fusion = std::move(fp);
   }
+  if (has_reorder) {
+    auto rp = std::make_shared<ReorderPlan>();
+    rp->num_rows = reorder.num_rows;
+    rp->num_hot = reorder.num_hot;
+    rp->perm = Shared(std::move(reorder.perm));
+    rp->inv = Shared(std::move(reorder.inv));
+    plan.bottom_.reorder = std::move(rp);
+  }
   plan.planned_bytes_ = planned_bytes;
   plan.planned_dim_ = planned_dim;
   plan.compile_seconds_ = compile_seconds;
@@ -112,7 +121,8 @@ ExecutionPlan RunPlanPipeline(const std::string& model_name, const Hdg& hdg,
   AnalyzePass(draft, hdg, options, ctx);
   LowerPass(draft, hdg);
   FusePass(draft, options, ctx);
-  FinalizePass(draft, ctx);
+  ReorderPass(draft, options);
+  FinalizePass(draft, options, ctx);
 
   // Stamped pre-freeze: the debug-only verify hook below is excluded so the
   // reported compile time matches release builds.

@@ -1,0 +1,98 @@
+// ReorderPass — locality-optimized relabeling of the bottom level's gathered
+// source-row space (ROADMAP item 4a: the gather path is memory-bound, so pack
+// the rows consecutive segment programs read onto contiguous cache lines).
+//
+// The permutation comes from src/hdg/reorder.h: hubs first, then co-occurring
+// rows clustered into cache-sized communities in first-touch order, computed
+// over the ORIGINAL gather stream. Running after the fuse pass means the
+// mined fusion program is byte-identical to the unreordered compile; this
+// pass then relabels the level arrays and the fusion program through the same
+// bijection and rebuilds the two inverse maps, so reordering is a pure
+// relabeling of row names. The executor permutes the source tensor once at
+// the level boundary (AgReorderSource) and the per-segment accumulation order
+// is untouched — logits and loss are bitwise identical to reorder=off, at
+// every fuse setting, thread count, ISA, and backend.
+#include <utility>
+#include <vector>
+
+#include "src/exec/chunks.h"
+#include "src/exec/passes/pass.h"
+#include "src/hdg/reorder.h"
+#include "src/obs/metrics.h"
+
+namespace flexgraph {
+
+void ReorderPass(PlanDraft& draft, const PlanOptions& options) {
+  if (!options.reorder) {
+    return;
+  }
+  LevelDraft& bottom = draft.bottom;
+  if (bottom.gather_index.empty() || bottom.src_rows <= 0) {
+    return;
+  }
+
+  LocalityPermutation lp = ComputeLocalityPermutation(
+      bottom.gather_index, bottom.offsets, bottom.src_rows);
+  const std::vector<uint32_t>& perm = lp.perm;
+
+  // Relabel the gather stream and its leaf-id mirror. scatter_index (segment
+  // per edge) and the segment offsets/chunks are label-independent.
+  for (uint32_t& id : bottom.gather_index) {
+    id = perm[id];
+  }
+  for (VertexId& id : bottom.leaf_ids) {
+    id = perm[id];
+  }
+  // Rebuild the inverse map over the new labels. The extent is pinned to the
+  // original src_rows: the permutation is a bijection on that space, and the
+  // fusion program's base_rows must keep meaning the same thing.
+  BuildLevelInverseMap(bottom, bottom.src_rows);
+
+  // Relabel the fusion program consistently: ids below base_rows are input
+  // rows (relabel), ids at or above are partials (label-independent). The
+  // build/rewrite structure, chunk tables, and level grouping only depend on
+  // which rows are shared, not on what they are called — untouched.
+  if (draft.has_fusion) {
+    FusionDraft& fusion = draft.fusion;
+    const auto base_rows = static_cast<uint32_t>(fusion.base_rows);
+    for (uint32_t& id : fusion.ids) {
+      if (id < base_rows) {
+        id = perm[id];
+      }
+    }
+    for (uint32_t& id : fusion.partial_ids) {
+      if (id < base_rows) {
+        id = perm[id];
+      }
+    }
+    // Extended inverse map over the relabeled rewritten root segments (same
+    // counting sort as the fuse pass).
+    std::vector<uint64_t> src_offsets(static_cast<std::size_t>(fusion.src_rows) + 1, 0);
+    for (const uint32_t v : fusion.ids) {
+      ++src_offsets[static_cast<std::size_t>(v) + 1];
+    }
+    for (std::size_t v = 1; v < src_offsets.size(); ++v) {
+      src_offsets[v] += src_offsets[v - 1];
+    }
+    std::vector<uint32_t> src_edge_segments(fusion.ids.size());
+    std::vector<uint64_t> cursor(src_offsets.begin(), src_offsets.end() - 1);
+    const std::size_t num_segments = fusion.offsets.size() - 1;
+    for (std::size_t s = 0; s < num_segments; ++s) {
+      for (uint64_t e = fusion.offsets[s]; e < fusion.offsets[s + 1]; ++e) {
+        const auto v = static_cast<std::size_t>(fusion.ids[e]);
+        src_edge_segments[cursor[v]++] = static_cast<uint32_t>(s);
+      }
+    }
+    fusion.src_chunks = MakeSegmentChunks(src_offsets, kPlanChunkTarget);
+    fusion.src_offsets = std::move(src_offsets);
+    fusion.src_edge_segments = std::move(src_edge_segments);
+  }
+
+  draft.reorder.num_rows = bottom.src_rows;
+  draft.reorder.num_hot = lp.num_hot;
+  draft.reorder.perm = std::move(lp.perm);
+  draft.reorder.inv = std::move(lp.inv);
+  draft.has_reorder = true;
+}
+
+}  // namespace flexgraph

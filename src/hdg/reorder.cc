@@ -1,0 +1,162 @@
+#include "src/hdg/reorder.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace flexgraph {
+namespace {
+
+// Rows referenced at least this often count as hubs and are packed, hottest
+// bucket first, into one contiguous region at the front of the tensor: a
+// 32+-consumer row is read by so many segments that keeping it resident
+// beats placing it next to any single community.
+constexpr uint32_t kHubMinRefs = 32;
+
+// Size cap for one co-occurrence community. 1024 rows x 64 floats x 4 bytes
+// = 256 KiB — an eighth of a typical 2 MiB L2 — so a community stays cache-
+// resident while the segments that share it stream through.
+constexpr uint32_t kMaxCommunityRows = 1024;
+
+// Union-find with path halving and size-capped unions: a merge that would
+// grow a community past `cap` is skipped, which is what keeps clusters
+// cache-sized (Rabbit's hierarchical variant of the same idea).
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n)
+      : parent_(static_cast<std::size_t>(n)), size_(static_cast<std::size_t>(n), 1) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+  }
+
+  uint32_t Find(uint32_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(uint32_t a, uint32_t b, uint32_t cap) {
+    a = Find(a);
+    b = Find(b);
+    if (a == b || size_[a] + size_[b] > cap) {
+      return;
+    }
+    if (size_[a] < size_[b]) {
+      std::swap(a, b);
+    }
+    parent_[b] = a;
+    size_[a] += size_[b];
+  }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+};
+
+int Log2Bucket(uint32_t count) {
+  int bucket = 0;
+  while (count > 1) {
+    count >>= 1;
+    ++bucket;
+  }
+  return bucket;
+}
+
+}  // namespace
+
+LocalityPermutation ComputeLocalityPermutation(std::span<const uint32_t> gather_ids,
+                                               std::span<const uint64_t> offsets,
+                                               int64_t num_rows) {
+  LocalityPermutation out;
+  out.perm.resize(static_cast<std::size_t>(num_rows));
+  out.inv.resize(static_cast<std::size_t>(num_rows));
+
+  // Per-row reference counts and first-touch positions in the gather stream.
+  // first_touch is unique per referenced row, which makes every ordering
+  // below a strict total order — no tie can depend on sort stability.
+  std::vector<uint32_t> ref_count(static_cast<std::size_t>(num_rows), 0);
+  std::vector<int64_t> first_touch(static_cast<std::size_t>(num_rows), -1);
+  for (std::size_t e = 0; e < gather_ids.size(); ++e) {
+    const uint32_t v = gather_ids[e];
+    ++ref_count[v];
+    if (first_touch[v] < 0) {
+      first_touch[v] = static_cast<int64_t>(e);
+    }
+  }
+
+  // Community clustering: rows gathered by the same segment program are read
+  // together, so union each segment's rows onto its first row (the anchor).
+  UnionFind uf(num_rows);
+  const std::size_t num_segments = offsets.empty() ? 0 : offsets.size() - 1;
+  for (std::size_t s = 0; s < num_segments; ++s) {
+    const uint64_t lo = offsets[s];
+    const uint64_t hi = offsets[s + 1];
+    if (hi <= lo) {
+      continue;
+    }
+    const uint32_t anchor = gather_ids[lo];
+    for (uint64_t e = lo + 1; e < hi; ++e) {
+      uf.Union(anchor, gather_ids[e], kMaxCommunityRows);
+    }
+  }
+
+  // A community is placed where the gather stream first needs any of its
+  // members. The minimizing edge's row belongs to exactly one community, so
+  // community first-touch values are unique too.
+  std::vector<int64_t> community_touch(static_cast<std::size_t>(num_rows),
+                                       std::numeric_limits<int64_t>::max());
+  std::vector<uint32_t> community_of(static_cast<std::size_t>(num_rows), 0);
+  std::vector<uint32_t> hot;
+  for (int64_t v = 0; v < num_rows; ++v) {
+    const auto u = static_cast<uint32_t>(v);
+    if (ref_count[u] == 0) {
+      continue;
+    }
+    const uint32_t root = uf.Find(u);
+    community_of[u] = root;
+    community_touch[root] = std::min(community_touch[root], first_touch[u]);
+    hot.push_back(u);
+  }
+
+  std::sort(hot.begin(), hot.end(), [&](uint32_t a, uint32_t b) {
+    const bool hub_a = ref_count[a] >= kHubMinRefs;
+    const bool hub_b = ref_count[b] >= kHubMinRefs;
+    if (hub_a != hub_b) {
+      return hub_a;  // hubs lead the tensor
+    }
+    if (hub_a) {
+      const int ba = Log2Bucket(ref_count[a]);
+      const int bb = Log2Bucket(ref_count[b]);
+      if (ba != bb) {
+        return ba > bb;  // hottest log2 bucket first
+      }
+      return first_touch[a] < first_touch[b];
+    }
+    const int64_t ca = community_touch[community_of[a]];
+    const int64_t cb = community_touch[community_of[b]];
+    if (ca != cb) {
+      return ca < cb;  // communities in first-touch order
+    }
+    return first_touch[a] < first_touch[b];  // members likewise
+  });
+
+  uint32_t next = 0;
+  for (const uint32_t v : hot) {
+    out.perm[v] = next;
+    out.inv[next] = v;
+    ++next;
+  }
+  out.num_hot = static_cast<int64_t>(next);
+  for (int64_t v = 0; v < num_rows; ++v) {
+    const auto u = static_cast<uint32_t>(v);
+    if (ref_count[u] == 0) {
+      out.perm[u] = next;
+      out.inv[next] = u;
+      ++next;
+    }
+  }
+  return out;
+}
+
+}  // namespace flexgraph

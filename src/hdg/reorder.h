@@ -1,0 +1,49 @@
+// Locality-optimized vertex reordering for the bottom (leaf-gather) level.
+//
+// GNN aggregation is memory-bound with cache-miss-dominated gathers: segment
+// programs reference leaf rows in graph-id order, which scatters consecutive
+// reads across the feature tensor. ComputeLocalityPermutation computes a
+// bijection over the gathered row space that packs the rows the gather stream
+// actually touches into a dense hot prefix, ordered so that
+//   (a) hubs — rows referenced often enough to be worth keeping resident —
+//       lead the tensor in one contiguous region (hub-sorting), and
+//   (b) the remaining referenced rows are grouped into size-capped
+//       communities of rows that co-occur within the same segment programs
+//       (lightweight Rabbit-style clustering via union-find), laid out in
+//       first-touch order so consecutive segments read consecutive lines.
+//
+// The permutation is a pure relabeling: consumers apply it to the gather
+// stream and permute the source tensor once at the level boundary, so the
+// per-segment accumulation order — and therefore every output bit — is
+// unchanged. Determinism: every ordering key derives from the gather stream
+// (ref counts, first-touch positions), never from pointers or hashes, so the
+// same stream always yields the same permutation.
+#ifndef SRC_HDG_REORDER_H_
+#define SRC_HDG_REORDER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace flexgraph {
+
+struct LocalityPermutation {
+  // perm[old_row] = new_row and inv[new_row] = old_row; both are bijections
+  // on [0, num_rows) with inv[perm[i]] == i.
+  std::vector<uint32_t> perm;
+  std::vector<uint32_t> inv;
+  // New rows [0, num_hot) are exactly the rows the gather stream references;
+  // [num_hot, num_rows) holds the untouched rows in ascending original order
+  // (so the cold tail is itself deterministic).
+  int64_t num_hot = 0;
+};
+
+// `gather_ids` is the bottom level's leaf gather stream, segmented by
+// `offsets` ([S+1] exclusive prefix sums); every id must be < num_rows.
+LocalityPermutation ComputeLocalityPermutation(std::span<const uint32_t> gather_ids,
+                                               std::span<const uint64_t> offsets,
+                                               int64_t num_rows);
+
+}  // namespace flexgraph
+
+#endif  // SRC_HDG_REORDER_H_

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "src/util/env.h"
 #include "src/util/logging.h"
 
 #if defined(__linux__)
@@ -34,10 +35,7 @@ void WarnOnce(const char* reason) {
   }
 }
 
-bool EnvForcesOff() {
-  const char* env = std::getenv("FLEXGRAPH_PERF");
-  return env != nullptr && (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0);
-}
+bool EnvForcesOff() { return !EnvOnOff("FLEXGRAPH_PERF", true); }
 
 #if defined(__linux__)
 

@@ -9,6 +9,7 @@
 #include "src/obs/clock.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/util/env.h"
 
 namespace flexgraph {
 namespace obs {
@@ -102,10 +103,7 @@ RooflineProbe RunRooflineProbe() {
   return probe;
 }
 
-bool RooflineProbeDisabled() {
-  const char* env = std::getenv("FLEXGRAPH_ROOFLINE_PROBE");
-  return env != nullptr && (std::strcmp(env, "off") == 0 || std::strcmp(env, "0") == 0);
-}
+bool RooflineProbeDisabled() { return !EnvOnOff("FLEXGRAPH_ROOFLINE_PROBE", true); }
 
 }  // namespace
 
@@ -214,6 +212,14 @@ double KernelProfileRow::roofline_fraction(const RooflineProbe& roof) const {
   return roof.mem_bw_gbps > 0.0 ? achieved_gbps() / roof.mem_bw_gbps : 0.0;
 }
 
+double KernelProfileRow::llc_miss_per_byte() const {
+  const int64_t bytes = total_bytes();
+  if (bytes <= 0 || perf_samples <= 0) {
+    return 0.0;
+  }
+  return static_cast<double>(llc_misses) / static_cast<double>(bytes);
+}
+
 KernelProfiler& KernelProfiler::Get() {
   // Leaked for the same static-destruction reason as MetricRegistry: pool
   // threads may record into their slots during process teardown.
@@ -314,6 +320,7 @@ void KernelProfiler::ExportMetrics() const {
           .Add(static_cast<int64_t>(row.llc_misses));
       registry.GetCounter(prefix + ".stalled_backend")
           .Add(static_cast<int64_t>(row.stalled_backend));
+      registry.GetGauge(prefix + ".llc_miss_per_byte").Set(row.llc_miss_per_byte());
     }
     if (row.timed_calls > 0) {
       registry.GetGauge(prefix + ".wall_seconds").Set(row.wall_seconds);

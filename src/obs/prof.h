@@ -176,6 +176,11 @@ struct KernelProfileRow {
   // Roofline ceiling for this kernel's intensity, and how close it got.
   double attainable_gflops(const RooflineProbe& roof) const;
   double roofline_fraction(const RooflineProbe& roof) const;
+  // Measured LLC misses per analytic byte moved (0 when perf is unavailable
+  // or the kernel moved nothing). A locality measure: x64 (the line size)
+  // gives measured DRAM traffic as a fraction of the analytic bytes — the
+  // number the tiled/reordered gather kernels are meant to push down.
+  double llc_miss_per_byte() const;
 };
 
 struct ProfilerReport {

@@ -1,6 +1,10 @@
 #include "src/util/env.h"
 
 #include <cstdlib>
+#include <set>
+
+#include "src/util/logging.h"
+#include "src/util/mutex.h"
 
 namespace flexgraph {
 
@@ -36,6 +40,30 @@ std::string EnvString(const std::string& name, const std::string& fallback) {
     return fallback;
   }
   return raw;
+}
+
+bool EnvOnOff(const std::string& name, bool fallback) {
+  const std::string value = EnvString(name, fallback ? "on" : "off");
+  if (value == "on" || value == "1" || value == "true") {
+    return true;
+  }
+  if (value == "off" || value == "0" || value == "false") {
+    return false;
+  }
+  // Warn once per variable: these knobs are often read on every plan compile
+  // or profiler enable, and a warning per read would drown the log.
+  static Mutex mutex;
+  static std::set<std::string>* warned = new std::set<std::string>();
+  bool first;
+  {
+    MutexLock lock(mutex);
+    first = warned->insert(name).second;
+  }
+  if (first) {
+    FLEX_LOG(Warning) << name << "='" << value << "' is not on|off|1|0|true|false"
+                      << " — using default '" << (fallback ? "on" : "off") << "'";
+  }
+  return fallback;
 }
 
 }  // namespace flexgraph

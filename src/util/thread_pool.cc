@@ -66,6 +66,55 @@ void ThreadPool::SubmitBatch(std::vector<std::function<void()>> tasks) {
   cv_task_.notify_all();
 }
 
+void ThreadPool::RunBatch(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) {
+    return;
+  }
+  {
+    MutexLock lock(mutex_);
+    FLEX_CHECK_MSG(!shutdown_, "RunBatch after shutdown");
+    for (auto& task : tasks) {
+      EnqueueLocked(std::move(task));
+    }
+    FLEX_COUNTER_ADD("threadpool.tasks_submitted", static_cast<int64_t>(tasks.size()));
+    FLEX_GAUGE_SET("threadpool.queue_depth", static_cast<double>(queue_.size()));
+  }
+  cv_task_.notify_one();  // workers chain further wake-ups as they pop
+  // Drain alongside the workers. Stealing tasks that other call sites
+  // submitted concurrently is fine — every task is self-contained.
+  for (;;) {
+    QueuedTask task;
+    {
+      MutexLock lock(mutex_);
+      if (queue_.empty()) {
+        break;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      if (!queue_.empty()) {
+        cv_task_.notify_one();
+      }
+    }
+    if (task.enqueued_ns != 0) {
+      FLEX_HIST_OBSERVE(
+          "threadpool.queue_wait_seconds",
+          static_cast<double>(obs::MonotonicNowNs() - task.enqueued_ns) * 1e-9);
+      FLEX_SCOPED_SECONDS("threadpool.task_seconds", nullptr);
+      task.fn();
+    } else {
+      task.fn();
+    }
+    {
+      MutexLock lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) {
+        cv_done_.notify_all();
+      }
+    }
+  }
+  Wait();
+}
+
 void ThreadPool::Wait() {
   MutexLock lock(mutex_);
   cv_done_.wait(mutex_, [this]() FLEX_REQUIRES(mutex_) { return in_flight_ == 0; });
@@ -79,11 +128,13 @@ void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
   const std::size_t n = end - begin;
   const std::size_t num_chunks = std::min(n, std::max<std::size_t>(1, num_threads() * 4));
   const std::size_t chunk = (n + num_chunks - 1) / num_chunks;
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(num_chunks);
   for (std::size_t lo = begin; lo < end; lo += chunk) {
     const std::size_t hi = std::min(end, lo + chunk);
-    Submit([&body, lo, hi] { body(lo, hi); });
+    tasks.push_back([&body, lo, hi] { body(lo, hi); });
   }
-  Wait();
+  RunBatch(std::move(tasks));
 }
 
 namespace {
@@ -125,6 +176,11 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      // Chain the wake-up: RunBatch/Submit only notify one waiter, so each
+      // popper passes the baton while work remains.
+      if (!queue_.empty()) {
+        cv_task_.notify_one();
+      }
       // Only sampled tasks refresh the depth gauge on the pop side — a
       // registry update per pop shows up in fine-grained kernel fan-outs.
       if (task.enqueued_ns != 0) {

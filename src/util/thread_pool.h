@@ -41,6 +41,16 @@ class ThreadPool {
   // when a kernel fans out dozens of fine-grained ranges.
   void SubmitBatch(std::vector<std::function<void()>> tasks) FLEX_EXCLUDES(mutex_);
 
+  // Enqueues a batch and shares the work: the calling thread drains tasks
+  // from the queue alongside the workers, then blocks until everything in
+  // flight has finished. Wake-up is a chain, not a herd — one notify_one
+  // here, and each worker that pops a task wakes the next while tasks
+  // remain. The caller never sleeps while runnable work sits in the queue,
+  // so on a host with fewer cores than pool threads a batch costs no more
+  // than running it sequentially (the pool "degrades gracefully" clause
+  // above, made literal).
+  void RunBatch(std::vector<std::function<void()>> tasks) FLEX_EXCLUDES(mutex_);
+
   // Blocks until every submitted task has finished.
   void Wait() FLEX_EXCLUDES(mutex_);
 

@@ -318,7 +318,12 @@ TEST(PlannedKernelTest, PlannedIndirectReduceBitwiseMatchesLegacy) {
     for (int threads : {1, 2, 8}) {
       exec::SetNumThreads(threads);
       Variable leaf_par = Variable::Leaf(x, /*requires_grad=*/true);
-      Variable out_par = AgIndirectSegmentReduce(leaf_par, plan.bottom(), kind,
+      // The plan's gather ids live in reordered space; apply the same boundary
+      // permutation the aggregator applies so the comparison stays bitwise.
+      Variable src_par = plan.bottom().reorder != nullptr
+                             ? AgReorderSource(leaf_par, *plan.bottom().reorder)
+                             : leaf_par;
+      Variable out_par = AgIndirectSegmentReduce(src_par, plan.bottom(), kind,
                                                  ExecStrategy::kSparseFused, nullptr);
       out_par.Backward(seed);
       EXPECT_TRUE(BitwiseEqual(out_seq.value(), out_par.value()))

@@ -269,6 +269,97 @@ INSTANTIATE_TEST_SUITE_P(AllModels, IsaDeterminismSweep,
                          ::testing::Values("gcn", "pinsage", "magnn", "pgnn", "jknet", "gin",
                                            "gat", "sage-mean", "sage-max", "sage-lstm"));
 
+class ReorderParitySweep : public ::testing::TestWithParam<const char*> {};
+
+// The locality reorder is a pure bijective relabeling applied and inverted at
+// the level boundary, so logits and loss must be bitwise identical with it on
+// or off — under fusion on or off, at any thread count. The model set covers
+// every bottom-level path the reorder touches: fused segment reduce (gcn,
+// pinsage), edge attention (gat), gather+max (sage-max), hetero schema
+// levels (magnn).
+TEST_P(ReorderParitySweep, LogitsAndLossBitwiseIdenticalAcrossReorderAndFuse) {
+  const std::string name = GetParam();
+  Dataset ds = name == "magnn" ? SmallHetero() : SmallHomogeneous();
+
+  Tensor ref_logits;
+  float ref_loss = 0.0f;
+  bool have_reference = false;
+  for (const char* reorder : {"off", "on"}) {
+    for (const char* fuse : {"off", "on"}) {
+      setenv("FLEXGRAPH_REORDER", reorder, 1);
+      setenv("FLEXGRAPH_FUSE", fuse, 1);
+      for (int threads : {1, 8}) {
+        exec::SetNumThreads(threads);
+        Rng model_rng(13);
+        GnnModel model = MakeModelFor(name, ds, model_rng);
+        Engine engine(ds.graph);
+        Rng hdg_rng(99);
+        StageTimes times;
+        Tensor logits = engine.Infer(model, ds.features, hdg_rng, &times);
+
+        SgdOptimizer opt(0.05f);
+        Rng train_rng(7);
+        EpochResult epoch = engine.TrainEpoch(model, ds.features, ds.labels, opt, train_rng);
+
+        if (!have_reference) {
+          ref_logits = logits;
+          ref_loss = epoch.loss;
+          have_reference = true;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(ref_logits, logits))
+              << name << " @ reorder=" << reorder << " fuse=" << fuse << " x " << threads
+              << " threads";
+          EXPECT_EQ(std::memcmp(&ref_loss, &epoch.loss, sizeof(float)), 0)
+              << name << " loss @ reorder=" << reorder << " fuse=" << fuse << " x "
+              << threads << " threads";
+        }
+      }
+    }
+  }
+  unsetenv("FLEXGRAPH_REORDER");
+  unsetenv("FLEXGRAPH_FUSE");
+  exec::SetNumThreads(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BottomLevelPaths, ReorderParitySweep,
+                         ::testing::Values("gcn", "pinsage", "magnn", "gat", "sage-max"));
+
+// Same contract across distributed backends: the modeled (in-process) and
+// socket (forked real processes) transports must both be invariant to the
+// reorder flag.
+TEST(ReorderParityTest, DistributedLogitsBitwiseIdenticalAcrossReorderAndBackends) {
+  for (const std::string name : {"gcn", "magnn"}) {
+    Dataset ds = name == "magnn" ? SmallHetero() : SmallHomogeneous();
+    Rng model_rng(13);
+    GnnModel model = MakeModelFor(name, ds, model_rng);
+
+    Tensor reference;
+    bool have_reference = false;
+    for (const char* reorder : {"off", "on"}) {
+      setenv("FLEXGRAPH_REORDER", reorder, 1);
+      for (DistBackend backend : {DistBackend::kModeled, DistBackend::kSocket}) {
+        DistConfig config;
+        config.strategy = ExecStrategy::kHybrid;
+        config.backend = backend;
+        DistributedRuntime runtime(ds.graph, HashPartition(ds.graph.num_vertices(), 3),
+                                   config);
+        Rng epoch_rng(99);
+        Tensor logits;
+        runtime.RunEpoch(model, ds.features, epoch_rng, &logits);
+        if (!have_reference) {
+          reference = logits;
+          have_reference = true;
+        } else {
+          EXPECT_TRUE(BitwiseEqual(reference, logits))
+              << name << " @ reorder=" << reorder << " backend="
+              << (backend == DistBackend::kSocket ? "socket" : "modeled");
+        }
+      }
+    }
+  }
+  unsetenv("FLEXGRAPH_REORDER");
+}
+
 TEST(ModelFlagsTest, LstmAggregatorIsNonCommutative) {
   Dataset ds = SmallHomogeneous();
   Rng rng(21);

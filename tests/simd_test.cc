@@ -176,9 +176,36 @@ TEST_F(SimdTest, SegmentReduceGatherBitwiseParity) {
       ExpectParityAcrossLevels([&]() {
         Tensor out(f.num_segments(), d);  // zeroed, as the kernel contract requires
         simd::Kernels().segment_reduce(f.x.data(), d, f.ids.data(), f.offsets.data(), 0,
-                                       f.num_segments(), kind, out.data());
+                                       f.num_segments(), kind, /*tile_cols=*/0, out.data());
         return out;
       });
+    }
+  }
+}
+
+// Feature-dim tiling must be numerically invisible: per output element the
+// edge fold is unchanged, tiling only reorders work across independent
+// columns. Sweep tile widths (including non-multiples of the vector width
+// and widths that leave a narrow tail) against the untiled kernel.
+TEST_F(SimdTest, SegmentReduceTileWidthBitwiseInvariance) {
+  for (int64_t d : kDims) {
+    const SegmentFixture f = MakeSegments(d, 57 + static_cast<uint64_t>(d));
+    for (simd::Reduce kind : kReduces) {
+      Tensor ref(f.num_segments(), d);
+      simd::Kernels().segment_reduce(f.x.data(), d, f.ids.data(), f.offsets.data(), 0,
+                                     f.num_segments(), kind, /*tile_cols=*/0, ref.data());
+      for (const int64_t tile : std::vector<int64_t>{1, 3, 16, 32, d / 2, d - 1, d, d + 16}) {
+        if (tile <= 0) {
+          continue;
+        }
+        Tensor out(f.num_segments(), d);
+        simd::Kernels().segment_reduce(f.x.data(), d, f.ids.data(), f.offsets.data(), 0,
+                                       f.num_segments(), kind, tile, out.data());
+        EXPECT_EQ(std::memcmp(ref.data(), out.data(),
+                              static_cast<std::size_t>(ref.numel()) * sizeof(float)),
+                  0)
+            << "tile_cols=" << tile << " d=" << d;
+      }
     }
   }
 }
@@ -193,7 +220,7 @@ TEST_F(SimdTest, SegmentReduceContiguousBitwiseParity) {
       ExpectParityAcrossLevels([&]() {
         Tensor out(num_segments, d);
         simd::Kernels().segment_reduce(values.data(), d, nullptr, offsets.data(), 0,
-                                      num_segments, kind, out.data());
+                                      num_segments, kind, /*tile_cols=*/0, out.data());
         return out;
       });
     }
@@ -224,10 +251,28 @@ TEST_F(SimdTest, IndirectBackwardBitwiseParity) {
       ExpectParityAcrossLevels([&]() {
         Tensor gx(src_rows, d);
         simd::Kernels().indirect_backward(grad.data(), d, src_offsets.data(),
-                                          src_segments.data(), f.offsets.data(), kind, 0,
-                                          src_rows, gx.data());
+                                          src_segments.data(), f.offsets.data(), kind,
+                                          /*tile_cols=*/0, 0, src_rows, gx.data());
         return gx;
       });
+      // Tiled backward parity: same analytic result at every tile width.
+      Tensor ref(src_rows, d);
+      simd::Kernels().indirect_backward(grad.data(), d, src_offsets.data(),
+                                        src_segments.data(), f.offsets.data(), kind,
+                                        /*tile_cols=*/0, 0, src_rows, ref.data());
+      for (const int64_t tile : std::vector<int64_t>{1, 16, d - 1}) {
+        if (tile <= 0) {
+          continue;
+        }
+        Tensor gx(src_rows, d);
+        simd::Kernels().indirect_backward(grad.data(), d, src_offsets.data(),
+                                          src_segments.data(), f.offsets.data(), kind, tile,
+                                          0, src_rows, gx.data());
+        EXPECT_EQ(std::memcmp(ref.data(), gx.data(),
+                              static_cast<std::size_t>(ref.numel()) * sizeof(float)),
+                  0)
+            << "tile_cols=" << tile << " d=" << d;
+      }
     }
   }
 }

@@ -218,7 +218,8 @@ bool ContainsAny(const std::string& key, const std::vector<std::string>& subs) {
 void Usage() {
   std::fprintf(stderr,
                "usage: fgbench_diff [--threshold PCT] [--keys P[,P...]] "
-               "[--ignore P[,P...]] [--list] <baseline.json> <current.json>\n");
+               "[--ignore P[,P...]] [--min KEY=V[,KEY=V...]] [--list] "
+               "<baseline.json> <current.json>\n");
 }
 
 }  // namespace
@@ -227,6 +228,7 @@ int main(int argc, char** argv) {
   double threshold_pct = 15.0;
   std::vector<std::string> key_prefixes;
   std::vector<std::string> ignore_prefixes;
+  std::vector<std::pair<std::string, double>> floors;
   bool list = false;
   std::vector<std::string> positional;
 
@@ -238,6 +240,21 @@ int main(int argc, char** argv) {
       key_prefixes = SplitCsv(argv[++a]);
     } else if (arg == "--ignore" && a + 1 < argc) {
       ignore_prefixes = SplitCsv(argv[++a]);
+    } else if (arg == "--min" && a + 1 < argc) {
+      // Absolute floors on the CURRENT file, independent of the baseline —
+      // for ratio metrics (thread speedups, locality) whose meaningful bound
+      // is a fixed value, not drift from a snapshot taken on a different
+      // machine. A floored key that is missing from the current file fails.
+      for (const std::string& piece : SplitCsv(argv[++a])) {
+        const std::size_t eq = piece.find('=');
+        if (eq == std::string::npos || eq == 0) {
+          std::fprintf(stderr, "fgbench_diff: --min expects KEY=VALUE, got '%s'\n",
+                       piece.c_str());
+          return 2;
+        }
+        floors.emplace_back(piece.substr(0, eq),
+                            std::strtod(piece.c_str() + eq + 1, nullptr));
+      }
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -313,6 +330,25 @@ int main(int argc, char** argv) {
       if (list) {
         std::printf("new  %-60s current=%.9g (not in baseline)\n", key.c_str(), cur);
       }
+    }
+  }
+
+  for (const auto& [key, floor] : floors) {
+    const auto it = current.find(key);
+    if (it == current.end()) {
+      std::fprintf(stderr, "FAIL %-60s missing from current (floor %.9g)\n", key.c_str(),
+                   floor);
+      ++regressions;
+      continue;
+    }
+    ++compared;
+    if (it->second < floor) {
+      std::fprintf(stderr, "FAIL %-60s current=%.9g below floor %.9g\n", key.c_str(),
+                   it->second, floor);
+      ++regressions;
+    } else if (list) {
+      std::printf("ok   %-60s current=%.9g >= floor %.9g\n", key.c_str(), it->second,
+                  floor);
     }
   }
 

@@ -248,6 +248,19 @@ const std::vector<TokenRule>& TokenRules() {
           },
       },
       {
+          "env-validated",
+          {"getenv", "std::getenv", "secure_getenv"},
+          {},
+          "read environment knobs through src/util/env.h (EnvInt / EnvDouble "
+          "/ EnvString / EnvOnOff): the helpers warn and clamp invalid values "
+          "via FLEX_LOG, raw getenv call sites grow ad-hoc vocabularies that "
+          "silently ignore typos",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel != "src/util/env.cc" &&
+                   rel != "src/util/env.h";
+          },
+      },
+      {
           "plan-draft",
           {"PlanDraft", "LevelDraft", "FusionDraft"},
           {},

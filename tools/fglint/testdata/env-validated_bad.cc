@@ -1,0 +1,15 @@
+// Fixture: raw getenv call sites invent their own value vocabulary, so a
+// typo (FLEXGRAPH_REORDER=of) silently falls through to whatever the ad-hoc
+// comparison happens to default to. Each line below must produce a finding.
+#include <cstdlib>
+#include <cstring>
+
+bool ReorderDisabledRaw() {
+  const char* env = std::getenv("FLEXGRAPH_REORDER");
+  return env != nullptr && std::strcmp(env, "off") == 0;
+}
+
+int TileColsRaw() {
+  const char* env = getenv("FLEXGRAPH_TILE_COLS");
+  return env != nullptr ? std::atoi(env) : 0;
+}

@@ -1,0 +1,14 @@
+// Fixture: environment knobs read through the validated src/util/env.h
+// helpers — invalid values warn via FLEX_LOG and clamp to the default, never
+// a silent ignore. No line below may produce a finding.
+#include "src/util/env.h"
+
+bool ReorderEnabled() { return flexgraph::EnvOnOff("FLEXGRAPH_REORDER", true); }
+
+int64_t TileCols() {
+  int64_t tile = flexgraph::EnvInt("FLEXGRAPH_TILE_COLS", 0);
+  if (tile < 0) {
+    tile = 0;  // the real reader warns through FLEX_LOG before clamping
+  }
+  return tile;
+}
