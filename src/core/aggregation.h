@@ -13,7 +13,7 @@
 #ifndef SRC_CORE_AGGREGATION_H_
 #define SRC_CORE_AGGREGATION_H_
 
-#include "src/core/exec_strategy.h"
+#include "src/exec/exec_strategy.h"
 #include "src/core/fused_ops.h"
 #include "src/exec/plan.h"
 #include "src/hdg/hdg.h"

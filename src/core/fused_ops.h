@@ -15,7 +15,7 @@
 #include <span>
 #include <vector>
 
-#include "src/core/exec_strategy.h"
+#include "src/exec/exec_strategy.h"
 #include "src/exec/plan.h"
 #include "src/graph/graph_types.h"
 #include "src/tensor/autograd.h"

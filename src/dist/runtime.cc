@@ -278,9 +278,12 @@ DistEpochStats DistributedRuntime::ExecuteEpoch(const GnnModel& model,
         total_instances += worker.hdg.num_instances();
         total_roots += worker.roots.size();
       }
-      const double bottom_rate = total_refs > 0 ? total_bottom / total_refs : 0.0;
-      const double rest_rate = total_instances > 0 ? total_rest / total_instances : 0.0;
-      const double update_rate = total_roots > 0 ? total_update / total_roots : 0.0;
+      const double bottom_rate =
+          total_refs > 0 ? total_bottom / static_cast<double>(total_refs) : 0.0;
+      const double rest_rate =
+          total_instances > 0 ? total_rest / static_cast<double>(total_instances) : 0.0;
+      const double update_rate =
+          total_roots > 0 ? total_update / static_cast<double>(total_roots) : 0.0;
       for (const auto& worker : workers_) {
         if (worker.roots.empty()) {
           continue;

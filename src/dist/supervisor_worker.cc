@@ -6,7 +6,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <exception>
-#include <thread>  // fglint-allow: raw-thread — heartbeat sender, see below
+#include <thread>  // heartbeat sender thread, see allow comment at the spawn site
 #include <vector>
 
 #ifdef __linux__

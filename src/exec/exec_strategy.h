@@ -8,8 +8,8 @@
 //   HA      — SA+FA plus *dense* tensor ops (reshape + reduce) for the
 //             schema-tree levels, whose regular shape makes dense kernels
 //             applicable.
-#ifndef SRC_CORE_EXEC_STRATEGY_H_
-#define SRC_CORE_EXEC_STRATEGY_H_
+#ifndef SRC_EXEC_EXEC_STRATEGY_H_
+#define SRC_EXEC_EXEC_STRATEGY_H_
 
 namespace flexgraph {
 
@@ -33,4 +33,4 @@ inline const char* ExecStrategyName(ExecStrategy s) {
 
 }  // namespace flexgraph
 
-#endif  // SRC_CORE_EXEC_STRATEGY_H_
+#endif  // SRC_EXEC_EXEC_STRATEGY_H_

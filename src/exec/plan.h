@@ -29,7 +29,7 @@
 #include <string>
 #include <vector>
 
-#include "src/core/exec_strategy.h"
+#include "src/exec/exec_strategy.h"
 #include "src/exec/chunks.h"
 #include "src/exec/cpu_features.h"
 #include "src/hdg/hdg.h"

@@ -45,7 +45,7 @@ int OpenPerfEvent(uint32_t type, uint64_t config, int group_fd) {
   attr.type = type;
   attr.size = sizeof(attr);
   attr.config = config;
-  attr.disabled = group_fd < 0 ? 1 : 0;  // the leader starts the group
+  attr.disabled = group_fd < 0;          // the leader starts the group
   attr.exclude_kernel = 1;               // keeps perf_event_paranoid=1 happy
   attr.exclude_hv = 1;
   attr.read_format = PERF_FORMAT_GROUP;

@@ -251,8 +251,10 @@ ProfilerReport KernelProfiler::Aggregate() const {
   // Integer totals first: addition commutes, so the per-thread registration
   // order (which varies run to run) cannot change the sums.
   std::vector<KernelSlot> totals(static_cast<std::size_t>(kNumProfKernels));
+  RooflineProbe roofline;
   {
     MutexLock lock(mutex_);
+    roofline = roofline_;
     for (const auto& slots : slots_) {
       for (int i = 0; i < kNumProfKernels; ++i) {
         const KernelSlot& s = (*slots)[static_cast<std::size_t>(i)];
@@ -294,7 +296,7 @@ ProfilerReport KernelProfiler::Aggregate() const {
     timed_wall_ns += t.wall_ns;
   }
   report.timed_wall_seconds = static_cast<double>(timed_wall_ns) * 1e-9;
-  report.roofline = roofline_;
+  report.roofline = roofline;
   report.perf_available = PerfCountersEnabled();
   report.perf_disabled_reason = PerfDisabledReason();
   return report;

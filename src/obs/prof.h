@@ -207,7 +207,10 @@ class KernelProfiler {
   void Enable(bool on);
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
 
-  const RooflineProbe& roofline() const { return roofline_; }
+  RooflineProbe roofline() const FLEX_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return roofline_;
+  }
 
   // Sums every thread's slots. Requires quiescence (no kernels in flight).
   ProfilerReport Aggregate() const FLEX_EXCLUDES(mutex_);
@@ -234,7 +237,7 @@ class KernelProfiler {
   mutable Mutex mutex_;
   std::vector<std::shared_ptr<prof_internal::SlotArray>> slots_ FLEX_GUARDED_BY(mutex_);
   bool probed_ FLEX_GUARDED_BY(mutex_) = false;
-  RooflineProbe roofline_;  // written once under mutex_ before readers exist
+  RooflineProbe roofline_ FLEX_GUARDED_BY(mutex_);
 };
 
 }  // namespace obs

@@ -1,0 +1,373 @@
+// fgcheck — semantic static analysis for the FlexGraph tree.
+//
+// The grown-up form of fglint: a real (comment/string/raw-string aware)
+// lexer feeds a repo-wide declaration-and-include index, and rule families
+// run over that index:
+//
+//   tokens       the original fglint surface rules (kernel-alloc, raw-thread,
+//                seeded-rng, ...), the FLEXGRAPH_NOT_THREAD_SAFE cross-check,
+//                and the CMake fp-contract rule;
+//   layers       include-layer DAG vs. tools/fglint/layers.conf, plus
+//                file-level include cycles;
+//   locks        global lock-order graph acyclicity and FLEX_GUARDED_BY
+//                coverage of fields written under a lock;
+//   determinism  unordered iteration / pointer ordering / time seeding in
+//                the bitwise-reproducible tree (src/exec, src/hdg, src/core);
+//   frozen-plan  non-const ExecutionPlan/LevelPlan handles outside the pass
+//                pipeline;
+//   meta         stale `// fglint-allow:` suppressions and unknown rule
+//                names, so the waiver surface only shrinks.
+//
+// Deliberately dependency-free (std::filesystem only) and not linked against
+// the main tree, so it can gate CI even when the tree itself is broken.
+//
+// Usage:  fgcheck [--repo-root DIR]      lint the repository (default ".")
+//         fgcheck --self-test DIR        run the fixture suite in DIR
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "tools/fglint/rules.h"
+
+namespace fgcheck {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool IsCxxFile(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+// Walks {src, tools, bench} under `root` and lexes+indexes every C++ file.
+// Unlike old fglint, fgcheck's own sources are linted too — only the fixture
+// corpus is excluded, since fixtures deliberately contain bad code.
+RepoIndex BuildRepoIndex(const fs::path& root) {
+  RepoIndex index;
+  std::vector<fs::path> paths;
+  for (const char* top : {"src", "tools", "bench"}) {
+    const fs::path dir = root / top;
+    if (!fs::exists(dir)) {
+      continue;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && IsCxxFile(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::vector<std::pair<std::string, fs::path>> rels;
+  rels.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::string rel = fs::relative(p, root).generic_string();
+    if (rel.rfind("tools/fglint/testdata/", 0) == 0) {
+      continue;
+    }
+    rels.emplace_back(std::move(rel), p);
+  }
+  std::sort(rels.begin(), rels.end());
+  for (auto& [rel, path] : rels) {
+    LexedFile lexed;
+    if (!LexFile(path.string(), &lexed)) {
+      std::fprintf(stderr, "fgcheck: cannot read %s\n", path.string().c_str());
+      continue;
+    }
+    index.by_rel[rel] = index.files.size();
+    index.files.push_back(BuildFileIndex(rel, std::move(lexed)));
+  }
+  return index;
+}
+
+std::vector<Finding> LintRepository(const fs::path& root) {
+  Context ctx;
+  ctx.root = root;
+  ctx.index = BuildRepoIndex(root);
+  RunTokenRules(&ctx);
+  RunLayerRules(&ctx);
+  RunLockRules(&ctx);
+  RunDeterminismRules(&ctx);
+  RunFrozenPlanRules(&ctx);
+  FinalizeSuppressions(&ctx);
+  std::sort(ctx.findings.begin(), ctx.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  ctx.findings.erase(
+      std::unique(ctx.findings.begin(), ctx.findings.end(),
+                  [](const Finding& a, const Finding& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule && a.message == b.message;
+                  }),
+      ctx.findings.end());
+  return ctx.findings;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test: built-in lexer checks + fixture files/directories
+// ---------------------------------------------------------------------------
+
+int g_failures = 0;
+
+void Expect(bool ok, const std::string& what) {
+  if (!ok) {
+    ++g_failures;
+    std::fprintf(stderr, "fgcheck self-test FAIL: %s\n", what.c_str());
+  }
+}
+
+bool HasTokenText(const LexedFile& lf, const std::string& text) {
+  for (const Token& t : lf.tokens) {
+    if (t.text == text) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Lexer unit checks: the edge cases the fixtures can't express as
+// pass/fail-count conveniently. Each is a tiny source string with a known
+// right answer.
+void LexerChecks() {
+  // Raw strings: contents (including quotes, comment markers, parens) are
+  // one kString token, and a `)` inside does not close the literal early.
+  {
+    const LexedFile lf = Lex("auto s = R\"x(no // comment \"inner\" )\" )x\"; int after;");
+    Expect(HasTokenText(lf, "after"), "raw string: lexing continues after closer");
+    Expect(!HasTokenText(lf, "comment"), "raw string: body is not tokenized");
+    Expect(lf.allows.empty(), "raw string: fglint-allow inside is inert");
+  }
+  // Line continuations splice everywhere except inside raw strings.
+  {
+    const LexedFile lf = Lex("int spli\\\nced = 1;");
+    Expect(HasTokenText(lf, "spliced"), "splice: identifier joined across backslash-newline");
+  }
+  {
+    const LexedFile lf = Lex("auto s = R\"(a\\\nb)\";");
+    bool found = false;
+    for (const Token& t : lf.tokens) {
+      if (t.kind == Tok::kString && t.text.find("\\") != std::string::npos) {
+        found = true;
+      }
+    }
+    Expect(found, "splice: NOT applied inside raw string body");
+  }
+  // Block comments do not nest: the first */ closes.
+  {
+    const LexedFile lf = Lex("/* outer /* inner */ int visible;");
+    Expect(HasTokenText(lf, "visible"), "block comment: first */ closes (no nesting)");
+  }
+  // Digit separators stay one number token.
+  {
+    const LexedFile lf = Lex("long n = 1'000'000;");
+    Expect(HasTokenText(lf, "1'000'000"), "digit separators: one number token");
+  }
+  // Allow comments: rule list parsed, prose tail ignored, strings inert.
+  {
+    const LexedFile lf =
+        Lex("srand(1);  // fglint-allow: seeded-rng, determinism seeded once at init\n"
+            "const char* s = \"// fglint-allow: kernel-alloc\";\n");
+    Expect(lf.allows.size() == 1, "allow: one entry parsed (string literal inert)");
+    if (lf.allows.size() == 1) {
+      Expect(lf.allows[0].rules.size() == 2 && lf.allows[0].rules[0] == "seeded-rng" &&
+                 lf.allows[0].rules[1] == "determinism",
+             "allow: two rules before the prose tail");
+    }
+  }
+  // The registry itself: no duplicate ids.
+  {
+    std::set<std::string> uniq(RegisteredRules().begin(), RegisteredRules().end());
+    Expect(uniq.size() == RegisteredRules().size(), "registry: rule ids unique");
+  }
+}
+
+// Synthetic repo-relative path for a single-file semantic fixture, chosen so
+// the rule's path predicate fires.
+std::string SyntheticRel(const std::string& rule, const std::string& filename) {
+  if (rule == "determinism" || rule == "stale-suppression" || rule == "unknown-rule") {
+    return "src/exec/" + filename;
+  }
+  if (rule == "frozen-plan") {
+    return "src/dist/" + filename;
+  }
+  return "src/core/" + filename;  // lock-order, guarded-by
+}
+
+bool IsSemanticRule(const std::string& rule) {
+  return rule == "lock-order" || rule == "guarded-by" || rule == "determinism" ||
+         rule == "frozen-plan" || rule == "stale-suppression" ||
+         rule == "unknown-rule";
+}
+
+long CountRule(const std::vector<Finding>& findings, const std::string& rule) {
+  long n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+// Single-file semantic fixture: index it under a synthetic path, run the
+// semantic families + suppression finalization, count findings of `rule`.
+long RunSemanticFixture(const std::string& rule, const fs::path& fixture) {
+  LexedFile lexed;
+  if (!LexFile(fixture.string(), &lexed)) {
+    return -1;
+  }
+  Context ctx;
+  ctx.root = fixture.parent_path();
+  const std::string rel = SyntheticRel(rule, fixture.filename().string());
+  ctx.index.by_rel[rel] = 0;
+  ctx.index.files.push_back(BuildFileIndex(rel, std::move(lexed)));
+  RunLockRules(&ctx);
+  RunDeterminismRules(&ctx);
+  RunFrozenPlanRules(&ctx);
+  FinalizeSuppressions(&ctx);
+  return CountRule(ctx.findings, rule);
+}
+
+// Directory fixture: a miniature repo tree (its own layers.conf + src/...).
+// Runs the repo-scan families that need more than one file.
+long RunDirFixture(const std::string& rule, const fs::path& dir) {
+  Context ctx;
+  ctx.root = dir;
+  ctx.index = BuildRepoIndex(dir);
+  RunLayerRules(&ctx);
+  FinalizeSuppressions(&ctx);
+  return CountRule(ctx.findings, rule);
+}
+
+long RunFixture(const std::string& rule, const fs::path& fixture) {
+  if (fs::is_directory(fixture)) {
+    return RunDirFixture(rule, fixture);
+  }
+  if (fixture.extension() == ".cmake") {
+    std::ifstream in(fixture);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return RunFpContractOnFixture(fixture.filename().string(), buf.str());
+  }
+  if (IsSemanticRule(rule)) {
+    return RunSemanticFixture(rule, fixture);
+  }
+  LexedFile lexed;
+  if (!LexFile(fixture.string(), &lexed)) {
+    return -1;
+  }
+  if (rule == "not-thread-safe") {
+    return RunNotThreadSafeOnFixture(fixture.filename().string(), lexed);
+  }
+  return RunTokenRuleOnFixture(rule, fixture.filename().string(), lexed);
+}
+
+int SelfTest(const fs::path& dir) {
+  if (!fs::exists(dir)) {
+    std::fprintf(stderr, "fgcheck: fixture directory %s not found\n",
+                 dir.string().c_str());
+    return 2;
+  }
+  LexerChecks();
+  int cases = 0;
+  std::vector<fs::path> entries;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    entries.push_back(entry.path());
+  }
+  std::sort(entries.begin(), entries.end());
+  for (const fs::path& path : entries) {
+    // Fixture naming: <rule>_bad[_variant].<ext> expects >0 findings of
+    // <rule>; <rule>_ok[_variant].<ext> expects 0. Directories follow the
+    // same convention. Rule ids never contain '_', so the split is unique.
+    const std::string stem =
+        fs::is_directory(path) ? path.filename().string() : path.stem().string();
+    std::string rule;
+    bool expect_bad = false;
+    std::size_t pos;
+    if ((pos = stem.find("_bad")) != std::string::npos &&
+        (stem.size() == pos + 4 || stem[pos + 4] == '_')) {
+      rule = stem.substr(0, pos);
+      expect_bad = true;
+    } else if ((pos = stem.find("_ok")) != std::string::npos &&
+               (stem.size() == pos + 3 || stem[pos + 3] == '_')) {
+      rule = stem.substr(0, pos);
+      expect_bad = false;
+    } else {
+      continue;
+    }
+    ++cases;
+    if (!IsRegisteredRule(rule)) {
+      ++g_failures;
+      std::fprintf(stderr,
+                   "fgcheck self-test FAIL: fixture %s names unregistered rule '%s'\n",
+                   stem.c_str(), rule.c_str());
+      continue;
+    }
+    const long count = RunFixture(rule, path);
+    const bool pass = count >= 0 && (expect_bad ? count > 0 : count == 0);
+    if (!pass) {
+      ++g_failures;
+      std::fprintf(stderr, "fgcheck self-test FAIL: %s (%ld finding(s), expected %s)\n",
+                   stem.c_str(), count, expect_bad ? ">0" : "0");
+    }
+  }
+  std::printf("fgcheck self-test: %d fixture(s) + lexer checks, %d failure(s)\n",
+              cases, g_failures);
+  if (cases == 0) {
+    std::fprintf(stderr, "fgcheck: no fixtures found in %s\n", dir.string().c_str());
+    return 2;
+  }
+  return g_failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace fgcheck
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  fs::path root = ".";
+  fs::path self_test_dir;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--repo-root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--self-test" && i + 1 < argc) {
+      self_test_dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: fgcheck [--repo-root DIR] | fgcheck --self-test DIR\n");
+      return 2;
+    }
+  }
+  if (!self_test_dir.empty()) {
+    return fgcheck::SelfTest(self_test_dir);
+  }
+  if (!fs::exists(root / "src")) {
+    std::fprintf(stderr, "fgcheck: %s does not look like the repository root\n",
+                 root.string().c_str());
+    return 2;
+  }
+  const std::vector<fgcheck::Finding> findings = fgcheck::LintRepository(root);
+  for (const fgcheck::Finding& f : findings) {
+    if (f.line > 0) {
+      std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                  f.message.c_str());
+    } else {
+      std::printf("%s: [%s] %s\n", f.file.c_str(), f.rule.c_str(),
+                  f.message.c_str());
+    }
+  }
+  if (findings.empty()) {
+    std::printf("fgcheck: clean\n");
+    return 0;
+  }
+  std::printf("fgcheck: %zu finding(s)\n", findings.size());
+  return 1;
+}

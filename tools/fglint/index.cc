@@ -1,0 +1,318 @@
+#include "tools/fglint/index.h"
+
+#include <algorithm>
+
+namespace fgcheck {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+// Skips an attribute-style macro invocation `NAME ( ... )` starting at the
+// macro name; returns the index just past the closing paren (or i+1 when not
+// followed by parens).
+std::size_t SkipMacroCall(const std::vector<Token>& toks, std::size_t i) {
+  if (i + 1 < toks.size() && IsPunct(toks[i + 1], "(")) {
+    const std::size_t close = MatchingClose(toks, i + 1);
+    return close < toks.size() ? close + 1 : toks.size();
+  }
+  return i + 1;
+}
+
+bool IsAnnotationMacro(const std::string& name) {
+  return name.rfind("FLEX_", 0) == 0 || name.rfind("FLEXGRAPH_", 0) == 0 ||
+         name == "alignas" || name == "NOLINT";
+}
+
+// Parses the member-field declarations of one class body: token range
+// (body_begin, body_end) at nesting depth 0 relative to the body. Nested
+// braces (inline method bodies, nested classes, brace initializers) are
+// skipped wholesale; nested classes are indexed separately by the caller.
+void ParseMembers(const std::vector<Token>& toks, ClassInfo* cls) {
+  std::size_t i = cls->body_begin;
+  std::vector<std::size_t> stmt;  // token indices of the current statement
+  auto flush = [&](void) {
+    // A field declaration is a statement whose name token is an identifier
+    // not followed by '(' (functions) and not preceded by '(' or ','
+    // (macro/ctor arguments). The name sits immediately before `;`, `=`,
+    // `{`-initializer, `[`, or a FLEX_GUARDED_BY annotation.
+    if (stmt.size() < 2) {
+      stmt.clear();
+      return;
+    }
+    const Token& first = toks[stmt[0]];
+    if (first.kind == Tok::kIdent &&
+        (first.text == "using" || first.text == "typedef" ||
+         first.text == "friend" || first.text == "static_assert" ||
+         first.text == "template" || first.text == "operator" ||
+         first.text == "public" || first.text == "private" ||
+         first.text == "protected" || first.text == "enum" ||
+         IsAnnotationMacro(first.text))) {
+      stmt.clear();
+      return;
+    }
+    // Locate the annotation, if any, and the name position.
+    std::size_t name_pos = stmt.size();
+    bool guarded = false;
+    std::string guard_expr;
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const Token& t = toks[stmt[k]];
+      if (t.kind == Tok::kIdent &&
+          (t.text == "FLEX_GUARDED_BY" || t.text == "FLEX_PT_GUARDED_BY")) {
+        guarded = true;
+        if (k + 1 < stmt.size() && IsPunct(toks[stmt[k + 1]], "(")) {
+          const std::size_t close = MatchingClose(toks, stmt[k + 1]);
+          guard_expr = JoinTokens(toks, stmt[k + 1] + 1, close);
+        }
+        if (k > 0) {
+          name_pos = k - 1;
+        }
+        break;
+      }
+    }
+    if (!guarded) {
+      // Name = identifier before the first top-level `=`, `{`, or `[`; else
+      // the last token of the statement.
+      name_pos = stmt.size() - 1;
+      for (std::size_t k = 1; k < stmt.size(); ++k) {
+        const Token& t = toks[stmt[k]];
+        if (IsPunct(t, "=") || IsPunct(t, "{") || IsPunct(t, "[")) {
+          name_pos = k - 1;
+          break;
+        }
+      }
+    }
+    if (name_pos >= stmt.size()) {
+      stmt.clear();
+      return;
+    }
+    if (!guarded) {
+      // A `(` anywhere before the name means a method signature — e.g.
+      // `int Get() const` would otherwise register "const" as a field. This
+      // also drops unguarded function-typed fields (std::function<void()>),
+      // a false negative we accept; guarded ones are handled above.
+      for (std::size_t k = 0; k < name_pos; ++k) {
+        if (IsPunct(toks[stmt[k]], "(")) {
+          stmt.clear();
+          return;
+        }
+      }
+    }
+    const std::size_t name_tok = stmt[name_pos];
+    const Token& name = toks[name_tok];
+    const bool next_is_call = name_tok + 1 < toks.size() && IsPunct(toks[name_tok + 1], "(");
+    const bool prev_blocks = name_pos > 0 && (IsPunct(toks[stmt[name_pos - 1]], "(") ||
+                                              IsPunct(toks[stmt[name_pos - 1]], ","));
+    const bool qualifier_name =
+        name.text == "const" || name.text == "noexcept" || name.text == "override" ||
+        name.text == "final" || name.text == "mutable" || name.text == "default" ||
+        name.text == "delete" || name.text == "0";
+    if (name.kind != Tok::kIdent || next_is_call || prev_blocks || name_pos == 0 ||
+        qualifier_name) {
+      stmt.clear();
+      return;
+    }
+    FieldDecl field;
+    field.name = name.text;
+    field.line = name.line;
+    field.guarded = guarded;
+    field.guard_expr = guard_expr;
+    // A Mutex member: any type token equal to `Mutex` before the name.
+    for (std::size_t k = 0; k < name_pos; ++k) {
+      if (IsIdent(toks[stmt[k]], "Mutex")) {
+        cls->mutex_members.push_back(field.name);
+        break;
+      }
+    }
+    cls->fields.push_back(std::move(field));
+    stmt.clear();
+  };
+
+  while (i < cls->body_end) {
+    const Token& t = toks[i];
+    if (IsPunct(t, "{")) {
+      // Method body or brace initializer. A brace directly after `=` or after
+      // the member name is an initializer and ends the statement; a method
+      // body also ends its "statement". Either way: skip and flush.
+      const std::size_t close = MatchingClose(toks, i);
+      const bool initializer = !stmt.empty();
+      if (initializer) {
+        stmt.push_back(i);  // keep `{` so the name heuristic sees it
+      }
+      flush();
+      i = close < cls->body_end ? close + 1 : cls->body_end;
+      // Trailing `;` after an initializer brace is consumed as empty stmt.
+      continue;
+    }
+    if (IsPunct(t, ";")) {
+      flush();
+      ++i;
+      continue;
+    }
+    if (IsPunct(t, ":") && !stmt.empty() && toks[stmt[0]].kind == Tok::kIdent &&
+        (toks[stmt[0]].text == "public" || toks[stmt[0]].text == "private" ||
+         toks[stmt[0]].text == "protected")) {
+      stmt.clear();  // access label
+      ++i;
+      continue;
+    }
+    stmt.push_back(i);
+    ++i;
+  }
+}
+
+}  // namespace
+
+const FieldDecl* ClassInfo::FindField(const std::string& field_name) const {
+  for (const FieldDecl& f : fields) {
+    if (f.name == field_name) {
+      return &f;
+    }
+  }
+  return nullptr;
+}
+
+bool ClassInfo::HasMutexMember(const std::string& member) const {
+  return std::find(mutex_members.begin(), mutex_members.end(), member) !=
+         mutex_members.end();
+}
+
+const FileIndex* RepoIndex::Find(const std::string& rel) const {
+  const auto it = by_rel.find(rel);
+  return it == by_rel.end() ? nullptr : &files[it->second];
+}
+
+std::string JoinTokens(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t end) {
+  std::string out;
+  for (std::size_t i = begin; i < end && i < tokens.size(); ++i) {
+    const std::string& txt = tokens[i].text;
+    if (txt.empty()) {
+      continue;
+    }
+    if (!out.empty() && IsIdentChar(out.back()) && IsIdentChar(txt.front())) {
+      out.push_back(' ');
+    }
+    out += txt;
+  }
+  return out;
+}
+
+std::size_t MatchingClose(const std::vector<Token>& tokens, std::size_t open) {
+  if (open >= tokens.size() || tokens[open].kind != Tok::kPunct) {
+    return tokens.size();
+  }
+  const std::string& o = tokens[open].text;
+  std::string close;
+  if (o == "(") {
+    close = ")";
+  } else if (o == "{") {
+    close = "}";
+  } else if (o == "[") {
+    close = "]";
+  } else if (o == "<") {
+    close = ">";
+  } else {
+    return tokens.size();
+  }
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    const Token& t = tokens[i];
+    if (t.kind != Tok::kPunct) {
+      continue;
+    }
+    if (t.text == o) {
+      ++depth;
+    } else if (t.text == close) {
+      if (--depth == 0) {
+        return i;
+      }
+    } else if (o == "<" && t.text == ">>") {
+      depth -= 2;
+      if (depth <= 0) {
+        return i;
+      }
+    } else if (o == "<" && (t.text == ";" || t.text == "{")) {
+      return tokens.size();  // not a template argument list after all
+    }
+  }
+  return tokens.size();
+}
+
+FileIndex BuildFileIndex(std::string rel, LexedFile lexed) {
+  FileIndex fi;
+  fi.rel = std::move(rel);
+  fi.lex = std::move(lexed);
+  const std::vector<Token>& toks = fi.lex.tokens;
+
+  // Includes: `#` `include` <string token>.
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (IsPunct(toks[i], "#") && IsIdent(toks[i + 1], "include") &&
+        toks[i + 2].kind == Tok::kString) {
+      IncludeRef inc;
+      const std::string& raw = toks[i + 2].text;
+      inc.system = !raw.empty() && raw.front() == '<';
+      inc.path = raw.size() >= 2 ? raw.substr(1, raw.size() - 2) : raw;
+      inc.line = toks[i + 2].line;
+      fi.includes.push_back(std::move(inc));
+    }
+  }
+
+  // Class/struct declarations (including nested ones).
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (!(IsIdent(toks[i], "class") || IsIdent(toks[i], "struct"))) {
+      continue;
+    }
+    if (i > 0 && IsIdent(toks[i - 1], "enum")) {
+      continue;  // enum class
+    }
+    // Skip attribute macros between the keyword and the name.
+    std::size_t j = i + 1;
+    while (j < toks.size() && toks[j].kind == Tok::kIdent &&
+           IsAnnotationMacro(toks[j].text)) {
+      j = SkipMacroCall(toks, j);
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) {
+      continue;  // anonymous struct or something stranger
+    }
+    ClassInfo cls;
+    cls.name = toks[j].text;
+    cls.line = toks[j].line;
+    // Scan to the opening brace; `;` first means forward declaration, and
+    // any `(` first means this was a parameter/return type mention.
+    std::size_t k = j + 1;
+    bool has_body = false;
+    while (k < toks.size()) {
+      if (IsPunct(toks[k], "{")) {
+        has_body = true;
+        break;
+      }
+      if (IsPunct(toks[k], ";") || IsPunct(toks[k], "(") || IsPunct(toks[k], ")") ||
+          IsPunct(toks[k], "=") || IsPunct(toks[k], ">") || IsPunct(toks[k], "&") ||
+          IsPunct(toks[k], "*") || IsPunct(toks[k], ",")) {
+        break;
+      }
+      ++k;
+    }
+    if (!has_body) {
+      continue;
+    }
+    const std::size_t close = MatchingClose(toks, k);
+    if (close >= toks.size()) {
+      continue;
+    }
+    cls.body_begin = k + 1;
+    cls.body_end = close;
+    ParseMembers(toks, &cls);
+    fi.classes.push_back(std::move(cls));
+  }
+  return fi;
+}
+
+}  // namespace fgcheck

@@ -1,0 +1,84 @@
+// fgcheck repo index — declarations and includes mined from the token stream.
+//
+// One pass over every lexed file builds the structures the semantic rule
+// families share:
+//   - the include table (quoted repo-relative and <system> includes, with
+//     lines) feeding the layer-DAG and include-cycle rules;
+//   - class/struct declarations with their member fields, which fields carry
+//     FLEX_GUARDED_BY, and which members are Mutexes, feeding the
+//     annotation-coverage rule;
+//   - token-index ranges of each class body, so the lock rules can attribute
+//     an out-of-line `MutexLock lock(mu_)` to the right class via the
+//     `Class::Method` definition pattern.
+//
+// Everything here is heuristic token matching, tuned to this repository's
+// (Google-style) conventions: member fields end in `_`, mutex members are
+// `Mutex`/`mutable Mutex` declarations, and annotations are the FLEX_*
+// macros. The fixtures in testdata/ pin the shapes it must understand.
+#ifndef TOOLS_FGLINT_INDEX_H_
+#define TOOLS_FGLINT_INDEX_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "tools/fglint/lexer.h"
+
+namespace fgcheck {
+
+struct IncludeRef {
+  std::string path;  // as written, quotes/brackets stripped
+  bool system = false;
+  int line = 0;
+};
+
+struct FieldDecl {
+  std::string name;
+  int line = 0;
+  bool guarded = false;     // carries FLEX_GUARDED_BY / FLEX_PT_GUARDED_BY
+  std::string guard_expr;   // the annotation's argument, canonicalized
+};
+
+struct ClassInfo {
+  std::string name;
+  int line = 0;
+  std::size_t body_begin = 0;  // token index just past the opening '{'
+  std::size_t body_end = 0;    // token index of the closing '}'
+  std::vector<FieldDecl> fields;
+  std::vector<std::string> mutex_members;  // fields declared as Mutex
+
+  const FieldDecl* FindField(const std::string& name) const;
+  bool HasMutexMember(const std::string& name) const;
+};
+
+struct FileIndex {
+  std::string rel;  // repo-relative path, '/'-separated
+  LexedFile lex;
+  std::vector<IncludeRef> includes;
+  std::vector<ClassInfo> classes;
+};
+
+struct RepoIndex {
+  std::vector<FileIndex> files;
+  std::map<std::string, std::size_t> by_rel;
+
+  const FileIndex* Find(const std::string& rel) const;
+};
+
+// Parses includes and class declarations out of a lexed file.
+FileIndex BuildFileIndex(std::string rel, LexedFile lexed);
+
+// Joins a token range into a canonical string (minimal spacing), used for
+// annotation arguments and lock expressions.
+std::string JoinTokens(const std::vector<Token>& tokens, std::size_t begin,
+                       std::size_t end);
+
+// Given tokens[open] == "(" (or "<", "{", "["), returns the index of the
+// matching closer, treating ">>" as two closers when matching "<". Returns
+// tokens.size() when unbalanced.
+std::size_t MatchingClose(const std::vector<Token>& tokens, std::size_t open);
+
+}  // namespace fgcheck
+
+#endif  // TOOLS_FGLINT_INDEX_H_

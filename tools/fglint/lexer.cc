@@ -1,0 +1,414 @@
+#include "tools/fglint/lexer.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace fgcheck {
+
+namespace {
+
+// Character cursor over the raw text that deletes backslash-newline splices
+// (translation phase 2) and tracks the physical line number. Raw-string
+// bodies bypass it (splices are reverted inside raw literals).
+class Cursor {
+ public:
+  explicit Cursor(const std::string& text) : text_(text) { SkipSplices(); }
+
+  bool AtEnd() const { return i_ >= text_.size(); }
+  char Peek() const { return i_ < text_.size() ? text_[i_] : '\0'; }
+  char PeekAt(int ahead) const {
+    // Peeks past splices without advancing.
+    std::size_t j = i_;
+    int line = line_;
+    for (int k = 0; k < ahead; ++k) {
+      if (j >= text_.size()) {
+        return '\0';
+      }
+      ++j;
+      AdvancePastSplices(&j, &line);
+    }
+    return j < text_.size() ? text_[j] : '\0';
+  }
+  int Line() const { return line_; }
+
+  char Get() {
+    const char c = text_[i_];
+    if (c == '\n') {
+      ++line_;
+    }
+    ++i_;
+    SkipSplices();
+    return c;
+  }
+
+  // Raw access for raw-string bodies: no splice deletion.
+  char GetRaw() {
+    const char c = text_[i_];
+    if (c == '\n') {
+      ++line_;
+    }
+    ++i_;
+    return c;
+  }
+
+ private:
+  void SkipSplices() { AdvancePastSplices(&i_, &line_); }
+
+  void AdvancePastSplices(std::size_t* i, int* line) const {
+    while (*i < text_.size() && text_[*i] == '\\') {
+      if (*i + 1 < text_.size() && text_[*i + 1] == '\n') {
+        *i += 2;
+        ++*line;
+      } else if (*i + 2 < text_.size() && text_[*i + 1] == '\r' &&
+                 text_[*i + 2] == '\n') {
+        *i += 3;
+        ++*line;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  int line_ = 1;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character punctuators, longest first within each head character.
+const char* const kPuncts[] = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=",
+    "++", "--", ".*", "##",
+};
+
+// Parses the rule list out of a comment's text, if it carries the
+// suppression marker. Rules are [a-z0-9-] words after the marker, separated
+// by commas/spaces; the list ends at the first word that is not rule-shaped
+// (so trailing prose like "— heartbeat sender" is fine).
+void ParseAllow(const std::string& comment, int line, std::vector<AllowEntry>* allows) {
+  const std::string marker = "fglint-allow:";
+  std::size_t pos = comment.find(marker);
+  if (pos == std::string::npos) {
+    return;
+  }
+  pos += marker.size();
+  AllowEntry entry;
+  entry.line = line;
+  // Grammar: the first word after the marker is a rule; further words are
+  // rules only when a comma precedes them. The first space-separated word
+  // without a comma starts the free-prose justification, which is ignored —
+  // e.g. `rule-a, rule-b seeded once at init` allows rule-a and rule-b.
+  while (pos < comment.size()) {
+    bool comma = false;
+    while (pos < comment.size() &&
+           (comment[pos] == ' ' || comment[pos] == '\t' || comment[pos] == ',')) {
+      comma = comma || comment[pos] == ',';
+      ++pos;
+    }
+    if (!entry.rules.empty() && !comma) {
+      break;  // prose begins
+    }
+    std::size_t start = pos;
+    while (pos < comment.size() &&
+           (std::isalnum(static_cast<unsigned char>(comment[pos])) ||
+            comment[pos] == '-' || comment[pos] == '_')) {
+      ++pos;
+    }
+    if (pos == start) {
+      break;  // not a rule-shaped word: prose begins
+    }
+    entry.rules.push_back(comment.substr(start, pos - start));
+  }
+  if (!entry.rules.empty()) {
+    entry.used.assign(entry.rules.size(), false);
+    allows->push_back(std::move(entry));
+  }
+}
+
+bool IsRawStringPrefix(const std::string& ident) {
+  return ident == "R" || ident == "u8R" || ident == "LR" || ident == "uR" ||
+         ident == "UR";
+}
+
+bool IsStringPrefix(const std::string& ident) {
+  return ident == "u8" || ident == "L" || ident == "u" || ident == "U";
+}
+
+}  // namespace
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool HasToken(const std::string& code, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = code.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentChar(code[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const char last = token.back();
+    const bool right_ok =
+        !IsIdentChar(last) || end >= code.size() || !IsIdentChar(code[end]);
+    if (left_ok && right_ok) {
+      return true;
+    }
+    pos += 1;
+  }
+  return false;
+}
+
+LexedFile Lex(const std::string& text) {
+  LexedFile out;
+  Cursor cur(text);
+  bool at_line_start = true;   // only whitespace seen on this physical line
+  bool in_include = false;     // between `#include` and end of its line
+  int directive_line = -1;
+
+  auto emit = [&](Tok kind, std::string tok_text, int line) {
+    out.tokens.push_back(Token{kind, std::move(tok_text), line});
+  };
+
+  while (!cur.AtEnd()) {
+    const char c = cur.Peek();
+    const int line = cur.Line();
+
+    if (c == '\n') {
+      cur.Get();
+      at_line_start = true;
+      if (directive_line >= 0) {
+        in_include = false;
+        directive_line = -1;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+      cur.Get();
+      continue;
+    }
+
+    // Comments.
+    if (c == '/' && cur.PeekAt(1) == '/') {
+      std::string comment;
+      const int comment_line = line;
+      while (!cur.AtEnd() && cur.Peek() != '\n') {
+        comment.push_back(cur.Get());  // splices extend the comment
+      }
+      ParseAllow(comment, comment_line, &out.allows);
+      continue;
+    }
+    if (c == '/' && cur.PeekAt(1) == '*') {
+      std::string comment;
+      const int comment_line = line;
+      cur.Get();
+      cur.Get();
+      while (!cur.AtEnd()) {
+        if (cur.Peek() == '*' && cur.PeekAt(1) == '/') {
+          cur.Get();
+          cur.Get();
+          break;
+        }
+        comment.push_back(cur.Get());
+      }
+      ParseAllow(comment, comment_line, &out.allows);
+      continue;
+    }
+
+    at_line_start = at_line_start && false;  // first token on the line
+
+    // Identifiers (and string-literal prefixes).
+    if (IsIdentStart(c)) {
+      std::string ident;
+      while (!cur.AtEnd() && IsIdentChar(cur.Peek())) {
+        ident.push_back(cur.Get());
+      }
+      if (cur.Peek() == '"' && IsRawStringPrefix(ident)) {
+        // Raw string: R"delim( ... )delim" — no splice deletion inside.
+        std::string lit = ident;
+        lit.push_back(cur.Get());  // opening quote
+        std::string delim;
+        while (!cur.AtEnd() && cur.Peek() != '(') {
+          delim.push_back(cur.GetRaw());
+        }
+        lit += delim;
+        if (!cur.AtEnd()) {
+          lit.push_back(cur.GetRaw());  // '('
+        }
+        const std::string closer = ")" + delim + "\"";
+        std::string body;
+        while (!cur.AtEnd()) {
+          body.push_back(cur.GetRaw());
+          if (body.size() >= closer.size() &&
+              body.compare(body.size() - closer.size(), closer.size(), closer) == 0) {
+            break;
+          }
+        }
+        lit += body;
+        emit(Tok::kString, lit, line);
+        continue;
+      }
+      if (cur.Peek() == '"' && IsStringPrefix(ident)) {
+        // Prefixed ordinary string: fall through to string lexing below by
+        // treating the prefix as part of the literal.
+        std::string lit = ident;
+        lit.push_back(cur.Get());
+        while (!cur.AtEnd()) {
+          const char s = cur.Get();
+          lit.push_back(s);
+          if (s == '\\' && !cur.AtEnd()) {
+            lit.push_back(cur.Get());
+          } else if (s == '"') {
+            break;
+          }
+        }
+        emit(Tok::kString, lit, line);
+        continue;
+      }
+      if (ident == "include" && !out.tokens.empty() &&
+          out.tokens.back().kind == Tok::kPunct && out.tokens.back().text == "#" &&
+          out.tokens.back().line == line) {
+        in_include = true;
+        directive_line = line;
+      }
+      emit(Tok::kIdent, ident, line);
+      continue;
+    }
+
+    // Numbers (incl. 0x..., digit separators 1'000'000, exponents).
+    if (IsDigit(c) || (c == '.' && IsDigit(cur.PeekAt(1)))) {
+      std::string num;
+      char prev = '\0';
+      while (!cur.AtEnd()) {
+        const char n = cur.Peek();
+        const bool exp_sign = (n == '+' || n == '-') &&
+                              (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P');
+        if (IsIdentChar(n) || n == '.' || exp_sign ||
+            (n == '\'' && IsIdentChar(prev))) {
+          prev = n;
+          num.push_back(cur.Get());
+        } else {
+          break;
+        }
+      }
+      emit(Tok::kNumber, num, line);
+      continue;
+    }
+
+    // String and char literals.
+    if (c == '"') {
+      std::string lit;
+      lit.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        const char s = cur.Get();
+        lit.push_back(s);
+        if (s == '\\' && !cur.AtEnd()) {
+          lit.push_back(cur.Get());
+        } else if (s == '"' || s == '\n') {
+          break;
+        }
+      }
+      emit(Tok::kString, lit, line);
+      continue;
+    }
+    if (c == '\'') {
+      std::string lit;
+      lit.push_back(cur.Get());
+      while (!cur.AtEnd()) {
+        const char s = cur.Get();
+        lit.push_back(s);
+        if (s == '\\' && !cur.AtEnd()) {
+          lit.push_back(cur.Get());
+        } else if (s == '\'' || s == '\n') {
+          break;
+        }
+      }
+      emit(Tok::kChar, lit, line);
+      continue;
+    }
+
+    // `#include <path>`: capture the bracketed path as one string token.
+    if (c == '<' && in_include) {
+      std::string path;
+      path.push_back(cur.Get());
+      while (!cur.AtEnd() && cur.Peek() != '>' && cur.Peek() != '\n') {
+        path.push_back(cur.Get());
+      }
+      if (cur.Peek() == '>') {
+        path.push_back(cur.Get());
+      }
+      emit(Tok::kString, path, line);
+      in_include = false;
+      continue;
+    }
+
+    if (c == '#') {
+      directive_line = line;
+    }
+
+    // Punctuators, longest match first.
+    std::string punct(1, c);
+    for (const char* p : kPuncts) {
+      const std::size_t n = std::char_traits<char>::length(p);
+      bool match = true;
+      for (std::size_t k = 0; k < n; ++k) {
+        if (cur.PeekAt(static_cast<int>(k)) != p[k]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) {
+        punct = p;
+        break;
+      }
+    }
+    for (std::size_t k = 0; k < punct.size(); ++k) {
+      cur.Get();
+    }
+    emit(Tok::kPunct, punct, line);
+  }
+
+  // Canonical per-line code strings: tokens joined with a space only where
+  // the join would otherwise fuse identifier characters.
+  int max_line = 0;
+  for (const Token& t : out.tokens) {
+    max_line = std::max(max_line, t.line);
+  }
+  out.lines.assign(static_cast<std::size_t>(max_line), std::string());
+  for (const Token& t : out.tokens) {
+    std::string txt;
+    switch (t.kind) {
+      case Tok::kString:
+        txt = "\"\"";
+        break;
+      case Tok::kChar:
+        txt = "''";
+        break;
+      default:
+        txt = t.text;
+    }
+    std::string& lineref = out.lines[static_cast<std::size_t>(t.line - 1)];
+    if (!lineref.empty() && IsIdentChar(lineref.back()) && IsIdentChar(txt.front())) {
+      lineref.push_back(' ');
+    }
+    lineref += txt;
+  }
+  return out;
+}
+
+bool LexFile(const std::string& path, LexedFile* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = Lex(buf.str());
+  return true;
+}
+
+}  // namespace fgcheck

@@ -1,0 +1,78 @@
+// fgcheck lexer — a real (if minimal) C++ token scanner.
+//
+// The rules below the token layer need more than blanked lines: the layer DAG
+// needs include directives, the lock rules need balanced parentheses and brace
+// depths, and the determinism rules need declarations. This lexer produces a
+// flat token stream that is
+//   - comment-aware: // and /* */ are dropped (block comments do not nest, so
+//     `/* /* */` ends at the first `*/` — exactly like the compiler);
+//   - string-aware: "...", '...', and raw R"delim(...)delim" literals become
+//     single kString/kChar tokens whose *content* never reaches rule matching
+//     (canonical lines render them as "" / '');
+//   - splice-aware: backslash-newline is deleted everywhere except inside raw
+//     strings (phase-2 splicing, reverted in raw literals), so a banned token
+//     split across a continuation still lexes as one identifier;
+//   - directive-aware: `#include <path>` captures the bracketed path as one
+//     string token so the include index sees system headers too.
+//
+// Alongside the tokens the lexer emits:
+//   - canonical per-physical-line code strings (tokens joined with minimal
+//     spacing), which the legacy token rules match against; and
+//   - `// fglint-allow: <rule>[, <rule>...]` suppression entries parsed from
+//     comment text only — a marker inside a string literal is data, not a
+//     suppression.
+#ifndef TOOLS_FGLINT_LEXER_H_
+#define TOOLS_FGLINT_LEXER_H_
+
+#include <string>
+#include <vector>
+
+namespace fgcheck {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,  // includes char-of-"..." raw strings and <paths> in #include
+  kChar,
+  kPunct,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;  // full literal text (with quotes) for strings
+  int line = 0;      // physical line of the token's first character
+};
+
+// One suppression comment: the `fglint-allow` marker, a colon, then a
+// comma/space-separated rule list, optionally followed by prose.
+struct AllowEntry {
+  int line = 0;
+  std::vector<std::string> rules;
+  // Set by Context::Emit when this entry actually suppresses a finding for
+  // the named rule; unused entries are stale-suppression findings.
+  mutable std::vector<bool> used;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  // lines[i] is the canonical token text of physical line i+1 (1-based), with
+  // string/char literal contents blanked. Lines with no tokens are empty.
+  std::vector<std::string> lines;
+  std::vector<AllowEntry> allows;
+};
+
+// Lexes a full translation-unit text.
+LexedFile Lex(const std::string& text);
+
+// Reads and lexes a file; returns false (and an empty result) on I/O error.
+bool LexFile(const std::string& path, LexedFile* out);
+
+bool IsIdentChar(char c);
+
+// True when `token` occurs in `code` with identifier boundaries on both sides
+// (so "printf" does not match "snprintf"). `code` is a canonical line.
+bool HasToken(const std::string& code, const std::string& token);
+
+}  // namespace fgcheck
+
+#endif  // TOOLS_FGLINT_LEXER_H_

@@ -1,0 +1,68 @@
+#include "tools/fglint/rules.h"
+
+#include <algorithm>
+
+namespace fgcheck {
+
+void Context::Emit(const std::string& rel, int line, const std::string& rule,
+                   std::string message) {
+  const FileIndex* fi = index.Find(rel);
+  if (fi != nullptr && line > 0) {
+    for (const AllowEntry& entry : fi->lex.allows) {
+      if (entry.line != line) {
+        continue;
+      }
+      for (std::size_t r = 0; r < entry.rules.size(); ++r) {
+        if (entry.rules[r] == rule) {
+          entry.used[r] = true;
+          return;  // suppressed
+        }
+      }
+    }
+  }
+  findings.push_back(Finding{rel, line, rule, std::move(message)});
+}
+
+const std::vector<std::string>& RegisteredRules() {
+  static const std::vector<std::string> rules = {
+      // Token rules (rules_token.cc).
+      "kernel-alloc", "raw-thread", "seeded-rng", "simd-horizontal",
+      "iostream-logging", "raw-socket", "clock-source", "env-validated",
+      "plan-draft", "not-thread-safe", "simd-fp-contract",
+      // Semantic families.
+      "include-layer", "include-cycle", "lock-order", "guarded-by",
+      "determinism", "frozen-plan",
+      // Meta rules.
+      "stale-suppression", "unknown-rule",
+  };
+  return rules;
+}
+
+bool IsRegisteredRule(const std::string& rule) {
+  const std::vector<std::string>& rules = RegisteredRules();
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+void FinalizeSuppressions(Context* ctx) {
+  for (const FileIndex& fi : ctx->index.files) {
+    for (const AllowEntry& entry : fi.lex.allows) {
+      for (std::size_t r = 0; r < entry.rules.size(); ++r) {
+        if (!IsRegisteredRule(entry.rules[r])) {
+          ctx->findings.push_back(Finding{
+              fi.rel, entry.line, "unknown-rule",
+              "fglint-allow names '" + entry.rules[r] +
+                  "', which is not a registered rule — fix the typo or drop "
+                  "the suppression"});
+        } else if (!entry.used[r]) {
+          ctx->findings.push_back(Finding{
+              fi.rel, entry.line, "stale-suppression",
+              "fglint-allow: " + entry.rules[r] +
+                  " no longer suppresses any finding on this line — remove "
+                  "it so the waiver list only shrinks"});
+        }
+      }
+    }
+  }
+}
+
+}  // namespace fgcheck

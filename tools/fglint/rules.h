@@ -1,0 +1,80 @@
+// fgcheck rule framework: findings, suppression bookkeeping, rule registry.
+//
+// Every rule family emits through Context::Emit, which is the single place
+// suppressions are honored: a `// fglint-allow: <rule>` comment on the
+// finding's line swallows the finding and marks the allow entry used. After
+// all families have run, FinalizeSuppressions turns every *unused* allow
+// entry into a `stale-suppression` finding and every allow naming an
+// unregistered rule into an `unknown-rule` finding — so the waiver lists can
+// only shrink, never silently rot.
+#ifndef TOOLS_FGLINT_RULES_H_
+#define TOOLS_FGLINT_RULES_H_
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "tools/fglint/index.h"
+
+namespace fgcheck {
+
+struct Finding {
+  std::string file;
+  int line = 0;  // 0 = whole-file finding
+  std::string rule;
+  std::string message;
+};
+
+class Context {
+ public:
+  RepoIndex index;
+  std::filesystem::path root;
+  std::vector<Finding> findings;
+
+  // Emits a finding unless an allow entry for `rule` sits on `line` of
+  // `rel`. Suppressed findings mark the entry used.
+  void Emit(const std::string& rel, int line, const std::string& rule,
+            std::string message);
+};
+
+// Every rule id fgcheck can produce. `// fglint-allow:` comments naming
+// anything else are unknown-rule findings.
+const std::vector<std::string>& RegisteredRules();
+bool IsRegisteredRule(const std::string& rule);
+
+// --- rule families -------------------------------------------------------
+// Legacy token rules (kernel-alloc, raw-thread, seeded-rng, simd-horizontal,
+// iostream-logging, raw-socket, clock-source, env-validated, plan-draft),
+// the FLEXGRAPH_NOT_THREAD_SAFE cross-check, and the CMake fp-contract rule.
+void RunTokenRules(Context* ctx);
+// include-layer (layer-DAG back-edges vs. tools/fglint/layers.conf) and
+// include-cycle (file-level include cycles).
+void RunLayerRules(Context* ctx);
+// lock-order (global MutexLock/FLEX_REQUIRES nesting graph must be acyclic)
+// and guarded-by (fields written under a class's MutexLock must carry
+// FLEX_GUARDED_BY).
+void RunLockRules(Context* ctx);
+// determinism (unordered iteration, pointer-value ordering, time seeding in
+// src/exec, src/hdg, src/core).
+void RunDeterminismRules(Context* ctx);
+// frozen-plan (non-const ExecutionPlan/LevelPlan handles outside the pass
+// pipeline).
+void RunFrozenPlanRules(Context* ctx);
+// stale-suppression + unknown-rule over all allow entries. Run last.
+void FinalizeSuppressions(Context* ctx);
+
+// --- self-test hooks -----------------------------------------------------
+// Runs one legacy token rule (by id) over a single lexed fixture,
+// unconditionally (path predicates bypassed). Returns finding count, or -1
+// if the id names no token rule.
+long RunTokenRuleOnFixture(const std::string& rule_id, const std::string& rel,
+                           const LexedFile& lexed);
+// The not-thread-safe cross-check over a single fixture.
+long RunNotThreadSafeOnFixture(const std::string& rel, const LexedFile& lexed);
+// The CMake fp-contract rule over a fixture text whose own simd_*.cc mentions
+// define the TU universe.
+long RunFpContractOnFixture(const std::string& rel, const std::string& text);
+
+}  // namespace fgcheck
+
+#endif  // TOOLS_FGLINT_RULES_H_

@@ -1,0 +1,109 @@
+// frozen-plan: compiled plans are immutable outside the pass pipeline.
+//
+// ExecutionPlan / LevelPlan are frozen after compilation and then shared
+// across worker threads without further synchronization — that is only sound
+// because nothing mutates them. The pass pipeline (src/exec/passes/) builds
+// them via PlanDraft, and the defining TU (src/exec/plan.{h,cc}) owns the
+// freeze itself; everywhere else, taking a non-const reference or pointer to
+// a plan type is a mutation doorway and an error. const_cast on a plan type
+// is an error anywhere.
+
+#include "tools/fglint/rules.h"
+
+namespace fgcheck {
+
+namespace {
+
+bool IsPlanType(const std::string& s) {
+  return s == "ExecutionPlan" || s == "LevelPlan";
+}
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+bool Exempt(const std::string& rel) {
+  return rel.rfind("src/exec/passes/", 0) == 0 || rel == "src/exec/plan.h" ||
+         rel == "src/exec/plan.cc";
+}
+
+bool IsStmtBoundary(const Token& t) {
+  return t.kind == Tok::kPunct &&
+         (t.text == ";" || t.text == "{" || t.text == "}" || t.text == "(" ||
+          t.text == ",");
+}
+
+// True if `const` appears between the nearest statement boundary before
+// `pos` and `pos` itself — covers `const ExecutionPlan&` and
+// `const std::vector<LevelPlan>&` alike.
+bool ConstQualified(const std::vector<Token>& toks, std::size_t pos) {
+  for (std::size_t j = pos; j-- > 0;) {
+    if (IsStmtBoundary(toks[j])) {
+      return false;
+    }
+    if (toks[j].kind == Tok::kIdent && toks[j].text == "const") {
+      return true;
+    }
+  }
+  return false;
+}
+
+void CheckFile(const FileIndex& fi, Context* ctx) {
+  const std::vector<Token>& toks = fi.lex.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Tok::kIdent) {
+      continue;
+    }
+    // const_cast<...Plan...> is an escape hatch regardless of context.
+    if (toks[i].text == "const_cast" && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "<")) {
+      const std::size_t close = MatchingClose(toks, i + 1);
+      for (std::size_t j = i + 2; j < close && j < toks.size(); ++j) {
+        if (toks[j].kind == Tok::kIdent && IsPlanType(toks[j].text)) {
+          ctx->Emit(fi.rel, toks[i].line, "frozen-plan",
+                    "const_cast on " + toks[j].text +
+                        " — frozen plans are shared across threads on the "
+                        "strength of their immutability; there is no valid "
+                        "reason to strip const here");
+          break;
+        }
+      }
+      continue;
+    }
+    if (!IsPlanType(toks[i].text)) {
+      continue;
+    }
+    // Walk past template closers so `std::vector<LevelPlan>&` is seen.
+    std::size_t j = i + 1;
+    while (j < toks.size() && toks[j].kind == Tok::kPunct &&
+           (toks[j].text == ">" || toks[j].text == ">>")) {
+      ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kPunct) {
+      continue;
+    }
+    const bool ref = toks[j].text == "&";
+    const bool ptr = toks[j].text == "*";
+    if ((!ref && !ptr) || ConstQualified(toks, i)) {
+      continue;
+    }
+    ctx->Emit(fi.rel, toks[i].line, "frozen-plan",
+              std::string("non-const ") + (ref ? "reference" : "pointer") +
+                  " to " + toks[i].text + " outside src/exec/passes/ — "
+                  "frozen plans must only be mutated inside the pass "
+                  "pipeline; take `const " + toks[i].text +
+                  (ref ? "&`" : "*`") + " instead");
+  }
+}
+
+}  // namespace
+
+void RunFrozenPlanRules(Context* ctx) {
+  for (const FileIndex& fi : ctx->index.files) {
+    if (!Exempt(fi.rel)) {
+      CheckFile(fi, ctx);
+    }
+  }
+}
+
+}  // namespace fgcheck

@@ -1,0 +1,280 @@
+// include-layer + include-cycle: the architecture's layering, enforced.
+//
+// The allowed layer order is declared in tools/fglint/layers.conf (fixture
+// trees carry a layers.conf at their root instead). Each `layer` line names
+// one or more directories at the same rank, ranks ascending; an include from
+// a lower-ranked directory into a higher-ranked one is a back-edge error
+// unless a `grandfather` entry (with a mandatory justification string)
+// covers it. Grandfather entries that cover nothing are stale-suppression
+// findings, so the list can only shrink. Include cycles among repo files are
+// errors regardless of layering.
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "tools/fglint/rules.h"
+
+namespace fgcheck {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Grandfather {
+  std::string file_prefix;  // repo-relative prefix of the including file
+  std::string to_dir;       // included directory, e.g. "src/exec"
+  std::string justification;
+  int line = 0;
+  bool used = false;
+};
+
+struct LayerTable {
+  std::string rel;  // conf path, repo-relative, for diagnostics
+  std::map<std::string, int> rank;  // directory -> layer rank
+  std::vector<Grandfather> grandfathered;
+  bool loaded = false;
+};
+
+// Directory key of a repo-relative path: "src/<sub>" for src files, the top
+// directory otherwise ("tools", "bench").
+std::string DirKey(const std::string& rel) {
+  const std::size_t first = rel.find('/');
+  if (first == std::string::npos) {
+    return rel;
+  }
+  if (rel.compare(0, first, "src") != 0) {
+    return rel.substr(0, first);
+  }
+  const std::size_t second = rel.find('/', first + 1);
+  return second == std::string::npos ? rel : rel.substr(0, second);
+}
+
+// Parses one possibly-quoted word starting at *pos; advances *pos.
+bool NextWord(const std::string& line, std::size_t* pos, std::string* out,
+              bool* quoted) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++*pos;
+  }
+  if (*pos >= line.size()) {
+    return false;
+  }
+  *quoted = line[*pos] == '"';
+  if (*quoted) {
+    const std::size_t close = line.find('"', *pos + 1);
+    if (close == std::string::npos) {
+      return false;
+    }
+    *out = line.substr(*pos + 1, close - *pos - 1);
+    *pos = close + 1;
+    return true;
+  }
+  const std::size_t end = line.find_first_of(" \t", *pos);
+  *out = line.substr(*pos, (end == std::string::npos ? line.size() : end) - *pos);
+  *pos = end == std::string::npos ? line.size() : end;
+  return true;
+}
+
+LayerTable LoadLayerTable(Context* ctx) {
+  LayerTable table;
+  fs::path conf = ctx->root / "tools" / "fglint" / "layers.conf";
+  table.rel = "tools/fglint/layers.conf";
+  if (!fs::exists(conf)) {
+    conf = ctx->root / "layers.conf";  // fixture trees
+    table.rel = "layers.conf";
+  }
+  std::ifstream in(conf);
+  if (!in) {
+    ctx->Emit(table.rel, 0, "include-layer",
+              "layer table not found: checked tools/fglint/layers.conf and "
+              "layers.conf under the repo root");
+    return table;
+  }
+  table.loaded = true;
+  std::string line;
+  int lineno = 0;
+  int next_rank = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.resize(hash);
+    }
+    std::size_t pos = 0;
+    std::string word;
+    bool quoted = false;
+    if (!NextWord(line, &pos, &word, &quoted)) {
+      continue;  // blank or comment
+    }
+    if (word == "layer") {
+      bool any = false;
+      while (NextWord(line, &pos, &word, &quoted)) {
+        table.rank[word] = next_rank;
+        any = true;
+      }
+      if (!any) {
+        ctx->Emit(table.rel, lineno, "include-layer",
+                  "`layer` line names no directories");
+      }
+      ++next_rank;
+    } else if (word == "grandfather") {
+      Grandfather g;
+      g.line = lineno;
+      bool q1 = false;
+      bool q2 = false;
+      bool q3 = false;
+      if (!NextWord(line, &pos, &g.file_prefix, &q1) ||
+          !NextWord(line, &pos, &g.to_dir, &q2) ||
+          !NextWord(line, &pos, &g.justification, &q3) || !q3 ||
+          g.justification.empty()) {
+        ctx->Emit(table.rel, lineno, "include-layer",
+                  "`grandfather` needs: <file-prefix> <included-dir> "
+                  "\"justification\" — an unexplained waiver is not a waiver");
+        continue;
+      }
+      table.grandfathered.push_back(std::move(g));
+    } else {
+      ctx->Emit(table.rel, lineno, "include-layer",
+                "unknown layer-table directive '" + word + "'");
+    }
+  }
+  return table;
+}
+
+void CheckLayerEdges(Context* ctx, LayerTable* table) {
+  for (const FileIndex& fi : ctx->index.files) {
+    const std::string from_dir = DirKey(fi.rel);
+    const auto from_it = table->rank.find(from_dir);
+    if (from_it == table->rank.end()) {
+      ctx->Emit(fi.rel, 0, "include-layer",
+                "directory '" + from_dir +
+                    "' is not in the layer table (tools/fglint/layers.conf) — "
+                    "add it at the right rank so the DAG stays exhaustive");
+      continue;
+    }
+    for (const IncludeRef& inc : fi.includes) {
+      if (inc.system || ctx->index.Find(inc.path) == nullptr) {
+        continue;  // system or out-of-repo include
+      }
+      const std::string to_dir = DirKey(inc.path);
+      const auto to_it = table->rank.find(to_dir);
+      if (to_it == table->rank.end()) {
+        ctx->Emit(fi.rel, inc.line, "include-layer",
+                  "included directory '" + to_dir + "' is not in the layer table");
+        continue;
+      }
+      if (to_it->second <= from_it->second) {
+        continue;  // downward or same-layer: allowed
+      }
+      bool waived = false;
+      for (Grandfather& g : table->grandfathered) {
+        if (g.to_dir == to_dir && fi.rel.rfind(g.file_prefix, 0) == 0) {
+          g.used = true;
+          waived = true;
+          break;
+        }
+      }
+      if (waived) {
+        continue;
+      }
+      ctx->Emit(fi.rel, inc.line, "include-layer",
+                "back-edge: " + from_dir + " (layer " +
+                    std::to_string(from_it->second) + ") includes " + inc.path +
+                    " in " + to_dir + " (layer " + std::to_string(to_it->second) +
+                    ") — dependencies must point down the layer order, or be "
+                    "grandfathered with a justification in the layer table");
+    }
+  }
+  for (const Grandfather& g : table->grandfathered) {
+    if (!g.used) {
+      ctx->findings.push_back(Finding{
+          table->rel, g.line, "stale-suppression",
+          "grandfather entry '" + g.file_prefix + " -> " + g.to_dir +
+              "' matches no back-edge any more — delete it; the grandfather "
+              "list only shrinks"});
+    }
+  }
+}
+
+// File-level include cycles via iterative three-color DFS; each cycle is
+// reported once, at its lexicographically smallest member.
+void CheckIncludeCycles(Context* ctx) {
+  std::map<std::string, std::vector<const IncludeRef*>> adj;
+  for (const FileIndex& fi : ctx->index.files) {
+    auto& out = adj[fi.rel];
+    for (const IncludeRef& inc : fi.includes) {
+      if (!inc.system && ctx->index.Find(inc.path) != nullptr) {
+        out.push_back(&inc);
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::set<std::string> reported;
+  std::vector<std::string> stack;
+
+  // Recursive lambda via explicit stack of (node, next-edge) frames.
+  struct Frame {
+    std::string node;
+    std::size_t next = 0;
+  };
+  for (const auto& [start, unused_edges] : adj) {
+    (void)unused_edges;
+    if (color[start] != 0) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    frames.push_back(Frame{start, 0});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& edges = adj[f.node];
+      if (f.next >= edges.size()) {
+        color[f.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const IncludeRef* inc = edges[f.next++];
+      const std::string& to = inc->path;
+      if (color[to] == 1) {
+        // Found a cycle: stack from `to` onward.
+        const auto begin = std::find(stack.begin(), stack.end(), to);
+        std::vector<std::string> cycle(begin, stack.end());
+        std::string smallest = cycle[0];
+        for (const std::string& n : cycle) {
+          smallest = std::min(smallest, n);
+        }
+        std::string desc;
+        for (const std::string& n : cycle) {
+          desc += n + " -> ";
+        }
+        desc += to;
+        if (reported.insert(desc).second) {
+          ctx->Emit(smallest, inc->line, "include-cycle",
+                    "include cycle: " + desc +
+                        " — break it with a forward declaration or by moving "
+                        "the shared piece down a layer");
+        }
+      } else if (color[to] == 0) {
+        color[to] = 1;
+        stack.push_back(to);
+        frames.push_back(Frame{to, 0});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunLayerRules(Context* ctx) {
+  LayerTable table = LoadLayerTable(ctx);
+  if (table.loaded) {
+    CheckLayerEdges(ctx, &table);
+  }
+  CheckIncludeCycles(ctx);
+}
+
+}  // namespace fgcheck

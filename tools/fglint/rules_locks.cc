@@ -1,0 +1,414 @@
+// lock-order + guarded-by: the lock discipline, extracted from tokens.
+//
+// One forward pass per file tracks brace scopes, the enclosing class (via
+// class-body token ranges from the index and `Class::Method(` definition
+// headers), and the set of MutexLock guards currently alive (plus locks a
+// scope asserts held via FLEX_REQUIRES). From that:
+//
+//   lock-order — every acquisition while another lock is held adds an edge
+//   to a global lock-order graph (locks are identified per class for member
+//   mutexes, per file otherwise); a cycle in that graph is an ABBA deadlock
+//   waiting for a second thread, and is reported with a witness site per
+//   edge.
+//
+//   guarded-by — a write to a member field of class C while holding C's own
+//   member mutex is evidence the field is lock-protected; if its declaration
+//   does not carry FLEX_GUARDED_BY, clang's thread-safety analysis silently
+//   ignores every *other* (unlocked) access to it. Exactly the gap the
+//   annotations exist to close, so the missing annotation is the finding.
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "tools/fglint/rules.h"
+
+namespace fgcheck {
+
+namespace {
+
+bool IsPunct(const Token& t, const char* text) {
+  return t.kind == Tok::kPunct && t.text == text;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == Tok::kIdent && t.text == text;
+}
+
+const std::set<std::string>& AssignOps() {
+  static const std::set<std::string> ops = {"=",  "+=", "-=", "*=", "/=",
+                                            "%=", "&=", "|=", "^=", "<<=",
+                                            ">>=", "++", "--"};
+  return ops;
+}
+
+const std::set<std::string>& MutatorCalls() {
+  static const std::set<std::string> calls = {
+      "push_back", "emplace_back", "pop_back", "clear",  "insert", "erase",
+      "resize",    "reserve",      "assign",   "emplace", "store",  "reset",
+      "swap",      "push",         "pop",      "fetch_add"};
+  return calls;
+}
+
+struct Witness {
+  std::string file;
+  int line = 0;
+};
+
+struct LockGraph {
+  // from -> (to -> first witness of `to` acquired while `from` held)
+  std::map<std::string, std::map<std::string, Witness>> edges;
+};
+
+struct ActiveLock {
+  std::string id;      // global identity, e.g. "Engine::cache_mutex_"
+  std::string member;  // mutex member name when it is the context class's own
+  std::string cls;     // context class at acquisition
+  int depth = 0;       // brace depth the guard lives at
+};
+
+struct Scope {
+  std::string cls;  // enclosing class name ("" outside any class)
+};
+
+// Resolves a lock expression to a global identity. Member mutexes of the
+// context class collapse to Class::expr so the same lock nested from
+// different TUs is one graph node; anything else stays file-scoped.
+std::string ResolveLock(const std::string& rel, const std::string& cls,
+                        const std::string& expr, bool is_member,
+                        std::string* member_out) {
+  if (is_member && !cls.empty()) {
+    *member_out = expr;
+    return cls + "::" + expr;
+  }
+  member_out->clear();
+  return rel + "::" + expr;
+}
+
+class FilePass {
+ public:
+  FilePass(const FileIndex& fi, const std::map<std::string, const ClassInfo*>& classes,
+           Context* ctx, LockGraph* graph)
+      : fi_(fi), classes_(classes), ctx_(ctx), graph_(graph) {}
+
+  void Run() {
+    const std::vector<Token>& toks = fi_.lex.tokens;
+    // Class-body ranges: token index of '{' + 1 -> class name.
+    std::map<std::size_t, std::string> class_bodies;
+    for (const ClassInfo& cls : fi_.classes) {
+      class_bodies[cls.body_begin] = cls.name;
+    }
+
+    std::vector<std::size_t> stmt;  // token indices since last ; { }
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (IsPunct(t, ";")) {
+        stmt.clear();
+        continue;
+      }
+      if (IsPunct(t, "{")) {
+        Scope scope;
+        const auto body = class_bodies.find(i + 1);
+        if (body != class_bodies.end()) {
+          scope.cls = body->second;
+        } else {
+          scope.cls = DefinitionClass(stmt, CurrentClass());
+          PushRequiresLocks(stmt, scope.cls, static_cast<int>(scopes_.size()) + 1);
+        }
+        scopes_.push_back(std::move(scope));
+        stmt.clear();
+        continue;
+      }
+      if (IsPunct(t, "}")) {
+        const int depth = static_cast<int>(scopes_.size());
+        held_.erase(std::remove_if(held_.begin(), held_.end(),
+                                   [&](const ActiveLock& l) { return l.depth >= depth; }),
+                    held_.end());
+        if (!scopes_.empty()) {
+          scopes_.pop_back();
+        }
+        stmt.clear();
+        continue;
+      }
+
+      if (IsIdent(t, "MutexLock") && i + 2 < toks.size() &&
+          toks[i + 1].kind == Tok::kIdent && IsPunct(toks[i + 2], "(")) {
+        AcquireAt(i + 2, t.line);
+      }
+
+      CheckGuardedWrite(i);
+      stmt.push_back(i);
+    }
+  }
+
+ private:
+  std::string CurrentClass() const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      if (!it->cls.empty()) {
+        return it->cls;
+      }
+    }
+    return "";
+  }
+
+  // `A :: B (` in a definition header puts us in class A's context; handles
+  // nested qualifiers by taking the identifier left of the last `::` that
+  // precedes the parameter list.
+  std::string DefinitionClass(const std::vector<std::size_t>& stmt,
+                              const std::string& inherited) const {
+    const std::vector<Token>& toks = fi_.lex.tokens;
+    for (std::size_t k = 0; k + 2 < stmt.size(); ++k) {
+      if (toks[stmt[k]].kind == Tok::kIdent && IsPunct(toks[stmt[k + 1]], "::") &&
+          toks[stmt[k + 2]].kind == Tok::kIdent && k + 3 < stmt.size() &&
+          IsPunct(toks[stmt[k + 3]], "(")) {
+        return toks[stmt[k]].text;
+      }
+    }
+    return inherited;
+  }
+
+  // FLEX_REQUIRES(mu) in a definition header or lambda declarator means the
+  // scope runs with `mu` held: seed it as active so acquisitions inside
+  // still order against it.
+  void PushRequiresLocks(const std::vector<std::size_t>& stmt,
+                         const std::string& cls, int depth) {
+    const std::vector<Token>& toks = fi_.lex.tokens;
+    for (std::size_t k = 0; k < stmt.size(); ++k) {
+      const Token& t = toks[stmt[k]];
+      if (t.kind != Tok::kIdent ||
+          (t.text != "FLEX_REQUIRES" && t.text != "FLEX_REQUIRES_SHARED")) {
+        continue;
+      }
+      if (k + 1 >= stmt.size() || !IsPunct(toks[stmt[k + 1]], "(")) {
+        continue;
+      }
+      const std::size_t open = stmt[k + 1];
+      const std::size_t close = MatchingClose(toks, open);
+      const std::string expr = JoinTokens(toks, open + 1, close);
+      const bool simple = close == open + 2 && toks[open + 1].kind == Tok::kIdent;
+      const ClassInfo* ci = FindClass(cls);
+      const bool is_member = simple && ci != nullptr && ci->HasMutexMember(expr);
+      ActiveLock lock;
+      lock.cls = cls;
+      lock.id = ResolveLock(fi_.rel, cls, expr,
+                            is_member || (simple && !cls.empty() && expr.back() == '_'),
+                            &lock.member);
+      lock.depth = depth;
+      held_.push_back(std::move(lock));
+    }
+  }
+
+  const ClassInfo* FindClass(const std::string& name) const {
+    if (name.empty()) {
+      return nullptr;
+    }
+    const auto it = classes_.find(name);
+    return it == classes_.end() ? nullptr : it->second;
+  }
+
+  void AcquireAt(std::size_t open, int line) {
+    const std::vector<Token>& toks = fi_.lex.tokens;
+    const std::size_t close = MatchingClose(toks, open);
+    if (close >= toks.size()) {
+      return;
+    }
+    const std::string expr = JoinTokens(toks, open + 1, close);
+    const bool simple = close == open + 2 && toks[open + 1].kind == Tok::kIdent;
+    const std::string cls = CurrentClass();
+    const ClassInfo* ci = FindClass(cls);
+    const bool is_member =
+        simple && ((ci != nullptr && ci->HasMutexMember(expr)) ||
+                   (!cls.empty() && !expr.empty() && expr.back() == '_'));
+    ActiveLock lock;
+    lock.cls = cls;
+    lock.id = ResolveLock(fi_.rel, cls, expr, is_member, &lock.member);
+    lock.depth = static_cast<int>(scopes_.size());
+    for (const ActiveLock& outer : held_) {
+      if (outer.id != lock.id) {
+        auto& w = graph_->edges[outer.id][lock.id];
+        if (w.file.empty()) {
+          w = Witness{fi_.rel, line};
+        }
+      }
+    }
+    held_.push_back(std::move(lock));
+  }
+
+  // Member-write detection at token i while a member mutex of the enclosing
+  // class is held.
+  void CheckGuardedWrite(std::size_t i) {
+    const std::vector<Token>& toks = fi_.lex.tokens;
+    const Token& t = toks[i];
+    if (t.kind != Tok::kIdent || t.text.empty() || t.text.back() != '_' ||
+        held_.empty()) {
+      return;
+    }
+    const std::string cls = CurrentClass();
+    if (cls.empty()) {
+      return;
+    }
+    const ActiveLock* member_lock = nullptr;
+    for (const ActiveLock& l : held_) {
+      if (!l.member.empty() && l.cls == cls) {
+        member_lock = &l;
+        break;
+      }
+    }
+    if (member_lock == nullptr) {
+      return;
+    }
+    const ClassInfo* ci = FindClass(cls);
+    if (ci == nullptr) {
+      return;
+    }
+    const FieldDecl* field = ci->FindField(t.text);
+    if (field == nullptr || field->guarded || t.text == member_lock->member) {
+      return;
+    }
+    // `other.field_` is someone else's member; `this->field_` is ours.
+    if (i > 0 && (IsPunct(toks[i - 1], ".") ||
+                  (IsPunct(toks[i - 1], "->") && !(i > 1 && IsIdent(toks[i - 2], "this"))))) {
+      return;
+    }
+    if (!IsWriteAt(i)) {
+      return;
+    }
+    ctx_->Emit(fi_.rel, t.line, "guarded-by",
+               "field " + t.text + " of " + cls + " is written while holding " +
+                   member_lock->id + " but its declaration lacks "
+                   "FLEX_GUARDED_BY(" + member_lock->member +
+                   ") — unannotated fields are invisible to clang's "
+                   "thread-safety analysis, so unlocked accesses elsewhere "
+                   "compile silently");
+  }
+
+  bool IsWriteAt(std::size_t i) const {
+    const std::vector<Token>& toks = fi_.lex.tokens;
+    if (i > 0 && toks[i - 1].kind == Tok::kPunct &&
+        (toks[i - 1].text == "++" || toks[i - 1].text == "--")) {
+      return true;
+    }
+    std::size_t j = i + 1;
+    // Subscripted write: field_[k] = v.
+    while (j < toks.size() && IsPunct(toks[j], "[")) {
+      const std::size_t close = MatchingClose(toks, j);
+      if (close >= toks.size()) {
+        return false;
+      }
+      j = close + 1;
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kPunct) {
+      return false;
+    }
+    if (AssignOps().count(toks[j].text) > 0) {
+      return true;
+    }
+    if (toks[j].text == "." && j + 1 < toks.size() &&
+        toks[j + 1].kind == Tok::kIdent &&
+        MutatorCalls().count(toks[j + 1].text) > 0) {
+      return true;
+    }
+    return false;
+  }
+
+  const FileIndex& fi_;
+  const std::map<std::string, const ClassInfo*>& classes_;
+  Context* ctx_;
+  LockGraph* graph_;
+  std::vector<Scope> scopes_;
+  std::vector<ActiveLock> held_;
+};
+
+// DFS cycle search over the lock graph; reports each cycle once with the
+// witness chain.
+void ReportCycles(const LockGraph& graph, Context* ctx) {
+  std::map<std::string, int> color;
+  std::set<std::set<std::string>> reported;
+  std::vector<std::string> stack;
+
+  struct Frame {
+    std::string node;
+    std::map<std::string, Witness>::const_iterator next;
+    std::map<std::string, Witness>::const_iterator end;
+  };
+  static const std::map<std::string, Witness> kEmpty;
+  auto edges_of = [&](const std::string& n) -> const std::map<std::string, Witness>& {
+    const auto it = graph.edges.find(n);
+    return it == graph.edges.end() ? kEmpty : it->second;
+  };
+
+  for (const auto& [start, unused] : graph.edges) {
+    (void)unused;
+    if (color[start] != 0) {
+      continue;
+    }
+    std::vector<Frame> frames;
+    frames.push_back(Frame{start, edges_of(start).begin(), edges_of(start).end()});
+    color[start] = 1;
+    stack.push_back(start);
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.next == f.end) {
+        color[f.node] = 2;
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const std::string to = f.next->first;
+      const Witness witness = f.next->second;
+      ++f.next;
+      if (color[to] == 1) {
+        const auto begin = std::find(stack.begin(), stack.end(), to);
+        std::vector<std::string> cycle(begin, stack.end());
+        std::set<std::string> key(cycle.begin(), cycle.end());
+        if (!reported.insert(key).second) {
+          continue;
+        }
+        std::string desc;
+        for (std::size_t k = 0; k < cycle.size(); ++k) {
+          const std::string& from = cycle[k];
+          const std::string& next = k + 1 < cycle.size() ? cycle[k + 1] : to;
+          const auto& e = edges_of(from);
+          const auto w = e.find(next);
+          desc += from + " -> ";
+          if (w != e.end()) {
+            desc += next + " (" + w->second.file + ":" + std::to_string(w->second.line) + "), ";
+          }
+        }
+        desc += "closing back at " + to;
+        ctx->Emit(witness.file, witness.line, "lock-order",
+                  "lock-order cycle: " + desc +
+                      " — two threads taking these locks in opposite orders "
+                      "deadlock; pick one global order and stick to it");
+      } else if (color[to] == 0) {
+        color[to] = 1;
+        stack.push_back(to);
+        frames.push_back(Frame{to, edges_of(to).begin(), edges_of(to).end()});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void RunLockRules(Context* ctx) {
+  // Global class map: declarations usually live in headers, method bodies in
+  // .cc files — the pass needs both sides.
+  std::map<std::string, const ClassInfo*> classes;
+  for (const FileIndex& fi : ctx->index.files) {
+    for (const ClassInfo& cls : fi.classes) {
+      // Prefer the declaration that actually has fields (the header).
+      const auto it = classes.find(cls.name);
+      if (it == classes.end() || it->second->fields.size() < cls.fields.size()) {
+        classes[cls.name] = &cls;
+      }
+    }
+  }
+  LockGraph graph;
+  for (const FileIndex& fi : ctx->index.files) {
+    FilePass(fi, classes, ctx, &graph).Run();
+  }
+  ReportCycles(graph, ctx);
+}
+
+}  // namespace fgcheck

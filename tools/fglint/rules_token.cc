@@ -1,0 +1,386 @@
+// Legacy fglint token rules, ported onto the fgcheck lexer. Matching now runs
+// against canonical token-joined lines, so a banned token split across a
+// backslash-newline splice, or hidden behind odd spacing, still matches — and
+// one inside a string or comment never does.
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/fglint/rules.h"
+
+namespace fgcheck {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TokenRule {
+  std::string id;
+  std::vector<std::string> banned;   // any token-boundary hit is a finding
+  std::vector<std::string> except;   // ...unless the line also contains one of these
+  std::string message;
+  // Path predicates, evaluated on the repo-relative path with '/' separators.
+  bool (*applies)(const std::string& rel);
+};
+
+bool IsSimdKernelTu(const std::string& rel) {
+  return rel.rfind("src/exec/simd_", 0) == 0 && rel.size() > 3 &&
+         rel.compare(rel.size() - 3, 3, ".cc") == 0;
+}
+
+bool InSrc(const std::string& rel) { return rel.rfind("src/", 0) == 0; }
+
+bool InLintedTree(const std::string& rel) {
+  return rel.rfind("src/", 0) == 0 || rel.rfind("tools/", 0) == 0 ||
+         rel.rfind("bench/", 0) == 0;
+}
+
+const std::vector<TokenRule>& TokenRules() {
+  static const std::vector<TokenRule> rules = {
+      {
+          "kernel-alloc",
+          {"new", "malloc", "calloc", "realloc", ".push_back", ".emplace_back",
+           ".resize", ".reserve"},
+          {},
+          "kernel TUs must not allocate: draw scratch from the workspace arena",
+          [](const std::string& rel) { return IsSimdKernelTu(rel); },
+      },
+      {
+          "raw-thread",
+          {"std::thread", "std::jthread", "std::async"},
+          {"hardware_concurrency"},
+          "spawn work through flexgraph::ThreadPool, not raw threads",
+          [](const std::string& rel) {
+            return InSrc(rel) && rel != "src/util/thread_pool.cc" &&
+                   rel != "src/util/thread_pool.h";
+          },
+      },
+      {
+          "seeded-rng",
+          {"std::rand", "srand", "std::random_device", "random_device",
+           "time(nullptr)", "time(NULL)", "std::mt19937"},
+          {},
+          "use the seeded flexgraph::Rng so every run is reproducible",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel.rfind("src/util/rng", 0) != 0 &&
+                   rel.rfind("src/fault/", 0) != 0;
+          },
+      },
+      {
+          "simd-horizontal",
+          {"_mm_hadd_ps", "_mm_hadd_pd", "_mm256_hadd_ps", "_mm256_hadd_pd",
+           "_mm_dp_ps", "_mm256_dp_ps", "_mm512_reduce_add_ps",
+           "_mm512_reduce_add_pd", "vaddvq_f32", "vpaddq_f32"},
+          {},
+          "lane-crossing reductions round differently per ISA; keep kernel "
+          "bodies vertical and reduce in scalar order",
+          [](const std::string& rel) { return IsSimdKernelTu(rel); },
+      },
+      {
+          "iostream-logging",
+          {"std::cout", "std::cerr", "printf", "fprintf", "std::puts"},
+          {},
+          "log through FLEX_LOG (src/util/logging.h) so FLEXGRAPH_LOG_LEVEL "
+          "filtering applies",
+          [](const std::string& rel) {
+            return InSrc(rel) && rel != "src/util/logging.cc" &&
+                   rel != "src/util/logging.h";
+          },
+      },
+      {
+          "raw-socket",
+          {"socket(", "send(", "recv(", "fork("},
+          {},
+          "raw socket/process primitives live behind the transport/supervisor "
+          "layer (src/dist/transport*, src/dist/supervisor*): everything else "
+          "speaks frames through SocketTransport so framing, CRC validation, "
+          "and fork hygiene stay in one place",
+          [](const std::string& rel) {
+            return InLintedTree(rel) &&
+                   rel.rfind("src/dist/transport", 0) != 0 &&
+                   rel.rfind("src/dist/supervisor", 0) != 0;
+          },
+      },
+      {
+          "clock-source",
+          {"clock_gettime", "steady_clock", "system_clock",
+           "high_resolution_clock", "gettimeofday", "rdtsc", "__rdtsc",
+           "_rdtsc", "QueryPerformanceCounter"},
+          {},
+          "read time through obs::MonotonicNowNs / obs::ProcessCpuNowNs "
+          "(src/obs/clock.h) so every timestamp shares one clock domain",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel.rfind("src/obs/", 0) != 0;
+          },
+      },
+      {
+          "env-validated",
+          {"getenv", "std::getenv", "secure_getenv"},
+          {},
+          "read environment knobs through src/util/env.h (EnvInt / EnvDouble "
+          "/ EnvString / EnvOnOff): the helpers warn and clamp invalid values "
+          "via FLEX_LOG, raw getenv call sites grow ad-hoc vocabularies that "
+          "silently ignore typos",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel != "src/util/env.cc" &&
+                   rel != "src/util/env.h";
+          },
+      },
+      {
+          "plan-draft",
+          {"PlanDraft", "LevelDraft", "FusionDraft"},
+          {},
+          "plan construction is confined to the pass pipeline "
+          "(src/exec/passes/): everything else consumes the frozen "
+          "ExecutionPlan through its const accessors",
+          [](const std::string& rel) {
+            return InLintedTree(rel) && rel.rfind("src/exec/passes/", 0) != 0;
+          },
+      },
+  };
+  return rules;
+}
+
+void RunTokenRule(const TokenRule& rule, const std::string& rel,
+                  const LexedFile& lexed, Context* ctx) {
+  for (std::size_t i = 0; i < lexed.lines.size(); ++i) {
+    const std::string& code = lexed.lines[i];
+    if (code.empty()) {
+      continue;
+    }
+    bool excepted = false;
+    for (const std::string& ok : rule.except) {
+      if (code.find(ok) != std::string::npos) {
+        excepted = true;
+        break;
+      }
+    }
+    if (excepted) {
+      continue;
+    }
+    for (const std::string& token : rule.banned) {
+      if (HasToken(code, token)) {
+        ctx->Emit(rel, static_cast<int>(i) + 1, rule.id,
+                  token + ": " + rule.message);
+        break;  // one finding per line is enough
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// not-thread-safe: FLEXGRAPH_NOT_THREAD_SAFE(X) markers vs. pool handoff
+// ---------------------------------------------------------------------------
+
+void CollectNotThreadSafeMarkers(const LexedFile& lexed,
+                                 std::vector<std::string>* names) {
+  const std::vector<Token>& toks = lexed.tokens;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Tok::kIdent && toks[i].text == "FLEXGRAPH_NOT_THREAD_SAFE" &&
+        toks[i + 1].kind == Tok::kPunct && toks[i + 1].text == "(" &&
+        toks[i + 2].kind == Tok::kIdent) {
+      names->push_back(toks[i + 2].text);
+    }
+  }
+}
+
+void CheckNotThreadSafeUse(const std::string& rel, const LexedFile& lexed,
+                           const std::vector<std::string>& marked, Context* ctx) {
+  for (std::size_t i = 0; i < lexed.lines.size(); ++i) {
+    const std::string& code = lexed.lines[i];
+    if (code.empty() || code.find("FLEXGRAPH_NOT_THREAD_SAFE(") != std::string::npos) {
+      continue;  // the marker itself
+    }
+    const bool submits = code.find("Submit(") != std::string::npos ||
+                         code.find("SubmitBatch(") != std::string::npos;
+    if (!submits) {
+      continue;
+    }
+    for (const std::string& name : marked) {
+      if (HasToken(code, name)) {
+        ctx->Emit(rel, static_cast<int>(i) + 1, "not-thread-safe",
+                  name + " is marked FLEXGRAPH_NOT_THREAD_SAFE but is handed "
+                         "to the thread pool on this line");
+        break;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// simd-fp-contract: every SIMD kernel TU must carry -ffp-contract=off
+// ---------------------------------------------------------------------------
+
+bool IsIdentCh(char c) { return IsIdentChar(c); }
+
+// Extracts every parenthesized argument list of `command(...)` in a CMake
+// file (handles multi-line statements by balancing parentheses).
+std::vector<std::string> CMakeInvocations(const std::string& text,
+                                          const std::string& command) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while ((pos = text.find(command, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !IsIdentCh(text[pos - 1]);
+    std::size_t open = text.find_first_not_of(" \t\r\n", pos + command.size());
+    if (!left_ok || open == std::string::npos || text[open] != '(') {
+      pos += command.size();
+      continue;
+    }
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < text.size(); ++end) {
+      if (text[end] == '(') {
+        ++depth;
+      } else if (text[end] == ')' && --depth == 0) {
+        break;
+      }
+    }
+    out.push_back(text.substr(open + 1, end - open - 1));
+    pos = end;
+  }
+  return out;
+}
+
+// Lints one CMakeLists text: every file in `simd_tus` must be covered by a
+// set_source_files_properties statement whose options include
+// -ffp-contract=off, and no statement naming a TU may omit it.
+void CheckFpContract(const std::string& cmake_text, const std::string& rel,
+                     const std::vector<std::string>& simd_tus, Context* ctx) {
+  // Expand the conventional TU-list variable so
+  // set_source_files_properties(${FLEXGRAPH_SIMD_TUS} ...) covers its members.
+  std::string tu_list_values;
+  for (const std::string& set_args : CMakeInvocations(cmake_text, "set")) {
+    std::istringstream is(set_args);
+    std::string name;
+    is >> name;
+    if (name == "FLEXGRAPH_SIMD_TUS") {
+      std::string rest;
+      std::getline(is, rest);
+      tu_list_values = rest;
+    }
+  }
+
+  const auto props = CMakeInvocations(cmake_text, "set_source_files_properties");
+  for (const std::string& tu : simd_tus) {
+    bool covered = false;
+    for (std::string args : props) {
+      std::size_t var = args.find("${FLEXGRAPH_SIMD_TUS}");
+      if (var != std::string::npos) {
+        args.replace(var, std::string("${FLEXGRAPH_SIMD_TUS}").size(), tu_list_values);
+      }
+      if (args.find(tu) == std::string::npos) {
+        continue;
+      }
+      if (args.find("-ffp-contract=off") != std::string::npos) {
+        covered = true;
+      } else {
+        ctx->Emit(rel, 0, "simd-fp-contract",
+                  tu + " gets COMPILE_OPTIONS without -ffp-contract=off: an FMA "
+                       "rounds once where mul+add rounds twice, breaking "
+                       "cross-ISA bitwise determinism");
+        covered = true;  // mis-covered, already reported
+      }
+    }
+    if (!covered) {
+      ctx->Emit(rel, 0, "simd-fp-contract",
+                tu + " is not covered by any set_source_files_properties(... "
+                     "-ffp-contract=off ...) statement");
+    }
+  }
+}
+
+}  // namespace
+
+void RunTokenRules(Context* ctx) {
+  // Pass 1: FLEXGRAPH_NOT_THREAD_SAFE markers across the repo.
+  std::vector<std::string> marked;
+  for (const FileIndex& fi : ctx->index.files) {
+    CollectNotThreadSafeMarkers(fi.lex, &marked);
+  }
+  std::sort(marked.begin(), marked.end());
+  marked.erase(std::unique(marked.begin(), marked.end()), marked.end());
+
+  // Pass 2: token rules + the marker cross-check.
+  for (const FileIndex& fi : ctx->index.files) {
+    for (const TokenRule& rule : TokenRules()) {
+      if (rule.applies(fi.rel)) {
+        RunTokenRule(rule, fi.rel, fi.lex, ctx);
+      }
+    }
+    CheckNotThreadSafeUse(fi.rel, fi.lex, marked, ctx);
+  }
+
+  // Pass 3: the CMake fp-contract rule over src/exec.
+  const fs::path exec_dir = ctx->root / "src" / "exec";
+  const fs::path exec_cmake = exec_dir / "CMakeLists.txt";
+  if (fs::exists(exec_cmake)) {
+    std::vector<std::string> simd_tus;
+    for (const auto& entry : fs::directory_iterator(exec_dir)) {
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("simd_", 0) == 0 && name.size() > 3 &&
+          name.compare(name.size() - 3, 3, ".cc") == 0) {
+        simd_tus.push_back(name);
+      }
+    }
+    std::sort(simd_tus.begin(), simd_tus.end());
+    std::ifstream in(exec_cmake);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    CheckFpContract(buf.str(), "src/exec/CMakeLists.txt", simd_tus, ctx);
+  }
+}
+
+long RunTokenRuleOnFixture(const std::string& rule_id, const std::string& rel,
+                           const LexedFile& lexed) {
+  for (const TokenRule& rule : TokenRules()) {
+    if (rule.id == rule_id) {
+      Context ctx;
+      FileIndex fi;
+      fi.rel = rel;
+      fi.lex = lexed;
+      ctx.index.files.push_back(std::move(fi));
+      ctx.index.by_rel[rel] = 0;
+      RunTokenRule(rule, rel, ctx.index.files[0].lex, &ctx);
+      return static_cast<long>(ctx.findings.size());
+    }
+  }
+  return -1;
+}
+
+long RunNotThreadSafeOnFixture(const std::string& rel, const LexedFile& lexed) {
+  Context ctx;
+  FileIndex fi;
+  fi.rel = rel;
+  fi.lex = lexed;
+  ctx.index.files.push_back(std::move(fi));
+  ctx.index.by_rel[rel] = 0;
+  std::vector<std::string> marked;
+  CollectNotThreadSafeMarkers(ctx.index.files[0].lex, &marked);
+  CheckNotThreadSafeUse(rel, ctx.index.files[0].lex, marked, &ctx);
+  return static_cast<long>(ctx.findings.size());
+}
+
+long RunFpContractOnFixture(const std::string& rel, const std::string& text) {
+  // The fixture's own mentions of simd_*.cc define the TU universe.
+  std::vector<std::string> tus;
+  std::size_t pos = 0;
+  while ((pos = text.find("simd_", pos)) != std::string::npos) {
+    std::size_t end = text.find(".cc", pos);
+    if (end == std::string::npos) {
+      break;
+    }
+    tus.push_back(text.substr(pos, end + 3 - pos));
+    pos = end + 3;
+  }
+  std::sort(tus.begin(), tus.end());
+  tus.erase(std::unique(tus.begin(), tus.end()), tus.end());
+  Context ctx;
+  CheckFpContract(text, rel, tus, &ctx);
+  return static_cast<long>(ctx.findings.size());
+}
+
+}  // namespace fgcheck

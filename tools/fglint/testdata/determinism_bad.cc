@@ -1,0 +1,17 @@
+// Fixture: folding over an unordered container — bucket order is not
+// deterministic, so the float accumulation order changes run to run.
+#include <unordered_map>
+
+class FeatureCache {
+ public:
+  float Sum() const {
+    float s = 0.0f;
+    for (const auto& kv : table_) {  // nondeterministic iteration order
+      s += kv.second;
+    }
+    return s;
+  }
+
+ private:
+  std::unordered_map<int, float> table_;
+};

@@ -1,0 +1,11 @@
+// Fixture: ordering by pointer value — addresses differ across runs.
+#include <functional>
+#include <set>
+
+struct Node {
+  int id = 0;
+};
+
+std::set<Node*, std::less<Node*>> MakeWorklist() {
+  return std::set<Node*, std::less<Node*>>();
+}

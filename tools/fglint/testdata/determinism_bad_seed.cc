@@ -1,0 +1,11 @@
+// Fixture: seeding from wall-clock time and hardware entropy.
+#include <cstdlib>
+#include <random>
+
+void SeedEverything() {
+  srand(static_cast<unsigned>(time(nullptr)));
+  std::random_device rd;
+  int noise = rand() % 7;
+  (void)rd;
+  (void)noise;
+}

@@ -1,0 +1,8 @@
+// Fixture: a backslash-newline splice may not hide a banned call — the lexer
+// must join the spliced identifier before rules run.
+#include <cstdlib>
+
+void SneakySeed() {
+  sran\
+d(7);
+}

@@ -1,0 +1,22 @@
+// Fixture: deterministic counterparts — ordered map iteration, fixed seeds,
+// stable-id comparators.
+#include <cstdint>
+#include <map>
+
+class FeatureCache {
+ public:
+  float Sum() const {
+    float s = 0.0f;
+    for (const auto& kv : table_) {
+      s += kv.second;
+    }
+    return s;
+  }
+
+ private:
+  std::map<int, float> table_;  // ordered: iteration order is the key order
+};
+
+std::uint64_t SeedFor(std::uint64_t vertex) {
+  return 0x9e3779b97f4a7c15ull ^ vertex;  // per-vertex seed from the config
+}

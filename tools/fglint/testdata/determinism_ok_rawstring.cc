@@ -1,0 +1,7 @@
+// Fixture: banned identifiers inside string and raw-string literals are not
+// code — the lexer must not scan them.
+const char* kDoc =
+    R"doc(To reproduce the bug, call srand(time(nullptr)) and iterate the
+unordered_map with for (auto& kv : table_) — fgcheck ignores all of this.)doc";
+
+const char* kPlain = "srand(1); std::random_device rd;";

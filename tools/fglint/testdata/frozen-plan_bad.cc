@@ -1,0 +1,11 @@
+// Fixture: non-const handles to frozen plan types outside the pass
+// pipeline.
+#include "src/exec/plan.h"
+
+void PatchInPlace(flexgraph::ExecutionPlan* plan) {  // mutable pointer
+  (void)plan;
+}
+
+flexgraph::LevelPlan& MutableLevel(std::vector<flexgraph::LevelPlan>& levels) {
+  return levels[0];  // mutable reference
+}

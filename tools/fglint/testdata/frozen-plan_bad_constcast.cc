@@ -1,0 +1,7 @@
+// Fixture: stripping const from a frozen plan is an error anywhere.
+#include "src/exec/plan.h"
+
+void Hack(const flexgraph::ExecutionPlan& plan) {
+  auto* p = const_cast<flexgraph::ExecutionPlan*>(&plan);
+  (void)p;
+}

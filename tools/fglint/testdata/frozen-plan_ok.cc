@@ -1,0 +1,11 @@
+// Fixture: const handles to frozen plans are the supported shape, including
+// through containers and rvalue references in moves.
+#include "src/exec/plan.h"
+
+void Execute(const flexgraph::ExecutionPlan& plan) { (void)plan; }
+
+void Walk(const std::vector<flexgraph::LevelPlan>& levels) { (void)levels; }
+
+flexgraph::ExecutionPlan Take(flexgraph::ExecutionPlan&& plan) {
+  return static_cast<flexgraph::ExecutionPlan&&>(plan);  // rvalue ref is a move, not a mutation door
+}

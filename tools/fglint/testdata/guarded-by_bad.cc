@@ -1,0 +1,16 @@
+// Fixture: a member field written under the class's own mutex without a
+// FLEX_GUARDED_BY annotation — unlocked accesses elsewhere would compile
+// silently under clang's thread-safety analysis.
+#include "src/util/mutex.h"
+
+class EpochCounter {
+ public:
+  void Bump() {
+    MutexLock lock(mutex_);
+    value_ += 1;
+  }
+
+ private:
+  Mutex mutex_;
+  long value_ = 0;  // missing FLEX_GUARDED_BY(mutex_)
+};

@@ -1,0 +1,21 @@
+// Fixture: the same write pattern, properly annotated — and an out-of-line
+// method body attributed to the class via the Class::Method definition
+// header.
+#include "src/util/mutex.h"
+
+class EpochCounter {
+ public:
+  void Bump();
+  int Get() const { return 0; }  // trailing qualifier must not parse as a field
+
+ private:
+  Mutex mutex_;
+  long value_ FLEX_GUARDED_BY(mutex_) = 0;
+  std::vector<int> history_ FLEX_GUARDED_BY(mutex_);
+};
+
+void EpochCounter::Bump() {
+  MutexLock lock(mutex_);
+  value_ += 1;
+  history_.push_back(1);
+}

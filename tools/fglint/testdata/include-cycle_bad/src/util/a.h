@@ -1,0 +1,3 @@
+// a.h -> b.h -> a.h: same layer, so no back-edge — but a cycle.
+#include "src/util/b.h"
+struct A {};

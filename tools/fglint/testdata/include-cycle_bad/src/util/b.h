@@ -1,0 +1,2 @@
+#include "src/util/a.h"
+struct B {};

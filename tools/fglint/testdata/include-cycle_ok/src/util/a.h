@@ -1,0 +1,3 @@
+// One-directional include: no cycle.
+#include "src/util/b.h"
+struct A {};

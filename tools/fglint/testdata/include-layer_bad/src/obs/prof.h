@@ -1,0 +1,2 @@
+// Higher-layer header, target of the back-edge.
+struct Prof {};

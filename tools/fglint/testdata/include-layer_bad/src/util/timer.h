@@ -1,0 +1,3 @@
+// util is below obs in the layer table, so this include is a back-edge and
+// there is no grandfather entry covering it.
+#include "src/obs/prof.h"

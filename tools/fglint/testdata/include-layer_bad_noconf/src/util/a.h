@@ -1,0 +1,3 @@
+// Tree without a layers.conf at all: the missing table is itself an
+// include-layer finding, so the gate cannot be dodged by deleting the table.
+struct A {};

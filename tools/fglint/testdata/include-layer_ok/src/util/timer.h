@@ -1,0 +1,3 @@
+// Same back-edge as the _bad tree, but waived by a justified grandfather
+// entry in layers.conf.
+#include "src/obs/prof.h"

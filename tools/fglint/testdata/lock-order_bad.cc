@@ -1,0 +1,20 @@
+// Fixture: ABBA lock ordering — two functions take the same pair of locks in
+// opposite orders. fgcheck must report a lock-order cycle.
+#include "src/util/mutex.h"
+
+namespace {
+
+flexgraph::Mutex g_sched;
+flexgraph::Mutex g_stats;
+
+void UpdateSchedule() {
+  MutexLock sched(g_sched);
+  MutexLock stats(g_stats);  // g_sched -> g_stats
+}
+
+void PublishStats() {
+  MutexLock stats(g_stats);
+  MutexLock sched(g_sched);  // g_stats -> g_sched: closes the cycle
+}
+
+}  // namespace

@@ -1,0 +1,20 @@
+// Fixture: consistent lock ordering — both paths take g_sched before
+// g_stats, so the order graph is acyclic.
+#include "src/util/mutex.h"
+
+namespace {
+
+flexgraph::Mutex g_sched;
+flexgraph::Mutex g_stats;
+
+void UpdateSchedule() {
+  MutexLock sched(g_sched);
+  MutexLock stats(g_stats);
+}
+
+void PublishStats() {
+  MutexLock sched(g_sched);
+  MutexLock stats(g_stats);
+}
+
+}  // namespace

@@ -1,0 +1,5 @@
+// Fixture: an allow comment on a line that triggers nothing — the waiver is
+// dead weight and must be reported so the suppression list only shrinks.
+int Identity(int x) {
+  return x;  // fglint-allow: determinism
+}

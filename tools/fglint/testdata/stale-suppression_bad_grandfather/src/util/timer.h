@@ -1,0 +1,3 @@
+// No back-edge anywhere in this tree, so the grandfather entry in
+// layers.conf covers nothing and must be flagged stale.
+struct Timer {};

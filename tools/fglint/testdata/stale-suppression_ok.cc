@@ -1,0 +1,8 @@
+// Fixture: an allow comment that actually suppresses a finding is live, not
+// stale (this file's synthetic path is inside src/exec, so the determinism
+// rule fires on the srand call and is swallowed by the allow).
+#include <cstdlib>
+
+void SeedOnceAtInit() {
+  srand(42);  // fglint-allow: determinism fixed seed, documented in README
+}

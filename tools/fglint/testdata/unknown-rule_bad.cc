@@ -1,0 +1,5 @@
+// Fixture: an allow comment naming a rule fgcheck has never heard of —
+// probably a typo, certainly not suppressing anything.
+int Identity(int x) {
+  return x;  // fglint-allow: determinsim
+}

@@ -1,0 +1,7 @@
+// Fixture: a correctly spelled, live suppression produces no unknown-rule
+// finding.
+#include <cstdlib>
+
+void SeedOnceAtInit() {
+  srand(42);  // fglint-allow: determinism fixed seed
+}
